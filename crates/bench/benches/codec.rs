@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the binary value codec — the serialization cost
+//! every task pays on the Redis path and never pays on the
+//! multiprocessing path (part of §5.6's Multiprocessing-vs-Redis gap).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dispel4py::core::codec::{decode_item, decode_value, encode_item, encode_value};
+use dispel4py::core::task::{QueueItem, Task};
+use dispel4py::core::value::Value;
+use dispel4py::graph::PeId;
+
+fn galaxy_record() -> Value {
+    Value::map([
+        ("id", Value::Int(42)),
+        ("ra", Value::Float(123.456)),
+        ("dec", Value::Float(-54.321)),
+        (
+            "rows",
+            Value::List(
+                (0..3)
+                    .map(|i| {
+                        Value::map([
+                            ("t", Value::Float(i as f64)),
+                            ("logr25", Value::Float(0.5)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn seismic_trace(n: usize) -> Value {
+    Value::map([
+        ("station", Value::Str("ST042".into())),
+        ("samples", Value::List((0..n).map(|i| Value::Float(i as f64 * 0.1)).collect())),
+    ])
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+
+    let small = galaxy_record();
+    let small_bytes = encode_value(&small);
+    group.bench_function("encode_galaxy_record", |b| {
+        b.iter(|| encode_value(black_box(&small)))
+    });
+    group.bench_function("decode_galaxy_record", |b| {
+        b.iter(|| decode_value(black_box(&small_bytes)).unwrap())
+    });
+
+    let big = seismic_trace(512);
+    let big_bytes = encode_value(&big);
+    group.bench_function("encode_trace_512", |b| b.iter(|| encode_value(black_box(&big))));
+    group.bench_function("decode_trace_512", |b| {
+        b.iter(|| decode_value(black_box(&big_bytes)).unwrap())
+    });
+
+    let task = QueueItem::Task(Task::new(PeId(3), "input", galaxy_record()));
+    let task_bytes = encode_item(&task);
+    group.bench_function("encode_task", |b| b.iter(|| encode_item(black_box(&task))));
+    group.bench_function("decode_task", |b| {
+        b.iter(|| decode_item(black_box(&task_bytes)).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the RESP2 wire codec (redis-lite's protocol layer).
+
+use bytes::BytesMut;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dispel4py::redis_lite::resp::{decode, encode, encode_command, Frame};
+
+fn bench_resp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resp");
+
+    // The XADD command shape every task push sends.
+    let payload = vec![0xAB; 256];
+    group.bench_function("encode_xadd_command", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(320);
+            encode_command(
+                &[b"XADD", b"d4py:queue:0", b"*", b"task", black_box(&payload)],
+                &mut buf,
+            );
+            buf
+        })
+    });
+
+    // The XREADGROUP reply shape every pop receives.
+    let reply = Frame::Array(vec![Frame::Array(vec![
+        Frame::bulk("d4py:queue:0"),
+        Frame::Array(vec![Frame::Array(vec![
+            Frame::bulk("1234567-0"),
+            Frame::Array(vec![Frame::bulk("task"), Frame::Bulk(payload.clone())]),
+        ])]),
+    ])]);
+    let mut encoded = BytesMut::new();
+    encode(&reply, &mut encoded);
+    group.bench_function("encode_read_reply", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(encoded.len());
+            encode(black_box(&reply), &mut buf);
+            buf
+        })
+    });
+    group.bench_function("decode_read_reply", |b| {
+        b.iter(|| decode(black_box(&encoded)).unwrap().unwrap())
+    });
+
+    // Incremental decode from a half-delivered buffer (the streaming path).
+    let half = &encoded[..encoded.len() / 2];
+    group.bench_function("decode_partial_returns_none", |b| {
+        b.iter(|| decode(black_box(half)).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_resp);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Micro-benchmarks of grouping-aware routing — executed once per emitted
+//! item per connection, on every mapping's hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dispel4py::core::routing::Router;
+use dispel4py::core::value::Value;
+use dispel4py::graph::{ConnectionId, Grouping};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    let conn = ConnectionId(0);
+
+    let mut router = Router::new();
+    group.bench_function("shuffle", |b| {
+        b.iter(|| router.route(conn, &Grouping::Shuffle, black_box(&Value::Null), 8))
+    });
+
+    let by_state = Grouping::group_by("state");
+    let record = Value::map([
+        ("state", Value::Str("Texas".into())),
+        ("score", Value::Float(3.5)),
+        ("id", Value::Int(123)),
+    ]);
+    let mut router = Router::new();
+    group.bench_function("group_by_small_record", |b| {
+        b.iter(|| router.route(conn, &by_state, black_box(&record), 8))
+    });
+
+    // Group-by over a large payload: the hash only touches the key fields,
+    // so this should stay near the small-record cost.
+    let big = Value::map([
+        ("state", Value::Str("Texas".into())),
+        (
+            "samples",
+            Value::List((0..512).map(|i| Value::Float(i as f64)).collect()),
+        ),
+    ]);
+    let mut router = Router::new();
+    group.bench_function("group_by_large_record", |b| {
+        b.iter(|| router.route(conn, &by_state, black_box(&big), 8))
+    });
+
+    group.bench_function("routing_hash_trace_512", |b| {
+        b.iter(|| black_box(&big).routing_hash())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

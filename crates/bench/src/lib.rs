@@ -1,0 +1,27 @@
+//! # d4py-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§5):
+//!
+//! * [`sweep`] — runs a workflow across mappings × worker counts on a
+//!   simulated platform, producing the runtime / process-time series of
+//!   Figures 8–12;
+//! * [`ratios`] — derives the Table 1–3 ratio summaries (best-by-runtime,
+//!   best-by-process-time, mean ± std) from a sweep;
+//! * [`render`] — prints series and tables in the paper's shape.
+//!
+//! The `repro` binary drives it all:
+//!
+//! ```sh
+//! cargo run -p d4py-bench --release --bin repro -- fig8
+//! cargo run -p d4py-bench --release --bin repro -- table1
+//! cargo run -p d4py-bench --release --bin repro -- all --quick
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ratios;
+pub mod render;
+pub mod sweep;
+
+pub use ratios::{ratio_table, RatioSummary};
+pub use sweep::{run_cell, MappingKind, RunRow, Sweep, WorkflowKind};

@@ -1,0 +1,160 @@
+//! Ratio summaries — the paper's Tables 1, 2 and 3.
+//!
+//! For a comparison A/B (e.g. `dyn_auto_multi` / `dyn_multi`), every
+//! (workload, workers) cell both techniques ran yields a runtime ratio and
+//! a process-time ratio. The paper reports three rows per comparison:
+//! the cell with the best (smallest) *runtime* ratio, the cell with the
+//! best *process-time* ratio, and the mean ± population-std over all cells
+//! of each ratio.
+
+use crate::sweep::Sweep;
+
+/// One cell's ratio pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioCell {
+    /// Worker count of the cell.
+    pub workers: usize,
+    /// runtime(A) / runtime(B).
+    pub runtime_ratio: f64,
+    /// process_time(A) / process_time(B).
+    pub process_ratio: f64,
+}
+
+/// The Table 1–3 summary for one comparison on one platform.
+#[derive(Debug, Clone)]
+pub struct RatioSummary {
+    /// Numerator technique (the proposed optimization).
+    pub a: &'static str,
+    /// Denominator technique (the baseline).
+    pub b: &'static str,
+    /// All matched cells.
+    pub cells: Vec<RatioCell>,
+    /// Cell with the smallest runtime ratio.
+    pub best_runtime: RatioCell,
+    /// Cell with the smallest process-time ratio.
+    pub best_process: RatioCell,
+    /// (mean, std) of runtime ratios.
+    pub runtime_stats: (f64, f64),
+    /// (mean, std) of process-time ratios.
+    pub process_stats: (f64, f64),
+}
+
+fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Builds the ratio summary of A/B over every (workload, workers) cell both
+/// ran in `sweep`. `None` when no cells match.
+pub fn ratio_table(
+    sweep: &Sweep,
+    a: &'static str,
+    b: &'static str,
+) -> Option<RatioSummary> {
+    let mut cells = Vec::new();
+    for workload in sweep.workloads() {
+        let sa = sweep.series(a, &workload);
+        let sb = sweep.series(b, &workload);
+        for ra in &sa {
+            if let Some(rb) = sb.iter().find(|r| r.workers == ra.workers) {
+                if rb.runtime_s > 0.0 && rb.process_s > 0.0 {
+                    cells.push(RatioCell {
+                        workers: ra.workers,
+                        runtime_ratio: ra.runtime_s / rb.runtime_s,
+                        process_ratio: ra.process_s / rb.process_s,
+                    });
+                }
+            }
+        }
+    }
+    if cells.is_empty() {
+        return None;
+    }
+    let best_runtime = *cells
+        .iter()
+        .min_by(|x, y| x.runtime_ratio.partial_cmp(&y.runtime_ratio).unwrap())?;
+    let best_process = *cells
+        .iter()
+        .min_by(|x, y| x.process_ratio.partial_cmp(&y.process_ratio).unwrap())?;
+    let runtime_stats = mean_std(&cells.iter().map(|c| c.runtime_ratio).collect::<Vec<_>>());
+    let process_stats = mean_std(&cells.iter().map(|c| c.process_ratio).collect::<Vec<_>>());
+    Some(RatioSummary {
+        a,
+        b,
+        cells,
+        best_runtime,
+        best_process,
+        runtime_stats,
+        process_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::RunRow;
+
+    fn row(mapping: &'static str, workers: usize, rt: f64, pt: f64) -> RunRow {
+        RunRow {
+            platform: "server",
+            workload: "1X".into(),
+            mapping,
+            workers,
+            runtime_s: rt,
+            process_s: pt,
+            trace: vec![],
+        }
+    }
+
+    fn sample_sweep() -> Sweep {
+        Sweep {
+            rows: vec![
+                row("dyn_multi", 4, 10.0, 40.0),
+                row("dyn_multi", 8, 6.0, 48.0),
+                row("dyn_auto_multi", 4, 9.0, 30.0),
+                row("dyn_auto_multi", 8, 6.6, 24.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn ratios_computed_per_matched_cell() {
+        let summary = ratio_table(&sample_sweep(), "dyn_auto_multi", "dyn_multi").unwrap();
+        assert_eq!(summary.cells.len(), 2);
+        let c4 = summary.cells.iter().find(|c| c.workers == 4).unwrap();
+        assert!((c4.runtime_ratio - 0.9).abs() < 1e-12);
+        assert!((c4.process_ratio - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_rows_select_minima() {
+        let summary = ratio_table(&sample_sweep(), "dyn_auto_multi", "dyn_multi").unwrap();
+        assert_eq!(summary.best_runtime.workers, 4, "0.9 < 1.1");
+        assert_eq!(summary.best_process.workers, 8, "0.5 < 0.75");
+    }
+
+    #[test]
+    fn stats_are_mean_and_population_std() {
+        let summary = ratio_table(&sample_sweep(), "dyn_auto_multi", "dyn_multi").unwrap();
+        let (mean, std) = summary.runtime_stats;
+        assert!((mean - 1.0).abs() < 1e-12, "mean of 0.9 and 1.1");
+        assert!((std - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unmatched_cells_are_dropped() {
+        let mut sweep = sample_sweep();
+        sweep.rows.push(row("dyn_auto_multi", 16, 3.0, 20.0)); // no dyn_multi@16
+        let summary = ratio_table(&sweep, "dyn_auto_multi", "dyn_multi").unwrap();
+        assert_eq!(summary.cells.len(), 2);
+    }
+
+    #[test]
+    fn empty_comparison_is_none() {
+        assert!(ratio_table(&sample_sweep(), "hybrid_redis", "multi").is_none());
+    }
+}

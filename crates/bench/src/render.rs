@@ -1,0 +1,199 @@
+//! Plain-text rendering of sweeps (figure series) and ratio tables.
+
+use crate::ratios::RatioSummary;
+use crate::sweep::Sweep;
+
+/// Prints a figure-style block: for every workload, the runtime and
+/// process-time series of every mapping over worker counts.
+pub fn render_figure(title: &str, sweep: &Sweep) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    for workload in sweep.workloads() {
+        out.push_str(&format!("\n-- workload: {workload} --\n"));
+        // Collect the union of worker counts for the header.
+        let mut workers: Vec<usize> = sweep
+            .rows
+            .iter()
+            .filter(|r| r.workload == workload)
+            .map(|r| r.workers)
+            .collect();
+        workers.sort_unstable();
+        workers.dedup();
+        let header: Vec<String> = workers.iter().map(|w| format!("{w:>9}")).collect();
+        out.push_str(&format!("{:<16} {:>9} {}\n", "mapping", "metric", header.join(" ")));
+        for mapping in sweep.mappings() {
+            let series = sweep.series(mapping, &workload);
+            if series.is_empty() {
+                continue;
+            }
+            for (metric, pick) in [
+                ("runtime", true),
+                ("proctime", false),
+            ] {
+                let cells: Vec<String> = workers
+                    .iter()
+                    .map(|w| {
+                        series
+                            .iter()
+                            .find(|r| r.workers == *w)
+                            .map(|r| {
+                                format!(
+                                    "{:>9.3}",
+                                    if pick { r.runtime_s } else { r.process_s }
+                                )
+                            })
+                            .unwrap_or_else(|| format!("{:>9}", "-"))
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "{:<16} {:>9} {}\n",
+                    mapping,
+                    metric,
+                    cells.join(" ")
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Prints one comparison block of a Table 1/2/3.
+pub fn render_ratio(platform: &str, summary: &RatioSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {}/{}\n",
+        platform, summary.a, summary.b
+    ));
+    out.push_str(&format!(
+        "  prioritized by runtime      : runtime ratio {:.2}  process ratio {:.2}  (at {} workers)\n",
+        summary.best_runtime.runtime_ratio,
+        summary.best_runtime.process_ratio,
+        summary.best_runtime.workers
+    ));
+    out.push_str(&format!(
+        "  prioritized by process time : runtime ratio {:.2}  process ratio {:.2}  (at {} workers)\n",
+        summary.best_process.runtime_ratio,
+        summary.best_process.process_ratio,
+        summary.best_process.workers
+    ));
+    out.push_str(&format!(
+        "  [mean, std]                 : runtime [{:.2}, {:.2}]  process [{:.2}, {:.2}]  ({} cells)\n",
+        summary.runtime_stats.0,
+        summary.runtime_stats.1,
+        summary.process_stats.0,
+        summary.process_stats.1,
+        summary.cells.len()
+    ));
+    out
+}
+
+/// Renders a Figure-13-style trace block for one run.
+pub fn render_trace(
+    mapping: &str,
+    workload: &str,
+    metric_name: &str,
+    trace: &[d4py_core::metrics::TracePoint],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "-- {mapping} on {workload}: active size vs {metric_name} ({} decisions) --\n",
+        trace.len()
+    ));
+    if trace.is_empty() {
+        out.push_str("(no scaling events)\n");
+        return out;
+    }
+    let step = (trace.len() / 30).max(1);
+    out.push_str(&format!("{:>6} {:>7} {:>12}\n", "iter", "active", metric_name));
+    for p in trace.iter().step_by(step) {
+        out.push_str(&format!(
+            "{:>6} {:>7} {:>12.3}  {}\n",
+            p.iteration,
+            p.active_size,
+            p.metric,
+            "#".repeat(p.active_size)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratios::ratio_table;
+    use crate::sweep::RunRow;
+
+    fn sweep() -> Sweep {
+        Sweep {
+            rows: vec![
+                RunRow {
+                    platform: "server",
+                    workload: "1X std".into(),
+                    mapping: "multi",
+                    workers: 4,
+                    runtime_s: 2.5,
+                    process_s: 10.0,
+                    trace: vec![],
+                },
+                RunRow {
+                    platform: "server",
+                    workload: "1X std".into(),
+                    mapping: "dyn_multi",
+                    workers: 4,
+                    runtime_s: 2.0,
+                    process_s: 8.0,
+                    trace: vec![],
+                },
+                RunRow {
+                    platform: "server",
+                    workload: "1X std".into(),
+                    mapping: "dyn_auto_multi",
+                    workers: 4,
+                    runtime_s: 2.1,
+                    process_s: 5.0,
+                    trace: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn figure_contains_every_mapping_and_both_metrics() {
+        let text = render_figure("Figure X", &sweep());
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("multi"));
+        assert!(text.contains("dyn_auto_multi"));
+        assert!(text.contains("runtime"));
+        assert!(text.contains("proctime"));
+        assert!(text.contains("2.500"));
+    }
+
+    #[test]
+    fn ratio_block_has_all_three_rows() {
+        let s = sweep();
+        let summary = ratio_table(&s, "dyn_auto_multi", "dyn_multi").unwrap();
+        let text = render_ratio("server", &summary);
+        assert!(text.contains("prioritized by runtime"));
+        assert!(text.contains("prioritized by process time"));
+        assert!(text.contains("[mean, std]"));
+        assert!(text.contains("dyn_auto_multi/dyn_multi"));
+    }
+
+    #[test]
+    fn trace_block_renders_bars() {
+        let trace = vec![
+            d4py_core::metrics::TracePoint { iteration: 1, active_size: 3, metric: 5.0 },
+            d4py_core::metrics::TracePoint { iteration: 2, active_size: 4, metric: 7.0 },
+        ];
+        let text = render_trace("dyn_auto_multi", "galaxy 1X", "queue size", &trace);
+        assert!(text.contains("###"));
+        assert!(text.contains("####"));
+        assert!(text.contains("queue size"));
+    }
+
+    #[test]
+    fn empty_trace_is_graceful() {
+        let text = render_trace("x", "y", "m", &[]);
+        assert!(text.contains("no scaling events"));
+    }
+}

@@ -1,0 +1,341 @@
+//! Compact binary codec for [`Value`]s and [`QueueItem`]s.
+//!
+//! The Redis mappings ship every task over a real wire (RESP frames over
+//! TCP), so data items need a serialized form. We implement a small
+//! tag-length-value format from scratch rather than pulling in a serde
+//! format crate: one tag byte per value, little-endian fixed-width scalars,
+//! u32 length prefixes for strings/collections.
+//!
+//! The format is self-delimiting, so queue payloads can be decoded without
+//! out-of-band length information, and strict: trailing bytes are an error.
+
+use crate::error::CodecError;
+use crate::task::{QueueItem, Task};
+use crate::value::Value;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use d4py_graph::PeId;
+use std::collections::BTreeMap;
+
+const TAG_NULL: u8 = 0x00;
+const TAG_BOOL: u8 = 0x01;
+const TAG_INT: u8 = 0x02;
+const TAG_FLOAT: u8 = 0x03;
+const TAG_STR: u8 = 0x04;
+const TAG_BYTES: u8 = 0x05;
+const TAG_LIST: u8 = 0x06;
+const TAG_MAP: u8 = 0x07;
+const TAG_TASK: u8 = 0xF0;
+const TAG_PILL: u8 = 0xF1;
+const TAG_FLUSH: u8 = 0xF2;
+
+/// Encodes a value to a fresh byte buffer.
+pub fn encode_value(value: &Value) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    write_value(&mut buf, value);
+    buf.freeze()
+}
+
+/// Decodes a value, requiring the input to be exactly one encoded value.
+pub fn decode_value(mut input: &[u8]) -> Result<Value, CodecError> {
+    let v = read_value(&mut input)?;
+    if !input.is_empty() {
+        return Err(CodecError::TrailingBytes(input.len()));
+    }
+    Ok(v)
+}
+
+/// Encodes a queue item (task or pill).
+pub fn encode_item(item: &QueueItem) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match item {
+        QueueItem::Pill => buf.put_u8(TAG_PILL),
+        QueueItem::Flush => buf.put_u8(TAG_FLUSH),
+        QueueItem::Task(t) => {
+            buf.put_u8(TAG_TASK);
+            buf.put_u32_le(t.pe.0 as u32);
+            match t.instance {
+                None => buf.put_u8(0),
+                Some(i) => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(i as u32);
+                }
+            }
+            write_str(&mut buf, &t.port);
+            write_value(&mut buf, &t.value);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a queue item, requiring the input to be exactly one item.
+pub fn decode_item(mut input: &[u8]) -> Result<QueueItem, CodecError> {
+    let tag = read_u8(&mut input)?;
+    let item = match tag {
+        TAG_PILL => QueueItem::Pill,
+        TAG_FLUSH => QueueItem::Flush,
+        TAG_TASK => {
+            let pe = PeId(read_u32(&mut input)? as usize);
+            let instance = match read_u8(&mut input)? {
+                0 => None,
+                _ => Some(read_u32(&mut input)? as usize),
+            };
+            let port = read_string(&mut input)?;
+            let value = read_value(&mut input)?;
+            QueueItem::Task(Task { pe, port, value, instance })
+        }
+        other => return Err(CodecError::BadTag(other)),
+    };
+    if !input.is_empty() {
+        return Err(CodecError::TrailingBytes(input.len()));
+    }
+    Ok(item)
+}
+
+fn write_value(buf: &mut BytesMut, value: &Value) {
+    match value {
+        Value::Null => buf.put_u8(TAG_NULL),
+        Value::Bool(b) => {
+            buf.put_u8(TAG_BOOL);
+            buf.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(TAG_FLOAT);
+            buf.put_f64_le(*f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            write_str(buf, s);
+        }
+        Value::Bytes(b) => {
+            buf.put_u8(TAG_BYTES);
+            buf.put_u32_le(b.len() as u32);
+            buf.put_slice(b);
+        }
+        Value::List(items) => {
+            buf.put_u8(TAG_LIST);
+            buf.put_u32_le(items.len() as u32);
+            for item in items {
+                write_value(buf, item);
+            }
+        }
+        Value::Map(m) => {
+            buf.put_u8(TAG_MAP);
+            buf.put_u32_le(m.len() as u32);
+            for (k, v) in m {
+                write_str(buf, k);
+                write_value(buf, v);
+            }
+        }
+    }
+}
+
+fn write_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn read_u8(input: &mut &[u8]) -> Result<u8, CodecError> {
+    if input.is_empty() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok(input.get_u8())
+}
+
+fn read_u32(input: &mut &[u8]) -> Result<u32, CodecError> {
+    if input.len() < 4 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok(input.get_u32_le())
+}
+
+fn read_len(input: &mut &[u8]) -> Result<usize, CodecError> {
+    let n = read_u32(input)? as usize;
+    if n > input.len() {
+        return Err(CodecError::BadLength { declared: n, remaining: input.len() });
+    }
+    Ok(n)
+}
+
+fn read_string(input: &mut &[u8]) -> Result<String, CodecError> {
+    let n = read_len(input)?;
+    let bytes = &input[..n];
+    let s = std::str::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)?.to_string();
+    input.advance(n);
+    Ok(s)
+}
+
+fn read_value(input: &mut &[u8]) -> Result<Value, CodecError> {
+    let tag = read_u8(input)?;
+    Ok(match tag {
+        TAG_NULL => Value::Null,
+        TAG_BOOL => Value::Bool(read_u8(input)? != 0),
+        TAG_INT => {
+            if input.len() < 8 {
+                return Err(CodecError::UnexpectedEof);
+            }
+            Value::Int(input.get_i64_le())
+        }
+        TAG_FLOAT => {
+            if input.len() < 8 {
+                return Err(CodecError::UnexpectedEof);
+            }
+            Value::Float(input.get_f64_le())
+        }
+        TAG_STR => Value::Str(read_string(input)?),
+        TAG_BYTES => {
+            let n = read_len(input)?;
+            let b = input[..n].to_vec();
+            input.advance(n);
+            Value::Bytes(b)
+        }
+        TAG_LIST => {
+            let n = read_u32(input)? as usize;
+            let mut items = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                items.push(read_value(input)?);
+            }
+            Value::List(items)
+        }
+        TAG_MAP => {
+            let n = read_u32(input)? as usize;
+            let mut m = BTreeMap::new();
+            for _ in 0..n {
+                let k = read_string(input)?;
+                let v = read_value(input)?;
+                m.insert(k, v);
+            }
+            Value::Map(m)
+        }
+        other => return Err(CodecError::BadTag(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) {
+        let bytes = encode_value(&v);
+        let back = decode_value(&bytes).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        roundtrip(Value::Null);
+        roundtrip(Value::Bool(true));
+        roundtrip(Value::Bool(false));
+        roundtrip(Value::Int(-42));
+        roundtrip(Value::Int(i64::MAX));
+        roundtrip(Value::Float(3.25));
+        roundtrip(Value::Float(f64::NEG_INFINITY));
+        roundtrip(Value::Str(String::new()));
+        roundtrip(Value::Str("héllo → wörld".into()));
+        roundtrip(Value::Bytes(vec![0, 255, 1, 2]));
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        roundtrip(Value::map([
+            ("station", Value::Str("ST01".into())),
+            ("samples", Value::list([1.5f64, -2.5, 0.0])),
+            ("meta", Value::map([("ok", Value::Bool(true))])),
+        ]));
+    }
+
+    #[test]
+    fn nan_roundtrips_as_nan() {
+        let bytes = encode_value(&Value::Float(f64::NAN));
+        match decode_value(&bytes).unwrap() {
+            Value::Float(f) => assert!(f.is_nan()),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn task_roundtrip() {
+        let item = QueueItem::Task(Task::pinned(
+            PeId(7),
+            3,
+            "input",
+            Value::map([("k", Value::Int(1))]),
+        ));
+        let bytes = encode_item(&item);
+        assert_eq!(decode_item(&bytes).unwrap(), item);
+    }
+
+    #[test]
+    fn unpinned_task_roundtrip() {
+        let item = QueueItem::Task(Task::new(PeId(0), "in", Value::Str("x".into())));
+        assert_eq!(decode_item(&encode_item(&item)).unwrap(), item);
+    }
+
+    #[test]
+    fn pill_roundtrip() {
+        let bytes = encode_item(&QueueItem::Pill);
+        assert_eq!(bytes.len(), 1);
+        assert_eq!(decode_item(&bytes).unwrap(), QueueItem::Pill);
+    }
+
+    #[test]
+    fn flush_roundtrip() {
+        let bytes = encode_item(&QueueItem::Flush);
+        assert_eq!(decode_item(&bytes).unwrap(), QueueItem::Flush);
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let bytes = encode_value(&Value::Str("hello".into()));
+        for cut in 0..bytes.len() {
+            assert!(decode_value(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_value(&Value::Int(1)).to_vec();
+        bytes.push(0xAA);
+        assert_eq!(decode_value(&bytes), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert_eq!(decode_value(&[0x99]), Err(CodecError::BadTag(0x99)));
+    }
+
+    #[test]
+    fn overlong_length_rejected() {
+        // STR with declared length 100 but only 2 bytes of payload.
+        let mut buf = vec![TAG_STR];
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.extend_from_slice(b"ab");
+        assert!(matches!(decode_value(&buf), Err(CodecError::BadLength { .. })));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = vec![TAG_STR];
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(decode_value(&buf), Err(CodecError::BadUtf8));
+    }
+
+    #[test]
+    fn empty_input_fails() {
+        assert_eq!(decode_value(&[]), Err(CodecError::UnexpectedEof));
+        assert_eq!(decode_item(&[]), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn deep_nesting_roundtrips() {
+        let mut v = Value::Int(0);
+        for _ in 0..100 {
+            v = Value::List(vec![v]);
+        }
+        roundtrip(v);
+    }
+}

@@ -1,0 +1,99 @@
+//! Error types for the dispel4py-rs runtime.
+
+use d4py_graph::{GraphError, PeId};
+
+/// Errors raised while preparing or executing a workflow.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The abstract workflow failed validation.
+    Graph(GraphError),
+    /// A PE id has no registered runtime factory.
+    MissingFactory(PeId),
+    /// The selected mapping cannot execute this workflow (e.g. plain dynamic
+    /// scheduling given a stateful PE or a grouping it does not support).
+    UnsupportedWorkflow {
+        /// The mapping that rejected the workflow.
+        mapping: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Invalid execution options (e.g. zero workers).
+    InvalidOptions(String),
+    /// Binary codec failure while (de)serializing stream data.
+    Codec(CodecError),
+    /// A queue/transport failure (e.g. the Redis connection dropped).
+    Queue(String),
+    /// A worker thread panicked.
+    WorkerPanic {
+        /// Index of the worker that died.
+        worker: usize,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "invalid workflow: {e}"),
+            CoreError::MissingFactory(pe) => {
+                write!(f, "no runtime factory registered for {pe}")
+            }
+            CoreError::UnsupportedWorkflow { mapping, reason } => {
+                write!(f, "mapping '{mapping}' cannot run this workflow: {reason}")
+            }
+            CoreError::InvalidOptions(msg) => write!(f, "invalid options: {msg}"),
+            CoreError::Codec(e) => write!(f, "codec error: {e}"),
+            CoreError::Queue(msg) => write!(f, "queue error: {msg}"),
+            CoreError::WorkerPanic { worker } => write!(f, "worker {worker} panicked"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<CodecError> for CoreError {
+    fn from(e: CodecError) -> Self {
+        CoreError::Codec(e)
+    }
+}
+
+/// Errors from the binary value codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before a complete value was decoded.
+    UnexpectedEof,
+    /// An unknown type tag was encountered.
+    BadTag(u8),
+    /// A declared length exceeds the remaining input.
+    BadLength {
+        /// Length declared by the encoding.
+        declared: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Trailing bytes remained after decoding a complete value.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::BadTag(t) => write!(f, "unknown type tag 0x{t:02x}"),
+            CodecError::BadLength { declared, remaining } => {
+                write!(f, "declared length {declared} exceeds remaining {remaining} bytes")
+            }
+            CodecError::BadUtf8 => write!(f, "invalid UTF-8 in string"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}

@@ -1,0 +1,146 @@
+//! Executable workflows: an abstract graph plus runtime PE factories.
+//!
+//! The abstract [`WorkflowGraph`] declares *shape*; an [`Executable`] binds
+//! each PE to a factory that manufactures fresh [`ProcessingElement`]
+//! instances. Mappings call [`Executable::instantiate`] once per concrete
+//! instance — per worker under dynamic scheduling, per assigned process
+//! under the static mapping — which is exactly dispel4py's "every process
+//! holds its own copy of the workflow" model.
+
+use crate::error::CoreError;
+use crate::pe::ProcessingElement;
+use d4py_graph::{PeId, WorkflowGraph};
+use std::sync::Arc;
+
+/// Factory manufacturing fresh instances of one PE.
+pub type PeFactory = Arc<dyn Fn() -> Box<dyn ProcessingElement> + Send + Sync>;
+
+/// A validated workflow graph with runtime behaviour attached.
+#[derive(Clone)]
+pub struct Executable {
+    graph: Arc<WorkflowGraph>,
+    factories: Vec<Option<PeFactory>>,
+}
+
+impl Executable {
+    /// Wraps a graph; factories start empty and must be registered for every
+    /// PE before [`seal`](Self::seal) succeeds. The graph is validated here.
+    pub fn new(graph: WorkflowGraph) -> Result<Self, CoreError> {
+        graph.validate()?;
+        let n = graph.pe_count();
+        Ok(Self { graph: Arc::new(graph), factories: vec![None; n] })
+    }
+
+    /// Registers the runtime factory for `pe`.
+    pub fn register<F>(&mut self, pe: PeId, factory: F) -> &mut Self
+    where
+        F: Fn() -> Box<dyn ProcessingElement> + Send + Sync + 'static,
+    {
+        self.factories[pe.0] = Some(Arc::new(factory));
+        self
+    }
+
+    /// Checks that every PE has a factory, making the executable ready to run.
+    pub fn seal(self) -> Result<Self, CoreError> {
+        if let Some(i) = self.factories.iter().position(Option::is_none) {
+            return Err(CoreError::MissingFactory(PeId(i)));
+        }
+        Ok(self)
+    }
+
+    /// The underlying abstract workflow.
+    pub fn graph(&self) -> &WorkflowGraph {
+        &self.graph
+    }
+
+    /// Shared handle to the abstract workflow (for worker threads).
+    pub fn graph_arc(&self) -> Arc<WorkflowGraph> {
+        self.graph.clone()
+    }
+
+    /// Manufactures a fresh instance of `pe`.
+    pub fn instantiate(&self, pe: PeId) -> Result<Box<dyn ProcessingElement>, CoreError> {
+        self.factories
+            .get(pe.0)
+            .and_then(|f| f.as_ref())
+            .map(|f| f())
+            .ok_or(CoreError::MissingFactory(pe))
+    }
+}
+
+impl std::fmt::Debug for Executable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executable")
+            .field("graph", &self.graph.name())
+            .field("pes", &self.graph.pe_count())
+            .field(
+                "registered",
+                &self.factories.iter().filter(|x| x.is_some()).count(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pe::{Context, FnSource, FnTransform};
+    use crate::value::Value;
+    use d4py_graph::{Grouping, PeSpec};
+
+    fn tiny_graph() -> (WorkflowGraph, PeId, PeId) {
+        let mut g = WorkflowGraph::new("t");
+        let a = g.add_pe(PeSpec::source("a", "out"));
+        let b = g.add_pe(PeSpec::sink("b", "in"));
+        g.connect(a, "out", b, "in", Grouping::Shuffle).unwrap();
+        (g, a, b)
+    }
+
+    #[test]
+    fn new_validates_graph() {
+        let mut g = WorkflowGraph::new("bad");
+        g.add_pe(PeSpec::source("a", "out"));
+        g.add_pe(PeSpec::source("a", "out"));
+        assert!(matches!(Executable::new(g), Err(CoreError::Graph(_))));
+    }
+
+    #[test]
+    fn seal_requires_all_factories() {
+        let (g, a, _) = tiny_graph();
+        let mut exe = Executable::new(g).unwrap();
+        exe.register(a, || Box::new(FnSource(|_: &mut dyn Context| {})));
+        let err = exe.seal().unwrap_err();
+        assert!(matches!(err, CoreError::MissingFactory(PeId(1))));
+    }
+
+    #[test]
+    fn instantiate_returns_fresh_instances() {
+        let (g, a, b) = tiny_graph();
+        let mut exe = Executable::new(g).unwrap();
+        exe.register(a, || {
+            Box::new(FnSource(|ctx: &mut dyn Context| ctx.emit("out", Value::Int(1))))
+        });
+        exe.register(b, || {
+            Box::new(FnTransform(|_: &str, _: Value, _: &mut dyn Context| {}))
+        });
+        let exe = exe.seal().unwrap();
+        // Two instantiations must be independent objects (they get separate
+        // heap allocations; behavioural independence is by construction).
+        let _i1 = exe.instantiate(a).unwrap();
+        let _i2 = exe.instantiate(a).unwrap();
+        assert!(exe.instantiate(PeId(99)).is_err());
+    }
+
+    #[test]
+    fn executable_is_cheaply_cloneable() {
+        let (g, a, b) = tiny_graph();
+        let mut exe = Executable::new(g).unwrap();
+        exe.register(a, || Box::new(FnSource(|_: &mut dyn Context| {})));
+        exe.register(b, || {
+            Box::new(FnTransform(|_: &str, _: Value, _: &mut dyn Context| {}))
+        });
+        let exe = exe.seal().unwrap();
+        let clone = exe.clone();
+        assert_eq!(clone.graph().pe_count(), 2);
+    }
+}

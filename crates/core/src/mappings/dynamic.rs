@@ -1,0 +1,486 @@
+//! The generic dynamic-scheduling engine (Figure 2 of the paper).
+//!
+//! Every worker holds its own copy of the abstract workflow and pulls
+//! `(PE id, data)` tasks from a shared global queue; results are routed back
+//! into the queue. The engine is generic over [`TaskQueue`], so the same
+//! worker loop powers `dyn_multi` (in-process channel) and `dyn_redis`
+//! (Redis stream over the wire), with or without the auto-scaler.
+//!
+//! Termination implements §3.2.3: a worker that keeps finding the queue
+//! empty — after the engine's outstanding-task counter confirms no task is
+//! in flight (strict mode) — waits `poll_timeout`, retries `max_retries`
+//! times, then broadcasts poison pills to stop the remaining workers
+//! quickly.
+
+use crate::autoscale::{AutoScaler, AutoscaleConfig, Gate, MonitorStrategy};
+use crate::error::CoreError;
+use crate::executable::Executable;
+use crate::mapping::require_stateless;
+use crate::metrics::{ActiveTimeLedger, LatencyHistogram, PeTaskCounts, RunReport};
+use crate::options::ExecutionOptions;
+use crate::pe::EmitBuffer;
+use crate::queue::TaskQueue;
+use crate::routing::{Route, Router};
+use crate::task::{QueueItem, Task};
+use d4py_graph::PeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Auto-scaling attachment for a dynamic run: the configuration plus a
+/// strategy constructor (the strategy usually needs the queue).
+pub struct AutoscaleSetup {
+    /// Scaler parameters.
+    pub config: AutoscaleConfig,
+    /// Builds the monitoring strategy over the run's queue.
+    pub strategy: Box<dyn FnOnce(Arc<dyn TaskQueue>) -> Box<dyn MonitorStrategy> + Send>,
+}
+
+/// Shared state of one dynamic run.
+struct Engine {
+    exe: Executable,
+    queue: Arc<dyn TaskQueue>,
+    /// Tasks pushed but not yet fully processed (children are pushed before
+    /// the parent is counted done, so 0 ⇒ quiescent).
+    outstanding: AtomicUsize,
+    shutdown: AtomicBool,
+    tasks_executed: AtomicU64,
+    dropped_emissions: AtomicU64,
+    failed_tasks: AtomicU64,
+    pe_counts: PeTaskCounts,
+    latency: LatencyHistogram,
+    ledger: ActiveTimeLedger,
+    scaler: Option<AutoScaler>,
+    workers: usize,
+}
+
+impl Engine {
+    fn broadcast_pills(&self) {
+        for _ in 0..self.workers {
+            let _ = self.queue.push(QueueItem::Pill);
+        }
+    }
+}
+
+/// Runs a stateless workflow under dynamic scheduling on `queue`.
+///
+/// `mapping_name` labels the report; `autoscale` attaches Algorithm 1.
+pub fn run_dynamic(
+    exe: &Executable,
+    opts: &ExecutionOptions,
+    queue: Arc<dyn TaskQueue>,
+    mapping_name: &'static str,
+    autoscale: Option<AutoscaleSetup>,
+) -> Result<RunReport, CoreError> {
+    if opts.workers == 0 {
+        return Err(CoreError::InvalidOptions("workers must be ≥ 1".into()));
+    }
+    require_stateless(exe, mapping_name)?;
+    let started = Instant::now();
+
+    let (scaler, strategy_and_tick) = match autoscale {
+        None => (None, None),
+        Some(setup) => {
+            let scaler = AutoScaler::new(opts.workers, &setup.config);
+            let strategy = (setup.strategy)(queue.clone());
+            (Some(scaler), Some((strategy, setup.config.tick)))
+        }
+    };
+
+    let engine = Arc::new(Engine {
+        exe: exe.clone(),
+        queue,
+        outstanding: AtomicUsize::new(0),
+        shutdown: AtomicBool::new(false),
+        tasks_executed: AtomicU64::new(0),
+        dropped_emissions: AtomicU64::new(0),
+        failed_tasks: AtomicU64::new(0),
+        pe_counts: PeTaskCounts::new(),
+        latency: LatencyHistogram::new(),
+        ledger: ActiveTimeLedger::new(opts.workers),
+        scaler,
+        workers: opts.workers,
+    });
+
+    // Seed the queue with one kickoff per source PE.
+    for source in engine.exe.graph().sources() {
+        engine.outstanding.fetch_add(1, Ordering::SeqCst);
+        engine.queue.push(QueueItem::Task(Task::kickoff(source)))?;
+    }
+
+    let monitor_handle = strategy_and_tick.map(|(strategy, tick)| {
+        let engine = engine.clone();
+        std::thread::spawn(move || {
+            if let Some(scaler) = &engine.scaler {
+                scaler.run_monitor(strategy, tick);
+            }
+        })
+    });
+
+    let handles: Vec<_> = (0..opts.workers)
+        .map(|w| {
+            let engine = engine.clone();
+            let opts = opts.clone();
+            std::thread::spawn(move || dynamic_worker(w, &engine, &opts))
+        })
+        .collect();
+
+    let mut worker_error = None;
+    for (w, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => worker_error = Some(e),
+            Err(_) => worker_error = Some(CoreError::WorkerPanic { worker: w }),
+        }
+    }
+    if let Some(scaler) = &engine.scaler {
+        scaler.request_shutdown();
+    }
+    if let Some(h) = monitor_handle {
+        let _ = h.join();
+    }
+    if let Some(e) = worker_error {
+        return Err(e);
+    }
+
+    Ok(RunReport {
+        mapping: mapping_name.to_string(),
+        runtime: started.elapsed(),
+        process_time: engine.ledger.total(),
+        workers: opts.workers,
+        tasks_executed: engine.tasks_executed.load(Ordering::Relaxed),
+        scaling_trace: engine
+            .scaler
+            .as_ref()
+            .map(|s| s.trace().snapshot())
+            .unwrap_or_default(),
+        dropped_emissions: engine.dropped_emissions.load(Ordering::Relaxed),
+        failed_tasks: engine.failed_tasks.load(Ordering::Relaxed),
+        per_pe_tasks: engine.pe_counts.snapshot(),
+        task_latency: engine.latency.summary(),
+    })
+}
+
+/// The per-worker loop: gate (auto-scaling), pop, execute, route, repeat;
+/// initiate or obey poison-pill termination.
+fn dynamic_worker(worker: usize, engine: &Engine, opts: &ExecutionOptions) -> Result<(), CoreError> {
+    let graph = engine.exe.graph();
+    let mut pes: HashMap<PeId, Box<dyn crate::pe::ProcessingElement>> = HashMap::new();
+    let mut router = Router::new();
+    let mut retries: u32 = 0;
+    let term = opts.termination;
+
+    // Process-time span bookkeeping: active from now until parked/exit.
+    let span_start = Mutex::new(Some(Instant::now()));
+    let flush_span = |ledger: &ActiveTimeLedger| {
+        if let Some(start) = span_start.lock().take() {
+            ledger.record(worker, start.elapsed());
+        }
+    };
+    let open_span = || {
+        *span_start.lock() = Some(Instant::now());
+    };
+
+    loop {
+        if engine.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Some(scaler) = &engine.scaler {
+            let gate = scaler.gate(worker, |parked| {
+                if parked {
+                    flush_span(&engine.ledger);
+                } else {
+                    open_span();
+                }
+            });
+            if gate == Gate::Shutdown {
+                break;
+            }
+        }
+        match engine.queue.pop(worker, term.poll_timeout)? {
+            Some(QueueItem::Pill) => {
+                engine.shutdown.store(true, Ordering::SeqCst);
+                if let Some(scaler) = &engine.scaler {
+                    scaler.request_shutdown();
+                }
+                break;
+            }
+            Some(QueueItem::Flush) => { /* hybrid-only control; ignore */ }
+            Some(QueueItem::Task(task)) => {
+                retries = 0;
+                execute_task(worker, engine, graph, &mut pes, &mut router, task)?;
+                // Saturating decrement: an at-least-once queue may re-deliver a
+                // task, and a second decrement must not wrap the counter.
+                let _ = engine.outstanding.fetch_update(
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                    |n| n.checked_sub(1),
+                );
+            }
+            None => {
+                let quiescent =
+                    !term.strict || engine.outstanding.load(Ordering::SeqCst) == 0;
+                if quiescent {
+                    retries += 1;
+                    if retries > term.max_retries {
+                        // This worker decides the workflow is done and
+                        // broadcasts poison pills (§3.2.3).
+                        engine.shutdown.store(true, Ordering::SeqCst);
+                        engine.broadcast_pills();
+                        if let Some(scaler) = &engine.scaler {
+                            scaler.request_shutdown();
+                        }
+                        break;
+                    }
+                } else {
+                    retries = 0;
+                }
+            }
+        }
+    }
+    flush_span(&engine.ledger);
+    Ok(())
+}
+
+/// Executes one task on this worker's private PE copy and routes emissions
+/// back into the global queue.
+fn execute_task(
+    worker: usize,
+    engine: &Engine,
+    graph: &d4py_graph::WorkflowGraph,
+    pes: &mut HashMap<PeId, Box<dyn crate::pe::ProcessingElement>>,
+    router: &mut Router,
+    task: Task,
+) -> Result<(), CoreError> {
+    let pe = match pes.entry(task.pe) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(engine.exe.instantiate(task.pe)?)
+        }
+    };
+    let mut buf = EmitBuffer::new(worker, engine.workers);
+    let started = Instant::now();
+    if !crate::pe::process_guarded(pe, &task.port, task.value, &mut buf) {
+        engine.failed_tasks.fetch_add(1, Ordering::Relaxed);
+        return Ok(());
+    }
+    engine.latency.record(started.elapsed());
+    engine.tasks_executed.fetch_add(1, Ordering::Relaxed);
+    if let Some(spec) = graph.pe(task.pe) {
+        engine.pe_counts.add(&spec.name, 1);
+    }
+    for (port, value) in buf.drain() {
+        for (conn_id, conn) in graph.outgoing_from_port(task.pe, &port) {
+            // Stateless validation guarantees Shuffle; Route::One(_) under
+            // dynamic scheduling means "any worker", so the instance index
+            // is discarded — the queue pop decides who runs it.
+            match router.route(conn_id, &conn.grouping, &value, 1) {
+                Route::One(_) => {
+                    engine.outstanding.fetch_add(1, Ordering::SeqCst);
+                    engine.queue.push(QueueItem::Task(Task::new(
+                        conn.to_pe,
+                        conn.to_port.clone(),
+                        value.clone(),
+                    )))?;
+                }
+                Route::All => {
+                    // Unreachable after require_stateless; count defensively.
+                    engine.dropped_emissions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pe::{Collector, Context, FnSource, FnTransform};
+    use crate::queue::ChannelQueue;
+    use crate::value::Value;
+    use d4py_graph::{Grouping, PeSpec, WorkflowGraph};
+
+    fn pipeline_exe(
+        items: i64,
+    ) -> (Executable, std::sync::Arc<parking_lot::Mutex<Vec<Value>>>) {
+        let mut g = WorkflowGraph::new("t");
+        let a = g.add_pe(PeSpec::source("a", "out"));
+        let b = g.add_pe(PeSpec::transform("b", "in", "out"));
+        let c = g.add_pe(PeSpec::sink("c", "in"));
+        g.connect(a, "out", b, "in", Grouping::Shuffle).unwrap();
+        g.connect(b, "out", c, "in", Grouping::Shuffle).unwrap();
+        let (_, handle) = Collector::new();
+        let h = handle.clone();
+        let mut exe = Executable::new(g).unwrap();
+        exe.register(a, move || {
+            Box::new(FnSource(move |ctx: &mut dyn Context| {
+                for i in 0..items {
+                    ctx.emit("out", Value::Int(i));
+                }
+            }))
+        });
+        exe.register(b, || {
+            Box::new(FnTransform(|_: &str, v: Value, ctx: &mut dyn Context| {
+                ctx.emit("out", Value::Int(v.as_int().unwrap() * 3));
+            }))
+        });
+        exe.register(c, move || Box::new(Collector::into_handle(h.clone())));
+        (exe.seal().unwrap(), handle)
+    }
+
+    fn run(exe: &Executable, workers: usize) -> RunReport {
+        let queue = Arc::new(ChannelQueue::new(workers));
+        run_dynamic(exe, &ExecutionOptions::new(workers), queue, "dyn_test", None).unwrap()
+    }
+
+    #[test]
+    fn single_worker_processes_everything() {
+        let (exe, results) = pipeline_exe(20);
+        let report = run(&exe, 1);
+        assert_eq!(results.lock().len(), 20);
+        assert_eq!(report.tasks_executed, 41); // kickoff + 20 + 20
+        assert_eq!(report.dropped_emissions, 0);
+    }
+
+    #[test]
+    fn many_workers_process_everything_exactly_once() {
+        let (exe, results) = pipeline_exe(200);
+        run(&exe, 8);
+        let mut got: Vec<i64> =
+            results.lock().iter().map(|v| v.as_int().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..200).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stateful_workflow_rejected() {
+        let mut g = WorkflowGraph::new("t");
+        let a = g.add_pe(PeSpec::source("a", "out"));
+        let b = g.add_pe(PeSpec::sink("b", "in"));
+        g.connect(a, "out", b, "in", Grouping::group_by("k")).unwrap();
+        let mut exe = Executable::new(g).unwrap();
+        exe.register(a, || Box::new(FnSource(|_: &mut dyn Context| {})));
+        exe.register(b, || {
+            Box::new(FnTransform(|_: &str, _: Value, _: &mut dyn Context| {}))
+        });
+        let exe = exe.seal().unwrap();
+        let queue = Arc::new(ChannelQueue::new(2));
+        let err =
+            run_dynamic(&exe, &ExecutionOptions::new(2), queue, "dyn_test", None).unwrap_err();
+        assert!(matches!(err, CoreError::UnsupportedWorkflow { .. }));
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let (exe, _) = pipeline_exe(1);
+        let queue = Arc::new(ChannelQueue::new(1));
+        assert!(matches!(
+            run_dynamic(&exe, &ExecutionOptions::new(0), queue, "dyn_test", None),
+            Err(CoreError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn empty_source_terminates_promptly() {
+        let (exe, results) = pipeline_exe(0);
+        let started = Instant::now();
+        run(&exe, 4);
+        assert!(results.lock().is_empty());
+        assert!(started.elapsed() < std::time::Duration::from_secs(2));
+    }
+
+    #[test]
+    fn autoscaled_run_records_trace() {
+        let (exe, results) = pipeline_exe(300);
+        let workers = 8;
+        let queue = Arc::new(ChannelQueue::new(workers));
+        let setup = AutoscaleSetup {
+            config: AutoscaleConfig {
+                tick: std::time::Duration::from_micros(500),
+                ..AutoscaleConfig::default()
+            },
+            strategy: Box::new(|q| {
+                Box::new(crate::autoscale::QueueSizeStrategy::new(q, 4.0))
+            }),
+        };
+        let report = run_dynamic(
+            &exe,
+            &ExecutionOptions::new(workers),
+            queue,
+            "dyn_auto_test",
+            Some(setup),
+        )
+        .unwrap();
+        assert_eq!(results.lock().len(), 300);
+        assert!(!report.scaling_trace.is_empty(), "auto-scaled run must trace");
+    }
+
+    #[test]
+    fn autoscaling_reduces_process_time_on_light_load() {
+        // A latency-dominated trickle: most of the pool has nothing to do.
+        let mut g = WorkflowGraph::new("t");
+        let a = g.add_pe(PeSpec::source("a", "out"));
+        let b = g.add_pe(PeSpec::sink("b", "in"));
+        g.connect(a, "out", b, "in", Grouping::Shuffle).unwrap();
+        let build = || {
+            let mut exe = Executable::new({
+                let mut g = WorkflowGraph::new("t");
+                let a = g.add_pe(PeSpec::source("a", "out"));
+                let b = g.add_pe(PeSpec::sink("b", "in"));
+                g.connect(a, "out", b, "in", Grouping::Shuffle).unwrap();
+                g
+            })
+            .unwrap();
+            exe.register(d4py_graph::PeId(0), || {
+                Box::new(FnSource(|ctx: &mut dyn Context| {
+                    for i in 0..20 {
+                        ctx.emit("out", Value::Int(i));
+                    }
+                }))
+            });
+            exe.register(d4py_graph::PeId(1), || {
+                Box::new(FnTransform(|_: &str, _: Value, _: &mut dyn Context| {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }))
+            });
+            exe.seal().unwrap()
+        };
+        let workers = 8;
+
+        let plain = {
+            let queue = Arc::new(ChannelQueue::new(workers));
+            run_dynamic(&build(), &ExecutionOptions::new(workers), queue, "dyn", None)
+                .unwrap()
+        };
+        let auto = {
+            let queue = Arc::new(ChannelQueue::new(workers));
+            let setup = AutoscaleSetup {
+                config: AutoscaleConfig {
+                    initial_active: Some(2),
+                    tick: std::time::Duration::from_millis(1),
+                    ..AutoscaleConfig::default()
+                },
+                strategy: Box::new(|q| {
+                    Box::new(crate::autoscale::QueueSizeStrategy::new(q, 50.0))
+                }),
+            };
+            run_dynamic(
+                &build(),
+                &ExecutionOptions::new(workers),
+                queue,
+                "dyn_auto",
+                Some(setup),
+            )
+            .unwrap()
+        };
+        assert!(
+            auto.process_time < plain.process_time,
+            "auto {:?} should be < plain {:?}",
+            auto.process_time,
+            plain.process_time
+        );
+    }
+}

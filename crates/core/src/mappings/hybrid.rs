@@ -1,0 +1,645 @@
+//! The generic hybrid engine behind `hybrid_redis` (§3.1.2).
+//!
+//! Hybrid dynamic scheduling handles workflows that mix stateless and
+//! stateful PEs:
+//!
+//! * every **stateful PE instance** is pinned to a dedicated worker with a
+//!   **private queue**, so its local state and input ordering never move
+//!   between processes;
+//! * the remaining workers are **stateless** and pull from the shared
+//!   global queue exactly as plain dynamic scheduling does;
+//! * any worker may deposit outputs into a stateful instance's private
+//!   queue, routed by the receiving connection's grouping (group-by hash,
+//!   global → instance 0, …) — "eliminating the need for continuous state
+//!   synchronization".
+//!
+//! The engine is generic over a [`QueueFactory`], so the paper's
+//! `hybrid_redis` (queues = Redis streams) and an in-process ablation
+//! variant share this implementation.
+//!
+//! Completion uses a coordinator: once the outstanding-task counter reads
+//! zero, stateful PEs are flushed (`on_done`) in topological order — flush
+//! emissions may create new work, which drains before the next PE flushes —
+//! and finally poison pills stop every worker.
+
+use crate::error::CoreError;
+use crate::executable::Executable;
+use crate::metrics::{ActiveTimeLedger, PeTaskCounts, RunReport};
+use crate::options::ExecutionOptions;
+use crate::pe::EmitBuffer;
+use crate::queue::{ChannelQueue, TaskQueue};
+use crate::routing::{Route, Router};
+use crate::state::{slot_name, StateStore};
+use crate::task::{QueueItem, Task};
+use d4py_graph::{PeId, WorkflowGraph};
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Builds the queues a hybrid run needs: one global queue plus one private
+/// queue per stateful instance.
+pub trait QueueFactory: Send + Sync {
+    /// Creates a queue. `name` identifies it (`"global"` or
+    /// `"private:<pe>:<instance>"`); `consumers` is how many workers will
+    /// pop from it.
+    fn make(&self, name: &str, consumers: usize) -> Result<Arc<dyn TaskQueue>, CoreError>;
+}
+
+/// In-process [`QueueFactory`] over [`ChannelQueue`]s (the ablation
+/// baseline for `hybrid_redis`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChannelQueueFactory;
+
+impl QueueFactory for ChannelQueueFactory {
+    fn make(&self, _name: &str, consumers: usize) -> Result<Arc<dyn TaskQueue>, CoreError> {
+        Ok(Arc::new(ChannelQueue::new(consumers)))
+    }
+}
+
+/// A stateful PE instance pinned to a dedicated worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct StatefulSlot {
+    pe: PeId,
+    instance: usize,
+}
+
+/// Shared state of a hybrid run.
+struct HybridEngine {
+    exe: Executable,
+    global: Arc<dyn TaskQueue>,
+    /// Private queue per stateful slot.
+    private: HashMap<StatefulSlot, Arc<dyn TaskQueue>>,
+    /// Instance count per stateful PE.
+    stateful_instances: HashMap<PeId, usize>,
+    outstanding: AtomicUsize,
+    flushes_pending: AtomicUsize,
+    shutdown: AtomicBool,
+    tasks_executed: AtomicU64,
+    dropped_emissions: AtomicU64,
+    failed_tasks: AtomicU64,
+    pe_counts: PeTaskCounts,
+    ledger: ActiveTimeLedger,
+    stateless_workers: usize,
+    /// Optional state externalization for stateful instances.
+    state: Option<Arc<dyn StateStore>>,
+}
+
+impl HybridEngine {
+    /// Routes one emitted value across one connection, from any worker.
+    fn route_connection(
+        &self,
+        router: &mut Router,
+        conn_id: d4py_graph::ConnectionId,
+        conn: &d4py_graph::Connection,
+        value: &crate::value::Value,
+    ) -> Result<(), CoreError> {
+        match self.stateful_instances.get(&conn.to_pe) {
+            Some(&n) => match router.route(conn_id, &conn.grouping, value, n) {
+                Route::One(i) => self.push_private(conn.to_pe, i, &conn.to_port, value.clone()),
+                Route::All => {
+                    for i in 0..n {
+                        self.push_private(conn.to_pe, i, &conn.to_port, value.clone())?;
+                    }
+                    Ok(())
+                }
+            },
+            None => {
+                // Stateless target: validation guarantees a shuffle grouping;
+                // delivery order is decided by whoever pops first.
+                let _ = router.route(conn_id, &conn.grouping, value, 1);
+                self.outstanding.fetch_add(1, Ordering::SeqCst);
+                self.global.push(QueueItem::Task(Task::new(
+                    conn.to_pe,
+                    conn.to_port.clone(),
+                    value.clone(),
+                )))
+            }
+        }
+    }
+
+    fn push_private(
+        &self,
+        pe: PeId,
+        instance: usize,
+        port: &str,
+        value: crate::value::Value,
+    ) -> Result<(), CoreError> {
+        let q = self
+            .private
+            .get(&StatefulSlot { pe, instance })
+            .ok_or_else(|| CoreError::Queue(format!("no private queue for {pe}#{instance}")))?;
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        q.push(QueueItem::Task(Task::pinned(pe, instance, port, value)))
+    }
+
+    /// Routes everything a PE emitted.
+    fn route_emissions(
+        &self,
+        graph: &WorkflowGraph,
+        from: PeId,
+        buf: &mut EmitBuffer,
+        router: &mut Router,
+    ) -> Result<(), CoreError> {
+        for (port, value) in buf.drain() {
+            let mut delivered = false;
+            for (conn_id, conn) in graph.outgoing_from_port(from, &port) {
+                delivered = true;
+                self.route_connection(router, conn_id, conn, &value)?;
+            }
+            if !delivered && graph.outgoing(from).next().is_some() {
+                self.dropped_emissions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates hybrid preconditions and computes the stateful slots.
+fn plan_stateful(
+    graph: &WorkflowGraph,
+    workers: usize,
+    mapping: &'static str,
+) -> Result<(Vec<StatefulSlot>, usize), CoreError> {
+    let mut slots = Vec::new();
+    for pe in graph.stateful_pes() {
+        let n = graph.pe(pe).and_then(|s| s.instances).unwrap_or(1);
+        for i in 0..n {
+            slots.push(StatefulSlot { pe, instance: i });
+        }
+    }
+    for c in graph.connections() {
+        if c.grouping.is_broadcast() && !graph.is_effectively_stateful(c.to_pe) {
+            let name = graph.pe(c.to_pe).map(|p| p.name.clone()).unwrap_or_default();
+            return Err(CoreError::UnsupportedWorkflow {
+                mapping,
+                reason: format!(
+                    "one-to-all into stateless PE '{name}' cannot be routed dynamically; \
+                     mark the PE stateful to pin its instances"
+                ),
+            });
+        }
+    }
+    let has_stateless = graph.pe_ids().any(|id| !graph.is_effectively_stateful(id));
+    let needed = slots.len() + usize::from(has_stateless);
+    if workers < needed {
+        return Err(CoreError::UnsupportedWorkflow {
+            mapping,
+            reason: format!(
+                "{} stateful instances plus {} stateless pool require ≥ {needed} workers, got {workers}",
+                slots.len(),
+                usize::from(has_stateless)
+            ),
+        });
+    }
+    let stateless_workers = workers - slots.len();
+    Ok((slots, stateless_workers))
+}
+
+/// Runs a (possibly stateful) workflow under the hybrid strategy.
+pub fn run_hybrid(
+    exe: &Executable,
+    opts: &ExecutionOptions,
+    factory: &dyn QueueFactory,
+    mapping_name: &'static str,
+) -> Result<RunReport, CoreError> {
+    run_hybrid_with_state(exe, opts, factory, mapping_name, None)
+}
+
+/// [`run_hybrid`] with state externalization: stateful instances restore
+/// their snapshot from `state` before processing and save a fresh snapshot
+/// at flush time (see [`crate::state`]).
+pub fn run_hybrid_with_state(
+    exe: &Executable,
+    opts: &ExecutionOptions,
+    factory: &dyn QueueFactory,
+    mapping_name: &'static str,
+    state: Option<Arc<dyn StateStore>>,
+) -> Result<RunReport, CoreError> {
+    if opts.workers == 0 {
+        return Err(CoreError::InvalidOptions("workers must be ≥ 1".into()));
+    }
+    let started = Instant::now();
+    let graph = exe.graph();
+    let (slots, stateless_workers) = plan_stateful(graph, opts.workers, mapping_name)?;
+
+    let global = factory.make("global", stateless_workers.max(1))?;
+    let mut private = HashMap::new();
+    let mut stateful_instances: HashMap<PeId, usize> = HashMap::new();
+    for slot in &slots {
+        let name = format!("private:{}:{}", slot.pe.0, slot.instance);
+        private.insert(*slot, factory.make(&name, 1)?);
+        *stateful_instances.entry(slot.pe).or_insert(0) += 1;
+    }
+
+    let engine = Arc::new(HybridEngine {
+        exe: exe.clone(),
+        global,
+        private,
+        stateful_instances,
+        outstanding: AtomicUsize::new(0),
+        flushes_pending: AtomicUsize::new(0),
+        shutdown: AtomicBool::new(false),
+        tasks_executed: AtomicU64::new(0),
+        dropped_emissions: AtomicU64::new(0),
+        failed_tasks: AtomicU64::new(0),
+        pe_counts: PeTaskCounts::new(),
+        ledger: ActiveTimeLedger::new(opts.workers),
+        stateless_workers,
+        state,
+    });
+
+    // Seed kickoffs: stateless sources to the global queue; stateful sources
+    // (unusual) to each pinned instance.
+    for source in graph.sources() {
+        if let Some(&n) = engine.stateful_instances.get(&source) {
+            for i in 0..n {
+                engine.outstanding.fetch_add(1, Ordering::SeqCst);
+                engine.private[&StatefulSlot { pe: source, instance: i }].push(
+                    QueueItem::Task(Task::pinned(source, i, crate::task::KICKOFF_PORT, crate::value::Value::Null)),
+                )?;
+            }
+        } else {
+            engine.outstanding.fetch_add(1, Ordering::SeqCst);
+            engine.global.push(QueueItem::Task(Task::kickoff(source)))?;
+        }
+    }
+
+    // Spawn workers: slots first (workers 0..S), then the stateless pool.
+    let mut handles = Vec::with_capacity(opts.workers);
+    for (w, slot) in slots.iter().copied().enumerate() {
+        let engine = engine.clone();
+        let opts = opts.clone();
+        handles.push(std::thread::spawn(move || stateful_worker(w, slot, &engine, &opts)));
+    }
+    for w in slots.len()..opts.workers {
+        let engine = engine.clone();
+        let opts = opts.clone();
+        handles.push(std::thread::spawn(move || stateless_worker(w, &engine, &opts)));
+    }
+
+    // Coordinator: wait for quiescence, flush stateful PEs in topo order,
+    // then broadcast pills.
+    let settle = Duration::from_millis(1);
+    let wait_quiescent = |engine: &HybridEngine| {
+        while engine.outstanding.load(Ordering::SeqCst) != 0
+            || engine.flushes_pending.load(Ordering::SeqCst) != 0
+        {
+            std::thread::sleep(settle);
+        }
+    };
+    wait_quiescent(&engine);
+    for pe in graph.topological_order()? {
+        let Some(&n) = engine.stateful_instances.get(&pe) else { continue };
+        engine.flushes_pending.fetch_add(n, Ordering::SeqCst);
+        for i in 0..n {
+            engine.private[&StatefulSlot { pe, instance: i }].push(QueueItem::Flush)?;
+        }
+        wait_quiescent(&engine);
+    }
+    engine.shutdown.store(true, Ordering::SeqCst);
+    for _ in 0..stateless_workers {
+        engine.global.push(QueueItem::Pill)?;
+    }
+    for slot in &slots {
+        engine.private[slot].push(QueueItem::Pill)?;
+    }
+
+    let mut worker_error = None;
+    for (w, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => worker_error = Some(e),
+            Err(_) => worker_error = Some(CoreError::WorkerPanic { worker: w }),
+        }
+    }
+    if let Some(e) = worker_error {
+        return Err(e);
+    }
+
+    Ok(RunReport {
+        mapping: mapping_name.to_string(),
+        runtime: started.elapsed(),
+        process_time: engine.ledger.total(),
+        workers: opts.workers,
+        tasks_executed: engine.tasks_executed.load(Ordering::Relaxed),
+        scaling_trace: vec![],
+        dropped_emissions: engine.dropped_emissions.load(Ordering::Relaxed),
+        failed_tasks: engine.failed_tasks.load(Ordering::Relaxed),
+        per_pe_tasks: engine.pe_counts.snapshot(),
+        task_latency: crate::metrics::LatencySummary::default(),
+    })
+}
+
+/// Dedicated worker for one stateful instance: pops its private queue only.
+fn stateful_worker(
+    worker: usize,
+    slot: StatefulSlot,
+    engine: &HybridEngine,
+    opts: &ExecutionOptions,
+) -> Result<(), CoreError> {
+    let active_since = Instant::now();
+    let graph = engine.exe.graph();
+    let mut pe = engine.exe.instantiate(slot.pe)?;
+    let mut router = Router::new();
+    let queue = engine.private[&slot].clone();
+    let n_instances = engine.stateful_instances[&slot.pe];
+    let pe_name = graph.pe(slot.pe).map(|s| s.name.clone()).unwrap_or_default();
+
+    // Warm start: restore externalized state before the first input.
+    if let Some(store) = &engine.state {
+        if let Some(saved) = store.load(&slot_name(&pe_name, slot.instance))? {
+            pe.restore(saved);
+        }
+    }
+
+    loop {
+        match queue.pop(0, opts.termination.poll_timeout)? {
+            Some(QueueItem::Pill) => break,
+            Some(QueueItem::Flush) => {
+                // Externalize the final state before on_done may drain it.
+                if let Some(store) = &engine.state {
+                    if let Some(snapshot) = pe.snapshot() {
+                        store.save(&slot_name(&pe_name, slot.instance), &snapshot)?;
+                    }
+                }
+                let mut buf = EmitBuffer::new(slot.instance, n_instances);
+                pe.on_done(&mut buf);
+                engine.route_emissions(graph, slot.pe, &mut buf, &mut router)?;
+                engine.flushes_pending.fetch_sub(1, Ordering::SeqCst);
+            }
+            Some(QueueItem::Task(task)) => {
+                let mut buf = EmitBuffer::new(slot.instance, n_instances);
+                if crate::pe::process_guarded(&mut pe, &task.port, task.value, &mut buf) {
+                    engine.tasks_executed.fetch_add(1, Ordering::Relaxed);
+                    engine.pe_counts.add(&pe_name, 1);
+                } else {
+                    engine.failed_tasks.fetch_add(1, Ordering::Relaxed);
+                }
+                engine.route_emissions(graph, slot.pe, &mut buf, &mut router)?;
+                // Saturating decrement: an at-least-once queue may re-deliver a
+                // task, and a second decrement must not wrap the counter.
+                let _ = engine.outstanding.fetch_update(
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                    |n| n.checked_sub(1),
+                );
+            }
+            None => {
+                if engine.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+    engine.ledger.record(worker, active_since.elapsed());
+    Ok(())
+}
+
+/// Stateless pool worker: identical to the plain dynamic loop, but routes
+/// through the hybrid router so outputs can land in private queues.
+fn stateless_worker(
+    worker: usize,
+    engine: &HybridEngine,
+    opts: &ExecutionOptions,
+) -> Result<(), CoreError> {
+    let active_since = Instant::now();
+    let graph = engine.exe.graph();
+    let mut pes: HashMap<PeId, Box<dyn crate::pe::ProcessingElement>> = HashMap::new();
+    let mut router = Router::new();
+    let queue = engine.global.clone();
+    let consumer = worker.saturating_sub(engine.private.len());
+
+    loop {
+        match queue.pop(consumer, opts.termination.poll_timeout)? {
+            Some(QueueItem::Pill) => break,
+            Some(QueueItem::Flush) => { /* not expected on the global queue */ }
+            Some(QueueItem::Task(task)) => {
+                let pe = match pes.entry(task.pe) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(engine.exe.instantiate(task.pe)?)
+                    }
+                };
+                let mut buf = EmitBuffer::new(worker, engine.stateless_workers);
+                if crate::pe::process_guarded(pe, &task.port, task.value, &mut buf) {
+                    engine.tasks_executed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(spec) = graph.pe(task.pe) {
+                        engine.pe_counts.add(&spec.name, 1);
+                    }
+                } else {
+                    engine.failed_tasks.fetch_add(1, Ordering::Relaxed);
+                }
+                engine.route_emissions(graph, task.pe, &mut buf, &mut router)?;
+                // Saturating decrement: an at-least-once queue may re-deliver a
+                // task, and a second decrement must not wrap the counter.
+                let _ = engine.outstanding.fetch_update(
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                    |n| n.checked_sub(1),
+                );
+            }
+            None => {
+                if engine.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+    engine.ledger.record(worker, active_since.elapsed());
+    Ok(())
+}
+
+/// In-process hybrid mapping (ablation baseline: same strategy as
+/// `hybrid_redis` but over channels).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HybridMulti;
+
+impl crate::mapping::Mapping for HybridMulti {
+    fn name(&self) -> &'static str {
+        "hybrid_multi"
+    }
+
+    fn execute(
+        &self,
+        exe: &Executable,
+        opts: &ExecutionOptions,
+    ) -> Result<RunReport, CoreError> {
+        run_hybrid(exe, opts, &ChannelQueueFactory, self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Mapping;
+    use crate::pe::{Collector, Context, FnSource, ProcessingElement};
+    use parking_lot::Mutex;
+    use crate::value::Value;
+    use d4py_graph::{Grouping, PeSpec};
+
+    /// word-count-like stateful workflow: source → (group-by key) counter →
+    /// (global) top-1 reducer → collector via on_done chains.
+    fn stateful_exe() -> (Executable, std::sync::Arc<parking_lot::Mutex<Vec<Value>>>) {
+        struct KeyCounter {
+            counts: HashMap<String, i64>,
+        }
+        impl ProcessingElement for KeyCounter {
+            fn process(&mut self, _p: &str, v: Value, _ctx: &mut dyn Context) {
+                let k = v.get("state").unwrap().as_str().unwrap().to_string();
+                *self.counts.entry(k).or_insert(0) += 1;
+            }
+            fn on_done(&mut self, ctx: &mut dyn Context) {
+                for (k, n) in &self.counts {
+                    ctx.emit(
+                        "out",
+                        Value::map([
+                            ("state", Value::Str(k.clone())),
+                            ("count", Value::Int(*n)),
+                        ]),
+                    );
+                }
+            }
+        }
+        struct TopOne {
+            best: Option<(String, i64)>,
+        }
+        impl ProcessingElement for TopOne {
+            fn process(&mut self, _p: &str, v: Value, _ctx: &mut dyn Context) {
+                let k = v.get("state").unwrap().as_str().unwrap().to_string();
+                let n = v.get("count").unwrap().as_int().unwrap();
+                if self.best.as_ref().map(|(_, b)| n > *b).unwrap_or(true) {
+                    self.best = Some((k, n));
+                }
+            }
+            fn on_done(&mut self, ctx: &mut dyn Context) {
+                if let Some((k, n)) = self.best.take() {
+                    ctx.emit(
+                        "out",
+                        Value::map([("state", Value::Str(k)), ("count", Value::Int(n))]),
+                    );
+                }
+            }
+        }
+
+        let mut g = d4py_graph::WorkflowGraph::new("stateful");
+        let src = g.add_pe(PeSpec::source("src", "out"));
+        let cnt = g.add_pe(
+            PeSpec::transform("count", "in", "out").stateful().with_instances(3),
+        );
+        let top = g.add_pe(PeSpec::transform("top", "in", "out").stateful());
+        let sink = g.add_pe(PeSpec::sink("sink", "in").stateful());
+        g.connect(src, "out", cnt, "in", Grouping::group_by("state")).unwrap();
+        g.connect(cnt, "out", top, "in", Grouping::Global).unwrap();
+        g.connect(top, "out", sink, "in", Grouping::Global).unwrap();
+        let (_, handle) = Collector::new();
+        let h = handle.clone();
+        let mut exe = Executable::new(g).unwrap();
+        exe.register(src, || {
+            Box::new(FnSource(|ctx: &mut dyn Context| {
+                // TX ×6, CA ×3, NY ×1
+                for s in ["TX", "CA", "TX", "NY", "TX", "CA", "TX", "TX", "CA", "TX"] {
+                    ctx.emit("out", Value::map([("state", s)]));
+                }
+            }))
+        });
+        exe.register(cnt, || Box::new(KeyCounter { counts: HashMap::new() }));
+        exe.register(top, || Box::new(TopOne { best: None }));
+        exe.register(sink, move || Box::new(Collector::into_handle(h.clone())));
+        (exe.seal().unwrap(), handle)
+    }
+
+    #[test]
+    fn stateful_aggregation_is_exact() {
+        let (exe, results) = stateful_exe();
+        // 3 counter instances + 1 top + 1 sink + ≥1 stateless worker = 6.
+        let report = HybridMulti.execute(&exe, &ExecutionOptions::new(8)).unwrap();
+        let got = results.lock();
+        assert_eq!(got.len(), 1, "exactly one winner: {got:?}");
+        assert_eq!(got[0].get("state").unwrap().as_str(), Some("TX"));
+        assert_eq!(got[0].get("count").unwrap().as_int(), Some(6));
+        assert_eq!(report.dropped_emissions, 0);
+    }
+
+    #[test]
+    fn too_few_workers_rejected() {
+        let (exe, _) = stateful_exe();
+        // Needs 5 stateful slots + 1 stateless = 6.
+        let err = HybridMulti.execute(&exe, &ExecutionOptions::new(5)).unwrap_err();
+        assert!(matches!(err, CoreError::UnsupportedWorkflow { .. }));
+    }
+
+    #[test]
+    fn minimum_worker_count_works() {
+        let (exe, results) = stateful_exe();
+        HybridMulti.execute(&exe, &ExecutionOptions::new(6)).unwrap();
+        assert_eq!(results.lock().len(), 1);
+    }
+
+    #[test]
+    fn stateless_only_workflow_runs_like_dynamic() {
+        let mut g = d4py_graph::WorkflowGraph::new("t");
+        let a = g.add_pe(PeSpec::source("a", "out"));
+        let b = g.add_pe(PeSpec::sink("b", "in"));
+        g.connect(a, "out", b, "in", Grouping::Shuffle).unwrap();
+        let (_, handle) = Collector::new();
+        let h = handle.clone();
+        let mut exe = Executable::new(g).unwrap();
+        exe.register(a, || {
+            Box::new(FnSource(|ctx: &mut dyn Context| {
+                for i in 0..25 {
+                    ctx.emit("out", Value::Int(i));
+                }
+            }))
+        });
+        exe.register(b, move || Box::new(Collector::into_handle(h.clone())));
+        let exe = exe.seal().unwrap();
+        HybridMulti.execute(&exe, &ExecutionOptions::new(4)).unwrap();
+        assert_eq!(handle.lock().len(), 25);
+    }
+
+    #[test]
+    fn group_by_isolation_across_instances() {
+        // Each instance's counts must be disjoint: verified implicitly by
+        // the exact total in stateful_aggregation_is_exact; here we check
+        // per-instance counters never see a key twice across instances.
+        struct KeySpy {
+            seen: std::sync::Arc<Mutex<Vec<(usize, String)>>>,
+        }
+        impl ProcessingElement for KeySpy {
+            fn process(&mut self, _p: &str, v: Value, ctx: &mut dyn Context) {
+                let k = v.get("state").unwrap().as_str().unwrap().to_string();
+                self.seen.lock().push((ctx.instance(), k));
+            }
+        }
+        let mut g = d4py_graph::WorkflowGraph::new("t");
+        let a = g.add_pe(PeSpec::source("a", "out"));
+        let b = g.add_pe(PeSpec::sink("b", "in").stateful().with_instances(4));
+        g.connect(a, "out", b, "in", Grouping::group_by("state")).unwrap();
+        let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let s2 = seen.clone();
+        let mut exe = Executable::new(g).unwrap();
+        exe.register(a, || {
+            Box::new(FnSource(|ctx: &mut dyn Context| {
+                for round in 0..3 {
+                    for s in ["TX", "CA", "NY", "WA", "OH", "FL"] {
+                        let _ = round;
+                        ctx.emit("out", Value::map([("state", s)]));
+                    }
+                }
+            }))
+        });
+        exe.register(b, move || Box::new(KeySpy { seen: s2.clone() }));
+        let exe = exe.seal().unwrap();
+        HybridMulti.execute(&exe, &ExecutionOptions::new(6)).unwrap();
+        let seen = seen.lock();
+        assert_eq!(seen.len(), 18);
+        let mut key_to_instance: HashMap<&String, usize> = HashMap::new();
+        for (inst, key) in seen.iter() {
+            if let Some(prev) = key_to_instance.insert(key, *inst) {
+                assert_eq!(prev, *inst, "key {key} visited two instances");
+            }
+        }
+    }
+}

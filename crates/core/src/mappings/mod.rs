@@ -1,0 +1,14 @@
+//! Enactment engines: simple, static multi, dynamic, auto-scaling, hybrid.
+
+pub mod dyn_auto_multi;
+pub mod dyn_multi;
+pub mod dynamic;
+pub mod hybrid;
+pub mod multi;
+pub mod simple;
+
+pub use dyn_auto_multi::DynAutoMulti;
+pub use dyn_multi::DynMulti;
+pub use hybrid::{ChannelQueueFactory, HybridMulti, QueueFactory};
+pub use multi::Multi;
+pub use simple::Simple;

@@ -1,0 +1,116 @@
+//! Execution options shared by every mapping.
+
+use crate::platform::{CoreLimiter, Platform};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The retry + poison-pill termination protocol for dynamic mappings
+/// (§3.2.3 of the paper).
+///
+/// A worker that finds the queue empty waits `poll_timeout` and retries up
+/// to `max_retries` times before deciding the workflow is finished; it then
+/// broadcasts poison pills so the other workers stop quickly instead of each
+/// independently exhausting their own retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TerminationConfig {
+    /// How long one empty-queue poll blocks before returning.
+    pub poll_timeout: Duration,
+    /// Empty polls tolerated before a worker initiates termination.
+    pub max_retries: u32,
+    /// When true (default), a worker only *begins* counting retries once the
+    /// engine's outstanding-task counter reads zero, making termination
+    /// sound rather than heuristic. Disabling reproduces the paper's
+    /// original purely queue-emptiness-based check (which it notes "is not
+    /// foolproof and could lead to unexpected exits in some extreme cases").
+    pub strict: bool,
+}
+
+impl Default for TerminationConfig {
+    fn default() -> Self {
+        Self { poll_timeout: Duration::from_millis(10), max_retries: 5, strict: true }
+    }
+}
+
+/// Options controlling one workflow execution.
+#[derive(Clone)]
+pub struct ExecutionOptions {
+    /// Worker-pool size — the paper's "number of processes".
+    pub workers: usize,
+    /// Simulated-core limiter (see [`crate::platform`]). Defaults to
+    /// unlimited, i.e. no platform simulation.
+    pub limiter: Arc<CoreLimiter>,
+    /// Termination protocol parameters for dynamic mappings.
+    pub termination: TerminationConfig,
+}
+
+impl ExecutionOptions {
+    /// Options for `workers` workers with no platform cap.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers,
+            limiter: CoreLimiter::unlimited(),
+            termination: TerminationConfig::default(),
+        }
+    }
+
+    /// Applies a platform profile (builder style).
+    pub fn on_platform(mut self, platform: Platform) -> Self {
+        self.limiter = platform.limiter();
+        self
+    }
+
+    /// Overrides the termination protocol (builder style).
+    pub fn with_termination(mut self, t: TerminationConfig) -> Self {
+        self.termination = t;
+        self
+    }
+
+    /// Shares an existing limiter (so several runs compete for the same
+    /// simulated cores).
+    pub fn with_limiter(mut self, limiter: Arc<CoreLimiter>) -> Self {
+        self.limiter = limiter;
+        self
+    }
+}
+
+impl std::fmt::Debug for ExecutionOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutionOptions")
+            .field("workers", &self.workers)
+            .field("cores", &self.limiter.cores())
+            .field("termination", &self.termination)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let opts = ExecutionOptions::new(8);
+        assert_eq!(opts.workers, 8);
+        assert!(opts.limiter.is_unlimited());
+        assert!(opts.termination.strict);
+        assert_eq!(opts.termination.max_retries, 5);
+    }
+
+    #[test]
+    fn platform_builder_sets_cores() {
+        let opts = ExecutionOptions::new(16).on_platform(Platform::CLOUD);
+        assert_eq!(opts.limiter.cores(), 8);
+    }
+
+    #[test]
+    fn termination_builder() {
+        let t = TerminationConfig {
+            poll_timeout: Duration::from_millis(50),
+            max_retries: 2,
+            strict: false,
+        };
+        let opts = ExecutionOptions::new(4).with_termination(t);
+        assert_eq!(opts.termination.poll_timeout, Duration::from_millis(50));
+        assert!(!opts.termination.strict);
+    }
+}

@@ -1,0 +1,196 @@
+//! The global task queue abstraction behind dynamic scheduling.
+//!
+//! Dynamic mappings differ only in where the "Global Queue" of Figure 2
+//! lives: an in-process channel (`dyn_multi`) or a Redis stream
+//! (`dyn_redis`). [`TaskQueue`] abstracts over both so the dynamic engine
+//! ([`crate::mappings::dynamic`]) is written once. The trait exposes the two
+//! monitoring signals the auto-scaling strategies need: queue depth
+//! (multiprocessing strategy) and per-consumer idle times (Redis
+//! consumer-group strategy).
+
+use crate::error::CoreError;
+use crate::task::QueueItem;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// A shared multi-producer multi-consumer task queue.
+pub trait TaskQueue: Send + Sync {
+    /// Enqueues an item.
+    fn push(&self, item: QueueItem) -> Result<(), CoreError>;
+
+    /// Dequeues an item on behalf of `consumer`, blocking up to `timeout`.
+    /// `Ok(None)` means the queue stayed empty for the whole timeout.
+    fn pop(&self, consumer: usize, timeout: Duration) -> Result<Option<QueueItem>, CoreError>;
+
+    /// Current number of queued items (the multiprocessing monitoring
+    /// metric).
+    fn depth(&self) -> usize;
+
+    /// Per-consumer idle time — elapsed since each consumer's last
+    /// successful pop (the Redis consumer-group monitoring metric). `None`
+    /// if the backend does not track consumers.
+    fn idle_times(&self) -> Option<Vec<Duration>> {
+        None
+    }
+}
+
+/// In-process [`TaskQueue`] over a crossbeam channel, with an atomic depth
+/// counter and per-consumer idle tracking.
+///
+/// This is the `dyn_multi` global queue: the direct translation of the
+/// Python `multiprocessing.Queue` the paper's dynamic scheduling uses.
+pub struct ChannelQueue {
+    tx: Sender<QueueItem>,
+    rx: Receiver<QueueItem>,
+    depth: AtomicUsize,
+    last_pop: Mutex<Vec<Instant>>,
+}
+
+impl ChannelQueue {
+    /// Creates a queue serving `consumers` workers.
+    pub fn new(consumers: usize) -> Self {
+        let (tx, rx) = unbounded();
+        let now = Instant::now();
+        Self {
+            tx,
+            rx,
+            depth: AtomicUsize::new(0),
+            last_pop: Mutex::new(vec![now; consumers]),
+        }
+    }
+}
+
+impl TaskQueue for ChannelQueue {
+    fn push(&self, item: QueueItem) -> Result<(), CoreError> {
+        // Increment before the send so a consumer can never observe an item
+        // without the depth reflecting it.
+        self.depth.fetch_add(1, Ordering::SeqCst);
+        self.tx
+            .send(item)
+            .map_err(|_| CoreError::Queue("channel closed".into()))
+    }
+
+    fn pop(&self, consumer: usize, timeout: Duration) -> Result<Option<QueueItem>, CoreError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(item) => {
+                self.depth.fetch_sub(1, Ordering::SeqCst);
+                if let Some(slot) = self.last_pop.lock().get_mut(consumer) {
+                    *slot = Instant::now();
+                }
+                Ok(Some(item))
+            }
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(CoreError::Queue("channel disconnected".into()))
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+
+    fn idle_times(&self) -> Option<Vec<Duration>> {
+        Some(self.last_pop.lock().iter().map(|t| t.elapsed()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+    use crate::value::Value;
+    use d4py_graph::PeId;
+    use std::sync::Arc;
+
+    fn task(i: i64) -> QueueItem {
+        QueueItem::Task(Task::new(PeId(0), "in", Value::Int(i)))
+    }
+
+    #[test]
+    fn fifo_within_single_consumer() {
+        let q = ChannelQueue::new(1);
+        q.push(task(1)).unwrap();
+        q.push(task(2)).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(0, Duration::from_millis(10)).unwrap(), Some(task(1)));
+        assert_eq!(q.pop(0, Duration::from_millis(10)).unwrap(), Some(task(2)));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn pop_times_out_on_empty() {
+        let q = ChannelQueue::new(1);
+        let start = Instant::now();
+        assert_eq!(q.pop(0, Duration::from_millis(20)).unwrap(), None);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn depth_tracks_pushes_and_pops() {
+        let q = ChannelQueue::new(1);
+        for i in 0..5 {
+            q.push(task(i)).unwrap();
+        }
+        assert_eq!(q.depth(), 5);
+        q.pop(0, Duration::from_millis(10)).unwrap();
+        assert_eq!(q.depth(), 4);
+    }
+
+    #[test]
+    fn idle_times_reset_on_pop() {
+        let q = ChannelQueue::new(2);
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(task(1)).unwrap();
+        q.pop(0, Duration::from_millis(10)).unwrap();
+        let idles = q.idle_times().unwrap();
+        assert!(idles[0] < Duration::from_millis(15), "consumer 0 just popped");
+        assert!(idles[1] >= Duration::from_millis(20), "consumer 1 never popped");
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers() {
+        let q = Arc::new(ChannelQueue::new(4));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        q.push(task(p * 100 + i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumed = Arc::new(AtomicUsize::new(0));
+        let consumers: Vec<_> = (0..4)
+            .map(|c| {
+                let q = q.clone();
+                let n = consumed.clone();
+                std::thread::spawn(move || {
+                    while n.load(Ordering::SeqCst) < 400 {
+                        if q.pop(c, Duration::from_millis(5)).unwrap().is_some() {
+                            n.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        for h in consumers {
+            h.join().unwrap();
+        }
+        assert_eq!(consumed.load(Ordering::SeqCst), 400);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn pills_flow_through() {
+        let q = ChannelQueue::new(1);
+        q.push(QueueItem::Pill).unwrap();
+        assert_eq!(q.pop(0, Duration::from_millis(10)).unwrap(), Some(QueueItem::Pill));
+    }
+}

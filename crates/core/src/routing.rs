@@ -1,0 +1,162 @@
+//! Grouping-aware routing of emitted items to PE instances.
+//!
+//! When a producer emits on an output port, every connection from that port
+//! must deliver the item to one (or all) instances of the consumer PE. The
+//! [`Router`] implements dispel4py's grouping semantics:
+//!
+//! * `Shuffle` — round-robin over instances (per-router counter per
+//!   connection, so a single producer balances evenly);
+//! * `GroupBy(fields)` — stable hash of the extracted key, modulo instances;
+//! * `Global` — always instance 0;
+//! * `OneToAll` — every instance.
+
+use crate::value::Value;
+use d4py_graph::{ConnectionId, Grouping};
+use std::collections::HashMap;
+
+/// The delivery target(s) for one item on one connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// Deliver to a single instance.
+    One(usize),
+    /// Broadcast to all instances.
+    All,
+}
+
+/// Stateful router: owns the round-robin counters for shuffle connections.
+///
+/// Each producer-side entity (a worker or a static instance) owns its own
+/// `Router`; counters are per connection.
+#[derive(Debug, Default)]
+pub struct Router {
+    rr: HashMap<ConnectionId, usize>,
+}
+
+impl Router {
+    /// Creates a router with fresh round-robin state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Picks the target instance(s) for `value` on connection `conn` with
+    /// `grouping`, among `instances` consumer instances.
+    ///
+    /// `instances` must be ≥ 1.
+    pub fn route(
+        &mut self,
+        conn: ConnectionId,
+        grouping: &Grouping,
+        value: &Value,
+        instances: usize,
+    ) -> Route {
+        debug_assert!(instances >= 1, "consumer must have at least one instance");
+        match grouping {
+            Grouping::Shuffle => {
+                let counter = self.rr.entry(conn).or_insert(0);
+                let target = *counter % instances;
+                *counter = counter.wrapping_add(1);
+                Route::One(target)
+            }
+            Grouping::GroupBy(fields) => {
+                let key = value.group_key(fields);
+                Route::One((key.routing_hash() % instances as u64) as usize)
+            }
+            Grouping::Global => Route::One(0),
+            Grouping::OneToAll => Route::All,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C0: ConnectionId = ConnectionId(0);
+    const C1: ConnectionId = ConnectionId(1);
+
+    #[test]
+    fn shuffle_round_robins_per_connection() {
+        let mut r = Router::new();
+        let targets: Vec<Route> = (0..6)
+            .map(|_| r.route(C0, &Grouping::Shuffle, &Value::Null, 3))
+            .collect();
+        assert_eq!(
+            targets,
+            vec![
+                Route::One(0),
+                Route::One(1),
+                Route::One(2),
+                Route::One(0),
+                Route::One(1),
+                Route::One(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn shuffle_counters_are_independent_per_connection() {
+        let mut r = Router::new();
+        assert_eq!(r.route(C0, &Grouping::Shuffle, &Value::Null, 2), Route::One(0));
+        assert_eq!(r.route(C1, &Grouping::Shuffle, &Value::Null, 2), Route::One(0));
+        assert_eq!(r.route(C0, &Grouping::Shuffle, &Value::Null, 2), Route::One(1));
+    }
+
+    #[test]
+    fn group_by_is_sticky() {
+        let mut r = Router::new();
+        let g = Grouping::group_by("state");
+        let tx = Value::map([("state", "TX")]);
+        let first = r.route(C0, &g, &tx, 4);
+        for _ in 0..10 {
+            assert_eq!(r.route(C0, &g, &tx, 4), first);
+        }
+    }
+
+    #[test]
+    fn group_by_distributes_across_instances() {
+        let mut r = Router::new();
+        let g = Grouping::group_by("state");
+        let states = ["TX", "CA", "NY", "WA", "OH", "FL", "MA", "IL", "GA", "PA"];
+        let mut seen = std::collections::HashSet::new();
+        for s in states {
+            if let Route::One(i) = r.route(C0, &g, &Value::map([("state", s)]), 4) {
+                seen.insert(i);
+            }
+        }
+        assert!(seen.len() >= 2, "10 distinct keys should hit ≥2 of 4 instances");
+    }
+
+    #[test]
+    fn group_by_ignores_other_fields() {
+        let mut r = Router::new();
+        let g = Grouping::group_by("state");
+        let a = Value::map([("state", Value::Str("TX".into())), ("score", Value::Int(1))]);
+        let b = Value::map([("state", Value::Str("TX".into())), ("score", Value::Int(99))]);
+        assert_eq!(r.route(C0, &g, &a, 4), r.route(C0, &g, &b, 4));
+    }
+
+    #[test]
+    fn global_always_routes_to_zero() {
+        let mut r = Router::new();
+        for i in 0..5 {
+            assert_eq!(
+                r.route(C0, &Grouping::Global, &Value::Int(i), 7),
+                Route::One(0)
+            );
+        }
+    }
+
+    #[test]
+    fn one_to_all_broadcasts() {
+        let mut r = Router::new();
+        assert_eq!(r.route(C0, &Grouping::OneToAll, &Value::Null, 3), Route::All);
+    }
+
+    #[test]
+    fn single_instance_always_zero() {
+        let mut r = Router::new();
+        for g in [Grouping::Shuffle, Grouping::group_by("k"), Grouping::Global] {
+            assert_eq!(r.route(C0, &g, &Value::map([("k", 9i64)]), 1), Route::One(0));
+        }
+    }
+}

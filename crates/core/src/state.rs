@@ -1,0 +1,92 @@
+//! State externalization for stateful PE instances.
+//!
+//! The hybrid mapping pins stateful instances to dedicated workers so their
+//! state never moves. A [`StateStore`] adds two capabilities on top:
+//!
+//! * **inspection** — each stateful instance's final state snapshot is saved
+//!   at flush time, so operators can examine aggregates after a run;
+//! * **warm start** — a subsequent run restores those snapshots before
+//!   processing, so a workflow continues aggregating *across sessions*
+//!   (incremental processing, the streaming-checkpoint theme of the
+//!   paper's §2.4.2 related work, without requiring ordered delivery).
+//!
+//! Slots are keyed `"<pe-name>#<instance>"`. The in-memory store lives
+//! here; a Redis-backed store ships in the `d4py-redis` crate.
+
+use crate::error::CoreError;
+use crate::value::Value;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A key-value store for stateful instance snapshots.
+pub trait StateStore: Send + Sync {
+    /// Persists the snapshot for `slot`.
+    fn save(&self, slot: &str, state: &Value) -> Result<(), CoreError>;
+    /// Loads the snapshot for `slot`, if present.
+    fn load(&self, slot: &str) -> Result<Option<Value>, CoreError>;
+    /// All stored slots, sorted (inspection).
+    fn slots(&self) -> Result<Vec<String>, CoreError>;
+}
+
+/// The canonical slot name for a stateful instance.
+pub fn slot_name(pe_name: &str, instance: usize) -> String {
+    format!("{pe_name}#{instance}")
+}
+
+/// In-memory [`StateStore`] (tests, single-session warm starts).
+#[derive(Debug, Default)]
+pub struct MemoryStateStore {
+    map: Mutex<HashMap<String, Value>>,
+}
+
+impl MemoryStateStore {
+    /// Creates an empty store.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+}
+
+impl StateStore for MemoryStateStore {
+    fn save(&self, slot: &str, state: &Value) -> Result<(), CoreError> {
+        self.map.lock().insert(slot.to_string(), state.clone());
+        Ok(())
+    }
+
+    fn load(&self, slot: &str) -> Result<Option<Value>, CoreError> {
+        Ok(self.map.lock().get(slot).cloned())
+    }
+
+    fn slots(&self) -> Result<Vec<String>, CoreError> {
+        let mut keys: Vec<String> = self.map.lock().keys().cloned().collect();
+        keys.sort();
+        Ok(keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_load_roundtrip() {
+        let store = MemoryStateStore::new();
+        let state = Value::map([("count", Value::Int(7))]);
+        store.save("happyState#2", &state).unwrap();
+        assert_eq!(store.load("happyState#2").unwrap(), Some(state));
+        assert_eq!(store.load("missing#0").unwrap(), None);
+    }
+
+    #[test]
+    fn slots_sorted() {
+        let store = MemoryStateStore::new();
+        store.save("b#0", &Value::Null).unwrap();
+        store.save("a#1", &Value::Null).unwrap();
+        assert_eq!(store.slots().unwrap(), vec!["a#1".to_string(), "b#0".to_string()]);
+    }
+
+    #[test]
+    fn slot_name_format() {
+        assert_eq!(slot_name("happyState", 3), "happyState#3");
+    }
+}

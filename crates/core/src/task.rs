@@ -1,0 +1,86 @@
+//! Tasks: the unit of work exchanged through dynamic-scheduling queues.
+//!
+//! Under dynamic scheduling, a worker pops a [`Task`] — "run PE `pe`, feeding
+//! `value` into input port `port`" — from a shared queue, executes it against
+//! its private copy of the workflow, and pushes any produced tasks back
+//! (Figure 2 of the paper). The [`QueueItem::Pill`] variant carries the
+//! poison-pill termination broadcast (§3.2.3).
+
+use crate::value::Value;
+use d4py_graph::PeId;
+
+/// The synthetic input port used to kick off source PEs.
+///
+/// A source PE has no real input ports; the engine seeds the queue with one
+/// task per source on this port with a `Null` payload, and the source emits
+/// its whole stream in response.
+pub const KICKOFF_PORT: &str = "__kickoff__";
+
+/// A schedulable unit of work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// The PE to execute.
+    pub pe: PeId,
+    /// Input port the payload is delivered on.
+    pub port: String,
+    /// The data item.
+    pub value: Value,
+    /// Pinned instance for stateful delivery (hybrid mapping); `None` lets
+    /// any worker take the task.
+    pub instance: Option<usize>,
+}
+
+impl Task {
+    /// A task deliverable to any instance of `pe`.
+    pub fn new(pe: PeId, port: impl Into<String>, value: Value) -> Self {
+        Self { pe, port: port.into(), value, instance: None }
+    }
+
+    /// A task pinned to a specific instance of `pe`.
+    pub fn pinned(pe: PeId, instance: usize, port: impl Into<String>, value: Value) -> Self {
+        Self { pe, port: port.into(), value, instance: Some(instance) }
+    }
+
+    /// The kick-off task for a source PE.
+    pub fn kickoff(pe: PeId) -> Self {
+        Self::new(pe, KICKOFF_PORT, Value::Null)
+    }
+
+    /// True if this is a source kick-off task.
+    pub fn is_kickoff(&self) -> bool {
+        self.port == KICKOFF_PORT
+    }
+}
+
+/// An entry in a dynamic-scheduling queue: real work or a control message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueItem {
+    /// A unit of work.
+    Task(Task),
+    /// Termination broadcast: the receiving worker should shut down.
+    Pill,
+    /// Hybrid-mapping control: the receiving stateful instance has seen its
+    /// entire input and should run `on_done`, routing any flush emissions.
+    Flush,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kickoff_task_shape() {
+        let t = Task::kickoff(PeId(3));
+        assert!(t.is_kickoff());
+        assert_eq!(t.pe, PeId(3));
+        assert_eq!(t.value, Value::Null);
+        assert_eq!(t.instance, None);
+    }
+
+    #[test]
+    fn pinned_task_carries_instance() {
+        let t = Task::pinned(PeId(1), 2, "in", Value::Int(5));
+        assert_eq!(t.instance, Some(2));
+        assert!(!t.is_kickoff());
+    }
+}

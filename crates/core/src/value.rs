@@ -1,0 +1,371 @@
+//! The data model streamed between PEs.
+//!
+//! dispel4py streams arbitrary Python objects; our equivalent is [`Value`], a
+//! self-describing dynamic value that supports everything the use-case
+//! workflows need (records with named fields, arrays of samples, scalars)
+//! plus a stable routing hash for group-by delivery and a compact binary
+//! encoding (see [`crate::codec`]) for the Redis transport.
+
+use std::collections::BTreeMap;
+
+/// A dynamic data item flowing through a workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence of a value (also the source kick-off payload).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// Ordered list of values.
+    List(Vec<Value>),
+    /// String-keyed map with deterministic iteration order.
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds a map value from (key, value) pairs.
+    pub fn map<K: Into<String>, V: Into<Value>>(pairs: impl IntoIterator<Item = (K, V)>) -> Self {
+        Value::Map(pairs.into_iter().map(|(k, v)| (k.into(), v.into())).collect())
+    }
+
+    /// Builds a list value.
+    pub fn list<V: Into<Value>>(items: impl IntoIterator<Item = V>) -> Self {
+        Value::List(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Field lookup for map values; `None` otherwise.
+    pub fn get(&self, field: &str) -> Option<&Value> {
+        match self {
+            Value::Map(m) => m.get(field),
+            _ => None,
+        }
+    }
+
+    /// Index lookup for list values; `None` otherwise.
+    pub fn at(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::List(l) => l.get(index),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, coercing integers.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a list slice, if it is a list.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The value as a map, if it is one.
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// A stable 64-bit hash used for group-by routing.
+    ///
+    /// FNV-1a over a canonical byte rendering. Stability matters: the same
+    /// value must route to the same instance on every worker, every run, and
+    /// on both sides of the Redis transport — so we do not rely on
+    /// `std::hash` (whose `Hasher` choice is unspecified across builds).
+    pub fn routing_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        self.hash_into(&mut h);
+        h.finish()
+    }
+
+    fn hash_into(&self, h: &mut Fnv1a) {
+        match self {
+            Value::Null => h.write(&[0x00]),
+            Value::Bool(b) => h.write(&[0x01, *b as u8]),
+            Value::Int(i) => {
+                h.write(&[0x02]);
+                h.write(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                h.write(&[0x03]);
+                // Canonicalise: -0.0 == 0.0 must hash identically because
+                // they compare equal and must route identically.
+                let bits = if *f == 0.0 { 0u64 } else { f.to_bits() };
+                h.write(&bits.to_le_bytes());
+            }
+            Value::Str(s) => {
+                h.write(&[0x04]);
+                h.write(&(s.len() as u64).to_le_bytes());
+                h.write(s.as_bytes());
+            }
+            Value::Bytes(b) => {
+                h.write(&[0x05]);
+                h.write(&(b.len() as u64).to_le_bytes());
+                h.write(b);
+            }
+            Value::List(items) => {
+                h.write(&[0x06]);
+                h.write(&(items.len() as u64).to_le_bytes());
+                for item in items {
+                    item.hash_into(h);
+                }
+            }
+            Value::Map(m) => {
+                h.write(&[0x07]);
+                h.write(&(m.len() as u64).to_le_bytes());
+                for (k, v) in m {
+                    h.write(&(k.len() as u64).to_le_bytes());
+                    h.write(k.as_bytes());
+                    v.hash_into(h);
+                }
+            }
+        }
+    }
+
+    /// Extracts the routing key for a group-by over `fields`: the tuple of
+    /// field values (missing fields contribute `Null`).
+    pub fn group_key(&self, fields: &[String]) -> Value {
+        Value::List(
+            fields
+                .iter()
+                .map(|f| self.get(f).cloned().unwrap_or(Value::Null))
+                .collect(),
+        )
+    }
+}
+
+/// FNV-1a, 64-bit.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::Bytes(b)
+    }
+}
+impl<V: Into<Value>> From<Vec<V>> for Value {
+    fn from(items: Vec<V>) -> Self {
+        Value::List(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_builder_and_get() {
+        let v = Value::map([("state", Value::Str("CA".into())), ("score", Value::Int(3))]);
+        assert_eq!(v.get("state").and_then(Value::as_str), Some("CA"));
+        assert_eq!(v.get("score").and_then(Value::as_int), Some(3));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn list_builder_and_at() {
+        let v = Value::list([1i64, 2, 3]);
+        assert_eq!(v.at(1).and_then(Value::as_int), Some(2));
+        assert_eq!(v.at(9), None);
+    }
+
+    #[test]
+    fn as_float_coerces_int() {
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Str("x".into()).as_float(), None);
+    }
+
+    #[test]
+    fn routing_hash_is_deterministic_and_discriminating() {
+        let a = Value::Str("Texas".into());
+        let b = Value::Str("Texas".into());
+        let c = Value::Str("Ohio".into());
+        assert_eq!(a.routing_hash(), b.routing_hash());
+        assert_ne!(a.routing_hash(), c.routing_hash());
+    }
+
+    #[test]
+    fn routing_hash_distinguishes_types() {
+        // "1" vs 1 vs 1.0 vs true must not collide via sloppy rendering.
+        let hashes = [
+            Value::Str("1".into()).routing_hash(),
+            Value::Int(1).routing_hash(),
+            Value::Bool(true).routing_hash(),
+        ];
+        assert_ne!(hashes[0], hashes[1]);
+        assert_ne!(hashes[1], hashes[2]);
+    }
+
+    #[test]
+    fn routing_hash_negative_zero_equals_zero() {
+        assert_eq!(Value::Float(0.0).routing_hash(), Value::Float(-0.0).routing_hash());
+    }
+
+    #[test]
+    fn routing_hash_nested_structures() {
+        let a = Value::list([Value::map([("k", 1i64)]), Value::Null]);
+        let b = Value::list([Value::map([("k", 1i64)]), Value::Null]);
+        let c = Value::list([Value::map([("k", 2i64)]), Value::Null]);
+        assert_eq!(a.routing_hash(), b.routing_hash());
+        assert_ne!(a.routing_hash(), c.routing_hash());
+    }
+
+    #[test]
+    fn group_key_extracts_fields_in_order() {
+        let v = Value::map([("state", Value::Str("CA".into())), ("city", Value::Str("LA".into()))]);
+        let key = v.group_key(&["state".to_string()]);
+        assert_eq!(key, Value::List(vec![Value::Str("CA".into())]));
+        let key2 = v.group_key(&["city".to_string(), "state".to_string()]);
+        assert_eq!(
+            key2,
+            Value::List(vec![Value::Str("LA".into()), Value::Str("CA".into())])
+        );
+    }
+
+    #[test]
+    fn group_key_missing_field_is_null() {
+        let v = Value::map([("a", 1i64)]);
+        assert_eq!(v.group_key(&["b".to_string()]), Value::List(vec![Value::Null]));
+    }
+
+    #[test]
+    fn display_renders_nested() {
+        let v = Value::map([("xs", Value::list([1i64, 2]))]);
+        assert_eq!(v.to_string(), "{xs: [1, 2]}");
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(7i32), Value::Int(7));
+        assert_eq!(Value::from(7usize), Value::Int(7));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(Value::from(vec![1i64, 2]), Value::list([1i64, 2]));
+    }
+}

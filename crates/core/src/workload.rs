@@ -1,0 +1,219 @@
+//! Workload modelling: service times, the beta(2,5) delay distribution, and
+//! deterministic pseudo-compute.
+//!
+//! The paper's "heavy" workload variants add per-item delays sampled from a
+//! beta(2, 5) distribution scaled to 0–1 s (§4.1). `rand` ships no beta
+//! distribution, so [`BetaSampler`] implements Jöhnk's algorithm from
+//! scratch. [`WorkUnit`] describes one PE work item as a mix of
+//! compute-bound time (occupies a simulated core, see
+//! [`crate::platform::CoreLimiter`]) and latency-bound time (blocks without
+//! occupying a core — network downloads, disk waits).
+
+use crate::platform::CoreLimiter;
+use rand::Rng;
+use std::time::Duration;
+
+/// Samples from a Beta(alpha, beta) distribution via Jöhnk's algorithm.
+///
+/// Jöhnk (1964): draw U, V uniform; accept when
+/// `U^(1/alpha) + V^(1/beta) <= 1`, and return
+/// `x = U^(1/alpha) / (U^(1/alpha) + V^(1/beta))`. Efficient for the small
+/// shape parameters used here (alpha=2, beta=5 accepts ≈ 1 in 3.3 tries).
+#[derive(Debug, Clone, Copy)]
+pub struct BetaSampler {
+    inv_alpha: f64,
+    inv_beta: f64,
+}
+
+impl BetaSampler {
+    /// Creates a sampler for Beta(alpha, beta). Panics if either shape is
+    /// not strictly positive.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && beta > 0.0, "beta shapes must be positive");
+        Self { inv_alpha: 1.0 / alpha, inv_beta: 1.0 / beta }
+    }
+
+    /// The paper's Beta(2, 5) delay distribution (mean 2/7 ≈ 0.286).
+    pub fn paper() -> Self {
+        Self::new(2.0, 5.0)
+    }
+
+    /// Draws one sample in [0, 1].
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u: f64 = rng.gen::<f64>();
+            let v: f64 = rng.gen::<f64>();
+            let x = u.powf(self.inv_alpha);
+            let y = v.powf(self.inv_beta);
+            if x + y <= 1.0 {
+                if x + y == 0.0 {
+                    continue;
+                }
+                return x / (x + y);
+            }
+        }
+    }
+
+    /// Draws a delay in `[0, max]`.
+    pub fn sample_duration<R: Rng + ?Sized>(&self, rng: &mut R, max: Duration) -> Duration {
+        max.mul_f64(self.sample(rng))
+    }
+}
+
+/// One PE work item: how long it computes and how long it waits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkUnit {
+    /// Core-occupying service time (CPU-bound portion).
+    pub compute: Duration,
+    /// Core-free waiting time (network / disk latency portion).
+    pub latency: Duration,
+}
+
+impl WorkUnit {
+    /// Pure compute work.
+    pub fn compute(d: Duration) -> Self {
+        Self { compute: d, latency: Duration::ZERO }
+    }
+
+    /// Pure latency work.
+    pub fn latency(d: Duration) -> Self {
+        Self { compute: Duration::ZERO, latency: d }
+    }
+
+    /// Mixed work.
+    pub fn mixed(compute: Duration, latency: Duration) -> Self {
+        Self { compute, latency }
+    }
+
+    /// No work at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Performs the work: latency first (no core), then compute under a
+    /// core permit.
+    pub fn perform(&self, limiter: &CoreLimiter) {
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        if !self.compute.is_zero() {
+            limiter.compute(self.compute);
+        }
+    }
+
+    /// Total service time, ignoring core contention.
+    pub fn total(&self) -> Duration {
+        self.compute + self.latency
+    }
+
+    /// Scales both components by `factor` (the experiment harness uses this
+    /// to shrink the paper's 0–1 s delays into bench-friendly ranges while
+    /// preserving every ratio).
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self { compute: self.compute.mul_f64(factor), latency: self.latency.mul_f64(factor) }
+    }
+}
+
+/// Deterministic CPU burn used where *real* computation is wanted instead
+/// of a timed wait (ablation benches). Returns a checksum so the work
+/// cannot be optimised away.
+pub fn busywork(iterations: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0..iterations {
+        h ^= i;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h = h.rotate_left(17);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn beta_samples_stay_in_unit_interval() {
+        let sampler = BetaSampler::paper();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = sampler.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&x), "sample {x} out of range");
+        }
+    }
+
+    #[test]
+    fn beta_2_5_mean_matches_theory() {
+        // E[Beta(2,5)] = 2/(2+5) = 0.2857…
+        let sampler = BetaSampler::paper();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| sampler.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0 / 7.0).abs() < 0.01, "mean {mean} too far from 2/7");
+    }
+
+    #[test]
+    fn beta_2_5_skews_low() {
+        // Beta(2,5) has most mass below 0.5.
+        let sampler = BetaSampler::paper();
+        let mut rng = StdRng::seed_from_u64(1);
+        let below = (0..10_000).filter(|_| sampler.sample(&mut rng) < 0.5).count();
+        assert!(below > 8_000, "only {below} of 10000 below 0.5");
+    }
+
+    #[test]
+    fn beta_is_deterministic_under_seed() {
+        let sampler = BetaSampler::paper();
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..10).map(|_| sampler.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..10).map(|_| sampler.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn beta_rejects_zero_shape() {
+        BetaSampler::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn sample_duration_respects_max() {
+        let sampler = BetaSampler::paper();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let d = sampler.sample_duration(&mut rng, Duration::from_millis(100));
+            assert!(d <= Duration::from_millis(100));
+        }
+    }
+
+    #[test]
+    fn work_unit_total_and_scale() {
+        let w = WorkUnit::mixed(Duration::from_millis(10), Duration::from_millis(30));
+        assert_eq!(w.total(), Duration::from_millis(40));
+        let s = w.scaled(0.5);
+        assert_eq!(s.compute, Duration::from_millis(5));
+        assert_eq!(s.latency, Duration::from_millis(15));
+    }
+
+    #[test]
+    fn work_unit_perform_takes_at_least_service_time() {
+        let limiter = CoreLimiter::unlimited();
+        let w = WorkUnit::mixed(Duration::from_millis(5), Duration::from_millis(5));
+        let start = std::time::Instant::now();
+        w.perform(&limiter);
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn busywork_is_deterministic_and_input_sensitive() {
+        assert_eq!(busywork(1000), busywork(1000));
+        assert_ne!(busywork(1000), busywork(1001));
+        assert_ne!(busywork(0), busywork(1));
+    }
+}

@@ -1,0 +1,128 @@
+//! Fluent builders for common workflow shapes.
+//!
+//! Composing a linear pipeline through the raw
+//! [`WorkflowGraph`](crate::WorkflowGraph) API means repeating
+//! `connect(prev, "output", next, "input", …)` per stage. [`PipelineBuilder`]
+//! removes the ceremony for the dominant case — a source, a chain of
+//! transforms, a sink — while still allowing per-edge groupings.
+
+use crate::graph::WorkflowGraph;
+use crate::grouping::Grouping;
+use crate::node::{PeId, PeSpec};
+use crate::validate::GraphError;
+
+/// Builder for linear pipelines (source → transforms… → sink).
+pub struct PipelineBuilder {
+    graph: WorkflowGraph,
+    tail: Option<(PeId, String)>,
+    pending_error: Option<GraphError>,
+}
+
+impl PipelineBuilder {
+    /// Starts a pipeline with a source PE emitting on `output`.
+    pub fn source(
+        workflow_name: impl Into<String>,
+        pe_name: impl Into<String>,
+        output: impl Into<String>,
+    ) -> Self {
+        let mut graph = WorkflowGraph::new(workflow_name);
+        let output = output.into();
+        let id = graph.add_pe(PeSpec::source(pe_name, output.clone()));
+        Self { graph, tail: Some((id, output)), pending_error: None }
+    }
+
+    /// Appends a transform (input `"input"`, output `"output"`) connected by
+    /// a shuffle grouping.
+    pub fn then(self, pe_name: impl Into<String>) -> Self {
+        self.then_grouped(pe_name, Grouping::Shuffle)
+    }
+
+    /// Appends a transform connected with an explicit grouping.
+    pub fn then_grouped(mut self, pe_name: impl Into<String>, grouping: Grouping) -> Self {
+        if self.pending_error.is_some() {
+            return self;
+        }
+        let mut spec = PeSpec::transform(pe_name, "input", "output");
+        if grouping.requires_affinity() {
+            spec = spec.stateful();
+        }
+        let id = self.graph.add_pe(spec);
+        let (prev, prev_port) = self.tail.take().expect("pipeline has a tail");
+        if let Err(e) = self.graph.connect(prev, prev_port, id, "input", grouping) {
+            self.pending_error = Some(e);
+        }
+        self.tail = Some((id, "output".to_string()));
+        self
+    }
+
+    /// Terminates with a sink and returns the finished, validated graph.
+    pub fn sink(self, pe_name: impl Into<String>) -> Result<WorkflowGraph, GraphError> {
+        self.sink_grouped(pe_name, Grouping::Shuffle)
+    }
+
+    /// Terminates with a sink connected by an explicit grouping.
+    pub fn sink_grouped(
+        mut self,
+        pe_name: impl Into<String>,
+        grouping: Grouping,
+    ) -> Result<WorkflowGraph, GraphError> {
+        if let Some(e) = self.pending_error {
+            return Err(e);
+        }
+        let mut spec = PeSpec::sink(pe_name, "input");
+        if grouping.requires_affinity() {
+            spec = spec.stateful();
+        }
+        let id = self.graph.add_pe(spec);
+        let (prev, prev_port) = self.tail.take().expect("pipeline has a tail");
+        self.graph.connect(prev, prev_port, id, "input", grouping)?;
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_validated_pipeline() {
+        let g = PipelineBuilder::source("wf", "read", "output")
+            .then("clean")
+            .then("score")
+            .sink("write")
+            .unwrap();
+        assert_eq!(g.pe_count(), 4);
+        assert_eq!(g.connections().len(), 3);
+        assert_eq!(g.sources(), vec![PeId(0)]);
+        assert_eq!(g.sinks(), vec![PeId(3)]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn grouped_stages_become_stateful() {
+        let g = PipelineBuilder::source("wf", "read", "output")
+            .then_grouped("aggregate", Grouping::group_by("key"))
+            .sink_grouped("reduce", Grouping::Global)
+            .unwrap();
+        assert!(g.is_effectively_stateful(PeId(1)));
+        assert!(g.is_effectively_stateful(PeId(2)));
+        assert!(!g.is_effectively_stateful(PeId(0)));
+    }
+
+    #[test]
+    fn port_names_are_the_defaults() {
+        let g = PipelineBuilder::source("wf", "a", "out").sink("b").unwrap();
+        let c = &g.connections()[0];
+        assert_eq!(c.from_port, "out");
+        assert_eq!(c.to_port, "input");
+    }
+
+    #[test]
+    fn duplicate_names_surface_at_sink() {
+        let result = PipelineBuilder::source("wf", "x", "output")
+            .then("x")
+            .sink("y");
+        assert!(matches!(result, Err(GraphError::DuplicateName(_))));
+    }
+}

@@ -1,0 +1,90 @@
+//! Graphviz DOT export for abstract workflows.
+//!
+//! Useful for documenting workflows (the paper's Figures 5–7 are exactly
+//! these renderings). Stateful PEs render as double octagons; grouping
+//! annotations label the edges.
+
+use crate::graph::WorkflowGraph;
+use crate::grouping::Grouping;
+use std::fmt::Write as _;
+
+fn grouping_label(g: &Grouping) -> String {
+    match g {
+        Grouping::Shuffle => String::new(),
+        Grouping::GroupBy(fields) => format!("group-by {}", fields.join(",")),
+        Grouping::Global => "global".to_string(),
+        Grouping::OneToAll => "one-to-all".to_string(),
+    }
+}
+
+impl WorkflowGraph {
+    /// Renders the workflow as a Graphviz DOT digraph.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        let _ = writeln!(out, "  rankdir=LR;");
+        for (id, pe) in self.pes() {
+            let shape = if self.is_effectively_stateful(id) {
+                "doubleoctagon"
+            } else {
+                "box"
+            };
+            let extra = match pe.instances {
+                Some(n) => format!("\\n×{n}"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}{}\", shape={}];",
+                id.0, pe.name, extra, shape
+            );
+        }
+        for c in self.connections() {
+            let label = grouping_label(&c.grouping);
+            if label.is_empty() {
+                let _ = writeln!(out, "  n{} -> n{};", c.from_pe.0, c.to_pe.0);
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [label=\"{}\"];",
+                    c.from_pe.0, c.to_pe.0, label
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::PeSpec;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut g = WorkflowGraph::new("wf");
+        let a = g.add_pe(PeSpec::source("reader", "out"));
+        let b = g.add_pe(PeSpec::sink("writer", "in").stateful().with_instances(4));
+        g.connect(a, "out", b, "in", Grouping::group_by("state")).unwrap();
+        let dot = g.to_dot();
+        assert!(dot.contains("digraph \"wf\""));
+        assert!(dot.contains("reader"));
+        assert!(dot.contains("writer"));
+        assert!(dot.contains("doubleoctagon"), "stateful PE should stand out");
+        assert!(dot.contains("group-by state"));
+        assert!(dot.contains("×4"));
+        assert!(dot.contains("n0 -> n1"));
+    }
+
+    #[test]
+    fn shuffle_edges_are_unlabelled() {
+        let mut g = WorkflowGraph::new("wf");
+        let a = g.add_pe(PeSpec::source("a", "out"));
+        let b = g.add_pe(PeSpec::sink("b", "in"));
+        g.connect(a, "out", b, "in", Grouping::Shuffle).unwrap();
+        let dot = g.to_dot();
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(!dot.contains("label=\"\""));
+    }
+}

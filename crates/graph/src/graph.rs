@@ -1,0 +1,316 @@
+//! The abstract workflow graph.
+//!
+//! [`WorkflowGraph`] is a DAG whose nodes are [`PeSpec`]s and whose edges are
+//! [`Connection`]s (output port → input port, annotated with a
+//! [`Grouping`]). It is the artifact the user composes; mappings consume it
+//! (usually via a [`PartitionPlan`](crate::partition::PartitionPlan)) to
+//! build a concrete, executable workflow.
+
+use crate::grouping::Grouping;
+use crate::node::{PeId, PeSpec};
+use crate::port::PortDirection;
+use crate::validate::GraphError;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a connection within a workflow graph (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConnectionId(pub usize);
+
+/// A directed edge from one PE's output port to another PE's input port.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Connection {
+    /// Producing PE.
+    pub from_pe: PeId,
+    /// Name of the producing PE's output port.
+    pub from_port: String,
+    /// Consuming PE.
+    pub to_pe: PeId,
+    /// Name of the consuming PE's input port.
+    pub to_port: String,
+    /// Routing policy across the consuming PE's instances.
+    pub grouping: Grouping,
+}
+
+/// An abstract dispel4py workflow: a DAG of PE specifications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowGraph {
+    name: String,
+    nodes: Vec<PeSpec>,
+    connections: Vec<Connection>,
+}
+
+impl WorkflowGraph {
+    /// Creates an empty workflow with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), nodes: Vec::new(), connections: Vec::new() }
+    }
+
+    /// The workflow's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a PE and returns its id. Names need not be unique at insertion
+    /// time; [`validate`](crate::validate) rejects duplicates.
+    pub fn add_pe(&mut self, spec: PeSpec) -> PeId {
+        let id = PeId(self.nodes.len());
+        self.nodes.push(spec);
+        id
+    }
+
+    /// Connects `from_pe.from_port` to `to_pe.to_port` with the given
+    /// grouping. Fails fast if either endpoint doesn't exist.
+    pub fn connect(
+        &mut self,
+        from_pe: PeId,
+        from_port: impl Into<String>,
+        to_pe: PeId,
+        to_port: impl Into<String>,
+        grouping: Grouping,
+    ) -> Result<ConnectionId, GraphError> {
+        let from_port = from_port.into();
+        let to_port = to_port.into();
+        let from = self
+            .pe(from_pe)
+            .ok_or(GraphError::UnknownPe(from_pe))?;
+        if from.port(&from_port, PortDirection::Output).is_none() {
+            return Err(GraphError::UnknownPort {
+                pe: from.name.clone(),
+                port: from_port,
+                direction: PortDirection::Output,
+            });
+        }
+        let to = self.pe(to_pe).ok_or(GraphError::UnknownPe(to_pe))?;
+        if to.port(&to_port, PortDirection::Input).is_none() {
+            return Err(GraphError::UnknownPort {
+                pe: to.name.clone(),
+                port: to_port,
+                direction: PortDirection::Input,
+            });
+        }
+        let id = ConnectionId(self.connections.len());
+        self.connections.push(Connection { from_pe, from_port, to_pe, to_port, grouping });
+        Ok(id)
+    }
+
+    /// The PE spec for an id, if it exists.
+    pub fn pe(&self, id: PeId) -> Option<&PeSpec> {
+        self.nodes.get(id.0)
+    }
+
+    /// Mutable access to a PE spec.
+    pub fn pe_mut(&mut self, id: PeId) -> Option<&mut PeSpec> {
+        self.nodes.get_mut(id.0)
+    }
+
+    /// Finds a PE id by name.
+    pub fn pe_by_name(&self, name: &str) -> Option<PeId> {
+        self.nodes.iter().position(|n| n.name == name).map(PeId)
+    }
+
+    /// Number of PEs.
+    pub fn pe_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All PE ids in insertion order.
+    pub fn pe_ids(&self) -> impl Iterator<Item = PeId> {
+        (0..self.nodes.len()).map(PeId)
+    }
+
+    /// All PE specs with their ids.
+    pub fn pes(&self) -> impl Iterator<Item = (PeId, &PeSpec)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (PeId(i), n))
+    }
+
+    /// All connections in insertion order.
+    pub fn connections(&self) -> &[Connection] {
+        &self.connections
+    }
+
+    /// Connections leaving `pe` (optionally restricted to one output port).
+    pub fn outgoing(&self, pe: PeId) -> impl Iterator<Item = (ConnectionId, &Connection)> {
+        self.connections
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| c.from_pe == pe)
+            .map(|(i, c)| (ConnectionId(i), c))
+    }
+
+    /// Connections leaving `pe` from the named output port.
+    pub fn outgoing_from_port<'a>(
+        &'a self,
+        pe: PeId,
+        port: &'a str,
+    ) -> impl Iterator<Item = (ConnectionId, &'a Connection)> + 'a {
+        self.outgoing(pe).filter(move |(_, c)| c.from_port == port)
+    }
+
+    /// Connections arriving at `pe`.
+    pub fn incoming(&self, pe: PeId) -> impl Iterator<Item = (ConnectionId, &Connection)> {
+        self.connections
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| c.to_pe == pe)
+            .map(|(i, c)| (ConnectionId(i), c))
+    }
+
+    /// PEs with no incoming connections (stream producers).
+    pub fn sources(&self) -> Vec<PeId> {
+        self.pe_ids().filter(|&id| self.incoming(id).next().is_none()).collect()
+    }
+
+    /// PEs with no outgoing connections (stream consumers).
+    pub fn sinks(&self) -> Vec<PeId> {
+        self.pe_ids().filter(|&id| self.outgoing(id).next().is_none()).collect()
+    }
+
+    /// Direct successors of a PE (deduplicated, insertion order).
+    pub fn successors(&self, pe: PeId) -> Vec<PeId> {
+        let mut out = Vec::new();
+        for (_, c) in self.outgoing(pe) {
+            if !out.contains(&c.to_pe) {
+                out.push(c.to_pe);
+            }
+        }
+        out
+    }
+
+    /// Direct predecessors of a PE (deduplicated, insertion order).
+    pub fn predecessors(&self, pe: PeId) -> Vec<PeId> {
+        let mut out = Vec::new();
+        for (_, c) in self.incoming(pe) {
+            if !out.contains(&c.from_pe) {
+                out.push(c.from_pe);
+            }
+        }
+        out
+    }
+
+    /// Returns true if any input connection of `pe` carries an
+    /// affinity-requiring grouping (group-by / global), or the PE itself is
+    /// declared stateful. Such PEs need dedicated workers under dynamic
+    /// scheduling (the hybrid mapping's core rule).
+    pub fn is_effectively_stateful(&self, pe: PeId) -> bool {
+        self.pe(pe).map(|s| s.stateful).unwrap_or(false)
+            || self.incoming(pe).any(|(_, c)| c.grouping.requires_affinity())
+    }
+
+    /// Ids of all effectively-stateful PEs.
+    pub fn stateful_pes(&self) -> Vec<PeId> {
+        self.pe_ids().filter(|&id| self.is_effectively_stateful(id)).collect()
+    }
+
+    /// Ids of all effectively-stateless PEs.
+    pub fn stateless_pes(&self) -> Vec<PeId> {
+        self.pe_ids().filter(|&id| !self.is_effectively_stateful(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::PeSpec;
+
+    fn linear3() -> (WorkflowGraph, PeId, PeId, PeId) {
+        let mut g = WorkflowGraph::new("t");
+        let a = g.add_pe(PeSpec::source("a", "out"));
+        let b = g.add_pe(PeSpec::transform("b", "in", "out"));
+        let c = g.add_pe(PeSpec::sink("c", "in"));
+        g.connect(a, "out", b, "in", Grouping::Shuffle).unwrap();
+        g.connect(b, "out", c, "in", Grouping::Shuffle).unwrap();
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn connect_rejects_unknown_output_port() {
+        let mut g = WorkflowGraph::new("t");
+        let a = g.add_pe(PeSpec::source("a", "out"));
+        let b = g.add_pe(PeSpec::sink("b", "in"));
+        let err = g.connect(a, "nope", b, "in", Grouping::Shuffle).unwrap_err();
+        assert!(matches!(err, GraphError::UnknownPort { .. }));
+    }
+
+    #[test]
+    fn connect_rejects_unknown_input_port() {
+        let mut g = WorkflowGraph::new("t");
+        let a = g.add_pe(PeSpec::source("a", "out"));
+        let b = g.add_pe(PeSpec::sink("b", "in"));
+        assert!(g.connect(a, "out", b, "nope", Grouping::Shuffle).is_err());
+    }
+
+    #[test]
+    fn connect_rejects_unknown_pe() {
+        let mut g = WorkflowGraph::new("t");
+        let a = g.add_pe(PeSpec::source("a", "out"));
+        let err = g.connect(a, "out", PeId(99), "in", Grouping::Shuffle).unwrap_err();
+        assert!(matches!(err, GraphError::UnknownPe(PeId(99))));
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let (g, a, _, c) = linear3();
+        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sinks(), vec![c]);
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let (g, a, b, c) = linear3();
+        assert_eq!(g.successors(a), vec![b]);
+        assert_eq!(g.predecessors(c), vec![b]);
+        assert_eq!(g.predecessors(a), vec![]);
+    }
+
+    #[test]
+    fn successors_deduplicated_on_parallel_edges() {
+        let mut g = WorkflowGraph::new("t");
+        let a = g
+            .add_pe(PeSpec::source("a", "x").with_port(crate::port::PortDecl::output("y")));
+        let b = g.add_pe(PeSpec::sink("b", "in"));
+        g.connect(a, "x", b, "in", Grouping::Shuffle).unwrap();
+        g.connect(a, "y", b, "in", Grouping::Shuffle).unwrap();
+        assert_eq!(g.successors(a), vec![b]);
+    }
+
+    #[test]
+    fn effectively_stateful_via_grouping() {
+        let mut g = WorkflowGraph::new("t");
+        let a = g.add_pe(PeSpec::source("a", "out"));
+        let b = g.add_pe(PeSpec::sink("b", "in"));
+        g.connect(a, "out", b, "in", Grouping::group_by("state")).unwrap();
+        assert!(!g.is_effectively_stateful(a));
+        assert!(g.is_effectively_stateful(b));
+        assert_eq!(g.stateful_pes(), vec![b]);
+        assert_eq!(g.stateless_pes(), vec![a]);
+    }
+
+    #[test]
+    fn effectively_stateful_via_flag() {
+        let mut g = WorkflowGraph::new("t");
+        let a = g.add_pe(PeSpec::source("a", "out").stateful());
+        assert!(g.is_effectively_stateful(a));
+    }
+
+    #[test]
+    fn pe_by_name_roundtrip() {
+        let (g, a, b, _) = linear3();
+        assert_eq!(g.pe_by_name("a"), Some(a));
+        assert_eq!(g.pe_by_name("b"), Some(b));
+        assert_eq!(g.pe_by_name("zzz"), None);
+    }
+
+    #[test]
+    fn outgoing_from_port_filters() {
+        let mut g = WorkflowGraph::new("t");
+        let a = g
+            .add_pe(PeSpec::source("a", "x").with_port(crate::port::PortDecl::output("y")));
+        let b = g.add_pe(PeSpec::sink("b", "in"));
+        let c = g.add_pe(PeSpec::sink("c", "in"));
+        g.connect(a, "x", b, "in", Grouping::Shuffle).unwrap();
+        g.connect(a, "y", c, "in", Grouping::Shuffle).unwrap();
+        let from_x: Vec<_> = g.outgoing_from_port(a, "x").collect();
+        assert_eq!(from_x.len(), 1);
+        assert_eq!(from_x[0].1.to_pe, b);
+    }
+}

@@ -1,0 +1,90 @@
+//! Groupings: how data items are routed between PE instances.
+//!
+//! A grouping is a property of a connection's *receiving* input port. When a
+//! PE has more than one instance, the grouping decides which instance each
+//! data item is delivered to. The variants mirror dispel4py's grouping
+//! vocabulary (§2.1 of the paper):
+//!
+//! * [`Grouping::Shuffle`] — load-balanced delivery; any instance may receive
+//!   any item. This is the default and the only grouping the plain dynamic
+//!   scheduling optimization supports.
+//! * [`Grouping::GroupBy`] — items whose key fields match are always routed
+//!   to the same instance (the "MapReduce-like" `group_by` in the paper; the
+//!   sentiment workflow groups `happy State` by the `state` field).
+//! * [`Grouping::Global`] — every item goes to a single instance (instance
+//!   0), used for the `top 3 happiest` reducer.
+//! * [`Grouping::OneToAll`] — every item is broadcast to *all* instances.
+//!
+//! `GroupBy` and `Global` introduce *state affinity*: the receiving PE must
+//! be treated as stateful by mappings that move tasks between workers.
+
+use serde::{Deserialize, Serialize};
+
+/// Routing policy for a connection into a multi-instance PE.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Grouping {
+    /// Load-balanced delivery to any instance (round-robin or queue-pull).
+    Shuffle,
+    /// Deterministic delivery keyed on the named fields of the data item.
+    GroupBy(Vec<String>),
+    /// All items delivered to instance 0.
+    Global,
+    /// Every item broadcast to all instances.
+    OneToAll,
+}
+
+impl Grouping {
+    /// Returns true if this grouping pins items to specific instances, which
+    /// means the receiving PE carries per-instance state that dynamic
+    /// scheduling must respect (routes through a private queue in the hybrid
+    /// mapping).
+    pub fn requires_affinity(&self) -> bool {
+        matches!(self, Grouping::GroupBy(_) | Grouping::Global)
+    }
+
+    /// Returns true if this grouping duplicates items across instances.
+    pub fn is_broadcast(&self) -> bool {
+        matches!(self, Grouping::OneToAll)
+    }
+
+    /// Convenience constructor for a single-field group-by.
+    pub fn group_by(field: impl Into<String>) -> Self {
+        Grouping::GroupBy(vec![field.into()])
+    }
+}
+
+impl Default for Grouping {
+    fn default() -> Self {
+        Grouping::Shuffle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_is_default_and_stateless() {
+        assert_eq!(Grouping::default(), Grouping::Shuffle);
+        assert!(!Grouping::Shuffle.requires_affinity());
+        assert!(!Grouping::Shuffle.is_broadcast());
+    }
+
+    #[test]
+    fn group_by_requires_affinity() {
+        let g = Grouping::group_by("state");
+        assert!(g.requires_affinity());
+        assert_eq!(g, Grouping::GroupBy(vec!["state".to_string()]));
+    }
+
+    #[test]
+    fn global_requires_affinity() {
+        assert!(Grouping::Global.requires_affinity());
+    }
+
+    #[test]
+    fn one_to_all_is_broadcast_but_not_affine() {
+        assert!(Grouping::OneToAll.is_broadcast());
+        assert!(!Grouping::OneToAll.requires_affinity());
+    }
+}

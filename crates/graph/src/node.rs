@@ -1,0 +1,180 @@
+//! PE node specifications.
+//!
+//! A [`PeSpec`] is the *declaration* of a processing element inside an
+//! abstract workflow: its name, ports, statefulness, and an optional
+//! requested instance count. The executable behaviour (the `process`
+//! function) lives in `d4py-core`'s `ProcessingElement` trait; the graph
+//! layer only needs the shape.
+
+use crate::port::{PortDecl, PortDirection};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a PE within a [`WorkflowGraph`](crate::WorkflowGraph).
+///
+/// Assigned densely in insertion order, so it doubles as an index into the
+/// graph's node list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PeId(pub usize);
+
+impl PeId {
+    /// Index form of the id.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+/// Coarse role of a PE, derived from its port shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeKind {
+    /// No input ports: generates the stream (a "producer" in dispel4py).
+    Source,
+    /// Both input and output ports.
+    Transform,
+    /// No output ports: terminates the stream.
+    Sink,
+    /// No ports at all (invalid in a validated graph).
+    Isolated,
+}
+
+/// Declaration of a processing element in an abstract workflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeSpec {
+    /// Human-readable unique name within the workflow.
+    pub name: String,
+    /// Declared ports (inputs and outputs).
+    pub ports: Vec<PortDecl>,
+    /// Whether the PE retains information between inputs (§2.1 "stateful").
+    /// Stateful PEs are pinned to dedicated workers by the hybrid mapping.
+    pub stateful: bool,
+    /// Requested number of parallel instances, if the user constrains it
+    /// (e.g. `happy State` uses 4 instances in the sentiment workflow).
+    /// `None` lets the partitioner decide.
+    pub instances: Option<usize>,
+}
+
+impl PeSpec {
+    /// Creates a spec with explicit ports.
+    pub fn new(name: impl Into<String>, ports: Vec<PortDecl>) -> Self {
+        Self { name: name.into(), ports, stateful: false, instances: None }
+    }
+
+    /// A source PE with a single output port.
+    pub fn source(name: impl Into<String>, output: impl Into<String>) -> Self {
+        Self::new(name, vec![PortDecl::output(output)])
+    }
+
+    /// A transform PE with one input and one output port.
+    pub fn transform(
+        name: impl Into<String>,
+        input: impl Into<String>,
+        output: impl Into<String>,
+    ) -> Self {
+        Self::new(name, vec![PortDecl::input(input), PortDecl::output(output)])
+    }
+
+    /// A sink PE with a single input port.
+    pub fn sink(name: impl Into<String>, input: impl Into<String>) -> Self {
+        Self::new(name, vec![PortDecl::input(input)])
+    }
+
+    /// Marks the PE stateful (builder style).
+    pub fn stateful(mut self) -> Self {
+        self.stateful = true;
+        self
+    }
+
+    /// Requests an explicit instance count (builder style).
+    pub fn with_instances(mut self, n: usize) -> Self {
+        self.instances = Some(n);
+        self
+    }
+
+    /// Adds a port (builder style).
+    pub fn with_port(mut self, port: PortDecl) -> Self {
+        self.ports.push(port);
+        self
+    }
+
+    /// Input ports of the PE, in declaration order.
+    pub fn inputs(&self) -> impl Iterator<Item = &PortDecl> {
+        self.ports.iter().filter(|p| p.is_input())
+    }
+
+    /// Output ports of the PE, in declaration order.
+    pub fn outputs(&self) -> impl Iterator<Item = &PortDecl> {
+        self.ports.iter().filter(|p| p.is_output())
+    }
+
+    /// Looks up a port by name and direction.
+    pub fn port(&self, name: &str, direction: PortDirection) -> Option<&PortDecl> {
+        self.ports.iter().find(|p| p.direction == direction && p.name == name)
+    }
+
+    /// Coarse role derived from the port shape.
+    pub fn kind(&self) -> PeKind {
+        let has_in = self.inputs().next().is_some();
+        let has_out = self.outputs().next().is_some();
+        match (has_in, has_out) {
+            (false, true) => PeKind::Source,
+            (true, true) => PeKind::Transform,
+            (true, false) => PeKind::Sink,
+            (false, false) => PeKind::Isolated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_kind() {
+        assert_eq!(PeSpec::source("s", "out").kind(), PeKind::Source);
+    }
+
+    #[test]
+    fn transform_kind() {
+        assert_eq!(PeSpec::transform("t", "in", "out").kind(), PeKind::Transform);
+    }
+
+    #[test]
+    fn sink_kind() {
+        assert_eq!(PeSpec::sink("k", "in").kind(), PeKind::Sink);
+    }
+
+    #[test]
+    fn isolated_kind() {
+        assert_eq!(PeSpec::new("i", vec![]).kind(), PeKind::Isolated);
+    }
+
+    #[test]
+    fn builder_flags() {
+        let pe = PeSpec::transform("t", "in", "out").stateful().with_instances(4);
+        assert!(pe.stateful);
+        assert_eq!(pe.instances, Some(4));
+    }
+
+    #[test]
+    fn port_lookup_respects_direction() {
+        let pe = PeSpec::transform("t", "x", "x");
+        assert!(pe.port("x", PortDirection::Input).is_some());
+        assert!(pe.port("x", PortDirection::Output).is_some());
+        assert!(pe.port("y", PortDirection::Input).is_none());
+    }
+
+    #[test]
+    fn multi_port_pe() {
+        let pe = PeSpec::source("s", "a")
+            .with_port(PortDecl::output("b"))
+            .with_port(PortDecl::input("c"));
+        assert_eq!(pe.outputs().count(), 2);
+        assert_eq!(pe.inputs().count(), 1);
+        assert_eq!(pe.kind(), PeKind::Transform);
+    }
+}

@@ -1,0 +1,76 @@
+//! Port declarations for processing elements.
+//!
+//! Every PE declares a set of named input ports and output ports. A
+//! [`Connection`](crate::Connection) links one output port to one input port;
+//! a single output port may feed many input ports (fan-out) and a single
+//! input port may be fed by many output ports (fan-in).
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of a port relative to its owning PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortDirection {
+    /// Data flows into the PE through this port.
+    Input,
+    /// Data flows out of the PE through this port.
+    Output,
+}
+
+/// A named port on a processing element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PortDecl {
+    /// Port name, unique per direction within a PE.
+    pub name: String,
+    /// Whether this is an input or output port.
+    pub direction: PortDirection,
+}
+
+impl PortDecl {
+    /// Creates an input port declaration.
+    pub fn input(name: impl Into<String>) -> Self {
+        Self { name: name.into(), direction: PortDirection::Input }
+    }
+
+    /// Creates an output port declaration.
+    pub fn output(name: impl Into<String>) -> Self {
+        Self { name: name.into(), direction: PortDirection::Output }
+    }
+
+    /// Returns true if this is an input port.
+    pub fn is_input(&self) -> bool {
+        self.direction == PortDirection::Input
+    }
+
+    /// Returns true if this is an output port.
+    pub fn is_output(&self) -> bool {
+        self.direction == PortDirection::Output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_constructor_sets_direction() {
+        let p = PortDecl::input("in");
+        assert_eq!(p.name, "in");
+        assert!(p.is_input());
+        assert!(!p.is_output());
+    }
+
+    #[test]
+    fn output_constructor_sets_direction() {
+        let p = PortDecl::output("out");
+        assert_eq!(p.name, "out");
+        assert!(p.is_output());
+        assert!(!p.is_input());
+    }
+
+    #[test]
+    fn ports_with_same_name_different_direction_are_distinct() {
+        let a = PortDecl::input("x");
+        let b = PortDecl::output("x");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests over random workflow DAGs.
+
+use d4py_graph::{partition, Grouping, PeId, PeSpec, WorkflowGraph};
+use proptest::prelude::*;
+
+/// Builds a random layered DAG: `n` PEs where PE i may feed PE j only if
+/// i < j (guaranteeing acyclicity), every non-source has at least one
+/// input edge, and every edge carries a random grouping.
+fn arb_dag() -> impl Strategy<Value = WorkflowGraph> {
+    (2usize..12).prop_flat_map(|n| {
+        // For each PE j ≥ 1, pick a non-empty set of predecessors < j.
+        let preds = proptest::collection::vec(
+            proptest::collection::vec(any::<proptest::sample::Index>(), 1..3),
+            n - 1,
+        );
+        let groupings = proptest::collection::vec(0u8..4, (n - 1) * 3);
+        (Just(n), preds, groupings).prop_map(|(n, preds, groupings)| {
+            let mut g = WorkflowGraph::new("random");
+            let mut gi = 0usize;
+            let mut pick_grouping = |gs: &[u8]| {
+                let k = gs[gi % gs.len()];
+                gi += 1;
+                match k {
+                    0 => Grouping::Shuffle,
+                    1 => Grouping::group_by("k"),
+                    2 => Grouping::Global,
+                    _ => Grouping::OneToAll,
+                }
+            };
+            // Node 0 is always a pure source.
+            let first = g.add_pe(PeSpec::source("pe0", "out"));
+            let mut ids = vec![first];
+            for j in 1..n {
+                let spec = if j == n - 1 {
+                    PeSpec::sink(format!("pe{j}"), "in")
+                } else {
+                    PeSpec::transform(format!("pe{j}"), "in", "out")
+                };
+                let id = g.add_pe(spec);
+                ids.push(id);
+            }
+            for (j, pred_choices) in preds.iter().enumerate() {
+                let j = j + 1; // consumer index
+                let mut used = Vec::new();
+                for choice in pred_choices {
+                    // Predecessor with an output port: any transform/source.
+                    let candidates: Vec<usize> =
+                        (0..j).filter(|&i| i < n - 1).collect();
+                    if candidates.is_empty() {
+                        continue;
+                    }
+                    let i = candidates[choice.index(candidates.len())];
+                    if used.contains(&i) {
+                        continue;
+                    }
+                    used.push(i);
+                    let grouping = pick_grouping(&groupings);
+                    g.connect(ids[i], "out", ids[j], "in", grouping).unwrap();
+                }
+                if used.is_empty() {
+                    g.connect(ids[0], "out", ids[j], "in", Grouping::Shuffle).unwrap();
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn random_dags_validate(g in arb_dag()) {
+        prop_assert!(g.validate().is_ok(), "{:?}", g.validate());
+    }
+
+    #[test]
+    fn topological_order_respects_every_edge(g in arb_dag()) {
+        let order = g.topological_order().unwrap();
+        prop_assert_eq!(order.len(), g.pe_count());
+        let pos = |id: PeId| order.iter().position(|&x| x == id).unwrap();
+        for c in g.connections() {
+            prop_assert!(pos(c.from_pe) < pos(c.to_pe));
+        }
+    }
+
+    #[test]
+    fn layers_partition_the_graph(g in arb_dag()) {
+        let layers = g.layers().unwrap();
+        let mut all: Vec<PeId> = layers.iter().flatten().copied().collect();
+        all.sort();
+        let expected: Vec<PeId> = g.pe_ids().collect();
+        prop_assert_eq!(all, expected);
+        // Every PE sits strictly below all of its successors' layers.
+        for c in g.connections() {
+            let lf = layers.iter().position(|l| l.contains(&c.from_pe)).unwrap();
+            let lt = layers.iter().position(|l| l.contains(&c.to_pe)).unwrap();
+            prop_assert!(lf < lt);
+        }
+    }
+
+    #[test]
+    fn partition_covers_every_pe_at_minimum_processes(g in arb_dag()) {
+        let needed = partition::minimum_processes(&g);
+        let plan = partition::partition(&g, needed).unwrap();
+        for pe in g.pe_ids() {
+            prop_assert!(plan.instances_of(pe) >= 1);
+        }
+        prop_assert_eq!(plan.total_instances(), needed);
+        prop_assert_eq!(plan.idle_processes(), 0);
+    }
+
+    #[test]
+    fn partition_never_oversubscribes(g in arb_dag(), extra in 0usize..20) {
+        let workers = partition::minimum_processes(&g) + extra;
+        let plan = partition::partition(&g, workers).unwrap();
+        // No process hosts two instances.
+        let mut procs: Vec<usize> = plan
+            .instances()
+            .iter()
+            .map(|&i| plan.process_of(i).unwrap())
+            .collect();
+        let before = procs.len();
+        procs.sort_unstable();
+        procs.dedup();
+        prop_assert_eq!(before, procs.len());
+        prop_assert!(plan.processes_used() <= workers);
+    }
+
+    #[test]
+    fn staging_clusters_partition_the_pes(g in arb_dag()) {
+        let clustering = d4py_graph::optimize::staging(&g);
+        let mut all: Vec<PeId> = clustering.clusters.iter().flatten().copied().collect();
+        let before = all.len();
+        all.sort();
+        all.dedup();
+        prop_assert_eq!(before, all.len(), "a PE appeared in two clusters");
+        prop_assert_eq!(all.len(), g.pe_count());
+        // Affinity edges are never fused.
+        for c in g.connections() {
+            if c.grouping.requires_affinity() {
+                prop_assert!(!clustering.fused(c.from_pe, c.to_pe));
+            }
+        }
+    }
+
+    #[test]
+    fn dot_export_mentions_every_pe(g in arb_dag()) {
+        let dot = g.to_dot();
+        for (_, pe) in g.pes() {
+            prop_assert!(dot.contains(&pe.name));
+        }
+    }
+
+    #[test]
+    fn stateful_and_stateless_partition_cleanly(g in arb_dag()) {
+        let stateful = g.stateful_pes();
+        let stateless = g.stateless_pes();
+        prop_assert_eq!(stateful.len() + stateless.len(), g.pe_count());
+        for pe in stateful {
+            prop_assert!(g.is_effectively_stateful(pe));
+        }
+    }
+}

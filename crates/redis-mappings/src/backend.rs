@@ -1,0 +1,96 @@
+//! Where the Redis lives: TCP server or in-process engine.
+//!
+//! The paper deploys a real Redis server next to the workflow. We support
+//! that shape ([`RedisBackend::Tcp`], speaking RESP to a `redis-lite`
+//! server — or any real Redis) plus an in-process shortcut used by tests and
+//! the transport ablation bench.
+
+use d4py_core::error::CoreError;
+use redis_lite::client::{Client, Connection, InProcClient};
+use redis_lite::engine::Shared;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// A way to mint Redis connections.
+#[derive(Clone)]
+pub enum RedisBackend {
+    /// Connect over TCP (the paper's deployment shape).
+    Tcp(SocketAddr),
+    /// Dispatch directly into an in-process engine (no wire).
+    InProc(Arc<Shared>),
+}
+
+impl RedisBackend {
+    /// An in-process backend with a fresh keyspace.
+    pub fn in_proc() -> Self {
+        RedisBackend::InProc(Arc::new(Shared::new()))
+    }
+
+    /// Opens a new connection.
+    pub fn connect(&self) -> Result<Box<dyn Connection>, CoreError> {
+        match self {
+            RedisBackend::Tcp(addr) => Client::connect(*addr)
+                .map(|c| Box::new(c) as Box<dyn Connection>)
+                .map_err(|e| CoreError::Queue(format!("redis connect failed: {e}"))),
+            RedisBackend::InProc(shared) => {
+                Ok(Box::new(InProcClient::new(shared.clone())))
+            }
+        }
+    }
+
+    /// Short label for reports and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RedisBackend::Tcp(_) => "tcp",
+            RedisBackend::InProc(_) => "inproc",
+        }
+    }
+}
+
+impl std::fmt::Debug for RedisBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RedisBackend::Tcp(addr) => write!(f, "RedisBackend::Tcp({addr})"),
+            RedisBackend::InProc(_) => write!(f, "RedisBackend::InProc"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redis_lite::client::RedisOps;
+    use redis_lite::server::Server;
+
+    #[test]
+    fn inproc_backend_connects() {
+        let backend = RedisBackend::in_proc();
+        let mut conn = backend.connect().unwrap();
+        assert_eq!(conn.ping().unwrap(), "PONG");
+        assert_eq!(backend.label(), "inproc");
+    }
+
+    #[test]
+    fn tcp_backend_connects() {
+        let server = Server::start(0).unwrap();
+        let backend = RedisBackend::Tcp(server.addr());
+        let mut conn = backend.connect().unwrap();
+        assert_eq!(conn.ping().unwrap(), "PONG");
+        assert_eq!(backend.label(), "tcp");
+    }
+
+    #[test]
+    fn inproc_connections_share_keyspace() {
+        let backend = RedisBackend::in_proc();
+        let mut a = backend.connect().unwrap();
+        let mut b = backend.connect().unwrap();
+        a.set(b"k", b"v").unwrap();
+        assert_eq!(b.get(b"k").unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn tcp_connect_to_dead_server_errors() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        assert!(RedisBackend::Tcp(addr).connect().is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! # d4py-redis — the Redis-backed dispel4py mappings
+//!
+//! Implements the paper's two contributions that live on Redis:
+//!
+//! * [`DynRedis`] — dynamic scheduling whose global queue is a Redis stream
+//!   (§3.1.1), and its auto-scaling variant [`DynAutoRedis`] monitoring the
+//!   consumer group's mean idle time (§3.2.2);
+//! * [`HybridRedis`] — the stateful-capable hybrid mapping: stateful PE
+//!   instances pinned to dedicated workers with private streams (§3.1.2).
+//!
+//! All three run against [`redis_lite`] over real TCP (the paper's
+//! deployment shape) or in-process (tests, ablations) via [`RedisBackend`].
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod mappings;
+pub mod queue;
+pub mod state;
+
+pub use backend::RedisBackend;
+pub use mappings::{DynAutoRedis, DynRedis, HybridRedis};
+pub use queue::RedisQueue;
+pub use state::RedisStateStore;

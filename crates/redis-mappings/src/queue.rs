@@ -1,0 +1,382 @@
+//! [`RedisQueue`]: the dispel4py global queue backed by a Redis stream.
+//!
+//! The direct translation of §3.1.1: the multiprocessing queue of dynamic
+//! scheduling replaced by a Redis stream with one consumer group. Mapping of
+//! queue operations onto commands:
+//!
+//! * `push`  → `XADD key * task <codec bytes>`
+//! * `pop`   → `XREADGROUP GROUP g w<i> COUNT 1 BLOCK <ms> NOACK STREAMS key >`
+//!   followed by `XDEL` of the delivered id, so `XLEN` stays an accurate
+//!   live-depth metric and memory stays bounded
+//! * `depth` → `XLEN`
+//! * `idle_times` → `XINFO CONSUMERS` (the consumer-group idle metadata the
+//!   `dyn_auto_redis` strategy monitors)
+//!
+//! `NOACK` is used because workers are threads of one process: there is no
+//! crash-recovery consumer to hand pending entries to, so at-most-once
+//! delivery inside the process is the honest semantic (real dispel4py's
+//! Redis mapping makes the same choice for its task queue reads).
+
+use crate::backend::RedisBackend;
+use d4py_core::codec;
+use d4py_core::error::CoreError;
+use d4py_core::queue::TaskQueue;
+use d4py_core::task::QueueItem;
+use parking_lot::Mutex;
+use redis_lite::client::{ClientError, Connection, RedisOps};
+use std::time::{Duration, Instant};
+
+const GROUP: &[u8] = b"d4py";
+const FIELD: &[u8] = b"task";
+
+/// Extracts and decodes the task payload of one stream entry.
+fn decode_payload(pairs: Vec<(Vec<u8>, Vec<u8>)>) -> Result<QueueItem, CoreError> {
+    let payload = pairs
+        .into_iter()
+        .find(|(f, _)| f == FIELD)
+        .map(|(_, v)| v)
+        .ok_or_else(|| CoreError::Queue("stream entry missing task field".into()))?;
+    Ok(codec::decode_item(&payload)?)
+}
+
+/// A Redis-stream-backed [`TaskQueue`].
+pub struct RedisQueue {
+    key: Vec<u8>,
+    /// Dedicated connection per consumer (blocking reads must not share).
+    readers: Vec<Mutex<Box<dyn Connection>>>,
+    /// In reliable mode: the not-yet-acknowledged entry id per consumer.
+    unacked: Vec<Mutex<Option<String>>>,
+    /// Small pool for pushes / monitoring queries.
+    pool: Mutex<Vec<Box<dyn Connection>>>,
+    backend: RedisBackend,
+    created: Instant,
+    /// At-least-once mode: PEL-tracked reads, ack-on-next-pop, and
+    /// XAUTOCLAIM recovery of entries whose consumer stalled.
+    reliable: Option<Duration>,
+}
+
+impl RedisQueue {
+    /// Creates the stream + consumer group and `consumers` reader
+    /// connections, in the fast NOACK mode (at-most-once within the
+    /// process; entries are XDELed as they are read).
+    pub fn new(
+        backend: &RedisBackend,
+        key: impl Into<Vec<u8>>,
+        consumers: usize,
+    ) -> Result<Self, CoreError> {
+        Self::build(backend, key.into(), consumers, None)
+    }
+
+    /// Creates the queue in *reliable* (at-least-once) mode: reads go
+    /// through the PEL, a consumer acknowledges its previous entry when it
+    /// pops the next one, and entries left pending for `reclaim_idle` are
+    /// transferred to whichever consumer polls next via `XAUTOCLAIM` — so a
+    /// stalled or dead worker's task is re-executed instead of lost.
+    pub fn new_reliable(
+        backend: &RedisBackend,
+        key: impl Into<Vec<u8>>,
+        consumers: usize,
+        reclaim_idle: Duration,
+    ) -> Result<Self, CoreError> {
+        Self::build(backend, key.into(), consumers, Some(reclaim_idle))
+    }
+
+    fn build(
+        backend: &RedisBackend,
+        key: Vec<u8>,
+        consumers: usize,
+        reliable: Option<Duration>,
+    ) -> Result<Self, CoreError> {
+        let mut setup = backend.connect()?;
+        setup
+            .xgroup_create(&key, GROUP)
+            .map_err(|e| CoreError::Queue(format!("XGROUP CREATE failed: {e}")))?;
+        let mut readers = Vec::with_capacity(consumers);
+        let mut unacked = Vec::with_capacity(consumers);
+        for _ in 0..consumers {
+            readers.push(Mutex::new(backend.connect()?));
+            unacked.push(Mutex::new(None));
+        }
+        Ok(Self {
+            key,
+            readers,
+            unacked,
+            pool: Mutex::new(vec![setup]),
+            backend: backend.clone(),
+            created: Instant::now(),
+            reliable,
+        })
+    }
+
+    /// The stream key.
+    pub fn key(&self) -> &[u8] {
+        &self.key
+    }
+
+    fn with_pool<T>(
+        &self,
+        f: impl FnOnce(&mut dyn Connection) -> Result<T, ClientError>,
+    ) -> Result<T, CoreError> {
+        let mut conn = match self.pool.lock().pop() {
+            Some(c) => c,
+            None => self.backend.connect()?,
+        };
+        let result = f(conn.as_mut());
+        self.pool.lock().push(conn);
+        result.map_err(|e| CoreError::Queue(e.to_string()))
+    }
+}
+
+impl TaskQueue for RedisQueue {
+    fn push(&self, item: QueueItem) -> Result<(), CoreError> {
+        let payload = codec::encode_item(&item);
+        self.with_pool(|c| {
+            c.request(&[b"XADD", &self.key, b"*", FIELD, &payload]).map(|_| ())
+        })
+    }
+
+    fn pop(&self, consumer: usize, timeout: Duration) -> Result<Option<QueueItem>, CoreError> {
+        let Some(reader) = self.readers.get(consumer) else {
+            return Err(CoreError::Queue(format!("no reader connection for consumer {consumer}")));
+        };
+        let consumer_name = format!("w{consumer}");
+        let mut conn = reader.lock();
+
+        if let Some(reclaim_idle) = self.reliable {
+            // Ack-on-next-pop: the previous entry is done once we ask again.
+            let mut pending = self.unacked[consumer].lock();
+            if let Some(prev) = pending.take() {
+                conn.xack(&self.key, GROUP, &prev)
+                    .map_err(|e| CoreError::Queue(e.to_string()))?;
+                conn.request(&[b"XDEL", &self.key, prev.as_bytes()])
+                    .map_err(|e| CoreError::Queue(e.to_string()))?;
+            }
+            // Rescue entries a stalled consumer left pending.
+            let claimed = conn
+                .xautoclaim_one(&self.key, GROUP, consumer_name.as_bytes(), reclaim_idle)
+                .map_err(|e| CoreError::Queue(e.to_string()))?;
+            let read = match claimed {
+                Some(entry) => Some(entry),
+                None => conn
+                    .xreadgroup_one(&self.key, GROUP, consumer_name.as_bytes(), timeout, false)
+                    .map_err(|e| CoreError::Queue(e.to_string()))?,
+            };
+            let Some((id, pairs)) = read else {
+                return Ok(None);
+            };
+            *pending = Some(id);
+            drop(pending);
+            drop(conn);
+            return decode_payload(pairs).map(Some);
+        }
+
+        let read = conn
+            .xreadgroup_one(&self.key, GROUP, consumer_name.as_bytes(), timeout, true)
+            .map_err(|e| CoreError::Queue(e.to_string()))?;
+        let Some((id, pairs)) = read else {
+            return Ok(None);
+        };
+        // Remove the consumed entry so XLEN tracks live depth.
+        conn.request(&[b"XDEL", &self.key, id.as_bytes()])
+            .map_err(|e| CoreError::Queue(e.to_string()))?;
+        drop(conn);
+        decode_payload(pairs).map(Some)
+    }
+
+    fn depth(&self) -> usize {
+        self.with_pool(|c| c.xlen(&self.key)).unwrap_or(0).max(0) as usize
+    }
+
+    fn idle_times(&self) -> Option<Vec<Duration>> {
+        let rows = self.with_pool(|c| c.xinfo_consumers(&self.key, GROUP)).ok()?;
+        // Consumers that never read yet have been idle since queue creation.
+        let mut idles = vec![self.created.elapsed(); self.readers.len()];
+        for (name, _pending, idle) in rows {
+            if let Some(i) = name.strip_prefix('w').and_then(|s| s.parse::<usize>().ok()) {
+                if i < idles.len() {
+                    idles[i] = idle;
+                }
+            }
+        }
+        Some(idles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d4py_core::task::Task;
+    use d4py_core::value::Value;
+    use d4py_graph::PeId;
+    use redis_lite::server::Server;
+    use std::sync::Arc;
+
+    fn task(i: i64) -> QueueItem {
+        QueueItem::Task(Task::new(PeId(1), "in", Value::Int(i)))
+    }
+
+    #[test]
+    fn inproc_push_pop_roundtrip() {
+        let backend = RedisBackend::in_proc();
+        let q = RedisQueue::new(&backend, "q", 2).unwrap();
+        q.push(task(7)).unwrap();
+        assert_eq!(q.depth(), 1);
+        let got = q.pop(0, Duration::from_millis(50)).unwrap();
+        assert_eq!(got, Some(task(7)));
+        assert_eq!(q.depth(), 0, "XDEL keeps XLEN a live depth");
+    }
+
+    #[test]
+    fn pop_times_out_empty() {
+        let backend = RedisBackend::in_proc();
+        let q = RedisQueue::new(&backend, "q", 1).unwrap();
+        let start = Instant::now();
+        assert_eq!(q.pop(0, Duration::from_millis(30)).unwrap(), None);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn entries_delivered_exactly_once_across_consumers() {
+        let backend = RedisBackend::in_proc();
+        let q = Arc::new(RedisQueue::new(&backend, "q", 4).unwrap());
+        for i in 0..40 {
+            q.push(task(i)).unwrap();
+        }
+        let mut handles = Vec::new();
+        for c in 0..4 {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(QueueItem::Task(t)) =
+                    q.pop(c, Duration::from_millis(20)).unwrap()
+                {
+                    got.push(t.value.as_int().unwrap());
+                }
+                got
+            }));
+        }
+        let mut all: Vec<i64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pills_and_flush_survive_the_wire() {
+        let backend = RedisBackend::in_proc();
+        let q = RedisQueue::new(&backend, "q", 1).unwrap();
+        q.push(QueueItem::Pill).unwrap();
+        q.push(QueueItem::Flush).unwrap();
+        assert_eq!(q.pop(0, Duration::from_millis(20)).unwrap(), Some(QueueItem::Pill));
+        assert_eq!(q.pop(0, Duration::from_millis(20)).unwrap(), Some(QueueItem::Flush));
+    }
+
+    #[test]
+    fn idle_times_cover_all_consumers() {
+        let backend = RedisBackend::in_proc();
+        let q = RedisQueue::new(&backend, "q", 3).unwrap();
+        q.push(task(1)).unwrap();
+        q.pop(1, Duration::from_millis(20)).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let idles = q.idle_times().unwrap();
+        assert_eq!(idles.len(), 3);
+        assert!(idles[1] < idles[0], "consumer 1 just popped; 0 never did");
+        assert!(idles[2] >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn reliable_mode_redelivers_unacked_tasks() {
+        let backend = RedisBackend::in_proc();
+        let q = RedisQueue::new_reliable(
+            &backend,
+            "q",
+            2,
+            Duration::from_millis(30),
+        )
+        .unwrap();
+        q.push(task(99)).unwrap();
+        // Consumer 0 pops and then "stalls" (never pops again → never acks).
+        let first = q.pop(0, Duration::from_millis(20)).unwrap();
+        assert_eq!(first, Some(task(99)));
+        std::thread::sleep(Duration::from_millis(50));
+        // Consumer 1 rescues the stale pending entry via XAUTOCLAIM.
+        let rescued = q.pop(1, Duration::from_millis(20)).unwrap();
+        assert_eq!(rescued, Some(task(99)), "stalled task must be re-delivered");
+    }
+
+    #[test]
+    fn reliable_mode_acks_on_next_pop() {
+        let backend = RedisBackend::in_proc();
+        let q = RedisQueue::new_reliable(
+            &backend,
+            "q",
+            2,
+            Duration::from_millis(30),
+        )
+        .unwrap();
+        q.push(task(1)).unwrap();
+        q.push(task(2)).unwrap();
+        // Consumer 0 pops both: the second pop acknowledges the first.
+        assert_eq!(q.pop(0, Duration::from_millis(20)).unwrap(), Some(task(1)));
+        assert_eq!(q.pop(0, Duration::from_millis(20)).unwrap(), Some(task(2)));
+        std::thread::sleep(Duration::from_millis(50));
+        // Only task 2 is still pending (unacked); task 1 must NOT reappear.
+        let rescued = q.pop(1, Duration::from_millis(20)).unwrap();
+        assert_eq!(rescued, Some(task(2)));
+        assert_eq!(q.pop(1, Duration::from_millis(20)).unwrap(), None);
+    }
+
+    #[test]
+    fn reliable_mode_completes_a_dynamic_workflow() {
+        // End-to-end: the reliable queue drives run_dynamic unchanged.
+        use d4py_core::executable::Executable;
+        use d4py_core::mappings::dynamic::run_dynamic;
+        use d4py_core::options::ExecutionOptions;
+        use d4py_core::pe::{Context, CountingSink, FnSource};
+        use d4py_graph::{Grouping, PeSpec, WorkflowGraph};
+
+        let mut g = WorkflowGraph::new("t");
+        let a = g.add_pe(PeSpec::source("a", "out"));
+        let b = g.add_pe(PeSpec::sink("b", "in"));
+        g.connect(a, "out", b, "in", Grouping::Shuffle).unwrap();
+        let (_, count) = CountingSink::new();
+        let n = count.clone();
+        let mut exe = Executable::new(g).unwrap();
+        exe.register(a, || {
+            Box::new(FnSource(|ctx: &mut dyn Context| {
+                for i in 0..25 {
+                    ctx.emit("out", Value::Int(i));
+                }
+            }))
+        });
+        exe.register(b, move || Box::new(CountingSink::into_handle(n.clone())));
+        let exe = exe.seal().unwrap();
+
+        let backend = RedisBackend::in_proc();
+        let q = Arc::new(
+            RedisQueue::new_reliable(&backend, "wf", 3, Duration::from_secs(5)).unwrap(),
+        );
+        run_dynamic(&exe, &ExecutionOptions::new(3), q, "dyn_redis_reliable", None).unwrap();
+        assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), 25);
+    }
+
+    #[test]
+    fn works_over_real_tcp() {
+        let server = Server::start(0).unwrap();
+        let backend = RedisBackend::Tcp(server.addr());
+        let q = RedisQueue::new(&backend, "q", 2).unwrap();
+        let payload = QueueItem::Task(Task::new(
+            PeId(3),
+            "in",
+            Value::map([("station", Value::Str("ST01".into())), ("x", Value::Float(1.5))]),
+        ));
+        q.push(payload.clone()).unwrap();
+        assert_eq!(q.pop(1, Duration::from_millis(100)).unwrap(), Some(payload));
+    }
+
+    #[test]
+    fn unknown_consumer_index_errors() {
+        let backend = RedisBackend::in_proc();
+        let q = RedisQueue::new(&backend, "q", 1).unwrap();
+        assert!(q.pop(5, Duration::from_millis(5)).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Redis-backed [`StateStore`]: stateful instance snapshots in a Redis
+//! hash, encoded with the workflow binary codec.
+//!
+//! This is the deployment-grade sibling of the in-memory store: snapshots
+//! survive the workflow process, are inspectable with plain `HGETALL`, and
+//! can warm-start a later run on a different machine that shares the Redis.
+
+use crate::backend::RedisBackend;
+use d4py_core::codec::{decode_value, encode_value};
+use d4py_core::error::CoreError;
+use d4py_core::state::StateStore;
+use d4py_core::value::Value;
+use parking_lot::Mutex;
+use redis_lite::client::Connection;
+use redis_lite::resp::Frame;
+
+/// Snapshots stored under one Redis hash key.
+pub struct RedisStateStore {
+    conn: Mutex<Box<dyn Connection>>,
+    key: Vec<u8>,
+}
+
+impl RedisStateStore {
+    /// Opens a store over `backend`, keyed by `key` (e.g.
+    /// `"d4py:state:sentiment"`).
+    pub fn new(backend: &RedisBackend, key: impl Into<Vec<u8>>) -> Result<Self, CoreError> {
+        Ok(Self { conn: Mutex::new(backend.connect()?), key: key.into() })
+    }
+}
+
+impl StateStore for RedisStateStore {
+    fn save(&self, slot: &str, state: &Value) -> Result<(), CoreError> {
+        let payload = encode_value(state);
+        let mut conn = self.conn.lock();
+        match conn
+            .request(&[b"HSET", &self.key, slot.as_bytes(), &payload])
+            .map_err(|e| CoreError::Queue(e.to_string()))?
+        {
+            Frame::Integer(_) => Ok(()),
+            Frame::Error(e) => Err(CoreError::Queue(e)),
+            other => Err(CoreError::Queue(format!("unexpected HSET reply {other:?}"))),
+        }
+    }
+
+    fn load(&self, slot: &str) -> Result<Option<Value>, CoreError> {
+        let mut conn = self.conn.lock();
+        match conn
+            .request(&[b"HGET", &self.key, slot.as_bytes()])
+            .map_err(|e| CoreError::Queue(e.to_string()))?
+        {
+            Frame::Null => Ok(None),
+            Frame::Bulk(bytes) => Ok(Some(decode_value(&bytes)?)),
+            Frame::Error(e) => Err(CoreError::Queue(e)),
+            other => Err(CoreError::Queue(format!("unexpected HGET reply {other:?}"))),
+        }
+    }
+
+    fn slots(&self) -> Result<Vec<String>, CoreError> {
+        let mut conn = self.conn.lock();
+        match conn
+            .request(&[b"HKEYS", &self.key])
+            .map_err(|e| CoreError::Queue(e.to_string()))?
+        {
+            Frame::Array(items) => {
+                let mut out: Vec<String> =
+                    items.iter().filter_map(Frame::as_text).collect();
+                out.sort();
+                Ok(out)
+            }
+            Frame::Error(e) => Err(CoreError::Queue(e)),
+            other => Err(CoreError::Queue(format!("unexpected HKEYS reply {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_redis() {
+        let store = RedisStateStore::new(&RedisBackend::in_proc(), "d4py:state:test").unwrap();
+        let state = Value::map([
+            ("Texas", Value::list([Value::Float(12.5), Value::Int(4)])),
+            ("Ohio", Value::list([Value::Float(-3.0), Value::Int(2)])),
+        ]);
+        store.save("happyState#1", &state).unwrap();
+        assert_eq!(store.load("happyState#1").unwrap(), Some(state));
+        assert_eq!(store.load("happyState#2").unwrap(), None);
+        assert_eq!(store.slots().unwrap(), vec!["happyState#1".to_string()]);
+    }
+
+    #[test]
+    fn overwrite_keeps_latest() {
+        let store = RedisStateStore::new(&RedisBackend::in_proc(), "k").unwrap();
+        store.save("s#0", &Value::Int(1)).unwrap();
+        store.save("s#0", &Value::Int(2)).unwrap();
+        assert_eq!(store.load("s#0").unwrap(), Some(Value::Int(2)));
+    }
+}

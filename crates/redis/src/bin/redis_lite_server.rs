@@ -1,0 +1,35 @@
+//! Standalone redis-lite server.
+//!
+//! ```sh
+//! cargo run -p redis-lite --release --bin redis_lite_server -- 6379
+//! cargo run -p redis-lite --release --bin redis_lite_server -- 6379 --aof data.aof
+//! redis-cli -p 6379 ping        # works with real Redis clients too
+//! ```
+
+use redis_lite::server::Server;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let port: u16 = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .map(|p| p.parse().expect("port must be a number"))
+        .unwrap_or(6379);
+    let aof_path = args
+        .iter()
+        .position(|a| a == "--aof")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let server = match aof_path {
+        Some(path) => {
+            println!("append-only file: {path}");
+            Server::start_with_aof(port, &path).expect("bind with aof")
+        }
+        None => Server::start(port).expect("bind"),
+    };
+    println!("redis-lite listening on {}", server.addr());
+    println!("Ctrl-C to stop.");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

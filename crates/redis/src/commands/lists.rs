@@ -1,0 +1,187 @@
+//! List commands, including the non-blocking core of BLPOP/BRPOP.
+
+use super::{now, parse_int, wrong_args, wrong_type};
+use crate::resp::Frame;
+use crate::store::{Db, RValue};
+use std::collections::VecDeque;
+
+pub(crate) fn push(db: &mut Db, args: &[Vec<u8>], left: bool) -> Frame {
+    if args.len() < 2 {
+        return wrong_args(if left { "LPUSH" } else { "RPUSH" });
+    }
+    match db.get_or_create(&args[0], now(), || RValue::List(VecDeque::new())) {
+        RValue::List(list) => {
+            for v in &args[1..] {
+                if left {
+                    list.push_front(v.clone());
+                } else {
+                    list.push_back(v.clone());
+                }
+            }
+            Frame::Integer(list.len() as i64)
+        }
+        _ => wrong_type(),
+    }
+}
+
+pub(crate) fn pop(db: &mut Db, args: &[Vec<u8>], left: bool) -> Frame {
+    if args.len() != 1 {
+        return wrong_args(if left { "LPOP" } else { "RPOP" });
+    }
+    let reply = match db.get_mut(&args[0], now()) {
+        None => return Frame::Null,
+        Some(RValue::List(list)) => {
+            let popped = if left { list.pop_front() } else { list.pop_back() };
+            match popped {
+                Some(v) => {
+                    let emptied = list.is_empty();
+                    (Frame::Bulk(v), emptied)
+                }
+                None => (Frame::Null, true),
+            }
+        }
+        Some(_) => return wrong_type(),
+    };
+    if reply.1 {
+        db.del(&args[0], now()); // Redis removes empty lists
+    }
+    reply.0
+}
+
+pub(crate) fn llen(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+    if args.len() != 1 {
+        return wrong_args("LLEN");
+    }
+    match db.get(&args[0], now()) {
+        None => Frame::Integer(0),
+        Some(RValue::List(list)) => Frame::Integer(list.len() as i64),
+        Some(_) => wrong_type(),
+    }
+}
+
+pub(crate) fn lrange(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+    if args.len() != 3 {
+        return wrong_args("LRANGE");
+    }
+    let (Some(start), Some(stop)) = (parse_int(&args[1]), parse_int(&args[2])) else {
+        return Frame::error("value is not an integer or out of range");
+    };
+    match db.get(&args[0], now()) {
+        None => Frame::Array(vec![]),
+        Some(RValue::List(list)) => {
+            let len = list.len() as i64;
+            let norm = |i: i64| if i < 0 { (len + i).max(0) } else { i.min(len) };
+            let (a, b) = (norm(start), norm(stop));
+            if a > b || a >= len {
+                return Frame::Array(vec![]);
+            }
+            Frame::Array(
+                list.iter()
+                    .skip(a as usize)
+                    .take((b - a + 1) as usize)
+                    .map(|v| Frame::Bulk(v.clone()))
+                    .collect(),
+            )
+        }
+        Some(_) => wrong_type(),
+    }
+}
+
+/// The non-blocking core of BLPOP/BRPOP: tries each key in order; on
+/// success replies `[key, value]`.
+pub fn try_pop_any(db: &mut Db, keys: &[Vec<u8>], left: bool) -> Option<Frame> {
+    for key in keys {
+        let popped = match db.get_mut(key, now()) {
+            Some(RValue::List(list)) => {
+                let v = if left { list.pop_front() } else { list.pop_back() };
+                v.map(|v| (v, list.is_empty()))
+            }
+            _ => None,
+        };
+        if let Some((value, emptied)) = popped {
+            if emptied {
+                db.del(key, now());
+            }
+            return Some(Frame::Array(vec![Frame::Bulk(key.clone()), Frame::Bulk(value)]));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(parts: &[&str]) -> Vec<Vec<u8>> {
+        parts.iter().map(|p| p.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn push_pop_both_ends() {
+        let mut db = Db::new();
+        assert_eq!(push(&mut db, &f(&["q", "a", "b"]), false), Frame::Integer(2)); // RPUSH
+        assert_eq!(push(&mut db, &f(&["q", "z"]), true), Frame::Integer(3)); // LPUSH
+        assert_eq!(pop(&mut db, &f(&["q"]), true), Frame::bulk("z")); // LPOP
+        assert_eq!(pop(&mut db, &f(&["q"]), false), Frame::bulk("b")); // RPOP
+        assert_eq!(llen(&mut db, &f(&["q"])), Frame::Integer(1));
+    }
+
+    #[test]
+    fn pop_on_missing_is_null() {
+        let mut db = Db::new();
+        assert_eq!(pop(&mut db, &f(&["nope"]), true), Frame::Null);
+    }
+
+    #[test]
+    fn empty_list_is_removed() {
+        let mut db = Db::new();
+        push(&mut db, &f(&["q", "only"]), false);
+        pop(&mut db, &f(&["q"]), true);
+        assert!(db.get(b"q", now()).is_none(), "empty list key must vanish");
+    }
+
+    #[test]
+    fn lrange_window_and_negatives() {
+        let mut db = Db::new();
+        push(&mut db, &f(&["q", "a", "b", "c", "d"]), false);
+        assert_eq!(
+            lrange(&mut db, &f(&["q", "1", "2"])),
+            Frame::Array(vec![Frame::bulk("b"), Frame::bulk("c")])
+        );
+        assert_eq!(
+            lrange(&mut db, &f(&["q", "0", "-1"])),
+            Frame::Array(vec![
+                Frame::bulk("a"),
+                Frame::bulk("b"),
+                Frame::bulk("c"),
+                Frame::bulk("d")
+            ])
+        );
+        assert_eq!(
+            lrange(&mut db, &f(&["q", "-2", "-1"])),
+            Frame::Array(vec![Frame::bulk("c"), Frame::bulk("d")])
+        );
+        assert_eq!(lrange(&mut db, &f(&["q", "5", "9"])), Frame::Array(vec![]));
+        assert_eq!(lrange(&mut db, &f(&["q", "3", "1"])), Frame::Array(vec![]));
+    }
+
+    #[test]
+    fn try_pop_any_scans_keys_in_order() {
+        let mut db = Db::new();
+        push(&mut db, &f(&["q2", "x"]), false);
+        let reply = try_pop_any(&mut db, &f(&["q1", "q2"]), true).unwrap();
+        assert_eq!(reply, Frame::Array(vec![Frame::bulk("q2"), Frame::bulk("x")]));
+        assert!(try_pop_any(&mut db, &f(&["q1", "q2"]), true).is_none());
+    }
+
+    #[test]
+    fn wrong_type_detected() {
+        let mut db = Db::new();
+        db.set(b"s".to_vec(), RValue::Str(b"v".to_vec()));
+        assert!(push(&mut db, &f(&["s", "x"]), true).is_error());
+        assert!(pop(&mut db, &f(&["s"]), true).is_error());
+        assert!(llen(&mut db, &f(&["s"])).is_error());
+        assert!(lrange(&mut db, &f(&["s", "0", "1"])).is_error());
+        assert!(try_pop_any(&mut db, &f(&["s"]), true).is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! Command implementations and the dispatch table.
+//!
+//! Every handler is a pure function over `&mut Db` (plus the server clock),
+//! so the whole command surface is unit-testable without sockets. Blocking
+//! behaviour lives in [`crate::engine`]; the handlers here are the
+//! non-blocking cores it retries.
+
+mod hashes;
+mod keys;
+mod lists;
+mod server;
+mod sets;
+mod streams;
+mod strings;
+
+use crate::resp::Frame;
+use crate::store::stream::StreamId;
+use crate::store::{Db, RValue};
+use std::time::{Duration, Instant};
+
+pub use lists::try_pop_any;
+pub use streams::{execute_stream_read, parse_stream_read, resolve_stream_ids, StreamReadCmd};
+
+/// Executes one non-blocking command. `name` is already upper-cased.
+pub fn execute(db: &mut Db, now_ms: u64, name: &str, args: &[Vec<u8>]) -> Frame {
+    match name {
+        // connection / server
+        "PING" => server::ping(args),
+        "ECHO" => server::echo(args),
+        "SELECT" => Frame::ok(),
+        "QUIT" => Frame::ok(),
+        "FLUSHALL" | "FLUSHDB" => server::flushall(db),
+        "DBSIZE" => server::dbsize(db),
+        "COMMAND" => Frame::Array(vec![]),
+        "INFO" => server::info(db),
+
+        // generic keyspace
+        "DEL" => keys::del(db, args),
+        "EXISTS" => keys::exists(db, args),
+        "TYPE" => keys::type_(db, args),
+        "KEYS" => keys::keys(db, args),
+        "EXPIRE" => keys::expire(db, args),
+        "PEXPIRE" => keys::pexpire(db, args),
+        "TTL" => keys::ttl(db, args),
+        "PTTL" => keys::pttl(db, args),
+        "PERSIST" => keys::persist(db, args),
+
+        // strings
+        "SET" => strings::set(db, args),
+        "GET" => strings::get(db, args),
+        "GETSET" => strings::getset(db, args),
+        "SETNX" => strings::setnx(db, args),
+        "APPEND" => strings::append(db, args),
+        "STRLEN" => strings::strlen(db, args),
+        "INCR" => strings::incrby(db, &[args.first().cloned().unwrap_or_default(), b"1".to_vec()]),
+        "DECR" => strings::incrby(db, &[args.first().cloned().unwrap_or_default(), b"-1".to_vec()]),
+        "INCRBY" => strings::incrby(db, args),
+        "DECRBY" => strings::decrby(db, args),
+        "MSET" => strings::mset(db, args),
+        "MGET" => strings::mget(db, args),
+
+        // lists
+        "LPUSH" => lists::push(db, args, true),
+        "RPUSH" => lists::push(db, args, false),
+        "LPOP" => lists::pop(db, args, true),
+        "RPOP" => lists::pop(db, args, false),
+        "LLEN" => lists::llen(db, args),
+        "LRANGE" => lists::lrange(db, args),
+
+        // hashes
+        "HSET" | "HMSET" => hashes::hset(db, args, name == "HMSET"),
+        "HGET" => hashes::hget(db, args),
+        "HDEL" => hashes::hdel(db, args),
+        "HGETALL" => hashes::hgetall(db, args),
+        "HLEN" => hashes::hlen(db, args),
+        "HEXISTS" => hashes::hexists(db, args),
+        "HINCRBY" => hashes::hincrby(db, args),
+        "HKEYS" => hashes::hkeys(db, args),
+        "HVALS" => hashes::hvals(db, args),
+
+        // sets
+        "SADD" => sets::sadd(db, args),
+        "SREM" => sets::srem(db, args),
+        "SISMEMBER" => sets::sismember(db, args),
+        "SMEMBERS" => sets::smembers(db, args),
+        "SCARD" => sets::scard(db, args),
+
+        // streams (non-read side; XREAD/XREADGROUP are handled in engine)
+        "XADD" => streams::xadd(db, now_ms, args),
+        "XLEN" => streams::xlen(db, args),
+        "XRANGE" => streams::xrange(db, args),
+        "XDEL" => streams::xdel(db, args),
+        "XTRIM" => streams::xtrim(db, args),
+        "XACK" => streams::xack(db, args),
+        "XAUTOCLAIM" => streams::xautoclaim(db, args),
+        "XGROUP" => streams::xgroup(db, args),
+        "XPENDING" => streams::xpending(db, args),
+        "XINFO" => streams::xinfo(db, args),
+
+        other => Frame::error(format!("unknown command '{other}'")),
+    }
+}
+
+/// True if the command mutates the keyspace (used to pulse blocked readers).
+pub fn is_write(name: &str) -> bool {
+    matches!(
+        name,
+        "SET" | "GETSET"
+            | "SETNX"
+            | "APPEND"
+            | "INCR"
+            | "DECR"
+            | "INCRBY"
+            | "DECRBY"
+            | "MSET"
+            | "DEL"
+            | "EXPIRE"
+            | "PEXPIRE"
+            | "PERSIST"
+            | "FLUSHALL"
+            | "FLUSHDB"
+            | "LPUSH"
+            | "RPUSH"
+            | "LPOP"
+            | "RPOP"
+            | "HSET"
+            | "HMSET"
+            | "HDEL"
+            | "HINCRBY"
+            | "SADD"
+            | "SREM"
+            | "XADD"
+            | "XDEL"
+            | "XTRIM"
+            | "XACK"
+            | "XAUTOCLAIM"
+            | "XGROUP"
+    )
+}
+
+// ---- shared helpers used by the submodules ----
+
+pub(crate) fn wrong_args(cmd: &str) -> Frame {
+    Frame::error(format!("wrong number of arguments for '{}'", cmd.to_ascii_lowercase()))
+}
+
+pub(crate) fn wrong_type() -> Frame {
+    Frame::Error("WRONGTYPE Operation against a key holding the wrong kind of value".into())
+}
+
+pub(crate) fn parse_int(raw: &[u8]) -> Option<i64> {
+    std::str::from_utf8(raw).ok()?.parse().ok()
+}
+
+pub(crate) fn parse_uint(raw: &[u8]) -> Option<u64> {
+    std::str::from_utf8(raw).ok()?.parse().ok()
+}
+
+pub(crate) fn now() -> Instant {
+    Instant::now()
+}
+
+pub(crate) fn bulk_array(items: Vec<Vec<u8>>) -> Frame {
+    Frame::Array(items.into_iter().map(Frame::Bulk).collect())
+}
+
+/// Parses a stream id argument for XADD: `*` → None (auto), else explicit.
+pub(crate) fn parse_xadd_id(raw: &[u8]) -> Result<Option<StreamId>, Frame> {
+    if raw == b"*" {
+        return Ok(None);
+    }
+    let s = std::str::from_utf8(raw).map_err(|_| bad_id())?;
+    StreamId::parse(s, 0).map(Some).ok_or_else(bad_id)
+}
+
+pub(crate) fn bad_id() -> Frame {
+    Frame::Error("ERR Invalid stream ID specified as stream command argument".into())
+}
+
+/// Fetches a stream by key, distinguishing missing vs wrong-type.
+pub(crate) fn stream_of<'a>(
+    db: &'a mut Db,
+    key: &[u8],
+) -> Result<Option<&'a mut crate::store::stream::Stream>, Frame> {
+    match db.get_mut(key, now()) {
+        None => Ok(None),
+        Some(RValue::Stream(s)) => Ok(Some(s)),
+        Some(_) => Err(wrong_type()),
+    }
+}
+
+pub(crate) fn ms(duration: Duration) -> i64 {
+    duration.as_millis() as i64
+}

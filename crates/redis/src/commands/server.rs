@@ -1,0 +1,76 @@
+//! Connection/server commands.
+
+use super::{now, wrong_args};
+use crate::resp::Frame;
+use crate::store::Db;
+
+pub(crate) fn ping(args: &[Vec<u8>]) -> Frame {
+    match args.len() {
+        0 => Frame::Simple("PONG".into()),
+        1 => Frame::Bulk(args[0].clone()),
+        _ => wrong_args("PING"),
+    }
+}
+
+pub(crate) fn echo(args: &[Vec<u8>]) -> Frame {
+    match args.len() {
+        1 => Frame::Bulk(args[0].clone()),
+        _ => wrong_args("ECHO"),
+    }
+}
+
+pub(crate) fn flushall(db: &mut Db) -> Frame {
+    db.clear();
+    Frame::ok()
+}
+
+pub(crate) fn dbsize(db: &mut Db) -> Frame {
+    Frame::Integer(db.len(now()) as i64)
+}
+
+pub(crate) fn info(db: &mut Db) -> Frame {
+    Frame::Bulk(
+        format!(
+            "# Server\r\nredis_version:redis-lite-0.1\r\n# Keyspace\r\ndb0:keys={}\r\n",
+            db.len(now())
+        )
+        .into_bytes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::RValue;
+
+    #[test]
+    fn ping_variants() {
+        assert_eq!(ping(&[]), Frame::Simple("PONG".into()));
+        assert_eq!(ping(&[b"hi".to_vec()]), Frame::bulk("hi"));
+        assert!(ping(&[b"a".to_vec(), b"b".to_vec()]).is_error());
+    }
+
+    #[test]
+    fn echo_echoes() {
+        assert_eq!(echo(&[b"x".to_vec()]), Frame::bulk("x"));
+        assert!(echo(&[]).is_error());
+    }
+
+    #[test]
+    fn flush_and_size() {
+        let mut db = Db::new();
+        db.set(b"a".to_vec(), RValue::Str(vec![]));
+        db.set(b"b".to_vec(), RValue::Str(vec![]));
+        assert_eq!(dbsize(&mut db), Frame::Integer(2));
+        assert_eq!(flushall(&mut db), Frame::ok());
+        assert_eq!(dbsize(&mut db), Frame::Integer(0));
+    }
+
+    #[test]
+    fn info_mentions_keyspace() {
+        let mut db = Db::new();
+        let text = info(&mut db).as_text().unwrap();
+        assert!(text.contains("redis-lite"));
+        assert!(text.contains("keys=0"));
+    }
+}

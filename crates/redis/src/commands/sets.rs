@@ -1,0 +1,128 @@
+//! Set commands.
+
+use super::{bulk_array, now, wrong_args, wrong_type};
+use crate::resp::Frame;
+use crate::store::{Db, RValue};
+use std::collections::HashSet;
+
+pub(crate) fn sadd(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+    if args.len() < 2 {
+        return wrong_args("SADD");
+    }
+    match db.get_or_create(&args[0], now(), || RValue::Set(HashSet::new())) {
+        RValue::Set(s) => {
+            let added = args[1..].iter().filter(|m| s.insert((*m).clone())).count();
+            Frame::Integer(added as i64)
+        }
+        _ => wrong_type(),
+    }
+}
+
+pub(crate) fn srem(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+    if args.len() < 2 {
+        return wrong_args("SREM");
+    }
+    let (removed, emptied) = match db.get_mut(&args[0], now()) {
+        None => return Frame::Integer(0),
+        Some(RValue::Set(s)) => {
+            let removed = args[1..].iter().filter(|m| s.remove(*m)).count();
+            (removed, s.is_empty())
+        }
+        Some(_) => return wrong_type(),
+    };
+    if emptied {
+        db.del(&args[0], now());
+    }
+    Frame::Integer(removed as i64)
+}
+
+pub(crate) fn sismember(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+    if args.len() != 2 {
+        return wrong_args("SISMEMBER");
+    }
+    match db.get(&args[0], now()) {
+        None => Frame::Integer(0),
+        Some(RValue::Set(s)) => Frame::Integer(i64::from(s.contains(&args[1]))),
+        Some(_) => wrong_type(),
+    }
+}
+
+pub(crate) fn smembers(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+    if args.len() != 1 {
+        return wrong_args("SMEMBERS");
+    }
+    match db.get(&args[0], now()) {
+        None => Frame::Array(vec![]),
+        Some(RValue::Set(s)) => {
+            let mut members: Vec<Vec<u8>> = s.iter().cloned().collect();
+            members.sort();
+            bulk_array(members)
+        }
+        Some(_) => wrong_type(),
+    }
+}
+
+pub(crate) fn scard(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+    if args.len() != 1 {
+        return wrong_args("SCARD");
+    }
+    match db.get(&args[0], now()) {
+        None => Frame::Integer(0),
+        Some(RValue::Set(s)) => Frame::Integer(s.len() as i64),
+        Some(_) => wrong_type(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(parts: &[&str]) -> Vec<Vec<u8>> {
+        parts.iter().map(|p| p.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn sadd_dedupes() {
+        let mut db = Db::new();
+        assert_eq!(sadd(&mut db, &f(&["s", "a", "b", "a"])), Frame::Integer(2));
+        assert_eq!(sadd(&mut db, &f(&["s", "a"])), Frame::Integer(0));
+        assert_eq!(scard(&mut db, &f(&["s"])), Frame::Integer(2));
+    }
+
+    #[test]
+    fn membership() {
+        let mut db = Db::new();
+        sadd(&mut db, &f(&["s", "x"]));
+        assert_eq!(sismember(&mut db, &f(&["s", "x"])), Frame::Integer(1));
+        assert_eq!(sismember(&mut db, &f(&["s", "y"])), Frame::Integer(0));
+        assert_eq!(sismember(&mut db, &f(&["none", "x"])), Frame::Integer(0));
+    }
+
+    #[test]
+    fn smembers_sorted() {
+        let mut db = Db::new();
+        sadd(&mut db, &f(&["s", "c", "a", "b"]));
+        assert_eq!(
+            smembers(&mut db, &f(&["s"])),
+            Frame::Array(vec![Frame::bulk("a"), Frame::bulk("b"), Frame::bulk("c")])
+        );
+    }
+
+    #[test]
+    fn srem_and_empty_removal() {
+        let mut db = Db::new();
+        sadd(&mut db, &f(&["s", "a", "b"]));
+        assert_eq!(srem(&mut db, &f(&["s", "a", "zz"])), Frame::Integer(1));
+        assert_eq!(srem(&mut db, &f(&["s", "b"])), Frame::Integer(1));
+        assert!(db.get(b"s", now()).is_none());
+        assert_eq!(srem(&mut db, &f(&["s", "a"])), Frame::Integer(0));
+    }
+
+    #[test]
+    fn wrong_type_detected() {
+        let mut db = Db::new();
+        db.set(b"x".to_vec(), RValue::Str(vec![]));
+        assert!(sadd(&mut db, &f(&["x", "a"])).is_error());
+        assert!(smembers(&mut db, &f(&["x"])).is_error());
+    }
+}

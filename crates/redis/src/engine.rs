@@ -1,0 +1,294 @@
+//! The command engine: shared keyspace, dispatch, and blocking semantics.
+//!
+//! [`Shared`] is the server's heart: the keyspace behind a mutex plus a
+//! condvar that write commands pulse so blocking reads (`BLPOP`, `XREAD
+//! BLOCK`, `XREADGROUP ... BLOCK`) can wake without polling — the same
+//! wait-for-data shape real Redis gives its blocked clients. Both the TCP
+//! server and the in-process transport dispatch through [`Shared::dispatch`],
+//! so every transport sees identical semantics.
+
+use crate::aof::{Aof, FsyncPolicy};
+use crate::commands;
+use crate::resp::Frame;
+use crate::store::Db;
+use parking_lot::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Shared server state: one keyspace + wakeup machinery.
+pub struct Shared {
+    db: Mutex<Db>,
+    wakeup: Condvar,
+    epoch: Instant,
+    aof: Option<Aof>,
+}
+
+impl Default for Shared {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Shared {
+    /// Creates an empty server state.
+    pub fn new() -> Self {
+        Self {
+            db: Mutex::new(Db::new()),
+            wakeup: Condvar::new(),
+            epoch: Instant::now(),
+            aof: None,
+        }
+    }
+
+    /// Creates server state persisted through an append-only file: the
+    /// existing log at `path` is replayed into the keyspace, then every
+    /// subsequent successful write command is appended.
+    ///
+    /// Scope: the explicit write-command subset (see
+    /// [`commands::is_write`]) plus the effects of blocking pops.
+    /// Consumer-group cursors/PELs are runtime-transient and not persisted
+    /// — matching how the workflow mappings rebuild their groups per run.
+    pub fn with_aof(
+        path: impl AsRef<std::path::Path>,
+        policy: FsyncPolicy,
+    ) -> std::io::Result<Self> {
+        let mut shared = Self::new();
+        for args in Aof::load(&path)? {
+            let Some(cmd) = args.first() else { continue };
+            let name = String::from_utf8_lossy(cmd).to_ascii_uppercase();
+            let mut db = shared.db.lock();
+            let _ = commands::execute(&mut db, shared.now_ms(), &name, &args[1..]);
+        }
+        shared.aof = Some(Aof::open(path, policy)?);
+        Ok(shared)
+    }
+
+    fn log_write(&self, name: &str, args: &[Vec<u8>], reply: &Frame) {
+        if let Some(aof) = &self.aof {
+            if commands::is_write(name) && !reply.is_error() {
+                let mut entry = Vec::with_capacity(args.len());
+                entry.push(name.as_bytes().to_vec());
+                entry.extend(args.iter().cloned());
+                let _ = aof.append(&entry);
+            }
+        }
+    }
+
+    /// Milliseconds since server start — the clock for auto stream ids.
+    pub fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Runs `f` with the keyspace locked.
+    pub fn with_db<T>(&self, f: impl FnOnce(&mut Db) -> T) -> T {
+        f(&mut self.db.lock())
+    }
+
+    /// Executes one client command.
+    pub fn dispatch(&self, args: &[Vec<u8>]) -> Frame {
+        let Some(cmd) = args.first() else {
+            return Frame::error("empty command");
+        };
+        let name = String::from_utf8_lossy(cmd).to_ascii_uppercase();
+
+        // Blocking commands get the retry-until-deadline treatment; all
+        // others execute once under the lock.
+        match name.as_str() {
+            "BLPOP" | "BRPOP" => self.dispatch_blocking_list(&name, &args[1..]),
+            "XREAD" | "XREADGROUP" => self.dispatch_stream_read(&name, &args[1..]),
+            _ => {
+                let reply = {
+                    let mut db = self.db.lock();
+                    commands::execute(&mut db, self.now_ms(), &name, &args[1..])
+                };
+                self.log_write(&name, &args[1..], &reply);
+                if commands::is_write(&name) {
+                    self.wakeup.notify_all();
+                }
+                reply
+            }
+        }
+    }
+
+    /// BLPOP/BRPOP: retry the non-blocking pop until data arrives or the
+    /// timeout elapses (timeout `0` = wait forever).
+    fn dispatch_blocking_list(&self, name: &str, args: &[Vec<u8>]) -> Frame {
+        if args.len() < 2 {
+            return Frame::error(format!("wrong number of arguments for '{name}'"));
+        }
+        let timeout = match parse_secs(args.last().unwrap()) {
+            Some(t) => t,
+            None => return Frame::error("timeout is not a float or out of range"),
+        };
+        let keys = &args[..args.len() - 1];
+        let deadline = (timeout > Duration::ZERO).then(|| Instant::now() + timeout);
+        let left = name == "BLPOP";
+
+        let mut db = self.db.lock();
+        loop {
+            if let Some(frame) = commands::try_pop_any(&mut db, keys, left) {
+                drop(db);
+                // Persist the pop's effect as its non-blocking equivalent.
+                if let Some(popped_key) = frame.as_array().and_then(|a| a.first()) {
+                    if let crate::resp::Frame::Bulk(k) = popped_key {
+                        let effect = if left { "LPOP" } else { "RPOP" };
+                        self.log_write(effect, &[k.clone()], &frame);
+                    }
+                }
+                self.wakeup.notify_all(); // the pop mutated a list
+                return frame;
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d || self.wakeup.wait_until(&mut db, d).timed_out() {
+                        // Final attempt after timing out, then give up.
+                        if let Some(frame) = commands::try_pop_any(&mut db, keys, left) {
+                            drop(db);
+                            self.wakeup.notify_all();
+                            return frame;
+                        }
+                        return Frame::NullArray;
+                    }
+                }
+                None => self.wakeup.wait(&mut db),
+            }
+        }
+    }
+
+    /// XREAD / XREADGROUP with optional BLOCK.
+    fn dispatch_stream_read(&self, name: &str, args: &[Vec<u8>]) -> Frame {
+        let mut parsed = match commands::parse_stream_read(name, args) {
+            Ok(p) => p,
+            Err(f) => return f,
+        };
+        let deadline = parsed.block.map(|d| {
+            if d.is_zero() {
+                None // block forever
+            } else {
+                Some(Instant::now() + d)
+            }
+        });
+
+        let mut db = self.db.lock();
+        // `$` snapshots the stream's last id once, before any waiting.
+        commands::resolve_stream_ids(&mut db, &mut parsed);
+        loop {
+            match commands::execute_stream_read(&mut db, self.now_ms(), &parsed) {
+                Ok(Some(frame)) => {
+                    // XREADGROUP mutates group state; wake idlers just in case.
+                    drop(db);
+                    if name == "XREADGROUP" {
+                        self.wakeup.notify_all();
+                    }
+                    return frame;
+                }
+                Ok(None) => match deadline {
+                    None => return Frame::NullArray, // non-blocking, no data
+                    Some(None) => self.wakeup.wait(&mut db),
+                    Some(Some(d)) => {
+                        if Instant::now() >= d
+                            || self.wakeup.wait_until(&mut db, d).timed_out()
+                        {
+                            // One last look before reporting a timeout.
+                            if let Ok(Some(frame)) =
+                                commands::execute_stream_read(&mut db, self.now_ms(), &parsed)
+                            {
+                                return frame;
+                            }
+                            return Frame::NullArray;
+                        }
+                    }
+                },
+                Err(f) => return f,
+            }
+        }
+    }
+}
+
+/// Parses Redis's float-seconds timeout ("0" = infinite → Duration::ZERO).
+fn parse_secs(raw: &[u8]) -> Option<Duration> {
+    let s = std::str::from_utf8(raw).ok()?;
+    let secs: f64 = s.parse().ok()?;
+    if !(secs >= 0.0) || !secs.is_finite() {
+        return None;
+    }
+    Some(Duration::from_secs_f64(secs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn cmd(shared: &Shared, parts: &[&str]) -> Frame {
+        let args: Vec<Vec<u8>> = parts.iter().map(|p| p.as_bytes().to_vec()).collect();
+        shared.dispatch(&args)
+    }
+
+    #[test]
+    fn ping_set_get() {
+        let s = Shared::new();
+        assert_eq!(cmd(&s, &["PING"]), Frame::Simple("PONG".into()));
+        assert_eq!(cmd(&s, &["SET", "k", "v"]), Frame::ok());
+        assert_eq!(cmd(&s, &["GET", "k"]), Frame::bulk("v"));
+        assert_eq!(cmd(&s, &["GET", "missing"]), Frame::Null);
+    }
+
+    #[test]
+    fn empty_command_is_error() {
+        let s = Shared::new();
+        assert!(s.dispatch(&[]).is_error());
+    }
+
+    #[test]
+    fn blpop_returns_immediately_when_data_exists() {
+        let s = Shared::new();
+        cmd(&s, &["RPUSH", "q", "a"]);
+        let reply = cmd(&s, &["BLPOP", "q", "1"]);
+        assert_eq!(
+            reply,
+            Frame::Array(vec![Frame::bulk("q"), Frame::bulk("a")])
+        );
+    }
+
+    #[test]
+    fn blpop_times_out_with_null_array() {
+        let s = Shared::new();
+        let start = Instant::now();
+        assert_eq!(cmd(&s, &["BLPOP", "empty", "0.05"]), Frame::NullArray);
+        assert!(start.elapsed() >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn blpop_wakes_on_concurrent_push() {
+        let s = Arc::new(Shared::new());
+        let s2 = s.clone();
+        let waiter = std::thread::spawn(move || cmd(&s2, &["BLPOP", "q", "2"]));
+        std::thread::sleep(Duration::from_millis(30));
+        cmd(&s, &["LPUSH", "q", "x"]);
+        let reply = waiter.join().unwrap();
+        assert_eq!(reply, Frame::Array(vec![Frame::bulk("q"), Frame::bulk("x")]));
+    }
+
+    #[test]
+    fn xread_block_wakes_on_xadd() {
+        let s = Arc::new(Shared::new());
+        cmd(&s, &["XADD", "st", "*", "f", "seed"]);
+        let s2 = s.clone();
+        let waiter = std::thread::spawn(move || cmd(&s2, &["XREAD", "BLOCK", "2000", "STREAMS", "st", "$"]));
+        std::thread::sleep(Duration::from_millis(30));
+        cmd(&s, &["XADD", "st", "*", "f", "fresh"]);
+        let reply = waiter.join().unwrap();
+        let text = format!("{reply:?}");
+        assert!(text.contains("fresh"), "blocked XREAD must deliver the new entry: {text}");
+        assert!(!text.contains("seed"), "XREAD from $ must not replay history");
+    }
+
+    #[test]
+    fn parse_secs_accepts_fractions_rejects_garbage() {
+        assert_eq!(parse_secs(b"0.5"), Some(Duration::from_millis(500)));
+        assert_eq!(parse_secs(b"0"), Some(Duration::ZERO));
+        assert_eq!(parse_secs(b"nope"), None);
+        assert_eq!(parse_secs(b"-1"), None);
+    }
+}

@@ -1,0 +1,379 @@
+//! RESP2 (REdis Serialization Protocol) framing.
+//!
+//! The wire format Redis has spoken since 1.2: five frame types, each
+//! introduced by one marker byte and terminated by CRLF. We implement a
+//! zero-copy-ish incremental decoder (suitable for a streaming TCP read
+//! buffer) and an encoder into [`BytesMut`].
+//!
+//! ```text
+//! +OK\r\n                    simple string
+//! -ERR message\r\n           error
+//! :42\r\n                    integer
+//! $5\r\nhello\r\n            bulk string      ($-1\r\n = null bulk)
+//! *2\r\n<frame><frame>       array            (*-1\r\n = null array)
+//! ```
+
+use bytes::{BufMut, BytesMut};
+
+/// One RESP2 frame.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// `+...` — status reply.
+    Simple(String),
+    /// `-...` — error reply.
+    Error(String),
+    /// `:...` — integer reply.
+    Integer(i64),
+    /// `$...` — bulk string (binary safe).
+    Bulk(Vec<u8>),
+    /// `$-1` — null bulk string (Redis "nil").
+    Null,
+    /// `*...` — array of frames.
+    Array(Vec<Frame>),
+    /// `*-1` — null array (e.g. timed-out blocking read).
+    NullArray,
+}
+
+impl Frame {
+    /// Convenience: status `+OK`.
+    pub fn ok() -> Frame {
+        Frame::Simple("OK".to_string())
+    }
+
+    /// Convenience: a bulk string from text.
+    pub fn bulk(s: impl Into<Vec<u8>>) -> Frame {
+        Frame::Bulk(s.into())
+    }
+
+    /// Convenience: an `-ERR ...` error.
+    pub fn error(msg: impl std::fmt::Display) -> Frame {
+        Frame::Error(format!("ERR {msg}"))
+    }
+
+    /// True if this is an error frame.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Frame::Error(_))
+    }
+
+    /// The frame as UTF-8 text, when it carries text.
+    pub fn as_text(&self) -> Option<String> {
+        match self {
+            Frame::Simple(s) | Frame::Error(s) => Some(s.clone()),
+            Frame::Bulk(b) => String::from_utf8(b.clone()).ok(),
+            _ => None,
+        }
+    }
+
+    /// The frame as an integer, when it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Frame::Integer(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The frame's array elements, when it is an array.
+    pub fn as_array(&self) -> Option<&[Frame]> {
+        match self {
+            Frame::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Frame {
+    /// Renders bulk payloads as (lossy) text — frames are overwhelmingly
+    /// textual and byte-list dumps make failures unreadable.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Frame::Simple(s) => write!(f, "Simple({s:?})"),
+            Frame::Error(s) => write!(f, "Error({s:?})"),
+            Frame::Integer(i) => write!(f, "Integer({i})"),
+            Frame::Bulk(b) => write!(f, "Bulk({:?})", String::from_utf8_lossy(b)),
+            Frame::Null => write!(f, "Null"),
+            Frame::Array(items) => f.debug_list().entries(items).finish(),
+            Frame::NullArray => write!(f, "NullArray"),
+        }
+    }
+}
+
+/// Errors from the RESP decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RespError {
+    /// Frame marker byte is not one of `+ - : $ *`.
+    BadMarker(u8),
+    /// A length or integer field failed to parse.
+    BadInteger,
+    /// Missing CRLF where one was required.
+    BadTerminator,
+    /// A declared bulk length is negative but not -1.
+    BadLength(i64),
+}
+
+impl std::fmt::Display for RespError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RespError::BadMarker(b) => write!(f, "unexpected RESP marker byte 0x{b:02x}"),
+            RespError::BadInteger => write!(f, "malformed RESP integer"),
+            RespError::BadTerminator => write!(f, "missing CRLF terminator"),
+            RespError::BadLength(n) => write!(f, "invalid RESP length {n}"),
+        }
+    }
+}
+
+impl std::error::Error for RespError {}
+
+/// Encodes a frame onto `buf`.
+pub fn encode(frame: &Frame, buf: &mut BytesMut) {
+    match frame {
+        Frame::Simple(s) => {
+            buf.put_u8(b'+');
+            buf.put_slice(s.as_bytes());
+            buf.put_slice(b"\r\n");
+        }
+        Frame::Error(s) => {
+            buf.put_u8(b'-');
+            buf.put_slice(s.as_bytes());
+            buf.put_slice(b"\r\n");
+        }
+        Frame::Integer(i) => {
+            buf.put_u8(b':');
+            buf.put_slice(i.to_string().as_bytes());
+            buf.put_slice(b"\r\n");
+        }
+        Frame::Bulk(b) => {
+            buf.put_u8(b'$');
+            buf.put_slice(b.len().to_string().as_bytes());
+            buf.put_slice(b"\r\n");
+            buf.put_slice(b);
+            buf.put_slice(b"\r\n");
+        }
+        Frame::Null => buf.put_slice(b"$-1\r\n"),
+        Frame::Array(items) => {
+            buf.put_u8(b'*');
+            buf.put_slice(items.len().to_string().as_bytes());
+            buf.put_slice(b"\r\n");
+            for item in items {
+                encode(item, buf);
+            }
+        }
+        Frame::NullArray => buf.put_slice(b"*-1\r\n"),
+    }
+}
+
+/// Encodes a client command (array of bulk strings) — the only shape clients
+/// send.
+pub fn encode_command(args: &[&[u8]], buf: &mut BytesMut) {
+    let frame = Frame::Array(args.iter().map(|a| Frame::Bulk(a.to_vec())).collect());
+    encode(&frame, buf);
+}
+
+/// Attempts to decode one frame from the front of `input`.
+///
+/// Returns `Ok(Some((frame, consumed)))` on success, `Ok(None)` when more
+/// bytes are needed, `Err` on protocol violation.
+pub fn decode(input: &[u8]) -> Result<Option<(Frame, usize)>, RespError> {
+    let Some((&marker, rest)) = input.split_first() else {
+        return Ok(None);
+    };
+    match marker {
+        b'+' | b'-' | b':' => {
+            let Some((line, line_len)) = read_line(rest) else {
+                return Ok(None);
+            };
+            let consumed = 1 + line_len;
+            let text = String::from_utf8_lossy(line).into_owned();
+            let frame = match marker {
+                b'+' => Frame::Simple(text),
+                b'-' => Frame::Error(text),
+                _ => Frame::Integer(text.parse().map_err(|_| RespError::BadInteger)?),
+            };
+            Ok(Some((frame, consumed)))
+        }
+        b'$' => {
+            let Some((line, line_len)) = read_line(rest) else {
+                return Ok(None);
+            };
+            let n: i64 = std::str::from_utf8(line)
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or(RespError::BadInteger)?;
+            if n == -1 {
+                return Ok(Some((Frame::Null, 1 + line_len)));
+            }
+            if n < 0 {
+                return Err(RespError::BadLength(n));
+            }
+            let n = n as usize;
+            let body_start = 1 + line_len;
+            if input.len() < body_start + n + 2 {
+                return Ok(None);
+            }
+            let body = &input[body_start..body_start + n];
+            if &input[body_start + n..body_start + n + 2] != b"\r\n" {
+                return Err(RespError::BadTerminator);
+            }
+            Ok(Some((Frame::Bulk(body.to_vec()), body_start + n + 2)))
+        }
+        b'*' => {
+            let Some((line, line_len)) = read_line(rest) else {
+                return Ok(None);
+            };
+            let n: i64 = std::str::from_utf8(line)
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or(RespError::BadInteger)?;
+            if n == -1 {
+                return Ok(Some((Frame::NullArray, 1 + line_len)));
+            }
+            if n < 0 {
+                return Err(RespError::BadLength(n));
+            }
+            let mut consumed = 1 + line_len;
+            let mut items = Vec::with_capacity((n as usize).min(64));
+            for _ in 0..n {
+                match decode(&input[consumed..])? {
+                    Some((frame, used)) => {
+                        items.push(frame);
+                        consumed += used;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            Ok(Some((Frame::Array(items), consumed)))
+        }
+        other => Err(RespError::BadMarker(other)),
+    }
+}
+
+/// Reads up to the next CRLF; returns (line content, bytes consumed incl.
+/// CRLF) or `None` if no CRLF yet.
+fn read_line(input: &[u8]) -> Option<(&[u8], usize)> {
+    let pos = input.windows(2).position(|w| w == b"\r\n")?;
+    Some((&input[..pos], pos + 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let mut buf = BytesMut::new();
+        encode(&frame, &mut buf);
+        let (decoded, consumed) = decode(&buf).unwrap().unwrap();
+        assert_eq!(decoded, frame);
+        assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn simple_roundtrip() {
+        roundtrip(Frame::Simple("OK".into()));
+    }
+
+    #[test]
+    fn error_roundtrip() {
+        roundtrip(Frame::Error("ERR something went wrong".into()));
+    }
+
+    #[test]
+    fn integer_roundtrips() {
+        roundtrip(Frame::Integer(0));
+        roundtrip(Frame::Integer(-1));
+        roundtrip(Frame::Integer(i64::MAX));
+    }
+
+    #[test]
+    fn bulk_roundtrips() {
+        roundtrip(Frame::Bulk(b"hello".to_vec()));
+        roundtrip(Frame::Bulk(vec![]));
+        roundtrip(Frame::Bulk(vec![0, 13, 10, 255])); // binary incl. CRLF bytes
+    }
+
+    #[test]
+    fn null_and_null_array() {
+        roundtrip(Frame::Null);
+        roundtrip(Frame::NullArray);
+    }
+
+    #[test]
+    fn nested_array_roundtrip() {
+        roundtrip(Frame::Array(vec![
+            Frame::Bulk(b"XADD".to_vec()),
+            Frame::Integer(7),
+            Frame::Array(vec![Frame::Simple("inner".into()), Frame::Null]),
+        ]));
+    }
+
+    #[test]
+    fn empty_array_roundtrip() {
+        roundtrip(Frame::Array(vec![]));
+    }
+
+    #[test]
+    fn incremental_decoding_waits_for_bytes() {
+        let mut buf = BytesMut::new();
+        encode(&Frame::Bulk(b"hello world".to_vec()), &mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(decode(&buf[..cut]).unwrap(), None, "cut={cut} should need more");
+        }
+        assert!(decode(&buf).unwrap().is_some());
+    }
+
+    #[test]
+    fn decode_reports_extra_bytes_via_consumed() {
+        let mut buf = BytesMut::new();
+        encode(&Frame::Integer(5), &mut buf);
+        let extra = buf.len();
+        encode(&Frame::Integer(6), &mut buf);
+        let (f1, c1) = decode(&buf).unwrap().unwrap();
+        assert_eq!(f1, Frame::Integer(5));
+        assert_eq!(c1, extra);
+        let (f2, _) = decode(&buf[c1..]).unwrap().unwrap();
+        assert_eq!(f2, Frame::Integer(6));
+    }
+
+    #[test]
+    fn bad_marker_rejected() {
+        assert_eq!(decode(b"!oops\r\n"), Err(RespError::BadMarker(b'!')));
+    }
+
+    #[test]
+    fn bad_integer_rejected() {
+        assert_eq!(decode(b":notanum\r\n"), Err(RespError::BadInteger));
+    }
+
+    #[test]
+    fn bad_bulk_terminator_rejected() {
+        assert_eq!(decode(b"$3\r\nabcXX"), Err(RespError::BadTerminator));
+    }
+
+    #[test]
+    fn negative_length_rejected() {
+        assert_eq!(decode(b"$-2\r\n"), Err(RespError::BadLength(-2)));
+        assert_eq!(decode(b"*-5\r\n"), Err(RespError::BadLength(-5)));
+    }
+
+    #[test]
+    fn encode_command_is_array_of_bulks() {
+        let mut buf = BytesMut::new();
+        encode_command(&[b"SET", b"k", b"v"], &mut buf);
+        let (frame, _) = decode(&buf).unwrap().unwrap();
+        assert_eq!(
+            frame,
+            Frame::Array(vec![
+                Frame::Bulk(b"SET".to_vec()),
+                Frame::Bulk(b"k".to_vec()),
+                Frame::Bulk(b"v".to_vec()),
+            ])
+        );
+    }
+
+    #[test]
+    fn frame_accessors() {
+        assert!(Frame::error("x").is_error());
+        assert_eq!(Frame::Integer(4).as_int(), Some(4));
+        assert_eq!(Frame::bulk("hi").as_text(), Some("hi".into()));
+        assert_eq!(Frame::Array(vec![Frame::Null]).as_array().unwrap().len(), 1);
+        assert_eq!(Frame::ok(), Frame::Simple("OK".into()));
+    }
+}

@@ -1,0 +1,206 @@
+//! The TCP server: RESP over a real socket, one thread per connection.
+//!
+//! This is the deployment shape the paper's Redis mappings talk to — going
+//! through a genuine wire protocol is what makes `dyn_redis` measurably
+//! heavier than `dyn_multi` (§5.6's Multiprocessing-vs-Redis finding).
+
+use crate::engine::Shared;
+use crate::resp::{self, Frame};
+use bytes::BytesMut;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A running redis-lite server.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds to `127.0.0.1:port` (`port` 0 picks a free port) and starts
+    /// accepting connections on a background thread.
+    pub fn start(port: u16) -> std::io::Result<Server> {
+        Self::start_shared(port, Arc::new(Shared::new()))
+    }
+
+    /// [`start`](Self::start) with append-only-file persistence: the log at
+    /// `aof_path` is replayed on startup and extended by every write.
+    pub fn start_with_aof(
+        port: u16,
+        aof_path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<Server> {
+        let shared = Shared::with_aof(aof_path, crate::aof::FsyncPolicy::No)?;
+        Self::start_shared(port, Arc::new(shared))
+    }
+
+    fn start_shared(port: u16, shared: Arc<Shared>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept_shared = shared.clone();
+        let accept_stop = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        let shared = accept_shared.clone();
+                        std::thread::spawn(move || handle_connection(stream, &shared));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(Server { shared, addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state (for in-process clients and tests).
+    pub fn shared(&self) -> Arc<Shared> {
+        self.shared.clone()
+    }
+
+    /// Stops accepting new connections. Existing connections die when their
+    /// peers disconnect.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the accept loop so it notices the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let mut inbox = BytesMut::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Decode every complete frame already buffered.
+        loop {
+            match resp::decode(&inbox) {
+                Ok(Some((frame, used))) => {
+                    let _ = inbox.split_to(used);
+                    let reply = match command_args(&frame) {
+                        Some(args) => shared.dispatch(&args),
+                        None => Frame::error("protocol error: expected array of bulk strings"),
+                    };
+                    let mut out = BytesMut::with_capacity(128);
+                    resp::encode(&reply, &mut out);
+                    if stream.write_all(&out).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    let mut out = BytesMut::new();
+                    resp::encode(&Frame::error("protocol error"), &mut out);
+                    let _ = stream.write_all(&out);
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return, // peer closed
+            Ok(n) => inbox.extend_from_slice(&chunk[..n]),
+        }
+    }
+}
+
+/// Extracts command arguments from a client frame (array of bulk strings).
+fn command_args(frame: &Frame) -> Option<Vec<Vec<u8>>> {
+    let items = frame.as_array()?;
+    let mut args = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            Frame::Bulk(b) => args.push(b.clone()),
+            Frame::Simple(s) => args.push(s.clone().into_bytes()),
+            _ => return None,
+        }
+    }
+    Some(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{Client, Connection, RedisOps};
+    use std::time::Duration;
+
+    #[test]
+    fn server_responds_over_tcp() {
+        let server = Server::start(0).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert_eq!(client.ping().unwrap(), "PONG");
+        client.set(b"k", b"v").unwrap();
+        assert_eq!(client.get(b"k").unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn multiple_clients_share_keyspace() {
+        let server = Server::start(0).unwrap();
+        let mut c1 = Client::connect(server.addr()).unwrap();
+        let mut c2 = Client::connect(server.addr()).unwrap();
+        c1.set(b"shared", b"yes").unwrap();
+        assert_eq!(c2.get(b"shared").unwrap(), Some(b"yes".to_vec()));
+    }
+
+    #[test]
+    fn blocking_pop_across_connections() {
+        let server = Server::start(0).unwrap();
+        let addr = server.addr();
+        let waiter = std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.request(&[b"BLPOP".as_ref(), b"jobs".as_ref(), b"2".as_ref()]).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let mut pusher = Client::connect(addr).unwrap();
+        pusher.request(&[b"RPUSH".as_ref(), b"jobs".as_ref(), b"task1".as_ref()]).unwrap();
+        let reply = waiter.join().unwrap();
+        assert!(format!("{reply:?}").contains("task1"));
+    }
+
+    #[test]
+    fn pipelined_commands_all_answered() {
+        let server = Server::start(0).unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        // Send several commands before reading any reply.
+        for i in 0..10 {
+            c.set(format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(c.get(format!("k{i}").as_bytes()).unwrap(), Some(b"v".to_vec()));
+        }
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let mut server = Server::start(0).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        std::thread::sleep(Duration::from_millis(10));
+        // Either the connect fails outright or the connection is dead.
+        if let Ok(mut c) = Client::connect(addr) {
+            assert!(c.ping().is_err());
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Concurrency and protocol stress tests for redis-lite.
+
+use redis_lite::client::{Client, Connection, RedisOps};
+use redis_lite::engine::Shared;
+use redis_lite::resp::Frame;
+use redis_lite::server::Server;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn f(parts: &[&str]) -> Vec<Vec<u8>> {
+    parts.iter().map(|p| p.as_bytes().to_vec()).collect()
+}
+
+#[test]
+fn concurrent_increments_are_atomic() {
+    let shared = Arc::new(Shared::new());
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let s = shared.clone();
+            std::thread::spawn(move || {
+                for _ in 0..250 {
+                    s.dispatch(&f(&["INCR", "counter"]));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(shared.dispatch(&f(&["GET", "counter"])), Frame::bulk("2000"));
+}
+
+#[test]
+fn concurrent_stream_consumers_see_each_entry_once() {
+    let shared = Arc::new(Shared::new());
+    shared.dispatch(&f(&["XGROUP", "CREATE", "s", "g", "0", "MKSTREAM"]));
+    for i in 0..200 {
+        shared.dispatch(&f(&["XADD", "s", "*", "n", &i.to_string()]));
+    }
+    let handles: Vec<_> = (0..4)
+        .map(|c| {
+            let s = shared.clone();
+            std::thread::spawn(move || {
+                let consumer = format!("c{c}");
+                let mut got = Vec::new();
+                loop {
+                    let reply = s.dispatch(&f(&[
+                        "XREADGROUP", "GROUP", "g", &consumer, "COUNT", "1", "NOACK",
+                        "STREAMS", "s", ">",
+                    ]));
+                    match reply {
+                        Frame::NullArray | Frame::Null => break,
+                        Frame::Array(streams) => {
+                            let text = format!("{streams:?}");
+                            got.push(text);
+                        }
+                        other => panic!("unexpected: {other:?}"),
+                    }
+                }
+                got.len()
+            })
+        })
+        .collect();
+    let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, 200, "every entry delivered to exactly one consumer");
+}
+
+#[test]
+fn many_parallel_tcp_clients() {
+    let server = Server::start(0).unwrap();
+    let addr = server.addr();
+    let handles: Vec<_> = (0..10)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for j in 0..50 {
+                    let key = format!("k:{i}:{j}");
+                    c.set(key.as_bytes(), b"v").unwrap();
+                    assert_eq!(c.get(key.as_bytes()).unwrap(), Some(b"v".to_vec()));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut c = Client::connect(addr).unwrap();
+    let reply = c.request(&[b"DBSIZE"]).unwrap();
+    assert_eq!(reply, Frame::Integer(500));
+}
+
+#[test]
+fn blocking_readers_all_wake_as_data_arrives() {
+    let server = Server::start(0).unwrap();
+    let addr = server.addr();
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.request(&[b"BLPOP".as_ref(), b"work".as_ref(), b"3".as_ref()]).unwrap()
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+    let mut pusher = Client::connect(addr).unwrap();
+    for i in 0..4 {
+        pusher
+            .request(&[b"RPUSH".as_ref(), b"work".as_ref(), format!("job{i}").as_bytes()])
+            .unwrap();
+    }
+    let mut delivered = 0;
+    for r in readers {
+        let reply = r.join().unwrap();
+        if reply != Frame::NullArray {
+            delivered += 1;
+        }
+    }
+    assert_eq!(delivered, 4, "each blocked reader gets exactly one job");
+}
+
+#[test]
+fn mixed_type_commands_under_contention_never_corrupt() {
+    let shared = Arc::new(Shared::new());
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            let s = shared.clone();
+            std::thread::spawn(move || {
+                for i in 0..100 {
+                    match t % 3 {
+                        0 => {
+                            s.dispatch(&f(&["LPUSH", "list", &i.to_string()]));
+                            s.dispatch(&f(&["RPOP", "list"]));
+                        }
+                        1 => {
+                            s.dispatch(&f(&["HSET", "hash", &format!("f{i}"), "v"]));
+                        }
+                        _ => {
+                            s.dispatch(&f(&["SADD", "set", &i.to_string()]));
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Hash has 100 distinct fields (written twice each), set 100 members.
+    assert_eq!(shared.dispatch(&f(&["HLEN", "hash"])), Frame::Integer(100));
+    assert_eq!(shared.dispatch(&f(&["SCARD", "set"])), Frame::Integer(100));
+    // List drained to 0 or small residue; type must be intact (no WRONGTYPE).
+    let llen = shared.dispatch(&f(&["LLEN", "list"]));
+    assert!(matches!(llen, Frame::Integer(n) if n >= 0));
+}
+
+#[test]
+fn oversized_pipeline_on_one_connection() {
+    let server = Server::start(0).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    // 1000 sequential commands over one connection.
+    for i in 0..1000 {
+        let reply = c
+            .request(&[b"APPEND".as_ref(), b"log".as_ref(), b"x".as_ref()])
+            .unwrap();
+        assert_eq!(reply, Frame::Integer(i + 1));
+    }
+}
+
+#[test]
+fn aof_persists_state_across_restarts() {
+    use redis_lite::aof::FsyncPolicy;
+    let path = std::env::temp_dir()
+        .join(format!("d4py_aof_restart_{}.aof", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    {
+        let shared = Shared::with_aof(&path, FsyncPolicy::Always).unwrap();
+        shared.dispatch(&f(&["SET", "config:mode", "hybrid"]));
+        shared.dispatch(&f(&["RPUSH", "jobs", "j1", "j2"]));
+        shared.dispatch(&f(&["XADD", "stream", "*", "task", "payload"]));
+        shared.dispatch(&f(&["HSET", "state", "happyState#0", "snapshot"]));
+        // A consumed job (blocking pop) must not reappear after replay.
+        shared.dispatch(&f(&["BLPOP", "jobs", "1"]));
+    }
+    let revived = Shared::with_aof(&path, FsyncPolicy::Always).unwrap();
+    assert_eq!(revived.dispatch(&f(&["GET", "config:mode"])), Frame::bulk("hybrid"));
+    assert_eq!(revived.dispatch(&f(&["LLEN", "jobs"])), Frame::Integer(1));
+    assert_eq!(
+        revived.dispatch(&f(&["LRANGE", "jobs", "0", "-1"])),
+        Frame::Array(vec![Frame::bulk("j2")]),
+        "the BLPOP-consumed j1 must not be replayed back"
+    );
+    assert_eq!(revived.dispatch(&f(&["XLEN", "stream"])), Frame::Integer(1));
+    assert_eq!(
+        revived.dispatch(&f(&["HGET", "state", "happyState#0"])),
+        Frame::bulk("snapshot")
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn aof_ignores_failed_writes_and_reads() {
+    use redis_lite::aof::{Aof, FsyncPolicy};
+    let path = std::env::temp_dir()
+        .join(format!("d4py_aof_filter_{}.aof", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    {
+        let shared = Shared::with_aof(&path, FsyncPolicy::Always).unwrap();
+        shared.dispatch(&f(&["SET", "k", "v"]));
+        shared.dispatch(&f(&["GET", "k"])); // read: not logged
+        shared.dispatch(&f(&["INCR", "k"])); // fails (not an int): not logged
+    }
+    let commands = Aof::load(&path).unwrap();
+    assert_eq!(commands.len(), 1, "{commands:?}");
+    assert_eq!(commands[0][0], b"SET".to_vec());
+    let _ = std::fs::remove_file(&path);
+}

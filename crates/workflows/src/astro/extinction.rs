@@ -1,0 +1,82 @@
+//! The internal-extinction computation (the workflow's final PE).
+//!
+//! Internal extinction corrects a galaxy's observed luminosity for
+//! absorption by its own dust, which depends on the disc's inclination
+//! (via the axis ratio `logr25`) and the morphological type `t`. We use the
+//! standard HyperLEDA-style form `A_int = γ(t) · logr25`, with the
+//! type-dependent coefficient γ peaking for intermediate spirals and
+//! vanishing for ellipticals (t ≤ 0), which is the behaviour the real
+//! workflow's table encodes.
+
+/// The type-dependent extinction coefficient γ(t).
+///
+/// Zero for ellipticals/lenticulars (t ≤ 0), rising to ≈1.5 for Sb–Sc
+/// spirals (t ≈ 3–5), falling off toward irregulars.
+pub fn gamma(morph_type: f64) -> f64 {
+    if morph_type <= 0.0 {
+        0.0
+    } else {
+        (1.5 - 0.03 * (morph_type - 5.0).powi(2)).max(0.0)
+    }
+}
+
+/// Internal extinction in magnitudes for one galaxy row.
+pub fn internal_extinction(morph_type: f64, logr25: f64) -> f64 {
+    gamma(morph_type) * logr25.max(0.0)
+}
+
+/// Mean internal extinction over a table's rows (the per-galaxy result the
+/// workflow reports). `None` when the table is empty.
+pub fn mean_extinction(rows: &[(f64, f64)]) -> Option<f64> {
+    if rows.is_empty() {
+        return None;
+    }
+    let sum: f64 = rows.iter().map(|&(t, lr)| internal_extinction(t, lr)).sum();
+    Some(sum / rows.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ellipticals_have_no_internal_extinction() {
+        assert_eq!(gamma(-5.0), 0.0);
+        assert_eq!(gamma(0.0), 0.0);
+        assert_eq!(internal_extinction(-3.0, 0.8), 0.0);
+    }
+
+    #[test]
+    fn gamma_peaks_at_intermediate_spirals() {
+        assert!(gamma(5.0) > gamma(1.0));
+        assert!(gamma(5.0) > gamma(9.5));
+        assert!((gamma(5.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extinction_grows_with_inclination() {
+        // Larger logr25 (more edge-on) → more dust along the line of sight.
+        assert!(internal_extinction(4.0, 0.9) > internal_extinction(4.0, 0.1));
+    }
+
+    #[test]
+    fn extinction_is_nonnegative() {
+        for t in [-5.0, 0.0, 2.5, 5.0, 9.9] {
+            for lr in [0.0, 0.3, 1.0] {
+                assert!(internal_extinction(t, lr) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_extinction_averages() {
+        let rows = vec![(5.0, 1.0), (5.0, 0.0)];
+        assert!((mean_extinction(&rows).unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(mean_extinction(&[]), None);
+    }
+
+    #[test]
+    fn negative_logr25_clamped() {
+        assert_eq!(internal_extinction(5.0, -0.2), 0.0);
+    }
+}

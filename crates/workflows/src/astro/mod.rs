@@ -1,0 +1,9 @@
+//! Internal Extinction of Galaxies (§4.1): catalogue, synthetic VO service,
+//! extinction physics, and the 4-PE workflow builder.
+
+pub mod catalog;
+pub mod extinction;
+pub mod votable;
+pub mod workflow;
+
+pub use workflow::{build, DOWNLOAD_BASE, GALAXIES_PER_X};

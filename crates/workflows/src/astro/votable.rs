@@ -1,0 +1,89 @@
+//! Synthetic VOTable service (stands in for the VizieR/HyperLEDA download).
+//!
+//! The real `getVOTable` PE downloads a VOTable for each galaxy from a VO
+//! service — an I/O-latency-bound step. The substitute derives a
+//! deterministic result table from the coordinates (so reruns and different
+//! mappings agree) and models the service latency explicitly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// One row of the (synthetic) HyperLEDA response for a galaxy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoRow {
+    /// Morphological type code `t` in [-5, 10] (elliptical → irregular).
+    pub morph_type: f64,
+    /// log10 of the apparent axis ratio, `logr25` in [0, 1].
+    pub logr25: f64,
+    /// Apparent magnitude (carried along; filtered out downstream).
+    pub magnitude: f64,
+    /// Heliocentric radial velocity km/s (carried along; filtered out).
+    pub velocity: f64,
+}
+
+/// The per-galaxy service response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoTable {
+    /// Rows matched near the queried coordinates (1–3 typically).
+    pub rows: Vec<VoRow>,
+}
+
+/// Deterministic synthetic service: the response depends only on (ra, dec).
+pub fn query(ra: f64, dec: f64) -> VoTable {
+    // Derive a stable seed from the coordinates.
+    let seed = (ra.to_bits() ^ dec.to_bits().rotate_left(21)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 1 + (rng.gen::<f64>() * 2.5) as usize; // 1..=3 rows
+    let rows = (0..n)
+        .map(|_| VoRow {
+            morph_type: rng.gen_range(-5.0..10.0),
+            logr25: rng.gen::<f64>(),
+            magnitude: rng.gen_range(8.0..18.0),
+            velocity: rng.gen_range(-500.0..12_000.0),
+        })
+        .collect();
+    VoTable { rows }
+}
+
+/// The modelled service round-trip latency for one query: a base network
+/// cost plus a size-dependent component, deterministic per galaxy.
+pub fn service_latency(ra: f64, dec: f64, base: Duration) -> Duration {
+    let seed = (ra.to_bits().rotate_left(7) ^ dec.to_bits()).wrapping_mul(0xD134_2543_DE82_EF95);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // 1.0×–2.5× the base cost: service jitter.
+    base.mul_f64(1.0 + 1.5 * rng.gen::<f64>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_is_deterministic() {
+        let a = query(123.4, -45.6);
+        let b = query(123.4, -45.6);
+        assert_eq!(a, b);
+        assert_ne!(a, query(123.5, -45.6));
+    }
+
+    #[test]
+    fn rows_within_documented_ranges() {
+        for i in 0..200 {
+            let t = query(i as f64 * 1.7, (i as f64 * 0.3) - 30.0);
+            assert!(!t.rows.is_empty() && t.rows.len() <= 3);
+            for row in &t.rows {
+                assert!((-5.0..10.0).contains(&row.morph_type));
+                assert!((0.0..1.0).contains(&row.logr25));
+            }
+        }
+    }
+
+    #[test]
+    fn latency_scales_with_base_and_is_bounded() {
+        let base = Duration::from_millis(10);
+        let lat = service_latency(10.0, 20.0, base);
+        assert!(lat >= base && lat <= base.mul_f64(2.5));
+        assert_eq!(lat, service_latency(10.0, 20.0, base), "deterministic");
+    }
+}

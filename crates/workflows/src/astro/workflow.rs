@@ -1,0 +1,297 @@
+//! The Internal Extinction of Galaxies workflow (§4.1, Figure 5).
+//!
+//! Four stateless PEs: `read RaDec` → `getVO Table` → `filter Columns` →
+//! `internal Extinction`. The stream length scales with the workload
+//! multiplier (1X = 100 galaxies); the heavy variant adds beta(2, 5) delays
+//! inside the two middle PEs, exactly as the paper does.
+
+use crate::config::WorkloadConfig;
+use crate::{astro::catalog, astro::extinction, astro::votable};
+use d4py_core::executable::Executable;
+use d4py_core::pe::{Context, FnSource, ProcessingElement};
+use d4py_core::value::Value;
+use d4py_core::workload::BetaSampler;
+use d4py_graph::{Grouping, PeSpec, WorkflowGraph};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Galaxies per 1X of workload.
+pub const GALAXIES_PER_X: u32 = 100;
+/// Base service latency of one VOTable download.
+pub const DOWNLOAD_BASE: Duration = Duration::from_millis(8);
+/// Base compute time of the column filter.
+pub const FILTER_COMPUTE: Duration = Duration::from_millis(2);
+/// Base compute time of the extinction computation.
+pub const EXTINCTION_COMPUTE: Duration = Duration::from_millis(1);
+
+/// Distinguishes RNG streams across PE instances within one process.
+static INSTANCE_SALT: AtomicU64 = AtomicU64::new(0);
+
+fn instance_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ INSTANCE_SALT.fetch_add(0x9E37_79B9, Ordering::Relaxed))
+}
+
+/// Heavy-variant delay helper shared by the middle PEs.
+struct HeavyDelay {
+    sampler: BetaSampler,
+    rng: StdRng,
+    max: Duration,
+    enabled: bool,
+}
+
+impl HeavyDelay {
+    fn new(cfg: &WorkloadConfig) -> Self {
+        Self {
+            sampler: BetaSampler::paper(),
+            rng: instance_rng(cfg.seed),
+            max: cfg.scaled(cfg.heavy_max),
+            enabled: cfg.heavy,
+        }
+    }
+
+    fn apply(&mut self) {
+        if self.enabled {
+            let d = self.sampler.sample_duration(&mut self.rng, self.max);
+            if !d.is_zero() {
+                std::thread::sleep(d);
+            }
+        }
+    }
+}
+
+/// `getVO Table`: simulated VO-service download (latency-bound).
+struct GetVoTable {
+    cfg: WorkloadConfig,
+    heavy: HeavyDelay,
+}
+
+impl ProcessingElement for GetVoTable {
+    fn process(&mut self, _port: &str, galaxy: Value, ctx: &mut dyn Context) {
+        let ra = galaxy.get("ra").and_then(Value::as_float).unwrap_or(0.0);
+        let dec = galaxy.get("dec").and_then(Value::as_float).unwrap_or(0.0);
+        // Network download: blocks without occupying a simulated core.
+        let latency =
+            votable::service_latency(ra, dec, self.cfg.scaled(DOWNLOAD_BASE));
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+        self.heavy.apply();
+        let table = votable::query(ra, dec);
+        let rows = Value::List(
+            table
+                .rows
+                .iter()
+                .map(|r| {
+                    Value::map([
+                        ("t", Value::Float(r.morph_type)),
+                        ("logr25", Value::Float(r.logr25)),
+                        ("mag", Value::Float(r.magnitude)),
+                        ("vel", Value::Float(r.velocity)),
+                    ])
+                })
+                .collect(),
+        );
+        ctx.emit(
+            "output",
+            Value::map([
+                ("id", galaxy.get("id").cloned().unwrap_or(Value::Null)),
+                ("rows", rows),
+            ]),
+        );
+    }
+}
+
+/// `filter Columns`: keeps only the columns extinction needs.
+struct FilterColumns {
+    cfg: WorkloadConfig,
+    heavy: HeavyDelay,
+}
+
+impl ProcessingElement for FilterColumns {
+    fn process(&mut self, _port: &str, table: Value, ctx: &mut dyn Context) {
+        self.cfg.limiter.compute(self.cfg.scaled(FILTER_COMPUTE));
+        self.heavy.apply();
+        let filtered = Value::List(
+            table
+                .get("rows")
+                .and_then(Value::as_list)
+                .unwrap_or(&[])
+                .iter()
+                .map(|row| {
+                    Value::map([
+                        ("t", row.get("t").cloned().unwrap_or(Value::Float(0.0))),
+                        (
+                            "logr25",
+                            row.get("logr25").cloned().unwrap_or(Value::Float(0.0)),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        ctx.emit(
+            "output",
+            Value::map([
+                ("id", table.get("id").cloned().unwrap_or(Value::Null)),
+                ("rows", filtered),
+            ]),
+        );
+    }
+}
+
+/// `internal Extinction`: the final computation; results go to the shared
+/// collector handle.
+struct InternalExtinction {
+    cfg: WorkloadConfig,
+    results: Arc<Mutex<Vec<Value>>>,
+}
+
+impl ProcessingElement for InternalExtinction {
+    fn process(&mut self, _port: &str, table: Value, _ctx: &mut dyn Context) {
+        self.cfg.limiter.compute(self.cfg.scaled(EXTINCTION_COMPUTE));
+        let rows: Vec<(f64, f64)> = table
+            .get("rows")
+            .and_then(Value::as_list)
+            .unwrap_or(&[])
+            .iter()
+            .map(|r| {
+                (
+                    r.get("t").and_then(Value::as_float).unwrap_or(0.0),
+                    r.get("logr25").and_then(Value::as_float).unwrap_or(0.0),
+                )
+            })
+            .collect();
+        if let Some(mean) = extinction::mean_extinction(&rows) {
+            self.results.lock().push(Value::map([
+                ("id", table.get("id").cloned().unwrap_or(Value::Null)),
+                ("extinction", Value::Float(mean)),
+            ]));
+        }
+    }
+}
+
+/// Builds the workflow. Returns the executable and the shared handle the
+/// final PE appends `{id, extinction}` results to.
+pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<Value>>>) {
+    let mut g = WorkflowGraph::new("internal_extinction_of_galaxies");
+    let read = g.add_pe(PeSpec::source("readRaDec", "output"));
+    let getvo = g.add_pe(PeSpec::transform("getVOTable", "input", "output"));
+    let filter = g.add_pe(PeSpec::transform("filterColumns", "input", "output"));
+    let intext = g.add_pe(PeSpec::sink("internalExtinction", "input"));
+    g.connect(read, "output", getvo, "input", Grouping::Shuffle).unwrap();
+    g.connect(getvo, "output", filter, "input", Grouping::Shuffle).unwrap();
+    g.connect(filter, "output", intext, "input", Grouping::Shuffle).unwrap();
+
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let mut exe = Executable::new(g).expect("astro graph is valid");
+
+    let n = cfg.scale * GALAXIES_PER_X;
+    let seed = cfg.seed;
+    exe.register(read, move || {
+        Box::new(FnSource(move |ctx: &mut dyn Context| {
+            for gal in catalog::generate(n, seed) {
+                ctx.emit(
+                    "output",
+                    Value::map([
+                        ("id", Value::Int(gal.id as i64)),
+                        ("ra", Value::Float(gal.ra)),
+                        ("dec", Value::Float(gal.dec)),
+                    ]),
+                );
+            }
+        }))
+    });
+    let cfg_vo = cfg.clone();
+    exe.register(getvo, move || {
+        Box::new(GetVoTable { cfg: cfg_vo.clone(), heavy: HeavyDelay::new(&cfg_vo) })
+    });
+    let cfg_f = cfg.clone();
+    exe.register(filter, move || {
+        Box::new(FilterColumns { cfg: cfg_f.clone(), heavy: HeavyDelay::new(&cfg_f) })
+    });
+    let cfg_e = cfg.clone();
+    let res = results.clone();
+    exe.register(intext, move || {
+        Box::new(InternalExtinction { cfg: cfg_e.clone(), results: res.clone() })
+    });
+
+    (exe.seal().expect("all astro PEs registered"), results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d4py_core::mapping::Mapping;
+    use d4py_core::mappings::{DynMulti, Multi, Simple};
+    use d4py_core::options::ExecutionOptions;
+
+    fn fast_cfg() -> WorkloadConfig {
+        WorkloadConfig::standard().with_time_scale(0.01)
+    }
+
+    #[test]
+    fn simple_run_produces_one_result_per_galaxy() {
+        let (exe, results) = build(&fast_cfg());
+        Simple.execute(&exe, &ExecutionOptions::new(1)).unwrap();
+        assert_eq!(results.lock().len(), 100);
+    }
+
+    #[test]
+    fn results_identical_across_mappings() {
+        let sorted = |results: &Arc<Mutex<Vec<Value>>>| {
+            let mut v: Vec<(i64, f64)> = results
+                .lock()
+                .iter()
+                .map(|r| {
+                    (
+                        r.get("id").unwrap().as_int().unwrap(),
+                        r.get("extinction").unwrap().as_float().unwrap(),
+                    )
+                })
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        let (exe, r1) = build(&fast_cfg());
+        Simple.execute(&exe, &ExecutionOptions::new(1)).unwrap();
+        let (exe, r2) = build(&fast_cfg());
+        DynMulti.execute(&exe, &ExecutionOptions::new(4)).unwrap();
+        let (exe, r3) = build(&fast_cfg());
+        Multi.execute(&exe, &ExecutionOptions::new(4)).unwrap();
+        assert_eq!(sorted(&r1), sorted(&r2));
+        assert_eq!(sorted(&r1), sorted(&r3));
+    }
+
+    #[test]
+    fn scale_multiplies_stream_length() {
+        let (exe, results) = build(&fast_cfg().with_scale(3));
+        Simple.execute(&exe, &ExecutionOptions::new(1)).unwrap();
+        assert_eq!(results.lock().len(), 300);
+    }
+
+    #[test]
+    fn extinctions_are_physical() {
+        let (exe, results) = build(&fast_cfg());
+        Simple.execute(&exe, &ExecutionOptions::new(1)).unwrap();
+        for r in results.lock().iter() {
+            let a = r.get("extinction").unwrap().as_float().unwrap();
+            assert!((0.0..=1.5).contains(&a), "extinction {a} out of range");
+        }
+    }
+
+    #[test]
+    fn heavy_variant_takes_longer() {
+        let base = {
+            let (exe, _) = build(&fast_cfg());
+            Simple.execute(&exe, &ExecutionOptions::new(1)).unwrap().runtime
+        };
+        let heavy = {
+            let (exe, _) = build(&fast_cfg().heavy());
+            Simple.execute(&exe, &ExecutionOptions::new(1)).unwrap().runtime
+        };
+        assert!(heavy > base, "heavy {heavy:?} must exceed standard {base:?}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Workload configuration shared by the three use-case workflows.
+
+use d4py_core::platform::CoreLimiter;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Parameters controlling a workflow build.
+#[derive(Clone)]
+pub struct WorkloadConfig {
+    /// Stream-length multiplier: the paper's 1X/3X/5X/10X knob
+    /// (1X = 100 galaxies for the astro workflow).
+    pub scale: u32,
+    /// The "heavy" variant: adds beta(2, 5)-distributed delays of up to
+    /// [`heavy_max`](Self::heavy_max) inside the middle PEs (§4.1).
+    pub heavy: bool,
+    /// Upper bound of the heavy delay (the paper uses 1 s).
+    pub heavy_max: Duration,
+    /// Multiplier applied to *every* service time, so experiments can be
+    /// shrunk to bench-friendly durations while preserving all ratios.
+    pub time_scale: f64,
+    /// PRNG seed for data generation and delay sampling.
+    pub seed: u64,
+    /// Simulated-core limiter compute-bound work runs under.
+    pub limiter: Arc<CoreLimiter>,
+}
+
+impl WorkloadConfig {
+    /// A 1X standard workload with no platform cap.
+    pub fn standard() -> Self {
+        Self {
+            scale: 1,
+            heavy: false,
+            heavy_max: Duration::from_secs(1),
+            time_scale: 1.0,
+            seed: 42,
+            limiter: CoreLimiter::unlimited(),
+        }
+    }
+
+    /// Sets the stream-length multiplier (builder style).
+    pub fn with_scale(mut self, scale: u32) -> Self {
+        self.scale = scale.max(1);
+        self
+    }
+
+    /// Switches on the heavy variant (builder style).
+    pub fn heavy(mut self) -> Self {
+        self.heavy = true;
+        self
+    }
+
+    /// Shrinks/stretches every service time (builder style).
+    pub fn with_time_scale(mut self, ts: f64) -> Self {
+        self.time_scale = ts;
+        self
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Shares a core limiter (builder style).
+    pub fn with_limiter(mut self, limiter: Arc<CoreLimiter>) -> Self {
+        self.limiter = limiter;
+        self
+    }
+
+    /// Scales a base service time by [`time_scale`](Self::time_scale).
+    pub fn scaled(&self, base: Duration) -> Duration {
+        base.mul_f64(self.time_scale)
+    }
+}
+
+impl std::fmt::Debug for WorkloadConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadConfig")
+            .field("scale", &self.scale)
+            .field("heavy", &self.heavy)
+            .field("time_scale", &self.time_scale)
+            .field("seed", &self.seed)
+            .field("cores", &self.limiter.cores())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let cfg = WorkloadConfig::standard()
+            .with_scale(5)
+            .heavy()
+            .with_time_scale(0.1)
+            .with_seed(7);
+        assert_eq!(cfg.scale, 5);
+        assert!(cfg.heavy);
+        assert_eq!(cfg.time_scale, 0.1);
+        assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    fn scale_floor_is_one() {
+        assert_eq!(WorkloadConfig::standard().with_scale(0).scale, 1);
+    }
+
+    #[test]
+    fn scaled_applies_time_scale() {
+        let cfg = WorkloadConfig::standard().with_time_scale(0.5);
+        assert_eq!(cfg.scaled(Duration::from_millis(10)), Duration::from_millis(5));
+    }
+}

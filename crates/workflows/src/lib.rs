@@ -1,0 +1,26 @@
+//! # d4py-workflows — the paper's three evaluation workflows
+//!
+//! Faithful reconstructions of the §4 use cases, each with synthetic data
+//! substitutes documented in DESIGN.md:
+//!
+//! * [`astro`] — Internal Extinction of Galaxies: 4 stateless PEs, a
+//!   latency-bound VO "download", scalable 1X–10X with a heavy (beta-delay)
+//!   variant;
+//! * [`seismic`] — Seismic Cross-Correlation phase 1: 9 PEs with
+//!   heterogeneous per-PE cost and a disk-writing sink;
+//! * [`sentiment`] — Sentiment Analyses for News Articles: dual sentiment
+//!   pathways feeding a group-by-state stateful aggregation and a global
+//!   top-3 reducer.
+//!
+//! Each `build` returns an [`Executable`](d4py_core::executable::Executable)
+//! plus a shared results handle, so every mapping can be validated against
+//! the same ground truth.
+
+#![warn(missing_docs)]
+
+pub mod astro;
+pub mod config;
+pub mod seismic;
+pub mod sentiment;
+
+pub use config::WorkloadConfig;

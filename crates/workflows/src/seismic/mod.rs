@@ -1,0 +1,9 @@
+//! Seismic Cross-Correlation phase 1 (§4.2): synthetic waveforms, DSP
+//! kernels, and the 9-PE workflow builder.
+
+pub mod dsp;
+pub mod phase2;
+pub mod waveform;
+pub mod workflow;
+
+pub use workflow::{build, STATIONS_PER_X};

@@ -1,0 +1,103 @@
+//! Synthetic seismic waveforms (stands in for FDSN station data).
+//!
+//! Each station produces a fixed-length trace: a slow tidal drift (linear
+//! trend + DC offset), a couple of sinusoidal microseism bands, white noise,
+//! and occasionally an "event" spike train — enough structure that every
+//! stage of the phase-1 pipeline (detrend, demean, bandpass, whiten, …)
+//! has real work to do and testable effect.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples per trace (after the paper's pre-decimation stage lengths).
+pub const TRACE_LEN: usize = 512;
+/// Nominal sampling rate in Hz.
+pub const SAMPLE_RATE: f64 = 20.0;
+
+/// One station's raw trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Station code, e.g. "ST017".
+    pub station: String,
+    /// Raw samples.
+    pub samples: Vec<f64>,
+}
+
+/// Generates `n` station traces deterministically from `seed`.
+pub fn generate(n: u32, seed: u64) -> Vec<Trace> {
+    (0..n).map(|i| station_trace(i, seed)).collect()
+}
+
+/// One deterministic station trace.
+pub fn station_trace(index: u32, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(index as u64 * 0x1234_5678_9ABC));
+    let offset = rng.gen_range(-50.0..50.0);
+    let drift = rng.gen_range(-0.05..0.05);
+    let f1 = rng.gen_range(0.1..0.3); // primary microseism, Hz
+    let f2 = rng.gen_range(0.5..1.5); // secondary band
+    let a1 = rng.gen_range(1.0..5.0);
+    let a2 = rng.gen_range(0.5..2.0);
+    let noise = rng.gen_range(0.2..1.0);
+    let has_event = rng.gen::<f64>() < 0.3;
+    let event_at = rng.gen_range(0..TRACE_LEN);
+
+    let samples = (0..TRACE_LEN)
+        .map(|k| {
+            let t = k as f64 / SAMPLE_RATE;
+            let mut x = offset
+                + drift * k as f64
+                + a1 * (2.0 * std::f64::consts::PI * f1 * t).sin()
+                + a2 * (2.0 * std::f64::consts::PI * f2 * t).sin()
+                + noise * (rng.gen::<f64>() * 2.0 - 1.0);
+            if has_event && (event_at..event_at + 8).contains(&k) {
+                x += 20.0 * (-((k - event_at) as f64) / 3.0).exp();
+            }
+            x
+        })
+        .collect();
+    Trace { station: format!("ST{index:03}"), samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_and_count() {
+        let a = generate(10, 5);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a, generate(10, 5));
+        assert_ne!(a, generate(10, 6));
+    }
+
+    #[test]
+    fn traces_have_expected_length_and_names() {
+        let traces = generate(3, 1);
+        for (i, t) in traces.iter().enumerate() {
+            assert_eq!(t.samples.len(), TRACE_LEN);
+            assert_eq!(t.station, format!("ST{i:03}"));
+        }
+    }
+
+    #[test]
+    fn traces_carry_dc_offset_and_structure() {
+        // At least some stations must have a non-trivial mean (DC offset) —
+        // otherwise demean would be a no-op and the pipeline untestable.
+        let traces = generate(20, 2);
+        let with_offset = traces
+            .iter()
+            .filter(|t| {
+                let mean: f64 = t.samples.iter().sum::<f64>() / t.samples.len() as f64;
+                mean.abs() > 1.0
+            })
+            .count();
+        assert!(with_offset > 10, "only {with_offset}/20 have a DC offset");
+    }
+
+    #[test]
+    fn different_stations_differ() {
+        let a = station_trace(0, 1);
+        let b = station_trace(1, 1);
+        assert_ne!(a.samples, b.samples);
+    }
+}

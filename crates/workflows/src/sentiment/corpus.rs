@@ -1,0 +1,171 @@
+//! Synthetic news-article corpus (stands in for the Kaggle dataset).
+//!
+//! Articles carry a publication `state` and body text mixing neutral filler
+//! with sentiment words. Each state gets a deterministic *mood bias* — the
+//! probability that a sentiment word drawn for an article from that state
+//! is positive — so aggregate happiness genuinely differs between states
+//! and the workflow's "top 3 happiest" answer is meaningful, stable across
+//! seeds of the same value, and checkable in tests.
+
+use crate::sentiment::lexicon;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The publication locations used by the generator.
+pub const STATES: &[&str] = &[
+    "Texas",
+    "California",
+    "NewYork",
+    "Florida",
+    "Ohio",
+    "Washington",
+    "Colorado",
+    "Georgia",
+    "Michigan",
+    "Oregon",
+    "Arizona",
+    "Illinois",
+    "Virginia",
+    "Nevada",
+    "Utah",
+    "Maine",
+];
+
+const FILLER: &[&str] = &[
+    "the", "a", "of", "and", "to", "in", "report", "city", "council", "local", "residents",
+    "today", "officials", "company", "announced", "measure", "plan", "project", "community",
+    "state", "during", "after", "before", "year", "market", "school", "team", "weather",
+];
+
+/// One synthetic article.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Article {
+    /// Corpus index.
+    pub id: u32,
+    /// Publication state (one of [`STATES`]).
+    pub state: String,
+    /// Body text.
+    pub text: String,
+}
+
+/// A state's mood bias in [0.15, 0.85]: P(sentiment word is positive).
+/// Deterministic per state name, independent of the corpus seed — the
+/// "ground truth" tests rank against.
+pub fn mood_bias(state: &str) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in state.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    0.15 + 0.7 * ((h >> 11) as f64 / (1u64 << 53) as f64)
+}
+
+/// Generates `n` articles deterministically from `seed`.
+pub fn generate(n: u32, seed: u64) -> Vec<Article> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let positive: Vec<&str> = lexicon::positive_words().collect();
+    let negative: Vec<&str> = lexicon::negative_words().collect();
+    (0..n)
+        .map(|id| {
+            let state = STATES[rng.gen_range(0..STATES.len())];
+            let bias = mood_bias(state);
+            let words = rng.gen_range(30..80);
+            let mut text = String::new();
+            for w in 0..words {
+                if w > 0 {
+                    text.push(' ');
+                }
+                // Roughly every fourth word carries sentiment.
+                if rng.gen::<f64>() < 0.25 {
+                    let word = if rng.gen::<f64>() < bias {
+                        positive[rng.gen_range(0..positive.len())]
+                    } else {
+                        negative[rng.gen_range(0..negative.len())]
+                    };
+                    text.push_str(word);
+                } else {
+                    text.push_str(FILLER[rng.gen_range(0..FILLER.len())]);
+                }
+            }
+            // Sprinkle punctuation the tokenizer must strip.
+            text.push('.');
+            Article { id, state: state.to_string(), text }
+        })
+        .collect()
+}
+
+/// The states ranked by descending mood bias — the expected "happiest"
+/// ordering a large corpus converges to.
+pub fn expected_ranking() -> Vec<&'static str> {
+    let mut ranked: Vec<&str> = STATES.to_vec();
+    ranked.sort_by(|a, b| mood_bias(b).partial_cmp(&mood_bias(a)).unwrap());
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        assert_eq!(generate(50, 9), generate(50, 9));
+        assert_ne!(generate(50, 9), generate(50, 10));
+    }
+
+    #[test]
+    fn articles_have_state_and_text() {
+        for a in generate(100, 3) {
+            assert!(STATES.contains(&a.state.as_str()));
+            assert!(a.text.split_whitespace().count() >= 30);
+            assert!(a.text.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn mood_bias_is_stable_and_spread() {
+        for s in STATES {
+            let b = mood_bias(s);
+            assert!((0.15..=0.85).contains(&b), "{s}: {b}");
+            assert_eq!(b, mood_bias(s));
+        }
+        let biases: Vec<f64> = STATES.iter().map(|s| mood_bias(s)).collect();
+        let spread = biases.iter().cloned().fold(f64::MIN, f64::max)
+            - biases.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 0.3, "biases too clustered: {spread}");
+    }
+
+    #[test]
+    fn corpus_sentiment_tracks_mood_bias() {
+        // States in the top quartile of bias should out-score states in the
+        // bottom quartile on AFINN aggregate.
+        use crate::sentiment::pes::tokenize;
+        let articles = generate(2000, 7);
+        let ranking = expected_ranking();
+        let happiest = ranking[0];
+        let saddest = ranking[ranking.len() - 1];
+        let mean_score = |state: &str| {
+            let scored: Vec<i64> = articles
+                .iter()
+                .filter(|a| a.state == state)
+                .map(|a| {
+                    let toks = tokenize(&a.text);
+                    lexicon::afinn_score(toks.iter().map(String::as_str))
+                })
+                .collect();
+            scored.iter().sum::<i64>() as f64 / scored.len().max(1) as f64
+        };
+        assert!(
+            mean_score(happiest) > mean_score(saddest),
+            "{happiest} should out-score {saddest}"
+        );
+    }
+
+    #[test]
+    fn expected_ranking_is_a_permutation() {
+        let r = expected_ranking();
+        assert_eq!(r.len(), STATES.len());
+        for s in STATES {
+            assert!(r.contains(s));
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Sentiment lexica: an AFINN-111 subset and an SWN3-style lexicon.
+//!
+//! The real workflow scores articles with the AFINN lexicon (integer
+//! valence, −5…+5) on one path and SentiWordNet 3 (positive/negative
+//! probabilities per synset) on the other. We embed a representative
+//! subset of real AFINN-111 entries and a compatible SWN3-style table
+//! derived from them — enough vocabulary for the corpus generator to
+//! produce articles whose scores meaningfully rank states.
+
+/// AFINN-111 entries (word, valence in −5…+5). Real words and scores.
+pub const AFINN: &[(&str, i32)] = &[
+    ("abandon", -2),
+    ("abuse", -3),
+    ("accident", -2),
+    ("achievement", 3),
+    ("admire", 3),
+    ("adorable", 3),
+    ("advantage", 2),
+    ("agony", -3),
+    ("amazing", 4),
+    ("anger", -3),
+    ("angry", -3),
+    ("anxious", -2),
+    ("applause", 2),
+    ("appreciate", 2),
+    ("award", 3),
+    ("awesome", 4),
+    ("awful", -3),
+    ("bad", -3),
+    ("bankrupt", -3),
+    ("beautiful", 3),
+    ("benefit", 2),
+    ("best", 3),
+    ("betray", -3),
+    ("bless", 2),
+    ("bliss", 3),
+    ("bomb", -1),
+    ("boost", 2),
+    ("breathtaking", 5),
+    ("bright", 1),
+    ("brilliant", 4),
+    ("broken", -1),
+    ("calm", 2),
+    ("catastrophe", -3),
+    ("celebrate", 3),
+    ("champion", 2),
+    ("chaos", -2),
+    ("charming", 3),
+    ("cheerful", 3),
+    ("collapse", -2),
+    ("comfort", 2),
+    ("confident", 2),
+    ("crash", -2),
+    ("crime", -3),
+    ("crisis", -3),
+    ("cruel", -3),
+    ("cry", -1),
+    ("damage", -3),
+    ("danger", -2),
+    ("dead", -3),
+    ("defeat", -2),
+    ("delight", 3),
+    ("despair", -3),
+    ("destroy", -3),
+    ("disaster", -2),
+    ("dream", 1),
+    ("eager", 2),
+    ("ecstatic", 4),
+    ("elegant", 2),
+    ("enjoy", 2),
+    ("excellent", 3),
+    ("exciting", 3),
+    ("fail", -2),
+    ("fantastic", 4),
+    ("fear", -2),
+    ("festive", 2),
+    ("fine", 2),
+    ("flawless", 4),
+    ("fraud", -4),
+    ("free", 1),
+    ("fun", 4),
+    ("generous", 2),
+    ("glad", 3),
+    ("gloomy", -2),
+    ("glorious", 2),
+    ("good", 3),
+    ("grateful", 3),
+    ("great", 3),
+    ("grief", -2),
+    ("happy", 3),
+    ("hate", -3),
+    ("haunt", -1),
+    ("heartbreaking", -3),
+    ("hero", 2),
+    ("hope", 2),
+    ("hopeless", -2),
+    ("hurt", -2),
+    ("improve", 2),
+    ("innovative", 2),
+    ("inspire", 2),
+    ("joy", 3),
+    ("kill", -3),
+    ("kind", 2),
+    ("laugh", 1),
+    ("lose", -3),
+    ("love", 3),
+    ("lucky", 3),
+    ("miserable", -3),
+    ("miss", -2),
+    ("murder", -2),
+    ("nice", 3),
+    ("outstanding", 5),
+    ("pain", -2),
+    ("panic", -3),
+    ("peace", 2),
+    ("perfect", 3),
+    ("pleasure", 3),
+    ("poverty", -1),
+    ("praise", 3),
+    ("problem", -2),
+    ("prosperity", 3),
+    ("proud", 2),
+    ("rejoice", 4),
+    ("sad", -2),
+    ("scandal", -3),
+    ("scare", -2),
+    ("smile", 2),
+    ("sorrow", -2),
+    ("splendid", 3),
+    ("strong", 2),
+    ("success", 2),
+    ("superb", 5),
+    ("terrible", -3),
+    ("thrilled", 5),
+    ("tragedy", -2),
+    ("triumph", 4),
+    ("trouble", -2),
+    ("ugly", -3),
+    ("victory", 3),
+    ("violent", -3),
+    ("vision", 1),
+    ("war", -2),
+    ("warm", 1),
+    ("welcome", 2),
+    ("win", 4),
+    ("wonderful", 4),
+    ("worry", -3),
+    ("worst", -3),
+    ("wow", 4),
+];
+
+/// AFINN score of one (already lower-cased) token; 0 when absent.
+pub fn afinn_word(token: &str) -> i32 {
+    AFINN
+        .binary_search_by(|(w, _)| w.cmp(&token))
+        .map(|i| AFINN[i].1)
+        .unwrap_or(0)
+}
+
+/// AFINN score of a token stream: the sum of word valences.
+pub fn afinn_score<'a>(tokens: impl IntoIterator<Item = &'a str>) -> i64 {
+    tokens.into_iter().map(|t| afinn_word(t) as i64).sum()
+}
+
+/// SWN3-style (positivity, negativity) in [0, 1] for a token. Derived from
+/// the AFINN valence with the SWN convention that both components are
+/// non-negative and bounded by 1.
+pub fn swn3_word(token: &str) -> (f64, f64) {
+    let v = afinn_word(token);
+    if v > 0 {
+        ((v as f64 / 5.0).min(1.0), 0.0)
+    } else if v < 0 {
+        (0.0, (-v as f64 / 5.0).min(1.0))
+    } else {
+        (0.0, 0.0)
+    }
+}
+
+/// SWN3 document score: mean (positivity − negativity) over *sentiment*
+/// tokens; 0 for documents without any.
+pub fn swn3_score<'a>(tokens: impl IntoIterator<Item = &'a str>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for t in tokens {
+        let (p, neg) = swn3_word(t);
+        if p > 0.0 || neg > 0.0 {
+            sum += p - neg;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// All positive AFINN words (corpus generator vocabulary).
+pub fn positive_words() -> impl Iterator<Item = &'static str> {
+    AFINN.iter().filter(|(_, v)| *v > 0).map(|(w, _)| *w)
+}
+
+/// All negative AFINN words (corpus generator vocabulary).
+pub fn negative_words() -> impl Iterator<Item = &'static str> {
+    AFINN.iter().filter(|(_, v)| *v < 0).map(|(w, _)| *w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicon_is_sorted_for_binary_search() {
+        for pair in AFINN.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "{} !< {}", pair[0].0, pair[1].0);
+        }
+    }
+
+    #[test]
+    fn known_words_score() {
+        assert_eq!(afinn_word("happy"), 3);
+        assert_eq!(afinn_word("bad"), -3);
+        assert_eq!(afinn_word("outstanding"), 5);
+        assert_eq!(afinn_word("zebra"), 0);
+    }
+
+    #[test]
+    fn document_scores_sum() {
+        assert_eq!(afinn_score(["happy", "zebra", "bad"]), 0);
+        assert_eq!(afinn_score(["win", "wonderful"]), 8);
+    }
+
+    #[test]
+    fn swn3_components_bounded() {
+        for (w, _) in AFINN {
+            let (p, n) = swn3_word(w);
+            assert!((0.0..=1.0).contains(&p) && (0.0..=1.0).contains(&n));
+            assert!(p == 0.0 || n == 0.0, "a word is positive xor negative here");
+        }
+    }
+
+    #[test]
+    fn swn3_score_direction_matches_afinn() {
+        assert!(swn3_score(["happy", "win"]) > 0.0);
+        assert!(swn3_score(["awful", "terrible"]) < 0.0);
+        assert_eq!(swn3_score(["zebra", "table"]), 0.0);
+    }
+
+    #[test]
+    fn vocab_iterators_partition() {
+        let pos = positive_words().count();
+        let neg = negative_words().count();
+        assert_eq!(pos + neg, AFINN.len());
+        assert!(pos > 30 && neg > 30);
+    }
+}

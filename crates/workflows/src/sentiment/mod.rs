@@ -1,0 +1,9 @@
+//! Sentiment Analyses for News Articles (§4.3): lexica, synthetic corpus,
+//! the PEs, and the stateful workflow builder.
+
+pub mod corpus;
+pub mod lexicon;
+pub mod pes;
+pub mod workflow;
+
+pub use workflow::{build, ARTICLES_PER_X, HAPPY_STATE_INSTANCES, TOP3_INSTANCES};

@@ -1,0 +1,381 @@
+//! The processing elements of the sentiment workflow.
+
+use crate::config::WorkloadConfig;
+use crate::sentiment::lexicon;
+use d4py_core::pe::{Context, ProcessingElement};
+use d4py_core::value::Value;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Lower-cases and strips everything but letters, splitting on the rest —
+/// the `tokenize WD` behaviour.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_ascii_alphabetic())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_ascii_lowercase())
+        .collect()
+}
+
+/// `sentiment AFINN`: scores the raw text with the AFINN lexicon.
+pub struct SentimentAfinn {
+    /// Shared workload parameters.
+    pub cfg: WorkloadConfig,
+}
+
+/// Base compute time of the AFINN scorer (a flat dictionary lookup).
+pub const AFINN_COMPUTE: Duration = Duration::from_millis(1);
+/// Base compute time of the tokenizer.
+pub const TOKENIZE_COMPUTE: Duration = Duration::from_micros(500);
+/// Base compute time of the SWN3 scorer. Heavily dominant: the real
+/// workflow resolves every token against SentiWordNet through NLTK's
+/// WordNet interface, which is orders of magnitude slower than the AFINN
+/// dictionary — the per-PE imbalance that makes the static `multi`
+/// allocation inefficient and lets the hybrid mapping's shared stateless
+/// pool win (§5.4).
+pub const SWN3_COMPUTE: Duration = Duration::from_millis(20);
+/// Base compute time of the state extractor.
+pub const FINDSTATE_COMPUTE: Duration = Duration::from_micros(250);
+
+impl ProcessingElement for SentimentAfinn {
+    fn process(&mut self, _port: &str, article: Value, ctx: &mut dyn Context) {
+        let text = article.get("text").and_then(Value::as_str).unwrap_or("");
+        let score = self.cfg.limiter.with_core(|| {
+            std::thread::sleep(self.cfg.scaled(AFINN_COMPUTE));
+            let tokens = tokenize(text);
+            lexicon::afinn_score(tokens.iter().map(String::as_str))
+        });
+        ctx.emit(
+            "output",
+            Value::map([
+                ("id", article.get("id").cloned().unwrap_or(Value::Null)),
+                ("state", article.get("state").cloned().unwrap_or(Value::Null)),
+                ("score", Value::Float(score as f64)),
+                ("lexicon", Value::Str("afinn".into())),
+            ]),
+        );
+    }
+}
+
+/// `tokenize WD`: tokenizes for the SWN3 path.
+pub struct TokenizeWd {
+    /// Shared workload parameters.
+    pub cfg: WorkloadConfig,
+}
+
+impl ProcessingElement for TokenizeWd {
+    fn process(&mut self, _port: &str, article: Value, ctx: &mut dyn Context) {
+        let text = article.get("text").and_then(Value::as_str).unwrap_or("");
+        let tokens = self.cfg.limiter.with_core(|| {
+            std::thread::sleep(self.cfg.scaled(TOKENIZE_COMPUTE));
+            tokenize(text)
+        });
+        ctx.emit(
+            "output",
+            Value::map([
+                ("id", article.get("id").cloned().unwrap_or(Value::Null)),
+                ("state", article.get("state").cloned().unwrap_or(Value::Null)),
+                ("tokens", Value::List(tokens.into_iter().map(Value::Str).collect())),
+            ]),
+        );
+    }
+}
+
+/// `sentiment SWN3`: scores the token stream with the SWN3-style lexicon.
+pub struct SentimentSwn3 {
+    /// Shared workload parameters.
+    pub cfg: WorkloadConfig,
+}
+
+impl ProcessingElement for SentimentSwn3 {
+    fn process(&mut self, _port: &str, doc: Value, ctx: &mut dyn Context) {
+        let tokens: Vec<&str> = doc
+            .get("tokens")
+            .and_then(Value::as_list)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Value::as_str)
+            .collect();
+        let score = self.cfg.limiter.with_core(|| {
+            std::thread::sleep(self.cfg.scaled(SWN3_COMPUTE));
+            lexicon::swn3_score(tokens.iter().copied())
+        });
+        ctx.emit(
+            "output",
+            Value::map([
+                ("id", doc.get("id").cloned().unwrap_or(Value::Null)),
+                ("state", doc.get("state").cloned().unwrap_or(Value::Null)),
+                // SWN3 scores are per-token means in [-1, 1]; scale them to
+                // AFINN-comparable magnitude so the aggregation is fair.
+                ("score", Value::Float(score * 10.0)),
+                ("lexicon", Value::Str("swn3".into())),
+            ]),
+        );
+    }
+}
+
+/// `find State`: normalises the state field (the group-by key).
+pub struct FindState {
+    /// Shared workload parameters.
+    pub cfg: WorkloadConfig,
+}
+
+impl ProcessingElement for FindState {
+    fn process(&mut self, _port: &str, scored: Value, ctx: &mut dyn Context) {
+        self.cfg.limiter.compute(self.cfg.scaled(FINDSTATE_COMPUTE));
+        let state = scored
+            .get("state")
+            .and_then(Value::as_str)
+            .unwrap_or("Unknown")
+            .trim()
+            .to_string();
+        ctx.emit(
+            "output",
+            Value::map([
+                ("state", Value::Str(state)),
+                ("score", scored.get("score").cloned().unwrap_or(Value::Float(0.0))),
+            ]),
+        );
+    }
+}
+
+/// `happy State` (stateful, group-by `state`, 4 instances): accumulates the
+/// total sentiment per state and emits per-state aggregates on completion.
+#[derive(Default)]
+pub struct HappyState {
+    totals: HashMap<String, (f64, u64)>,
+}
+
+impl HappyState {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ProcessingElement for HappyState {
+    fn process(&mut self, _port: &str, v: Value, _ctx: &mut dyn Context) {
+        let state = v.get("state").and_then(Value::as_str).unwrap_or("Unknown").to_string();
+        let score = v.get("score").and_then(Value::as_float).unwrap_or(0.0);
+        let slot = self.totals.entry(state).or_insert((0.0, 0));
+        slot.0 += score;
+        slot.1 += 1;
+    }
+
+    fn on_done(&mut self, ctx: &mut dyn Context) {
+        for (state, (total, count)) in &self.totals {
+            ctx.emit(
+                "output",
+                Value::map([
+                    ("state", Value::Str(state.clone())),
+                    ("total", Value::Float(*total)),
+                    ("count", Value::Int(*count as i64)),
+                    ("mean", Value::Float(total / (*count as f64).max(1.0))),
+                ]),
+            );
+        }
+    }
+
+    fn snapshot(&self) -> Option<Value> {
+        Some(Value::Map(
+            self.totals
+                .iter()
+                .map(|(state, (total, count))| {
+                    (
+                        state.clone(),
+                        Value::list([Value::Float(*total), Value::Int(*count as i64)]),
+                    )
+                })
+                .collect(),
+        ))
+    }
+
+    fn restore(&mut self, state: Value) {
+        let Value::Map(m) = state else { return };
+        for (key, entry) in m {
+            let total = entry.at(0).and_then(Value::as_float).unwrap_or(0.0);
+            let count = entry.at(1).and_then(Value::as_int).unwrap_or(0) as u64;
+            self.totals.insert(key, (total, count));
+        }
+    }
+}
+
+/// `top 3 happiest` (stateful, global grouping): ranks the per-state
+/// aggregates and appends the top three to the shared results handle.
+pub struct TopThree {
+    aggregates: HashMap<String, (f64, u64)>,
+    results: Arc<Mutex<Vec<Value>>>,
+}
+
+impl TopThree {
+    /// Writes the final ranking into `results`.
+    pub fn new(results: Arc<Mutex<Vec<Value>>>) -> Self {
+        Self { aggregates: HashMap::new(), results }
+    }
+}
+
+impl ProcessingElement for TopThree {
+    fn process(&mut self, _port: &str, v: Value, _ctx: &mut dyn Context) {
+        let state = v.get("state").and_then(Value::as_str).unwrap_or("Unknown").to_string();
+        let total = v.get("total").and_then(Value::as_float).unwrap_or(0.0);
+        let count = v.get("count").and_then(Value::as_int).unwrap_or(0) as u64;
+        // The same state may arrive from several happy-State instances
+        // (one per lexicon path routing); merge.
+        let slot = self.aggregates.entry(state).or_insert((0.0, 0));
+        slot.0 += total;
+        slot.1 += count;
+    }
+
+    fn on_done(&mut self, _ctx: &mut dyn Context) {
+        let mut ranked: Vec<(&String, f64, u64)> = self
+            .aggregates
+            .iter()
+            .map(|(s, (t, c))| (s, t / (*c as f64).max(1.0), *c))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(b.0)));
+        let mut out = self.results.lock();
+        for (rank, (state, mean, count)) in ranked.into_iter().take(3).enumerate() {
+            out.push(Value::map([
+                ("rank", Value::Int(rank as i64 + 1)),
+                ("state", Value::Str(state.clone())),
+                ("mean", Value::Float(mean)),
+                ("count", Value::Int(count as i64)),
+            ]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d4py_core::pe::EmitBuffer;
+
+    #[test]
+    fn tokenize_strips_punctuation_and_case() {
+        assert_eq!(
+            tokenize("Happy, HAPPY day! 42 times."),
+            vec!["happy", "happy", "day", "times"]
+        );
+        assert!(tokenize("...").is_empty());
+    }
+
+    #[test]
+    fn afinn_pe_scores_article() {
+        let cfg = WorkloadConfig::standard().with_time_scale(0.0);
+        let mut pe = SentimentAfinn { cfg };
+        let mut buf = EmitBuffer::new(0, 1);
+        pe.process(
+            "input",
+            Value::map([
+                ("id", Value::Int(1)),
+                ("state", Value::Str("Texas".into())),
+                ("text", Value::Str("a happy win".into())),
+            ]),
+            &mut buf,
+        );
+        let out = &buf.drain()[0].1;
+        assert_eq!(out.get("score").unwrap().as_float(), Some(7.0)); // 3 + 4
+        assert_eq!(out.get("lexicon").unwrap().as_str(), Some("afinn"));
+    }
+
+    #[test]
+    fn tokenizer_and_swn3_chain() {
+        let cfg = WorkloadConfig::standard().with_time_scale(0.0);
+        let mut tok = TokenizeWd { cfg: cfg.clone() };
+        let mut buf = EmitBuffer::new(0, 1);
+        tok.process(
+            "input",
+            Value::map([
+                ("id", Value::Int(1)),
+                ("state", Value::Str("Ohio".into())),
+                ("text", Value::Str("Terrible, awful day".into())),
+            ]),
+            &mut buf,
+        );
+        let tokens_doc = buf.drain().remove(0).1;
+        let mut swn = SentimentSwn3 { cfg };
+        let mut buf2 = EmitBuffer::new(0, 1);
+        swn.process("input", tokens_doc, &mut buf2);
+        let out = &buf2.drain()[0].1;
+        assert!(out.get("score").unwrap().as_float().unwrap() < 0.0);
+    }
+
+    #[test]
+    fn happy_state_aggregates_and_flushes() {
+        let mut pe = HappyState::new();
+        let mut buf = EmitBuffer::new(0, 1);
+        for (s, score) in [("Texas", 4.0), ("Texas", 2.0), ("Ohio", -1.0)] {
+            pe.process(
+                "input",
+                Value::map([("state", Value::Str(s.into())), ("score", Value::Float(score))]),
+                &mut buf,
+            );
+        }
+        assert!(buf.is_empty(), "nothing emitted before completion");
+        pe.on_done(&mut buf);
+        let emitted = buf.drain();
+        assert_eq!(emitted.len(), 2);
+        let texas = emitted
+            .iter()
+            .map(|(_, v)| v)
+            .find(|v| v.get("state").unwrap().as_str() == Some("Texas"))
+            .unwrap();
+        assert_eq!(texas.get("total").unwrap().as_float(), Some(6.0));
+        assert_eq!(texas.get("count").unwrap().as_int(), Some(2));
+        assert_eq!(texas.get("mean").unwrap().as_float(), Some(3.0));
+    }
+
+    #[test]
+    fn top_three_ranks_and_truncates() {
+        let (results, handle) = {
+            let h = Arc::new(Mutex::new(Vec::new()));
+            (TopThree::new(h.clone()), h)
+        };
+        let mut pe = results;
+        let mut buf = EmitBuffer::new(0, 1);
+        for (s, total, count) in
+            [("A", 10.0, 2i64), ("B", 30.0, 2), ("C", 2.0, 2), ("D", 20.0, 2)]
+        {
+            pe.process(
+                "input",
+                Value::map([
+                    ("state", Value::Str(s.into())),
+                    ("total", Value::Float(total)),
+                    ("count", Value::Int(count)),
+                ]),
+                &mut buf,
+            );
+        }
+        pe.on_done(&mut buf);
+        let out = handle.lock();
+        assert_eq!(out.len(), 3);
+        let states: Vec<&str> =
+            out.iter().map(|v| v.get("state").unwrap().as_str().unwrap()).collect();
+        assert_eq!(states, vec!["B", "D", "A"]);
+        assert_eq!(out[0].get("rank").unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn top_three_merges_partial_aggregates() {
+        let h = Arc::new(Mutex::new(Vec::new()));
+        let mut pe = TopThree::new(h.clone());
+        let mut buf = EmitBuffer::new(0, 1);
+        // The same state from two happy-State partial flushes.
+        for _ in 0..2 {
+            pe.process(
+                "input",
+                Value::map([
+                    ("state", Value::Str("Texas".into())),
+                    ("total", Value::Float(5.0)),
+                    ("count", Value::Int(1)),
+                ]),
+                &mut buf,
+            );
+        }
+        pe.on_done(&mut buf);
+        let out = h.lock();
+        assert_eq!(out[0].get("count").unwrap().as_int(), Some(2));
+        assert_eq!(out[0].get("mean").unwrap().as_float(), Some(5.0));
+    }
+}

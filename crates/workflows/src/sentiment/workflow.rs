@@ -1,0 +1,166 @@
+//! The Sentiment Analyses for News Articles workflow (§4.3, Figure 7).
+//!
+//! Two sentiment pathways — AFINN on the raw text, SWN3 on a tokenized
+//! stream — converge into a state extractor, a group-by-`state` stateful
+//! aggregator (`happy State`, 4 instances), and a globally-grouped
+//! `top 3 happiest` reducer. Stateless instance pinning (2 each for the
+//! sentiment PEs) reproduces the paper's constraint that the static `multi`
+//! mapping needs at least 14 processes for this workflow.
+
+use crate::config::WorkloadConfig;
+use crate::sentiment::corpus;
+use crate::sentiment::pes::{
+    FindState, HappyState, SentimentAfinn, SentimentSwn3, TokenizeWd, TopThree,
+};
+use d4py_core::executable::Executable;
+use d4py_core::pe::{Context, FnSource};
+use d4py_core::value::Value;
+use d4py_graph::{Grouping, PeSpec, WorkflowGraph};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Articles per 1X of workload.
+pub const ARTICLES_PER_X: u32 = 100;
+/// Instances of `happy State` (paper: 4).
+pub const HAPPY_STATE_INSTANCES: usize = 4;
+/// Instances of `top 3 happiest` (paper: 2; global grouping uses one).
+pub const TOP3_INSTANCES: usize = 2;
+
+/// Builds the workflow. Returns the executable and the handle the `top 3
+/// happiest` reducer writes `{rank, state, mean, count}` rows into.
+pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<Value>>>) {
+    let mut g = WorkflowGraph::new("sentiment_analysis_news_articles");
+    let read = g.add_pe(PeSpec::source("readArticles", "output"));
+    let afinn = g.add_pe(
+        PeSpec::transform("sentimentAFINN", "input", "output").with_instances(2),
+    );
+    let tok = g.add_pe(PeSpec::transform("tokenizeWD", "input", "output").with_instances(2));
+    let swn3 =
+        g.add_pe(PeSpec::transform("sentimentSWN3", "input", "output").with_instances(2));
+    let find = g.add_pe(PeSpec::transform("findState", "input", "output"));
+    let happy = g.add_pe(
+        PeSpec::transform("happyState", "input", "output")
+            .stateful()
+            .with_instances(HAPPY_STATE_INSTANCES),
+    );
+    let top3 = g.add_pe(
+        PeSpec::sink("top3Happiest", "input").stateful().with_instances(TOP3_INSTANCES),
+    );
+
+    g.connect(read, "output", afinn, "input", Grouping::Shuffle).unwrap();
+    g.connect(read, "output", tok, "input", Grouping::Shuffle).unwrap();
+    g.connect(tok, "output", swn3, "input", Grouping::Shuffle).unwrap();
+    g.connect(afinn, "output", find, "input", Grouping::Shuffle).unwrap();
+    g.connect(swn3, "output", find, "input", Grouping::Shuffle).unwrap();
+    g.connect(find, "output", happy, "input", Grouping::group_by("state")).unwrap();
+    g.connect(happy, "output", top3, "input", Grouping::Global).unwrap();
+
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let mut exe = Executable::new(g).expect("sentiment graph is valid");
+
+    let n = cfg.scale * ARTICLES_PER_X;
+    let seed = cfg.seed;
+    exe.register(read, move || {
+        Box::new(FnSource(move |ctx: &mut dyn Context| {
+            for a in corpus::generate(n, seed) {
+                ctx.emit(
+                    "output",
+                    Value::map([
+                        ("id", Value::Int(a.id as i64)),
+                        ("state", Value::Str(a.state)),
+                        ("text", Value::Str(a.text)),
+                    ]),
+                );
+            }
+        }))
+    });
+    let c = cfg.clone();
+    exe.register(afinn, move || Box::new(SentimentAfinn { cfg: c.clone() }));
+    let c = cfg.clone();
+    exe.register(tok, move || Box::new(TokenizeWd { cfg: c.clone() }));
+    let c = cfg.clone();
+    exe.register(swn3, move || Box::new(SentimentSwn3 { cfg: c.clone() }));
+    let c = cfg.clone();
+    exe.register(find, move || Box::new(FindState { cfg: c.clone() }));
+    exe.register(happy, || Box::new(HappyState::new()));
+    let res = results.clone();
+    exe.register(top3, move || Box::new(TopThree::new(res.clone())));
+
+    (exe.seal().expect("all sentiment PEs registered"), results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d4py_core::mapping::Mapping;
+    use d4py_core::mappings::{HybridMulti, Multi, Simple};
+    use d4py_core::options::ExecutionOptions;
+    use d4py_graph::partition::minimum_processes;
+
+    fn fast_cfg() -> WorkloadConfig {
+        WorkloadConfig::standard().with_time_scale(0.0)
+    }
+
+    #[test]
+    fn multi_minimum_is_fourteen_as_in_the_paper() {
+        let (exe, _) = build(&fast_cfg());
+        assert_eq!(minimum_processes(exe.graph()), 14);
+    }
+
+    #[test]
+    fn stateful_slots_are_six() {
+        let (exe, _) = build(&fast_cfg());
+        let g = exe.graph();
+        let slots: usize = g
+            .stateful_pes()
+            .iter()
+            .map(|&pe| g.pe(pe).and_then(|s| s.instances).unwrap_or(1))
+            .sum();
+        assert_eq!(slots, HAPPY_STATE_INSTANCES + TOP3_INSTANCES);
+    }
+
+    #[test]
+    fn simple_run_emits_top_three() {
+        let (exe, results) = build(&fast_cfg());
+        Simple.execute(&exe, &ExecutionOptions::new(1)).unwrap();
+        let got = results.lock();
+        assert_eq!(got.len(), 3);
+        let ranks: Vec<i64> =
+            got.iter().map(|v| v.get("rank").unwrap().as_int().unwrap()).collect();
+        assert_eq!(ranks, vec![1, 2, 3]);
+        // Means must be strictly ordered.
+        let means: Vec<f64> =
+            got.iter().map(|v| v.get("mean").unwrap().as_float().unwrap()).collect();
+        assert!(means[0] >= means[1] && means[1] >= means[2]);
+    }
+
+    #[test]
+    fn multi_and_simple_and_hybrid_agree() {
+        let run = |mapping: &dyn Mapping, workers: usize| {
+            let (exe, results) = build(&fast_cfg().with_scale(2));
+            mapping.execute(&exe, &ExecutionOptions::new(workers)).unwrap();
+            let got = results.lock();
+            got.iter()
+                .map(|v| v.get("state").unwrap().as_str().unwrap().to_string())
+                .collect::<Vec<_>>()
+        };
+        let simple = run(&Simple, 1);
+        let multi = run(&Multi, 14);
+        let hybrid = run(&HybridMulti, 8);
+        assert_eq!(simple, multi, "simple vs multi");
+        assert_eq!(simple, hybrid, "simple vs hybrid");
+    }
+
+    #[test]
+    fn top_states_track_mood_bias_ground_truth() {
+        let (exe, results) = build(&fast_cfg().with_scale(10)); // 1000 articles
+        Simple.execute(&exe, &ExecutionOptions::new(1)).unwrap();
+        let got = results.lock();
+        let winner = got[0].get("state").unwrap().as_str().unwrap();
+        // The workflow's winner must be among the top 5 by construction bias
+        // (sampling noise can shuffle close neighbours, not the extremes).
+        let expected = corpus::expected_ranking();
+        let pos = expected.iter().position(|s| *s == winner).unwrap();
+        assert!(pos < 5, "winner {winner} is rank {pos} by mood bias");
+    }
+}

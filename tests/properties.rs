@@ -1,0 +1,235 @@
+//! Property-based tests over the core data structures and invariants.
+
+use dispel4py::core::codec::{decode_item, decode_value, encode_item, encode_value};
+use dispel4py::prelude::{
+    Collector, Context, DynMulti, Executable, ExecutionOptions, FnSource, FnTransform,
+    HybridMulti, Mapping, Multi, Simple,
+};
+use dispel4py::graph::{PeSpec, WorkflowGraph};
+use dispel4py::core::routing::{Route, Router};
+use dispel4py::core::task::{QueueItem, Task};
+use dispel4py::core::value::Value;
+use dispel4py::core::workload::BetaSampler;
+use dispel4py::graph::{ConnectionId, Grouping, PeId};
+use dispel4py::redis_lite::resp::{self, Frame};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn d4py_pe_id(i: usize) -> PeId {
+    PeId(i)
+}
+
+/// Arbitrary `Value` trees, depth-bounded.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        ".{0,24}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
+    ];
+    leaf.prop_recursive(3, 32, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::List),
+            proptest::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Value::Map),
+        ]
+    })
+}
+
+/// NaN-tolerant structural equality (NaN ≠ NaN breaks `PartialEq` roundtrip
+/// checks even when the bytes are preserved exactly).
+fn value_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => (x.is_nan() && y.is_nan()) || x == y,
+        (Value::List(xs), Value::List(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| value_eq(x, y))
+        }
+        (Value::Map(xm), Value::Map(ym)) => {
+            xm.len() == ym.len()
+                && xm
+                    .iter()
+                    .zip(ym.iter())
+                    .all(|((ka, va), (kb, vb))| ka == kb && value_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrips_any_value(v in arb_value()) {
+        let bytes = encode_value(&v);
+        let back = decode_value(&bytes).unwrap();
+        prop_assert!(value_eq(&v, &back), "{v:?} != {back:?}");
+    }
+
+    #[test]
+    fn codec_roundtrips_any_task(
+        v in arb_value(),
+        pe in 0usize..64,
+        inst in proptest::option::of(0usize..16),
+        port in "[a-z_]{1,12}",
+    ) {
+        let item = QueueItem::Task(Task { pe: PeId(pe), port, value: v, instance: inst });
+        let back = decode_item(&encode_item(&item)).unwrap();
+        match (&item, &back) {
+            (QueueItem::Task(a), QueueItem::Task(b)) => {
+                prop_assert_eq!(a.pe, b.pe);
+                prop_assert_eq!(a.instance, b.instance);
+                prop_assert_eq!(&a.port, &b.port);
+                prop_assert!(value_eq(&a.value, &b.value));
+            }
+            _ => prop_assert!(false, "variant changed"),
+        }
+    }
+
+    #[test]
+    fn truncated_codec_input_never_panics(v in arb_value(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode_value(&v);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let _ = decode_value(&bytes[..cut.min(bytes.len())]); // must not panic
+    }
+
+    #[test]
+    fn routing_hash_is_stable_and_equal_for_clones(v in arb_value()) {
+        prop_assert_eq!(v.routing_hash(), v.clone().routing_hash());
+    }
+
+    #[test]
+    fn group_by_routing_is_deterministic(
+        v in arb_value(),
+        n in 1usize..16,
+    ) {
+        let g = Grouping::group_by("k");
+        let mut r1 = Router::new();
+        let mut r2 = Router::new();
+        let a = r1.route(ConnectionId(0), &g, &v, n);
+        let b = r2.route(ConnectionId(0), &g, &v, n);
+        prop_assert_eq!(a.clone(), b);
+        if let Route::One(i) = a {
+            prop_assert!(i < n);
+        }
+    }
+
+    #[test]
+    fn shuffle_routing_is_balanced(n in 1usize..12, items in 1usize..100) {
+        let mut router = Router::new();
+        let mut counts = vec![0usize; n];
+        for _ in 0..items {
+            if let Route::One(i) = router.route(ConnectionId(7), &Grouping::Shuffle, &Value::Null, n) {
+                counts[i] += 1;
+            }
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "round-robin imbalance: {counts:?}");
+    }
+
+    #[test]
+    fn beta_sampler_stays_in_unit_interval(seed in any::<u64>(), alpha in 0.5f64..4.0, beta in 0.5f64..8.0) {
+        let sampler = BetaSampler::new(alpha, beta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let x = sampler.sample(&mut rng);
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn resp_roundtrips_bulk(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let frame = Frame::Bulk(payload);
+        let mut buf = bytes::BytesMut::new();
+        resp::encode(&frame, &mut buf);
+        let (back, used) = resp::decode(&buf).unwrap().unwrap();
+        prop_assert_eq!(back, frame);
+        prop_assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn resp_decoder_never_panics_on_garbage(junk in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = resp::decode(&junk); // Err or Ok, never a panic
+    }
+
+    /// Engine equivalence: a random linear pipeline of arithmetic stages
+    /// produces the same multiset of outputs under every mapping.
+    #[test]
+    fn random_pipelines_agree_across_engines(
+        items in 1i64..40,
+        ops in proptest::collection::vec((0u8..3, -9i64..10), 1..5),
+    ) {
+        let build = |ops: Vec<(u8, i64)>, items: i64| {
+            let mut g = WorkflowGraph::new("rand");
+            let src = g.add_pe(PeSpec::source("src", "out"));
+            let mut prev = (src, "out".to_string());
+            for (i, _) in ops.iter().enumerate() {
+                let pe = g.add_pe(PeSpec::transform(format!("op{i}"), "in", "out"));
+                g.connect(prev.0, prev.1.clone(), pe, "in", Grouping::Shuffle).unwrap();
+                prev = (pe, "out".to_string());
+            }
+            let sink = g.add_pe(PeSpec::sink("sink", "in"));
+            g.connect(prev.0, prev.1, sink, "in", Grouping::Shuffle).unwrap();
+
+            let (_, handle) = Collector::new();
+            let h = handle.clone();
+            let mut exe = Executable::new(g).unwrap();
+            exe.register(src, move || {
+                Box::new(FnSource(move |ctx: &mut dyn Context| {
+                    for i in 0..items {
+                        ctx.emit("out", Value::Int(i));
+                    }
+                }))
+            });
+            for (i, (op, operand)) in ops.iter().cloned().enumerate() {
+                exe.register(d4py_pe_id(i + 1), move || {
+                    Box::new(FnTransform(move |_: &str, v: Value, ctx: &mut dyn Context| {
+                        let x = v.as_int().unwrap();
+                        let y = match op {
+                            0 => x.wrapping_add(operand),
+                            1 => x.wrapping_mul(operand),
+                            _ => {
+                                // Filter stage: drop values where x % 3 == rem.
+                                if x.rem_euclid(3) == operand.rem_euclid(3) {
+                                    return;
+                                }
+                                x
+                            }
+                        };
+                        ctx.emit("out", Value::Int(y));
+                    }))
+                });
+            }
+            exe.register(d4py_pe_id(ops.len() + 1), move || {
+                Box::new(Collector::into_handle(h.clone()))
+            });
+            (exe.seal().unwrap(), handle)
+        };
+
+        let outputs = |mapping: &dyn Mapping, workers: usize| {
+            let (exe, handle) = build(ops.clone(), items);
+            mapping.execute(&exe, &ExecutionOptions::new(workers)).unwrap();
+            let mut v: Vec<i64> = handle.lock().iter().map(|x| x.as_int().unwrap()).collect();
+            v.sort_unstable();
+            v
+        };
+
+        let reference = outputs(&Simple, 1);
+        prop_assert_eq!(&reference, &outputs(&DynMulti, 3));
+        prop_assert_eq!(&reference, &outputs(&Multi, (ops.len() + 2).max(3)));
+        prop_assert_eq!(&reference, &outputs(&HybridMulti, 3));
+    }
+
+    #[test]
+    fn resp_incremental_prefixes_never_succeed_spuriously(
+        text in "[a-z]{0,32}",
+    ) {
+        let frame = Frame::Simple(text);
+        let mut buf = bytes::BytesMut::new();
+        resp::encode(&frame, &mut buf);
+        for cut in 0..buf.len() {
+            // A strict prefix either needs more data or (never) errors.
+            prop_assert_eq!(resp::decode(&buf[..cut]).unwrap(), None);
+        }
+    }
+}
