@@ -2,7 +2,8 @@
 //! every task pays on the Redis path and never pays on the
 //! multiprocessing path (part of §5.6's Multiprocessing-vs-Redis gap).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use d4py_sync::bench::{black_box, Criterion};
+use d4py_sync::{criterion_group, criterion_main};
 use dispel4py::core::codec::{decode_item, decode_value, encode_item, encode_value};
 use dispel4py::core::task::{QueueItem, Task};
 use dispel4py::core::value::Value;
@@ -18,10 +19,7 @@ fn galaxy_record() -> Value {
             Value::List(
                 (0..3)
                     .map(|i| {
-                        Value::map([
-                            ("t", Value::Float(i as f64)),
-                            ("logr25", Value::Float(0.5)),
-                        ])
+                        Value::map([("t", Value::Float(i as f64)), ("logr25", Value::Float(0.5))])
                     })
                     .collect(),
             ),
@@ -32,7 +30,10 @@ fn galaxy_record() -> Value {
 fn seismic_trace(n: usize) -> Value {
     Value::map([
         ("station", Value::Str("ST042".into())),
-        ("samples", Value::List((0..n).map(|i| Value::Float(i as f64 * 0.1)).collect())),
+        (
+            "samples",
+            Value::List((0..n).map(|i| Value::Float(i as f64 * 0.1)).collect()),
+        ),
     ])
 }
 
@@ -50,7 +51,9 @@ fn bench_codec(c: &mut Criterion) {
 
     let big = seismic_trace(512);
     let big_bytes = encode_value(&big);
-    group.bench_function("encode_trace_512", |b| b.iter(|| encode_value(black_box(&big))));
+    group.bench_function("encode_trace_512", |b| {
+        b.iter(|| encode_value(black_box(&big)))
+    });
     group.bench_function("decode_trace_512", |b| {
         b.iter(|| decode_value(black_box(&big_bytes)).unwrap())
     });

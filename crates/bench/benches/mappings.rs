@@ -5,7 +5,8 @@
 //! isolates the per-mapping constant factors the macro experiments
 //! (`repro fig8` …) carry inside their measurements.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use d4py_sync::bench::{BatchSize, Criterion};
+use d4py_sync::{criterion_group, criterion_main};
 use dispel4py::prelude::*;
 use std::time::Duration;
 
@@ -27,7 +28,9 @@ fn build_pipeline() -> Executable {
         }))
     });
     exe.register(b, || {
-        Box::new(FnTransform(|_: &str, v: Value, ctx: &mut dyn Context| ctx.emit("out", v)))
+        Box::new(FnTransform(|_: &str, v: Value, ctx: &mut dyn Context| {
+            ctx.emit("out", v)
+        }))
     });
     exe.register(c, || {
         Box::new(FnTransform(|_: &str, _: Value, _: &mut dyn Context| {}))

@@ -1,13 +1,14 @@
 //! Ablation: the global-queue transports behind dynamic scheduling.
 //!
-//! Measures one push+pop round trip through (1) the in-process crossbeam
+//! Measures one push+pop round trip through (1) the in-process channel
 //! channel queue (`dyn_multi`'s substrate), (2) the Redis stream queue over
 //! the in-process engine (command dispatch, no wire), and (3) the Redis
 //! stream queue over real TCP (the paper's deployment). The spread between
 //! these three IS the paper's Multiprocessing-vs-Redis performance gap,
 //! isolated from workflow effects (DESIGN.md §5.3 `ablation_transport`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use d4py_sync::bench::{black_box, Criterion};
+use d4py_sync::{criterion_group, criterion_main};
 use dispel4py::core::queue::{ChannelQueue, TaskQueue};
 use dispel4py::core::task::{QueueItem, Task};
 use dispel4py::core::value::Value;
@@ -36,14 +37,20 @@ fn bench_queues(c: &mut Criterion) {
     group.sample_size(30);
 
     let channel = ChannelQueue::new(1);
-    group.bench_function("channel (dyn_multi)", |b| b.iter(|| roundtrip(black_box(&channel))));
+    group.bench_function("channel (dyn_multi)", |b| {
+        b.iter(|| roundtrip(black_box(&channel)))
+    });
 
     let inproc = RedisQueue::new(&RedisBackend::in_proc(), "bench:q1", 1).unwrap();
-    group.bench_function("redis inproc (no wire)", |b| b.iter(|| roundtrip(black_box(&inproc))));
+    group.bench_function("redis inproc (no wire)", |b| {
+        b.iter(|| roundtrip(black_box(&inproc)))
+    });
 
     let server = Server::start(0).unwrap();
     let tcp = RedisQueue::new(&RedisBackend::Tcp(server.addr()), "bench:q2", 1).unwrap();
-    group.bench_function("redis tcp (dyn_redis)", |b| b.iter(|| roundtrip(black_box(&tcp))));
+    group.bench_function("redis tcp (dyn_redis)", |b| {
+        b.iter(|| roundtrip(black_box(&tcp)))
+    });
 
     group.finish();
 
@@ -51,7 +58,9 @@ fn bench_queues(c: &mut Criterion) {
     let mut group = c.benchmark_group("queue_monitoring");
     group.sample_size(30);
     group.bench_function("depth channel", |b| b.iter(|| black_box(&channel).depth()));
-    group.bench_function("depth redis tcp (XLEN)", |b| b.iter(|| black_box(&tcp).depth()));
+    group.bench_function("depth redis tcp (XLEN)", |b| {
+        b.iter(|| black_box(&tcp).depth())
+    });
     group.bench_function("idle_times redis tcp (XINFO)", |b| {
         b.iter(|| black_box(&tcp).idle_times())
     });

@@ -1,7 +1,8 @@
 //! Micro-benchmarks of the RESP2 wire codec (redis-lite's protocol layer).
 
-use bytes::BytesMut;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use d4py_sync::bench::{black_box, Criterion};
+use d4py_sync::ByteBuf;
+use d4py_sync::{criterion_group, criterion_main};
 use dispel4py::redis_lite::resp::{decode, encode, encode_command, Frame};
 
 fn bench_resp(c: &mut Criterion) {
@@ -11,7 +12,7 @@ fn bench_resp(c: &mut Criterion) {
     let payload = vec![0xAB; 256];
     group.bench_function("encode_xadd_command", |b| {
         b.iter(|| {
-            let mut buf = BytesMut::with_capacity(320);
+            let mut buf = ByteBuf::with_capacity(320);
             encode_command(
                 &[b"XADD", b"d4py:queue:0", b"*", b"task", black_box(&payload)],
                 &mut buf,
@@ -28,11 +29,11 @@ fn bench_resp(c: &mut Criterion) {
             Frame::Array(vec![Frame::bulk("task"), Frame::Bulk(payload.clone())]),
         ])]),
     ])]);
-    let mut encoded = BytesMut::new();
+    let mut encoded = ByteBuf::new();
     encode(&reply, &mut encoded);
     group.bench_function("encode_read_reply", |b| {
         b.iter(|| {
-            let mut buf = BytesMut::with_capacity(encoded.len());
+            let mut buf = ByteBuf::with_capacity(encoded.len());
             encode(black_box(&reply), &mut buf);
             buf
         })

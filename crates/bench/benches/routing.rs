@@ -1,7 +1,8 @@
 //! Micro-benchmarks of grouping-aware routing — executed once per emitted
 //! item per connection, on every mapping's hot path.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use d4py_sync::bench::{black_box, Criterion};
+use d4py_sync::{criterion_group, criterion_main};
 use dispel4py::core::routing::Router;
 use dispel4py::core::value::Value;
 use dispel4py::graph::{ConnectionId, Grouping};

@@ -16,9 +16,9 @@
 //! Service times are scaled down uniformly (see EXPERIMENTS.md); every
 //! reported *ratio* is invariant to that scaling.
 
+use d4py_bench::ratios::ratio_table;
 use d4py_bench::render::{render_figure, render_ratio, render_trace};
 use d4py_bench::sweep::{run_cell, MappingKind, RunRow, Sweep, WorkflowKind};
-use d4py_bench::ratios::ratio_table;
 use dispel4py::prelude::*;
 use dispel4py::redis_lite::server::Server;
 use std::net::SocketAddr;
@@ -76,9 +76,7 @@ fn run_grid(
         for &mapping in mappings {
             for &w in workers {
                 let redis = mapping.needs_redis().then_some(opts.redis).flatten();
-                if let Some(row) =
-                    run_cell(wf, &cfg, platform, mapping, w, label, redis)
-                {
+                if let Some(row) = run_cell(wf, &cfg, platform, mapping, w, label, redis) {
                     eprintln!(
                         "  [{}] {} {:<16} workers={:<3} runtime={:.3}s proc={:.3}s",
                         platform.name, label, row.mapping, w, row.runtime_s, row.process_s
@@ -141,7 +139,10 @@ fn fig_sentiment(platform: Platform, opts: &Opts) -> Sweep {
     // The sentiment comparison measures modelled work (scaled) against real
     // queue/wire overhead (unscaled); shrinking the time scale too far
     // would distort that ratio, so clamp it for this experiment.
-    let opts = Opts { time_scale: opts.time_scale.max(0.5), ..*opts };
+    let opts = Opts {
+        time_scale: opts.time_scale.max(0.5),
+        ..*opts
+    };
     // Finer increments 8..16 (§5.4); multi only fits at ≥14.
     run_grid(
         WorkflowKind::Sentiment,
@@ -158,12 +159,54 @@ fn fig_sentiment(platform: Platform, opts: &Opts) -> Sweep {
 fn fig13(opts: &Opts) {
     println!("== Figure 13: active size vs monitored metric ==\n");
     let cells: Vec<(&str, WorkflowKind, u32, Platform, MappingKind, &str)> = vec![
-        ("(a)", WorkflowKind::Astro, 3, Platform::SERVER, MappingKind::DynAutoMulti, "queue size"),
-        ("(b)", WorkflowKind::Astro, 3, Platform::SERVER, MappingKind::DynAutoRedis, "idle time (s)"),
-        ("(c)", WorkflowKind::Astro, 5, Platform::HPC, MappingKind::DynAutoMulti, "queue size"),
-        ("(d)", WorkflowKind::Seismic, 1, Platform::SERVER, MappingKind::DynAutoMulti, "queue size"),
-        ("(e)", WorkflowKind::Seismic, 1, Platform::SERVER, MappingKind::DynAutoRedis, "idle time (s)"),
-        ("(f)", WorkflowKind::Seismic, 1, Platform::HPC, MappingKind::DynAutoMulti, "queue size"),
+        (
+            "(a)",
+            WorkflowKind::Astro,
+            3,
+            Platform::SERVER,
+            MappingKind::DynAutoMulti,
+            "queue size",
+        ),
+        (
+            "(b)",
+            WorkflowKind::Astro,
+            3,
+            Platform::SERVER,
+            MappingKind::DynAutoRedis,
+            "idle time (s)",
+        ),
+        (
+            "(c)",
+            WorkflowKind::Astro,
+            5,
+            Platform::HPC,
+            MappingKind::DynAutoMulti,
+            "queue size",
+        ),
+        (
+            "(d)",
+            WorkflowKind::Seismic,
+            1,
+            Platform::SERVER,
+            MappingKind::DynAutoMulti,
+            "queue size",
+        ),
+        (
+            "(e)",
+            WorkflowKind::Seismic,
+            1,
+            Platform::SERVER,
+            MappingKind::DynAutoRedis,
+            "idle time (s)",
+        ),
+        (
+            "(f)",
+            WorkflowKind::Seismic,
+            1,
+            Platform::HPC,
+            MappingKind::DynAutoMulti,
+            "queue size",
+        ),
     ];
     for (tag, wf, scale, platform, mapping, metric) in cells {
         let cfg = base_cfg(opts).with_scale(if opts.quick { 1 } else { scale });
@@ -171,7 +214,10 @@ fn fig13(opts: &Opts) {
         let redis = mapping.needs_redis().then_some(opts.redis).flatten();
         let label = format!("{tag} {:?} on {}", wf, platform.name);
         if let Some(row) = run_cell(wf, &cfg, platform, mapping, workers, &label, redis) {
-            println!("{}", render_trace(row.mapping, &row.workload, metric, &row.trace));
+            println!(
+                "{}",
+                render_trace(row.mapping, &row.workload, metric, &row.trace)
+            );
         }
     }
 }
@@ -181,7 +227,10 @@ fn fig13(opts: &Opts) {
 fn table_galaxy(sweeps: &[(&str, &Sweep)]) {
     println!("== Table 1: Internal Extinction of Galaxies — ratio summary ==\n");
     for (platform, sweep) in sweeps {
-        for (a, b) in [("dyn_auto_multi", "dyn_multi"), ("dyn_auto_redis", "dyn_redis")] {
+        for (a, b) in [
+            ("dyn_auto_multi", "dyn_multi"),
+            ("dyn_auto_redis", "dyn_redis"),
+        ] {
             if let Some(summary) = ratio_table(sweep, a, b) {
                 println!("{}", render_ratio(platform, &summary));
             }
@@ -192,7 +241,10 @@ fn table_galaxy(sweeps: &[(&str, &Sweep)]) {
 fn table_seismic(sweeps: &[(&str, &Sweep)]) {
     println!("== Table 2: Seismic Cross-Correlation — ratio summary ==\n");
     for (platform, sweep) in sweeps {
-        for (a, b) in [("dyn_auto_multi", "dyn_multi"), ("dyn_auto_redis", "dyn_redis")] {
+        for (a, b) in [
+            ("dyn_auto_multi", "dyn_multi"),
+            ("dyn_auto_redis", "dyn_redis"),
+        ] {
             if let Some(summary) = ratio_table(sweep, a, b) {
                 println!("{}", render_ratio(platform, &summary));
             }
@@ -226,8 +278,15 @@ fn ablation(opts: &Opts) {
     let workers = 16;
 
     let (exe, _) = astro::build(&cfg);
-    let plain = DynMulti.execute(&exe, &ExecutionOptions::new(workers)).unwrap();
-    println!("{:<24} runtime {:>7.3}s  process {:>8.3}s", "no auto-scaling", plain.runtime.as_secs_f64(), plain.process_time.as_secs_f64());
+    let plain = DynMulti
+        .execute(&exe, &ExecutionOptions::new(workers))
+        .unwrap();
+    println!(
+        "{:<24} runtime {:>7.3}s  process {:>8.3}s",
+        "no auto-scaling",
+        plain.runtime.as_secs_f64(),
+        plain.process_time.as_secs_f64()
+    );
 
     let (exe, _) = astro::build(&cfg);
     let naive = DynAutoMulti::with_config(AutoscaleConfig {
@@ -236,7 +295,12 @@ fn ablation(opts: &Opts) {
     })
     .execute(&exe, &ExecutionOptions::new(workers))
     .unwrap();
-    println!("{:<24} runtime {:>7.3}s  process {:>8.3}s", "naive queue-delta (±1)", naive.runtime.as_secs_f64(), naive.process_time.as_secs_f64());
+    println!(
+        "{:<24} runtime {:>7.3}s  process {:>8.3}s",
+        "naive queue-delta (±1)",
+        naive.runtime.as_secs_f64(),
+        naive.process_time.as_secs_f64()
+    );
 
     let (exe, _) = astro::build(&cfg);
     let queue = Arc::new(ChannelQueue::new(workers));
@@ -247,8 +311,20 @@ fn ablation(opts: &Opts) {
         },
         strategy: Box::new(|q| Box::new(ProportionalStrategy::new(q, 4.0, 0.5, 4))),
     };
-    let prop = run_dynamic(&exe, &ExecutionOptions::new(workers), queue, "dyn_prop_multi", Some(setup)).unwrap();
-    println!("{:<24} runtime {:>7.3}s  process {:>8.3}s", "proportional (EWMA)", prop.runtime.as_secs_f64(), prop.process_time.as_secs_f64());
+    let prop = run_dynamic(
+        &exe,
+        &ExecutionOptions::new(workers),
+        queue,
+        "dyn_prop_multi",
+        Some(setup),
+    )
+    .unwrap();
+    println!(
+        "{:<24} runtime {:>7.3}s  process {:>8.3}s",
+        "proportional (EWMA)",
+        prop.runtime.as_secs_f64(),
+        prop.process_time.as_secs_f64()
+    );
 
     println!("\n== Ablation 2: hybrid queue transport (sentiment, 14 workers, server) ==\n");
     use dispel4py::workflows::sentiment;
@@ -258,7 +334,10 @@ fn ablation(opts: &Opts) {
         .with_limiter(Platform::SERVER.limiter());
     let transports: Vec<(&str, Box<dyn Mapping>)> = vec![
         ("channels (hybrid_multi)", Box::new(HybridMulti)),
-        ("redis in-proc", Box::new(HybridRedis::new(RedisBackend::in_proc()))),
+        (
+            "redis in-proc",
+            Box::new(HybridRedis::new(RedisBackend::in_proc())),
+        ),
         (
             "redis tcp (hybrid_redis)",
             Box::new(HybridRedis::new(match opts.redis {
@@ -294,7 +373,9 @@ fn ablation(opts: &Opts) {
     let (exe, _) = seismic::build(&kcfg);
     let fused_exe = fuse_staged(&exe).unwrap();
     let stages = fused_exe.graph().pe_count();
-    let fused = DynMulti.execute(&fused_exe, &ExecutionOptions::new(8)).unwrap();
+    let fused = DynMulti
+        .execute(&fused_exe, &ExecutionOptions::new(8))
+        .unwrap();
     println!(
         "{:<26} runtime {:>7.3}s  process {:>8.3}s  tasks {}",
         format!("{stages} stage(s) (staged)"),
@@ -305,10 +386,17 @@ fn ablation(opts: &Opts) {
 }
 
 fn print_row_dump(sweep: &Sweep) {
-    for RunRow { platform, workload, mapping, workers, runtime_s, process_s, .. } in &sweep.rows {
-        println!(
-            "{platform},{workload},{mapping},{workers},{runtime_s:.4},{process_s:.4}"
-        );
+    for RunRow {
+        platform,
+        workload,
+        mapping,
+        workers,
+        runtime_s,
+        process_s,
+        ..
+    } in &sweep.rows
+    {
+        println!("{platform},{workload},{mapping},{workers},{runtime_s:.4},{process_s:.4}");
     }
 }
 
@@ -323,14 +411,21 @@ fn main() {
         .unwrap_or_else(|| "all".to_string());
 
     // One redis-lite server shared by every Redis-backed cell.
-    let server = if inproc { None } else { Some(Server::start(0).expect("start redis-lite")) };
+    let server = if inproc {
+        None
+    } else {
+        Some(Server::start(0).expect("start redis-lite"))
+    };
     let opts = Opts {
         time_scale: if quick { 0.05 } else { 0.25 },
         quick,
         redis: server.as_ref().map(|s| s.addr()),
     };
     if let Some(s) = &server {
-        eprintln!("redis-lite server on {} (pass --inproc to skip the wire)", s.addr());
+        eprintln!(
+            "redis-lite server on {} (pass --inproc to skip the wire)",
+            s.addr()
+        );
     }
     eprintln!(
         "time scale {} (all service times scaled; ratios are scale-invariant)\n",
@@ -340,17 +435,26 @@ fn main() {
     match experiment.as_str() {
         "fig8" => {
             let sweep = fig_galaxy(Platform::SERVER, &opts);
-            println!("{}", render_figure("Figure 8: galaxies on server (≤16 procs)", &sweep));
+            println!(
+                "{}",
+                render_figure("Figure 8: galaxies on server (≤16 procs)", &sweep)
+            );
             print_row_dump(&sweep);
         }
         "fig9" => {
             let sweep = fig_galaxy(Platform::CLOUD, &opts);
-            println!("{}", render_figure("Figure 9: galaxies on cloud (8 cores)", &sweep));
+            println!(
+                "{}",
+                render_figure("Figure 9: galaxies on cloud (8 cores)", &sweep)
+            );
             print_row_dump(&sweep);
         }
         "fig10" => {
             let sweep = fig_galaxy(Platform::HPC, &opts);
-            println!("{}", render_figure("Figure 10: galaxies on HPC (≤64 procs)", &sweep));
+            println!(
+                "{}",
+                render_figure("Figure 10: galaxies on HPC (≤64 procs)", &sweep)
+            );
             print_row_dump(&sweep);
         }
         "fig11a" | "fig11b" | "fig11c" => {
@@ -370,8 +474,11 @@ fn main() {
             print_row_dump(&sweep);
         }
         "fig12a" | "fig12b" => {
-            let platform =
-                if experiment == "fig12a" { Platform::SERVER } else { Platform::CLOUD };
+            let platform = if experiment == "fig12a" {
+                Platform::SERVER
+            } else {
+                Platform::CLOUD
+            };
             let sweep = fig_sentiment(platform, &opts);
             println!(
                 "{}",
@@ -411,31 +518,38 @@ fn main() {
         }
         "all" => {
             let g_server = fig_galaxy(Platform::SERVER, &opts);
-            println!("{}", render_figure("Figure 8: galaxies on server", &g_server));
+            println!(
+                "{}",
+                render_figure("Figure 8: galaxies on server", &g_server)
+            );
             let g_cloud = fig_galaxy(Platform::CLOUD, &opts);
             println!("{}", render_figure("Figure 9: galaxies on cloud", &g_cloud));
             let g_hpc = fig_galaxy(Platform::HPC, &opts);
             println!("{}", render_figure("Figure 10: galaxies on HPC", &g_hpc));
             let s_server = fig_seismic(Platform::SERVER, &opts);
-            println!("{}", render_figure("Figure 11a: seismic on server", &s_server));
+            println!(
+                "{}",
+                render_figure("Figure 11a: seismic on server", &s_server)
+            );
             let s_cloud = fig_seismic(Platform::CLOUD, &opts);
-            println!("{}", render_figure("Figure 11b: seismic on cloud", &s_cloud));
+            println!(
+                "{}",
+                render_figure("Figure 11b: seismic on cloud", &s_cloud)
+            );
             let s_hpc = fig_seismic(Platform::HPC, &opts);
             println!("{}", render_figure("Figure 11c: seismic on HPC", &s_hpc));
             let n_server = fig_sentiment(Platform::SERVER, &opts);
-            println!("{}", render_figure("Figure 12a: sentiment on server", &n_server));
+            println!(
+                "{}",
+                render_figure("Figure 12a: sentiment on server", &n_server)
+            );
             let n_cloud = fig_sentiment(Platform::CLOUD, &opts);
-            println!("{}", render_figure("Figure 12b: sentiment on cloud", &n_cloud));
-            table_galaxy(&[
-                ("server", &g_server),
-                ("cloud", &g_cloud),
-                ("HPC", &g_hpc),
-            ]);
-            table_seismic(&[
-                ("server", &s_server),
-                ("cloud", &s_cloud),
-                ("HPC", &s_hpc),
-            ]);
+            println!(
+                "{}",
+                render_figure("Figure 12b: sentiment on cloud", &n_cloud)
+            );
+            table_galaxy(&[("server", &g_server), ("cloud", &g_cloud), ("HPC", &g_hpc)]);
+            table_seismic(&[("server", &s_server), ("cloud", &s_cloud), ("HPC", &s_hpc)]);
             table_sentiment(&[("server", &n_server), ("cloud", &n_cloud)]);
             fig13(&opts);
         }

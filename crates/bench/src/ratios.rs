@@ -50,11 +50,7 @@ fn mean_std(xs: &[f64]) -> (f64, f64) {
 
 /// Builds the ratio summary of A/B over every (workload, workers) cell both
 /// ran in `sweep`. `None` when no cells match.
-pub fn ratio_table(
-    sweep: &Sweep,
-    a: &'static str,
-    b: &'static str,
-) -> Option<RatioSummary> {
+pub fn ratio_table(sweep: &Sweep, a: &'static str, b: &'static str) -> Option<RatioSummary> {
     let mut cells = Vec::new();
     for workload in sweep.workloads() {
         let sa = sweep.series(a, &workload);

@@ -20,16 +20,18 @@ pub fn render_figure(title: &str, sweep: &Sweep) -> String {
         workers.sort_unstable();
         workers.dedup();
         let header: Vec<String> = workers.iter().map(|w| format!("{w:>9}")).collect();
-        out.push_str(&format!("{:<16} {:>9} {}\n", "mapping", "metric", header.join(" ")));
+        out.push_str(&format!(
+            "{:<16} {:>9} {}\n",
+            "mapping",
+            "metric",
+            header.join(" ")
+        ));
         for mapping in sweep.mappings() {
             let series = sweep.series(mapping, &workload);
             if series.is_empty() {
                 continue;
             }
-            for (metric, pick) in [
-                ("runtime", true),
-                ("proctime", false),
-            ] {
+            for (metric, pick) in [("runtime", true), ("proctime", false)] {
                 let cells: Vec<String> = workers
                     .iter()
                     .map(|w| {
@@ -37,10 +39,7 @@ pub fn render_figure(title: &str, sweep: &Sweep) -> String {
                             .iter()
                             .find(|r| r.workers == *w)
                             .map(|r| {
-                                format!(
-                                    "{:>9.3}",
-                                    if pick { r.runtime_s } else { r.process_s }
-                                )
+                                format!("{:>9.3}", if pick { r.runtime_s } else { r.process_s })
                             })
                             .unwrap_or_else(|| format!("{:>9}", "-"))
                     })
@@ -60,10 +59,7 @@ pub fn render_figure(title: &str, sweep: &Sweep) -> String {
 /// Prints one comparison block of a Table 1/2/3.
 pub fn render_ratio(platform: &str, summary: &RatioSummary) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "{:<8} {}/{}\n",
-        platform, summary.a, summary.b
-    ));
+    out.push_str(&format!("{:<8} {}/{}\n", platform, summary.a, summary.b));
     out.push_str(&format!(
         "  prioritized by runtime      : runtime ratio {:.2}  process ratio {:.2}  (at {} workers)\n",
         summary.best_runtime.runtime_ratio,
@@ -104,7 +100,10 @@ pub fn render_trace(
         return out;
     }
     let step = (trace.len() / 30).max(1);
-    out.push_str(&format!("{:>6} {:>7} {:>12}\n", "iter", "active", metric_name));
+    out.push_str(&format!(
+        "{:>6} {:>7} {:>12}\n",
+        "iter", "active", metric_name
+    ));
     for p in trace.iter().step_by(step) {
         out.push_str(&format!(
             "{:>6} {:>7} {:>12.3}  {}\n",
@@ -182,8 +181,16 @@ mod tests {
     #[test]
     fn trace_block_renders_bars() {
         let trace = vec![
-            d4py_core::metrics::TracePoint { iteration: 1, active_size: 3, metric: 5.0 },
-            d4py_core::metrics::TracePoint { iteration: 2, active_size: 4, metric: 7.0 },
+            d4py_core::metrics::TracePoint {
+                iteration: 1,
+                active_size: 3,
+                metric: 5.0,
+            },
+            d4py_core::metrics::TracePoint {
+                iteration: 2,
+                active_size: 4,
+                metric: 7.0,
+            },
         ];
         let text = render_trace("dyn_auto_multi", "galaxy 1X", "queue size", &trace);
         assert!(text.contains("###"));

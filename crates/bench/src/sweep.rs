@@ -80,7 +80,11 @@ impl MappingKind {
     /// The multiprocessing-family techniques (HPC has no Redis deployment,
     /// §5.1.1).
     pub fn multi_family() -> [MappingKind; 3] {
-        [MappingKind::Multi, MappingKind::DynMulti, MappingKind::DynAutoMulti]
+        [
+            MappingKind::Multi,
+            MappingKind::DynMulti,
+            MappingKind::DynAutoMulti,
+        ]
     }
 
     /// True if the technique needs a Redis backend.
@@ -109,7 +113,10 @@ impl MappingKind {
             MappingKind::DynRedis => Box::new(DynRedis::new(backend())),
             MappingKind::DynAutoRedis => Box::new(DynAutoRedis::with_config(
                 backend(),
-                AutoscaleConfig { threshold: 0.03, ..auto },
+                AutoscaleConfig {
+                    threshold: 0.03,
+                    ..auto
+                },
             )),
             MappingKind::HybridRedis => Box::new(HybridRedis::new(backend())),
         }
@@ -256,7 +263,11 @@ mod tests {
             sweep.rows.push(RunRow {
                 platform: "server",
                 workload: "1X".into(),
-                mapping: if mapping == "multi" { "multi" } else { "dyn_multi" },
+                mapping: if mapping == "multi" {
+                    "multi"
+                } else {
+                    "dyn_multi"
+                },
                 workers,
                 runtime_s: 1.0,
                 process_s: 2.0,

@@ -19,7 +19,7 @@
 
 use crate::metrics::{ScalingTrace, TracePoint};
 use crate::queue::TaskQueue;
-use parking_lot::{Condvar, Mutex};
+use d4py_sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -80,7 +80,11 @@ pub struct QueueSizeStrategy {
 impl QueueSizeStrategy {
     /// Creates the strategy over the global queue.
     pub fn new(queue: Arc<dyn TaskQueue>, threshold: f64) -> Self {
-        Self { queue, threshold, prev_depth: None }
+        Self {
+            queue,
+            threshold,
+            prev_depth: None,
+        }
     }
 }
 
@@ -118,7 +122,10 @@ impl IdleTimeStrategy {
     /// Creates the strategy; `threshold_secs` is the reactivation-cost
     /// threshold on mean idle time.
     pub fn new(queue: Arc<dyn TaskQueue>, threshold_secs: f64) -> Self {
-        Self { queue, threshold_secs }
+        Self {
+            queue,
+            threshold_secs,
+        }
     }
 }
 
@@ -170,8 +177,17 @@ impl ProportionalStrategy {
         max_step: usize,
     ) -> Self {
         assert!(items_per_worker > 0.0, "items_per_worker must be positive");
-        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0, 1]");
-        Self { queue, items_per_worker, alpha, max_step: max_step.max(1), ewma: None }
+        assert!(
+            (0.0..=1.0).contains(&alpha) && alpha > 0.0,
+            "alpha must be in (0, 1]"
+        );
+        Self {
+            queue,
+            items_per_worker,
+            alpha,
+            max_step: max_step.max(1),
+            ewma: None,
+        }
     }
 }
 
@@ -238,7 +254,9 @@ impl AutoScaler {
         Self {
             max_pool,
             min_active: config.min_active.max(1),
-            state: Mutex::new(ScalerState { active_size: initial }),
+            state: Mutex::new(ScalerState {
+                active_size: initial,
+            }),
             changed: Condvar::new(),
             shutdown: AtomicBool::new(false),
             trace: Arc::new(ScalingTrace::new()),
@@ -338,7 +356,11 @@ impl AutoScaler {
             let metric_changed = prev_metric.map(|m| m != metric).unwrap_or(true);
             if metric_changed || new_active != prev_active {
                 iteration += 1;
-                self.trace.push(TracePoint { iteration, active_size: new_active, metric });
+                self.trace.push(TracePoint {
+                    iteration,
+                    active_size: new_active,
+                    metric,
+                });
             }
             prev_metric = Some(metric);
             prev_active = new_active;
@@ -366,13 +388,19 @@ mod tests {
 
     #[test]
     fn initial_active_respects_explicit_value() {
-        let c = AutoscaleConfig { initial_active: Some(3), ..cfg() };
+        let c = AutoscaleConfig {
+            initial_active: Some(3),
+            ..cfg()
+        };
         assert_eq!(AutoScaler::new(16, &c).active_size(), 3);
     }
 
     #[test]
     fn initial_active_clamped_to_pool() {
-        let c = AutoscaleConfig { initial_active: Some(99), ..cfg() };
+        let c = AutoscaleConfig {
+            initial_active: Some(99),
+            ..cfg()
+        };
         assert_eq!(AutoScaler::new(4, &c).active_size(), 4);
     }
 
@@ -447,7 +475,12 @@ mod tests {
 
     fn push_tasks(q: &ChannelQueue, n: usize) {
         for i in 0..n {
-            q.push(QueueItem::Task(Task::new(PeId(0), "in", Value::Int(i as i64)))).unwrap();
+            q.push(QueueItem::Task(Task::new(
+                PeId(0),
+                "in",
+                Value::Int(i as i64),
+            )))
+            .unwrap();
         }
     }
 
@@ -456,7 +489,11 @@ mod tests {
         let q = Arc::new(ChannelQueue::new(1));
         let mut s = QueueSizeStrategy::new(q.clone(), 100.0);
         let (_, first) = s.observe(4);
-        assert_eq!(first, ScaleDecision::Hold, "first observation has no delta, low depth");
+        assert_eq!(
+            first,
+            ScaleDecision::Hold,
+            "first observation has no delta, low depth"
+        );
         push_tasks(&q, 5);
         let (metric, d) = s.observe(4);
         assert_eq!(metric, 5.0);
@@ -527,7 +564,11 @@ mod tests {
         let q = Arc::new(ChannelQueue::new(1));
         let mut s = ProportionalStrategy::new(q.clone(), 4.0, 1.0, 2);
         let (_, d) = s.observe(8);
-        assert_eq!(d, ScaleDecision::Shrink(2), "empty queue → target 0, step-capped");
+        assert_eq!(
+            d,
+            ScaleDecision::Shrink(2),
+            "empty queue → target 0, step-capped"
+        );
     }
 
     #[test]

@@ -12,8 +12,8 @@
 use crate::error::CodecError;
 use crate::task::{QueueItem, Task};
 use crate::value::Value;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use d4py_graph::PeId;
+use d4py_sync::ByteBuf;
 use std::collections::BTreeMap;
 
 const TAG_NULL: u8 = 0x00;
@@ -29,8 +29,8 @@ const TAG_PILL: u8 = 0xF1;
 const TAG_FLUSH: u8 = 0xF2;
 
 /// Encodes a value to a fresh byte buffer.
-pub fn encode_value(value: &Value) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64);
+pub fn encode_value(value: &Value) -> Vec<u8> {
+    let mut buf = ByteBuf::with_capacity(64);
     write_value(&mut buf, value);
     buf.freeze()
 }
@@ -45,8 +45,8 @@ pub fn decode_value(mut input: &[u8]) -> Result<Value, CodecError> {
 }
 
 /// Encodes a queue item (task or pill).
-pub fn encode_item(item: &QueueItem) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64);
+pub fn encode_item(item: &QueueItem) -> Vec<u8> {
+    let mut buf = ByteBuf::with_capacity(64);
     match item {
         QueueItem::Pill => buf.put_u8(TAG_PILL),
         QueueItem::Flush => buf.put_u8(TAG_FLUSH),
@@ -81,7 +81,12 @@ pub fn decode_item(mut input: &[u8]) -> Result<QueueItem, CodecError> {
             };
             let port = read_string(&mut input)?;
             let value = read_value(&mut input)?;
-            QueueItem::Task(Task { pe, port, value, instance })
+            QueueItem::Task(Task {
+                pe,
+                port,
+                value,
+                instance,
+            })
         }
         other => return Err(CodecError::BadTag(other)),
     };
@@ -91,7 +96,7 @@ pub fn decode_item(mut input: &[u8]) -> Result<QueueItem, CodecError> {
     Ok(item)
 }
 
-fn write_value(buf: &mut BytesMut, value: &Value) {
+fn write_value(buf: &mut ByteBuf, value: &Value) {
     match value {
         Value::Null => buf.put_u8(TAG_NULL),
         Value::Bool(b) => {
@@ -133,7 +138,7 @@ fn write_value(buf: &mut BytesMut, value: &Value) {
     }
 }
 
-fn write_str(buf: &mut BytesMut, s: &str) {
+fn write_str(buf: &mut ByteBuf, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
@@ -142,20 +147,27 @@ fn read_u8(input: &mut &[u8]) -> Result<u8, CodecError> {
     if input.is_empty() {
         return Err(CodecError::UnexpectedEof);
     }
-    Ok(input.get_u8())
+    let b = input[0];
+    *input = &input[1..];
+    Ok(b)
 }
 
 fn read_u32(input: &mut &[u8]) -> Result<u32, CodecError> {
     if input.len() < 4 {
         return Err(CodecError::UnexpectedEof);
     }
-    Ok(input.get_u32_le())
+    let v = u32::from_le_bytes(input[..4].try_into().expect("length checked"));
+    *input = &input[4..];
+    Ok(v)
 }
 
 fn read_len(input: &mut &[u8]) -> Result<usize, CodecError> {
     let n = read_u32(input)? as usize;
     if n > input.len() {
-        return Err(CodecError::BadLength { declared: n, remaining: input.len() });
+        return Err(CodecError::BadLength {
+            declared: n,
+            remaining: input.len(),
+        });
     }
     Ok(n)
 }
@@ -163,8 +175,10 @@ fn read_len(input: &mut &[u8]) -> Result<usize, CodecError> {
 fn read_string(input: &mut &[u8]) -> Result<String, CodecError> {
     let n = read_len(input)?;
     let bytes = &input[..n];
-    let s = std::str::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)?.to_string();
-    input.advance(n);
+    let s = std::str::from_utf8(bytes)
+        .map_err(|_| CodecError::BadUtf8)?
+        .to_string();
+    *input = &input[n..];
     Ok(s)
 }
 
@@ -177,19 +191,23 @@ fn read_value(input: &mut &[u8]) -> Result<Value, CodecError> {
             if input.len() < 8 {
                 return Err(CodecError::UnexpectedEof);
             }
-            Value::Int(input.get_i64_le())
+            let v = i64::from_le_bytes(input[..8].try_into().expect("length checked"));
+            *input = &input[8..];
+            Value::Int(v)
         }
         TAG_FLOAT => {
             if input.len() < 8 {
                 return Err(CodecError::UnexpectedEof);
             }
-            Value::Float(input.get_f64_le())
+            let v = f64::from_le_bytes(input[..8].try_into().expect("length checked"));
+            *input = &input[8..];
+            Value::Float(v)
         }
         TAG_STR => Value::Str(read_string(input)?),
         TAG_BYTES => {
             let n = read_len(input)?;
             let b = input[..n].to_vec();
-            input.advance(n);
+            *input = &input[n..];
             Value::Bytes(b)
         }
         TAG_LIST => {
@@ -291,13 +309,16 @@ mod tests {
     fn truncated_input_fails_cleanly() {
         let bytes = encode_value(&Value::Str("hello".into()));
         for cut in 0..bytes.len() {
-            assert!(decode_value(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+            assert!(
+                decode_value(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
         }
     }
 
     #[test]
     fn trailing_bytes_rejected() {
-        let mut bytes = encode_value(&Value::Int(1)).to_vec();
+        let mut bytes = encode_value(&Value::Int(1));
         bytes.push(0xAA);
         assert_eq!(decode_value(&bytes), Err(CodecError::TrailingBytes(1)));
     }
@@ -313,7 +334,10 @@ mod tests {
         let mut buf = vec![TAG_STR];
         buf.extend_from_slice(&100u32.to_le_bytes());
         buf.extend_from_slice(b"ab");
-        assert!(matches!(decode_value(&buf), Err(CodecError::BadLength { .. })));
+        assert!(matches!(
+            decode_value(&buf),
+            Err(CodecError::BadLength { .. })
+        ));
     }
 
     #[test]

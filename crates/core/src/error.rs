@@ -87,8 +87,14 @@ impl std::fmt::Display for CodecError {
         match self {
             CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
             CodecError::BadTag(t) => write!(f, "unknown type tag 0x{t:02x}"),
-            CodecError::BadLength { declared, remaining } => {
-                write!(f, "declared length {declared} exceeds remaining {remaining} bytes")
+            CodecError::BadLength {
+                declared,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "declared length {declared} exceeds remaining {remaining} bytes"
+                )
             }
             CodecError::BadUtf8 => write!(f, "invalid UTF-8 in string"),
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),

@@ -28,7 +28,10 @@ impl Executable {
     pub fn new(graph: WorkflowGraph) -> Result<Self, CoreError> {
         graph.validate()?;
         let n = graph.pe_count();
-        Ok(Self { graph: Arc::new(graph), factories: vec![None; n] })
+        Ok(Self {
+            graph: Arc::new(graph),
+            factories: vec![None; n],
+        })
     }
 
     /// Registers the runtime factory for `pe`.
@@ -118,7 +121,9 @@ mod tests {
         let (g, a, b) = tiny_graph();
         let mut exe = Executable::new(g).unwrap();
         exe.register(a, || {
-            Box::new(FnSource(|ctx: &mut dyn Context| ctx.emit("out", Value::Int(1))))
+            Box::new(FnSource(|ctx: &mut dyn Context| {
+                ctx.emit("out", Value::Int(1))
+            }))
         });
         exe.register(b, || {
             Box::new(FnTransform(|_: &str, _: Value, _: &mut dyn Context| {}))

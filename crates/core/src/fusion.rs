@@ -136,8 +136,7 @@ fn namespaced(pe_name: &str, port: &str) -> String {
 pub fn fuse(exe: &Executable, clustering: &Clustering) -> Result<Executable, CoreError> {
     let graph = exe.graph();
     let order = graph.topological_order()?;
-    let topo_pos: HashMap<PeId, usize> =
-        order.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+    let topo_pos: HashMap<PeId, usize> = order.iter().enumerate().map(|(i, id)| (*id, i)).collect();
 
     // Validate and normalise clusters (members in topological order).
     let mut clusters: Vec<Vec<PeId>> = Vec::new();
@@ -218,7 +217,10 @@ pub fn fuse(exe: &Executable, clustering: &Clustering) -> Result<Executable, Cor
             for (_, conn) in graph.incoming(pe) {
                 if cluster_of[&conn.from_pe] != cluster_of[&pe] {
                     let cport = namespaced(&pe_spec.name, &conn.to_port);
-                    if spec.port(&cport, d4py_graph::PortDirection::Input).is_none() {
+                    if spec
+                        .port(&cport, d4py_graph::PortDirection::Input)
+                        .is_none()
+                    {
                         spec.ports.push(PortDecl::input(cport.clone()));
                     }
                     plan.inputs.insert(cport, (mi, conn.to_port.clone()));
@@ -234,7 +236,10 @@ pub fn fuse(exe: &Executable, clustering: &Clustering) -> Result<Executable, Cor
                     });
                 } else {
                     let cport = namespaced(&pe_spec.name, &conn.from_port);
-                    if spec.port(&cport, d4py_graph::PortDirection::Output).is_none() {
+                    if spec
+                        .port(&cport, d4py_graph::PortDirection::Output)
+                        .is_none()
+                    {
                         spec.ports.push(PortDecl::output(cport.clone()));
                     }
                     // One External route per composite port: the *outer*
@@ -244,7 +249,9 @@ pub fn fuse(exe: &Executable, clustering: &Clustering) -> Result<Executable, Cor
                         matches!(r, InternalRoute::External { composite_port } if *composite_port == cport)
                     });
                     if !already {
-                        entry.push(InternalRoute::External { composite_port: cport });
+                        entry.push(InternalRoute::External {
+                            composite_port: cport,
+                        });
                     }
                 }
             }
@@ -290,7 +297,10 @@ pub fn fuse(exe: &Executable, clustering: &Clustering) -> Result<Executable, Cor
                 .iter()
                 .map(|&pe| exe.instantiate(pe).expect("member factory exists"))
                 .collect();
-            Box::new(CompositePe { plan: plan.clone(), instances })
+            Box::new(CompositePe {
+                plan: plan.clone(),
+                instances,
+            })
         });
     }
     fused_exe.seal()
@@ -307,11 +317,11 @@ mod tests {
     use super::*;
     use crate::mapping::Mapping;
     use crate::mappings::{DynMulti, Simple};
-    use d4py_graph::Grouping;
     use crate::options::ExecutionOptions;
     use crate::pe::{Collector, FnSource, FnTransform};
+    use d4py_graph::Grouping;
 
-    fn pipeline_exe() -> (Executable, std::sync::Arc<parking_lot::Mutex<Vec<Value>>>) {
+    fn pipeline_exe() -> (Executable, std::sync::Arc<d4py_sync::Mutex<Vec<Value>>>) {
         let mut g = WorkflowGraph::new("p");
         let a = g.add_pe(PeSpec::source("a", "out"));
         let b = g.add_pe(PeSpec::transform("b", "in", "out"));
@@ -344,7 +354,7 @@ mod tests {
         (exe.seal().unwrap(), handle)
     }
 
-    fn sorted_ints(h: &std::sync::Arc<parking_lot::Mutex<Vec<Value>>>) -> Vec<i64> {
+    fn sorted_ints(h: &std::sync::Arc<d4py_sync::Mutex<Vec<Value>>>) -> Vec<i64> {
         let mut v: Vec<i64> = h.lock().iter().map(|x| x.as_int().unwrap()).collect();
         v.sort_unstable();
         v
@@ -360,7 +370,10 @@ mod tests {
             "the source stage plus the fused b+c+d body"
         );
         Simple.execute(&fused, &ExecutionOptions::new(1)).unwrap();
-        assert_eq!(sorted_ints(&results), (0..30).map(|i| i * 2 + 1).collect::<Vec<_>>());
+        assert_eq!(
+            sorted_ints(&results),
+            (0..30).map(|i| i * 2 + 1).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -369,10 +382,19 @@ mod tests {
         // single task, vestigial output port.
         let (exe, results) = pipeline_exe();
         let all: Vec<d4py_graph::PeId> = exe.graph().pe_ids().collect();
-        let fused = fuse(&exe, &Clustering { clusters: vec![all] }).unwrap();
+        let fused = fuse(
+            &exe,
+            &Clustering {
+                clusters: vec![all],
+            },
+        )
+        .unwrap();
         assert_eq!(fused.graph().pe_count(), 1);
         Simple.execute(&fused, &ExecutionOptions::new(1)).unwrap();
-        assert_eq!(sorted_ints(&results), (0..30).map(|i| i * 2 + 1).collect::<Vec<_>>());
+        assert_eq!(
+            sorted_ints(&results),
+            (0..30).map(|i| i * 2 + 1).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -393,7 +415,8 @@ mod tests {
         let b = g.add_pe(PeSpec::transform("b", "in", "out"));
         let c = g.add_pe(PeSpec::sink("c", "in"));
         g.connect(a, "out", b, "in", Grouping::Shuffle).unwrap();
-        g.connect(b, "out", c, "in", Grouping::group_by("k")).unwrap();
+        g.connect(b, "out", c, "in", Grouping::group_by("k"))
+            .unwrap();
         let mut exe = Executable::new(g).unwrap();
         exe.register(a, || Box::new(FnSource(|_: &mut dyn Context| {})));
         exe.register(b, || {
@@ -416,7 +439,9 @@ mod tests {
             .filter(|c| c.grouping == Grouping::group_by("k"))
             .collect();
         assert_eq!(group_by_edges.len(), 1, "group-by boundary preserved");
-        assert!(fused.graph().is_effectively_stateful(group_by_edges[0].to_pe));
+        assert!(fused
+            .graph()
+            .is_effectively_stateful(group_by_edges[0].to_pe));
     }
 
     #[test]
@@ -443,10 +468,15 @@ mod tests {
             Box::new(FnTransform(|_: &str, _: Value, _: &mut dyn Context| {}))
         });
         let exe2 = exe2.seal().unwrap();
-        let clustering = Clustering { clusters: vec![vec![a2, b2]] };
+        let clustering = Clustering {
+            clusters: vec![vec![a2, b2]],
+        };
         assert!(matches!(
             fuse(&exe2, &clustering),
-            Err(CoreError::UnsupportedWorkflow { mapping: "fuse", .. })
+            Err(CoreError::UnsupportedWorkflow {
+                mapping: "fuse",
+                ..
+            })
         ));
         let _ = exe;
     }
@@ -506,7 +536,9 @@ mod tests {
         let h = handle.clone();
         let mut exe = Executable::new(g).unwrap();
         exe.register(s, || {
-            Box::new(FnSource(|ctx: &mut dyn Context| ctx.emit("out", Value::Int(1))))
+            Box::new(FnSource(|ctx: &mut dyn Context| {
+                ctx.emit("out", Value::Int(1))
+            }))
         });
         for pe in [l, r] {
             exe.register(pe, || {

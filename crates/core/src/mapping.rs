@@ -21,18 +21,14 @@ pub trait Mapping {
     fn name(&self) -> &'static str;
 
     /// Runs the workflow to completion and reports metrics.
-    fn execute(&self, exe: &Executable, opts: &ExecutionOptions)
-        -> Result<RunReport, CoreError>;
+    fn execute(&self, exe: &Executable, opts: &ExecutionOptions) -> Result<RunReport, CoreError>;
 }
 
 /// Validates that a workflow is executable by *plain* dynamic scheduling,
 /// which supports neither stateful PEs nor groupings (§2.2: "dynamic
 /// scheduling exclusively manages stateless PEs and lacks support for
 /// grouping").
-pub fn require_stateless(
-    exe: &Executable,
-    mapping: &'static str,
-) -> Result<(), CoreError> {
+pub fn require_stateless(exe: &Executable, mapping: &'static str) -> Result<(), CoreError> {
     let graph = exe.graph();
     if let Some(pe) = graph.stateful_pes().first() {
         let name = graph.pe(*pe).map(|p| p.name.clone()).unwrap_or_default();
@@ -49,7 +45,10 @@ pub fn require_stateless(
         .iter()
         .find(|c| c.grouping.is_broadcast())
     {
-        let name = graph.pe(c.to_pe).map(|p| p.name.clone()).unwrap_or_default();
+        let name = graph
+            .pe(c.to_pe)
+            .map(|p| p.name.clone())
+            .unwrap_or_default();
         return Err(CoreError::UnsupportedWorkflow {
             mapping,
             reason: format!(
@@ -91,7 +90,13 @@ mod tests {
     fn group_by_rejected() {
         let exe = exe_with_grouping(Grouping::group_by("k"));
         let err = require_stateless(&exe, "dyn_multi").unwrap_err();
-        assert!(matches!(err, CoreError::UnsupportedWorkflow { mapping: "dyn_multi", .. }));
+        assert!(matches!(
+            err,
+            CoreError::UnsupportedWorkflow {
+                mapping: "dyn_multi",
+                ..
+            }
+        ));
     }
 
     #[test]

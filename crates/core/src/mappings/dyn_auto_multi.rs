@@ -43,12 +43,18 @@ impl DynAutoMulti {
     /// Uses the paper's defaults (active size = half the pool, queue-size
     /// strategy).
     pub fn new() -> Self {
-        Self { config: AutoscaleConfig::default(), strategy: ScalingStrategyKind::QueueSize }
+        Self {
+            config: AutoscaleConfig::default(),
+            strategy: ScalingStrategyKind::QueueSize,
+        }
     }
 
     /// Overrides the scaler configuration.
     pub fn with_config(config: AutoscaleConfig) -> Self {
-        Self { config, strategy: ScalingStrategyKind::QueueSize }
+        Self {
+            config,
+            strategy: ScalingStrategyKind::QueueSize,
+        }
     }
 
     /// Selects a different monitoring strategy (builder style).
@@ -69,23 +75,24 @@ impl Mapping for DynAutoMulti {
         "dyn_auto_multi"
     }
 
-    fn execute(
-        &self,
-        exe: &Executable,
-        opts: &ExecutionOptions,
-    ) -> Result<RunReport, CoreError> {
+    fn execute(&self, exe: &Executable, opts: &ExecutionOptions) -> Result<RunReport, CoreError> {
         let queue = Arc::new(ChannelQueue::new(opts.workers));
         let threshold = self.config.threshold;
         let strategy = self.strategy;
         let setup = AutoscaleSetup {
             config: self.config,
             strategy: Box::new(move |q| match strategy {
-                ScalingStrategyKind::QueueSize => {
-                    Box::new(QueueSizeStrategy::new(q, threshold))
-                }
-                ScalingStrategyKind::Proportional { items_per_worker, alpha, max_step } => {
-                    Box::new(ProportionalStrategy::new(q, items_per_worker, alpha, max_step))
-                }
+                ScalingStrategyKind::QueueSize => Box::new(QueueSizeStrategy::new(q, threshold)),
+                ScalingStrategyKind::Proportional {
+                    items_per_worker,
+                    alpha,
+                    max_step,
+                } => Box::new(ProportionalStrategy::new(
+                    q,
+                    items_per_worker,
+                    alpha,
+                    max_step,
+                )),
             }),
         };
         run_dynamic(exe, opts, queue, self.name(), Some(setup))

@@ -21,11 +21,7 @@ impl Mapping for DynMulti {
         "dyn_multi"
     }
 
-    fn execute(
-        &self,
-        exe: &Executable,
-        opts: &ExecutionOptions,
-    ) -> Result<RunReport, CoreError> {
+    fn execute(&self, exe: &Executable, opts: &ExecutionOptions) -> Result<RunReport, CoreError> {
         let queue = Arc::new(ChannelQueue::new(opts.workers));
         run_dynamic(exe, opts, queue, self.name(), None)
     }

@@ -23,11 +23,14 @@ use crate::queue::TaskQueue;
 use crate::routing::{Route, Router};
 use crate::task::{QueueItem, Task};
 use d4py_graph::PeId;
-use parking_lot::Mutex;
+use d4py_sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Constructor for a monitoring strategy over the run's queue.
+pub type StrategyBuilder = Box<dyn FnOnce(Arc<dyn TaskQueue>) -> Box<dyn MonitorStrategy> + Send>;
 
 /// Auto-scaling attachment for a dynamic run: the configuration plus a
 /// strategy constructor (the strategy usually needs the queue).
@@ -35,7 +38,7 @@ pub struct AutoscaleSetup {
     /// Scaler parameters.
     pub config: AutoscaleConfig,
     /// Builds the monitoring strategy over the run's queue.
-    pub strategy: Box<dyn FnOnce(Arc<dyn TaskQueue>) -> Box<dyn MonitorStrategy> + Send>,
+    pub strategy: StrategyBuilder,
 }
 
 /// Shared state of one dynamic run.
@@ -165,7 +168,11 @@ pub fn run_dynamic(
 
 /// The per-worker loop: gate (auto-scaling), pop, execute, route, repeat;
 /// initiate or obey poison-pill termination.
-fn dynamic_worker(worker: usize, engine: &Engine, opts: &ExecutionOptions) -> Result<(), CoreError> {
+fn dynamic_worker(
+    worker: usize,
+    engine: &Engine,
+    opts: &ExecutionOptions,
+) -> Result<(), CoreError> {
     let graph = engine.exe.graph();
     let mut pes: HashMap<PeId, Box<dyn crate::pe::ProcessingElement>> = HashMap::new();
     let mut router = Router::new();
@@ -213,15 +220,12 @@ fn dynamic_worker(worker: usize, engine: &Engine, opts: &ExecutionOptions) -> Re
                 execute_task(worker, engine, graph, &mut pes, &mut router, task)?;
                 // Saturating decrement: an at-least-once queue may re-deliver a
                 // task, and a second decrement must not wrap the counter.
-                let _ = engine.outstanding.fetch_update(
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                    |n| n.checked_sub(1),
-                );
+                let _ = engine
+                    .outstanding
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1));
             }
             None => {
-                let quiescent =
-                    !term.strict || engine.outstanding.load(Ordering::SeqCst) == 0;
+                let quiescent = !term.strict || engine.outstanding.load(Ordering::SeqCst) == 0;
                 if quiescent {
                     retries += 1;
                     if retries > term.max_retries {
@@ -256,9 +260,7 @@ fn execute_task(
 ) -> Result<(), CoreError> {
     let pe = match pes.entry(task.pe) {
         std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-        std::collections::hash_map::Entry::Vacant(e) => {
-            e.insert(engine.exe.instantiate(task.pe)?)
-        }
+        std::collections::hash_map::Entry::Vacant(e) => e.insert(engine.exe.instantiate(task.pe)?),
     };
     let mut buf = EmitBuffer::new(worker, engine.workers);
     let started = Instant::now();
@@ -303,9 +305,7 @@ mod tests {
     use crate::value::Value;
     use d4py_graph::{Grouping, PeSpec, WorkflowGraph};
 
-    fn pipeline_exe(
-        items: i64,
-    ) -> (Executable, std::sync::Arc<parking_lot::Mutex<Vec<Value>>>) {
+    fn pipeline_exe(items: i64) -> (Executable, std::sync::Arc<d4py_sync::Mutex<Vec<Value>>>) {
         let mut g = WorkflowGraph::new("t");
         let a = g.add_pe(PeSpec::source("a", "out"));
         let b = g.add_pe(PeSpec::transform("b", "in", "out"));
@@ -333,7 +333,14 @@ mod tests {
 
     fn run(exe: &Executable, workers: usize) -> RunReport {
         let queue = Arc::new(ChannelQueue::new(workers));
-        run_dynamic(exe, &ExecutionOptions::new(workers), queue, "dyn_test", None).unwrap()
+        run_dynamic(
+            exe,
+            &ExecutionOptions::new(workers),
+            queue,
+            "dyn_test",
+            None,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -349,8 +356,7 @@ mod tests {
     fn many_workers_process_everything_exactly_once() {
         let (exe, results) = pipeline_exe(200);
         run(&exe, 8);
-        let mut got: Vec<i64> =
-            results.lock().iter().map(|v| v.as_int().unwrap()).collect();
+        let mut got: Vec<i64> = results.lock().iter().map(|v| v.as_int().unwrap()).collect();
         got.sort_unstable();
         assert_eq!(got, (0..200).map(|i| i * 3).collect::<Vec<_>>());
     }
@@ -360,7 +366,8 @@ mod tests {
         let mut g = WorkflowGraph::new("t");
         let a = g.add_pe(PeSpec::source("a", "out"));
         let b = g.add_pe(PeSpec::sink("b", "in"));
-        g.connect(a, "out", b, "in", Grouping::group_by("k")).unwrap();
+        g.connect(a, "out", b, "in", Grouping::group_by("k"))
+            .unwrap();
         let mut exe = Executable::new(g).unwrap();
         exe.register(a, || Box::new(FnSource(|_: &mut dyn Context| {})));
         exe.register(b, || {
@@ -402,9 +409,7 @@ mod tests {
                 tick: std::time::Duration::from_micros(500),
                 ..AutoscaleConfig::default()
             },
-            strategy: Box::new(|q| {
-                Box::new(crate::autoscale::QueueSizeStrategy::new(q, 4.0))
-            }),
+            strategy: Box::new(|q| Box::new(crate::autoscale::QueueSizeStrategy::new(q, 4.0))),
         };
         let report = run_dynamic(
             &exe,
@@ -415,7 +420,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(results.lock().len(), 300);
-        assert!(!report.scaling_trace.is_empty(), "auto-scaled run must trace");
+        assert!(
+            !report.scaling_trace.is_empty(),
+            "auto-scaled run must trace"
+        );
     }
 
     #[test]
@@ -452,8 +460,14 @@ mod tests {
 
         let plain = {
             let queue = Arc::new(ChannelQueue::new(workers));
-            run_dynamic(&build(), &ExecutionOptions::new(workers), queue, "dyn", None)
-                .unwrap()
+            run_dynamic(
+                &build(),
+                &ExecutionOptions::new(workers),
+                queue,
+                "dyn",
+                None,
+            )
+            .unwrap()
         };
         let auto = {
             let queue = Arc::new(ChannelQueue::new(workers));
@@ -463,9 +477,7 @@ mod tests {
                     tick: std::time::Duration::from_millis(1),
                     ..AutoscaleConfig::default()
                 },
-                strategy: Box::new(|q| {
-                    Box::new(crate::autoscale::QueueSizeStrategy::new(q, 50.0))
-                }),
+                strategy: Box::new(|q| Box::new(crate::autoscale::QueueSizeStrategy::new(q, 50.0))),
             };
             run_dynamic(
                 &build(),

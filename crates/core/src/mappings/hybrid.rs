@@ -171,7 +171,10 @@ fn plan_stateful(
     }
     for c in graph.connections() {
         if c.grouping.is_broadcast() && !graph.is_effectively_stateful(c.to_pe) {
-            let name = graph.pe(c.to_pe).map(|p| p.name.clone()).unwrap_or_default();
+            let name = graph
+                .pe(c.to_pe)
+                .map(|p| p.name.clone())
+                .unwrap_or_default();
             return Err(CoreError::UnsupportedWorkflow {
                 mapping,
                 reason: format!(
@@ -256,9 +259,16 @@ pub fn run_hybrid_with_state(
         if let Some(&n) = engine.stateful_instances.get(&source) {
             for i in 0..n {
                 engine.outstanding.fetch_add(1, Ordering::SeqCst);
-                engine.private[&StatefulSlot { pe: source, instance: i }].push(
-                    QueueItem::Task(Task::pinned(source, i, crate::task::KICKOFF_PORT, crate::value::Value::Null)),
-                )?;
+                engine.private[&StatefulSlot {
+                    pe: source,
+                    instance: i,
+                }]
+                    .push(QueueItem::Task(Task::pinned(
+                        source,
+                        i,
+                        crate::task::KICKOFF_PORT,
+                        crate::value::Value::Null,
+                    )))?;
             }
         } else {
             engine.outstanding.fetch_add(1, Ordering::SeqCst);
@@ -271,12 +281,16 @@ pub fn run_hybrid_with_state(
     for (w, slot) in slots.iter().copied().enumerate() {
         let engine = engine.clone();
         let opts = opts.clone();
-        handles.push(std::thread::spawn(move || stateful_worker(w, slot, &engine, &opts)));
+        handles.push(std::thread::spawn(move || {
+            stateful_worker(w, slot, &engine, &opts)
+        }));
     }
     for w in slots.len()..opts.workers {
         let engine = engine.clone();
         let opts = opts.clone();
-        handles.push(std::thread::spawn(move || stateless_worker(w, &engine, &opts)));
+        handles.push(std::thread::spawn(move || {
+            stateless_worker(w, &engine, &opts)
+        }));
     }
 
     // Coordinator: wait for quiescence, flush stateful PEs in topo order,
@@ -291,7 +305,9 @@ pub fn run_hybrid_with_state(
     };
     wait_quiescent(&engine);
     for pe in graph.topological_order()? {
-        let Some(&n) = engine.stateful_instances.get(&pe) else { continue };
+        let Some(&n) = engine.stateful_instances.get(&pe) else {
+            continue;
+        };
         engine.flushes_pending.fetch_add(n, Ordering::SeqCst);
         for i in 0..n {
             engine.private[&StatefulSlot { pe, instance: i }].push(QueueItem::Flush)?;
@@ -345,7 +361,10 @@ fn stateful_worker(
     let mut router = Router::new();
     let queue = engine.private[&slot].clone();
     let n_instances = engine.stateful_instances[&slot.pe];
-    let pe_name = graph.pe(slot.pe).map(|s| s.name.clone()).unwrap_or_default();
+    let pe_name = graph
+        .pe(slot.pe)
+        .map(|s| s.name.clone())
+        .unwrap_or_default();
 
     // Warm start: restore externalized state before the first input.
     if let Some(store) = &engine.state {
@@ -380,11 +399,9 @@ fn stateful_worker(
                 engine.route_emissions(graph, slot.pe, &mut buf, &mut router)?;
                 // Saturating decrement: an at-least-once queue may re-deliver a
                 // task, and a second decrement must not wrap the counter.
-                let _ = engine.outstanding.fetch_update(
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                    |n| n.checked_sub(1),
-                );
+                let _ = engine
+                    .outstanding
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1));
             }
             None => {
                 if engine.shutdown.load(Ordering::SeqCst) {
@@ -434,11 +451,9 @@ fn stateless_worker(
                 engine.route_emissions(graph, task.pe, &mut buf, &mut router)?;
                 // Saturating decrement: an at-least-once queue may re-deliver a
                 // task, and a second decrement must not wrap the counter.
-                let _ = engine.outstanding.fetch_update(
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                    |n| n.checked_sub(1),
-                );
+                let _ = engine
+                    .outstanding
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1));
             }
             None => {
                 if engine.shutdown.load(Ordering::SeqCst) {
@@ -461,11 +476,7 @@ impl crate::mapping::Mapping for HybridMulti {
         "hybrid_multi"
     }
 
-    fn execute(
-        &self,
-        exe: &Executable,
-        opts: &ExecutionOptions,
-    ) -> Result<RunReport, CoreError> {
+    fn execute(&self, exe: &Executable, opts: &ExecutionOptions) -> Result<RunReport, CoreError> {
         run_hybrid(exe, opts, &ChannelQueueFactory, self.name())
     }
 }
@@ -475,13 +486,13 @@ mod tests {
     use super::*;
     use crate::mapping::Mapping;
     use crate::pe::{Collector, Context, FnSource, ProcessingElement};
-    use parking_lot::Mutex;
     use crate::value::Value;
     use d4py_graph::{Grouping, PeSpec};
+    use d4py_sync::Mutex;
 
     /// word-count-like stateful workflow: source → (group-by key) counter →
     /// (global) top-1 reducer → collector via on_done chains.
-    fn stateful_exe() -> (Executable, std::sync::Arc<parking_lot::Mutex<Vec<Value>>>) {
+    fn stateful_exe() -> (Executable, std::sync::Arc<d4py_sync::Mutex<Vec<Value>>>) {
         struct KeyCounter {
             counts: HashMap<String, i64>,
         }
@@ -494,10 +505,7 @@ mod tests {
                 for (k, n) in &self.counts {
                     ctx.emit(
                         "out",
-                        Value::map([
-                            ("state", Value::Str(k.clone())),
-                            ("count", Value::Int(*n)),
-                        ]),
+                        Value::map([("state", Value::Str(k.clone())), ("count", Value::Int(*n))]),
                     );
                 }
             }
@@ -526,11 +534,14 @@ mod tests {
         let mut g = d4py_graph::WorkflowGraph::new("stateful");
         let src = g.add_pe(PeSpec::source("src", "out"));
         let cnt = g.add_pe(
-            PeSpec::transform("count", "in", "out").stateful().with_instances(3),
+            PeSpec::transform("count", "in", "out")
+                .stateful()
+                .with_instances(3),
         );
         let top = g.add_pe(PeSpec::transform("top", "in", "out").stateful());
         let sink = g.add_pe(PeSpec::sink("sink", "in").stateful());
-        g.connect(src, "out", cnt, "in", Grouping::group_by("state")).unwrap();
+        g.connect(src, "out", cnt, "in", Grouping::group_by("state"))
+            .unwrap();
         g.connect(cnt, "out", top, "in", Grouping::Global).unwrap();
         g.connect(top, "out", sink, "in", Grouping::Global).unwrap();
         let (_, handle) = Collector::new();
@@ -544,7 +555,11 @@ mod tests {
                 }
             }))
         });
-        exe.register(cnt, || Box::new(KeyCounter { counts: HashMap::new() }));
+        exe.register(cnt, || {
+            Box::new(KeyCounter {
+                counts: HashMap::new(),
+            })
+        });
         exe.register(top, || Box::new(TopOne { best: None }));
         exe.register(sink, move || Box::new(Collector::into_handle(h.clone())));
         (exe.seal().unwrap(), handle)
@@ -554,7 +569,9 @@ mod tests {
     fn stateful_aggregation_is_exact() {
         let (exe, results) = stateful_exe();
         // 3 counter instances + 1 top + 1 sink + ≥1 stateless worker = 6.
-        let report = HybridMulti.execute(&exe, &ExecutionOptions::new(8)).unwrap();
+        let report = HybridMulti
+            .execute(&exe, &ExecutionOptions::new(8))
+            .unwrap();
         let got = results.lock();
         assert_eq!(got.len(), 1, "exactly one winner: {got:?}");
         assert_eq!(got[0].get("state").unwrap().as_str(), Some("TX"));
@@ -566,14 +583,18 @@ mod tests {
     fn too_few_workers_rejected() {
         let (exe, _) = stateful_exe();
         // Needs 5 stateful slots + 1 stateless = 6.
-        let err = HybridMulti.execute(&exe, &ExecutionOptions::new(5)).unwrap_err();
+        let err = HybridMulti
+            .execute(&exe, &ExecutionOptions::new(5))
+            .unwrap_err();
         assert!(matches!(err, CoreError::UnsupportedWorkflow { .. }));
     }
 
     #[test]
     fn minimum_worker_count_works() {
         let (exe, results) = stateful_exe();
-        HybridMulti.execute(&exe, &ExecutionOptions::new(6)).unwrap();
+        HybridMulti
+            .execute(&exe, &ExecutionOptions::new(6))
+            .unwrap();
         assert_eq!(results.lock().len(), 1);
     }
 
@@ -595,7 +616,9 @@ mod tests {
         });
         exe.register(b, move || Box::new(Collector::into_handle(h.clone())));
         let exe = exe.seal().unwrap();
-        HybridMulti.execute(&exe, &ExecutionOptions::new(4)).unwrap();
+        HybridMulti
+            .execute(&exe, &ExecutionOptions::new(4))
+            .unwrap();
         assert_eq!(handle.lock().len(), 25);
     }
 
@@ -616,7 +639,8 @@ mod tests {
         let mut g = d4py_graph::WorkflowGraph::new("t");
         let a = g.add_pe(PeSpec::source("a", "out"));
         let b = g.add_pe(PeSpec::sink("b", "in").stateful().with_instances(4));
-        g.connect(a, "out", b, "in", Grouping::group_by("state")).unwrap();
+        g.connect(a, "out", b, "in", Grouping::group_by("state"))
+            .unwrap();
         let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
         let s2 = seen.clone();
         let mut exe = Executable::new(g).unwrap();
@@ -632,7 +656,9 @@ mod tests {
         });
         exe.register(b, move || Box::new(KeySpy { seen: s2.clone() }));
         let exe = exe.seal().unwrap();
-        HybridMulti.execute(&exe, &ExecutionOptions::new(6)).unwrap();
+        HybridMulti
+            .execute(&exe, &ExecutionOptions::new(6))
+            .unwrap();
         let seen = seen.lock();
         assert_eq!(seen.len(), 18);
         let mut key_to_instance: HashMap<&String, usize> = HashMap::new();

@@ -20,8 +20,8 @@ use crate::pe::EmitBuffer;
 use crate::routing::{Route, Router};
 use crate::task::KICKOFF_PORT;
 use crate::value::Value;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use d4py_graph::{partition, InstanceId, PartitionPlan, PeId, WorkflowGraph};
+use d4py_sync::channel::{unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -44,14 +44,13 @@ impl Mapping for Multi {
         "multi"
     }
 
-    fn execute(
-        &self,
-        exe: &Executable,
-        opts: &ExecutionOptions,
-    ) -> Result<RunReport, CoreError> {
+    fn execute(&self, exe: &Executable, opts: &ExecutionOptions) -> Result<RunReport, CoreError> {
         let graph = exe.graph();
         let plan = partition::partition(graph, opts.workers).map_err(|e| {
-            CoreError::UnsupportedWorkflow { mapping: "multi", reason: e.to_string() }
+            CoreError::UnsupportedWorkflow {
+                mapping: "multi",
+                reason: e.to_string(),
+            }
         })?;
         let started = Instant::now();
 
@@ -81,7 +80,9 @@ impl Mapping for Multi {
         let plan = Arc::new(plan);
         let mut handles = Vec::with_capacity(instances.len());
         for (worker_idx, inst) in instances.iter().copied().enumerate() {
-            let rx = receivers[inst.pe.0][inst.index].take().expect("receiver taken twice");
+            let rx = receivers[inst.pe.0][inst.index]
+                .take()
+                .expect("receiver taken twice");
             let pe_impl = exe.instantiate(inst.pe)?;
             let expected_pills = expected_pills(graph, &plan, inst.pe);
             let senders = senders.clone();
@@ -110,7 +111,8 @@ impl Mapping for Multi {
         }
 
         for h in handles {
-            h.join().map_err(|_| CoreError::WorkerPanic { worker: usize::MAX })?;
+            h.join()
+                .map_err(|_| CoreError::WorkerPanic { worker: usize::MAX })?;
         }
 
         Ok(RunReport {
@@ -131,7 +133,10 @@ impl Mapping for Multi {
 /// Pills an instance of `pe` must collect before finishing: one per upstream
 /// producer instance per connection.
 fn expected_pills(graph: &WorkflowGraph, plan: &PartitionPlan, pe: PeId) -> usize {
-    graph.incoming(pe).map(|(_, c)| plan.instances_of(c.from_pe)).sum()
+    graph
+        .incoming(pe)
+        .map(|(_, c)| plan.instances_of(c.from_pe))
+        .sum()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -150,7 +155,10 @@ fn instance_worker(
     counts: &PeTaskCounts,
 ) {
     let active_since = Instant::now();
-    let pe_name = graph.pe(inst.pe).map(|s| s.name.clone()).unwrap_or_default();
+    let pe_name = graph
+        .pe(inst.pe)
+        .map(|s| s.name.clone())
+        .unwrap_or_default();
     let mut processed_here: u64 = 0;
     let mut router = Router::new();
     let n_instances = plan.instances_of(inst.pe);
@@ -233,7 +241,7 @@ mod tests {
     use super::*;
     use crate::pe::{Collector, Context, FnSource, FnTransform, ProcessingElement};
     use d4py_graph::{Grouping, PeSpec};
-    use parking_lot::Mutex;
+    use d4py_sync::Mutex;
 
     fn run(exe: &Executable, workers: usize) -> RunReport {
         Multi.execute(exe, &ExecutionOptions::new(workers)).unwrap()
@@ -265,8 +273,7 @@ mod tests {
         exe.register(c, move || Box::new(Collector::into_handle(h.clone())));
         let exe = exe.seal().unwrap();
         let report = run(&exe, 8);
-        let mut got: Vec<i64> =
-            handle.lock().iter().map(|v| v.as_int().unwrap()).collect();
+        let mut got: Vec<i64> = handle.lock().iter().map(|v| v.as_int().unwrap()).collect();
         got.sort_unstable();
         assert_eq!(got, (100..150).collect::<Vec<_>>());
         assert_eq!(report.mapping, "multi");
@@ -286,7 +293,13 @@ mod tests {
         });
         let exe = exe.seal().unwrap();
         let err = Multi.execute(&exe, &ExecutionOptions::new(1)).unwrap_err();
-        assert!(matches!(err, CoreError::UnsupportedWorkflow { mapping: "multi", .. }));
+        assert!(matches!(
+            err,
+            CoreError::UnsupportedWorkflow {
+                mapping: "multi",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -316,7 +329,8 @@ mod tests {
         let mut g = WorkflowGraph::new("t");
         let a = g.add_pe(PeSpec::source("a", "out"));
         let b = g.add_pe(PeSpec::sink("b", "in").stateful().with_instances(3));
-        g.connect(a, "out", b, "in", Grouping::group_by("state")).unwrap();
+        g.connect(a, "out", b, "in", Grouping::group_by("state"))
+            .unwrap();
         let seen = Arc::new(Mutex::new(vec![Vec::new(); 3]));
         let s2 = seen.clone();
         let mut exe = Executable::new(g).unwrap();
@@ -330,7 +344,11 @@ mod tests {
             }))
         });
         exe.register(b, move || {
-            Box::new(KeyRecorder { seen: s2.clone(), instance: None, keys: vec![] })
+            Box::new(KeyRecorder {
+                seen: s2.clone(),
+                instance: None,
+                keys: vec![],
+            })
         });
         let exe = exe.seal().unwrap();
         run(&exe, 4);
@@ -339,7 +357,11 @@ mod tests {
         let total: usize = all.len();
         all.sort();
         all.dedup();
-        assert_eq!(total, all.len(), "a key appeared on two instances: {seen:?}");
+        assert_eq!(
+            total,
+            all.len(),
+            "a key appeared on two instances: {seen:?}"
+        );
         assert_eq!(all.len(), 5, "all five states must be seen somewhere");
     }
 
@@ -421,7 +443,9 @@ mod tests {
                 }
             }))
         });
-        exe.register(b, move || Box::new(PerInstanceCounter { counts: c2.clone() }));
+        exe.register(b, move || {
+            Box::new(PerInstanceCounter { counts: c2.clone() })
+        });
         let exe = exe.seal().unwrap();
         run(&exe, 5);
         let counts = counts.lock();

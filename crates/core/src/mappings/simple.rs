@@ -29,11 +29,7 @@ impl Mapping for Simple {
         "simple"
     }
 
-    fn execute(
-        &self,
-        exe: &Executable,
-        _opts: &ExecutionOptions,
-    ) -> Result<RunReport, CoreError> {
+    fn execute(&self, exe: &Executable, _opts: &ExecutionOptions) -> Result<RunReport, CoreError> {
         let started = Instant::now();
         let graph = exe.graph();
         let ledger = ActiveTimeLedger::new(1);
@@ -119,7 +115,7 @@ mod tests {
     use crate::value::Value;
     use d4py_graph::{Grouping, PeSpec, WorkflowGraph};
 
-    fn pipeline_exe() -> (Executable, std::sync::Arc<parking_lot::Mutex<Vec<Value>>>) {
+    fn pipeline_exe() -> (Executable, std::sync::Arc<d4py_sync::Mutex<Vec<Value>>>) {
         let mut g = WorkflowGraph::new("t");
         let a = g.add_pe(PeSpec::source("a", "out"));
         let b = g.add_pe(PeSpec::transform("b", "in", "out"));
@@ -219,7 +215,9 @@ mod tests {
         let h2 = handle.clone();
         let mut exe = Executable::new(g).unwrap();
         exe.register(s, || {
-            Box::new(FnSource(|ctx: &mut dyn Context| ctx.emit("out", Value::Int(1))))
+            Box::new(FnSource(|ctx: &mut dyn Context| {
+                ctx.emit("out", Value::Int(1))
+            }))
         });
         for pe in [l, r] {
             exe.register(pe, || {

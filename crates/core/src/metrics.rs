@@ -13,7 +13,7 @@
 //! monitored metric) series that Figure 13 plots; [`RunReport`] packages
 //! everything a mapping returns.
 
-use parking_lot::Mutex;
+use d4py_sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -29,7 +29,9 @@ pub struct ActiveTimeLedger {
 impl ActiveTimeLedger {
     /// Creates a ledger for `workers` workers.
     pub fn new(workers: usize) -> Self {
-        Self { nanos: (0..workers).map(|_| AtomicU64::new(0)).collect() }
+        Self {
+            nanos: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
     }
 
     /// Adds a closed active span for `worker`.
@@ -63,7 +65,11 @@ pub struct ActiveSpan<'a> {
 impl<'a> ActiveSpan<'a> {
     /// Opens a span for `worker`.
     pub fn open(ledger: &'a ActiveTimeLedger, worker: usize) -> Self {
-        Self { ledger, worker, started: Instant::now() }
+        Self {
+            ledger,
+            worker,
+            started: Instant::now(),
+        }
     }
 }
 
@@ -138,7 +144,9 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
     }
 
     fn bucket_of(d: Duration) -> usize {
@@ -217,8 +225,12 @@ impl PeTaskCounts {
 
     /// Snapshot sorted by PE name.
     pub fn snapshot(&self) -> Vec<(String, u64)> {
-        let mut rows: Vec<(String, u64)> =
-            self.counts.lock().iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let mut rows: Vec<(String, u64)> = self
+            .counts
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
         rows.sort();
         rows
     }
@@ -310,7 +322,11 @@ mod tests {
     fn trace_preserves_order() {
         let trace = ScalingTrace::new();
         for i in 0..4 {
-            trace.push(TracePoint { iteration: i, active_size: i as usize + 1, metric: 0.0 });
+            trace.push(TracePoint {
+                iteration: i,
+                active_size: i as usize + 1,
+                metric: 0.0,
+            });
         }
         let snap = trace.snapshot();
         assert_eq!(snap.len(), 4);

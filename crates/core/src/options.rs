@@ -27,7 +27,11 @@ pub struct TerminationConfig {
 
 impl Default for TerminationConfig {
     fn default() -> Self {
-        Self { poll_timeout: Duration::from_millis(10), max_retries: 5, strict: true }
+        Self {
+            poll_timeout: Duration::from_millis(10),
+            max_retries: 5,
+            strict: true,
+        }
     }
 }
 

@@ -35,7 +35,11 @@ pub struct EmitBuffer {
 impl EmitBuffer {
     /// Creates a buffer for the given instance coordinates.
     pub fn new(instance: usize, instance_count: usize) -> Self {
-        Self { emissions: Vec::new(), instance, instance_count }
+        Self {
+            emissions: Vec::new(),
+            instance,
+            instance_count,
+        }
     }
 
     /// Drains the buffered emissions in emission order.
@@ -147,19 +151,19 @@ where
 /// A sink PE that appends every received item to a shared vector, for tests
 /// and result capture in examples.
 pub struct Collector {
-    sink: std::sync::Arc<parking_lot::Mutex<Vec<Value>>>,
+    sink: std::sync::Arc<d4py_sync::Mutex<Vec<Value>>>,
 }
 
 impl Collector {
     /// Creates a collector and the handle used to read what it gathered.
-    pub fn new() -> (Self, std::sync::Arc<parking_lot::Mutex<Vec<Value>>>) {
-        let sink = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+    pub fn new() -> (Self, std::sync::Arc<d4py_sync::Mutex<Vec<Value>>>) {
+        let sink = std::sync::Arc::new(d4py_sync::Mutex::new(Vec::new()));
         (Self { sink: sink.clone() }, sink)
     }
 
     /// Creates a collector writing into an existing handle (so every
     /// instance of the PE shares one result vector).
-    pub fn into_handle(sink: std::sync::Arc<parking_lot::Mutex<Vec<Value>>>) -> Self {
+    pub fn into_handle(sink: std::sync::Arc<d4py_sync::Mutex<Vec<Value>>>) -> Self {
         Self { sink }
     }
 }
@@ -179,7 +183,12 @@ impl CountingSink {
     /// Creates a counting sink and its shared counter.
     pub fn new() -> (Self, std::sync::Arc<std::sync::atomic::AtomicU64>) {
         let count = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
-        (Self { count: count.clone() }, count)
+        (
+            Self {
+                count: count.clone(),
+            },
+            count,
+        )
     }
 
     /// Creates a sink incrementing an existing counter.
@@ -190,7 +199,8 @@ impl CountingSink {
 
 impl ProcessingElement for CountingSink {
     fn process(&mut self, _port: &str, _value: Value, _ctx: &mut dyn Context) {
-        self.count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.count
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 }
 

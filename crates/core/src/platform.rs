@@ -12,7 +12,7 @@
 //! payloads) waits without a permit, exactly as blocked-on-IO processes
 //! don't occupy a core.
 
-use parking_lot::{Condvar, Mutex};
+use d4py_sync::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -27,11 +27,20 @@ pub struct Platform {
 
 impl Platform {
     /// Imperial DoC virtual server: 16 cores (Intel E5-2690).
-    pub const SERVER: Platform = Platform { name: "server", cores: 16 };
+    pub const SERVER: Platform = Platform {
+        name: "server",
+        cores: 16,
+    };
     /// Google Cloud VM: 8 vCPUs.
-    pub const CLOUD: Platform = Platform { name: "cloud", cores: 8 };
+    pub const CLOUD: Platform = Platform {
+        name: "cloud",
+        cores: 8,
+    };
     /// Imperial HPC, short class: up to 64 CPUs.
-    pub const HPC: Platform = Platform { name: "HPC", cores: 64 };
+    pub const HPC: Platform = Platform {
+        name: "HPC",
+        cores: 64,
+    };
 
     /// Builds the core limiter for this platform.
     pub fn limiter(&self) -> Arc<CoreLimiter> {
@@ -62,7 +71,11 @@ impl CoreLimiter {
     /// Creates a limiter with `cores` permits. `cores == 0` is treated as
     /// unlimited (useful for unit tests that don't model a platform).
     pub fn new(cores: usize) -> Self {
-        Self { cores, state: Mutex::new(cores), available: Condvar::new() }
+        Self {
+            cores,
+            state: Mutex::new(cores),
+            available: Condvar::new(),
+        }
     }
 
     /// An unlimited limiter (no platform simulation).

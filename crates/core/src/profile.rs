@@ -32,7 +32,10 @@ pub struct CommCostModel {
 
 impl Default for CommCostModel {
     fn default() -> Self {
-        Self { per_message: Duration::from_micros(50), per_byte: Duration::from_nanos(5) }
+        Self {
+            per_message: Duration::from_micros(50),
+            per_byte: Duration::from_nanos(5),
+        }
     }
 }
 
@@ -65,7 +68,9 @@ pub fn profile_workflow(
             let bytes = encode_value(&value).len() as u32;
             for (_, conn) in graph.outgoing_from_port(task.pe, &port) {
                 let cost = model.per_message + model.per_byte * bytes;
-                let slot = comm_total.entry((task.pe, conn.to_pe)).or_insert((Duration::ZERO, 0));
+                let slot = comm_total
+                    .entry((task.pe, conn.to_pe))
+                    .or_insert((Duration::ZERO, 0));
                 slot.0 += cost;
                 slot.1 += 1;
                 queue.push_back(Task::new(conn.to_pe, conn.to_port.clone(), value.clone()));
@@ -98,9 +103,12 @@ mod tests {
         let cheap = g.add_pe(PeSpec::transform("cheap", "in", "out"));
         let slow = g.add_pe(PeSpec::transform("slow", "in", "out"));
         let sink = g.add_pe(PeSpec::sink("sink", "in"));
-        g.connect(src, "out", cheap, "in", Grouping::Shuffle).unwrap();
-        g.connect(cheap, "out", slow, "in", Grouping::Shuffle).unwrap();
-        g.connect(slow, "out", sink, "in", Grouping::Shuffle).unwrap();
+        g.connect(src, "out", cheap, "in", Grouping::Shuffle)
+            .unwrap();
+        g.connect(cheap, "out", slow, "in", Grouping::Shuffle)
+            .unwrap();
+        g.connect(slow, "out", sink, "in", Grouping::Shuffle)
+            .unwrap();
         let mut e = Executable::new(g).unwrap();
         e.register(src, || {
             Box::new(FnSource(|ctx: &mut dyn Context| {
@@ -168,7 +176,8 @@ mod tests {
         let mut g = WorkflowGraph::new("empty");
         let src = g.add_pe(PeSpec::source("src", "out"));
         let sink = g.add_pe(PeSpec::sink("sink", "in"));
-        g.connect(src, "out", sink, "in", Grouping::Shuffle).unwrap();
+        g.connect(src, "out", sink, "in", Grouping::Shuffle)
+            .unwrap();
         let mut e = Executable::new(g).unwrap();
         e.register(src, || Box::new(FnSource(|_: &mut dyn Context| {})));
         e.register(sink, || {

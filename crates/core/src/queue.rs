@@ -10,8 +10,8 @@
 
 use crate::error::CoreError;
 use crate::task::QueueItem;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use d4py_sync::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use d4py_sync::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -36,7 +36,7 @@ pub trait TaskQueue: Send + Sync {
     }
 }
 
-/// In-process [`TaskQueue`] over a crossbeam channel, with an atomic depth
+/// In-process [`TaskQueue`] over an MPMC channel, with an atomic depth
 /// counter and per-consumer idle tracking.
 ///
 /// This is the `dyn_multi` global queue: the direct translation of the
@@ -60,25 +60,39 @@ impl ChannelQueue {
             last_pop: Mutex::new(vec![now; consumers]),
         }
     }
+
+    /// Closes the queue: further pushes fail, pops drain what remains and
+    /// then report disconnection.
+    pub fn close(&self) {
+        self.tx.close();
+    }
 }
 
 impl TaskQueue for ChannelQueue {
     fn push(&self, item: QueueItem) -> Result<(), CoreError> {
         // Increment before the send so a consumer can never observe an item
-        // without the depth reflecting it.
+        // without the depth reflecting it; roll back if the send fails, or
+        // a closed queue inflates depth() forever and the multiprocessing
+        // auto-scaler keeps seeing phantom backlog.
         self.depth.fetch_add(1, Ordering::SeqCst);
-        self.tx
-            .send(item)
-            .map_err(|_| CoreError::Queue("channel closed".into()))
+        self.tx.send(item).map_err(|_| {
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            CoreError::Queue("channel closed".into())
+        })
     }
 
     fn pop(&self, consumer: usize, timeout: Duration) -> Result<Option<QueueItem>, CoreError> {
         match self.rx.recv_timeout(timeout) {
             Ok(item) => {
                 self.depth.fetch_sub(1, Ordering::SeqCst);
-                if let Some(slot) = self.last_pop.lock().get_mut(consumer) {
-                    *slot = Instant::now();
+                // Consumers added by scale-up pop with indexes past the
+                // initial allocation; grow the table instead of silently
+                // dropping their idle-time signal.
+                let mut last_pop = self.last_pop.lock();
+                if consumer >= last_pop.len() {
+                    last_pop.resize(consumer + 1, Instant::now());
                 }
+                last_pop[consumer] = Instant::now();
                 Ok(Some(item))
             }
             Err(RecvTimeoutError::Timeout) => Ok(None),
@@ -140,14 +154,42 @@ mod tests {
     }
 
     #[test]
+    fn failed_push_does_not_leak_depth() {
+        let q = ChannelQueue::new(1);
+        q.push(task(1)).unwrap();
+        q.close();
+        assert!(q.push(task(2)).is_err());
+        assert_eq!(q.depth(), 1, "failed push must not count toward depth");
+    }
+
+    #[test]
     fn idle_times_reset_on_pop() {
         let q = ChannelQueue::new(2);
         std::thread::sleep(Duration::from_millis(20));
         q.push(task(1)).unwrap();
         q.pop(0, Duration::from_millis(10)).unwrap();
         let idles = q.idle_times().unwrap();
-        assert!(idles[0] < Duration::from_millis(15), "consumer 0 just popped");
-        assert!(idles[1] >= Duration::from_millis(20), "consumer 1 never popped");
+        assert!(
+            idles[0] < Duration::from_millis(15),
+            "consumer 0 just popped"
+        );
+        assert!(
+            idles[1] >= Duration::from_millis(20),
+            "consumer 1 never popped"
+        );
+    }
+
+    #[test]
+    fn late_joining_consumer_gets_idle_slot() {
+        let q = ChannelQueue::new(1);
+        q.push(task(1)).unwrap();
+        q.pop(3, Duration::from_millis(10)).unwrap();
+        let idles = q.idle_times().unwrap();
+        assert_eq!(idles.len(), 4, "table grows to cover consumer 3");
+        assert!(
+            idles[3] < Duration::from_millis(15),
+            "consumer 3 just popped"
+        );
     }
 
     #[test]
@@ -191,6 +233,9 @@ mod tests {
     fn pills_flow_through() {
         let q = ChannelQueue::new(1);
         q.push(QueueItem::Pill).unwrap();
-        assert_eq!(q.pop(0, Duration::from_millis(10)).unwrap(), Some(QueueItem::Pill));
+        assert_eq!(
+            q.pop(0, Duration::from_millis(10)).unwrap(),
+            Some(QueueItem::Pill)
+        );
     }
 }

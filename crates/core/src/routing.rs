@@ -96,9 +96,18 @@ mod tests {
     #[test]
     fn shuffle_counters_are_independent_per_connection() {
         let mut r = Router::new();
-        assert_eq!(r.route(C0, &Grouping::Shuffle, &Value::Null, 2), Route::One(0));
-        assert_eq!(r.route(C1, &Grouping::Shuffle, &Value::Null, 2), Route::One(0));
-        assert_eq!(r.route(C0, &Grouping::Shuffle, &Value::Null, 2), Route::One(1));
+        assert_eq!(
+            r.route(C0, &Grouping::Shuffle, &Value::Null, 2),
+            Route::One(0)
+        );
+        assert_eq!(
+            r.route(C1, &Grouping::Shuffle, &Value::Null, 2),
+            Route::One(0)
+        );
+        assert_eq!(
+            r.route(C0, &Grouping::Shuffle, &Value::Null, 2),
+            Route::One(1)
+        );
     }
 
     #[test]
@@ -123,7 +132,10 @@ mod tests {
                 seen.insert(i);
             }
         }
-        assert!(seen.len() >= 2, "10 distinct keys should hit ≥2 of 4 instances");
+        assert!(
+            seen.len() >= 2,
+            "10 distinct keys should hit ≥2 of 4 instances"
+        );
     }
 
     #[test]
@@ -131,7 +143,10 @@ mod tests {
         let mut r = Router::new();
         let g = Grouping::group_by("state");
         let a = Value::map([("state", Value::Str("TX".into())), ("score", Value::Int(1))]);
-        let b = Value::map([("state", Value::Str("TX".into())), ("score", Value::Int(99))]);
+        let b = Value::map([
+            ("state", Value::Str("TX".into())),
+            ("score", Value::Int(99)),
+        ]);
         assert_eq!(r.route(C0, &g, &a, 4), r.route(C0, &g, &b, 4));
     }
 
@@ -149,14 +164,20 @@ mod tests {
     #[test]
     fn one_to_all_broadcasts() {
         let mut r = Router::new();
-        assert_eq!(r.route(C0, &Grouping::OneToAll, &Value::Null, 3), Route::All);
+        assert_eq!(
+            r.route(C0, &Grouping::OneToAll, &Value::Null, 3),
+            Route::All
+        );
     }
 
     #[test]
     fn single_instance_always_zero() {
         let mut r = Router::new();
         for g in [Grouping::Shuffle, Grouping::group_by("k"), Grouping::Global] {
-            assert_eq!(r.route(C0, &g, &Value::map([("k", 9i64)]), 1), Route::One(0));
+            assert_eq!(
+                r.route(C0, &g, &Value::map([("k", 9i64)]), 1),
+                Route::One(0)
+            );
         }
     }
 }

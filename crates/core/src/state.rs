@@ -15,7 +15,7 @@
 
 use crate::error::CoreError;
 use crate::value::Value;
-use parking_lot::Mutex;
+use d4py_sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -82,7 +82,10 @@ mod tests {
         let store = MemoryStateStore::new();
         store.save("b#0", &Value::Null).unwrap();
         store.save("a#1", &Value::Null).unwrap();
-        assert_eq!(store.slots().unwrap(), vec!["a#1".to_string(), "b#0".to_string()]);
+        assert_eq!(
+            store.slots().unwrap(),
+            vec!["a#1".to_string(), "b#0".to_string()]
+        );
     }
 
     #[test]

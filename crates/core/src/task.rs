@@ -33,12 +33,22 @@ pub struct Task {
 impl Task {
     /// A task deliverable to any instance of `pe`.
     pub fn new(pe: PeId, port: impl Into<String>, value: Value) -> Self {
-        Self { pe, port: port.into(), value, instance: None }
+        Self {
+            pe,
+            port: port.into(),
+            value,
+            instance: None,
+        }
     }
 
     /// A task pinned to a specific instance of `pe`.
     pub fn pinned(pe: PeId, instance: usize, port: impl Into<String>, value: Value) -> Self {
-        Self { pe, port: port.into(), value, instance: Some(instance) }
+        Self {
+            pe,
+            port: port.into(),
+            value,
+            instance: Some(instance),
+        }
     }
 
     /// The kick-off task for a source PE.

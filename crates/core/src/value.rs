@@ -32,7 +32,12 @@ pub enum Value {
 impl Value {
     /// Builds a map value from (key, value) pairs.
     pub fn map<K: Into<String>, V: Into<Value>>(pairs: impl IntoIterator<Item = (K, V)>) -> Self {
-        Value::Map(pairs.into_iter().map(|(k, v)| (k.into(), v.into())).collect())
+        Value::Map(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
     }
 
     /// Builds a list value.
@@ -324,7 +329,10 @@ mod tests {
 
     #[test]
     fn routing_hash_negative_zero_equals_zero() {
-        assert_eq!(Value::Float(0.0).routing_hash(), Value::Float(-0.0).routing_hash());
+        assert_eq!(
+            Value::Float(0.0).routing_hash(),
+            Value::Float(-0.0).routing_hash()
+        );
     }
 
     #[test]
@@ -338,7 +346,10 @@ mod tests {
 
     #[test]
     fn group_key_extracts_fields_in_order() {
-        let v = Value::map([("state", Value::Str("CA".into())), ("city", Value::Str("LA".into()))]);
+        let v = Value::map([
+            ("state", Value::Str("CA".into())),
+            ("city", Value::Str("LA".into())),
+        ]);
         let key = v.group_key(&["state".to_string()]);
         assert_eq!(key, Value::List(vec![Value::Str("CA".into())]));
         let key2 = v.group_key(&["city".to_string(), "state".to_string()]);
@@ -351,7 +362,10 @@ mod tests {
     #[test]
     fn group_key_missing_field_is_null() {
         let v = Value::map([("a", 1i64)]);
-        assert_eq!(v.group_key(&["b".to_string()]), Value::List(vec![Value::Null]));
+        assert_eq!(
+            v.group_key(&["b".to_string()]),
+            Value::List(vec![Value::Null])
+        );
     }
 
     #[test]

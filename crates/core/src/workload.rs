@@ -10,7 +10,7 @@
 //! occupying a core — network downloads, disk waits).
 
 use crate::platform::CoreLimiter;
-use rand::Rng;
+use d4py_sync::rng::{Rng, Sample};
 use std::time::Duration;
 
 /// Samples from a Beta(alpha, beta) distribution via Jöhnk's algorithm.
@@ -30,7 +30,10 @@ impl BetaSampler {
     /// not strictly positive.
     pub fn new(alpha: f64, beta: f64) -> Self {
         assert!(alpha > 0.0 && beta > 0.0, "beta shapes must be positive");
-        Self { inv_alpha: 1.0 / alpha, inv_beta: 1.0 / beta }
+        Self {
+            inv_alpha: 1.0 / alpha,
+            inv_beta: 1.0 / beta,
+        }
     }
 
     /// The paper's Beta(2, 5) delay distribution (mean 2/7 ≈ 0.286).
@@ -41,8 +44,8 @@ impl BetaSampler {
     /// Draws one sample in [0, 1].
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         loop {
-            let u: f64 = rng.gen::<f64>();
-            let v: f64 = rng.gen::<f64>();
+            let u = f64::sample(rng);
+            let v = f64::sample(rng);
             let x = u.powf(self.inv_alpha);
             let y = v.powf(self.inv_beta);
             if x + y <= 1.0 {
@@ -72,12 +75,18 @@ pub struct WorkUnit {
 impl WorkUnit {
     /// Pure compute work.
     pub fn compute(d: Duration) -> Self {
-        Self { compute: d, latency: Duration::ZERO }
+        Self {
+            compute: d,
+            latency: Duration::ZERO,
+        }
     }
 
     /// Pure latency work.
     pub fn latency(d: Duration) -> Self {
-        Self { compute: Duration::ZERO, latency: d }
+        Self {
+            compute: Duration::ZERO,
+            latency: d,
+        }
     }
 
     /// Mixed work.
@@ -110,7 +119,10 @@ impl WorkUnit {
     /// to shrink the paper's 0–1 s delays into bench-friendly ranges while
     /// preserving every ratio).
     pub fn scaled(&self, factor: f64) -> Self {
-        Self { compute: self.compute.mul_f64(factor), latency: self.latency.mul_f64(factor) }
+        Self {
+            compute: self.compute.mul_f64(factor),
+            latency: self.latency.mul_f64(factor),
+        }
     }
 }
 
@@ -130,8 +142,7 @@ pub fn busywork(iterations: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use d4py_sync::rng::StdRng;
 
     #[test]
     fn beta_samples_stay_in_unit_interval() {
@@ -150,7 +161,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let n = 50_000;
         let mean: f64 = (0..n).map(|_| sampler.sample(&mut rng)).sum::<f64>() / n as f64;
-        assert!((mean - 2.0 / 7.0).abs() < 0.01, "mean {mean} too far from 2/7");
+        assert!(
+            (mean - 2.0 / 7.0).abs() < 0.01,
+            "mean {mean} too far from 2/7"
+        );
     }
 
     #[test]
@@ -158,7 +172,9 @@ mod tests {
         // Beta(2,5) has most mass below 0.5.
         let sampler = BetaSampler::paper();
         let mut rng = StdRng::seed_from_u64(1);
-        let below = (0..10_000).filter(|_| sampler.sample(&mut rng) < 0.5).count();
+        let below = (0..10_000)
+            .filter(|_| sampler.sample(&mut rng) < 0.5)
+            .count();
         assert!(below > 8_000, "only {below} of 10000 below 0.5");
     }
 

@@ -14,10 +14,22 @@ use dispel4py::workflows::{astro, seismic, sentiment};
 use std::process::exit;
 
 const WORKFLOWS: &[(&str, &str)] = &[
-    ("galaxies", "Internal Extinction of Galaxies (4 PEs, stateless)"),
-    ("seismic", "Seismic Cross-Correlation phase 1 (9 PEs, stateless)"),
-    ("seismic-phase2", "Seismic Cross-Correlation phase 2 (stateful pairing)"),
-    ("sentiment", "Sentiment Analyses for News Articles (stateful)"),
+    (
+        "galaxies",
+        "Internal Extinction of Galaxies (4 PEs, stateless)",
+    ),
+    (
+        "seismic",
+        "Seismic Cross-Correlation phase 1 (9 PEs, stateless)",
+    ),
+    (
+        "seismic-phase2",
+        "Seismic Cross-Correlation phase 2 (stateful pairing)",
+    ),
+    (
+        "sentiment",
+        "Sentiment Analyses for News Articles (stateful)",
+    ),
 ];
 
 const MAPPINGS: &[&str] = &[
@@ -37,14 +49,20 @@ fn usage() -> ! {
          [--mapping M] [--workers N] [--platform server|cloud|hpc]\n\
          \x20              [--scale S] [--heavy] [--time-scale F] [--seed U]\n\
          \x20              [--redis tcp|inproc]\n\nworkflows: {}\nmappings:  {}",
-        WORKFLOWS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", "),
+        WORKFLOWS
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join(", "),
         MAPPINGS.join(", ")
     );
     exit(2)
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 struct BuiltWorkflow {
@@ -141,8 +159,7 @@ fn main() {
         }
         "run" => {
             let Some(name) = args.get(1) else { usage() };
-            let mapping_name =
-                arg_value(&args, "--mapping").unwrap_or_else(|| "dyn_multi".into());
+            let mapping_name = arg_value(&args, "--mapping").unwrap_or_else(|| "dyn_multi".into());
             let workers: usize = arg_value(&args, "--workers")
                 .map(|v| v.parse().unwrap_or_else(|_| usage()))
                 .unwrap_or(8);
@@ -179,9 +196,8 @@ fn main() {
 
             // Redis backend: a fresh TCP server (default) or in-process.
             let needs_redis = mapping_name.contains("redis");
-            let server = (needs_redis
-                && arg_value(&args, "--redis").as_deref() != Some("inproc"))
-            .then(|| Server::start(0).expect("start redis-lite"));
+            let server = (needs_redis && arg_value(&args, "--redis").as_deref() != Some("inproc"))
+                .then(|| Server::start(0).expect("start redis-lite"));
             let backend = || match &server {
                 Some(s) => RedisBackend::Tcp(s.addr()),
                 None => RedisBackend::in_proc(),

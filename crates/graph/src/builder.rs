@@ -28,7 +28,11 @@ impl PipelineBuilder {
         let mut graph = WorkflowGraph::new(workflow_name);
         let output = output.into();
         let id = graph.add_pe(PeSpec::source(pe_name, output.clone()));
-        Self { graph, tail: Some((id, output)), pending_error: None }
+        Self {
+            graph,
+            tail: Some((id, output)),
+            pending_error: None,
+        }
     }
 
     /// Appends a transform (input `"input"`, output `"output"`) connected by

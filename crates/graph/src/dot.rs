@@ -66,12 +66,16 @@ mod tests {
         let mut g = WorkflowGraph::new("wf");
         let a = g.add_pe(PeSpec::source("reader", "out"));
         let b = g.add_pe(PeSpec::sink("writer", "in").stateful().with_instances(4));
-        g.connect(a, "out", b, "in", Grouping::group_by("state")).unwrap();
+        g.connect(a, "out", b, "in", Grouping::group_by("state"))
+            .unwrap();
         let dot = g.to_dot();
         assert!(dot.contains("digraph \"wf\""));
         assert!(dot.contains("reader"));
         assert!(dot.contains("writer"));
-        assert!(dot.contains("doubleoctagon"), "stateful PE should stand out");
+        assert!(
+            dot.contains("doubleoctagon"),
+            "stateful PE should stand out"
+        );
         assert!(dot.contains("group-by state"));
         assert!(dot.contains("×4"));
         assert!(dot.contains("n0 -> n1"));

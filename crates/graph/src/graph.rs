@@ -10,14 +10,13 @@ use crate::grouping::Grouping;
 use crate::node::{PeId, PeSpec};
 use crate::port::PortDirection;
 use crate::validate::GraphError;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a connection within a workflow graph (dense index).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConnectionId(pub usize);
 
 /// A directed edge from one PE's output port to another PE's input port.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Connection {
     /// Producing PE.
     pub from_pe: PeId,
@@ -32,7 +31,7 @@ pub struct Connection {
 }
 
 /// An abstract dispel4py workflow: a DAG of PE specifications.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkflowGraph {
     name: String,
     nodes: Vec<PeSpec>,
@@ -42,7 +41,11 @@ pub struct WorkflowGraph {
 impl WorkflowGraph {
     /// Creates an empty workflow with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), nodes: Vec::new(), connections: Vec::new() }
+        Self {
+            name: name.into(),
+            nodes: Vec::new(),
+            connections: Vec::new(),
+        }
     }
 
     /// The workflow's name.
@@ -70,9 +73,7 @@ impl WorkflowGraph {
     ) -> Result<ConnectionId, GraphError> {
         let from_port = from_port.into();
         let to_port = to_port.into();
-        let from = self
-            .pe(from_pe)
-            .ok_or(GraphError::UnknownPe(from_pe))?;
+        let from = self.pe(from_pe).ok_or(GraphError::UnknownPe(from_pe))?;
         if from.port(&from_port, PortDirection::Output).is_none() {
             return Err(GraphError::UnknownPort {
                 pe: from.name.clone(),
@@ -89,7 +90,13 @@ impl WorkflowGraph {
             });
         }
         let id = ConnectionId(self.connections.len());
-        self.connections.push(Connection { from_pe, from_port, to_pe, to_port, grouping });
+        self.connections.push(Connection {
+            from_pe,
+            from_port,
+            to_pe,
+            to_port,
+            grouping,
+        });
         Ok(id)
     }
 
@@ -157,12 +164,16 @@ impl WorkflowGraph {
 
     /// PEs with no incoming connections (stream producers).
     pub fn sources(&self) -> Vec<PeId> {
-        self.pe_ids().filter(|&id| self.incoming(id).next().is_none()).collect()
+        self.pe_ids()
+            .filter(|&id| self.incoming(id).next().is_none())
+            .collect()
     }
 
     /// PEs with no outgoing connections (stream consumers).
     pub fn sinks(&self) -> Vec<PeId> {
-        self.pe_ids().filter(|&id| self.outgoing(id).next().is_none()).collect()
+        self.pe_ids()
+            .filter(|&id| self.outgoing(id).next().is_none())
+            .collect()
     }
 
     /// Direct successors of a PE (deduplicated, insertion order).
@@ -193,17 +204,23 @@ impl WorkflowGraph {
     /// scheduling (the hybrid mapping's core rule).
     pub fn is_effectively_stateful(&self, pe: PeId) -> bool {
         self.pe(pe).map(|s| s.stateful).unwrap_or(false)
-            || self.incoming(pe).any(|(_, c)| c.grouping.requires_affinity())
+            || self
+                .incoming(pe)
+                .any(|(_, c)| c.grouping.requires_affinity())
     }
 
     /// Ids of all effectively-stateful PEs.
     pub fn stateful_pes(&self) -> Vec<PeId> {
-        self.pe_ids().filter(|&id| self.is_effectively_stateful(id)).collect()
+        self.pe_ids()
+            .filter(|&id| self.is_effectively_stateful(id))
+            .collect()
     }
 
     /// Ids of all effectively-stateless PEs.
     pub fn stateless_pes(&self) -> Vec<PeId> {
-        self.pe_ids().filter(|&id| !self.is_effectively_stateful(id)).collect()
+        self.pe_ids()
+            .filter(|&id| !self.is_effectively_stateful(id))
+            .collect()
     }
 }
 
@@ -227,7 +244,9 @@ mod tests {
         let mut g = WorkflowGraph::new("t");
         let a = g.add_pe(PeSpec::source("a", "out"));
         let b = g.add_pe(PeSpec::sink("b", "in"));
-        let err = g.connect(a, "nope", b, "in", Grouping::Shuffle).unwrap_err();
+        let err = g
+            .connect(a, "nope", b, "in", Grouping::Shuffle)
+            .unwrap_err();
         assert!(matches!(err, GraphError::UnknownPort { .. }));
     }
 
@@ -243,7 +262,9 @@ mod tests {
     fn connect_rejects_unknown_pe() {
         let mut g = WorkflowGraph::new("t");
         let a = g.add_pe(PeSpec::source("a", "out"));
-        let err = g.connect(a, "out", PeId(99), "in", Grouping::Shuffle).unwrap_err();
+        let err = g
+            .connect(a, "out", PeId(99), "in", Grouping::Shuffle)
+            .unwrap_err();
         assert!(matches!(err, GraphError::UnknownPe(PeId(99))));
     }
 
@@ -265,8 +286,7 @@ mod tests {
     #[test]
     fn successors_deduplicated_on_parallel_edges() {
         let mut g = WorkflowGraph::new("t");
-        let a = g
-            .add_pe(PeSpec::source("a", "x").with_port(crate::port::PortDecl::output("y")));
+        let a = g.add_pe(PeSpec::source("a", "x").with_port(crate::port::PortDecl::output("y")));
         let b = g.add_pe(PeSpec::sink("b", "in"));
         g.connect(a, "x", b, "in", Grouping::Shuffle).unwrap();
         g.connect(a, "y", b, "in", Grouping::Shuffle).unwrap();
@@ -278,7 +298,8 @@ mod tests {
         let mut g = WorkflowGraph::new("t");
         let a = g.add_pe(PeSpec::source("a", "out"));
         let b = g.add_pe(PeSpec::sink("b", "in"));
-        g.connect(a, "out", b, "in", Grouping::group_by("state")).unwrap();
+        g.connect(a, "out", b, "in", Grouping::group_by("state"))
+            .unwrap();
         assert!(!g.is_effectively_stateful(a));
         assert!(g.is_effectively_stateful(b));
         assert_eq!(g.stateful_pes(), vec![b]);
@@ -303,8 +324,7 @@ mod tests {
     #[test]
     fn outgoing_from_port_filters() {
         let mut g = WorkflowGraph::new("t");
-        let a = g
-            .add_pe(PeSpec::source("a", "x").with_port(crate::port::PortDecl::output("y")));
+        let a = g.add_pe(PeSpec::source("a", "x").with_port(crate::port::PortDecl::output("y")));
         let b = g.add_pe(PeSpec::sink("b", "in"));
         let c = g.add_pe(PeSpec::sink("c", "in"));
         g.connect(a, "x", b, "in", Grouping::Shuffle).unwrap();

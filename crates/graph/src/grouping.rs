@@ -18,12 +18,11 @@
 //! `GroupBy` and `Global` introduce *state affinity*: the receiving PE must
 //! be treated as stateful by mappings that move tasks between workers.
 
-use serde::{Deserialize, Serialize};
-
 /// Routing policy for a connection into a multi-instance PE.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub enum Grouping {
     /// Load-balanced delivery to any instance (round-robin or queue-pull).
+    #[default]
     Shuffle,
     /// Deterministic delivery keyed on the named fields of the data item.
     GroupBy(Vec<String>),
@@ -50,12 +49,6 @@ impl Grouping {
     /// Convenience constructor for a single-field group-by.
     pub fn group_by(field: impl Into<String>) -> Self {
         Grouping::GroupBy(vec![field.into()])
-    }
-}
-
-impl Default for Grouping {
-    fn default() -> Self {
-        Grouping::Shuffle
     }
 }
 

@@ -7,13 +7,12 @@
 //! layer only needs the shape.
 
 use crate::port::{PortDecl, PortDirection};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a PE within a [`WorkflowGraph`](crate::WorkflowGraph).
 ///
 /// Assigned densely in insertion order, so it doubles as an index into the
 /// graph's node list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PeId(pub usize);
 
 impl PeId {
@@ -30,7 +29,7 @@ impl std::fmt::Display for PeId {
 }
 
 /// Coarse role of a PE, derived from its port shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PeKind {
     /// No input ports: generates the stream (a "producer" in dispel4py).
     Source,
@@ -43,7 +42,7 @@ pub enum PeKind {
 }
 
 /// Declaration of a processing element in an abstract workflow.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PeSpec {
     /// Human-readable unique name within the workflow.
     pub name: String,
@@ -61,7 +60,12 @@ pub struct PeSpec {
 impl PeSpec {
     /// Creates a spec with explicit ports.
     pub fn new(name: impl Into<String>, ports: Vec<PortDecl>) -> Self {
-        Self { name: name.into(), ports, stateful: false, instances: None }
+        Self {
+            name: name.into(),
+            ports,
+            stateful: false,
+            instances: None,
+        }
     }
 
     /// A source PE with a single output port.
@@ -113,7 +117,9 @@ impl PeSpec {
 
     /// Looks up a port by name and direction.
     pub fn port(&self, name: &str, direction: PortDirection) -> Option<&PortDecl> {
-        self.ports.iter().find(|p| p.direction == direction && p.name == name)
+        self.ports
+            .iter()
+            .find(|p| p.direction == direction && p.name == name)
     }
 
     /// Coarse role derived from the port shape.
@@ -140,7 +146,10 @@ mod tests {
 
     #[test]
     fn transform_kind() {
-        assert_eq!(PeSpec::transform("t", "in", "out").kind(), PeKind::Transform);
+        assert_eq!(
+            PeSpec::transform("t", "in", "out").kind(),
+            PeKind::Transform
+        );
     }
 
     #[test]
@@ -155,7 +164,9 @@ mod tests {
 
     #[test]
     fn builder_flags() {
-        let pe = PeSpec::transform("t", "in", "out").stateful().with_instances(4);
+        let pe = PeSpec::transform("t", "in", "out")
+            .stateful()
+            .with_instances(4);
         assert!(pe.stateful);
         assert_eq!(pe.instances, Some(4));
     }

@@ -92,7 +92,9 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Self {
-        Self { parent: (0..n).collect() }
+        Self {
+            parent: (0..n).collect(),
+        }
     }
     fn find(&mut self, x: usize) -> usize {
         if self.parent[x] != x {
@@ -110,7 +112,9 @@ impl Dsu {
 }
 
 fn clusters_from_dsu(graph: &WorkflowGraph, dsu: &mut Dsu) -> Clustering {
-    let order = graph.topological_order().unwrap_or_else(|_| graph.pe_ids().collect());
+    let order = graph
+        .topological_order()
+        .unwrap_or_else(|_| graph.pe_ids().collect());
     let mut by_root: HashMap<usize, Vec<PeId>> = HashMap::new();
     let mut roots_in_order = Vec::new();
     for id in order {
@@ -122,7 +126,10 @@ fn clusters_from_dsu(graph: &WorkflowGraph, dsu: &mut Dsu) -> Clustering {
         entry.push(id);
     }
     Clustering {
-        clusters: roots_in_order.into_iter().map(|r| by_root.remove(&r).unwrap()).collect(),
+        clusters: roots_in_order
+            .into_iter()
+            .map(|r| by_root.remove(&r).unwrap())
+            .collect(),
     }
 }
 
@@ -169,8 +176,7 @@ pub fn staging(graph: &WorkflowGraph) -> Clustering {
             .unwrap_or(false);
         let single_pred = graph.predecessors(c.to_pe).len() == 1;
         let single_succ = graph.successors(c.from_pe).len() == 1;
-        let no_shuffle_needed =
-            !c.grouping.requires_affinity() && !c.grouping.is_broadcast();
+        let no_shuffle_needed = !c.grouping.requires_affinity() && !c.grouping.is_broadcast();
         if !from_is_source && single_pred && single_succ && no_shuffle_needed {
             dsu.union(c.from_pe.0, c.to_pe.0);
         }
@@ -184,10 +190,7 @@ pub fn staging(graph: &WorkflowGraph) -> Clustering {
 /// This is the lower bound on per-item latency no amount of added
 /// parallelism can beat, and the chain the fusion optimizations should
 /// target first. PEs or edges missing from the profile cost zero.
-pub fn critical_path(
-    graph: &WorkflowGraph,
-    profile: &ExecutionProfile,
-) -> (Vec<PeId>, Duration) {
+pub fn critical_path(graph: &WorkflowGraph, profile: &ExecutionProfile) -> (Vec<PeId>, Duration) {
     let Ok(order) = graph.topological_order() else {
         return (vec![], Duration::ZERO);
     };
@@ -197,7 +200,11 @@ pub fn critical_path(
         let mut incoming_best: (Duration, Option<PeId>) = (Duration::ZERO, None);
         for pred in graph.predecessors(id) {
             let upstream = best.get(&pred).map(|(d, _)| *d).unwrap_or_default();
-            let comm = profile.comm_time.get(&(pred, id)).copied().unwrap_or_default();
+            let comm = profile
+                .comm_time
+                .get(&(pred, id))
+                .copied()
+                .unwrap_or_default();
             let via = upstream + comm;
             if via > incoming_best.0 {
                 incoming_best = (via, Some(pred));
@@ -267,7 +274,8 @@ mod tests {
         let b = g.add_pe(PeSpec::sink("b", "in"));
         g.connect(s, "out", a, "in", Grouping::Shuffle).unwrap();
         g.connect(a, "out", a2, "in", Grouping::Shuffle).unwrap();
-        g.connect(a2, "out", b, "in", Grouping::group_by("k")).unwrap();
+        g.connect(a2, "out", b, "in", Grouping::group_by("k"))
+            .unwrap();
         let c = staging(&g);
         assert!(!c.fused(s, a), "sources stand alone");
         assert!(c.fused(a, a2), "transform chain fuses");
@@ -347,9 +355,11 @@ mod tests {
         let costly = g.add_pe(PeSpec::transform("costly", "in", "out"));
         let k = g.add_pe(PeSpec::sink("k", "in"));
         g.connect(s, "out", cheap, "in", Grouping::Shuffle).unwrap();
-        g.connect(s, "out", costly, "in", Grouping::Shuffle).unwrap();
+        g.connect(s, "out", costly, "in", Grouping::Shuffle)
+            .unwrap();
         g.connect(cheap, "out", k, "in", Grouping::Shuffle).unwrap();
-        g.connect(costly, "out", k, "in", Grouping::Shuffle).unwrap();
+        g.connect(costly, "out", k, "in", Grouping::Shuffle)
+            .unwrap();
         let profile = ExecutionProfile::new()
             .with_exec(s, Duration::from_millis(1))
             .with_exec(cheap, Duration::from_millis(1))

@@ -12,10 +12,9 @@
 
 use crate::graph::WorkflowGraph;
 use crate::node::PeId;
-use serde::{Deserialize, Serialize};
 
 /// A concrete instance of a PE: the pair (PE id, instance index).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct InstanceId {
     /// The PE this instance executes.
     pub pe: PeId,
@@ -30,7 +29,7 @@ impl std::fmt::Display for InstanceId {
 }
 
 /// How one PE's instances map onto processes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InstanceAllocation {
     /// The PE being allocated.
     pub pe: PeId,
@@ -41,7 +40,7 @@ pub struct InstanceAllocation {
 }
 
 /// A full static deployment plan: every PE's instances assigned to processes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartitionPlan {
     /// Total processes the plan was built for.
     pub num_processes: usize,
@@ -66,7 +65,10 @@ pub enum PartitionError {
 impl std::fmt::Display for PartitionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PartitionError::NotEnoughProcesses { required, available } => write!(
+            PartitionError::NotEnoughProcesses {
+                required,
+                available,
+            } => write!(
                 f,
                 "static mapping needs at least {required} processes, got {available}"
             ),
@@ -85,7 +87,11 @@ impl PartitionPlan {
 
     /// Process hosting a particular instance.
     pub fn process_of(&self, inst: InstanceId) -> Option<usize> {
-        self.allocations.get(inst.pe.0)?.processes.get(inst.index).copied()
+        self.allocations
+            .get(inst.pe.0)?
+            .processes
+            .get(inst.index)
+            .copied()
     }
 
     /// All instances in the plan, in (pe, index) order.
@@ -190,10 +196,17 @@ pub fn partition(
                 p
             })
             .collect();
-        allocations.push(InstanceAllocation { pe: id, instances: n, processes });
+        allocations.push(InstanceAllocation {
+            pe: id,
+            instances: n,
+            processes,
+        });
     }
 
-    Ok(PartitionPlan { num_processes, allocations })
+    Ok(PartitionPlan {
+        num_processes,
+        allocations,
+    })
 }
 
 #[cfg(test)]
@@ -225,7 +238,11 @@ mod tests {
             assert_eq!(plan.instances_of(PeId(pe)), 3, "⌊(12-1)/3⌋ = 3");
         }
         assert_eq!(plan.total_instances(), 10);
-        assert_eq!(plan.idle_processes(), 2, "two cores left idle as in Figure 1");
+        assert_eq!(
+            plan.idle_processes(),
+            2,
+            "two cores left idle as in Figure 1"
+        );
     }
 
     #[test]
@@ -241,10 +258,13 @@ mod tests {
         let mut g = WorkflowGraph::new("t");
         let s = g.add_pe(PeSpec::source("s", "out"));
         let grp = g.add_pe(
-            PeSpec::transform("grp", "in", "out").stateful().with_instances(4),
+            PeSpec::transform("grp", "in", "out")
+                .stateful()
+                .with_instances(4),
         );
         let top = g.add_pe(PeSpec::sink("top", "in").stateful().with_instances(2));
-        g.connect(s, "out", grp, "in", Grouping::group_by("k")).unwrap();
+        g.connect(s, "out", grp, "in", Grouping::group_by("k"))
+            .unwrap();
         g.connect(grp, "out", top, "in", Grouping::Global).unwrap();
         assert_eq!(minimum_processes(&g), 7);
         let plan = partition(&g, 8).unwrap();
@@ -288,6 +308,12 @@ mod tests {
         let plan = partition(&g, 12).unwrap();
         let insts = plan.instances();
         assert_eq!(insts.len(), plan.total_instances());
-        assert_eq!(insts[0], InstanceId { pe: PeId(0), index: 0 });
+        assert_eq!(
+            insts[0],
+            InstanceId {
+                pe: PeId(0),
+                index: 0
+            }
+        );
     }
 }

@@ -5,10 +5,8 @@
 //! a single output port may feed many input ports (fan-out) and a single
 //! input port may be fed by many output ports (fan-in).
 
-use serde::{Deserialize, Serialize};
-
 /// Direction of a port relative to its owning PE.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortDirection {
     /// Data flows into the PE through this port.
     Input,
@@ -17,7 +15,7 @@ pub enum PortDirection {
 }
 
 /// A named port on a processing element.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PortDecl {
     /// Port name, unique per direction within a PE.
     pub name: String,
@@ -28,12 +26,18 @@ pub struct PortDecl {
 impl PortDecl {
     /// Creates an input port declaration.
     pub fn input(name: impl Into<String>) -> Self {
-        Self { name: name.into(), direction: PortDirection::Input }
+        Self {
+            name: name.into(),
+            direction: PortDirection::Input,
+        }
     }
 
     /// Creates an output port declaration.
     pub fn output(name: impl Into<String>) -> Self {
-        Self { name: name.into(), direction: PortDirection::Output }
+        Self {
+            name: name.into(),
+            direction: PortDirection::Output,
+        }
     }
 
     /// Returns true if this is an input port.

@@ -127,7 +127,10 @@ mod tests {
     #[test]
     fn topo_order_is_deterministic() {
         let (g, _) = diamond();
-        assert_eq!(g.topological_order().unwrap(), g.topological_order().unwrap());
+        assert_eq!(
+            g.topological_order().unwrap(),
+            g.topological_order().unwrap()
+        );
     }
 
     #[test]

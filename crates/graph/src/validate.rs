@@ -48,7 +48,11 @@ impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphError::UnknownPe(id) => write!(f, "unknown PE {id}"),
-            GraphError::UnknownPort { pe, port, direction } => {
+            GraphError::UnknownPort {
+                pe,
+                port,
+                direction,
+            } => {
                 write!(f, "PE '{pe}' has no {direction:?} port '{port}'")
             }
             GraphError::DuplicateName(n) => write!(f, "duplicate PE name '{n}'"),
@@ -59,7 +63,10 @@ impl std::fmt::Display for GraphError {
                 write!(f, "PE '{n}' is not reachable from any source")
             }
             GraphError::DanglingInput { pe, port } => {
-                write!(f, "input port '{port}' of PE '{pe}' has no incoming connection")
+                write!(
+                    f,
+                    "input port '{port}' of PE '{pe}' has no incoming connection"
+                )
             }
             GraphError::ZeroInstances(n) => {
                 write!(f, "PE '{n}' requests zero instances")
@@ -117,15 +124,13 @@ impl WorkflowGraph {
         for c in self.connections() {
             indegree[c.to_pe.0] += 1;
         }
-        let mut queue: Vec<PeId> =
-            self.pe_ids().filter(|id| indegree[id.0] == 0).collect();
+        let mut queue: Vec<PeId> = self.pe_ids().filter(|id| indegree[id.0] == 0).collect();
         let mut visited = 0usize;
         while let Some(id) = queue.pop() {
             visited += 1;
             for succ in self.successors(id) {
                 // Count parallel edges: decrement once per connection.
-                let edges =
-                    self.outgoing(id).filter(|(_, c)| c.to_pe == succ).count();
+                let edges = self.outgoing(id).filter(|(_, c)| c.to_pe == succ).count();
                 indegree[succ.0] -= edges;
                 if indegree[succ.0] == 0 {
                     queue.push(succ);
@@ -214,9 +219,7 @@ mod tests {
     fn cycle_rejected() {
         let mut g = WorkflowGraph::new("t");
         let s = g.add_pe(PeSpec::source("s", "out"));
-        let a = g.add_pe(
-            PeSpec::transform("a", "in", "out").with_port(PortDecl::input("loop")),
-        );
+        let a = g.add_pe(PeSpec::transform("a", "in", "out").with_port(PortDecl::input("loop")));
         let b = g.add_pe(PeSpec::transform("b", "in", "out"));
         g.connect(s, "out", a, "in", Grouping::Shuffle).unwrap();
         g.connect(a, "out", b, "in", Grouping::Shuffle).unwrap();
@@ -261,9 +264,7 @@ mod tests {
     fn dangling_input_rejected() {
         let mut g = WorkflowGraph::new("t");
         let a = g.add_pe(PeSpec::source("a", "out"));
-        let b = g.add_pe(
-            PeSpec::transform("b", "in", "out").with_port(PortDecl::input("extra")),
-        );
+        let b = g.add_pe(PeSpec::transform("b", "in", "out").with_port(PortDecl::input("extra")));
         let c = g.add_pe(PeSpec::sink("c", "in"));
         g.connect(a, "out", b, "in", Grouping::Shuffle).unwrap();
         g.connect(b, "out", c, "in", Grouping::Shuffle).unwrap();
@@ -295,7 +296,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = GraphError::DanglingInput { pe: "x".into(), port: "p".into() };
+        let e = GraphError::DanglingInput {
+            pe: "x".into(),
+            port: "p".into(),
+        };
         assert!(e.to_string().contains("x"));
         assert!(e.to_string().contains("p"));
     }

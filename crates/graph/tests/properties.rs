@@ -1,117 +1,120 @@
 //! Property-based tests over random workflow DAGs.
+//!
+//! Runs on the in-repo seeded harness (`d4py_sync::prop`): every case is
+//! deterministic, and a failing case prints the seed to replay it.
 
 use d4py_graph::{partition, Grouping, PeId, PeSpec, WorkflowGraph};
-use proptest::prelude::*;
+use d4py_sync::prop::{for_all, Gen};
 
 /// Builds a random layered DAG: `n` PEs where PE i may feed PE j only if
 /// i < j (guaranteeing acyclicity), every non-source has at least one
 /// input edge, and every edge carries a random grouping.
-fn arb_dag() -> impl Strategy<Value = WorkflowGraph> {
-    (2usize..12).prop_flat_map(|n| {
-        // For each PE j ≥ 1, pick a non-empty set of predecessors < j.
-        let preds = proptest::collection::vec(
-            proptest::collection::vec(any::<proptest::sample::Index>(), 1..3),
-            n - 1,
-        );
-        let groupings = proptest::collection::vec(0u8..4, (n - 1) * 3);
-        (Just(n), preds, groupings).prop_map(|(n, preds, groupings)| {
-            let mut g = WorkflowGraph::new("random");
-            let mut gi = 0usize;
-            let mut pick_grouping = |gs: &[u8]| {
-                let k = gs[gi % gs.len()];
-                gi += 1;
-                match k {
-                    0 => Grouping::Shuffle,
-                    1 => Grouping::group_by("k"),
-                    2 => Grouping::Global,
-                    _ => Grouping::OneToAll,
-                }
-            };
-            // Node 0 is always a pure source.
-            let first = g.add_pe(PeSpec::source("pe0", "out"));
-            let mut ids = vec![first];
-            for j in 1..n {
-                let spec = if j == n - 1 {
-                    PeSpec::sink(format!("pe{j}"), "in")
-                } else {
-                    PeSpec::transform(format!("pe{j}"), "in", "out")
-                };
-                let id = g.add_pe(spec);
-                ids.push(id);
+fn gen_dag(g: &mut Gen) -> WorkflowGraph {
+    let n = g.usize_in(2..12);
+    let mut wg = WorkflowGraph::new("random");
+    let pick_grouping = |g: &mut Gen| match g.usize_in(0..4) {
+        0 => Grouping::Shuffle,
+        1 => Grouping::group_by("k"),
+        2 => Grouping::Global,
+        _ => Grouping::OneToAll,
+    };
+    // Node 0 is always a pure source.
+    let first = wg.add_pe(PeSpec::source("pe0", "out"));
+    let mut ids = vec![first];
+    for j in 1..n {
+        let spec = if j == n - 1 {
+            PeSpec::sink(format!("pe{j}"), "in")
+        } else {
+            PeSpec::transform(format!("pe{j}"), "in", "out")
+        };
+        let id = wg.add_pe(spec);
+        ids.push(id);
+    }
+    for j in 1..n {
+        // For each PE j ≥ 1, pick a non-empty set of predecessors < j,
+        // restricted to PEs that actually have an output port.
+        let mut used = Vec::new();
+        for _ in 0..g.usize_in(1..3) {
+            let candidates: Vec<usize> = (0..j).filter(|&i| i < n - 1).collect();
+            if candidates.is_empty() {
+                continue;
             }
-            for (j, pred_choices) in preds.iter().enumerate() {
-                let j = j + 1; // consumer index
-                let mut used = Vec::new();
-                for choice in pred_choices {
-                    // Predecessor with an output port: any transform/source.
-                    let candidates: Vec<usize> =
-                        (0..j).filter(|&i| i < n - 1).collect();
-                    if candidates.is_empty() {
-                        continue;
-                    }
-                    let i = candidates[choice.index(candidates.len())];
-                    if used.contains(&i) {
-                        continue;
-                    }
-                    used.push(i);
-                    let grouping = pick_grouping(&groupings);
-                    g.connect(ids[i], "out", ids[j], "in", grouping).unwrap();
-                }
-                if used.is_empty() {
-                    g.connect(ids[0], "out", ids[j], "in", Grouping::Shuffle).unwrap();
-                }
+            let i = *g.pick(&candidates);
+            if used.contains(&i) {
+                continue;
             }
-            g
-        })
-    })
+            used.push(i);
+            let grouping = pick_grouping(g);
+            wg.connect(ids[i], "out", ids[j], "in", grouping).unwrap();
+        }
+        if used.is_empty() {
+            wg.connect(ids[0], "out", ids[j], "in", Grouping::Shuffle)
+                .unwrap();
+        }
+    }
+    wg
 }
 
-proptest! {
-    #[test]
-    fn random_dags_validate(g in arb_dag()) {
-        prop_assert!(g.validate().is_ok(), "{:?}", g.validate());
-    }
+#[test]
+fn random_dags_validate() {
+    for_all(|g| {
+        let dag = gen_dag(g);
+        assert!(dag.validate().is_ok(), "{:?}", dag.validate());
+    });
+}
 
-    #[test]
-    fn topological_order_respects_every_edge(g in arb_dag()) {
-        let order = g.topological_order().unwrap();
-        prop_assert_eq!(order.len(), g.pe_count());
+#[test]
+fn topological_order_respects_every_edge() {
+    for_all(|g| {
+        let dag = gen_dag(g);
+        let order = dag.topological_order().unwrap();
+        assert_eq!(order.len(), dag.pe_count());
         let pos = |id: PeId| order.iter().position(|&x| x == id).unwrap();
-        for c in g.connections() {
-            prop_assert!(pos(c.from_pe) < pos(c.to_pe));
+        for c in dag.connections() {
+            assert!(pos(c.from_pe) < pos(c.to_pe));
         }
-    }
+    });
+}
 
-    #[test]
-    fn layers_partition_the_graph(g in arb_dag()) {
-        let layers = g.layers().unwrap();
+#[test]
+fn layers_partition_the_graph() {
+    for_all(|g| {
+        let dag = gen_dag(g);
+        let layers = dag.layers().unwrap();
         let mut all: Vec<PeId> = layers.iter().flatten().copied().collect();
         all.sort();
-        let expected: Vec<PeId> = g.pe_ids().collect();
-        prop_assert_eq!(all, expected);
+        let expected: Vec<PeId> = dag.pe_ids().collect();
+        assert_eq!(all, expected);
         // Every PE sits strictly below all of its successors' layers.
-        for c in g.connections() {
+        for c in dag.connections() {
             let lf = layers.iter().position(|l| l.contains(&c.from_pe)).unwrap();
             let lt = layers.iter().position(|l| l.contains(&c.to_pe)).unwrap();
-            prop_assert!(lf < lt);
+            assert!(lf < lt);
         }
-    }
+    });
+}
 
-    #[test]
-    fn partition_covers_every_pe_at_minimum_processes(g in arb_dag()) {
-        let needed = partition::minimum_processes(&g);
-        let plan = partition::partition(&g, needed).unwrap();
-        for pe in g.pe_ids() {
-            prop_assert!(plan.instances_of(pe) >= 1);
+#[test]
+fn partition_covers_every_pe_at_minimum_processes() {
+    for_all(|g| {
+        let dag = gen_dag(g);
+        let needed = partition::minimum_processes(&dag);
+        let plan = partition::partition(&dag, needed).unwrap();
+        for pe in dag.pe_ids() {
+            assert!(plan.instances_of(pe) >= 1);
         }
-        prop_assert_eq!(plan.total_instances(), needed);
-        prop_assert_eq!(plan.idle_processes(), 0);
-    }
+        assert_eq!(plan.total_instances(), needed);
+        assert_eq!(plan.idle_processes(), 0);
+    });
+}
 
-    #[test]
-    fn partition_never_oversubscribes(g in arb_dag(), extra in 0usize..20) {
-        let workers = partition::minimum_processes(&g) + extra;
-        let plan = partition::partition(&g, workers).unwrap();
+#[test]
+fn partition_never_oversubscribes() {
+    for_all(|g| {
+        let dag = gen_dag(g);
+        let extra = g.usize_in(0..20);
+        let workers = partition::minimum_processes(&dag) + extra;
+        let plan = partition::partition(&dag, workers).unwrap();
         // No process hosts two instances.
         let mut procs: Vec<usize> = plan
             .instances()
@@ -121,42 +124,51 @@ proptest! {
         let before = procs.len();
         procs.sort_unstable();
         procs.dedup();
-        prop_assert_eq!(before, procs.len());
-        prop_assert!(plan.processes_used() <= workers);
-    }
+        assert_eq!(before, procs.len());
+        assert!(plan.processes_used() <= workers);
+    });
+}
 
-    #[test]
-    fn staging_clusters_partition_the_pes(g in arb_dag()) {
-        let clustering = d4py_graph::optimize::staging(&g);
+#[test]
+fn staging_clusters_partition_the_pes() {
+    for_all(|g| {
+        let dag = gen_dag(g);
+        let clustering = d4py_graph::optimize::staging(&dag);
         let mut all: Vec<PeId> = clustering.clusters.iter().flatten().copied().collect();
         let before = all.len();
         all.sort();
         all.dedup();
-        prop_assert_eq!(before, all.len(), "a PE appeared in two clusters");
-        prop_assert_eq!(all.len(), g.pe_count());
+        assert_eq!(before, all.len(), "a PE appeared in two clusters");
+        assert_eq!(all.len(), dag.pe_count());
         // Affinity edges are never fused.
-        for c in g.connections() {
+        for c in dag.connections() {
             if c.grouping.requires_affinity() {
-                prop_assert!(!clustering.fused(c.from_pe, c.to_pe));
+                assert!(!clustering.fused(c.from_pe, c.to_pe));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dot_export_mentions_every_pe(g in arb_dag()) {
-        let dot = g.to_dot();
-        for (_, pe) in g.pes() {
-            prop_assert!(dot.contains(&pe.name));
+#[test]
+fn dot_export_mentions_every_pe() {
+    for_all(|g| {
+        let dag = gen_dag(g);
+        let dot = dag.to_dot();
+        for (_, pe) in dag.pes() {
+            assert!(dot.contains(&pe.name));
         }
-    }
+    });
+}
 
-    #[test]
-    fn stateful_and_stateless_partition_cleanly(g in arb_dag()) {
-        let stateful = g.stateful_pes();
-        let stateless = g.stateless_pes();
-        prop_assert_eq!(stateful.len() + stateless.len(), g.pe_count());
+#[test]
+fn stateful_and_stateless_partition_cleanly() {
+    for_all(|g| {
+        let dag = gen_dag(g);
+        let stateful = dag.stateful_pes();
+        let stateless = dag.stateless_pes();
+        assert_eq!(stateful.len() + stateless.len(), dag.pe_count());
         for pe in stateful {
-            prop_assert!(g.is_effectively_stateful(pe));
+            assert!(dag.is_effectively_stateful(pe));
         }
-    }
+    });
 }

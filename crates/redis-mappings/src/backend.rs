@@ -32,9 +32,7 @@ impl RedisBackend {
             RedisBackend::Tcp(addr) => Client::connect(*addr)
                 .map(|c| Box::new(c) as Box<dyn Connection>)
                 .map_err(|e| CoreError::Queue(format!("redis connect failed: {e}"))),
-            RedisBackend::InProc(shared) => {
-                Ok(Box::new(InProcClient::new(shared.clone())))
-            }
+            RedisBackend::InProc(shared) => Ok(Box::new(InProcClient::new(shared.clone()))),
         }
     }
 

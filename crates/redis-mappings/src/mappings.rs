@@ -18,7 +18,11 @@ use std::sync::Arc;
 static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 fn fresh_key(prefix: &str) -> String {
-    format!("d4py:{}:{}", prefix, RUN_COUNTER.fetch_add(1, Ordering::Relaxed))
+    format!(
+        "d4py:{}:{}",
+        prefix,
+        RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
+    )
 }
 
 /// `dyn_redis` (§3.1.1): dynamic scheduling whose global queue is a Redis
@@ -40,13 +44,12 @@ impl Mapping for DynRedis {
         "dyn_redis"
     }
 
-    fn execute(
-        &self,
-        exe: &Executable,
-        opts: &ExecutionOptions,
-    ) -> Result<RunReport, CoreError> {
-        let queue =
-            Arc::new(RedisQueue::new(&self.backend, fresh_key("queue"), opts.workers)?);
+    fn execute(&self, exe: &Executable, opts: &ExecutionOptions) -> Result<RunReport, CoreError> {
+        let queue = Arc::new(RedisQueue::new(
+            &self.backend,
+            fresh_key("queue"),
+            opts.workers,
+        )?);
         run_dynamic(exe, opts, queue, self.name(), None)
     }
 }
@@ -64,7 +67,13 @@ pub struct DynAutoRedis {
 impl DynAutoRedis {
     /// Uses the default scaler configuration with a 50 ms idle threshold.
     pub fn new(backend: RedisBackend) -> Self {
-        Self { backend, config: AutoscaleConfig { threshold: 0.05, ..AutoscaleConfig::default() } }
+        Self {
+            backend,
+            config: AutoscaleConfig {
+                threshold: 0.05,
+                ..AutoscaleConfig::default()
+            },
+        }
     }
 
     /// Overrides the scaler configuration.
@@ -78,13 +87,12 @@ impl Mapping for DynAutoRedis {
         "dyn_auto_redis"
     }
 
-    fn execute(
-        &self,
-        exe: &Executable,
-        opts: &ExecutionOptions,
-    ) -> Result<RunReport, CoreError> {
-        let queue =
-            Arc::new(RedisQueue::new(&self.backend, fresh_key("queue"), opts.workers)?);
+    fn execute(&self, exe: &Executable, opts: &ExecutionOptions) -> Result<RunReport, CoreError> {
+        let queue = Arc::new(RedisQueue::new(
+            &self.backend,
+            fresh_key("queue"),
+            opts.workers,
+        )?);
         let threshold = self.config.threshold;
         let setup = AutoscaleSetup {
             config: self.config,
@@ -107,16 +115,16 @@ pub struct HybridRedis {
 impl HybridRedis {
     /// Creates the mapping over a Redis backend.
     pub fn new(backend: RedisBackend) -> Self {
-        Self { backend, state: None }
+        Self {
+            backend,
+            state: None,
+        }
     }
 
     /// Attaches state externalization: stateful instances warm-start from
     /// and snapshot into `store` (builder style). See
     /// [`d4py_core::state`] and [`crate::state::RedisStateStore`].
-    pub fn with_state_store(
-        mut self,
-        store: Arc<dyn d4py_core::state::StateStore>,
-    ) -> Self {
+    pub fn with_state_store(mut self, store: Arc<dyn d4py_core::state::StateStore>) -> Self {
         self.state = Some(store);
         self
     }
@@ -139,7 +147,11 @@ struct RedisQueueFactory {
 impl QueueFactory for RedisQueueFactory {
     fn make(&self, name: &str, consumers: usize) -> Result<Arc<dyn TaskQueue>, CoreError> {
         let key = format!("d4py:hybrid:{}:{}", self.run, name);
-        Ok(Arc::new(RedisQueue::new(&self.backend, key, consumers.max(1))?))
+        Ok(Arc::new(RedisQueue::new(
+            &self.backend,
+            key,
+            consumers.max(1),
+        )?))
     }
 }
 
@@ -148,11 +160,7 @@ impl Mapping for HybridRedis {
         "hybrid_redis"
     }
 
-    fn execute(
-        &self,
-        exe: &Executable,
-        opts: &ExecutionOptions,
-    ) -> Result<RunReport, CoreError> {
+    fn execute(&self, exe: &Executable, opts: &ExecutionOptions) -> Result<RunReport, CoreError> {
         let factory = RedisQueueFactory {
             backend: self.backend.clone(),
             run: RUN_COUNTER.fetch_add(1, Ordering::Relaxed),
@@ -170,9 +178,7 @@ mod tests {
     use redis_lite::server::Server;
     use std::collections::HashMap;
 
-    fn stateless_exe(
-        items: i64,
-    ) -> (Executable, std::sync::Arc<parking_lot::Mutex<Vec<Value>>>) {
+    fn stateless_exe(items: i64) -> (Executable, std::sync::Arc<d4py_sync::Mutex<Vec<Value>>>) {
         let mut g = WorkflowGraph::new("t");
         let a = g.add_pe(PeSpec::source("a", "out"));
         let b = g.add_pe(PeSpec::transform("b", "in", "out"));
@@ -203,8 +209,7 @@ mod tests {
         let (exe, results) = stateless_exe(50);
         let mapping = DynRedis::new(RedisBackend::in_proc());
         let report = mapping.execute(&exe, &ExecutionOptions::new(4)).unwrap();
-        let mut got: Vec<i64> =
-            results.lock().iter().map(|v| v.as_int().unwrap()).collect();
+        let mut got: Vec<i64> = results.lock().iter().map(|v| v.as_int().unwrap()).collect();
         got.sort_unstable();
         assert_eq!(got, (1000..1050).collect::<Vec<_>>());
         assert_eq!(report.mapping, "dyn_redis");
@@ -242,7 +247,8 @@ mod tests {
         let mut g = WorkflowGraph::new("t");
         let a = g.add_pe(PeSpec::source("a", "out"));
         let b = g.add_pe(PeSpec::sink("b", "in"));
-        g.connect(a, "out", b, "in", Grouping::group_by("k")).unwrap();
+        g.connect(a, "out", b, "in", Grouping::group_by("k"))
+            .unwrap();
         let mut exe = Executable::new(g).unwrap();
         exe.register(a, || Box::new(FnSource(|_: &mut dyn Context| {})));
         exe.register(b, || {
@@ -269,10 +275,7 @@ mod tests {
                 for (k, n) in &self.counts {
                     ctx.emit(
                         "out",
-                        Value::map([
-                            ("state", Value::Str(k.clone())),
-                            ("count", Value::Int(*n)),
-                        ]),
+                        Value::map([("state", Value::Str(k.clone())), ("count", Value::Int(*n))]),
                     );
                 }
             }
@@ -280,10 +283,13 @@ mod tests {
         let mut g = WorkflowGraph::new("t");
         let src = g.add_pe(PeSpec::source("src", "out"));
         let cnt = g.add_pe(
-            PeSpec::transform("count", "in", "out").stateful().with_instances(2),
+            PeSpec::transform("count", "in", "out")
+                .stateful()
+                .with_instances(2),
         );
         let sink = g.add_pe(PeSpec::sink("sink", "in").stateful());
-        g.connect(src, "out", cnt, "in", Grouping::group_by("state")).unwrap();
+        g.connect(src, "out", cnt, "in", Grouping::group_by("state"))
+            .unwrap();
         g.connect(cnt, "out", sink, "in", Grouping::Global).unwrap();
         let (_, handle) = Collector::new();
         let h = handle.clone();
@@ -295,7 +301,11 @@ mod tests {
                 }
             }))
         });
-        exe.register(cnt, || Box::new(KeyCounter { counts: HashMap::new() }));
+        exe.register(cnt, || {
+            Box::new(KeyCounter {
+                counts: HashMap::new(),
+            })
+        });
         exe.register(sink, move || Box::new(Collector::into_handle(h.clone())));
         let exe = exe.seal().unwrap();
 

@@ -22,7 +22,7 @@ use d4py_core::codec;
 use d4py_core::error::CoreError;
 use d4py_core::queue::TaskQueue;
 use d4py_core::task::QueueItem;
-use parking_lot::Mutex;
+use d4py_sync::Mutex;
 use redis_lite::client::{ClientError, Connection, RedisOps};
 use std::time::{Duration, Instant};
 
@@ -131,13 +131,16 @@ impl TaskQueue for RedisQueue {
     fn push(&self, item: QueueItem) -> Result<(), CoreError> {
         let payload = codec::encode_item(&item);
         self.with_pool(|c| {
-            c.request(&[b"XADD", &self.key, b"*", FIELD, &payload]).map(|_| ())
+            c.request(&[b"XADD", &self.key, b"*", FIELD, &payload])
+                .map(|_| ())
         })
     }
 
     fn pop(&self, consumer: usize, timeout: Duration) -> Result<Option<QueueItem>, CoreError> {
         let Some(reader) = self.readers.get(consumer) else {
-            return Err(CoreError::Queue(format!("no reader connection for consumer {consumer}")));
+            return Err(CoreError::Queue(format!(
+                "no reader connection for consumer {consumer}"
+            )));
         };
         let consumer_name = format!("w{consumer}");
         let mut conn = reader.lock();
@@ -188,7 +191,9 @@ impl TaskQueue for RedisQueue {
     }
 
     fn idle_times(&self) -> Option<Vec<Duration>> {
-        let rows = self.with_pool(|c| c.xinfo_consumers(&self.key, GROUP)).ok()?;
+        let rows = self
+            .with_pool(|c| c.xinfo_consumers(&self.key, GROUP))
+            .ok()?;
         // Consumers that never read yet have been idle since queue creation.
         let mut idles = vec![self.created.elapsed(); self.readers.len()];
         for (name, _pending, idle) in rows {
@@ -247,15 +252,16 @@ mod tests {
             let q = q.clone();
             handles.push(std::thread::spawn(move || {
                 let mut got = Vec::new();
-                while let Some(QueueItem::Task(t)) =
-                    q.pop(c, Duration::from_millis(20)).unwrap()
-                {
+                while let Some(QueueItem::Task(t)) = q.pop(c, Duration::from_millis(20)).unwrap() {
                     got.push(t.value.as_int().unwrap());
                 }
                 got
             }));
         }
-        let mut all: Vec<i64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<i64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..40).collect::<Vec<_>>());
     }
@@ -266,8 +272,14 @@ mod tests {
         let q = RedisQueue::new(&backend, "q", 1).unwrap();
         q.push(QueueItem::Pill).unwrap();
         q.push(QueueItem::Flush).unwrap();
-        assert_eq!(q.pop(0, Duration::from_millis(20)).unwrap(), Some(QueueItem::Pill));
-        assert_eq!(q.pop(0, Duration::from_millis(20)).unwrap(), Some(QueueItem::Flush));
+        assert_eq!(
+            q.pop(0, Duration::from_millis(20)).unwrap(),
+            Some(QueueItem::Pill)
+        );
+        assert_eq!(
+            q.pop(0, Duration::from_millis(20)).unwrap(),
+            Some(QueueItem::Flush)
+        );
     }
 
     #[test]
@@ -286,13 +298,7 @@ mod tests {
     #[test]
     fn reliable_mode_redelivers_unacked_tasks() {
         let backend = RedisBackend::in_proc();
-        let q = RedisQueue::new_reliable(
-            &backend,
-            "q",
-            2,
-            Duration::from_millis(30),
-        )
-        .unwrap();
+        let q = RedisQueue::new_reliable(&backend, "q", 2, Duration::from_millis(30)).unwrap();
         q.push(task(99)).unwrap();
         // Consumer 0 pops and then "stalls" (never pops again → never acks).
         let first = q.pop(0, Duration::from_millis(20)).unwrap();
@@ -306,13 +312,7 @@ mod tests {
     #[test]
     fn reliable_mode_acks_on_next_pop() {
         let backend = RedisBackend::in_proc();
-        let q = RedisQueue::new_reliable(
-            &backend,
-            "q",
-            2,
-            Duration::from_millis(30),
-        )
-        .unwrap();
+        let q = RedisQueue::new_reliable(&backend, "q", 2, Duration::from_millis(30)).unwrap();
         q.push(task(1)).unwrap();
         q.push(task(2)).unwrap();
         // Consumer 0 pops both: the second pop acknowledges the first.
@@ -352,10 +352,16 @@ mod tests {
         let exe = exe.seal().unwrap();
 
         let backend = RedisBackend::in_proc();
-        let q = Arc::new(
-            RedisQueue::new_reliable(&backend, "wf", 3, Duration::from_secs(5)).unwrap(),
-        );
-        run_dynamic(&exe, &ExecutionOptions::new(3), q, "dyn_redis_reliable", None).unwrap();
+        let q =
+            Arc::new(RedisQueue::new_reliable(&backend, "wf", 3, Duration::from_secs(5)).unwrap());
+        run_dynamic(
+            &exe,
+            &ExecutionOptions::new(3),
+            q,
+            "dyn_redis_reliable",
+            None,
+        )
+        .unwrap();
         assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), 25);
     }
 
@@ -367,7 +373,10 @@ mod tests {
         let payload = QueueItem::Task(Task::new(
             PeId(3),
             "in",
-            Value::map([("station", Value::Str("ST01".into())), ("x", Value::Float(1.5))]),
+            Value::map([
+                ("station", Value::Str("ST01".into())),
+                ("x", Value::Float(1.5)),
+            ]),
         ));
         q.push(payload.clone()).unwrap();
         assert_eq!(q.pop(1, Duration::from_millis(100)).unwrap(), Some(payload));

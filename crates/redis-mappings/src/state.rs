@@ -10,7 +10,7 @@ use d4py_core::codec::{decode_value, encode_value};
 use d4py_core::error::CoreError;
 use d4py_core::state::StateStore;
 use d4py_core::value::Value;
-use parking_lot::Mutex;
+use d4py_sync::Mutex;
 use redis_lite::client::Connection;
 use redis_lite::resp::Frame;
 
@@ -24,7 +24,10 @@ impl RedisStateStore {
     /// Opens a store over `backend`, keyed by `key` (e.g.
     /// `"d4py:state:sentiment"`).
     pub fn new(backend: &RedisBackend, key: impl Into<Vec<u8>>) -> Result<Self, CoreError> {
-        Ok(Self { conn: Mutex::new(backend.connect()?), key: key.into() })
+        Ok(Self {
+            conn: Mutex::new(backend.connect()?),
+            key: key.into(),
+        })
     }
 }
 
@@ -62,13 +65,14 @@ impl StateStore for RedisStateStore {
             .map_err(|e| CoreError::Queue(e.to_string()))?
         {
             Frame::Array(items) => {
-                let mut out: Vec<String> =
-                    items.iter().filter_map(Frame::as_text).collect();
+                let mut out: Vec<String> = items.iter().filter_map(Frame::as_text).collect();
                 out.sort();
                 Ok(out)
             }
             Frame::Error(e) => Err(CoreError::Queue(e)),
-            other => Err(CoreError::Queue(format!("unexpected HKEYS reply {other:?}"))),
+            other => Err(CoreError::Queue(format!(
+                "unexpected HKEYS reply {other:?}"
+            ))),
         }
     }
 }

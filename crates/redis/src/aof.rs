@@ -11,7 +11,7 @@
 //! (durable, slow) or [`FsyncPolicy::No`] (buffered, fast; the OS decides).
 
 use crate::resp;
-use parking_lot::Mutex;
+use d4py_sync::Mutex;
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
@@ -35,8 +35,15 @@ impl Aof {
     /// Opens (creating if missing) the AOF at `path` for appending.
     pub fn open(path: impl AsRef<Path>, policy: FsyncPolicy) -> std::io::Result<Aof> {
         let path = path.as_ref().to_path_buf();
-        let file = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Aof { path, writer: Mutex::new(BufWriter::new(file)), policy })
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(Aof {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+            policy,
+        })
     }
 
     /// The log's location.
@@ -47,7 +54,7 @@ impl Aof {
     /// Appends one command (array-of-bulk-strings form).
     pub fn append(&self, args: &[Vec<u8>]) -> std::io::Result<()> {
         let borrowed: Vec<&[u8]> = args.iter().map(|a| a.as_slice()).collect();
-        let mut buf = bytes::BytesMut::with_capacity(64);
+        let mut buf = d4py_sync::ByteBuf::with_capacity(64);
         resp::encode_command(&borrowed, &mut buf);
         let mut writer = self.writer.lock();
         writer.write_all(&buf)?;

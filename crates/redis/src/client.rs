@@ -8,7 +8,7 @@
 
 use crate::engine::Shared;
 use crate::resp::{self, Frame};
-use bytes::BytesMut;
+use d4py_sync::ByteBuf;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -56,7 +56,7 @@ pub trait Connection: Send {
 /// A blocking TCP client.
 pub struct Client {
     stream: TcpStream,
-    inbox: BytesMut,
+    inbox: ByteBuf,
 }
 
 impl Client {
@@ -64,7 +64,10 @@ impl Client {
     pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream, inbox: BytesMut::with_capacity(4096) })
+        Ok(Client {
+            stream,
+            inbox: ByteBuf::with_capacity(4096),
+        })
     }
 
     fn read_frame(&mut self) -> Result<Frame, ClientError> {
@@ -92,7 +95,7 @@ impl Client {
 
 impl Connection for Client {
     fn request(&mut self, args: &[&[u8]]) -> Result<Frame, ClientError> {
-        let mut out = BytesMut::with_capacity(64);
+        let mut out = ByteBuf::with_capacity(64);
         resp::encode_command(args, &mut out);
         self.stream.write_all(&out)?;
         self.read_frame()
@@ -195,8 +198,7 @@ pub trait RedisOps: Connection {
                 let entries = first_stream
                     .and_then(|s| s.get(1))
                     .and_then(Frame::as_array);
-                let Some(entry) = entries.and_then(|e| e.first()).and_then(Frame::as_array)
-                else {
+                let Some(entry) = entries.and_then(|e| e.first()).and_then(Frame::as_array) else {
                     return Ok(None);
                 };
                 let id = entry
@@ -283,7 +285,9 @@ pub trait RedisOps: Connection {
             Frame::Array(rows) => {
                 let mut out = Vec::with_capacity(rows.len());
                 for row in rows {
-                    let Some(fields) = row.as_array() else { continue };
+                    let Some(fields) = row.as_array() else {
+                        continue;
+                    };
                     // ["name", n, "pending", p, "idle", ms]
                     let name = fields.get(1).and_then(Frame::as_text).unwrap_or_default();
                     let pending = fields.get(3).and_then(Frame::as_int).unwrap_or(0);
@@ -321,8 +325,9 @@ fn expect_ok(frame: Frame) -> Result<(), ClientError> {
 fn expect_text(frame: Frame) -> Result<String, ClientError> {
     match frame {
         Frame::Simple(s) => Ok(s),
-        Frame::Bulk(b) => String::from_utf8(b)
-            .map_err(|_| ClientError::UnexpectedReply("non-UTF8 text".into())),
+        Frame::Bulk(b) => {
+            String::from_utf8(b).map_err(|_| ClientError::UnexpectedReply("non-UTF8 text".into()))
+        }
         other => fail(other),
     }
 }

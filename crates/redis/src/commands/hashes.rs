@@ -6,7 +6,7 @@ use crate::store::{Db, RValue};
 use std::collections::HashMap;
 
 pub(crate) fn hset(db: &mut Db, args: &[Vec<u8>], legacy_hmset: bool) -> Frame {
-    if args.len() < 3 || args.len() % 2 == 0 {
+    if args.len() < 3 || args.len().is_multiple_of(2) {
         return wrong_args(if legacy_hmset { "HMSET" } else { "HSET" });
     }
     match db.get_or_create(&args[0], now(), || RValue::Hash(HashMap::new())) {
@@ -33,7 +33,10 @@ pub(crate) fn hget(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
     match db.get(&args[0], now()) {
         None => Frame::Null,
-        Some(RValue::Hash(h)) => h.get(&args[1]).map(|v| Frame::Bulk(v.clone())).unwrap_or(Frame::Null),
+        Some(RValue::Hash(h)) => h
+            .get(&args[1])
+            .map(|v| Frame::Bulk(v.clone()))
+            .unwrap_or(Frame::Null),
         Some(_) => wrong_type(),
     }
 }
@@ -108,7 +111,9 @@ pub(crate) fn hincrby(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     match db.get_or_create(&args[0], now(), || RValue::Hash(HashMap::new())) {
         RValue::Hash(h) => {
             let slot = h.entry(args[1].clone()).or_insert_with(|| b"0".to_vec());
-            let Some(cur) = std::str::from_utf8(slot).ok().and_then(|s| s.parse::<i64>().ok())
+            let Some(cur) = std::str::from_utf8(slot)
+                .ok()
+                .and_then(|s| s.parse::<i64>().ok())
             else {
                 return Frame::error("hash value is not an integer");
             };
@@ -163,8 +168,15 @@ mod tests {
     #[test]
     fn hset_hget_roundtrip() {
         let mut db = Db::new();
-        assert_eq!(hset(&mut db, &f(&["h", "a", "1", "b", "2"]), false), Frame::Integer(2));
-        assert_eq!(hset(&mut db, &f(&["h", "a", "9"]), false), Frame::Integer(0), "overwrite");
+        assert_eq!(
+            hset(&mut db, &f(&["h", "a", "1", "b", "2"]), false),
+            Frame::Integer(2)
+        );
+        assert_eq!(
+            hset(&mut db, &f(&["h", "a", "9"]), false),
+            Frame::Integer(0),
+            "overwrite"
+        );
         assert_eq!(hget(&mut db, &f(&["h", "a"])), Frame::bulk("9"));
         assert_eq!(hget(&mut db, &f(&["h", "zz"])), Frame::Null);
         assert_eq!(hget(&mut db, &f(&["nope", "a"])), Frame::Null);

@@ -62,7 +62,11 @@ pub(crate) fn pexpire(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     if millis <= 0 {
         return Frame::Integer(i64::from(db.del(&args[0], now())));
     }
-    let ok = db.expire(&args[0], now() + Duration::from_millis(millis as u64), now());
+    let ok = db.expire(
+        &args[0],
+        now() + Duration::from_millis(millis as u64),
+        now(),
+    );
     Frame::Integer(i64::from(ok))
 }
 

@@ -31,7 +31,11 @@ pub(crate) fn pop(db: &mut Db, args: &[Vec<u8>], left: bool) -> Frame {
     let reply = match db.get_mut(&args[0], now()) {
         None => return Frame::Null,
         Some(RValue::List(list)) => {
-            let popped = if left { list.pop_front() } else { list.pop_back() };
+            let popped = if left {
+                list.pop_front()
+            } else {
+                list.pop_back()
+            };
             match popped {
                 Some(v) => {
                     let emptied = list.is_empty();
@@ -93,7 +97,11 @@ pub fn try_pop_any(db: &mut Db, keys: &[Vec<u8>], left: bool) -> Option<Frame> {
     for key in keys {
         let popped = match db.get_mut(key, now()) {
             Some(RValue::List(list)) => {
-                let v = if left { list.pop_front() } else { list.pop_back() };
+                let v = if left {
+                    list.pop_front()
+                } else {
+                    list.pop_back()
+                };
                 v.map(|v| (v, list.is_empty()))
             }
             _ => None,
@@ -102,7 +110,10 @@ pub fn try_pop_any(db: &mut Db, keys: &[Vec<u8>], left: bool) -> Option<Frame> {
             if emptied {
                 db.del(key, now());
             }
-            return Some(Frame::Array(vec![Frame::Bulk(key.clone()), Frame::Bulk(value)]));
+            return Some(Frame::Array(vec![
+                Frame::Bulk(key.clone()),
+                Frame::Bulk(value),
+            ]));
         }
     }
     None
@@ -119,7 +130,10 @@ mod tests {
     #[test]
     fn push_pop_both_ends() {
         let mut db = Db::new();
-        assert_eq!(push(&mut db, &f(&["q", "a", "b"]), false), Frame::Integer(2)); // RPUSH
+        assert_eq!(
+            push(&mut db, &f(&["q", "a", "b"]), false),
+            Frame::Integer(2)
+        ); // RPUSH
         assert_eq!(push(&mut db, &f(&["q", "z"]), true), Frame::Integer(3)); // LPUSH
         assert_eq!(pop(&mut db, &f(&["q"]), true), Frame::bulk("z")); // LPOP
         assert_eq!(pop(&mut db, &f(&["q"]), false), Frame::bulk("b")); // RPOP
@@ -170,7 +184,10 @@ mod tests {
         let mut db = Db::new();
         push(&mut db, &f(&["q2", "x"]), false);
         let reply = try_pop_any(&mut db, &f(&["q1", "q2"]), true).unwrap();
-        assert_eq!(reply, Frame::Array(vec![Frame::bulk("q2"), Frame::bulk("x")]));
+        assert_eq!(
+            reply,
+            Frame::Array(vec![Frame::bulk("q2"), Frame::bulk("x")])
+        );
         assert!(try_pop_any(&mut db, &f(&["q1", "q2"]), true).is_none());
     }
 

@@ -52,8 +52,14 @@ pub fn execute(db: &mut Db, now_ms: u64, name: &str, args: &[Vec<u8>]) -> Frame 
         "SETNX" => strings::setnx(db, args),
         "APPEND" => strings::append(db, args),
         "STRLEN" => strings::strlen(db, args),
-        "INCR" => strings::incrby(db, &[args.first().cloned().unwrap_or_default(), b"1".to_vec()]),
-        "DECR" => strings::incrby(db, &[args.first().cloned().unwrap_or_default(), b"-1".to_vec()]),
+        "INCR" => strings::incrby(
+            db,
+            &[args.first().cloned().unwrap_or_default(), b"1".to_vec()],
+        ),
+        "DECR" => strings::incrby(
+            db,
+            &[args.first().cloned().unwrap_or_default(), b"-1".to_vec()],
+        ),
         "INCRBY" => strings::incrby(db, args),
         "DECRBY" => strings::decrby(db, args),
         "MSET" => strings::mset(db, args),
@@ -105,7 +111,8 @@ pub fn execute(db: &mut Db, now_ms: u64, name: &str, args: &[Vec<u8>]) -> Frame 
 pub fn is_write(name: &str) -> bool {
     matches!(
         name,
-        "SET" | "GETSET"
+        "SET"
+            | "GETSET"
             | "SETNX"
             | "APPEND"
             | "INCR"
@@ -141,7 +148,10 @@ pub fn is_write(name: &str) -> bool {
 // ---- shared helpers used by the submodules ----
 
 pub(crate) fn wrong_args(cmd: &str) -> Frame {
-    Frame::error(format!("wrong number of arguments for '{}'", cmd.to_ascii_lowercase()))
+    Frame::error(format!(
+        "wrong number of arguments for '{}'",
+        cmd.to_ascii_lowercase()
+    ))
 }
 
 pub(crate) fn wrong_type() -> Frame {

@@ -51,11 +51,13 @@ pub(crate) fn xadd(db: &mut Db, now_ms: u64, args: &[Vec<u8>]) -> Frame {
     };
     i += 1;
     let rest = &args[i..];
-    if rest.is_empty() || rest.len() % 2 != 0 {
+    if rest.is_empty() || !rest.len().is_multiple_of(2) {
         return wrong_args("XADD");
     }
-    let body: Vec<(Vec<u8>, Vec<u8>)> =
-        rest.chunks(2).map(|p| (p[0].clone(), p[1].clone())).collect();
+    let body: Vec<(Vec<u8>, Vec<u8>)> = rest
+        .chunks(2)
+        .map(|p| (p[0].clone(), p[1].clone()))
+        .collect();
 
     let value = db.get_or_create(key, now(), || RValue::Stream(Stream::new()));
     let RValue::Stream(stream) = value else {
@@ -99,9 +101,10 @@ pub(crate) fn xrange(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     if args.len() != 3 && args.len() != 5 {
         return wrong_args("XRANGE");
     }
-    let (Some(start), Some(end)) =
-        (parse_range_bound(&args[1], 0), parse_range_bound(&args[2], u64::MAX))
-    else {
+    let (Some(start), Some(end)) = (
+        parse_range_bound(&args[1], 0),
+        parse_range_bound(&args[2], u64::MAX),
+    ) else {
         return bad_id();
     };
     let count = if args.len() == 5 {
@@ -133,7 +136,10 @@ pub(crate) fn xdel(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
     let mut ids = Vec::new();
     for raw in &args[1..] {
-        match std::str::from_utf8(raw).ok().and_then(|s| StreamId::parse(s, 0)) {
+        match std::str::from_utf8(raw)
+            .ok()
+            .and_then(|s| StreamId::parse(s, 0))
+        {
             Some(id) => ids.push(id),
             None => return bad_id(),
         }
@@ -170,7 +176,10 @@ pub(crate) fn xack(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     let group = String::from_utf8_lossy(&args[1]).into_owned();
     let mut ids = Vec::new();
     for raw in &args[2..] {
-        match std::str::from_utf8(raw).ok().and_then(|s| StreamId::parse(s, 0)) {
+        match std::str::from_utf8(raw)
+            .ok()
+            .and_then(|s| StreamId::parse(s, 0))
+        {
             Some(id) => ids.push(id),
             None => return bad_id(),
         }
@@ -218,7 +227,10 @@ pub(crate) fn xgroup(db: &mut Db, args: &[Vec<u8>]) -> Frame {
             let start = if start_raw.as_slice() == b"$" {
                 stream.last_id()
             } else {
-                match std::str::from_utf8(start_raw).ok().and_then(|s| StreamId::parse(s, 0)) {
+                match std::str::from_utf8(start_raw)
+                    .ok()
+                    .and_then(|s| StreamId::parse(s, 0))
+                {
                     Some(id) => id,
                     None => return bad_id(),
                 }
@@ -226,9 +238,9 @@ pub(crate) fn xgroup(db: &mut Db, args: &[Vec<u8>]) -> Frame {
             let group = String::from_utf8_lossy(group).into_owned();
             match stream.create_group(&group, start) {
                 Ok(()) => Frame::ok(),
-                Err(StreamError::GroupExists) => Frame::Error(
-                    "BUSYGROUP Consumer Group name already exists".into(),
-                ),
+                Err(StreamError::GroupExists) => {
+                    Frame::Error("BUSYGROUP Consumer Group name already exists".into())
+                }
                 Err(_) => Frame::error("XGROUP CREATE failed"),
             }
         }
@@ -280,10 +292,7 @@ pub(crate) fn xpending(db: &mut Db, args: &[Vec<u8>]) -> Frame {
                         per_consumer
                             .into_iter()
                             .map(|(c, n)| {
-                                Frame::Array(vec![
-                                    Frame::bulk(c),
-                                    Frame::bulk(n.to_string()),
-                                ])
+                                Frame::Array(vec![Frame::bulk(c), Frame::bulk(n.to_string())])
                             })
                             .collect(),
                     ),
@@ -407,7 +416,10 @@ pub(crate) fn xautoclaim(db: &mut Db, args: &[Vec<u8>]) -> Frame {
             Ok(claimed) => Frame::Array(vec![
                 Frame::bulk("0-0"),
                 Frame::Array(
-                    claimed.iter().map(|(id, body)| entry_frame(*id, body)).collect(),
+                    claimed
+                        .iter()
+                        .map(|(id, body)| entry_frame(*id, body))
+                        .collect(),
                 ),
             ]),
         },
@@ -458,7 +470,9 @@ pub fn parse_stream_read(name: &str, args: &[Vec<u8>]) -> Result<StreamReadCmd, 
     let mut i = 0;
     if name == "XREADGROUP" {
         if args.len() < 3 || !args[0].eq_ignore_ascii_case(b"GROUP") {
-            return Err(Frame::error("syntax error: expected GROUP <group> <consumer>"));
+            return Err(Frame::error(
+                "syntax error: expected GROUP <group> <consumer>",
+            ));
         }
         cmd.group = Some((
             String::from_utf8_lossy(&args[1]).into_owned(),
@@ -491,7 +505,7 @@ pub fn parse_stream_read(name: &str, args: &[Vec<u8>]) -> Result<StreamReadCmd, 
             }
             b"STREAMS" => {
                 let rest = &args[i + 1..];
-                if rest.is_empty() || rest.len() % 2 != 0 {
+                if rest.is_empty() || !rest.len().is_multiple_of(2) {
                     return Err(Frame::error(
                         "Unbalanced XREAD list of streams: for each stream key an ID or '$' must \
                          be specified",
@@ -522,11 +536,15 @@ pub fn parse_stream_read(name: &str, args: &[Vec<u8>]) -> Result<StreamReadCmd, 
     if cmd.keys.is_empty() {
         return Err(Frame::error("syntax error: missing STREAMS"));
     }
-    if cmd.group.is_some() && cmd.ids.iter().any(|s| *s == IdSpec::Last) {
-        return Err(Frame::error("The $ ID is meaningless in the context of XREADGROUP"));
+    if cmd.group.is_some() && cmd.ids.contains(&IdSpec::Last) {
+        return Err(Frame::error(
+            "The $ ID is meaningless in the context of XREADGROUP",
+        ));
     }
-    if cmd.group.is_none() && cmd.ids.iter().any(|s| *s == IdSpec::New) {
-        return Err(Frame::error("The > ID can be specified only when calling XREADGROUP"));
+    if cmd.group.is_none() && cmd.ids.contains(&IdSpec::New) {
+        return Err(Frame::error(
+            "The > ID can be specified only when calling XREADGROUP",
+        ));
     }
     Ok(cmd)
 }
@@ -626,7 +644,10 @@ pub fn execute_stream_read(
                 Frame::Array(vec![
                     Frame::Bulk(key),
                     Frame::Array(
-                        entries.iter().map(|(id, body)| entry_frame(*id, body)).collect(),
+                        entries
+                            .iter()
+                            .map(|(id, body)| entry_frame(*id, body))
+                            .collect(),
                     ),
                 ])
             })
@@ -664,7 +685,10 @@ mod tests {
     #[test]
     fn xadd_explicit_id_rules() {
         let mut db = Db::new();
-        assert_eq!(xadd(&mut db, 0, &f(&["s", "5-1", "k", "v"])), Frame::bulk("5-1"));
+        assert_eq!(
+            xadd(&mut db, 0, &f(&["s", "5-1", "k", "v"])),
+            Frame::bulk("5-1")
+        );
         assert!(xadd(&mut db, 0, &f(&["s", "5-1", "k", "v"])).is_error());
         assert!(xadd(&mut db, 0, &f(&["s", "4-0", "k", "v"])).is_error());
     }
@@ -673,7 +697,7 @@ mod tests {
     fn xadd_maxlen_trims() {
         let mut db = Db::new();
         for i in 0..5 {
-            xadd(&mut db, i, &f(&["s", "*", "k", "v", ]));
+            xadd(&mut db, i, &f(&["s", "*", "k", "v"]));
         }
         xadd(&mut db, 99, &f(&["s", "MAXLEN", "3", "*", "k", "v"]));
         assert_eq!(xlen(&mut db, &f(&["s"])), Frame::Integer(3));
@@ -693,9 +717,16 @@ mod tests {
         let mut db = Db::new();
         add(&mut db, "s", 1, "one");
         assert_eq!(xgroup(&mut db, &f(&["CREATE", "s", "g", "0"])), Frame::ok());
-        assert!(xgroup(&mut db, &f(&["CREATE", "s", "g", "0"])).is_error(), "BUSYGROUP");
+        assert!(
+            xgroup(&mut db, &f(&["CREATE", "s", "g", "0"])).is_error(),
+            "BUSYGROUP"
+        );
 
-        let mut cmd = parse_stream_read("XREADGROUP", &f(&["GROUP", "g", "c1", "COUNT", "10", "STREAMS", "s", ">"])).unwrap();
+        let mut cmd = parse_stream_read(
+            "XREADGROUP",
+            &f(&["GROUP", "g", "c1", "COUNT", "10", "STREAMS", "s", ">"]),
+        )
+        .unwrap();
         resolve_stream_ids(&mut db, &mut cmd);
         let reply = execute_stream_read(&mut db, 0, &cmd).unwrap().unwrap();
         assert!(format!("{reply:?}").contains("one"));
@@ -722,8 +753,14 @@ mod tests {
             Frame::ok()
         );
         assert_eq!(xlen(&mut db, &f(&["ghost"])), Frame::Integer(0));
-        assert_eq!(xgroup(&mut db, &f(&["DESTROY", "ghost", "g"])), Frame::Integer(1));
-        assert_eq!(xgroup(&mut db, &f(&["DESTROY", "ghost", "g"])), Frame::Integer(0));
+        assert_eq!(
+            xgroup(&mut db, &f(&["DESTROY", "ghost", "g"])),
+            Frame::Integer(1)
+        );
+        assert_eq!(
+            xgroup(&mut db, &f(&["DESTROY", "ghost", "g"])),
+            Frame::Integer(0)
+        );
     }
 
     #[test]
@@ -759,14 +796,20 @@ mod tests {
         resolve_stream_ids(&mut db, &mut newcmd);
         execute_stream_read(&mut db, 0, &newcmd).unwrap().unwrap();
         // Replay history from 0: the unacked entry reappears.
-        let mut replay =
-            parse_stream_read("XREADGROUP", &f(&["GROUP", "g", "c", "STREAMS", "s", "0-0"])).unwrap();
+        let mut replay = parse_stream_read(
+            "XREADGROUP",
+            &f(&["GROUP", "g", "c", "STREAMS", "s", "0-0"]),
+        )
+        .unwrap();
         resolve_stream_ids(&mut db, &mut replay);
         let reply = execute_stream_read(&mut db, 0, &replay).unwrap().unwrap();
         assert!(format!("{reply:?}").contains('a'));
         // Another consumer's replay is empty.
-        let mut other =
-            parse_stream_read("XREADGROUP", &f(&["GROUP", "g", "other", "STREAMS", "s", "0-0"])).unwrap();
+        let mut other = parse_stream_read(
+            "XREADGROUP",
+            &f(&["GROUP", "g", "other", "STREAMS", "s", "0-0"]),
+        )
+        .unwrap();
         resolve_stream_ids(&mut db, &mut other);
         let reply = execute_stream_read(&mut db, 0, &other).unwrap().unwrap();
         assert!(!format!("{reply:?}").contains("\"a\""));
@@ -775,8 +818,9 @@ mod tests {
     #[test]
     fn parse_rejects_mismatched_specs() {
         assert!(parse_stream_read("XREAD", &f(&["STREAMS", "s", ">"])).is_err());
-        assert!(parse_stream_read("XREADGROUP", &f(&["GROUP", "g", "c", "STREAMS", "s", "$"]))
-            .is_err());
+        assert!(
+            parse_stream_read("XREADGROUP", &f(&["GROUP", "g", "c", "STREAMS", "s", "$"])).is_err()
+        );
         assert!(parse_stream_read("XREAD", &f(&["STREAMS", "s"])).is_err());
         assert!(parse_stream_read("XREADGROUP", &f(&["STREAMS", "s", ">"])).is_err());
     }
@@ -786,9 +830,11 @@ mod tests {
         let mut db = Db::new();
         add(&mut db, "s", 1, "a");
         xgroup(&mut db, &f(&["CREATE", "s", "g", "0"]));
-        let mut cmd =
-            parse_stream_read("XREADGROUP", &f(&["GROUP", "g", "c", "NOACK", "STREAMS", "s", ">"]))
-                .unwrap();
+        let mut cmd = parse_stream_read(
+            "XREADGROUP",
+            &f(&["GROUP", "g", "c", "NOACK", "STREAMS", "s", ">"]),
+        )
+        .unwrap();
         resolve_stream_ids(&mut db, &mut cmd);
         execute_stream_read(&mut db, 0, &cmd).unwrap().unwrap();
         std::thread::sleep(Duration::from_millis(20));
@@ -827,9 +873,11 @@ mod tests {
     fn nogroup_errors_surface() {
         let mut db = Db::new();
         add(&mut db, "s", 1, "a");
-        let mut cmd =
-            parse_stream_read("XREADGROUP", &f(&["GROUP", "nope", "c", "STREAMS", "s", ">"]))
-                .unwrap();
+        let mut cmd = parse_stream_read(
+            "XREADGROUP",
+            &f(&["GROUP", "nope", "c", "STREAMS", "s", ">"]),
+        )
+        .unwrap();
         resolve_stream_ids(&mut db, &mut cmd);
         let err = execute_stream_read(&mut db, 0, &cmd).unwrap_err();
         assert!(err.as_text().unwrap().starts_with("NOGROUP"));

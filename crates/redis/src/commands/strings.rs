@@ -17,7 +17,10 @@ pub(crate) fn set(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     while i < args.len() {
         match args[i].to_ascii_uppercase().as_slice() {
             b"EX" => {
-                let Some(secs) = args.get(i + 1).and_then(|a| parse_int(a)).filter(|&s| s > 0)
+                let Some(secs) = args
+                    .get(i + 1)
+                    .and_then(|a| parse_int(a))
+                    .filter(|&s| s > 0)
                 else {
                     return Frame::error("invalid expire time in 'set' command");
                 };
@@ -25,7 +28,10 @@ pub(crate) fn set(db: &mut Db, args: &[Vec<u8>]) -> Frame {
                 i += 2;
             }
             b"PX" => {
-                let Some(ms) = args.get(i + 1).and_then(|a| parse_int(a)).filter(|&s| s > 0)
+                let Some(ms) = args
+                    .get(i + 1)
+                    .and_then(|a| parse_int(a))
+                    .filter(|&s| s > 0)
                 else {
                     return Frame::error("invalid expire time in 'set' command");
                 };
@@ -128,7 +134,9 @@ pub(crate) fn incrby(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     };
     match db.get_or_create(&args[0], now(), || RValue::Str(b"0".to_vec())) {
         RValue::Str(v) => {
-            let Some(cur) = std::str::from_utf8(v).ok().and_then(|s| s.parse::<i64>().ok())
+            let Some(cur) = std::str::from_utf8(v)
+                .ok()
+                .and_then(|s| s.parse::<i64>().ok())
             else {
                 return Frame::error("value is not an integer or out of range");
             };
@@ -153,7 +161,7 @@ pub(crate) fn decrby(db: &mut Db, args: &[Vec<u8>]) -> Frame {
 }
 
 pub(crate) fn mset(db: &mut Db, args: &[Vec<u8>]) -> Frame {
-    if args.is_empty() || args.len() % 2 != 0 {
+    if args.is_empty() || !args.len().is_multiple_of(2) {
         return wrong_args("MSET");
     }
     for pair in args.chunks(2) {
@@ -194,9 +202,17 @@ mod tests {
     #[test]
     fn set_nx_and_xx() {
         let mut db = Db::new();
-        assert_eq!(set(&mut db, &f(&["k", "v", "XX"])), Frame::Null, "XX on missing");
+        assert_eq!(
+            set(&mut db, &f(&["k", "v", "XX"])),
+            Frame::Null,
+            "XX on missing"
+        );
         assert_eq!(set(&mut db, &f(&["k", "v", "NX"])), Frame::ok());
-        assert_eq!(set(&mut db, &f(&["k", "w", "NX"])), Frame::Null, "NX on existing");
+        assert_eq!(
+            set(&mut db, &f(&["k", "w", "NX"])),
+            Frame::Null,
+            "NX on existing"
+        );
         assert_eq!(set(&mut db, &f(&["k", "w", "XX"])), Frame::ok());
         assert_eq!(get(&mut db, &f(&["k"])), Frame::bulk("w"));
     }

@@ -11,7 +11,7 @@ use crate::aof::{Aof, FsyncPolicy};
 use crate::commands;
 use crate::resp::Frame;
 use crate::store::Db;
-use parking_lot::{Condvar, Mutex};
+use d4py_sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Shared server state: one keyspace + wakeup machinery.
@@ -128,11 +128,10 @@ impl Shared {
             if let Some(frame) = commands::try_pop_any(&mut db, keys, left) {
                 drop(db);
                 // Persist the pop's effect as its non-blocking equivalent.
-                if let Some(popped_key) = frame.as_array().and_then(|a| a.first()) {
-                    if let crate::resp::Frame::Bulk(k) = popped_key {
-                        let effect = if left { "LPOP" } else { "RPOP" };
-                        self.log_write(effect, &[k.clone()], &frame);
-                    }
+                if let Some(crate::resp::Frame::Bulk(k)) = frame.as_array().and_then(|a| a.first())
+                {
+                    let effect = if left { "LPOP" } else { "RPOP" };
+                    self.log_write(effect, std::slice::from_ref(k), &frame);
                 }
                 self.wakeup.notify_all(); // the pop mutated a list
                 return frame;
@@ -186,9 +185,7 @@ impl Shared {
                     None => return Frame::NullArray, // non-blocking, no data
                     Some(None) => self.wakeup.wait(&mut db),
                     Some(Some(d)) => {
-                        if Instant::now() >= d
-                            || self.wakeup.wait_until(&mut db, d).timed_out()
-                        {
+                        if Instant::now() >= d || self.wakeup.wait_until(&mut db, d).timed_out() {
                             // One last look before reporting a timeout.
                             if let Ok(Some(frame)) =
                                 commands::execute_stream_read(&mut db, self.now_ms(), &parsed)
@@ -209,7 +206,7 @@ impl Shared {
 fn parse_secs(raw: &[u8]) -> Option<Duration> {
     let s = std::str::from_utf8(raw).ok()?;
     let secs: f64 = s.parse().ok()?;
-    if !(secs >= 0.0) || !secs.is_finite() {
+    if secs < 0.0 || !secs.is_finite() {
         return None;
     }
     Some(Duration::from_secs_f64(secs))
@@ -267,7 +264,10 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         cmd(&s, &["LPUSH", "q", "x"]);
         let reply = waiter.join().unwrap();
-        assert_eq!(reply, Frame::Array(vec![Frame::bulk("q"), Frame::bulk("x")]));
+        assert_eq!(
+            reply,
+            Frame::Array(vec![Frame::bulk("q"), Frame::bulk("x")])
+        );
     }
 
     #[test]
@@ -275,13 +275,20 @@ mod tests {
         let s = Arc::new(Shared::new());
         cmd(&s, &["XADD", "st", "*", "f", "seed"]);
         let s2 = s.clone();
-        let waiter = std::thread::spawn(move || cmd(&s2, &["XREAD", "BLOCK", "2000", "STREAMS", "st", "$"]));
+        let waiter =
+            std::thread::spawn(move || cmd(&s2, &["XREAD", "BLOCK", "2000", "STREAMS", "st", "$"]));
         std::thread::sleep(Duration::from_millis(30));
         cmd(&s, &["XADD", "st", "*", "f", "fresh"]);
         let reply = waiter.join().unwrap();
         let text = format!("{reply:?}");
-        assert!(text.contains("fresh"), "blocked XREAD must deliver the new entry: {text}");
-        assert!(!text.contains("seed"), "XREAD from $ must not replay history");
+        assert!(
+            text.contains("fresh"),
+            "blocked XREAD must deliver the new entry: {text}"
+        );
+        assert!(
+            !text.contains("seed"),
+            "XREAD from $ must not replay history"
+        );
     }
 
     #[test]

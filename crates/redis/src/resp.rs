@@ -3,7 +3,7 @@
 //! The wire format Redis has spoken since 1.2: five frame types, each
 //! introduced by one marker byte and terminated by CRLF. We implement a
 //! zero-copy-ish incremental decoder (suitable for a streaming TCP read
-//! buffer) and an encoder into [`BytesMut`].
+//! buffer) and an encoder into [`ByteBuf`].
 //!
 //! ```text
 //! +OK\r\n                    simple string
@@ -13,7 +13,7 @@
 //! *2\r\n<frame><frame>       array            (*-1\r\n = null array)
 //! ```
 
-use bytes::{BufMut, BytesMut};
+use d4py_sync::ByteBuf;
 
 /// One RESP2 frame.
 #[derive(Clone, PartialEq, Eq)]
@@ -124,7 +124,7 @@ impl std::fmt::Display for RespError {
 impl std::error::Error for RespError {}
 
 /// Encodes a frame onto `buf`.
-pub fn encode(frame: &Frame, buf: &mut BytesMut) {
+pub fn encode(frame: &Frame, buf: &mut ByteBuf) {
     match frame {
         Frame::Simple(s) => {
             buf.put_u8(b'+');
@@ -163,7 +163,7 @@ pub fn encode(frame: &Frame, buf: &mut BytesMut) {
 
 /// Encodes a client command (array of bulk strings) — the only shape clients
 /// send.
-pub fn encode_command(args: &[&[u8]], buf: &mut BytesMut) {
+pub fn encode_command(args: &[&[u8]], buf: &mut ByteBuf) {
     let frame = Frame::Array(args.iter().map(|a| Frame::Bulk(a.to_vec())).collect());
     encode(&frame, buf);
 }
@@ -258,7 +258,7 @@ mod tests {
     use super::*;
 
     fn roundtrip(frame: Frame) {
-        let mut buf = BytesMut::new();
+        let mut buf = ByteBuf::new();
         encode(&frame, &mut buf);
         let (decoded, consumed) = decode(&buf).unwrap().unwrap();
         assert_eq!(decoded, frame);
@@ -311,17 +311,21 @@ mod tests {
 
     #[test]
     fn incremental_decoding_waits_for_bytes() {
-        let mut buf = BytesMut::new();
+        let mut buf = ByteBuf::new();
         encode(&Frame::Bulk(b"hello world".to_vec()), &mut buf);
         for cut in 0..buf.len() {
-            assert_eq!(decode(&buf[..cut]).unwrap(), None, "cut={cut} should need more");
+            assert_eq!(
+                decode(&buf[..cut]).unwrap(),
+                None,
+                "cut={cut} should need more"
+            );
         }
         assert!(decode(&buf).unwrap().is_some());
     }
 
     #[test]
     fn decode_reports_extra_bytes_via_consumed() {
-        let mut buf = BytesMut::new();
+        let mut buf = ByteBuf::new();
         encode(&Frame::Integer(5), &mut buf);
         let extra = buf.len();
         encode(&Frame::Integer(6), &mut buf);
@@ -355,7 +359,7 @@ mod tests {
 
     #[test]
     fn encode_command_is_array_of_bulks() {
-        let mut buf = BytesMut::new();
+        let mut buf = ByteBuf::new();
         encode_command(&[b"SET", b"k", b"v"], &mut buf);
         let (frame, _) = decode(&buf).unwrap().unwrap();
         assert_eq!(

@@ -6,7 +6,7 @@
 
 use crate::engine::Shared;
 use crate::resp::{self, Frame};
-use bytes::BytesMut;
+use d4py_sync::ByteBuf;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -59,7 +59,12 @@ impl Server {
             }
         });
 
-        Ok(Server { shared, addr, stop, accept_thread: Some(accept_thread) })
+        Ok(Server {
+            shared,
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound address.
@@ -92,7 +97,7 @@ impl Drop for Server {
 
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
-    let mut inbox = BytesMut::with_capacity(4096);
+    let mut inbox = ByteBuf::with_capacity(4096);
     let mut chunk = [0u8; 4096];
     loop {
         // Decode every complete frame already buffered.
@@ -104,7 +109,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                         Some(args) => shared.dispatch(&args),
                         None => Frame::error("protocol error: expected array of bulk strings"),
                     };
-                    let mut out = BytesMut::with_capacity(128);
+                    let mut out = ByteBuf::with_capacity(128);
                     resp::encode(&reply, &mut out);
                     if stream.write_all(&out).is_err() {
                         return;
@@ -112,7 +117,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 }
                 Ok(None) => break,
                 Err(_) => {
-                    let mut out = BytesMut::new();
+                    let mut out = ByteBuf::new();
                     resp::encode(&Frame::error("protocol error"), &mut out);
                     let _ = stream.write_all(&out);
                     return;
@@ -170,11 +175,14 @@ mod tests {
         let addr = server.addr();
         let waiter = std::thread::spawn(move || {
             let mut c = Client::connect(addr).unwrap();
-            c.request(&[b"BLPOP".as_ref(), b"jobs".as_ref(), b"2".as_ref()]).unwrap()
+            c.request(&[b"BLPOP".as_ref(), b"jobs".as_ref(), b"2".as_ref()])
+                .unwrap()
         });
         std::thread::sleep(Duration::from_millis(30));
         let mut pusher = Client::connect(addr).unwrap();
-        pusher.request(&[b"RPUSH".as_ref(), b"jobs".as_ref(), b"task1".as_ref()]).unwrap();
+        pusher
+            .request(&[b"RPUSH".as_ref(), b"jobs".as_ref(), b"task1".as_ref()])
+            .unwrap();
         let reply = waiter.join().unwrap();
         assert!(format!("{reply:?}").contains("task1"));
     }
@@ -188,7 +196,10 @@ mod tests {
             c.set(format!("k{i}").as_bytes(), b"v").unwrap();
         }
         for i in 0..10 {
-            assert_eq!(c.get(format!("k{i}").as_bytes()).unwrap(), Some(b"v".to_vec()));
+            assert_eq!(
+                c.get(format!("k{i}").as_bytes()).unwrap(),
+                Some(b"v".to_vec())
+            );
         }
     }
 

@@ -81,12 +81,24 @@ impl Db {
 
     /// Inserts/replaces a value, clearing any previous expiry.
     pub fn set(&mut self, key: Vec<u8>, value: RValue) {
-        self.map.insert(key, Entry { value, expires_at: None });
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                expires_at: None,
+            },
+        );
     }
 
     /// Inserts/replaces a value with an expiry deadline.
     pub fn set_with_expiry(&mut self, key: Vec<u8>, value: RValue, expires_at: Instant) {
-        self.map.insert(key, Entry { value, expires_at: Some(expires_at) });
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                expires_at: Some(expires_at),
+            },
+        );
     }
 
     /// Gets the value, creating it with `default` when missing. The caller
@@ -101,7 +113,10 @@ impl Db {
         &mut self
             .map
             .entry(key.to_vec())
-            .or_insert_with(|| Entry { value: default(), expires_at: None })
+            .or_insert_with(|| Entry {
+                value: default(),
+                expires_at: None,
+            })
             .value
     }
 
@@ -191,8 +206,7 @@ pub fn glob_match(pattern: &[u8], text: &[u8]) -> bool {
     match (pattern.first(), text.first()) {
         (None, None) => true,
         (Some(b'*'), _) => {
-            glob_match(&pattern[1..], text)
-                || (!text.is_empty() && glob_match(pattern, &text[1..]))
+            glob_match(&pattern[1..], text) || (!text.is_empty() && glob_match(pattern, &text[1..]))
         }
         (Some(b'?'), Some(_)) => glob_match(&pattern[1..], &text[1..]),
         (Some(&p), Some(&t)) if p == t => glob_match(&pattern[1..], &text[1..]),
@@ -220,7 +234,11 @@ mod tests {
     fn expiry_is_honoured_lazily() {
         let mut db = Db::new();
         let now = Instant::now();
-        db.set_with_expiry(b"k".to_vec(), RValue::Str(b"v".to_vec()), now + Duration::from_millis(10));
+        db.set_with_expiry(
+            b"k".to_vec(),
+            RValue::Str(b"v".to_vec()),
+            now + Duration::from_millis(10),
+        );
         assert!(db.exists(b"k", now));
         let later = now + Duration::from_millis(11);
         assert!(!db.exists(b"k", later));

@@ -26,14 +26,23 @@ impl StreamId {
     /// The smallest id (`0-0`).
     pub const MIN: StreamId = StreamId { ms: 0, seq: 0 };
     /// The largest id (`u64::MAX-u64::MAX`).
-    pub const MAX: StreamId = StreamId { ms: u64::MAX, seq: u64::MAX };
+    pub const MAX: StreamId = StreamId {
+        ms: u64::MAX,
+        seq: u64::MAX,
+    };
 
     /// The next id after `self` (saturating).
     pub fn next(self) -> StreamId {
         if self.seq == u64::MAX {
-            StreamId { ms: self.ms.saturating_add(1), seq: 0 }
+            StreamId {
+                ms: self.ms.saturating_add(1),
+                seq: 0,
+            }
         } else {
-            StreamId { ms: self.ms, seq: self.seq + 1 }
+            StreamId {
+                ms: self.ms,
+                seq: self.seq + 1,
+            }
         }
     }
 
@@ -42,8 +51,14 @@ impl StreamId {
     /// end of a range).
     pub fn parse(s: &str, default_seq: u64) -> Option<StreamId> {
         match s.split_once('-') {
-            Some((ms, seq)) => Some(StreamId { ms: ms.parse().ok()?, seq: seq.parse().ok()? }),
-            None => Some(StreamId { ms: s.parse().ok()?, seq: default_seq }),
+            Some((ms, seq)) => Some(StreamId {
+                ms: ms.parse().ok()?,
+                seq: seq.parse().ok()?,
+            }),
+            None => Some(StreamId {
+                ms: s.parse().ok()?,
+                seq: default_seq,
+            }),
         }
     }
 }
@@ -168,7 +183,10 @@ impl Stream {
         end: StreamId,
         count: Option<usize>,
     ) -> Vec<(StreamId, EntryBody)> {
-        let iter = self.entries.range(start..=end).map(|(id, b)| (*id, b.clone()));
+        let iter = self
+            .entries
+            .range(start..=end)
+            .map(|(id, b)| (*id, b.clone()));
         match count {
             Some(n) => iter.take(n).collect(),
             None => iter.collect(),
@@ -219,7 +237,10 @@ impl Stream {
         }
         self.groups.insert(
             name.to_string(),
-            ConsumerGroup { last_delivered: start, ..ConsumerGroup::default() },
+            ConsumerGroup {
+                last_delivered: start,
+                ..ConsumerGroup::default()
+            },
         );
         Ok(())
     }
@@ -329,10 +350,10 @@ impl Stream {
             p.consumer = consumer.to_string();
             p.delivered_at = now;
             p.delivery_count += 1;
-            let c = g
-                .consumers
-                .entry(consumer.to_string())
-                .or_insert(Consumer { last_active: now, pending: 0 });
+            let c = g.consumers.entry(consumer.to_string()).or_insert(Consumer {
+                last_active: now,
+                pending: 0,
+            });
             c.pending += 1;
             c.last_active = now;
             claimed.push((id, body));
@@ -341,7 +362,12 @@ impl Stream {
     }
 
     /// Acknowledges entries in a group's PEL; returns how many were pending.
-    pub fn ack(&mut self, group: &str, ids: &[StreamId], now: Instant) -> Result<usize, StreamError> {
+    pub fn ack(
+        &mut self,
+        group: &str,
+        ids: &[StreamId],
+        now: Instant,
+    ) -> Result<usize, StreamError> {
         let g = self.groups.get_mut(group).ok_or(StreamError::NoGroup)?;
         let mut n = 0;
         for id in ids {
@@ -368,7 +394,11 @@ impl Stream {
             .consumers
             .iter()
             .map(|(name, c)| {
-                (name.clone(), c.pending, now.saturating_duration_since(c.last_active))
+                (
+                    name.clone(),
+                    c.pending,
+                    now.saturating_duration_since(c.last_active),
+                )
             })
             .collect();
         rows.sort_by(|a, b| a.0.cmp(&b.0));
@@ -396,7 +426,10 @@ mod tests {
     fn id_ordering() {
         assert!(StreamId { ms: 1, seq: 9 } < StreamId { ms: 2, seq: 0 });
         assert!(StreamId { ms: 1, seq: 0 } < StreamId { ms: 1, seq: 1 });
-        assert_eq!(StreamId { ms: 1, seq: 1 }.next(), StreamId { ms: 1, seq: 2 });
+        assert_eq!(
+            StreamId { ms: 1, seq: 1 }.next(),
+            StreamId { ms: 1, seq: 2 }
+        );
     }
 
     #[test]
@@ -414,19 +447,23 @@ mod tests {
     #[test]
     fn explicit_id_must_increase() {
         let mut s = Stream::new();
-        s.add(Some(StreamId { ms: 5, seq: 0 }), 0, body("a")).unwrap();
+        s.add(Some(StreamId { ms: 5, seq: 0 }), 0, body("a"))
+            .unwrap();
         assert_eq!(
             s.add(Some(StreamId { ms: 5, seq: 0 }), 0, body("b")),
             Err(StreamError::IdTooSmall)
         );
-        s.add(Some(StreamId { ms: 5, seq: 1 }), 0, body("c")).unwrap();
+        s.add(Some(StreamId { ms: 5, seq: 1 }), 0, body("c"))
+            .unwrap();
         assert_eq!(s.len(), 2);
     }
 
     #[test]
     fn range_and_read_after() {
         let mut s = Stream::new();
-        let ids: Vec<_> = (0..5).map(|i| s.add(None, i, body(&i.to_string())).unwrap()).collect();
+        let ids: Vec<_> = (0..5)
+            .map(|i| s.add(None, i, body(&i.to_string())).unwrap())
+            .collect();
         let all = s.range(StreamId::MIN, StreamId::MAX, None);
         assert_eq!(all.len(), 5);
         let after = s.read_after(ids[2], None);
@@ -458,9 +495,15 @@ mod tests {
         s.add(None, 1, body("old")).unwrap();
         s.create_group("g", s.last_id()).unwrap();
         let now = Instant::now();
-        assert!(s.read_group_new("g", "c", None, false, now).unwrap().is_empty());
+        assert!(s
+            .read_group_new("g", "c", None, false, now)
+            .unwrap()
+            .is_empty());
         s.add(None, 2, body("new")).unwrap();
-        assert_eq!(s.read_group_new("g", "c", None, false, now).unwrap().len(), 1);
+        assert_eq!(
+            s.read_group_new("g", "c", None, false, now).unwrap().len(),
+            1
+        );
     }
 
     #[test]
@@ -484,7 +527,8 @@ mod tests {
         let mut s = Stream::new();
         s.add(None, 1, body("x")).unwrap();
         s.create_group("g", StreamId::MIN).unwrap();
-        s.read_group_new("g", "c", None, true, Instant::now()).unwrap();
+        s.read_group_new("g", "c", None, true, Instant::now())
+            .unwrap();
         assert!(s.group("g").unwrap().pending.is_empty());
     }
 
@@ -498,7 +542,13 @@ mod tests {
         // 500 ms later, a recovery consumer claims entries idle ≥ 100 ms.
         let later = t0 + std::time::Duration::from_millis(500);
         let claimed = s
-            .claim_idle("g", "rescuer", std::time::Duration::from_millis(100), 10, later)
+            .claim_idle(
+                "g",
+                "rescuer",
+                std::time::Duration::from_millis(100),
+                10,
+                later,
+            )
             .unwrap();
         assert_eq!(claimed.len(), 1);
         assert_eq!(claimed[0].0, id);
@@ -571,7 +621,8 @@ mod tests {
     fn empty_group_read_still_registers_consumer() {
         let mut s = Stream::new();
         s.create_group("g", StreamId::MIN).unwrap();
-        s.read_group_new("g", "c", None, true, Instant::now()).unwrap();
+        s.read_group_new("g", "c", None, true, Instant::now())
+            .unwrap();
         assert_eq!(s.consumer_info("g", Instant::now()).unwrap().len(), 1);
     }
 
@@ -582,15 +633,24 @@ mod tests {
             s.read_group_new("nope", "c", None, false, Instant::now()),
             Err(StreamError::NoGroup)
         );
-        assert_eq!(s.ack("nope", &[], Instant::now()), Err(StreamError::NoGroup));
-        assert_eq!(s.consumer_info("nope", Instant::now()), Err(StreamError::NoGroup));
+        assert_eq!(
+            s.ack("nope", &[], Instant::now()),
+            Err(StreamError::NoGroup)
+        );
+        assert_eq!(
+            s.consumer_info("nope", Instant::now()),
+            Err(StreamError::NoGroup)
+        );
     }
 
     #[test]
     fn duplicate_group_rejected() {
         let mut s = Stream::new();
         s.create_group("g", StreamId::MIN).unwrap();
-        assert_eq!(s.create_group("g", StreamId::MIN), Err(StreamError::GroupExists));
+        assert_eq!(
+            s.create_group("g", StreamId::MIN),
+            Err(StreamError::GroupExists)
+        );
         assert!(s.destroy_group("g"));
         assert!(!s.destroy_group("g"));
     }
@@ -600,7 +660,8 @@ mod tests {
         let mut s = Stream::new();
         let id = s.add(None, 1, body("x")).unwrap();
         s.create_group("g", StreamId::MIN).unwrap();
-        s.read_group_new("g", "c", None, false, Instant::now()).unwrap();
+        s.read_group_new("g", "c", None, false, Instant::now())
+            .unwrap();
         assert_eq!(s.delete(&[id]), 1);
         assert!(s.group("g").unwrap().pending.is_empty());
         assert_eq!(s.delete(&[id]), 0);

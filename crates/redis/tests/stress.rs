@@ -27,7 +27,10 @@ fn concurrent_increments_are_atomic() {
     for h in handles {
         h.join().unwrap();
     }
-    assert_eq!(shared.dispatch(&f(&["GET", "counter"])), Frame::bulk("2000"));
+    assert_eq!(
+        shared.dispatch(&f(&["GET", "counter"])),
+        Frame::bulk("2000")
+    );
 }
 
 #[test]
@@ -45,8 +48,16 @@ fn concurrent_stream_consumers_see_each_entry_once() {
                 let mut got = Vec::new();
                 loop {
                     let reply = s.dispatch(&f(&[
-                        "XREADGROUP", "GROUP", "g", &consumer, "COUNT", "1", "NOACK",
-                        "STREAMS", "s", ">",
+                        "XREADGROUP",
+                        "GROUP",
+                        "g",
+                        &consumer,
+                        "COUNT",
+                        "1",
+                        "NOACK",
+                        "STREAMS",
+                        "s",
+                        ">",
                     ]));
                     match reply {
                         Frame::NullArray | Frame::Null => break,
@@ -97,7 +108,8 @@ fn blocking_readers_all_wake_as_data_arrives() {
         .map(|_| {
             std::thread::spawn(move || {
                 let mut c = Client::connect(addr).unwrap();
-                c.request(&[b"BLPOP".as_ref(), b"work".as_ref(), b"3".as_ref()]).unwrap()
+                c.request(&[b"BLPOP".as_ref(), b"work".as_ref(), b"3".as_ref()])
+                    .unwrap()
             })
         })
         .collect();
@@ -105,7 +117,11 @@ fn blocking_readers_all_wake_as_data_arrives() {
     let mut pusher = Client::connect(addr).unwrap();
     for i in 0..4 {
         pusher
-            .request(&[b"RPUSH".as_ref(), b"work".as_ref(), format!("job{i}").as_bytes()])
+            .request(&[
+                b"RPUSH".as_ref(),
+                b"work".as_ref(),
+                format!("job{i}").as_bytes(),
+            ])
             .unwrap();
     }
     let mut delivered = 0;
@@ -169,8 +185,7 @@ fn oversized_pipeline_on_one_connection() {
 #[test]
 fn aof_persists_state_across_restarts() {
     use redis_lite::aof::FsyncPolicy;
-    let path = std::env::temp_dir()
-        .join(format!("d4py_aof_restart_{}.aof", std::process::id()));
+    let path = std::env::temp_dir().join(format!("d4py_aof_restart_{}.aof", std::process::id()));
     let _ = std::fs::remove_file(&path);
     {
         let shared = Shared::with_aof(&path, FsyncPolicy::Always).unwrap();
@@ -182,7 +197,10 @@ fn aof_persists_state_across_restarts() {
         shared.dispatch(&f(&["BLPOP", "jobs", "1"]));
     }
     let revived = Shared::with_aof(&path, FsyncPolicy::Always).unwrap();
-    assert_eq!(revived.dispatch(&f(&["GET", "config:mode"])), Frame::bulk("hybrid"));
+    assert_eq!(
+        revived.dispatch(&f(&["GET", "config:mode"])),
+        Frame::bulk("hybrid")
+    );
     assert_eq!(revived.dispatch(&f(&["LLEN", "jobs"])), Frame::Integer(1));
     assert_eq!(
         revived.dispatch(&f(&["LRANGE", "jobs", "0", "-1"])),
@@ -200,8 +218,7 @@ fn aof_persists_state_across_restarts() {
 #[test]
 fn aof_ignores_failed_writes_and_reads() {
     use redis_lite::aof::{Aof, FsyncPolicy};
-    let path = std::env::temp_dir()
-        .join(format!("d4py_aof_filter_{}.aof", std::process::id()));
+    let path = std::env::temp_dir().join(format!("d4py_aof_filter_{}.aof", std::process::id()));
     let _ = std::fs::remove_file(&path);
     {
         let shared = Shared::with_aof(&path, FsyncPolicy::Always).unwrap();

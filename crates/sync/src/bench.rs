@@ -1,0 +1,258 @@
+//! A plain-`std` timing harness with the `criterion` API shape the
+//! micro-benchmarks use.
+//!
+//! Each benchmark warms up, calibrates an iteration batch that runs for at
+//! least ~1 ms, then records `sample_size` batch timings and reports
+//! min/median/mean per iteration. No statistics engine, no HTML reports —
+//! numbers on stdout, buildable on an air-gapped machine. For anything
+//! deeper, perf/flamegraph on the same binaries.
+//!
+//! Quick mode: set `D4PY_BENCH_QUICK=1` to cut warmup and samples for smoke
+//! runs (CI uses this to verify the benches still execute).
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` treats setup output (criterion-compatible marker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Run setup before every routine invocation.
+    PerIteration,
+    /// Setup output is small; batch freely (treated as PerIteration here).
+    SmallInput,
+}
+
+fn quick_mode() -> bool {
+    std::env::var("D4PY_BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+/// Top-level harness handle; hands out benchmark groups.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples to record per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Caps the total measuring time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: if quick_mode() { 3 } else { self.sample_size },
+            measurement_time: if quick_mode() {
+                Duration::from_millis(50)
+            } else {
+                self.measurement_time
+            },
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id);
+        self
+    }
+
+    /// Ends the group (output already flushed per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// (total_duration, iterations) per recorded sample.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, called in calibrated batches.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // Warmup + calibration: find a batch size taking ≥ ~1 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 8;
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push((start.elapsed(), batch));
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh `setup` output each invocation; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<S, T>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+        _size: BatchSize,
+    ) {
+        // Warmup once.
+        black_box(routine(setup()));
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push((start.elapsed(), 1));
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{id}: no samples");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|(d, n)| d.as_secs_f64() / *n as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{group}/{id}: min {}  median {}  mean {}  ({} samples)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            per_iter.len(),
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Defines a function running a set of benchmark functions, mirroring
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::bench::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running benchmark groups, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        std::env::set_var("D4PY_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20));
+        let mut ran = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0, "routine must actually run");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        std::env::set_var("D4PY_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        let mut setups = 0u64;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::PerIteration,
+            )
+        });
+        assert!(setups >= 2, "setup runs for warmup and each sample");
+    }
+
+    #[test]
+    fn fmt_time_picks_sensible_units() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-6).contains("µs"));
+        assert!(fmt_time(5e-3).contains("ms"));
+        assert!(fmt_time(5.0).contains(" s"));
+    }
+}

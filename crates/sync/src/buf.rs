@@ -1,0 +1,192 @@
+//! [`ByteBuf`]: a growable byte buffer with `put_*` write helpers.
+//!
+//! The write-side surface the RESP codec, the value codec, and the AOF
+//! need from `bytes::BytesMut`, over a plain `Vec<u8>`. Reads go through
+//! `Deref<Target = [u8]>`, so a `&ByteBuf` is a `&[u8]` wherever one is
+//! expected; `split_to` supports the streaming-decode pattern of consuming
+//! a parsed frame off the front of a TCP read buffer.
+
+/// A growable, appendable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ByteBuf {
+    data: Vec<u8>,
+}
+
+impl ByteBuf {
+    /// Creates an empty buffer.
+    pub const fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, b: u8) {
+        self.data.push(b);
+    }
+
+    /// Appends a byte slice.
+    pub fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    /// Appends a `u32` little-endian.
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64` little-endian.
+    pub fn put_i64_le(&mut self, v: i64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` little-endian.
+    pub fn put_f64_le(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a byte slice (alias matching `Vec`/`BytesMut`).
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    /// Number of buffered bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Removes and returns the first `at` bytes, keeping the rest.
+    ///
+    /// Panics if `at > len()`, like `BytesMut::split_to`.
+    pub fn split_to(&mut self, at: usize) -> ByteBuf {
+        assert!(
+            at <= self.data.len(),
+            "split_to out of bounds: {at} > {}",
+            self.data.len()
+        );
+        let rest = self.data.split_off(at);
+        let front = std::mem::replace(&mut self.data, rest);
+        ByteBuf { data: front }
+    }
+
+    /// Clears the buffer, keeping capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Consumes the buffer into its backing `Vec<u8>`.
+    pub fn freeze(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// The buffered bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::Deref for ByteBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for ByteBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for ByteBuf {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for ByteBuf {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data }
+    }
+}
+
+impl From<ByteBuf> for Vec<u8> {
+    fn from(buf: ByteBuf) -> Self {
+        buf.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_helpers_append_in_order() {
+        let mut b = ByteBuf::with_capacity(32);
+        b.put_u8(0xAB);
+        b.put_slice(b"xy");
+        b.put_u32_le(1);
+        b.put_i64_le(-2);
+        b.put_f64_le(0.5);
+        assert_eq!(b.len(), 1 + 2 + 4 + 8 + 8);
+        assert_eq!(&b[..3], &[0xAB, b'x', b'y']);
+        assert_eq!(&b[3..7], &1u32.to_le_bytes());
+        assert_eq!(&b[7..15], &(-2i64).to_le_bytes());
+        assert_eq!(&b[15..23], &0.5f64.to_le_bytes());
+    }
+
+    #[test]
+    fn split_to_consumes_front() {
+        let mut b = ByteBuf::new();
+        b.put_slice(b"hello world");
+        let front = b.split_to(6);
+        assert_eq!(&front[..], b"hello ");
+        assert_eq!(&b[..], b"world");
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn split_to_zero_and_full() {
+        let mut b = ByteBuf::new();
+        b.put_slice(b"abc");
+        assert!(b.split_to(0).is_empty());
+        assert_eq!(&b.split_to(3)[..], b"abc");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn split_to_past_end_panics() {
+        let mut b = ByteBuf::new();
+        b.put_u8(1);
+        let _ = b.split_to(2);
+    }
+
+    #[test]
+    fn deref_supports_slicing() {
+        let mut b = ByteBuf::new();
+        b.put_slice(b"0123456789");
+        assert_eq!(&b[2..5], b"234");
+        fn takes_slice(s: &[u8]) -> usize {
+            s.len()
+        }
+        assert_eq!(takes_slice(&b), 10);
+    }
+
+    #[test]
+    fn freeze_roundtrips_vec() {
+        let mut b = ByteBuf::from(vec![1, 2, 3]);
+        b.put_u8(4);
+        assert_eq!(b.freeze(), vec![1, 2, 3, 4]);
+    }
+}

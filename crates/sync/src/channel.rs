@@ -1,0 +1,413 @@
+//! An MPMC channel with timed receive — the in-process global queue
+//! substrate.
+//!
+//! This is the channel behind the paper's Figure 2 "Global Queue" on the
+//! multiprocessing path (`dyn_multi`, `multi`): multiple producers, multiple
+//! consumers, unbounded FIFO, `recv_timeout` for the polling worker loops,
+//! and a live `len()` so the depth monitoring signal is one atomic read —
+//! not a lock acquisition — away.
+//!
+//! Implementation: a `Mutex<VecDeque>` ring with a `Condvar` for waiters and
+//! atomic sender/receiver reference counts for disconnect detection. The
+//! depth counter is redundant with `queue.len()` but readable without the
+//! lock, which is what the auto-scaler's monitor tick wants.
+
+use crate::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when every receiver is gone. The
+/// unsent value is handed back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a closed channel")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty, closed channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The channel stayed empty for the whole timeout.
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => write!(f, "channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+impl std::fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "channel empty"),
+            TryRecvError::Disconnected => write!(f, "channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+    /// Live element count, readable without the queue lock.
+    depth: AtomicUsize,
+    /// Set by [`Sender::close`]/[`Receiver::close`]: no further sends.
+    closed: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn is_send_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst) != 0 || self.receivers.load(Ordering::SeqCst) == 0
+    }
+
+    fn is_recv_disconnected(&self) -> bool {
+        self.closed.load(Ordering::SeqCst) != 0 || self.senders.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// The sending half. Cloneable: every clone is another producer.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half. Cloneable: every clone is another consumer draining
+/// the same FIFO.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+        depth: AtomicUsize::new(0),
+        closed: AtomicUsize::new(0),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last producer gone: wake blocked receivers so they observe
+            // the disconnect.
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, failing if the channel is closed or every receiver
+    /// is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        if self.shared.is_send_closed() {
+            return Err(SendError(value));
+        }
+        {
+            let mut q = self.shared.queue.lock();
+            // Re-check under the lock so a racing close() can't strand an
+            // item behind a receiver that already gave up.
+            if self.shared.is_send_closed() {
+                return Err(SendError(value));
+            }
+            q.push_back(value);
+            self.shared.depth.fetch_add(1, Ordering::SeqCst);
+        }
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.shared.depth.load(Ordering::SeqCst)
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the channel: subsequent sends fail, queued items stay
+    /// receivable, blocked receivers wake.
+    pub fn close(&self) {
+        self.shared.closed.store(1, Ordering::SeqCst);
+        self.shared.ready.notify_all();
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.receivers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl<T> Receiver<T> {
+    fn pop_locked(&self, q: &mut VecDeque<T>) -> Option<T> {
+        let item = q.pop_front();
+        if item.is_some() {
+            self.shared.depth.fetch_sub(1, Ordering::SeqCst);
+        }
+        item
+    }
+
+    /// Dequeues without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.shared.queue.lock();
+        match self.pop_locked(&mut q) {
+            Some(item) => Ok(item),
+            None if self.shared.is_recv_disconnected() => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Dequeues, blocking until an item arrives or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.shared.queue.lock();
+        loop {
+            if let Some(item) = self.pop_locked(&mut q) {
+                return Ok(item);
+            }
+            if self.shared.is_recv_disconnected() {
+                return Err(RecvError);
+            }
+            self.shared.ready.wait(&mut q);
+        }
+    }
+
+    /// Dequeues, blocking up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.queue.lock();
+        loop {
+            if let Some(item) = self.pop_locked(&mut q) {
+                return Ok(item);
+            }
+            if self.shared.is_recv_disconnected() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            if self.shared.ready.wait_until(&mut q, deadline).timed_out() {
+                // Final check: a send may have landed as the wait expired.
+                return match self.pop_locked(&mut q) {
+                    Some(item) => Ok(item),
+                    None => Err(RecvTimeoutError::Timeout),
+                };
+            }
+        }
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.shared.depth.load(Ordering::SeqCst)
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the channel from the consumer side: subsequent sends fail.
+    pub fn close(&self) {
+        self.shared.closed.store(1, Ordering::SeqCst);
+        self.shared.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_timeout_times_out_on_empty() {
+        let (_tx, rx) = unbounded::<i32>();
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn recv_wakes_on_send_from_other_thread() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || rx.recv_timeout(Duration::from_secs(2)));
+        std::thread::sleep(Duration::from_millis(20));
+        tx.send(42).unwrap();
+        assert_eq!(t.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn dropping_all_senders_disconnects() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1), "queued items drain after disconnect");
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn dropping_all_receivers_fails_send() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn close_fails_later_sends_but_drains_queue() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        rx.close();
+        assert_eq!(tx.send(2), Err(SendError(2)));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn len_tracks_send_and_recv() {
+        let (tx, rx) = unbounded();
+        assert!(tx.is_empty());
+        tx.send('a').unwrap();
+        tx.send('b').unwrap();
+        assert_eq!(rx.len(), 2);
+        rx.try_recv().unwrap();
+        assert_eq!(tx.len(), 1);
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_sender_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        let t = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(t.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn mpmc_no_loss_no_duplication() {
+        let (tx, rx) = unbounded();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<i32> = (0..4)
+            .flat_map(|p| (0..500).map(move |i| p * 1000 + i))
+            .collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn try_recv_empty_vs_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+}

@@ -1,0 +1,32 @@
+//! # d4py-sync — the hermetic std-only substrate
+//!
+//! Everything the workspace previously pulled from crates.io, rewritten
+//! in-repo over `std` so the whole system builds, tests, and benchmarks on
+//! an air-gapped machine — and so the scheduling substrate of the paper's
+//! Figure 2 (the instrumented global queue and its monitoring signals) is
+//! code we own and can profile at every layer:
+//!
+//! * [`channel`] — an MPMC channel with `recv_timeout` (replaces
+//!   `crossbeam::channel`), instrumented with a live depth counter;
+//! * [`Mutex`] / [`Condvar`] / [`RwLock`] — poison-free wrappers over
+//!   `std::sync` with the `parking_lot` API shape;
+//! * [`buf::ByteBuf`] — a growable byte buffer with `put_*` helpers
+//!   (replaces `bytes::BytesMut`);
+//! * [`rng`] — a seedable PCG32 generator with `gen`/`gen_range`
+//!   (replaces `rand::StdRng`);
+//! * [`prop`] — a minimal seeded property-testing runner (replaces the
+//!   `proptest` surface the test suite uses);
+//! * [`bench`] — a plain-`std` timing harness (replaces `criterion` for
+//!   the micro-benchmarks).
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod buf;
+pub mod channel;
+pub mod prop;
+pub mod rng;
+mod sync;
+
+pub use buf::ByteBuf;
+pub use sync::{Condvar, Mutex, MutexGuard, RwLock, WaitTimeoutResult};

@@ -5,8 +5,8 @@
 //! right ascension in [0°, 360°), declination with the correct
 //! sphere-uniform cos-weighting in [-90°, 90°].
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use d4py_sync::rng::Rng;
+use d4py_sync::rng::StdRng;
 
 /// One catalogue row.
 #[derive(Debug, Clone, PartialEq)]

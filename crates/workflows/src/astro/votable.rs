@@ -5,8 +5,8 @@
 //! deterministic result table from the coordinates (so reruns and different
 //! mappings agree) and models the service latency explicitly.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use d4py_sync::rng::Rng;
+use d4py_sync::rng::StdRng;
 use std::time::Duration;
 
 /// One row of the (synthetic) HyperLEDA response for a galaxy.

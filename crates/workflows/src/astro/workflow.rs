@@ -12,9 +12,8 @@ use d4py_core::pe::{Context, FnSource, ProcessingElement};
 use d4py_core::value::Value;
 use d4py_core::workload::BetaSampler;
 use d4py_graph::{Grouping, PeSpec, WorkflowGraph};
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use d4py_sync::rng::StdRng;
+use d4py_sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -74,8 +73,7 @@ impl ProcessingElement for GetVoTable {
         let ra = galaxy.get("ra").and_then(Value::as_float).unwrap_or(0.0);
         let dec = galaxy.get("dec").and_then(Value::as_float).unwrap_or(0.0);
         // Network download: blocks without occupying a simulated core.
-        let latency =
-            votable::service_latency(ra, dec, self.cfg.scaled(DOWNLOAD_BASE));
+        let latency = votable::service_latency(ra, dec, self.cfg.scaled(DOWNLOAD_BASE));
         if !latency.is_zero() {
             std::thread::sleep(latency);
         }
@@ -151,7 +149,9 @@ struct InternalExtinction {
 
 impl ProcessingElement for InternalExtinction {
     fn process(&mut self, _port: &str, table: Value, _ctx: &mut dyn Context) {
-        self.cfg.limiter.compute(self.cfg.scaled(EXTINCTION_COMPUTE));
+        self.cfg
+            .limiter
+            .compute(self.cfg.scaled(EXTINCTION_COMPUTE));
         let rows: Vec<(f64, f64)> = table
             .get("rows")
             .and_then(Value::as_list)
@@ -181,9 +181,12 @@ pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<Value>>>) {
     let getvo = g.add_pe(PeSpec::transform("getVOTable", "input", "output"));
     let filter = g.add_pe(PeSpec::transform("filterColumns", "input", "output"));
     let intext = g.add_pe(PeSpec::sink("internalExtinction", "input"));
-    g.connect(read, "output", getvo, "input", Grouping::Shuffle).unwrap();
-    g.connect(getvo, "output", filter, "input", Grouping::Shuffle).unwrap();
-    g.connect(filter, "output", intext, "input", Grouping::Shuffle).unwrap();
+    g.connect(read, "output", getvo, "input", Grouping::Shuffle)
+        .unwrap();
+    g.connect(getvo, "output", filter, "input", Grouping::Shuffle)
+        .unwrap();
+    g.connect(filter, "output", intext, "input", Grouping::Shuffle)
+        .unwrap();
 
     let results = Arc::new(Mutex::new(Vec::new()));
     let mut exe = Executable::new(g).expect("astro graph is valid");
@@ -206,16 +209,25 @@ pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<Value>>>) {
     });
     let cfg_vo = cfg.clone();
     exe.register(getvo, move || {
-        Box::new(GetVoTable { cfg: cfg_vo.clone(), heavy: HeavyDelay::new(&cfg_vo) })
+        Box::new(GetVoTable {
+            cfg: cfg_vo.clone(),
+            heavy: HeavyDelay::new(&cfg_vo),
+        })
     });
     let cfg_f = cfg.clone();
     exe.register(filter, move || {
-        Box::new(FilterColumns { cfg: cfg_f.clone(), heavy: HeavyDelay::new(&cfg_f) })
+        Box::new(FilterColumns {
+            cfg: cfg_f.clone(),
+            heavy: HeavyDelay::new(&cfg_f),
+        })
     });
     let cfg_e = cfg.clone();
     let res = results.clone();
     exe.register(intext, move || {
-        Box::new(InternalExtinction { cfg: cfg_e.clone(), results: res.clone() })
+        Box::new(InternalExtinction {
+            cfg: cfg_e.clone(),
+            results: res.clone(),
+        })
     });
 
     (exe.seal().expect("all astro PEs registered"), results)
@@ -252,7 +264,7 @@ mod tests {
                     )
                 })
                 .collect();
-            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v.sort_by_key(|a| a.0);
             v
         };
         let (exe, r1) = build(&fast_cfg());
@@ -286,12 +298,21 @@ mod tests {
     fn heavy_variant_takes_longer() {
         let base = {
             let (exe, _) = build(&fast_cfg());
-            Simple.execute(&exe, &ExecutionOptions::new(1)).unwrap().runtime
+            Simple
+                .execute(&exe, &ExecutionOptions::new(1))
+                .unwrap()
+                .runtime
         };
         let heavy = {
             let (exe, _) = build(&fast_cfg().heavy());
-            Simple.execute(&exe, &ExecutionOptions::new(1)).unwrap().runtime
+            Simple
+                .execute(&exe, &ExecutionOptions::new(1))
+                .unwrap()
+                .runtime
         };
-        assert!(heavy > base, "heavy {heavy:?} must exceed standard {base:?}");
+        assert!(
+            heavy > base,
+            "heavy {heavy:?} must exceed standard {base:?}"
+        );
     }
 }

@@ -110,6 +110,9 @@ mod tests {
     #[test]
     fn scaled_applies_time_scale() {
         let cfg = WorkloadConfig::standard().with_time_scale(0.5);
-        assert_eq!(cfg.scaled(Duration::from_millis(10)), Duration::from_millis(5));
+        assert_eq!(
+            cfg.scaled(Duration::from_millis(10)),
+            Duration::from_millis(5)
+        );
     }
 }

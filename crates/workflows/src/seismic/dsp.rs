@@ -219,8 +219,9 @@ mod tests {
 
     #[test]
     fn detrend_preserves_oscillation() {
-        let mut x: Vec<f64> =
-            (0..128).map(|k| (k as f64 * 0.3).sin() + 10.0 + 0.2 * k as f64).collect();
+        let mut x: Vec<f64> = (0..128)
+            .map(|k| (k as f64 * 0.3).sin() + 10.0 + 0.2 * k as f64)
+            .collect();
         detrend(&mut x);
         assert!(rms(&x) > 0.5, "the sinusoid must survive detrending");
         // And the residual trend is tiny: compare first/last quarters' means.
@@ -251,7 +252,10 @@ mod tests {
         let before_dc = x.iter().sum::<f64>() / n as f64;
         bandpass(&mut x, fs, 0.3, 3.0);
         let after_dc = x[n / 2..].iter().sum::<f64>() / (n / 2) as f64;
-        assert!(after_dc.abs() < before_dc.abs() / 5.0, "DC must be attenuated");
+        assert!(
+            after_dc.abs() < before_dc.abs() / 5.0,
+            "DC must be attenuated"
+        );
         // In-band energy survives.
         assert!(rms(&x[n / 4..]) > 0.2, "in-band signal must survive");
     }
@@ -277,7 +281,9 @@ mod tests {
     #[test]
     fn dft_finds_pure_tone() {
         let n = 64;
-        let x: Vec<f64> = (0..n).map(|k| (2.0 * PI * 4.0 * k as f64 / n as f64).sin()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|k| (2.0 * PI * 4.0 * k as f64 / n as f64).sin())
+            .collect();
         let spec = amplitude_spectrum(&x);
         let peak = spec
             .iter()
@@ -321,9 +327,7 @@ mod tests {
         let a: Vec<f64> = (0..n).map(|k| (k as f64 * 0.23).sin()).collect();
         let shift = 5usize;
         let mut b = vec![0.0; n];
-        for i in 0..n - shift {
-            b[i] = a[i + shift];
-        }
+        b[..n - shift].copy_from_slice(&a[shift..]);
         let (lag, r) = cross_correlation_max_lag(&b, &a, 10);
         assert_eq!(lag, shift as i64, "peak lag");
         assert!(r > 0.8, "strong correlation at the peak, got {r}");

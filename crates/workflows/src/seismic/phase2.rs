@@ -24,7 +24,7 @@ use d4py_core::executable::Executable;
 use d4py_core::pe::{Context, FnSource, ProcessingElement};
 use d4py_core::value::Value;
 use d4py_graph::{Grouping, PeSpec, WorkflowGraph};
-use parking_lot::Mutex;
+use d4py_sync::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -41,7 +41,10 @@ pub const TOP_PAIRS: usize = 10;
 fn trace_value(station: &str, samples: &[f64]) -> Value {
     Value::map([
         ("station", Value::Str(station.to_string())),
-        ("samples", Value::List(samples.iter().map(|&s| Value::Float(s)).collect())),
+        (
+            "samples",
+            Value::List(samples.iter().map(|&s| Value::Float(s)).collect()),
+        ),
     ])
 }
 
@@ -135,15 +138,22 @@ struct TopPairs {
 impl ProcessingElement for TopPairs {
     fn process(&mut self, _port: &str, v: Value, _ctx: &mut dyn Context) {
         self.rows.push((
-            v.get("pair").and_then(Value::as_str).unwrap_or("?").to_string(),
+            v.get("pair")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string(),
             v.get("lag").and_then(Value::as_int).unwrap_or(0),
             v.get("r").and_then(Value::as_float).unwrap_or(0.0),
         ));
     }
 
     fn on_done(&mut self, _ctx: &mut dyn Context) {
-        self.rows
-            .sort_by(|x, y| y.2.abs().partial_cmp(&x.2.abs()).unwrap().then(x.0.cmp(&y.0)));
+        self.rows.sort_by(|x, y| {
+            y.2.abs()
+                .partial_cmp(&x.2.abs())
+                .unwrap()
+                .then(x.0.cmp(&y.0))
+        });
         let mut out = self.results.lock();
         for (pair, lag, r) in self.rows.iter().take(TOP_PAIRS) {
             out.push(Value::map([
@@ -166,9 +176,12 @@ pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<Value>>>, usize
     let pairs = g.add_pe(PeSpec::transform("pairBuilder", "input", "output").stateful());
     let xcorr = g.add_pe(PeSpec::transform("xcorr", "input", "output"));
     let top = g.add_pe(PeSpec::sink("topPairs", "input").stateful());
-    g.connect(read, "output", pairs, "input", Grouping::Global).unwrap();
-    g.connect(pairs, "output", xcorr, "input", Grouping::Shuffle).unwrap();
-    g.connect(xcorr, "output", top, "input", Grouping::Global).unwrap();
+    g.connect(read, "output", pairs, "input", Grouping::Global)
+        .unwrap();
+    g.connect(pairs, "output", xcorr, "input", Grouping::Shuffle)
+        .unwrap();
+    g.connect(xcorr, "output", top, "input", Grouping::Global)
+        .unwrap();
 
     let results = Arc::new(Mutex::new(Vec::new()));
     let mut exe = Executable::new(g).expect("phase2 graph is valid");
@@ -186,10 +199,17 @@ pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<Value>>>, usize
     exe.register(xcorr, move || Box::new(XCorr { cfg: c.clone() }));
     let res = results.clone();
     exe.register(top, move || {
-        Box::new(TopPairs { rows: Vec::new(), results: res.clone() })
+        Box::new(TopPairs {
+            rows: Vec::new(),
+            results: res.clone(),
+        })
     });
 
-    (exe.seal().expect("all phase2 PEs registered"), results, expected_pairs)
+    (
+        exe.seal().expect("all phase2 PEs registered"),
+        results,
+        expected_pairs,
+    )
 }
 
 #[cfg(test)]
@@ -216,8 +236,10 @@ mod tests {
         let got = results.lock();
         assert_eq!(got.len(), TOP_PAIRS);
         // Sorted by |r| descending.
-        let rs: Vec<f64> =
-            got.iter().map(|v| v.get("r").unwrap().as_float().unwrap().abs()).collect();
+        let rs: Vec<f64> = got
+            .iter()
+            .map(|v| v.get("r").unwrap().as_float().unwrap().abs())
+            .collect();
         assert!(rs.windows(2).all(|w| w[0] >= w[1]), "{rs:?}");
         // Correlations are valid coefficients.
         assert!(rs.iter().all(|r| (0.0..=1.0 + 1e-9).contains(r)));
@@ -228,7 +250,9 @@ mod tests {
         let (exe, r1, _) = build(&fast_cfg());
         Simple.execute(&exe, &ExecutionOptions::new(1)).unwrap();
         let (exe, r2, _) = build(&fast_cfg());
-        HybridMulti.execute(&exe, &ExecutionOptions::new(4)).unwrap();
+        HybridMulti
+            .execute(&exe, &ExecutionOptions::new(4))
+            .unwrap();
         let pairs = |h: &Arc<Mutex<Vec<Value>>>| {
             h.lock()
                 .iter()
@@ -249,7 +273,9 @@ mod tests {
     #[test]
     fn hybrid_processes_every_pair() {
         let (exe, _, expected) = build(&fast_cfg());
-        let report = HybridMulti.execute(&exe, &ExecutionOptions::new(4)).unwrap();
+        let report = HybridMulti
+            .execute(&exe, &ExecutionOptions::new(4))
+            .unwrap();
         // kickoff + 16 traces into pairBuilder + pairs into xcorr + pairs
         // into topPairs.
         let expected_tasks = 1 + 16 + 2 * expected as u64;

@@ -6,8 +6,8 @@
 //! stage of the phase-1 pipeline (detrend, demean, bandpass, whiten, …)
 //! has real work to do and testable effect.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use d4py_sync::rng::Rng;
+use d4py_sync::rng::StdRng;
 
 /// Samples per trace (after the paper's pre-decimation stage lengths).
 pub const TRACE_LEN: usize = 512;
@@ -55,7 +55,10 @@ pub fn station_trace(index: u32, seed: u64) -> Trace {
             x
         })
         .collect();
-    Trace { station: format!("ST{index:03}"), samples }
+    Trace {
+        station: format!("ST{index:03}"),
+        samples,
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ use d4py_core::executable::Executable;
 use d4py_core::pe::{Context, FnSource, ProcessingElement};
 use d4py_core::value::Value;
 use d4py_graph::{Grouping, PeId, PeSpec, WorkflowGraph};
-use parking_lot::Mutex;
+use d4py_sync::Mutex;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -32,7 +32,10 @@ const WRITE_LATENCY: Duration = Duration::from_millis(6);
 fn trace_to_value(station: &str, samples: &[f64]) -> Value {
     Value::map([
         ("station", Value::Str(station.to_string())),
-        ("samples", Value::List(samples.iter().map(|&s| Value::Float(s)).collect())),
+        (
+            "samples",
+            Value::List(samples.iter().map(|&s| Value::Float(s)).collect()),
+        ),
     ])
 }
 
@@ -96,7 +99,8 @@ impl ProcessingElement for WriteOutput {
             line.push_str(&format!("{s:.5}"));
         }
         line.push('\n');
-        file.write_all(line.as_bytes()).expect("write seismic output");
+        file.write_all(line.as_bytes())
+            .expect("write seismic output");
         self.written.lock().push(station);
     }
 }
@@ -117,18 +121,26 @@ pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<String>>>) {
     let mut g = WorkflowGraph::new("seismic_cross_correlation_phase1");
     let read = g.add_pe(PeSpec::source("readStations", "output"));
     let stages = [
-        "detrend", "demean", "bandpass", "decimate", "whiten", "normalize", "spectrum",
+        "detrend",
+        "demean",
+        "bandpass",
+        "decimate",
+        "whiten",
+        "normalize",
+        "spectrum",
     ];
     let mut prev = read;
     let mut stage_ids: Vec<PeId> = Vec::new();
     for name in stages {
         let pe = g.add_pe(PeSpec::transform(name, "input", "output"));
-        g.connect(prev, "output", pe, "input", Grouping::Shuffle).unwrap();
+        g.connect(prev, "output", pe, "input", Grouping::Shuffle)
+            .unwrap();
         stage_ids.push(pe);
         prev = pe;
     }
     let write = g.add_pe(PeSpec::sink("writeData", "input"));
-    g.connect(prev, "output", write, "input", Grouping::Shuffle).unwrap();
+    g.connect(prev, "output", write, "input", Grouping::Shuffle)
+        .unwrap();
 
     let written = Arc::new(Mutex::new(Vec::new()));
     let mut exe = Executable::new(g).expect("seismic graph is valid");
@@ -167,8 +179,8 @@ pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<String>>>) {
     let handle = written.clone();
     exe.register(write, move || {
         let salt = FILE_SALT.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir()
-            .join(format!("d4py_seismic_{}_{salt}.txt", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("d4py_seismic_{}_{salt}.txt", std::process::id()));
         Box::new(WriteOutput {
             cfg: cfg_w.clone(),
             path,

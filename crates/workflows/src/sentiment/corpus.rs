@@ -8,8 +8,8 @@
 //! seeds of the same value, and checkable in tests.
 
 use crate::sentiment::lexicon;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use d4py_sync::rng::Rng;
+use d4py_sync::rng::StdRng;
 
 /// The publication locations used by the generator.
 pub const STATES: &[&str] = &[
@@ -32,9 +32,34 @@ pub const STATES: &[&str] = &[
 ];
 
 const FILLER: &[&str] = &[
-    "the", "a", "of", "and", "to", "in", "report", "city", "council", "local", "residents",
-    "today", "officials", "company", "announced", "measure", "plan", "project", "community",
-    "state", "during", "after", "before", "year", "market", "school", "team", "weather",
+    "the",
+    "a",
+    "of",
+    "and",
+    "to",
+    "in",
+    "report",
+    "city",
+    "council",
+    "local",
+    "residents",
+    "today",
+    "officials",
+    "company",
+    "announced",
+    "measure",
+    "plan",
+    "project",
+    "community",
+    "state",
+    "during",
+    "after",
+    "before",
+    "year",
+    "market",
+    "school",
+    "team",
+    "weather",
 ];
 
 /// One synthetic article.
@@ -89,7 +114,11 @@ pub fn generate(n: u32, seed: u64) -> Vec<Article> {
             }
             // Sprinkle punctuation the tokenizer must strip.
             text.push('.');
-            Article { id, state: state.to_string(), text }
+            Article {
+                id,
+                state: state.to_string(),
+                text,
+            }
         })
         .collect()
 }

@@ -4,7 +4,7 @@ use crate::config::WorkloadConfig;
 use crate::sentiment::lexicon;
 use d4py_core::pe::{Context, ProcessingElement};
 use d4py_core::value::Value;
-use parking_lot::Mutex;
+use d4py_sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -50,7 +50,10 @@ impl ProcessingElement for SentimentAfinn {
             "output",
             Value::map([
                 ("id", article.get("id").cloned().unwrap_or(Value::Null)),
-                ("state", article.get("state").cloned().unwrap_or(Value::Null)),
+                (
+                    "state",
+                    article.get("state").cloned().unwrap_or(Value::Null),
+                ),
                 ("score", Value::Float(score as f64)),
                 ("lexicon", Value::Str("afinn".into())),
             ]),
@@ -75,8 +78,14 @@ impl ProcessingElement for TokenizeWd {
             "output",
             Value::map([
                 ("id", article.get("id").cloned().unwrap_or(Value::Null)),
-                ("state", article.get("state").cloned().unwrap_or(Value::Null)),
-                ("tokens", Value::List(tokens.into_iter().map(Value::Str).collect())),
+                (
+                    "state",
+                    article.get("state").cloned().unwrap_or(Value::Null),
+                ),
+                (
+                    "tokens",
+                    Value::List(tokens.into_iter().map(Value::Str).collect()),
+                ),
             ]),
         );
     }
@@ -134,7 +143,10 @@ impl ProcessingElement for FindState {
             "output",
             Value::map([
                 ("state", Value::Str(state)),
-                ("score", scored.get("score").cloned().unwrap_or(Value::Float(0.0))),
+                (
+                    "score",
+                    scored.get("score").cloned().unwrap_or(Value::Float(0.0)),
+                ),
             ]),
         );
     }
@@ -156,7 +168,11 @@ impl HappyState {
 
 impl ProcessingElement for HappyState {
     fn process(&mut self, _port: &str, v: Value, _ctx: &mut dyn Context) {
-        let state = v.get("state").and_then(Value::as_str).unwrap_or("Unknown").to_string();
+        let state = v
+            .get("state")
+            .and_then(Value::as_str)
+            .unwrap_or("Unknown")
+            .to_string();
         let score = v.get("score").and_then(Value::as_float).unwrap_or(0.0);
         let slot = self.totals.entry(state).or_insert((0.0, 0));
         slot.0 += score;
@@ -211,13 +227,20 @@ pub struct TopThree {
 impl TopThree {
     /// Writes the final ranking into `results`.
     pub fn new(results: Arc<Mutex<Vec<Value>>>) -> Self {
-        Self { aggregates: HashMap::new(), results }
+        Self {
+            aggregates: HashMap::new(),
+            results,
+        }
     }
 }
 
 impl ProcessingElement for TopThree {
     fn process(&mut self, _port: &str, v: Value, _ctx: &mut dyn Context) {
-        let state = v.get("state").and_then(Value::as_str).unwrap_or("Unknown").to_string();
+        let state = v
+            .get("state")
+            .and_then(Value::as_str)
+            .unwrap_or("Unknown")
+            .to_string();
         let total = v.get("total").and_then(Value::as_float).unwrap_or(0.0);
         let count = v.get("count").and_then(Value::as_int).unwrap_or(0) as u64;
         // The same state may arrive from several happy-State instances
@@ -308,7 +331,10 @@ mod tests {
         for (s, score) in [("Texas", 4.0), ("Texas", 2.0), ("Ohio", -1.0)] {
             pe.process(
                 "input",
-                Value::map([("state", Value::Str(s.into())), ("score", Value::Float(score))]),
+                Value::map([
+                    ("state", Value::Str(s.into())),
+                    ("score", Value::Float(score)),
+                ]),
                 &mut buf,
             );
         }
@@ -334,9 +360,12 @@ mod tests {
         };
         let mut pe = results;
         let mut buf = EmitBuffer::new(0, 1);
-        for (s, total, count) in
-            [("A", 10.0, 2i64), ("B", 30.0, 2), ("C", 2.0, 2), ("D", 20.0, 2)]
-        {
+        for (s, total, count) in [
+            ("A", 10.0, 2i64),
+            ("B", 30.0, 2),
+            ("C", 2.0, 2),
+            ("D", 20.0, 2),
+        ] {
             pe.process(
                 "input",
                 Value::map([
@@ -350,8 +379,10 @@ mod tests {
         pe.on_done(&mut buf);
         let out = handle.lock();
         assert_eq!(out.len(), 3);
-        let states: Vec<&str> =
-            out.iter().map(|v| v.get("state").unwrap().as_str().unwrap()).collect();
+        let states: Vec<&str> = out
+            .iter()
+            .map(|v| v.get("state").unwrap().as_str().unwrap())
+            .collect();
         assert_eq!(states, vec!["B", "D", "A"]);
         assert_eq!(out[0].get("rank").unwrap().as_int(), Some(1));
     }

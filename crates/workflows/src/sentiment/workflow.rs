@@ -16,7 +16,7 @@ use d4py_core::executable::Executable;
 use d4py_core::pe::{Context, FnSource};
 use d4py_core::value::Value;
 use d4py_graph::{Grouping, PeSpec, WorkflowGraph};
-use parking_lot::Mutex;
+use d4py_sync::Mutex;
 use std::sync::Arc;
 
 /// Articles per 1X of workload.
@@ -31,12 +31,9 @@ pub const TOP3_INSTANCES: usize = 2;
 pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<Value>>>) {
     let mut g = WorkflowGraph::new("sentiment_analysis_news_articles");
     let read = g.add_pe(PeSpec::source("readArticles", "output"));
-    let afinn = g.add_pe(
-        PeSpec::transform("sentimentAFINN", "input", "output").with_instances(2),
-    );
+    let afinn = g.add_pe(PeSpec::transform("sentimentAFINN", "input", "output").with_instances(2));
     let tok = g.add_pe(PeSpec::transform("tokenizeWD", "input", "output").with_instances(2));
-    let swn3 =
-        g.add_pe(PeSpec::transform("sentimentSWN3", "input", "output").with_instances(2));
+    let swn3 = g.add_pe(PeSpec::transform("sentimentSWN3", "input", "output").with_instances(2));
     let find = g.add_pe(PeSpec::transform("findState", "input", "output"));
     let happy = g.add_pe(
         PeSpec::transform("happyState", "input", "output")
@@ -44,16 +41,25 @@ pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<Value>>>) {
             .with_instances(HAPPY_STATE_INSTANCES),
     );
     let top3 = g.add_pe(
-        PeSpec::sink("top3Happiest", "input").stateful().with_instances(TOP3_INSTANCES),
+        PeSpec::sink("top3Happiest", "input")
+            .stateful()
+            .with_instances(TOP3_INSTANCES),
     );
 
-    g.connect(read, "output", afinn, "input", Grouping::Shuffle).unwrap();
-    g.connect(read, "output", tok, "input", Grouping::Shuffle).unwrap();
-    g.connect(tok, "output", swn3, "input", Grouping::Shuffle).unwrap();
-    g.connect(afinn, "output", find, "input", Grouping::Shuffle).unwrap();
-    g.connect(swn3, "output", find, "input", Grouping::Shuffle).unwrap();
-    g.connect(find, "output", happy, "input", Grouping::group_by("state")).unwrap();
-    g.connect(happy, "output", top3, "input", Grouping::Global).unwrap();
+    g.connect(read, "output", afinn, "input", Grouping::Shuffle)
+        .unwrap();
+    g.connect(read, "output", tok, "input", Grouping::Shuffle)
+        .unwrap();
+    g.connect(tok, "output", swn3, "input", Grouping::Shuffle)
+        .unwrap();
+    g.connect(afinn, "output", find, "input", Grouping::Shuffle)
+        .unwrap();
+    g.connect(swn3, "output", find, "input", Grouping::Shuffle)
+        .unwrap();
+    g.connect(find, "output", happy, "input", Grouping::group_by("state"))
+        .unwrap();
+    g.connect(happy, "output", top3, "input", Grouping::Global)
+        .unwrap();
 
     let results = Arc::new(Mutex::new(Vec::new()));
     let mut exe = Executable::new(g).expect("sentiment graph is valid");
@@ -125,12 +131,16 @@ mod tests {
         Simple.execute(&exe, &ExecutionOptions::new(1)).unwrap();
         let got = results.lock();
         assert_eq!(got.len(), 3);
-        let ranks: Vec<i64> =
-            got.iter().map(|v| v.get("rank").unwrap().as_int().unwrap()).collect();
+        let ranks: Vec<i64> = got
+            .iter()
+            .map(|v| v.get("rank").unwrap().as_int().unwrap())
+            .collect();
         assert_eq!(ranks, vec![1, 2, 3]);
         // Means must be strictly ordered.
-        let means: Vec<f64> =
-            got.iter().map(|v| v.get("mean").unwrap().as_float().unwrap()).collect();
+        let means: Vec<f64> = got
+            .iter()
+            .map(|v| v.get("mean").unwrap().as_float().unwrap())
+            .collect();
         assert!(means[0] >= means[1] && means[1] >= means[2]);
     }
 
@@ -138,7 +148,9 @@ mod tests {
     fn multi_and_simple_and_hybrid_agree() {
         let run = |mapping: &dyn Mapping, workers: usize| {
             let (exe, results) = build(&fast_cfg().with_scale(2));
-            mapping.execute(&exe, &ExecutionOptions::new(workers)).unwrap();
+            mapping
+                .execute(&exe, &ExecutionOptions::new(workers))
+                .unwrap();
             let got = results.lock();
             got.iter()
                 .map(|v| v.get("state").unwrap().as_str().unwrap().to_string())

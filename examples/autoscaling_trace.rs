@@ -22,8 +22,15 @@ fn render_trace(report: &RunReport, metric_name: &str) {
         println!("(no scaling events recorded)");
         return;
     }
-    let max_metric = trace.iter().map(|p| p.metric).fold(f64::MIN, f64::max).max(1.0);
-    println!("{:>5} {:>8} {:>12}  active-size bar", "iter", "active", metric_name);
+    let max_metric = trace
+        .iter()
+        .map(|p| p.metric)
+        .fold(f64::MIN, f64::max)
+        .max(1.0);
+    println!(
+        "{:>5} {:>8} {:>12}  active-size bar",
+        "iter", "active", metric_name
+    );
     // Sample at most 25 rows evenly so long traces stay readable.
     let step = (trace.len() / 25).max(1);
     for p in trace.iter().step_by(step) {
@@ -40,7 +47,10 @@ fn render_trace(report: &RunReport, metric_name: &str) {
     }
     let peak = trace.iter().map(|p| p.active_size).max().unwrap();
     let trough = trace.iter().map(|p| p.active_size).min().unwrap();
-    println!("active size ranged {trough}..{peak} over {} decisions", trace.len());
+    println!(
+        "active size ranged {trough}..{peak} over {} decisions",
+        trace.len()
+    );
 }
 
 fn main() {

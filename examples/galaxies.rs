@@ -54,7 +54,10 @@ fn main() {
     }
 
     let galaxies = reference.unwrap();
-    println!("\n{} galaxies processed; first three extinction values:", galaxies.len());
+    println!(
+        "\n{} galaxies processed; first three extinction values:",
+        galaxies.len()
+    );
     for (id, a) in galaxies.iter().take(3) {
         println!("  galaxy {id}: A_int = {a:.4} mag");
     }

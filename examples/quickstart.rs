@@ -6,7 +6,7 @@
 
 use dispel4py::prelude::*;
 
-fn build() -> (Executable, std::sync::Arc<parking_lot::Mutex<Vec<Value>>>) {
+fn build() -> (Executable, std::sync::Arc<d4py_sync::Mutex<Vec<Value>>>) {
     // numbers → square → odd-filter → collect
     let mut g = WorkflowGraph::new("quickstart");
     let src = g.add_pe(PeSpec::source("numbers", "out"));
@@ -64,7 +64,13 @@ fn main() {
         let mut got: Vec<i64> = results.lock().iter().map(|v| v.as_int().unwrap()).collect();
         got.sort_unstable();
         println!("{report}");
-        assert_eq!(got, (1..=20).map(|i| i * i).filter(|x| x % 2 == 1).collect::<Vec<_>>());
+        assert_eq!(
+            got,
+            (1..=20)
+                .map(|i| i * i)
+                .filter(|x| x % 2 == 1)
+                .collect::<Vec<_>>()
+        );
     }
     println!("\nAll mappings produced the identical 10 odd squares.");
 }

@@ -15,12 +15,20 @@ fn main() {
         .with_time_scale(0.05)
         .with_limiter(platform.limiter());
 
-    println!("== Seismic Cross-Correlation phase 1: 50 stations, {} cores ==\n", platform.cores);
-    println!("{:<16} {:>8} {:>12} {:>14}", "mapping", "workers", "runtime(s)", "proc time(s)");
+    println!(
+        "== Seismic Cross-Correlation phase 1: 50 stations, {} cores ==\n",
+        platform.cores
+    );
+    println!(
+        "{:<16} {:>8} {:>12} {:>14}",
+        "mapping", "workers", "runtime(s)", "proc time(s)"
+    );
 
     for workers in [4, 8, 12, 16] {
         let (exe, written) = seismic::build(&cfg);
-        let report = DynMulti.execute(&exe, &ExecutionOptions::new(workers)).unwrap();
+        let report = DynMulti
+            .execute(&exe, &ExecutionOptions::new(workers))
+            .unwrap();
         assert_eq!(written.lock().len(), 50);
         println!(
             "{:<16} {:>8} {:>12.3} {:>14.3}",
@@ -35,7 +43,9 @@ fn main() {
     // starts its multi sweep at 12 for this workflow).
     for workers in [12, 16] {
         let (exe, _) = seismic::build(&cfg);
-        let report = Multi.execute(&exe, &ExecutionOptions::new(workers)).unwrap();
+        let report = Multi
+            .execute(&exe, &ExecutionOptions::new(workers))
+            .unwrap();
         println!(
             "{:<16} {:>8} {:>12.3} {:>14.3}",
             report.mapping,
@@ -60,6 +70,10 @@ fn main() {
     let a = prep(0);
     for i in 1..4 {
         let b = prep(i);
-        println!("  ST000 × ST{:03}: r = {:+.4}", i, dsp::cross_correlation_zero_lag(&a, &b));
+        println!(
+            "  ST000 × ST{:03}: r = {:+.4}",
+            i,
+            dsp::cross_correlation_zero_lag(&a, &b)
+        );
     }
 }

@@ -10,7 +10,7 @@ use dispel4py::prelude::*;
 use dispel4py::redis_lite::server::Server;
 use dispel4py::workflows::sentiment;
 
-fn print_top3(label: &str, results: &parking_lot::Mutex<Vec<Value>>) {
+fn print_top3(label: &str, results: &d4py_sync::Mutex<Vec<Value>>) {
     println!("  {label} top 3 happiest states:");
     for row in results.lock().iter() {
         println!(
@@ -30,7 +30,10 @@ fn main() {
         .with_time_scale(0.5)
         .with_limiter(platform.limiter());
 
-    println!("== Sentiment Analyses for News Articles: 300 articles, {} cores ==\n", platform.cores);
+    println!(
+        "== Sentiment Analyses for News Articles: 300 articles, {} cores ==\n",
+        platform.cores
+    );
 
     // Stand up a real redis-lite server and talk RESP over TCP to it.
     let server = Server::start(0).expect("start redis-lite");
@@ -42,13 +45,17 @@ fn main() {
     // stateful instances and pools the remaining 8 for stateless work.
     let workers = 14;
     let (exe, multi_results) = sentiment::build(&cfg);
-    let multi_report = Multi.execute(&exe, &ExecutionOptions::new(workers)).unwrap();
+    let multi_report = Multi
+        .execute(&exe, &ExecutionOptions::new(workers))
+        .unwrap();
     println!("{multi_report}");
     print_top3("multi", &multi_results);
 
     let (exe, hybrid_results) = sentiment::build(&cfg);
     let hybrid = HybridRedis::new(RedisBackend::Tcp(server.addr()));
-    let hybrid_report = hybrid.execute(&exe, &ExecutionOptions::new(workers)).unwrap();
+    let hybrid_report = hybrid
+        .execute(&exe, &ExecutionOptions::new(workers))
+        .unwrap();
     println!("\n{hybrid_report}");
     print_top3("hybrid_redis", &hybrid_results);
 

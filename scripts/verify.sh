@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: the full hermetic build must pass offline.
+#
+# The workspace has zero registry dependencies (see crates/sync and the
+# "Build" section of DESIGN.md), so --offline is not a degraded mode —
+# it is the only mode. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo fmt --check
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -10,14 +10,19 @@ fn cfg() -> WorkloadConfig {
 }
 
 fn auto_cfg() -> AutoscaleConfig {
-    AutoscaleConfig { tick: Duration::from_millis(1), ..AutoscaleConfig::default() }
+    AutoscaleConfig {
+        tick: Duration::from_millis(1),
+        ..AutoscaleConfig::default()
+    }
 }
 
 #[test]
 fn auto_scaling_reduces_process_time_vs_plain_dynamic() {
     let workers = 12;
     let (exe, _) = astro::build(&cfg());
-    let plain = DynMulti.execute(&exe, &ExecutionOptions::new(workers)).unwrap();
+    let plain = DynMulti
+        .execute(&exe, &ExecutionOptions::new(workers))
+        .unwrap();
     let (exe, _) = astro::build(&cfg());
     let auto = DynAutoMulti::with_config(auto_cfg())
         .execute(&exe, &ExecutionOptions::new(workers))
@@ -40,7 +45,10 @@ fn trace_respects_pool_bounds_and_iterations_increase() {
     let trace = &report.scaling_trace;
     assert!(!trace.is_empty());
     for pair in trace.windows(2) {
-        assert!(pair[0].iteration < pair[1].iteration, "iterations strictly increase");
+        assert!(
+            pair[0].iteration < pair[1].iteration,
+            "iterations strictly increase"
+        );
         let delta = pair[1].active_size as i64 - pair[0].active_size as i64;
         assert!(delta.abs() <= 1, "the naive strategy moves ±1 per decision");
     }

@@ -41,7 +41,11 @@ fn run_galaxies_dynamic() {
         "--time-scale",
         "0.005",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("dyn_multi"));
     assert!(text.contains("100 galaxies processed"));
@@ -61,11 +65,18 @@ fn run_sentiment_hybrid_over_tcp() {
         "--time-scale",
         "0.01",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("top 3 happiest states"));
     let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("redis-lite on"), "TCP server should be spawned: {err}");
+    assert!(
+        err.contains("redis-lite on"),
+        "TCP server should be spawned: {err}"
+    );
 }
 
 #[test]
@@ -84,7 +95,14 @@ fn unknown_mapping_exits_nonzero() {
 fn infeasible_configuration_reports_error() {
     // multi needs 14 workers for sentiment; 8 must fail cleanly.
     let out = d4py(&[
-        "run", "sentiment", "--mapping", "multi", "--workers", "8", "--time-scale", "0",
+        "run",
+        "sentiment",
+        "--mapping",
+        "multi",
+        "--workers",
+        "8",
+        "--time-scale",
+        "0",
     ]);
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);

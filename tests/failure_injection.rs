@@ -6,10 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// source emits 0..N; the middle PE panics on multiples of `poison_every`.
-fn poisoned_exe(
-    items: i64,
-    poison_every: i64,
-) -> (Executable, Arc<AtomicU64>) {
+fn poisoned_exe(items: i64, poison_every: i64) -> (Executable, Arc<AtomicU64>) {
     let mut g = WorkflowGraph::new("poison");
     let a = g.add_pe(PeSpec::source("a", "out"));
     let b = g.add_pe(PeSpec::transform("b", "in", "out"));
@@ -27,13 +24,15 @@ fn poisoned_exe(
         }))
     });
     exe.register(b, move || {
-        Box::new(FnTransform(move |_: &str, v: Value, ctx: &mut dyn Context| {
-            let x = v.as_int().unwrap();
-            if poison_every > 0 && x % poison_every == 0 {
-                panic!("poisoned record {x}");
-            }
-            ctx.emit("out", v);
-        }))
+        Box::new(FnTransform(
+            move |_: &str, v: Value, ctx: &mut dyn Context| {
+                let x = v.as_int().unwrap();
+                if poison_every > 0 && x % poison_every == 0 {
+                    panic!("poisoned record {x}");
+                }
+                ctx.emit("out", v);
+            },
+        ))
     });
     exe.register(c, move || Box::new(CountingSink::into_handle(n.clone())));
     (exe.seal().unwrap(), count)
@@ -59,7 +58,9 @@ fn multi_survives_poisoned_records() {
 #[test]
 fn hybrid_survives_poisoned_records() {
     let (exe, count) = poisoned_exe(50, 10);
-    let report = HybridMulti.execute(&exe, &ExecutionOptions::new(4)).unwrap();
+    let report = HybridMulti
+        .execute(&exe, &ExecutionOptions::new(4))
+        .unwrap();
     assert_eq!(count.load(Ordering::Relaxed), 45);
     assert_eq!(report.failed_tasks, 5);
 }
@@ -100,7 +101,11 @@ fn poisoned_source_still_terminates() {
     let report = DynMulti.execute(&exe, &ExecutionOptions::new(2)).unwrap();
     assert!(started.elapsed() < Duration::from_secs(3), "must not hang");
     assert_eq!(report.failed_tasks, 1);
-    assert_eq!(count.load(Ordering::Relaxed), 0, "partial emissions discarded");
+    assert_eq!(
+        count.load(Ordering::Relaxed),
+        0,
+        "partial emissions discarded"
+    );
 }
 
 #[test]

@@ -11,7 +11,9 @@ fn fast_cfg() -> WorkloadConfig {
 
 fn run_astro(mapping: &dyn Mapping, workers: usize) -> Vec<(i64, f64)> {
     let (exe, results) = astro::build(&fast_cfg());
-    mapping.execute(&exe, &ExecutionOptions::new(workers)).unwrap();
+    mapping
+        .execute(&exe, &ExecutionOptions::new(workers))
+        .unwrap();
     let mut got: Vec<(i64, f64)> = results
         .lock()
         .iter()
@@ -54,7 +56,10 @@ fn mapping_reports_carry_consistent_metadata() {
     assert_eq!(report.mapping, "dyn_multi");
     assert_eq!(report.workers, 4);
     assert!(report.runtime > std::time::Duration::ZERO);
-    assert!(report.process_time >= report.runtime, "4 polling workers outlive the wall clock");
+    assert!(
+        report.process_time >= report.runtime,
+        "4 polling workers outlive the wall clock"
+    );
     // 1 kickoff + 100×3 data deliveries.
     assert_eq!(report.tasks_executed, 301);
     assert_eq!(report.dropped_emissions, 0);
@@ -87,7 +92,9 @@ fn per_pe_breakdown_matches_across_mappings() {
     let mut reference: Option<Vec<(String, u64)>> = None;
     for (mapping, workers) in mappings {
         let (exe, _) = astro::build(&fast_cfg());
-        let report = mapping.execute(&exe, &ExecutionOptions::new(workers)).unwrap();
+        let report = mapping
+            .execute(&exe, &ExecutionOptions::new(workers))
+            .unwrap();
         match &reference {
             None => reference = Some(report.per_pe_tasks),
             Some(expected) => assert_eq!(
@@ -116,14 +123,16 @@ fn multi_output_ports_route_independently() {
     let build = || {
         let mut g = WorkflowGraph::new("split");
         let src = g.add_pe(PeSpec::source("src", "out"));
-        let split = g.add_pe(
-            PeSpec::transform("split", "input", "even").with_port(PortDecl::output("odd")),
-        );
+        let split = g
+            .add_pe(PeSpec::transform("split", "input", "even").with_port(PortDecl::output("odd")));
         let evens = g.add_pe(PeSpec::sink("evens", "input"));
         let odds = g.add_pe(PeSpec::sink("odds", "input"));
-        g.connect(src, "out", split, "input", Grouping::Shuffle).unwrap();
-        g.connect(split, "even", evens, "input", Grouping::Shuffle).unwrap();
-        g.connect(split, "odd", odds, "input", Grouping::Shuffle).unwrap();
+        g.connect(src, "out", split, "input", Grouping::Shuffle)
+            .unwrap();
+        g.connect(split, "even", evens, "input", Grouping::Shuffle)
+            .unwrap();
+        g.connect(split, "odd", odds, "input", Grouping::Shuffle)
+            .unwrap();
         let (_, even_h) = Collector::new();
         let (_, odd_h) = Collector::new();
         let (e2, o2) = (even_h.clone(), odd_h.clone());
@@ -137,7 +146,11 @@ fn multi_output_ports_route_independently() {
         });
         exe.register(split, || {
             Box::new(FnTransform(|_: &str, v: Value, ctx: &mut dyn Context| {
-                let port = if v.as_int().unwrap() % 2 == 0 { "even" } else { "odd" };
+                let port = if v.as_int().unwrap() % 2 == 0 {
+                    "even"
+                } else {
+                    "odd"
+                };
                 ctx.emit(port, v);
             }))
         });
@@ -155,24 +168,32 @@ fn multi_output_ports_route_independently() {
     ];
     for (mapping, workers) in mappings {
         let (exe, evens, odds) = build();
-        mapping.execute(&exe, &ExecutionOptions::new(workers)).unwrap();
-        let mut even_ints: Vec<i64> =
-            evens.lock().iter().map(|v| v.as_int().unwrap()).collect();
+        mapping
+            .execute(&exe, &ExecutionOptions::new(workers))
+            .unwrap();
+        let mut even_ints: Vec<i64> = evens.lock().iter().map(|v| v.as_int().unwrap()).collect();
         even_ints.sort_unstable();
-        let mut odd_ints: Vec<i64> =
-            odds.lock().iter().map(|v| v.as_int().unwrap()).collect();
+        let mut odd_ints: Vec<i64> = odds.lock().iter().map(|v| v.as_int().unwrap()).collect();
         odd_ints.sort_unstable();
-        assert_eq!(even_ints, (0..20).filter(|i| i % 2 == 0).collect::<Vec<_>>(), "{}", mapping.name());
-        assert_eq!(odd_ints, (0..20).filter(|i| i % 2 == 1).collect::<Vec<_>>(), "{}", mapping.name());
+        assert_eq!(
+            even_ints,
+            (0..20).filter(|i| i % 2 == 0).collect::<Vec<_>>(),
+            "{}",
+            mapping.name()
+        );
+        assert_eq!(
+            odd_ints,
+            (0..20).filter(|i| i % 2 == 1).collect::<Vec<_>>(),
+            "{}",
+            mapping.name()
+        );
     }
 }
 
 #[test]
 fn platform_limiter_changes_timing_not_results() {
     let unlimited = run_astro(&DynMulti, 8);
-    let (exe, results) = astro::build(
-        &fast_cfg().with_limiter(Platform::CLOUD.limiter()),
-    );
+    let (exe, results) = astro::build(&fast_cfg().with_limiter(Platform::CLOUD.limiter()));
     DynMulti.execute(&exe, &ExecutionOptions::new(8)).unwrap();
     let mut capped: Vec<(i64, f64)> = results
         .lock()

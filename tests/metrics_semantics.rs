@@ -19,7 +19,9 @@ fn plain_dynamic_process_time_tracks_workers_times_runtime() {
     // process_time ≈ workers × runtime.
     let workers = 6;
     let (exe, _) = astro::build(&cfg());
-    let report = DynMulti.execute(&exe, &ExecutionOptions::new(workers)).unwrap();
+    let report = DynMulti
+        .execute(&exe, &ExecutionOptions::new(workers))
+        .unwrap();
     let expected = report.runtime.as_secs_f64() * workers as f64;
     let measured = report.process_time.as_secs_f64();
     assert!(
@@ -47,7 +49,10 @@ fn auto_scaling_process_time_sits_below_the_polling_bound() {
     );
     // Sanity: mean active workers in [min_active, workers].
     let mean_active = report.mean_active_workers();
-    assert!(mean_active >= 0.9 && mean_active <= workers as f64, "{mean_active}");
+    assert!(
+        mean_active >= 0.9 && mean_active <= workers as f64,
+        "{mean_active}"
+    );
 }
 
 #[test]
@@ -78,7 +83,10 @@ fn multi_counts_only_instance_workers() {
 fn runtime_improves_with_workers_on_latency_bound_work() {
     let run = |workers| {
         let (exe, _) = astro::build(&cfg());
-        DynMulti.execute(&exe, &ExecutionOptions::new(workers)).unwrap().runtime
+        DynMulti
+            .execute(&exe, &ExecutionOptions::new(workers))
+            .unwrap()
+            .runtime
     };
     let slow = run(2);
     let fast = run(12);
@@ -100,7 +108,10 @@ fn core_limiter_caps_throughput() {
                 .with_time_scale(0.02)
                 .with_limiter(limiter),
         );
-        HybridMulti.execute(&exe, &ExecutionOptions::new(10)).unwrap().runtime
+        HybridMulti
+            .execute(&exe, &ExecutionOptions::new(10))
+            .unwrap()
+            .runtime
     };
     let one_core = run(1);
     let many_cores = run(16);

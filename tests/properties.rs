@@ -1,41 +1,51 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! Runs on the in-repo seeded harness (`d4py_sync::prop`): every case is
+//! deterministic, and a failing case prints the seed to replay it with
+//! `D4PY_PROP_SEED=<seed> D4PY_PROP_CASES=1`.
 
+use d4py_sync::prop::{for_all, for_all_cases, Gen};
+use d4py_sync::rng::StdRng;
+use d4py_sync::ByteBuf;
 use dispel4py::core::codec::{decode_item, decode_value, encode_item, encode_value};
-use dispel4py::prelude::{
-    Collector, Context, DynMulti, Executable, ExecutionOptions, FnSource, FnTransform,
-    HybridMulti, Mapping, Multi, Simple,
-};
-use dispel4py::graph::{PeSpec, WorkflowGraph};
 use dispel4py::core::routing::{Route, Router};
 use dispel4py::core::task::{QueueItem, Task};
 use dispel4py::core::value::Value;
 use dispel4py::core::workload::BetaSampler;
-use dispel4py::graph::{ConnectionId, Grouping, PeId};
+use dispel4py::graph::{ConnectionId, Grouping, PeId, PeSpec, WorkflowGraph};
+use dispel4py::prelude::{
+    Collector, Context, DynMulti, Executable, ExecutionOptions, FnSource, FnTransform, HybridMulti,
+    Mapping, Multi, Simple,
+};
 use dispel4py::redis_lite::resp::{self, Frame};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn d4py_pe_id(i: usize) -> PeId {
     PeId(i)
 }
 
-/// Arbitrary `Value` trees, depth-bounded.
-fn arb_value() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        any::<f64>().prop_map(Value::Float),
-        ".{0,24}".prop_map(Value::Str),
-        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
-    ];
-    leaf.prop_recursive(3, 32, 6, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::List),
-            proptest::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Value::Map),
-        ]
-    })
+/// A random `Value` tree, depth-bounded like the old recursive strategy.
+fn gen_value(g: &mut Gen, depth: usize) -> Value {
+    let branching = if depth == 0 { 6 } else { 8 };
+    match g.usize_in(0..branching) {
+        0 => Value::Null,
+        1 => Value::Bool(g.any()),
+        2 => Value::Int(g.any_i64()),
+        3 => Value::Float(g.any_f64_bits()),
+        4 => Value::Str(g.string(0..24)),
+        5 => Value::Bytes(g.bytes(0..32)),
+        6 => Value::List(g.vec(0..6, |g| gen_value(g, depth - 1))),
+        _ => {
+            let n = g.usize_in(0..6);
+            let mut m = std::collections::BTreeMap::new();
+            for _ in 0..n {
+                m.insert(
+                    g.string_of("abcdefghijklmnopqrstuvwxyz", 1..8),
+                    gen_value(g, depth - 1),
+                );
+            }
+            Value::Map(m)
+        }
+    }
 }
 
 /// NaN-tolerant structural equality (NaN ≠ NaN breaks `PartialEq` roundtrip
@@ -57,123 +67,160 @@ fn value_eq(a: &Value, b: &Value) -> bool {
     }
 }
 
-proptest! {
-    #[test]
-    fn codec_roundtrips_any_value(v in arb_value()) {
+#[test]
+fn codec_roundtrips_any_value() {
+    for_all(|g| {
+        let v = gen_value(g, 3);
         let bytes = encode_value(&v);
         let back = decode_value(&bytes).unwrap();
-        prop_assert!(value_eq(&v, &back), "{v:?} != {back:?}");
-    }
+        assert!(value_eq(&v, &back), "{v:?} != {back:?}");
+    });
+}
 
-    #[test]
-    fn codec_roundtrips_any_task(
-        v in arb_value(),
-        pe in 0usize..64,
-        inst in proptest::option::of(0usize..16),
-        port in "[a-z_]{1,12}",
-    ) {
-        let item = QueueItem::Task(Task { pe: PeId(pe), port, value: v, instance: inst });
+#[test]
+fn codec_roundtrips_any_task() {
+    for_all(|g| {
+        let v = gen_value(g, 3);
+        let pe = g.usize_in(0..64);
+        let inst = g.option(|g| g.usize_in(0..16));
+        let port = g.string_of("abcdefghijklmnopqrstuvwxyz_", 1..12);
+        let item = QueueItem::Task(Task {
+            pe: PeId(pe),
+            port,
+            value: v,
+            instance: inst,
+        });
         let back = decode_item(&encode_item(&item)).unwrap();
         match (&item, &back) {
             (QueueItem::Task(a), QueueItem::Task(b)) => {
-                prop_assert_eq!(a.pe, b.pe);
-                prop_assert_eq!(a.instance, b.instance);
-                prop_assert_eq!(&a.port, &b.port);
-                prop_assert!(value_eq(&a.value, &b.value));
+                assert_eq!(a.pe, b.pe);
+                assert_eq!(a.instance, b.instance);
+                assert_eq!(&a.port, &b.port);
+                assert!(value_eq(&a.value, &b.value));
             }
-            _ => prop_assert!(false, "variant changed"),
+            _ => panic!("variant changed"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn truncated_codec_input_never_panics(v in arb_value(), cut_frac in 0.0f64..1.0) {
+#[test]
+fn truncated_codec_input_never_panics() {
+    for_all(|g| {
+        let v = gen_value(g, 3);
         let bytes = encode_value(&v);
-        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let cut = ((bytes.len() as f64) * g.f64_in(0.0..1.0)) as usize;
         let _ = decode_value(&bytes[..cut.min(bytes.len())]); // must not panic
-    }
+    });
+}
 
-    #[test]
-    fn routing_hash_is_stable_and_equal_for_clones(v in arb_value()) {
-        prop_assert_eq!(v.routing_hash(), v.clone().routing_hash());
-    }
+#[test]
+fn routing_hash_is_stable_and_equal_for_clones() {
+    for_all(|g| {
+        let v = gen_value(g, 3);
+        assert_eq!(v.routing_hash(), v.clone().routing_hash());
+    });
+}
 
-    #[test]
-    fn group_by_routing_is_deterministic(
-        v in arb_value(),
-        n in 1usize..16,
-    ) {
-        let g = Grouping::group_by("k");
+#[test]
+fn group_by_routing_is_deterministic() {
+    for_all(|g| {
+        let v = gen_value(g, 3);
+        let n = g.usize_in(1..16);
+        let grouping = Grouping::group_by("k");
         let mut r1 = Router::new();
         let mut r2 = Router::new();
-        let a = r1.route(ConnectionId(0), &g, &v, n);
-        let b = r2.route(ConnectionId(0), &g, &v, n);
-        prop_assert_eq!(a.clone(), b);
+        let a = r1.route(ConnectionId(0), &grouping, &v, n);
+        let b = r2.route(ConnectionId(0), &grouping, &v, n);
+        assert_eq!(a, b);
         if let Route::One(i) = a {
-            prop_assert!(i < n);
+            assert!(i < n);
         }
-    }
+    });
+}
 
-    #[test]
-    fn shuffle_routing_is_balanced(n in 1usize..12, items in 1usize..100) {
+#[test]
+fn shuffle_routing_is_balanced() {
+    for_all(|g| {
+        let n = g.usize_in(1..12);
+        let items = g.usize_in(1..100);
         let mut router = Router::new();
         let mut counts = vec![0usize; n];
         for _ in 0..items {
-            if let Route::One(i) = router.route(ConnectionId(7), &Grouping::Shuffle, &Value::Null, n) {
+            if let Route::One(i) =
+                router.route(ConnectionId(7), &Grouping::Shuffle, &Value::Null, n)
+            {
                 counts[i] += 1;
             }
         }
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
-        prop_assert!(max - min <= 1, "round-robin imbalance: {counts:?}");
-    }
+        assert!(max - min <= 1, "round-robin imbalance: {counts:?}");
+    });
+}
 
-    #[test]
-    fn beta_sampler_stays_in_unit_interval(seed in any::<u64>(), alpha in 0.5f64..4.0, beta in 0.5f64..8.0) {
+#[test]
+fn beta_sampler_stays_in_unit_interval() {
+    for_all(|g| {
+        let seed: u64 = g.any();
+        let alpha = g.f64_in(0.5..4.0);
+        let beta = g.f64_in(0.5..8.0);
         let sampler = BetaSampler::new(alpha, beta);
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..50 {
             let x = sampler.sample(&mut rng);
-            prop_assert!((0.0..=1.0).contains(&x));
+            assert!((0.0..=1.0).contains(&x));
         }
-    }
+    });
+}
 
-    #[test]
-    fn resp_roundtrips_bulk(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn resp_roundtrips_bulk() {
+    for_all(|g| {
+        let payload = g.bytes(0..256);
         let frame = Frame::Bulk(payload);
-        let mut buf = bytes::BytesMut::new();
+        let mut buf = ByteBuf::new();
         resp::encode(&frame, &mut buf);
         let (back, used) = resp::decode(&buf).unwrap().unwrap();
-        prop_assert_eq!(back, frame);
-        prop_assert_eq!(used, buf.len());
-    }
+        assert_eq!(back, frame);
+        assert_eq!(used, buf.len());
+    });
+}
 
-    #[test]
-    fn resp_decoder_never_panics_on_garbage(junk in proptest::collection::vec(any::<u8>(), 0..128)) {
+#[test]
+fn resp_decoder_never_panics_on_garbage() {
+    for_all(|g| {
+        let junk = g.bytes(0..128);
         let _ = resp::decode(&junk); // Err or Ok, never a panic
-    }
+    });
+}
 
-    /// Engine equivalence: a random linear pipeline of arithmetic stages
-    /// produces the same multiset of outputs under every mapping.
-    #[test]
-    fn random_pipelines_agree_across_engines(
-        items in 1i64..40,
-        ops in proptest::collection::vec((0u8..3, -9i64..10), 1..5),
-    ) {
+/// Engine equivalence: a random linear pipeline of arithmetic stages
+/// produces the same multiset of outputs under every mapping.
+#[test]
+fn random_pipelines_agree_across_engines() {
+    // Each case spins up real worker threads across four engines — keep the
+    // case count low; coverage comes from the per-case random pipeline shape.
+    for_all_cases(12, |g| {
+        let items = g.i64_in(1..40);
+        let ops: Vec<(u8, i64)> = g.vec(1..5, |g| (g.usize_in(0..3) as u8, g.i64_in(-9..10)));
+
         let build = |ops: Vec<(u8, i64)>, items: i64| {
-            let mut g = WorkflowGraph::new("rand");
-            let src = g.add_pe(PeSpec::source("src", "out"));
+            let mut wg = WorkflowGraph::new("rand");
+            let src = wg.add_pe(PeSpec::source("src", "out"));
             let mut prev = (src, "out".to_string());
             for (i, _) in ops.iter().enumerate() {
-                let pe = g.add_pe(PeSpec::transform(format!("op{i}"), "in", "out"));
-                g.connect(prev.0, prev.1.clone(), pe, "in", Grouping::Shuffle).unwrap();
+                let pe = wg.add_pe(PeSpec::transform(format!("op{i}"), "in", "out"));
+                wg.connect(prev.0, prev.1.clone(), pe, "in", Grouping::Shuffle)
+                    .unwrap();
                 prev = (pe, "out".to_string());
             }
-            let sink = g.add_pe(PeSpec::sink("sink", "in"));
-            g.connect(prev.0, prev.1, sink, "in", Grouping::Shuffle).unwrap();
+            let sink = wg.add_pe(PeSpec::sink("sink", "in"));
+            wg.connect(prev.0, prev.1, sink, "in", Grouping::Shuffle)
+                .unwrap();
 
             let (_, handle) = Collector::new();
             let h = handle.clone();
-            let mut exe = Executable::new(g).unwrap();
+            let mut exe = Executable::new(wg).unwrap();
             exe.register(src, move || {
                 Box::new(FnSource(move |ctx: &mut dyn Context| {
                     for i in 0..items {
@@ -183,21 +230,23 @@ proptest! {
             });
             for (i, (op, operand)) in ops.iter().cloned().enumerate() {
                 exe.register(d4py_pe_id(i + 1), move || {
-                    Box::new(FnTransform(move |_: &str, v: Value, ctx: &mut dyn Context| {
-                        let x = v.as_int().unwrap();
-                        let y = match op {
-                            0 => x.wrapping_add(operand),
-                            1 => x.wrapping_mul(operand),
-                            _ => {
-                                // Filter stage: drop values where x % 3 == rem.
-                                if x.rem_euclid(3) == operand.rem_euclid(3) {
-                                    return;
+                    Box::new(FnTransform(
+                        move |_: &str, v: Value, ctx: &mut dyn Context| {
+                            let x = v.as_int().unwrap();
+                            let y = match op {
+                                0 => x.wrapping_add(operand),
+                                1 => x.wrapping_mul(operand),
+                                _ => {
+                                    // Filter stage: drop values where x % 3 == rem.
+                                    if x.rem_euclid(3) == operand.rem_euclid(3) {
+                                        return;
+                                    }
+                                    x
                                 }
-                                x
-                            }
-                        };
-                        ctx.emit("out", Value::Int(y));
-                    }))
+                            };
+                            ctx.emit("out", Value::Int(y));
+                        },
+                    ))
                 });
             }
             exe.register(d4py_pe_id(ops.len() + 1), move || {
@@ -208,28 +257,31 @@ proptest! {
 
         let outputs = |mapping: &dyn Mapping, workers: usize| {
             let (exe, handle) = build(ops.clone(), items);
-            mapping.execute(&exe, &ExecutionOptions::new(workers)).unwrap();
+            mapping
+                .execute(&exe, &ExecutionOptions::new(workers))
+                .unwrap();
             let mut v: Vec<i64> = handle.lock().iter().map(|x| x.as_int().unwrap()).collect();
             v.sort_unstable();
             v
         };
 
         let reference = outputs(&Simple, 1);
-        prop_assert_eq!(&reference, &outputs(&DynMulti, 3));
-        prop_assert_eq!(&reference, &outputs(&Multi, (ops.len() + 2).max(3)));
-        prop_assert_eq!(&reference, &outputs(&HybridMulti, 3));
-    }
+        assert_eq!(reference, outputs(&DynMulti, 3));
+        assert_eq!(reference, outputs(&Multi, (ops.len() + 2).max(3)));
+        assert_eq!(reference, outputs(&HybridMulti, 3));
+    });
+}
 
-    #[test]
-    fn resp_incremental_prefixes_never_succeed_spuriously(
-        text in "[a-z]{0,32}",
-    ) {
+#[test]
+fn resp_incremental_prefixes_never_succeed_spuriously() {
+    for_all(|g| {
+        let text = g.string_of("abcdefghijklmnopqrstuvwxyz", 0..32);
         let frame = Frame::Simple(text);
-        let mut buf = bytes::BytesMut::new();
+        let mut buf = ByteBuf::new();
         resp::encode(&frame, &mut buf);
         for cut in 0..buf.len() {
             // A strict prefix either needs more data or (never) errors.
-            prop_assert_eq!(resp::decode(&buf[..cut]).unwrap(), None);
+            assert_eq!(resp::decode(&buf[..cut]).unwrap(), None);
         }
-    }
+    });
 }

@@ -1,0 +1,193 @@
+//! [`TaskQueue`] trait-conformance suite.
+//!
+//! The dynamic engine is written once against the trait, so every backend
+//! must agree on the observable contract: FIFO delivery, timeout-on-empty
+//! pops, depth accounting that survives failed pushes, idle-time tracking,
+//! and pill passthrough. Runs against both implementations — the in-process
+//! [`ChannelQueue`] and the Redis-stream [`RedisQueue`] (in-proc backend) —
+//! with capability-gated cases where the backends intentionally differ.
+
+use dispel4py::core::queue::{ChannelQueue, TaskQueue};
+use dispel4py::core::task::{QueueItem, Task};
+use dispel4py::core::value::Value;
+use dispel4py::graph::PeId;
+use dispel4py::redis::queue::RedisQueue;
+use dispel4py::redis::RedisBackend;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn task(i: i64) -> QueueItem {
+    QueueItem::Task(Task::new(PeId(0), "in", Value::Int(i)))
+}
+
+/// Builds each backend fresh for one conformance case.
+fn backends(consumers: usize) -> Vec<(&'static str, Arc<dyn TaskQueue>)> {
+    static NEXT_KEY: AtomicUsize = AtomicUsize::new(0);
+    let key = format!("conformance:q{}", NEXT_KEY.fetch_add(1, Ordering::SeqCst));
+    vec![
+        ("channel", Arc::new(ChannelQueue::new(consumers))),
+        (
+            "redis-stream",
+            Arc::new(RedisQueue::new(&RedisBackend::in_proc(), key, consumers).unwrap()),
+        ),
+    ]
+}
+
+#[test]
+fn fifo_order_is_preserved() {
+    for (name, q) in backends(1) {
+        for i in 0..10 {
+            q.push(task(i)).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(
+                q.pop(0, Duration::from_millis(100)).unwrap(),
+                Some(task(i)),
+                "{name}: item {i} out of order"
+            );
+        }
+    }
+}
+
+#[test]
+fn pop_on_empty_times_out_with_none() {
+    for (name, q) in backends(1) {
+        let start = Instant::now();
+        let got = q.pop(0, Duration::from_millis(30)).unwrap();
+        assert_eq!(got, None, "{name}: empty queue must time out to None");
+        assert!(
+            start.elapsed() >= Duration::from_millis(25),
+            "{name}: pop returned before the timeout"
+        );
+    }
+}
+
+#[test]
+fn depth_reflects_pushes_and_pops() {
+    for (name, q) in backends(1) {
+        assert_eq!(q.depth(), 0, "{name}");
+        for i in 0..5 {
+            q.push(task(i)).unwrap();
+        }
+        assert_eq!(q.depth(), 5, "{name}");
+        q.pop(0, Duration::from_millis(100)).unwrap();
+        q.pop(0, Duration::from_millis(100)).unwrap();
+        assert_eq!(q.depth(), 3, "{name}");
+        while q.pop(0, Duration::from_millis(20)).unwrap().is_some() {}
+        assert_eq!(q.depth(), 0, "{name}");
+    }
+}
+
+#[test]
+fn failed_push_leaves_depth_unchanged() {
+    // Only the channel backend can fail a push without tearing down the
+    // whole Redis engine; this pins the depth-rollback contract there.
+    let q = ChannelQueue::new(1);
+    q.push(task(1)).unwrap();
+    assert_eq!(q.depth(), 1);
+    q.close();
+    assert!(q.push(task(2)).is_err());
+    assert_eq!(
+        q.depth(),
+        1,
+        "failed push must roll its depth increment back"
+    );
+}
+
+#[test]
+fn idle_times_cover_every_consumer() {
+    for (name, q) in backends(3) {
+        let idles = q.idle_times().expect("both backends track consumers");
+        assert_eq!(idles.len(), 3, "{name}: one idle slot per consumer");
+        q.push(task(1)).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        q.pop(1, Duration::from_millis(100)).unwrap();
+        let idles = q.idle_times().unwrap();
+        assert!(
+            idles[1] < Duration::from_millis(15),
+            "{name}: consumer 1 just popped, idle was {:?}",
+            idles[1]
+        );
+        assert!(
+            idles[0] >= Duration::from_millis(15),
+            "{name}: consumer 0 never popped, idle was {:?}",
+            idles[0]
+        );
+    }
+}
+
+#[test]
+fn late_joining_consumers_differ_by_design() {
+    // Capability gate: the channel queue grows its idle table on demand
+    // (scale-up adds consumers mid-run); the Redis queue allocates one
+    // reader connection per consumer up front, so an unknown index is a
+    // hard error rather than a silent allocation.
+    let q = ChannelQueue::new(1);
+    q.push(task(1)).unwrap();
+    assert!(q.pop(2, Duration::from_millis(100)).unwrap().is_some());
+    assert_eq!(q.idle_times().unwrap().len(), 3, "channel idle table grows");
+
+    let redis = RedisQueue::new(&RedisBackend::in_proc(), "conformance:late", 1).unwrap();
+    redis.push(task(1)).unwrap();
+    assert!(
+        redis.pop(2, Duration::from_millis(100)).is_err(),
+        "redis queue rejects unknown consumer indexes"
+    );
+}
+
+#[test]
+fn pills_pass_through_like_tasks() {
+    for (name, q) in backends(1) {
+        q.push(task(1)).unwrap();
+        q.push(QueueItem::Pill).unwrap();
+        q.push(QueueItem::Flush).unwrap();
+        assert_eq!(
+            q.pop(0, Duration::from_millis(100)).unwrap(),
+            Some(task(1)),
+            "{name}"
+        );
+        assert_eq!(
+            q.pop(0, Duration::from_millis(100)).unwrap(),
+            Some(QueueItem::Pill),
+            "{name}: pills must flow in order"
+        );
+        assert_eq!(
+            q.pop(0, Duration::from_millis(100)).unwrap(),
+            Some(QueueItem::Flush),
+            "{name}: flush markers must flow in order"
+        );
+    }
+}
+
+#[test]
+fn concurrent_producers_consumers_lose_nothing() {
+    const PRODUCERS: usize = 3;
+    const PER_PRODUCER: i64 = 50;
+    for (name, q) in backends(PRODUCERS) {
+        let produced: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.push(task(p as i64 * PER_PRODUCER + i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in produced {
+            h.join().unwrap();
+        }
+        let total = PRODUCERS as i64 * PER_PRODUCER;
+        let mut got = Vec::new();
+        while let Some(item) = q.pop(0, Duration::from_millis(50)).unwrap() {
+            if let QueueItem::Task(t) = item {
+                got.push(t.value.as_int().unwrap());
+            }
+        }
+        got.sort_unstable();
+        let expected: Vec<i64> = (0..total).collect();
+        assert_eq!(got, expected, "{name}: items lost or duplicated");
+        assert_eq!(q.depth(), 0, "{name}");
+    }
+}

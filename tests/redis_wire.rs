@@ -27,15 +27,16 @@ fn galaxy_workflow_over_tcp_dyn_auto_redis() {
     let mapping = DynAutoRedis::new(RedisBackend::Tcp(server.addr()));
     let report = mapping.execute(&exe, &ExecutionOptions::new(6)).unwrap();
     assert_eq!(results.lock().len(), 100);
-    assert!(!report.scaling_trace.is_empty(), "idle-time monitor must trace");
+    assert!(
+        !report.scaling_trace.is_empty(),
+        "idle-time monitor must trace"
+    );
 }
 
 #[test]
 fn sentiment_workflow_over_tcp_hybrid_redis() {
     let server = Server::start(0).unwrap();
-    let (exe, results) = sentiment::build(
-        &WorkloadConfig::standard().with_time_scale(0.0),
-    );
+    let (exe, results) = sentiment::build(&WorkloadConfig::standard().with_time_scale(0.0));
     let mapping = HybridRedis::new(RedisBackend::Tcp(server.addr()));
     mapping.execute(&exe, &ExecutionOptions::new(8)).unwrap();
     assert_eq!(results.lock().len(), 3);
@@ -81,7 +82,12 @@ fn workflow_state_is_inspectable_mid_lifecycle() {
     // stream is an unconsumed poison pill from the termination broadcast.
     let key = keys[0].as_text().unwrap();
     let entries = inspector
-        .request(&[b"XRANGE".as_ref(), key.as_bytes(), b"-".as_ref(), b"+".as_ref()])
+        .request(&[
+            b"XRANGE".as_ref(),
+            key.as_bytes(),
+            b"-".as_ref(),
+            b"+".as_ref(),
+        ])
         .unwrap();
     for entry in entries.as_array().unwrap() {
         let body = entry.as_array().unwrap()[1].as_array().unwrap();
@@ -90,6 +96,10 @@ fn workflow_state_is_inspectable_mid_lifecycle() {
             other => panic!("unexpected body {other:?}"),
         };
         let item = dispel4py::core::codec::decode_item(&payload).unwrap();
-        assert_eq!(item, dispel4py::core::task::QueueItem::Pill, "only pills may remain");
+        assert_eq!(
+            item,
+            dispel4py::core::task::QueueItem::Pill,
+            "only pills may remain"
+        );
     }
 }

@@ -9,11 +9,18 @@ use dispel4py::workflows::sentiment::{self, ARTICLES_PER_X};
 use std::sync::Arc;
 
 fn cfg(scale: u32, seed: u64) -> WorkloadConfig {
-    WorkloadConfig::standard().with_scale(scale).with_time_scale(0.0).with_seed(seed)
+    WorkloadConfig::standard()
+        .with_scale(scale)
+        .with_time_scale(0.0)
+        .with_seed(seed)
 }
 
-fn total_count(results: &parking_lot::Mutex<Vec<Value>>) -> i64 {
-    results.lock().iter().map(|r| r.get("count").unwrap().as_int().unwrap()).sum()
+fn total_count(results: &d4py_sync::Mutex<Vec<Value>>) -> i64 {
+    results
+        .lock()
+        .iter()
+        .map(|r| r.get("count").unwrap().as_int().unwrap())
+        .sum()
 }
 
 #[test]
@@ -66,10 +73,17 @@ fn snapshots_cover_every_stateful_instance_that_saw_data() {
     // happyState has 4 instances; group-by over 16 states reaches most of
     // them. Only PEs implementing snapshot() appear (TopThree does not).
     assert!(
-        slots.iter().filter(|s| s.starts_with("happyState#")).count() >= 2,
+        slots
+            .iter()
+            .filter(|s| s.starts_with("happyState#"))
+            .count()
+            >= 2,
         "slots: {slots:?}"
     );
-    assert!(slots.iter().all(|s| s.starts_with("happyState#")), "slots: {slots:?}");
+    assert!(
+        slots.iter().all(|s| s.starts_with("happyState#")),
+        "slots: {slots:?}"
+    );
 }
 
 #[test]

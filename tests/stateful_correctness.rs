@@ -5,12 +5,16 @@ use dispel4py::prelude::*;
 use dispel4py::workflows::sentiment::{self, corpus};
 
 fn fast_cfg() -> WorkloadConfig {
-    WorkloadConfig::standard().with_scale(3).with_time_scale(0.0)
+    WorkloadConfig::standard()
+        .with_scale(3)
+        .with_time_scale(0.0)
 }
 
 fn top3_states(mapping: &dyn Mapping, workers: usize) -> Vec<String> {
     let (exe, results) = sentiment::build(&fast_cfg());
-    mapping.execute(&exe, &ExecutionOptions::new(workers)).unwrap();
+    mapping
+        .execute(&exe, &ExecutionOptions::new(workers))
+        .unwrap();
     let got = results.lock();
     assert_eq!(got.len(), 3, "{} must emit exactly a top-3", mapping.name());
     got.iter()
@@ -34,9 +38,14 @@ fn plain_dynamic_mappings_reject_the_stateful_workflow() {
     let (exe, _) = sentiment::build(&fast_cfg());
     for (mapping, name) in [
         (Box::new(DynMulti) as Box<dyn Mapping>, "dyn_multi"),
-        (Box::new(DynRedis::new(RedisBackend::in_proc())), "dyn_redis"),
+        (
+            Box::new(DynRedis::new(RedisBackend::in_proc())),
+            "dyn_redis",
+        ),
     ] {
-        let err = mapping.execute(&exe, &ExecutionOptions::new(8)).unwrap_err();
+        let err = mapping
+            .execute(&exe, &ExecutionOptions::new(8))
+            .unwrap_err();
         match err {
             CoreError::UnsupportedWorkflow { mapping: m, .. } => assert_eq!(m, name),
             other => panic!("expected UnsupportedWorkflow, got {other:?}"),
@@ -47,11 +56,20 @@ fn plain_dynamic_mappings_reject_the_stateful_workflow() {
 #[test]
 fn ranking_reflects_constructed_mood_bias_at_scale() {
     let (exe, results) = sentiment::build(
-        &WorkloadConfig::standard().with_scale(10).with_time_scale(0.0),
+        &WorkloadConfig::standard()
+            .with_scale(10)
+            .with_time_scale(0.0),
     );
-    HybridMulti.execute(&exe, &ExecutionOptions::new(8)).unwrap();
+    HybridMulti
+        .execute(&exe, &ExecutionOptions::new(8))
+        .unwrap();
     let winner_rows = results.lock();
-    let winner = winner_rows[0].get("state").unwrap().as_str().unwrap().to_string();
+    let winner = winner_rows[0]
+        .get("state")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
     let expected = corpus::expected_ranking();
     let pos = expected.iter().position(|s| *s == winner).unwrap();
     assert!(pos < 5, "winner {winner} sits at mood-bias rank {pos}");
@@ -71,11 +89,16 @@ fn counts_conserve_articles() {
     // 2 × articles when summed over all states — check via a 1-state corpus
     // proxy: the sum of counts in top-3 can never exceed 2N.
     let (exe, results) = sentiment::build(&fast_cfg());
-    HybridMulti.execute(&exe, &ExecutionOptions::new(8)).unwrap();
+    HybridMulti
+        .execute(&exe, &ExecutionOptions::new(8))
+        .unwrap();
     let total: i64 = results
         .lock()
         .iter()
         .map(|r| r.get("count").unwrap().as_int().unwrap())
         .sum();
-    assert!(total > 0 && total <= 2 * 300, "top-3 counts {total} out of range");
+    assert!(
+        total > 0 && total <= 2 * 300,
+        "top-3 counts {total} out of range"
+    );
 }

@@ -10,7 +10,7 @@ use dispel4py::prelude::*;
 use dispel4py::workflows::seismic;
 use std::time::Duration;
 
-fn chatty_pipeline() -> (Executable, std::sync::Arc<parking_lot::Mutex<Vec<Value>>>) {
+fn chatty_pipeline() -> (Executable, std::sync::Arc<d4py_sync::Mutex<Vec<Value>>>) {
     // read → inflate (emits fat payloads, cheap) → digest (cheap) → write.
     let g = PipelineBuilder::source("chatty", "read", "output")
         .then("inflate")
@@ -32,7 +32,10 @@ fn chatty_pipeline() -> (Executable, std::sync::Arc<parking_lot::Mutex<Vec<Value
         Box::new(FnTransform(|_: &str, v: Value, ctx: &mut dyn Context| {
             let mut payload = vec![0u8; 2048];
             payload[0] = (v.as_int().unwrap() % 251) as u8;
-            ctx.emit("output", Value::map([("id", v), ("blob", Value::Bytes(payload))]));
+            ctx.emit(
+                "output",
+                Value::map([("id", v), ("blob", Value::Bytes(payload))]),
+            );
         }))
     });
     exe.register(ids[2], || {
@@ -70,7 +73,7 @@ fn profile_naive_assignment_fuse_run() {
     let (exe3, plain_results) = chatty_pipeline();
     DynMulti.execute(&exe3, &ExecutionOptions::new(4)).unwrap();
 
-    let sorted = |h: &std::sync::Arc<parking_lot::Mutex<Vec<Value>>>| {
+    let sorted = |h: &std::sync::Arc<d4py_sync::Mutex<Vec<Value>>>| {
         let mut v: Vec<i64> = h.lock().iter().map(|x| x.as_int().unwrap()).collect();
         v.sort_unstable();
         v
@@ -95,7 +98,7 @@ fn staging_fuses_the_seismic_pipeline_and_preserves_output() {
     // 1 kickoff + 50 stations through the fused body.
     assert_eq!(report.tasks_executed, 51);
 
-    let sorted = |h: &std::sync::Arc<parking_lot::Mutex<Vec<String>>>| {
+    let sorted = |h: &std::sync::Arc<d4py_sync::Mutex<Vec<String>>>| {
         let mut v = h.lock().clone();
         v.sort();
         v
@@ -113,7 +116,7 @@ fn fused_astro_matches_reference_extinctions() {
     let fused = fuse_staged(&exe).unwrap();
     DynMulti.execute(&fused, &ExecutionOptions::new(6)).unwrap();
 
-    let extract = |h: &std::sync::Arc<parking_lot::Mutex<Vec<Value>>>| {
+    let extract = |h: &std::sync::Arc<d4py_sync::Mutex<Vec<Value>>>| {
         let mut v: Vec<(i64, f64)> = h
             .lock()
             .iter()

@@ -4,9 +4,7 @@ use dispel4py::prelude::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-fn pipeline(
-    items: i64,
-) -> (Executable, Arc<std::sync::atomic::AtomicU64>) {
+fn pipeline(items: i64) -> (Executable, Arc<std::sync::atomic::AtomicU64>) {
     let mut g = WorkflowGraph::new("t");
     let a = g.add_pe(PeSpec::source("a", "out"));
     let b = g.add_pe(PeSpec::transform("b", "in", "out"));
@@ -24,7 +22,9 @@ fn pipeline(
         }))
     });
     exe.register(b, || {
-        Box::new(FnTransform(|_: &str, v: Value, ctx: &mut dyn Context| ctx.emit("out", v)))
+        Box::new(FnTransform(|_: &str, v: Value, ctx: &mut dyn Context| {
+            ctx.emit("out", v)
+        }))
     });
     exe.register(c, move || Box::new(CountingSink::into_handle(n.clone())));
     (exe.seal().unwrap(), count)
@@ -112,7 +112,11 @@ fn strict_termination_never_loses_tasks_under_slow_stages() {
         strict: true,
     });
     DynMulti.execute(&exe, &opts).unwrap();
-    assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), 10, "no task may be lost");
+    assert_eq!(
+        count.load(std::sync::atomic::Ordering::Relaxed),
+        10,
+        "no task may be lost"
+    );
 }
 
 #[test]
