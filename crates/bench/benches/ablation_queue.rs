@@ -1,0 +1,240 @@
+//! Ablation: global-queue core — `Mutex<VecDeque>` + `Condvar` baseline vs
+//! the segmented lock-free channel (DESIGN.md §5.2 `ablation_queue`).
+//!
+//! The paper attributes `dyn_multi`'s degradation at high worker counts to
+//! contention on the shared global queue (§3.1, Figure 2). This bench
+//! isolates exactly that: W producer + W consumer threads hammer one queue
+//! and we report end-to-end throughput for (a) the old mutex-per-operation
+//! channel core, reconstructed here as the baseline, and (b) the lock-free
+//! segmented channel `d4py-sync` now ships. The spread at 8+ workers is the
+//! lock handoff the tentpole removed.
+//!
+//! Runs as a plain binary (`cargo bench --bench ablation_queue`). Honors
+//! `D4PY_BENCH_QUICK=1` for CI smoke runs. Results persist to
+//! `target/ablation_queue_last.txt`; when a previous run's numbers are
+//! present, a baseline-vs-current comparison is printed so regressions are
+//! visible run over run.
+
+use d4py_sync::channel;
+use d4py_sync::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The two queue cores under test, behind one minimal MPMC surface.
+trait Chan: Send + Sync + 'static {
+    fn push(&self, v: u64);
+    /// Pops with a short internal timeout; `None` means "empty for now".
+    fn pop(&self) -> Option<u64>;
+}
+
+/// The pre-tentpole channel core: one mutex acquisition per send and per
+/// recv, condvar handoff for waiters. Kept here (not in `d4py-sync`) so the
+/// production crate carries exactly one channel implementation.
+struct MutexChan {
+    queue: Mutex<VecDeque<u64>>,
+    ready: Condvar,
+}
+
+impl MutexChan {
+    fn new() -> Self {
+        MutexChan {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+impl Chan for MutexChan {
+    fn push(&self, v: u64) {
+        self.queue.lock().push_back(v);
+        self.ready.notify_one();
+    }
+
+    fn pop(&self) -> Option<u64> {
+        let deadline = Instant::now() + Duration::from_millis(1);
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(v) = q.pop_front() {
+                return Some(v);
+            }
+            if self.ready.wait_until(&mut q, deadline).timed_out() {
+                return q.pop_front();
+            }
+        }
+    }
+}
+
+/// The lock-free segmented channel shipping in `d4py-sync`.
+struct SegChan {
+    tx: channel::Sender<u64>,
+    rx: channel::Receiver<u64>,
+}
+
+impl SegChan {
+    fn new() -> Self {
+        let (tx, rx) = channel::unbounded();
+        SegChan { tx, rx }
+    }
+}
+
+impl Chan for SegChan {
+    fn push(&self, v: u64) {
+        self.tx.send(v).expect("bench channel never closes");
+    }
+
+    fn pop(&self) -> Option<u64> {
+        self.rx.recv_timeout(Duration::from_millis(1)).ok()
+    }
+}
+
+/// One timed run: `workers` producers push `items` total, `workers`
+/// consumers drain them; returns messages per second wall-clock.
+fn run_once<C: Chan>(chan: Arc<C>, workers: usize, items: usize) -> f64 {
+    let popped = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+
+    let producers: Vec<_> = (0..workers)
+        .map(|w| {
+            let chan = chan.clone();
+            let share = items / workers + usize::from(w < items % workers);
+            std::thread::spawn(move || {
+                for i in 0..share {
+                    chan.push(i as u64);
+                }
+            })
+        })
+        .collect();
+    let consumers: Vec<_> = (0..workers)
+        .map(|_| {
+            let chan = chan.clone();
+            let popped = popped.clone();
+            std::thread::spawn(move || {
+                while popped.load(Ordering::Relaxed) < items {
+                    if chan.pop().is_some() {
+                        popped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for h in producers {
+        h.join().unwrap();
+    }
+    for h in consumers {
+        h.join().unwrap();
+    }
+    items as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Best-of-`reps` throughput, fresh queue per rep (best-of damps scheduler
+/// noise, which dominates on small machines).
+fn throughput<C: Chan>(make: impl Fn() -> C, workers: usize, items: usize, reps: usize) -> f64 {
+    (0..reps)
+        .map(|_| run_once(Arc::new(make()), workers, items))
+        .fold(0.0, f64::max)
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e6 {
+        format!("{:.2} M/s", r / 1e6)
+    } else {
+        format!("{:.0} k/s", r / 1e3)
+    }
+}
+
+fn results_path() -> PathBuf {
+    // crates/bench -> workspace root -> target/
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/ablation_queue_last.txt")
+}
+
+/// Parses a previous run's `workers=<w> mutex=<r> lockfree=<r>` lines.
+fn load_previous() -> HashMap<usize, (f64, f64)> {
+    let mut prev = HashMap::new();
+    let Ok(text) = std::fs::read_to_string(results_path()) else {
+        return prev;
+    };
+    for line in text.lines() {
+        let mut workers = None;
+        let mut mutex = None;
+        let mut lockfree = None;
+        for field in line.split_whitespace() {
+            if let Some((key, value)) = field.split_once('=') {
+                match key {
+                    "workers" => workers = value.parse::<usize>().ok(),
+                    "mutex" => mutex = value.parse::<f64>().ok(),
+                    "lockfree" => lockfree = value.parse::<f64>().ok(),
+                    _ => {}
+                }
+            }
+        }
+        if let (Some(w), Some(m), Some(l)) = (workers, mutex, lockfree) {
+            prev.insert(w, (m, l));
+        }
+    }
+    prev
+}
+
+fn main() {
+    let quick = std::env::var("D4PY_BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false);
+    let (worker_counts, items, reps): (&[usize], usize, usize) = if quick {
+        (&[2, 8], 20_000, 2)
+    } else {
+        (&[1, 2, 4, 8, 16], 200_000, 3)
+    };
+
+    println!("== ablation_queue: mutex channel baseline vs lock-free segmented channel ==");
+    println!("   ({items} messages per run, best of {reps}, producers = consumers = workers)\n");
+    println!(
+        "{:>8}  {:>14}  {:>14}  {:>8}",
+        "workers", "mutex", "lock-free", "speedup"
+    );
+
+    let previous = load_previous();
+    let mut lines = Vec::new();
+    let mut deltas = Vec::new();
+    for &workers in worker_counts {
+        let mutex = throughput(MutexChan::new, workers, items, reps);
+        let lockfree = throughput(SegChan::new, workers, items, reps);
+        println!(
+            "{workers:>8}  {:>14}  {:>14}  {:>7.2}x",
+            fmt_rate(mutex),
+            fmt_rate(lockfree),
+            lockfree / mutex
+        );
+        lines.push(format!(
+            "workers={workers} mutex={mutex:.0} lockfree={lockfree:.0}"
+        ));
+        if let Some(&(prev_mutex, prev_lockfree)) = previous.get(&workers) {
+            deltas.push(format!(
+                "  workers={workers}: lock-free {} -> {} ({:+.1}%), mutex {} -> {} ({:+.1}%)",
+                fmt_rate(prev_lockfree),
+                fmt_rate(lockfree),
+                (lockfree - prev_lockfree) / prev_lockfree * 100.0,
+                fmt_rate(prev_mutex),
+                fmt_rate(mutex),
+                (mutex - prev_mutex) / prev_mutex * 100.0,
+            ));
+        }
+    }
+
+    if !deltas.is_empty() {
+        println!(
+            "\nbaseline vs current (previous run found at {:?}):",
+            results_path()
+        );
+        for d in &deltas {
+            println!("{d}");
+        }
+    }
+
+    if let Err(e) = std::fs::write(results_path(), lines.join("\n") + "\n") {
+        eprintln!("note: could not persist results for next-run comparison: {e}");
+    }
+}

@@ -1,13 +1,17 @@
 //! Ablation: the global-queue transports behind dynamic scheduling.
 //!
 //! Measures one push+pop round trip through (1) the in-process channel
-//! channel queue (`dyn_multi`'s substrate), (2) the Redis stream queue over
-//! the in-process engine (command dispatch, no wire), and (3) the Redis
-//! stream queue over real TCP (the paper's deployment). The spread between
-//! these three IS the paper's Multiprocessing-vs-Redis performance gap,
-//! isolated from workflow effects (DESIGN.md §5.3 `ablation_transport`).
+//! queue (`dyn_multi`'s substrate — now the segmented lock-free channel,
+//! so the round trip is a handful of atomics with no mutex), (2) the Redis
+//! stream queue over the in-process engine (command dispatch, no wire),
+//! and (3) the Redis stream queue over real TCP (the paper's deployment).
+//! The spread between these three IS the paper's Multiprocessing-vs-Redis
+//! performance gap, isolated from workflow effects (DESIGN.md §5.3
+//! `ablation_transport`). For the mutex-vs-lock-free core comparison under
+//! producer/consumer contention, see `ablation_queue`.
 
 use d4py_sync::bench::{black_box, Criterion};
+use d4py_sync::channel::unbounded;
 use d4py_sync::{criterion_group, criterion_main};
 use dispel4py::core::queue::{ChannelQueue, TaskQueue};
 use dispel4py::core::task::{QueueItem, Task};
@@ -52,6 +56,19 @@ fn bench_queues(c: &mut Criterion) {
         b.iter(|| roundtrip(black_box(&tcp)))
     });
 
+    group.finish();
+
+    // The raw channel fast path, without the TaskQueue idle-table
+    // bookkeeping: what one uncontended lock-free send+recv pair costs.
+    let mut group = c.benchmark_group("channel_fast_path");
+    group.sample_size(30);
+    let (tx, rx) = unbounded();
+    group.bench_function("raw send + try_recv", |b| {
+        b.iter(|| {
+            tx.send(black_box(7u64)).unwrap();
+            rx.try_recv().unwrap()
+        })
+    });
     group.finish();
 
     // Depth probes: the monitoring reads the auto-scaler issues every tick.

@@ -12,7 +12,6 @@ use crate::error::CoreError;
 use crate::task::QueueItem;
 use d4py_sync::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use d4py_sync::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// A shared multi-producer multi-consumer task queue.
@@ -36,28 +35,34 @@ pub trait TaskQueue: Send + Sync {
     }
 }
 
-/// In-process [`TaskQueue`] over an MPMC channel, with an atomic depth
-/// counter and per-consumer idle tracking.
+/// In-process [`TaskQueue`] over the lock-free MPMC channel, with
+/// per-consumer idle tracking.
 ///
 /// This is the `dyn_multi` global queue: the direct translation of the
 /// Python `multiprocessing.Queue` the paper's dynamic scheduling uses.
+/// Depth delegates to the channel's single internal counter — there is no
+/// second count to drift out of step, so a monitor tick can never read a
+/// phantom backlog between an item leaving the channel and a duplicate
+/// counter catching up.
 pub struct ChannelQueue {
     tx: Sender<QueueItem>,
     rx: Receiver<QueueItem>,
-    depth: AtomicUsize,
-    last_pop: Mutex<Vec<Instant>>,
+    /// When the queue was built; a consumer that has never popped has been
+    /// idle since this instant (mirrors `RedisQueue`'s `created`).
+    created: Instant,
+    /// Per-consumer last successful pop; `None` until the first pop.
+    last_pop: Mutex<Vec<Option<Instant>>>,
 }
 
 impl ChannelQueue {
     /// Creates a queue serving `consumers` workers.
     pub fn new(consumers: usize) -> Self {
         let (tx, rx) = unbounded();
-        let now = Instant::now();
         Self {
             tx,
             rx,
-            depth: AtomicUsize::new(0),
-            last_pop: Mutex::new(vec![now; consumers]),
+            created: Instant::now(),
+            last_pop: Mutex::new(vec![None; consumers]),
         }
     }
 
@@ -70,29 +75,27 @@ impl ChannelQueue {
 
 impl TaskQueue for ChannelQueue {
     fn push(&self, item: QueueItem) -> Result<(), CoreError> {
-        // Increment before the send so a consumer can never observe an item
-        // without the depth reflecting it; roll back if the send fails, or
-        // a closed queue inflates depth() forever and the multiprocessing
-        // auto-scaler keeps seeing phantom backlog.
-        self.depth.fetch_add(1, Ordering::SeqCst);
-        self.tx.send(item).map_err(|_| {
-            self.depth.fetch_sub(1, Ordering::SeqCst);
-            CoreError::Queue("channel closed".into())
-        })
+        // A failed send never enqueues, and depth() reads the channel's own
+        // counter, so there is no separate count to roll back.
+        self.tx
+            .send(item)
+            .map_err(|_| CoreError::Queue("channel closed".into()))
     }
 
     fn pop(&self, consumer: usize, timeout: Duration) -> Result<Option<QueueItem>, CoreError> {
         match self.rx.recv_timeout(timeout) {
             Ok(item) => {
-                self.depth.fetch_sub(1, Ordering::SeqCst);
                 // Consumers added by scale-up pop with indexes past the
                 // initial allocation; grow the table instead of silently
-                // dropping their idle-time signal.
+                // dropping their idle-time signal. New slots backfill with
+                // `None` ("never popped"), not the current instant —
+                // otherwise intermediate never-active consumers would read
+                // as just-active and suppress legitimate Shrink decisions.
                 let mut last_pop = self.last_pop.lock();
                 if consumer >= last_pop.len() {
-                    last_pop.resize(consumer + 1, Instant::now());
+                    last_pop.resize(consumer + 1, None);
                 }
-                last_pop[consumer] = Instant::now();
+                last_pop[consumer] = Some(Instant::now());
                 Ok(Some(item))
             }
             Err(RecvTimeoutError::Timeout) => Ok(None),
@@ -103,11 +106,19 @@ impl TaskQueue for ChannelQueue {
     }
 
     fn depth(&self) -> usize {
-        self.depth.load(Ordering::SeqCst)
+        self.tx.len()
     }
 
     fn idle_times(&self) -> Option<Vec<Duration>> {
-        Some(self.last_pop.lock().iter().map(|t| t.elapsed()).collect())
+        // A consumer that has never popped has been idle since the queue
+        // was created, same as `RedisQueue` reports it.
+        Some(
+            self.last_pop
+                .lock()
+                .iter()
+                .map(|t| t.map_or_else(|| self.created.elapsed(), |t| t.elapsed()))
+                .collect(),
+        )
     }
 }
 
@@ -117,6 +128,7 @@ mod tests {
     use crate::task::Task;
     use crate::value::Value;
     use d4py_graph::PeId;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     fn task(i: i64) -> QueueItem {

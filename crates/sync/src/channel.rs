@@ -4,17 +4,33 @@
 //! This is the channel behind the paper's Figure 2 "Global Queue" on the
 //! multiprocessing path (`dyn_multi`, `multi`): multiple producers, multiple
 //! consumers, unbounded FIFO, `recv_timeout` for the polling worker loops,
-//! and a live `len()` so the depth monitoring signal is one atomic read —
+//! and a live `len()` so the depth monitoring signal is two atomic reads —
 //! not a lock acquisition — away.
 //!
-//! Implementation: a `Mutex<VecDeque>` ring with a `Condvar` for waiters and
-//! atomic sender/receiver reference counts for disconnect detection. The
-//! depth counter is redundant with `queue.len()` but readable without the
-//! lock, which is what the auto-scaler's monitor tick wants.
+//! Implementation: the storage core is the segmented lock-free queue in
+//! [`crate::segqueue`], so an uncontended send or receive is a few atomic
+//! operations with **no lock on the fast path** — this is what removes the
+//! global-queue mutex handoff that degraded `dyn_multi` at high worker
+//! counts. Blocking receives fall back to a thin parking layer: a condvar
+//! guarded by a small mutex, used *only* on the empty-queue slow path.
+//! Lost notifications are impossible by construction —
+//!
+//! * a receiver registers itself in `waiters` (SeqCst) and then re-polls
+//!   the queue *before* sleeping, so a sender that missed the registration
+//!   must have pushed early enough for that re-poll to see the item;
+//! * a sender that does observe `waiters > 0` bumps the wakeup generation
+//!   and notifies while holding the parking mutex, so the wakeup cannot
+//!   fire between the receiver's re-poll and its wait;
+//! * a woken receiver compares the generation it slept on against the
+//!   current one to tell real wakeups from spurious ones.
+//!
+//! Depth (`len`) reads delegate straight to the core queue's snapshot
+//! counter — there is exactly one count of queued items, so monitors can
+//! never observe a phantom backlog from duplicated accounting.
 
+use crate::segqueue::SegQueue;
 use crate::sync::{Condvar, Mutex};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -85,23 +101,45 @@ impl std::fmt::Display for TryRecvError {
 impl std::error::Error for TryRecvError {}
 
 struct Shared<T> {
-    queue: Mutex<VecDeque<T>>,
-    ready: Condvar,
+    /// Lock-free storage; the only count of queued items lives in here.
+    queue: SegQueue<T>,
     senders: AtomicUsize,
     receivers: AtomicUsize,
-    /// Live element count, readable without the queue lock.
-    depth: AtomicUsize,
     /// Set by [`Sender::close`]/[`Receiver::close`]: no further sends.
-    closed: AtomicUsize,
+    closed: AtomicBool,
+    /// Receivers parked (or re-polling just before parking) on `ready`.
+    /// Senders skip the parking lock entirely while this is zero.
+    waiters: AtomicUsize,
+    /// Wakeup generation, bumped under `park` for every notification so a
+    /// woken receiver can tell a real wakeup from a spurious one.
+    park: Mutex<u64>,
+    ready: Condvar,
 }
 
 impl<T> Shared<T> {
     fn is_send_closed(&self) -> bool {
-        self.closed.load(Ordering::SeqCst) != 0 || self.receivers.load(Ordering::SeqCst) == 0
+        self.closed.load(Ordering::SeqCst) || self.receivers.load(Ordering::SeqCst) == 0
     }
 
     fn is_recv_disconnected(&self) -> bool {
-        self.closed.load(Ordering::SeqCst) != 0 || self.senders.load(Ordering::SeqCst) == 0
+        self.closed.load(Ordering::SeqCst) || self.senders.load(Ordering::SeqCst) == 0
+    }
+
+    /// Wakes one parked receiver (post-send). Cheap no-op while nobody
+    /// waits: one atomic load, no lock, no syscall.
+    fn wake_one(&self) {
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let mut generation = self.park.lock();
+            *generation += 1;
+            self.ready.notify_one();
+        }
+    }
+
+    /// Wakes every parked receiver (close / last sender gone).
+    fn wake_all(&self) {
+        let mut generation = self.park.lock();
+        *generation += 1;
+        self.ready.notify_all();
     }
 }
 
@@ -119,12 +157,13 @@ pub struct Receiver<T> {
 /// Creates an unbounded MPMC channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
-        queue: Mutex::new(VecDeque::new()),
-        ready: Condvar::new(),
+        queue: SegQueue::new(),
         senders: AtomicUsize::new(1),
         receivers: AtomicUsize::new(1),
-        depth: AtomicUsize::new(0),
-        closed: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+        waiters: AtomicUsize::new(0),
+        park: Mutex::new(0),
+        ready: Condvar::new(),
     });
     (
         Sender {
@@ -148,7 +187,7 @@ impl<T> Drop for Sender<T> {
         if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
             // Last producer gone: wake blocked receivers so they observe
             // the disconnect.
-            self.shared.ready.notify_all();
+            self.shared.wake_all();
         }
     }
 }
@@ -156,39 +195,35 @@ impl<T> Drop for Sender<T> {
 impl<T> Sender<T> {
     /// Enqueues `value`, failing if the channel is closed or every receiver
     /// is gone.
+    ///
+    /// A send racing a concurrent [`close`](Sender::close) may still land
+    /// in the queue (it linearizes before the close); queued items stay
+    /// receivable after close, so nothing is lost either way.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
         if self.shared.is_send_closed() {
             return Err(SendError(value));
         }
-        {
-            let mut q = self.shared.queue.lock();
-            // Re-check under the lock so a racing close() can't strand an
-            // item behind a receiver that already gave up.
-            if self.shared.is_send_closed() {
-                return Err(SendError(value));
-            }
-            q.push_back(value);
-            self.shared.depth.fetch_add(1, Ordering::SeqCst);
-        }
-        self.shared.ready.notify_one();
+        self.shared.queue.push(value);
+        self.shared.wake_one();
         Ok(())
     }
 
-    /// Number of queued items.
+    /// Number of queued items — a lock-free snapshot of the single depth
+    /// counter inside the queue core.
     pub fn len(&self) -> usize {
-        self.shared.depth.load(Ordering::SeqCst)
+        self.shared.queue.len()
     }
 
     /// True when no items are queued.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.shared.queue.is_empty()
     }
 
     /// Closes the channel: subsequent sends fail, queued items stay
     /// receivable, blocked receivers wake.
     pub fn close(&self) {
-        self.shared.closed.store(1, Ordering::SeqCst);
-        self.shared.ready.notify_all();
+        self.shared.closed.store(true, Ordering::SeqCst);
+        self.shared.wake_all();
     }
 }
 
@@ -208,79 +243,131 @@ impl<T> Drop for Receiver<T> {
 }
 
 impl<T> Receiver<T> {
-    fn pop_locked(&self, q: &mut VecDeque<T>) -> Option<T> {
-        let item = q.pop_front();
-        if item.is_some() {
-            self.shared.depth.fetch_sub(1, Ordering::SeqCst);
-        }
-        item
-    }
-
     /// Dequeues without blocking.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        let mut q = self.shared.queue.lock();
-        match self.pop_locked(&mut q) {
-            Some(item) => Ok(item),
-            None if self.shared.is_recv_disconnected() => Err(TryRecvError::Disconnected),
-            None => Err(TryRecvError::Empty),
+        if let Some(item) = self.shared.queue.pop() {
+            return Ok(item);
         }
+        if self.shared.is_recv_disconnected() {
+            // Drain race: a final send may have landed between the pop and
+            // the disconnect check. After the flag is set no new sends
+            // start, so one more pop is conclusive.
+            return match self.shared.queue.pop() {
+                Some(item) => Ok(item),
+                None => Err(TryRecvError::Disconnected),
+            };
+        }
+        Err(TryRecvError::Empty)
     }
 
     /// Dequeues, blocking until an item arrives or every sender is gone.
     pub fn recv(&self) -> Result<T, RecvError> {
-        let mut q = self.shared.queue.lock();
-        loop {
-            if let Some(item) = self.pop_locked(&mut q) {
-                return Ok(item);
-            }
-            if self.shared.is_recv_disconnected() {
-                return Err(RecvError);
-            }
-            self.shared.ready.wait(&mut q);
+        match self.recv_core(None) {
+            Ok(item) => Ok(item),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError),
+            Err(RecvTimeoutError::Timeout) => unreachable!("untimed recv cannot time out"),
         }
     }
 
     /// Dequeues, blocking up to `timeout`.
+    ///
+    /// Oversized timeouts (e.g. `Duration::MAX` as "block indefinitely")
+    /// saturate to an untimed wait instead of panicking on deadline
+    /// arithmetic.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-        let deadline = Instant::now() + timeout;
-        let mut q = self.shared.queue.lock();
+        self.recv_core(Instant::now().checked_add(timeout))
+    }
+
+    /// The shared blocking receive loop. `deadline: None` waits forever.
+    fn recv_core(&self, deadline: Option<Instant>) -> Result<T, RecvTimeoutError> {
+        let shared = &*self.shared;
+        // Fast path: lock-free pop, short bounded spin before parking —
+        // on a busy queue a producer is usually mid-push.
+        let mut spins = 0u32;
         loop {
-            if let Some(item) = self.pop_locked(&mut q) {
+            if let Some(item) = shared.queue.pop() {
                 return Ok(item);
             }
-            if self.shared.is_recv_disconnected() {
-                return Err(RecvTimeoutError::Disconnected);
+            if shared.is_recv_disconnected() {
+                return match shared.queue.pop() {
+                    Some(item) => Ok(item),
+                    None => Err(RecvTimeoutError::Disconnected),
+                };
             }
-            if self.shared.ready.wait_until(&mut q, deadline).timed_out() {
+            if spins < 32 {
+                spins += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+
+            // Slow path: park. Register as a waiter *before* the final
+            // re-poll so any sender pushing after our last pop either sees
+            // waiters > 0 (and will notify under the lock) or pushed early
+            // enough for the re-poll below to find the item.
+            let mut generation = shared.park.lock();
+            shared.waiters.fetch_add(1, Ordering::SeqCst);
+            if let Some(item) = shared.queue.pop() {
+                shared.waiters.fetch_sub(1, Ordering::SeqCst);
+                return Ok(item);
+            }
+            if shared.is_recv_disconnected() {
+                shared.waiters.fetch_sub(1, Ordering::SeqCst);
+                drop(generation);
+                return match shared.queue.pop() {
+                    Some(item) => Ok(item),
+                    None => Err(RecvTimeoutError::Disconnected),
+                };
+            }
+            let slept_on = *generation;
+            let mut timed_out = false;
+            // Wait out spurious wakeups: only a generation bump (or the
+            // deadline) ends the nap.
+            while *generation == slept_on && !timed_out {
+                match deadline {
+                    None => shared.ready.wait(&mut generation),
+                    Some(deadline) => {
+                        timed_out = shared
+                            .ready
+                            .wait_until(&mut generation, deadline)
+                            .timed_out();
+                    }
+                }
+            }
+            shared.waiters.fetch_sub(1, Ordering::SeqCst);
+            drop(generation);
+            if timed_out {
                 // Final check: a send may have landed as the wait expired.
-                return match self.pop_locked(&mut q) {
+                return match shared.queue.pop() {
                     Some(item) => Ok(item),
                     None => Err(RecvTimeoutError::Timeout),
                 };
             }
+            spins = 0;
         }
     }
 
-    /// Number of queued items.
+    /// Number of queued items — a lock-free snapshot of the single depth
+    /// counter inside the queue core.
     pub fn len(&self) -> usize {
-        self.shared.depth.load(Ordering::SeqCst)
+        self.shared.queue.len()
     }
 
     /// True when no items are queued.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.shared.queue.is_empty()
     }
 
     /// Closes the channel from the consumer side: subsequent sends fail.
     pub fn close(&self) {
-        self.shared.closed.store(1, Ordering::SeqCst);
-        self.shared.ready.notify_all();
+        self.shared.closed.store(true, Ordering::SeqCst);
+        self.shared.wake_all();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::prop;
 
     #[test]
     fn fifo_order_preserved() {
@@ -302,6 +389,26 @@ mod tests {
             Err(RecvTimeoutError::Timeout)
         );
         assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn recv_timeout_duration_max_blocks_until_send() {
+        // Regression: `Instant::now() + Duration::MAX` used to panic; the
+        // saturated deadline must fall back to an untimed wait instead.
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || rx.recv_timeout(Duration::MAX));
+        std::thread::sleep(Duration::from_millis(20));
+        tx.send(7).unwrap();
+        assert_eq!(t.join().unwrap(), Ok(7));
+    }
+
+    #[test]
+    fn recv_timeout_duration_max_observes_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        let t = std::thread::spawn(move || rx.recv_timeout(Duration::MAX));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(t.join().unwrap(), Err(RecvTimeoutError::Disconnected));
     }
 
     #[test]
@@ -409,5 +516,114 @@ mod tests {
         assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn many_parked_receivers_all_wake() {
+        // One parked receiver per item, items sent one at a time: every
+        // notification must land (no lost wakeups on the parking layer).
+        let (tx, rx) = unbounded();
+        let receivers: Vec<_> = (0..8)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || rx.recv_timeout(Duration::from_secs(10)))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        for i in 0..8 {
+            tx.send(i).unwrap();
+        }
+        let mut got: Vec<i32> = receivers
+            .into_iter()
+            .map(|r| r.join().unwrap().expect("every receiver gets an item"))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    /// Seeded property hammer: random producer/consumer/item counts, random
+    /// shutdown mode (drop vs close), asserting exactly-once delivery and
+    /// per-producer FIFO order. Replay any failure with
+    /// `D4PY_PROP_SEED=<seed> cargo test prop_mpmc_hammer`.
+    #[test]
+    fn prop_mpmc_hammer_exactly_once_and_producer_fifo() {
+        prop::for_all_cases(12, |g| {
+            let producers = g.usize_in(1..4);
+            let consumers = g.usize_in(1..4);
+            let per_producer = g.usize_in(1..300);
+            let close_instead_of_drop = g.any::<bool>();
+
+            let (tx, rx) = unbounded::<(usize, usize)>();
+            let producer_handles: Vec<_> = (0..producers)
+                .map(|p| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..per_producer {
+                            tx.send((p, i)).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for h in producer_handles {
+                h.join().unwrap();
+            }
+            if close_instead_of_drop {
+                tx.close();
+            }
+            drop(tx);
+
+            let consumer_handles: Vec<_> = (0..consumers)
+                .map(|c| {
+                    let rx = rx.clone();
+                    // Exercise both receive entry points.
+                    let timed = c % 2 == 0;
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        loop {
+                            let item = if timed {
+                                match rx.recv_timeout(Duration::from_millis(50)) {
+                                    Ok(v) => v,
+                                    Err(RecvTimeoutError::Disconnected) => break,
+                                    Err(RecvTimeoutError::Timeout) => continue,
+                                }
+                            } else {
+                                match rx.recv() {
+                                    Ok(v) => v,
+                                    Err(RecvError) => break,
+                                }
+                            };
+                            got.push(item);
+                        }
+                        got
+                    })
+                })
+                .collect();
+
+            let per_consumer: Vec<Vec<(usize, usize)>> = consumer_handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect();
+
+            // Per-producer order: any one consumer sees a producer's items
+            // in strictly increasing sequence.
+            for got in &per_consumer {
+                let mut last = vec![None::<usize>; producers];
+                for &(p, i) in got {
+                    if let Some(prev) = last[p] {
+                        assert!(prev < i, "producer {p} reordered: {prev} then {i}");
+                    }
+                    last[p] = Some(i);
+                }
+            }
+
+            // Exactly-once: the union of all consumers is the exact multiset
+            // of sent items.
+            let mut all: Vec<(usize, usize)> = per_consumer.into_iter().flatten().collect();
+            all.sort_unstable();
+            let expected: Vec<(usize, usize)> = (0..producers)
+                .flat_map(|p| (0..per_producer).map(move |i| (p, i)))
+                .collect();
+            assert_eq!(all, expected, "items lost or duplicated");
+        });
     }
 }

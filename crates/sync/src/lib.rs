@@ -6,8 +6,12 @@
 //! Figure 2 (the instrumented global queue and its monitoring signals) is
 //! code we own and can profile at every layer:
 //!
+//! * [`segqueue`] — a segmented lock-free MPMC queue (the moral
+//!   equivalent of `crossbeam::queue::SegQueue`): fixed-size blocks in a
+//!   linked list, atomic head/tail cursors, per-slot state flags;
 //! * [`channel`] — an MPMC channel with `recv_timeout` (replaces
-//!   `crossbeam::channel`), instrumented with a live depth counter;
+//!   `crossbeam::channel`), built on [`segqueue`] so uncontended send/recv
+//!   takes no lock, with a live lock-free depth counter;
 //! * [`Mutex`] / [`Condvar`] / [`RwLock`] — poison-free wrappers over
 //!   `std::sync` with the `parking_lot` API shape;
 //! * [`buf::ByteBuf`] — a growable byte buffer with `put_*` helpers
@@ -26,6 +30,7 @@ pub mod buf;
 pub mod channel;
 pub mod prop;
 pub mod rng;
+pub mod segqueue;
 mod sync;
 
 pub use buf::ByteBuf;

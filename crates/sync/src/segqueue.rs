@@ -1,0 +1,570 @@
+//! A segmented lock-free MPMC queue — the channel's fast-path core.
+//!
+//! Unbounded FIFO storage built from fixed-size blocks strung into a
+//! singly-linked list. Each block holds [`BLOCK_CAP`] slots; the `head` and
+//! `tail` cursors are atomic packed indexes, and every slot carries a small
+//! atomic state word, so producers and consumers synchronize per-slot
+//! instead of per-queue. An uncontended [`push`](SegQueue::push) or
+//! [`pop`](SegQueue::pop) is a handful of atomic operations — no mutex, no
+//! syscall — and [`len`](SegQueue::len) is two atomic loads. Blocking
+//! behaviour (the empty-queue slow path) lives one layer up in
+//! [`crate::channel`], which parks on a condvar only after the lock-free
+//! fast path reports empty.
+//!
+//! The algorithm is the well-understood segmented design used by
+//! `crossbeam`'s `SegQueue` (in the LCRQ lineage of Morrison & Afek):
+//!
+//! * A producer claims a slot by CAS-bumping the tail index, writes the
+//!   value, then sets the slot's `WRITE` bit. A consumer claims a slot by
+//!   CAS-bumping the head index, spins briefly until `WRITE` appears (the
+//!   producer that claimed it may still be mid-write), then takes the value.
+//! * The producer that claims the *last* slot of a block pre-allocates and
+//!   installs the successor block; the index parks on a sentinel offset
+//!   meanwhile so other threads wait out the hand-off without locking.
+//! * Blocks are freed cooperatively: the consumer that advances `head` past
+//!   a block starts destruction, and any consumer still reading a slot in
+//!   it (marked via the `READ`/`DESTROY` bits) finishes the job.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{self, AtomicPtr, AtomicUsize, Ordering};
+
+/// Slots per block. One index position per lap is reserved as the
+/// "successor being installed" sentinel, so a block stores `LAP - 1` items.
+const LAP: usize = 32;
+/// Usable slots per block.
+const BLOCK_CAP: usize = LAP - 1;
+/// The low bit of a packed index is the `HAS_NEXT` flag; slot numbers start
+/// at the next bit.
+const SHIFT: usize = 1;
+/// Set in `head`'s packed index when the tail has already moved to a later
+/// block, so the consumer crossing the boundary knows a successor exists.
+const HAS_NEXT: usize = 1;
+
+/// Slot state bit: the producer has finished writing the value.
+const WRITE: usize = 1;
+/// Slot state bit: the consumer has finished reading the value.
+const READ: usize = 2;
+/// Slot state bit: block destruction reached this slot while a consumer was
+/// still reading it; that consumer continues the destruction.
+const DESTROY: usize = 4;
+
+/// Exponential spin/yield backoff for the short per-slot waits.
+struct Backoff {
+    step: u32,
+}
+
+const SPIN_LIMIT: u32 = 6;
+
+impl Backoff {
+    fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Busy-spin (bounded); for CAS retry loops that are about to succeed.
+    fn spin(&mut self) {
+        for _ in 0..1u32 << self.step.min(SPIN_LIMIT) {
+            std::hint::spin_loop();
+        }
+        if self.step <= SPIN_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// Spin first, then yield the timeslice; for waits on another thread's
+    /// in-flight operation (mid-write slot, block being installed).
+    fn snooze(&mut self) {
+        if self.step <= SPIN_LIMIT {
+            for _ in 0..1u32 << self.step {
+                std::hint::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+struct Slot<T> {
+    value: UnsafeCell<MaybeUninit<T>>,
+    state: AtomicUsize,
+}
+
+impl<T> Slot<T> {
+    // Interior mutability in a `const` is exactly what we want here: this is
+    // a template for fresh, independent slots inside `Block::new`.
+    #[allow(clippy::declare_interior_mutable_const)]
+    const UNINIT: Slot<T> = Slot {
+        value: UnsafeCell::new(MaybeUninit::uninit()),
+        state: AtomicUsize::new(0),
+    };
+
+    fn wait_write(&self, backoff: &mut Backoff) {
+        while self.state.load(Ordering::Acquire) & WRITE == 0 {
+            backoff.snooze();
+        }
+    }
+}
+
+struct Block<T> {
+    next: AtomicPtr<Block<T>>,
+    slots: [Slot<T>; BLOCK_CAP],
+}
+
+impl<T> Block<T> {
+    fn new() -> Box<Block<T>> {
+        Box::new(Block {
+            next: AtomicPtr::new(ptr::null_mut()),
+            slots: [Slot::UNINIT; BLOCK_CAP],
+        })
+    }
+
+    /// Waits until the successor block is installed and returns it.
+    fn wait_next(&self, backoff: &mut Backoff) -> *mut Block<T> {
+        loop {
+            let next = self.next.load(Ordering::Acquire);
+            if !next.is_null() {
+                return next;
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Marks slots `start..` as ready-to-free and drops the block once no
+    /// consumer is still reading any of them. The consumer that finds a
+    /// slot mid-read hands the remaining work to that reader via `DESTROY`.
+    unsafe fn destroy(this: *mut Block<T>, start: usize) {
+        // The last slot does not need marking: the thread that moved `head`
+        // past the block boundary is the one calling `destroy(.., 0)`.
+        for i in start..BLOCK_CAP - 1 {
+            let slot = (*this).slots.get_unchecked(i);
+            if slot.state.load(Ordering::Acquire) & READ == 0
+                && slot.state.fetch_or(DESTROY, Ordering::AcqRel) & READ == 0
+            {
+                // A consumer is still reading this slot; it sees DESTROY
+                // when it finishes and continues from `i + 1`.
+                return;
+            }
+        }
+        drop(Box::from_raw(this));
+    }
+}
+
+/// One cursor (packed index + current block), padded to its own cache line
+/// so producers bumping `tail` never false-share with consumers on `head`.
+#[repr(align(128))]
+struct Position<T> {
+    index: AtomicUsize,
+    block: AtomicPtr<Block<T>>,
+}
+
+/// An unbounded lock-free multi-producer multi-consumer FIFO queue.
+///
+/// Values are stored in fixed-size heap blocks linked into a list; see the
+/// module docs for the algorithm. All operations are safe to call from any
+/// number of threads concurrently.
+pub struct SegQueue<T> {
+    head: Position<T>,
+    tail: Position<T>,
+    _marker: PhantomData<T>,
+}
+
+unsafe impl<T: Send> Send for SegQueue<T> {}
+unsafe impl<T: Send> Sync for SegQueue<T> {}
+
+impl<T> Default for SegQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SegQueue<T> {
+    /// Creates an empty queue. The first block is allocated lazily by the
+    /// first push.
+    pub const fn new() -> Self {
+        SegQueue {
+            head: Position {
+                index: AtomicUsize::new(0),
+                block: AtomicPtr::new(ptr::null_mut()),
+            },
+            tail: Position {
+                index: AtomicUsize::new(0),
+                block: AtomicPtr::new(ptr::null_mut()),
+            },
+            _marker: PhantomData,
+        }
+    }
+
+    /// Enqueues `value` at the tail. Never blocks; allocates only when a
+    /// block fills (amortized one allocation per [`BLOCK_CAP`] pushes).
+    pub fn push(&self, value: T) {
+        let mut backoff = Backoff::new();
+        let mut tail = self.tail.index.load(Ordering::Acquire);
+        let mut block = self.tail.block.load(Ordering::Acquire);
+        let mut next_block = None;
+
+        loop {
+            let offset = (tail >> SHIFT) % LAP;
+
+            // Another producer claimed the last slot and is installing the
+            // next block; wait for the hand-off.
+            if offset == BLOCK_CAP {
+                backoff.snooze();
+                tail = self.tail.index.load(Ordering::Acquire);
+                block = self.tail.block.load(Ordering::Acquire);
+                continue;
+            }
+
+            // About to claim the last slot: pre-allocate the successor so
+            // the install after the claim is quick.
+            if offset + 1 == BLOCK_CAP && next_block.is_none() {
+                next_block = Some(Block::<T>::new());
+            }
+
+            // Very first push: install the initial block.
+            if block.is_null() {
+                let new = Box::into_raw(Block::<T>::new());
+                if self
+                    .tail
+                    .block
+                    .compare_exchange(block, new, Ordering::Release, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    self.head.block.store(new, Ordering::Release);
+                    block = new;
+                } else {
+                    next_block = unsafe { Some(Box::from_raw(new)) };
+                    tail = self.tail.index.load(Ordering::Acquire);
+                    block = self.tail.block.load(Ordering::Acquire);
+                    continue;
+                }
+            }
+
+            let new_tail = tail + (1 << SHIFT);
+
+            match self.tail.index.compare_exchange_weak(
+                tail,
+                new_tail,
+                Ordering::SeqCst,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => unsafe {
+                    // Claimed the last slot: install the pre-allocated
+                    // successor and advance the index past the sentinel.
+                    if offset + 1 == BLOCK_CAP {
+                        let next = Box::into_raw(next_block.take().expect("pre-allocated above"));
+                        let next_index = new_tail.wrapping_add(1 << SHIFT);
+                        self.tail.block.store(next, Ordering::Release);
+                        self.tail.index.store(next_index, Ordering::Release);
+                        (*block).next.store(next, Ordering::Release);
+                    }
+
+                    let slot = (*block).slots.get_unchecked(offset);
+                    slot.value.get().write(MaybeUninit::new(value));
+                    slot.state.fetch_or(WRITE, Ordering::Release);
+                    return;
+                },
+                Err(current) => {
+                    tail = current;
+                    block = self.tail.block.load(Ordering::Acquire);
+                    backoff.spin();
+                }
+            }
+        }
+    }
+
+    /// Dequeues from the head, or returns `None` when the queue is empty.
+    /// Never blocks on other consumers; spins only for a producer that
+    /// claimed the head slot but has not finished writing it.
+    pub fn pop(&self) -> Option<T> {
+        let mut backoff = Backoff::new();
+        let mut head = self.head.index.load(Ordering::Acquire);
+        let mut block = self.head.block.load(Ordering::Acquire);
+
+        loop {
+            let offset = (head >> SHIFT) % LAP;
+
+            // A consumer crossing the block boundary is mid-hand-off.
+            if offset == BLOCK_CAP {
+                backoff.snooze();
+                head = self.head.index.load(Ordering::Acquire);
+                block = self.head.block.load(Ordering::Acquire);
+                continue;
+            }
+
+            let mut new_head = head + (1 << SHIFT);
+
+            if new_head & HAS_NEXT == 0 {
+                atomic::fence(Ordering::SeqCst);
+                let tail = self.tail.index.load(Ordering::Relaxed);
+
+                // Head caught up with tail: empty.
+                if head >> SHIFT == tail >> SHIFT {
+                    return None;
+                }
+
+                // Tail is already in a later block, so a successor exists;
+                // record that for the boundary hand-off below.
+                if (head >> SHIFT) / LAP != (tail >> SHIFT) / LAP {
+                    new_head |= HAS_NEXT;
+                }
+            }
+
+            // Non-empty but the first block is still being installed.
+            if block.is_null() {
+                backoff.snooze();
+                head = self.head.index.load(Ordering::Acquire);
+                block = self.head.block.load(Ordering::Acquire);
+                continue;
+            }
+
+            match self.head.index.compare_exchange_weak(
+                head,
+                new_head,
+                Ordering::SeqCst,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => unsafe {
+                    // Claimed the last slot: move `head` to the successor.
+                    if offset + 1 == BLOCK_CAP {
+                        let next = (*block).wait_next(&mut backoff);
+                        let mut next_index = (new_head & !HAS_NEXT).wrapping_add(1 << SHIFT);
+                        if !(*next).next.load(Ordering::Relaxed).is_null() {
+                            next_index |= HAS_NEXT;
+                        }
+                        self.head.block.store(next, Ordering::Release);
+                        self.head.index.store(next_index, Ordering::Release);
+                    }
+
+                    let slot = (*block).slots.get_unchecked(offset);
+                    slot.wait_write(&mut backoff);
+                    let value = slot.value.get().read().assume_init();
+
+                    // Free the block once every slot in it has been read.
+                    if offset + 1 == BLOCK_CAP {
+                        Block::destroy(block, 0);
+                    } else if slot.state.fetch_or(READ, Ordering::AcqRel) & DESTROY != 0 {
+                        Block::destroy(block, offset + 1);
+                    }
+
+                    return Some(value);
+                },
+                Err(current) => {
+                    head = current;
+                    block = self.head.block.load(Ordering::Acquire);
+                    backoff.spin();
+                }
+            }
+        }
+    }
+
+    /// Number of queued items — two atomic loads, no lock. The value is a
+    /// consistent snapshot (the tail index is re-checked), exactly what the
+    /// auto-scaler's monitor tick wants.
+    pub fn len(&self) -> usize {
+        loop {
+            let mut tail = self.tail.index.load(Ordering::SeqCst);
+            let mut head = self.head.index.load(Ordering::SeqCst);
+
+            // Re-load to make sure head was not read across a tail move.
+            if self.tail.index.load(Ordering::SeqCst) == tail {
+                // Strip the HAS_NEXT flag bits.
+                tail &= !((1 << SHIFT) - 1);
+                head &= !((1 << SHIFT) - 1);
+
+                // An index parked on the install sentinel counts as the
+                // start of the next lap.
+                if (tail >> SHIFT) & (LAP - 1) == LAP - 1 {
+                    tail = tail.wrapping_add(1 << SHIFT);
+                }
+                if (head >> SHIFT) & (LAP - 1) == LAP - 1 {
+                    head = head.wrapping_add(1 << SHIFT);
+                }
+
+                // Rebase both indexes to head's lap, then subtract one
+                // sentinel position per full lap between them.
+                let lap = (head >> SHIFT) / LAP;
+                tail = tail.wrapping_sub((lap * LAP) << SHIFT);
+                head = head.wrapping_sub((lap * LAP) << SHIFT);
+                tail >>= SHIFT;
+                head >>= SHIFT;
+                return tail - head - tail / LAP;
+            }
+        }
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        let head = self.head.index.load(Ordering::SeqCst);
+        let tail = self.tail.index.load(Ordering::SeqCst);
+        head >> SHIFT == tail >> SHIFT
+    }
+}
+
+impl<T> Drop for SegQueue<T> {
+    fn drop(&mut self) {
+        let mut head = *self.head.index.get_mut();
+        let tail = *self.tail.index.get_mut();
+        let mut block = *self.head.block.get_mut();
+
+        head &= !((1 << SHIFT) - 1);
+        let tail = tail & !((1 << SHIFT) - 1);
+
+        unsafe {
+            // Walk head→tail dropping unpopped values, freeing each block
+            // as its boundary sentinel position is crossed.
+            while head != tail {
+                let offset = (head >> SHIFT) % LAP;
+                if offset < BLOCK_CAP {
+                    let slot = (*block).slots.get_unchecked(offset);
+                    (*slot.value.get()).assume_init_drop();
+                } else {
+                    let next = *(*block).next.get_mut();
+                    drop(Box::from_raw(block));
+                    block = next;
+                }
+                head = head.wrapping_add(1 << SHIFT);
+            }
+            if !block.is_null() {
+                drop(Box::from_raw(block));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop;
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_across_block_boundaries() {
+        let q = SegQueue::new();
+        // 4+ blocks worth, so the boundary hand-off path runs many times.
+        for i in 0..(BLOCK_CAP * 4 + 7) {
+            q.push(i);
+        }
+        for i in 0..(BLOCK_CAP * 4 + 7) {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn len_is_exact_across_blocks() {
+        let q = SegQueue::new();
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        for i in 0..100 {
+            q.push(i);
+            assert_eq!(q.len(), i + 1);
+        }
+        for i in (0..100).rev() {
+            q.pop().unwrap();
+            assert_eq!(q.len(), i);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_unpopped_items() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let q = SegQueue::new();
+            for _ in 0..(BLOCK_CAP * 2 + 5) {
+                q.push(Counted(drops.clone()));
+            }
+            for _ in 0..3 {
+                drop(q.pop().unwrap());
+            }
+        }
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            BLOCK_CAP * 2 + 5,
+            "queue drop must run every remaining destructor"
+        );
+    }
+
+    #[test]
+    fn mpmc_stress_no_loss_no_duplication() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 2_000;
+        let q = Arc::new(SegQueue::new());
+        let popped = Arc::new(AtomicUsize::new(0));
+
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.push(p * PER_PRODUCER + i);
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let q = q.clone();
+                let popped = popped.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while popped.load(Ordering::SeqCst) < PRODUCERS * PER_PRODUCER {
+                        if let Some(v) = q.pop() {
+                            popped.fetch_add(1, Ordering::SeqCst);
+                            got.push(v);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(all, expected);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn prop_matches_vecdeque_model() {
+        prop::for_all(|g| {
+            let q = SegQueue::new();
+            let mut model = VecDeque::new();
+            for _ in 0..g.usize_in(0..200) {
+                if g.any::<bool>() {
+                    let v = g.any_i64();
+                    q.push(v);
+                    model.push_back(v);
+                } else {
+                    assert_eq!(q.pop(), model.pop_front());
+                }
+                assert_eq!(q.len(), model.len());
+                assert_eq!(q.is_empty(), model.is_empty());
+            }
+            while let Some(expected) = model.pop_front() {
+                assert_eq!(q.pop(), Some(expected));
+            }
+            assert_eq!(q.pop(), None);
+        });
+    }
+}

@@ -12,4 +12,10 @@ cargo test -q --offline
 cargo fmt --check
 cargo clippy --offline --all-targets -- -D warnings
 
+# Smoke-run the lock-free global-queue ablation so the channel fast path is
+# exercised under the full gate. The bench itself prints baseline-vs-current
+# throughput when a previous run's numbers are present
+# (target/ablation_queue_last.txt).
+D4PY_BENCH_QUICK=1 cargo bench --offline --bench ablation_queue
+
 echo "verify: OK"

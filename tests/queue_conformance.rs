@@ -137,6 +137,143 @@ fn late_joining_consumers_differ_by_design() {
 }
 
 #[test]
+fn depth_never_exceeds_outstanding_under_concurrent_monitor_reads() {
+    // Regression guard for the duplicate-depth-counter bug: ChannelQueue
+    // used to keep its own AtomicUsize, decremented *after* the channel's
+    // internal counter, so a monitor tick in that window read a phantom
+    // backlog. With depth delegated to the channel's single counter, a
+    // concurrent monitor must never see depth exceed items-pushed minus
+    // items-whose-pop-completed.
+    const PRODUCERS: usize = 2;
+    const CONSUMERS: usize = 2;
+    const PER_PRODUCER: usize = 150;
+    for (name, q) in backends(CONSUMERS) {
+        let pushed = Arc::new(AtomicUsize::new(0));
+        let popped = Arc::new(AtomicUsize::new(0));
+
+        let producer_handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = q.clone();
+                let pushed = pushed.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        // Count before the push so depth can never lead it.
+                        pushed.fetch_add(1, Ordering::SeqCst);
+                        q.push(task((p * PER_PRODUCER + i) as i64)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumer_handles: Vec<_> = (0..CONSUMERS)
+            .map(|c| {
+                let q = q.clone();
+                let popped = popped.clone();
+                std::thread::spawn(move || {
+                    while popped.load(Ordering::SeqCst) < PRODUCERS * PER_PRODUCER {
+                        if q.pop(c, Duration::from_millis(5)).unwrap().is_some() {
+                            // Count after the pop returns so depth can
+                            // never trail it.
+                            popped.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // The monitor tick: sample depth continuously while the hammer
+        // runs. Reading popped before and pushed after the depth sample
+        // makes the bound conservative in both directions.
+        while popped.load(Ordering::SeqCst) < PRODUCERS * PER_PRODUCER {
+            let popped_before = popped.load(Ordering::SeqCst);
+            let depth = q.depth();
+            let pushed_after = pushed.load(Ordering::SeqCst);
+            assert!(
+                depth <= pushed_after - popped_before,
+                "{name}: monitor read phantom backlog: depth {depth} > \
+                 {pushed_after} pushed - {popped_before} popped"
+            );
+        }
+
+        for h in producer_handles {
+            h.join().unwrap();
+        }
+        for h in consumer_handles {
+            h.join().unwrap();
+        }
+        assert_eq!(q.depth(), 0, "{name}: drained queue must report depth 0");
+    }
+}
+
+#[test]
+fn pop_with_duration_max_blocks_until_item_arrives() {
+    // Regression: the channel's recv_timeout computed `Instant::now() +
+    // timeout`, which panics on Duration::MAX ("block indefinitely"). The
+    // saturated deadline must fall back to an untimed wait. Channel-only:
+    // the Redis backend hands the timeout to the server as BLOCK
+    // milliseconds, which has no deadline arithmetic to overflow.
+    let q = Arc::new(ChannelQueue::new(1));
+    let popper = {
+        let q = q.clone();
+        std::thread::spawn(move || q.pop(0, Duration::MAX))
+    };
+    std::thread::sleep(Duration::from_millis(30));
+    q.push(task(42)).unwrap();
+    assert_eq!(
+        popper.join().expect("pop must not panic").unwrap(),
+        Some(task(42))
+    );
+}
+
+#[test]
+fn never_popped_consumers_report_idle_since_creation() {
+    // Regression: newly grown idle-table slots were backfilled with
+    // `Instant::now()`, so intermediate scale-up consumers that never
+    // popped read as just-active, deflating the mean idle signal and
+    // suppressing legitimate Shrink decisions. A consumer that has never
+    // popped must report idle >= elapsed-since-creation on both backends.
+    for (name, q) in backends(3) {
+        std::thread::sleep(Duration::from_millis(30));
+        q.push(task(1)).unwrap();
+        q.pop(1, Duration::from_millis(100)).unwrap();
+        let idles = q.idle_times().unwrap();
+        for never_popped in [0, 2] {
+            assert!(
+                idles[never_popped] >= Duration::from_millis(25),
+                "{name}: consumer {never_popped} never popped but reports \
+                 idle {:?} — backfilled as just-active",
+                idles[never_popped]
+            );
+        }
+        assert!(
+            idles[1] < Duration::from_millis(25),
+            "{name}: consumer 1 just popped, idle was {:?}",
+            idles[1]
+        );
+    }
+
+    // The late-joining growth path (channel-only: Redis rejects unknown
+    // indexes, see late_joining_consumers_differ_by_design): slots created
+    // by the resize for consumers 1..3 must also count from creation.
+    let q = ChannelQueue::new(1);
+    std::thread::sleep(Duration::from_millis(30));
+    q.push(task(1)).unwrap();
+    q.pop(3, Duration::from_millis(100)).unwrap();
+    let idles = q.idle_times().unwrap();
+    assert_eq!(idles.len(), 4);
+    for never_popped in [0, 1, 2] {
+        assert!(
+            idles[never_popped] >= Duration::from_millis(25),
+            "channel: grown slot {never_popped} backfilled as just-active ({:?})",
+            idles[never_popped]
+        );
+    }
+    assert!(
+        idles[3] < Duration::from_millis(25),
+        "consumer 3 just popped"
+    );
+}
+
+#[test]
 fn pills_pass_through_like_tasks() {
     for (name, q) in backends(1) {
         q.push(task(1)).unwrap();
