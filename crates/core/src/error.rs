@@ -21,6 +21,9 @@ pub enum CoreError {
     InvalidOptions(String),
     /// Binary codec failure while (de)serializing stream data.
     Codec(CodecError),
+    /// A stored state snapshot frame is damaged, truncated, or from an
+    /// unknown format version (see [`crate::state::snapshot`]).
+    Snapshot(crate::state::snapshot::SnapshotError),
     /// A queue/transport failure (e.g. the Redis connection dropped).
     Queue(String),
     /// A worker thread panicked.
@@ -42,6 +45,7 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::InvalidOptions(msg) => write!(f, "invalid options: {msg}"),
             CoreError::Codec(e) => write!(f, "codec error: {e}"),
+            CoreError::Snapshot(e) => write!(f, "snapshot error: {e}"),
             CoreError::Queue(msg) => write!(f, "queue error: {msg}"),
             CoreError::WorkerPanic { worker } => write!(f, "worker {worker} panicked"),
         }

@@ -163,6 +163,7 @@ pub fn run_dynamic(
         failed_tasks: engine.failed_tasks.load(Ordering::Relaxed),
         per_pe_tasks: engine.pe_counts.snapshot(),
         task_latency: engine.latency.summary(),
+        warnings: vec![],
     })
 }
 

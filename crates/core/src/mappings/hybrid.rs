@@ -84,6 +84,9 @@ struct HybridEngine {
     stateless_workers: usize,
     /// Optional state externalization for stateful instances.
     state: Option<Arc<dyn StateStore>>,
+    /// Non-fatal degradations (e.g. warm starts skipped over damaged
+    /// frames), surfaced through [`RunReport::warnings`].
+    warnings: d4py_sync::Mutex<Vec<String>>,
 }
 
 impl HybridEngine {
@@ -251,6 +254,7 @@ pub fn run_hybrid_with_state(
         ledger: ActiveTimeLedger::new(opts.workers),
         stateless_workers,
         state,
+        warnings: d4py_sync::Mutex::new(Vec::new()),
     });
 
     // Seed kickoffs: stateless sources to the global queue; stateful sources
@@ -333,6 +337,7 @@ pub fn run_hybrid_with_state(
     if let Some(e) = worker_error {
         return Err(e);
     }
+    let warnings = std::mem::take(&mut *engine.warnings.lock());
 
     Ok(RunReport {
         mapping: mapping_name.to_string(),
@@ -345,6 +350,7 @@ pub fn run_hybrid_with_state(
         failed_tasks: engine.failed_tasks.load(Ordering::Relaxed),
         per_pe_tasks: engine.pe_counts.snapshot(),
         task_latency: crate::metrics::LatencySummary::default(),
+        warnings,
     })
 }
 
@@ -366,10 +372,22 @@ fn stateful_worker(
         .map(|s| s.name.clone())
         .unwrap_or_default();
 
-    // Warm start: restore externalized state before the first input.
+    // Warm start: restore externalized state before the first input. A
+    // damaged or future-versioned snapshot frame is a *degradation*, not a
+    // failure: the instance starts cold and the reason is reported via
+    // `RunReport::warnings`. Only transport-level store errors abort.
     if let Some(store) = &engine.state {
-        if let Some(saved) = store.load(&slot_name(&pe_name, slot.instance))? {
-            pe.restore(saved);
+        let slot_key = slot_name(&pe_name, slot.instance);
+        match store.load(&slot_key) {
+            Ok(Some(saved)) => pe.restore(saved),
+            Ok(None) => {}
+            Err(CoreError::Snapshot(e)) => {
+                engine
+                    .warnings
+                    .lock()
+                    .push(format!("warm start skipped for {slot_key}: {e}"));
+            }
+            Err(e) => return Err(e),
         }
     }
 

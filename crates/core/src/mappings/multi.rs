@@ -126,6 +126,7 @@ impl Mapping for Multi {
             failed_tasks: failed_tasks.load(Ordering::Relaxed),
             per_pe_tasks: pe_counts.snapshot(),
             task_latency: crate::metrics::LatencySummary::default(),
+            warnings: vec![],
         })
     }
 }

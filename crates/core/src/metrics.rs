@@ -265,6 +265,11 @@ pub struct RunReport {
     /// Per-task service-time quantiles (time inside `process()`, queue wait
     /// excluded). Only the dynamic-family engines populate this.
     pub task_latency: LatencySummary,
+    /// Non-fatal degradations the run worked around, one human-readable
+    /// reason each — e.g. a warm start skipped because the stored snapshot
+    /// frame was damaged or from an unknown future format version. An
+    /// empty list means the run used everything it was given.
+    pub warnings: Vec<String>,
 }
 
 impl RunReport {
@@ -347,6 +352,7 @@ mod tests {
             failed_tasks: 0,
             per_pe_tasks: vec![],
             task_latency: LatencySummary::default(),
+            warnings: vec![],
         };
         assert!((report.mean_active_workers() - 4.0).abs() < 1e-9);
     }
@@ -364,6 +370,7 @@ mod tests {
             failed_tasks: 0,
             per_pe_tasks: vec![],
             task_latency: LatencySummary::default(),
+            warnings: vec![],
         };
         assert_eq!(report.mean_active_workers(), 0.0);
     }

@@ -35,6 +35,11 @@ impl ByteBuf {
         self.data.extend_from_slice(s);
     }
 
+    /// Appends a `u16` little-endian.
+    pub fn put_u16_le(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Appends a `u32` little-endian.
     pub fn put_u32_le(&mut self, v: u32) {
         self.data.extend_from_slice(&v.to_le_bytes());

@@ -16,6 +16,8 @@
 //!   `std::sync` with the `parking_lot` API shape;
 //! * [`buf::ByteBuf`] — a growable byte buffer with `put_*` helpers
 //!   (replaces `bytes::BytesMut`);
+//! * [`crc`] — CRC-32 (IEEE) with a compile-time table, the integrity
+//!   primitive for the versioned snapshot frames;
 //! * [`rng`] — a seedable PCG32 generator with `gen`/`gen_range`
 //!   (replaces `rand::StdRng`);
 //! * [`prop`] — a minimal seeded property-testing runner (replaces the
@@ -28,6 +30,7 @@
 pub mod bench;
 pub mod buf;
 pub mod channel;
+pub mod crc;
 pub mod prop;
 pub mod rng;
 pub mod segqueue;

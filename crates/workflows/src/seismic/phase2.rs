@@ -94,6 +94,29 @@ impl ProcessingElement for PairBuilder {
         }
         self.seen.push((station, samples));
     }
+
+    /// Externalizes the seen-trace set so a later session pairs its new
+    /// stations against this one's (incremental pair generation).
+    fn snapshot(&self) -> Option<Value> {
+        Some(Value::List(
+            self.seen
+                .iter()
+                .map(|(station, samples)| trace_value(station, samples))
+                .collect(),
+        ))
+    }
+
+    fn restore(&mut self, state: Value) {
+        let Value::List(traces) = state else { return };
+        for trace in traces {
+            let station = trace
+                .get("station")
+                .and_then(Value::as_str)
+                .unwrap_or("UNKNOWN")
+                .to_string();
+            self.seen.push((station, samples_of(&trace)));
+        }
+    }
 }
 
 /// `xcorr`: stateless per-pair correlation.
@@ -161,6 +184,37 @@ impl ProcessingElement for TopPairs {
                 ("lag", Value::Int(*lag)),
                 ("r", Value::Float(*r)),
             ]));
+        }
+    }
+
+    /// Externalizes every scored pair so a warm-started session ranks old
+    /// and new correlations together.
+    fn snapshot(&self) -> Option<Value> {
+        Some(Value::List(
+            self.rows
+                .iter()
+                .map(|(pair, lag, r)| {
+                    Value::map([
+                        ("pair", Value::Str(pair.clone())),
+                        ("lag", Value::Int(*lag)),
+                        ("r", Value::Float(*r)),
+                    ])
+                })
+                .collect(),
+        ))
+    }
+
+    fn restore(&mut self, state: Value) {
+        let Value::List(rows) = state else { return };
+        for row in rows {
+            self.rows.push((
+                row.get("pair")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                row.get("lag").and_then(Value::as_int).unwrap_or(0),
+                row.get("r").and_then(Value::as_float).unwrap_or(0.0),
+            ));
         }
     }
 }
@@ -268,6 +322,44 @@ mod tests {
         let (exe, _, _) = build(&fast_cfg());
         // The paper's point: plain dynamic scheduling cannot run phase 2.
         assert!(DynMulti.execute(&exe, &ExecutionOptions::new(4)).is_err());
+    }
+
+    #[test]
+    fn warm_start_pairs_new_stations_against_previous_session() {
+        use d4py_core::mappings::hybrid::{run_hybrid_with_state, ChannelQueueFactory};
+        use d4py_core::state::MemoryStateStore;
+
+        let store = MemoryStateStore::new();
+        let opts = ExecutionOptions::new(4);
+
+        // Session 1: 16 stations → C(16,2) pairs, state externalized.
+        let (exe, _, pairs1) = build(&fast_cfg());
+        let r1 = run_hybrid_with_state(
+            &exe,
+            &opts,
+            &ChannelQueueFactory,
+            "hybrid_multi",
+            Some(store.clone()),
+        )
+        .unwrap();
+        assert_eq!(r1.tasks_executed, 1 + 16 + 2 * pairs1 as u64);
+        assert!(r1.warnings.is_empty(), "{:?}", r1.warnings);
+
+        // Session 2: 16 *different* stations, warm-started. pairBuilder
+        // restores the 16 previous traces, so each new station pairs with
+        // 16 old + previously-arrived new ones: C(32,2) − C(16,2) fresh
+        // pairs this session.
+        let (exe, _, _) = build(&fast_cfg().with_seed(99));
+        let r2 = run_hybrid_with_state(
+            &exe,
+            &opts,
+            &ChannelQueueFactory,
+            "hybrid_multi",
+            Some(store),
+        )
+        .unwrap();
+        let fresh_pairs = (32 * 31) / 2 - pairs1 as u64;
+        assert_eq!(r2.tasks_executed, 1 + 16 + 2 * fresh_pairs);
     }
 
     #[test]

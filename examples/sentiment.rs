@@ -6,9 +6,12 @@
 //! cargo run -p dispel4py --release --example sentiment
 //! ```
 
+use dispel4py::core::state::StateStore;
 use dispel4py::prelude::*;
+use dispel4py::redis::RedisStateStore;
 use dispel4py::redis_lite::server::Server;
 use dispel4py::workflows::sentiment;
+use std::sync::Arc;
 
 fn print_top3(label: &str, results: &d4py_sync::Mutex<Vec<Value>>) {
     println!("  {label} top 3 happiest states:");
@@ -64,6 +67,47 @@ fn main() {
         "\nruntime ratio hybrid_redis/multi at {workers} workers = {ratio:.2} \
          (paper's best case: 0.32 on server)"
     );
+
+    // Warm start: externalize the hybrid run's state into the server (as
+    // versioned snapshot frames in a Redis hash), then run a second corpus
+    // that continues aggregating where the first session stopped.
+    println!("\n== Warm start: a second session continues the aggregation ==\n");
+    let backend = RedisBackend::Tcp(server.addr());
+    let store: Arc<dyn StateStore> =
+        Arc::new(RedisStateStore::new(&backend, "d4py:state:sentiment").unwrap());
+    let (exe, session1) = sentiment::build(&cfg);
+    HybridRedis::new(backend.clone())
+        .with_state_store(store.clone())
+        .execute(&exe, &ExecutionOptions::new(workers))
+        .unwrap();
+    print_top3("session 1 (cold)", &session1);
+    println!(
+        "  state externalized into {} snapshot slot(s)",
+        store.slots().unwrap().len()
+    );
+
+    let (exe, session2) = sentiment::build(&cfg.clone().with_seed(99));
+    let warm_report = HybridRedis::new(backend)
+        .with_state_store(store)
+        .execute(&exe, &ExecutionOptions::new(workers))
+        .unwrap();
+    print_top3("session 2 (warm, fresh corpus)", &session2);
+    assert!(
+        warm_report.warnings.is_empty(),
+        "clean frames must warm-start silently: {:?}",
+        warm_report.warnings
+    );
+    let s1: i64 = session1
+        .lock()
+        .iter()
+        .map(|r| r.get("count").unwrap().as_int().unwrap())
+        .sum();
+    let s2: i64 = session2
+        .lock()
+        .iter()
+        .map(|r| r.get("count").unwrap().as_int().unwrap())
+        .sum();
+    println!("  top-3 article counts: session 1 = {s1}, session 2 = {s2} (carried forward)");
 
     let a: Vec<String> = multi_results
         .lock()

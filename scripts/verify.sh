@@ -7,10 +7,22 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Golden snapshot fixtures must exist and match the committed manifest:
+# a drifted fixture means the on-disk snapshot format changed without a
+# FORMAT_VERSION bump (regenerate intentionally with D4PY_REGEN_FIXTURES=1
+# and refresh tests/fixtures/MANIFEST.sha256).
+(cd tests/fixtures && sha256sum --check --quiet MANIFEST.sha256) \
+    || { echo "verify: FAIL — snapshot fixtures missing or modified" >&2; exit 1; }
+
 cargo build --release --offline
 cargo test -q --offline
 cargo fmt --check
 cargo clippy --offline --all-targets -- -D warnings
+
+# The snapshot-format and cross-backend state-store conformance suites are
+# part of `cargo test` above, but run them by name too so a Cargo.toml
+# regression that silently unregisters either target fails loudly here.
+cargo test -q --offline --test snapshot_format --test state_store_conformance
 
 # Smoke-run the lock-free global-queue ablation so the channel fast path is
 # exercised under the full gate. The bench itself prints baseline-vs-current
