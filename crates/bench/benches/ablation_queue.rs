@@ -10,14 +10,25 @@
 //! lock handoff the tentpole removed.
 //!
 //! Runs as a plain binary (`cargo bench --bench ablation_queue`). Honors
-//! `D4PY_BENCH_QUICK=1` for CI smoke runs. Results persist to
-//! `target/ablation_queue_last.txt`; when a previous run's numbers are
-//! present, a baseline-vs-current comparison is printed so regressions are
-//! visible run over run.
+//! `D4PY_BENCH_QUICK=1` for CI smoke runs (the resulting JSON is tagged
+//! `smoke: true` and `bench-compare` refuses to gate on it). Every rep's
+//! throughput is kept as a sample and summarized by `d4py_sync::stats`
+//! (MAD outlier rejection + bootstrap CI); results persist as versioned
+//! JSON to `<target>/bench/BENCH_ablation_queue.json` for the
+//! `bench-compare` regression gate. When the committed baseline
+//! `bench/baselines/BENCH_ablation_queue.json` exists, a delta summary
+//! prints inline (the hard gate is `bench-compare`'s job). A previous
+//! generation stored plain-text results in `target/ablation_queue_last.txt`;
+//! that file is still read — with a deprecation warning — until the next
+//! release.
+//!
+//! `D4PY_BENCH_HANDICAP=<factor>` divides measured throughput; test-only,
+//! so the regression gate can be exercised end-to-end.
 
 use d4py_sync::channel;
+use d4py_sync::report::{BenchEntry, BenchReport, Better, EnvStamp};
+use d4py_sync::stats::{summarize, StatsConfig, Summary};
 use d4py_sync::{Condvar, Mutex};
-use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -131,12 +142,17 @@ fn run_once<C: Chan>(chan: Arc<C>, workers: usize, items: usize) -> f64 {
     items as f64 / start.elapsed().as_secs_f64()
 }
 
-/// Best-of-`reps` throughput, fresh queue per rep (best-of damps scheduler
-/// noise, which dominates on small machines).
-fn throughput<C: Chan>(make: impl Fn() -> C, workers: usize, items: usize, reps: usize) -> f64 {
+/// Per-rep throughput samples, fresh queue each rep, handicap applied.
+fn samples<C: Chan>(
+    make: impl Fn() -> C,
+    workers: usize,
+    items: usize,
+    reps: usize,
+    handicap: f64,
+) -> Vec<f64> {
     (0..reps)
-        .map(|_| run_once(Arc::new(make()), workers, items))
-        .fold(0.0, f64::max)
+        .map(|_| run_once(Arc::new(make()), workers, items) / handicap)
+        .collect()
 }
 
 fn fmt_rate(r: f64) -> String {
@@ -147,17 +163,51 @@ fn fmt_rate(r: f64) -> String {
     }
 }
 
-fn results_path() -> PathBuf {
-    // crates/bench -> workspace root -> target/
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/ablation_queue_last.txt")
+fn workspace_root() -> PathBuf {
+    // crates/bench -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
-/// Parses a previous run's `workers=<w> mutex=<r> lockfree=<r>` lines.
-fn load_previous() -> HashMap<usize, (f64, f64)> {
-    let mut prev = HashMap::new();
-    let Ok(text) = std::fs::read_to_string(results_path()) else {
-        return prev;
-    };
+/// The committed, versioned baseline location.
+fn baseline_path() -> PathBuf {
+    workspace_root().join("bench/baselines/BENCH_ablation_queue.json")
+}
+
+/// Pre-JSON plain-text results — read-only deprecation shim, one release.
+fn legacy_txt_path() -> PathBuf {
+    workspace_root().join("target/ablation_queue_last.txt")
+}
+
+/// Loads the baseline: the versioned JSON if present, else the deprecated
+/// txt file (warned), else nothing.
+fn load_baseline() -> Option<BenchReport> {
+    let json = baseline_path();
+    if json.exists() {
+        match BenchReport::load(&json) {
+            Ok(r) => return Some(r),
+            Err(e) => {
+                eprintln!("warning: unreadable baseline {}: {e}", json.display());
+                return None;
+            }
+        }
+    }
+    load_legacy_txt()
+}
+
+/// Parses the old `workers=<w> mutex=<r> lockfree=<r>` lines into a
+/// synthetic single-sample report so old baselines stay comparable for one
+/// release.
+fn load_legacy_txt() -> Option<BenchReport> {
+    let path = legacy_txt_path();
+    let text = std::fs::read_to_string(&path).ok()?;
+    eprintln!(
+        "warning: reading deprecated plain-text baseline {} — it lives in target/ \
+         (wiped by `cargo clean`) and stores no distributions; promote a JSON baseline \
+         with scripts/bench-baseline.sh. This shim goes away next release.",
+        path.display()
+    );
+    let mut report = BenchReport::new("ablation_queue", true);
+    report.env = EnvStamp::current();
     for line in text.lines() {
         let mut workers = None;
         let mut mutex = None;
@@ -173,68 +223,106 @@ fn load_previous() -> HashMap<usize, (f64, f64)> {
             }
         }
         if let (Some(w), Some(m), Some(l)) = (workers, mutex, lockfree) {
-            prev.insert(w, (m, l));
+            for (kind, rate) in [("mutex", m), ("lockfree", l)] {
+                report.benches.push(BenchEntry {
+                    id: format!("ablation_queue/{kind}/w{w}"),
+                    unit: "msg/s".into(),
+                    better: Better::Higher,
+                    samples: vec![rate],
+                    summary: summarize(&[rate], &StatsConfig::default()),
+                });
+            }
         }
     }
-    prev
+    (!report.benches.is_empty()).then_some(report)
+}
+
+fn entry(id: String, s: Vec<f64>) -> BenchEntry {
+    let summary = summarize(&s, &StatsConfig::default());
+    BenchEntry {
+        id,
+        unit: "msg/s".into(),
+        better: Better::Higher,
+        samples: s,
+        summary,
+    }
 }
 
 fn main() {
     let quick = std::env::var("D4PY_BENCH_QUICK")
         .map(|v| v != "0")
         .unwrap_or(false);
+    let handicap = std::env::var("D4PY_BENCH_HANDICAP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|f| f.is_finite() && *f > 0.0)
+        .unwrap_or(1.0);
     let (worker_counts, items, reps): (&[usize], usize, usize) = if quick {
-        (&[2, 8], 20_000, 2)
+        (&[2, 8], 20_000, 3)
     } else {
-        (&[1, 2, 4, 8, 16], 200_000, 3)
+        (&[1, 2, 4, 8, 16], 200_000, 7)
     };
 
     println!("== ablation_queue: mutex channel baseline vs lock-free segmented channel ==");
-    println!("   ({items} messages per run, best of {reps}, producers = consumers = workers)\n");
+    println!("   ({items} messages per run, {reps} reps, producers = consumers = workers)\n");
+    if handicap != 1.0 {
+        println!("   !! D4PY_BENCH_HANDICAP={handicap} — throughput divided for gate testing\n");
+    }
     println!(
-        "{:>8}  {:>14}  {:>14}  {:>8}",
-        "workers", "mutex", "lock-free", "speedup"
+        "{:>8}  {:>22}  {:>22}  {:>8}",
+        "workers", "mutex (median ±σ)", "lock-free (median ±σ)", "speedup"
     );
 
-    let previous = load_previous();
-    let mut lines = Vec::new();
-    let mut deltas = Vec::new();
+    let mut report = BenchReport::new("ablation_queue", quick);
     for &workers in worker_counts {
-        let mutex = throughput(MutexChan::new, workers, items, reps);
-        let lockfree = throughput(SegChan::new, workers, items, reps);
-        println!(
-            "{workers:>8}  {:>14}  {:>14}  {:>7.2}x",
-            fmt_rate(mutex),
-            fmt_rate(lockfree),
-            lockfree / mutex
+        let mutex = entry(
+            format!("ablation_queue/mutex/w{workers}"),
+            samples(MutexChan::new, workers, items, reps, handicap),
         );
-        lines.push(format!(
-            "workers={workers} mutex={mutex:.0} lockfree={lockfree:.0}"
-        ));
-        if let Some(&(prev_mutex, prev_lockfree)) = previous.get(&workers) {
-            deltas.push(format!(
-                "  workers={workers}: lock-free {} -> {} ({:+.1}%), mutex {} -> {} ({:+.1}%)",
-                fmt_rate(prev_lockfree),
-                fmt_rate(lockfree),
-                (lockfree - prev_lockfree) / prev_lockfree * 100.0,
-                fmt_rate(prev_mutex),
-                fmt_rate(mutex),
-                (mutex - prev_mutex) / prev_mutex * 100.0,
-            ));
+        let lockfree = entry(
+            format!("ablation_queue/lockfree/w{workers}"),
+            samples(SegChan::new, workers, items, reps, handicap),
+        );
+        let fmt = |s: &Summary| format!("{} ±{}", fmt_rate(s.median), fmt_rate(s.stddev));
+        println!(
+            "{workers:>8}  {:>22}  {:>22}  {:>7.2}x",
+            fmt(&mutex.summary),
+            fmt(&lockfree.summary),
+            lockfree.summary.median / mutex.summary.median
+        );
+        report.benches.push(mutex);
+        report.benches.push(lockfree);
+    }
+
+    // Informational inline comparison (the hard gate is `bench-compare`).
+    if let Some(baseline) = load_baseline() {
+        println!("\nvs baseline:");
+        for cur in &report.benches {
+            if let Some(base) = baseline.benches.iter().find(|b| b.id == cur.id) {
+                let delta =
+                    (cur.summary.median - base.summary.median) / base.summary.median * 100.0;
+                println!(
+                    "  {}: {} -> {} ({delta:+.1}%)",
+                    cur.id,
+                    fmt_rate(base.summary.median),
+                    fmt_rate(cur.summary.median),
+                );
+            }
         }
     }
 
-    if !deltas.is_empty() {
-        println!(
-            "\nbaseline vs current (previous run found at {:?}):",
-            results_path()
-        );
-        for d in &deltas {
-            println!("{d}");
-        }
-    }
-
-    if let Err(e) = std::fs::write(results_path(), lines.join("\n") + "\n") {
-        eprintln!("note: could not persist results for next-run comparison: {e}");
+    let out = d4py_sync::bench::out_dir().join("BENCH_ablation_queue.json");
+    match report.save(&out) {
+        Ok(()) => println!(
+            "\nwrote {} ({}{})",
+            out.display(),
+            if report.smoke {
+                "smoke mode — not gateable"
+            } else {
+                "gateable"
+            },
+            if handicap != 1.0 { ", handicapped" } else { "" },
+        ),
+        Err(e) => eprintln!("note: could not persist bench report: {e}"),
     }
 }

@@ -1,0 +1,61 @@
+//! `bench-compare` — gate a bench run against a stored baseline.
+//!
+//! ```sh
+//! cargo run -p d4py-bench --bin bench-compare -- <baseline.json> <current.json>
+//! ```
+//!
+//! Both files are versioned `BENCH_<name>.json` reports written by the
+//! timing harness (`d4py_sync::report`). Prints the delta table (see
+//! `d4py_bench::render::render_compare`) and exits:
+//!
+//! * `0` — no statistically significant regression, or gating was refused
+//!   because either report is a smoke-mode (quick) run;
+//! * `1` — at least one benchmark regressed beyond its measured noise
+//!   threshold;
+//! * `2` — usage or parse error (unreadable file, future format version).
+
+use d4py_bench::compare::{compare, Gate};
+use d4py_bench::render::render_compare;
+use d4py_sync::report::BenchReport;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    BenchReport::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(baseline_path: &str, current_path: &str) -> Result<ExitCode, String> {
+    let baseline = load(baseline_path)?;
+    let current = load(current_path)?;
+    let cmp = compare(&baseline, &current);
+    print!("{}", render_compare(&baseline.name, &current.name, &cmp));
+    match cmp.gate {
+        Gate::Pass => {
+            println!("gate: PASS");
+            Ok(ExitCode::SUCCESS)
+        }
+        Gate::NotGateable(reason) => {
+            println!("gate: SKIPPED — {reason}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Gate::Regressions(n) => {
+            println!("gate: FAIL — {n} significant regression(s)");
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline, current] = args.as_slice() else {
+        eprintln!("usage: bench-compare <baseline.json> <current.json>");
+        return ExitCode::from(2);
+    };
+    match run(baseline, current) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bench-compare: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Baseline-vs-current comparison with a statistical regression gate.
+//!
+//! Consumes two [`BenchReport`]s (the versioned `BENCH_<name>.json` the
+//! harness writes) and decides, per benchmark, whether the current run
+//! moved: the delta % of the means, gated by a noise threshold derived
+//! from the *measured* bootstrap confidence intervals. A change counts as
+//! significant only when
+//!
+//! 1. the two CIs are disjoint (the distributions separated), **and**
+//! 2. `|delta %|` exceeds `max(2 %, base CI half-width % + current CI
+//!    half-width %)` — so noisy benchmarks need a proportionally bigger
+//!    move before anyone gets paged.
+//!
+//! Direction matters: each entry carries [`Better::Lower`]/[`Higher`], so
+//! a significant move is either an improvement or a regression, never
+//! just a "change". Smoke-mode reports (quick runs tagged `smoke: true`)
+//! are **never gateable**: their sample counts are below statistical
+//! validity, and gating on them manufactures false regressions — the
+//! comparator reports [`Gate::NotGateable`] and callers must exit 0.
+
+use d4py_sync::report::{BenchReport, Better};
+
+/// Floor on the significance threshold, in percent. Below this, a delta is
+/// noise regardless of how tight the intervals look.
+pub const MIN_NOISE_PCT: f64 = 2.0;
+
+/// Per-benchmark verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within noise: CIs overlap or the delta is under the threshold.
+    WithinNoise,
+    /// Statistically significant move in the good direction.
+    Improved,
+    /// Statistically significant move in the bad direction.
+    Regressed,
+}
+
+impl Verdict {
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::WithinNoise => "ok",
+            Verdict::Improved => "IMPROVED",
+            Verdict::Regressed => "REGRESSED",
+        }
+    }
+}
+
+/// One matched benchmark's comparison.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    /// Benchmark id (`group/bench`).
+    pub id: String,
+    /// Sample unit (same in both reports or the row is skipped).
+    pub unit: String,
+    /// Baseline mean.
+    pub base_mean: f64,
+    /// Current mean.
+    pub cur_mean: f64,
+    /// current/baseline mean ratio.
+    pub ratio: f64,
+    /// `(cur − base)/base × 100`.
+    pub delta_pct: f64,
+    /// Significance threshold this row had to clear, in percent.
+    pub threshold_pct: f64,
+    /// The call.
+    pub verdict: Verdict,
+}
+
+/// Overall gate decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Gate {
+    /// No significant regressions; exit 0.
+    Pass,
+    /// This many benchmarks regressed significantly; exit nonzero.
+    Regressions(usize),
+    /// Gating is refused (smoke-mode input); exit 0 with the reason shown.
+    NotGateable(String),
+}
+
+/// Everything `bench-compare` needs to render and exit.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Matched rows, baseline order.
+    pub rows: Vec<CompareRow>,
+    /// Ids only in the baseline (renamed or deleted benches).
+    pub missing: Vec<String>,
+    /// Ids only in the current run (new benches, nothing to compare).
+    pub added: Vec<String>,
+    /// Non-fatal observations (env mismatch, unit mismatch, …).
+    pub warnings: Vec<String>,
+    /// The gate decision.
+    pub gate: Gate,
+}
+
+/// Compares `current` against `base` (see module docs for the rules).
+pub fn compare(base: &BenchReport, current: &BenchReport) -> Comparison {
+    let mut warnings = Vec::new();
+    if !base.env.same_machine_shape(&current.env) {
+        warnings.push(format!(
+            "environment mismatch: baseline {}/{}/{}cpu vs current {}/{}/{}cpu — \
+             cross-machine deltas are not meaningful",
+            base.env.os,
+            base.env.arch,
+            base.env.cpus,
+            current.env.os,
+            current.env.arch,
+            current.env.cpus,
+        ));
+    }
+
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for b in &base.benches {
+        let Some(c) = current.benches.iter().find(|c| c.id == b.id) else {
+            missing.push(b.id.clone());
+            continue;
+        };
+        if b.unit != c.unit || b.better != c.better {
+            warnings.push(format!(
+                "{}: unit/direction changed ({} vs {}) — row skipped",
+                b.id, b.unit, c.unit
+            ));
+            continue;
+        }
+        let (bs, cs) = (&b.summary, &c.summary);
+        if !(bs.mean.is_finite() && cs.mean.is_finite()) || bs.mean == 0.0 {
+            warnings.push(format!(
+                "{}: non-finite or zero baseline mean — row skipped",
+                b.id
+            ));
+            continue;
+        }
+        let delta_pct = (cs.mean - bs.mean) / bs.mean * 100.0;
+        let threshold_pct =
+            MIN_NOISE_PCT.max((bs.rel_ci_half_width() + cs.rel_ci_half_width()) * 100.0);
+        let disjoint = cs.ci_lo > bs.ci_hi || cs.ci_hi < bs.ci_lo;
+        let significant = disjoint && delta_pct.abs() > threshold_pct;
+        let verdict = if !significant {
+            Verdict::WithinNoise
+        } else {
+            let got_worse = match b.better {
+                Better::Lower => delta_pct > 0.0,
+                Better::Higher => delta_pct < 0.0,
+            };
+            if got_worse {
+                Verdict::Regressed
+            } else {
+                Verdict::Improved
+            }
+        };
+        rows.push(CompareRow {
+            id: b.id.clone(),
+            unit: b.unit.clone(),
+            base_mean: bs.mean,
+            cur_mean: cs.mean,
+            ratio: cs.mean / bs.mean,
+            delta_pct,
+            threshold_pct,
+            verdict,
+        });
+    }
+    let added = current
+        .benches
+        .iter()
+        .filter(|c| !base.benches.iter().any(|b| b.id == c.id))
+        .map(|c| c.id.clone())
+        .collect();
+
+    let regressions = rows
+        .iter()
+        .filter(|r| r.verdict == Verdict::Regressed)
+        .count();
+    let gate = if base.smoke || current.smoke {
+        let which = match (base.smoke, current.smoke) {
+            (true, true) => "both reports are",
+            (true, false) => "the baseline is",
+            (false, true) => "the current run is",
+            (false, false) => unreachable!(),
+        };
+        Gate::NotGateable(format!(
+            "{which} smoke-mode (quick runs are below statistical validity); \
+             deltas shown are informational only"
+        ))
+    } else if regressions > 0 {
+        Gate::Regressions(regressions)
+    } else {
+        Gate::Pass
+    };
+
+    Comparison {
+        rows,
+        missing,
+        added,
+        warnings,
+        gate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d4py_sync::report::{BenchEntry, EnvStamp};
+    use d4py_sync::stats::{summarize, StatsConfig};
+
+    fn report(entries: &[(&str, Better, &[f64])], smoke: bool) -> BenchReport {
+        let mut r = BenchReport::new("t", smoke);
+        r.env = EnvStamp {
+            os: "linux".into(),
+            arch: "x86_64".into(),
+            cpus: 8,
+            unix_time_s: 0,
+        };
+        for (id, better, samples) in entries {
+            r.benches.push(BenchEntry {
+                id: (*id).into(),
+                unit: if *better == Better::Lower {
+                    "s/iter".into()
+                } else {
+                    "msg/s".into()
+                },
+                better: *better,
+                samples: samples.to_vec(),
+                summary: summarize(samples, &StatsConfig::default()),
+            });
+        }
+        r
+    }
+
+    fn jittered(center: f64) -> Vec<f64> {
+        (0..20)
+            .map(|i| center * (1.0 + (i % 5) as f64 * 1e-3))
+            .collect()
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let samples = jittered(1e-6);
+        let a = report(&[("g/a", Better::Lower, &samples)], false);
+        let out = compare(&a, &a.clone());
+        assert_eq!(out.gate, Gate::Pass);
+        assert_eq!(out.rows[0].verdict, Verdict::WithinNoise);
+        assert!(out.rows[0].delta_pct.abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_slowdown_regresses_lower_is_better() {
+        let a = report(&[("g/a", Better::Lower, &jittered(1e-6))], false);
+        let b = report(&[("g/a", Better::Lower, &jittered(2e-6))], false);
+        let out = compare(&a, &b);
+        assert_eq!(out.gate, Gate::Regressions(1));
+        assert_eq!(out.rows[0].verdict, Verdict::Regressed);
+        assert!(out.rows[0].delta_pct > 90.0);
+    }
+
+    #[test]
+    fn large_speedup_is_an_improvement_not_a_failure() {
+        let a = report(&[("g/a", Better::Lower, &jittered(2e-6))], false);
+        let b = report(&[("g/a", Better::Lower, &jittered(1e-6))], false);
+        let out = compare(&a, &b);
+        assert_eq!(out.gate, Gate::Pass);
+        assert_eq!(out.rows[0].verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn throughput_direction_is_inverted() {
+        // Higher-is-better: dropping from 10M/s to 5M/s is the regression.
+        let a = report(&[("q/w8", Better::Higher, &jittered(1e7))], false);
+        let b = report(&[("q/w8", Better::Higher, &jittered(5e6))], false);
+        let out = compare(&a, &b);
+        assert_eq!(out.gate, Gate::Regressions(1));
+        // And the reverse is an improvement.
+        let out = compare(&b, &a);
+        assert_eq!(out.gate, Gate::Pass);
+        assert_eq!(out.rows[0].verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn small_delta_within_noise_floor_passes() {
+        // 1% move: under MIN_NOISE_PCT even with razor-thin CIs.
+        let a = report(&[("g/a", Better::Lower, &jittered(1.00e-6))], false);
+        let b = report(&[("g/a", Better::Lower, &jittered(1.01e-6))], false);
+        let out = compare(&a, &b);
+        assert_eq!(out.gate, Gate::Pass);
+        assert_eq!(out.rows[0].verdict, Verdict::WithinNoise);
+    }
+
+    #[test]
+    fn wide_intervals_raise_the_threshold() {
+        // Noisy baseline: samples spread ±30%, so a 10% delta with
+        // overlapping CIs must not gate.
+        let noisy_a: Vec<f64> = (0..24)
+            .map(|i| 1e-6 * (1.0 + (i % 7) as f64 * 0.1))
+            .collect();
+        let noisy_b: Vec<f64> = noisy_a.iter().map(|x| x * 1.1).collect();
+        let a = report(&[("g/a", Better::Lower, &noisy_a)], false);
+        let b = report(&[("g/a", Better::Lower, &noisy_b)], false);
+        let out = compare(&a, &b);
+        assert!(
+            out.rows[0].threshold_pct > MIN_NOISE_PCT,
+            "measured CI must widen the threshold: {}",
+            out.rows[0].threshold_pct
+        );
+        assert_eq!(out.rows[0].verdict, Verdict::WithinNoise);
+        assert_eq!(out.gate, Gate::Pass);
+    }
+
+    #[test]
+    fn smoke_reports_refuse_to_gate() {
+        let a = report(&[("g/a", Better::Lower, &jittered(1e-6))], false);
+        let mut b = report(&[("g/a", Better::Lower, &jittered(5e-6))], true);
+        let out = compare(&a, &b);
+        assert!(matches!(out.gate, Gate::NotGateable(_)), "{:?}", out.gate);
+        // Rows are still produced for information.
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].verdict, Verdict::Regressed);
+        // Smoke baseline refuses too.
+        b.smoke = false;
+        let mut a2 = a.clone();
+        a2.smoke = true;
+        assert!(matches!(compare(&a2, &b).gate, Gate::NotGateable(_)));
+    }
+
+    #[test]
+    fn missing_and_added_benches_are_reported_not_fatal() {
+        let a = report(
+            &[
+                ("g/kept", Better::Lower, &jittered(1e-6)),
+                ("g/gone", Better::Lower, &jittered(1e-6)),
+            ],
+            false,
+        );
+        let b = report(
+            &[
+                ("g/kept", Better::Lower, &jittered(1e-6)),
+                ("g/new", Better::Lower, &jittered(1e-6)),
+            ],
+            false,
+        );
+        let out = compare(&a, &b);
+        assert_eq!(out.missing, vec!["g/gone".to_string()]);
+        assert_eq!(out.added, vec!["g/new".to_string()]);
+        assert_eq!(out.gate, Gate::Pass);
+    }
+
+    #[test]
+    fn env_mismatch_warns_but_still_compares() {
+        let a = report(&[("g/a", Better::Lower, &jittered(1e-6))], false);
+        let mut b = report(&[("g/a", Better::Lower, &jittered(1e-6))], false);
+        b.env.cpus = 128;
+        let out = compare(&a, &b);
+        assert!(out
+            .warnings
+            .iter()
+            .any(|w| w.contains("environment mismatch")));
+        assert_eq!(out.rows.len(), 1);
+    }
+
+    #[test]
+    fn unit_change_skips_the_row() {
+        let a = report(&[("g/a", Better::Lower, &jittered(1e-6))], false);
+        let b = report(&[("g/a", Better::Higher, &jittered(1e-6))], false);
+        let out = compare(&a, &b);
+        assert!(out.rows.is_empty());
+        assert!(out.warnings.iter().any(|w| w.contains("unit/direction")));
+        assert_eq!(out.gate, Gate::Pass);
+    }
+}

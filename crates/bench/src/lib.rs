@@ -7,21 +7,33 @@
 //!   Figures 8–12;
 //! * [`ratios`] — derives the Table 1–3 ratio summaries (best-by-runtime,
 //!   best-by-process-time, mean ± std) from a sweep;
-//! * [`render`] — prints series and tables in the paper's shape.
+//! * [`render`] — prints series and tables in the paper's shape;
+//! * [`compare`] — the statistical regression gate over the versioned
+//!   `BENCH_<name>.json` reports the timing harness persists.
 //!
-//! The `repro` binary drives it all:
+//! The `repro` binary drives the evaluation:
 //!
 //! ```sh
 //! cargo run -p d4py-bench --release --bin repro -- fig8
 //! cargo run -p d4py-bench --release --bin repro -- table1
 //! cargo run -p d4py-bench --release --bin repro -- all --quick
 //! ```
+//!
+//! and `bench-compare` gates a run against a stored baseline:
+//!
+//! ```sh
+//! cargo run -p d4py-bench --bin bench-compare -- \
+//!     bench/baselines/BENCH_ablation_queue.json \
+//!     target/bench/BENCH_ablation_queue.json
+//! ```
 
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod ratios;
 pub mod render;
 pub mod sweep;
 
+pub use compare::{compare, Comparison, Gate, Verdict};
 pub use ratios::{ratio_table, RatioSummary};
 pub use sweep::{run_cell, MappingKind, RunRow, Sweep, WorkflowKind};

@@ -39,7 +39,10 @@ pub struct RatioSummary {
     pub process_stats: (f64, f64),
 }
 
-fn mean_std(xs: &[f64]) -> (f64, f64) {
+/// Mean and *population* standard deviation — the `[mean, std]` row shape
+/// of the paper's Tables 1–3, also reused by `bench-compare`'s aggregate
+/// ratio line. (`NaN, NaN`) on empty input.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
     if xs.is_empty() {
         return (f64::NAN, f64::NAN);
     }

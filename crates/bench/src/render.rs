@@ -1,6 +1,8 @@
-//! Plain-text rendering of sweeps (figure series) and ratio tables.
+//! Plain-text rendering of sweeps (figure series), ratio tables, and the
+//! `bench-compare` delta table.
 
-use crate::ratios::RatioSummary;
+use crate::compare::{Comparison, Verdict};
+use crate::ratios::{mean_std, RatioSummary};
 use crate::sweep::Sweep;
 
 /// Prints a figure-style block: for every workload, the runtime and
@@ -79,6 +81,103 @@ pub fn render_ratio(platform: &str, summary: &RatioSummary) -> String {
         summary.process_stats.0,
         summary.process_stats.1,
         summary.cells.len()
+    ));
+    out
+}
+
+/// Formats a measurement in its unit with an engineering-friendly scale.
+fn fmt_metric(x: f64, unit: &str) -> String {
+    match unit {
+        "s/iter" => {
+            if x < 1e-6 {
+                format!("{:.1} ns", x * 1e9)
+            } else if x < 1e-3 {
+                format!("{:.2} µs", x * 1e6)
+            } else if x < 1.0 {
+                format!("{:.2} ms", x * 1e3)
+            } else {
+                format!("{x:.3} s")
+            }
+        }
+        "msg/s" => {
+            if x >= 1e6 {
+                format!("{:.2} M/s", x / 1e6)
+            } else {
+                format!("{:.0} k/s", x / 1e3)
+            }
+        }
+        _ => format!("{x:.4} {unit}"),
+    }
+}
+
+/// Renders the `bench-compare` delta table in the Table 1–3 visual shape:
+/// one row per matched benchmark (baseline, current, delta %, noise
+/// threshold, verdict), then the paper-style `[mean, std]` line over all
+/// current/baseline ratios.
+pub fn render_compare(baseline_name: &str, current_name: &str, cmp: &Comparison) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== bench-compare: {current_name} vs baseline {baseline_name} ==\n"
+    ));
+    for w in &cmp.warnings {
+        out.push_str(&format!("warning: {w}\n"));
+    }
+    if cmp.rows.is_empty() {
+        out.push_str("(no comparable benchmarks)\n");
+    } else {
+        let id_w = cmp
+            .rows
+            .iter()
+            .map(|r| r.id.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        out.push_str(&format!(
+            "{:<id_w$} {:>12} {:>12} {:>9} {:>8}  {}\n",
+            "bench", "baseline", "current", "delta", "noise", "verdict"
+        ));
+        for r in &cmp.rows {
+            out.push_str(&format!(
+                "{:<id_w$} {:>12} {:>12} {:>8.1}% {:>7.1}%  {}\n",
+                r.id,
+                fmt_metric(r.base_mean, &r.unit),
+                fmt_metric(r.cur_mean, &r.unit),
+                r.delta_pct,
+                r.threshold_pct,
+                r.verdict.label(),
+            ));
+        }
+        let (mean, std) = mean_std(&cmp.rows.iter().map(|r| r.ratio).collect::<Vec<_>>());
+        out.push_str(&format!(
+            "  [mean, std] of current/baseline ratios: [{mean:.3}, {std:.3}]  ({} cells)\n",
+            cmp.rows.len()
+        ));
+    }
+    if !cmp.missing.is_empty() {
+        out.push_str(&format!(
+            "missing from current run (renamed/deleted?): {}\n",
+            cmp.missing.join(", ")
+        ));
+    }
+    if !cmp.added.is_empty() {
+        out.push_str(&format!(
+            "new in current run (no baseline yet): {}\n",
+            cmp.added.join(", ")
+        ));
+    }
+    let regressions = cmp
+        .rows
+        .iter()
+        .filter(|r| r.verdict == Verdict::Regressed)
+        .count();
+    let improved = cmp
+        .rows
+        .iter()
+        .filter(|r| r.verdict == Verdict::Improved)
+        .count();
+    out.push_str(&format!(
+        "summary: {} compared, {improved} improved, {regressions} regressed\n",
+        cmp.rows.len()
     ));
     out
 }
@@ -202,5 +301,51 @@ mod tests {
     fn empty_trace_is_graceful() {
         let text = render_trace("x", "y", "m", &[]);
         assert!(text.contains("no scaling events"));
+    }
+
+    #[test]
+    fn compare_table_has_rows_ratio_line_and_summary() {
+        use d4py_sync::report::{BenchEntry, BenchReport, Better};
+        use d4py_sync::stats::{summarize, StatsConfig};
+        let entry = |id: &str, center: f64| BenchEntry {
+            id: id.into(),
+            unit: "s/iter".into(),
+            better: Better::Lower,
+            samples: (0..12)
+                .map(|i| center * (1.0 + (i % 3) as f64 * 1e-3))
+                .collect(),
+            summary: summarize(
+                &(0..12)
+                    .map(|i| center * (1.0 + (i % 3) as f64 * 1e-3))
+                    .collect::<Vec<_>>(),
+                &StatsConfig::default(),
+            ),
+        };
+        let mut base = BenchReport::new("base", false);
+        base.benches.push(entry("g/fast", 1e-6));
+        base.benches.push(entry("g/gone", 1e-6));
+        let mut cur = BenchReport::new("cur", false);
+        cur.benches.push(entry("g/fast", 3e-6)); // 3×: regression
+        cur.benches.push(entry("g/new", 1e-6));
+        let cmp = crate::compare::compare(&base, &cur);
+        let text = render_compare("base", "cur", &cmp);
+        assert!(text.contains("g/fast"), "{text}");
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(
+            text.contains("[mean, std] of current/baseline ratios"),
+            "{text}"
+        );
+        assert!(text.contains("missing from current run"), "{text}");
+        assert!(text.contains("new in current run"), "{text}");
+        assert!(text.contains("1 regressed"), "{text}");
+    }
+
+    #[test]
+    fn metric_formatting_scales_units() {
+        assert!(fmt_metric(2.5e-9, "s/iter").contains("ns"));
+        assert!(fmt_metric(2.5e-5, "s/iter").contains("µs"));
+        assert!(fmt_metric(1.2e7, "msg/s").contains("M/s"));
+        assert!(fmt_metric(9.0e3, "msg/s").contains("k/s"));
+        assert!(fmt_metric(3.0, "widgets").contains("widgets"));
     }
 }

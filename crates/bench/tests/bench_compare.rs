@@ -1,0 +1,182 @@
+//! End-to-end tests of the `bench-compare` binary: exit codes and output
+//! over fixture reports written through the real report API (the same
+//! path the timing harness uses), per the gate's contract:
+//!
+//! * identical / same-noise runs → exit 0;
+//! * a handicapped (slowed) run → exit nonzero with a delta-% table;
+//! * smoke-mode input → never gates, exit 0;
+//! * unreadable / future-versioned input → exit 2.
+
+use d4py_sync::report::{BenchEntry, BenchReport, Better, EnvStamp};
+use d4py_sync::stats::{summarize, StatsConfig};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn entry(id: &str, better: Better, samples: Vec<f64>) -> BenchEntry {
+    BenchEntry {
+        id: id.into(),
+        unit: if better == Better::Lower {
+            "s/iter".into()
+        } else {
+            "msg/s".into()
+        },
+        better,
+        samples: samples.clone(),
+        summary: summarize(&samples, &StatsConfig::default()),
+    }
+}
+
+/// A plausible bench report: one time-per-iter bench and one throughput
+/// bench, every metric scaled by `scale_time` / `scale_rate`.
+fn fixture(name: &str, smoke: bool, scale_time: f64, scale_rate: f64) -> BenchReport {
+    let mut r = BenchReport::new(name, smoke);
+    r.env = EnvStamp {
+        os: "linux".into(),
+        arch: "x86_64".into(),
+        cpus: 8,
+        unix_time_s: 1_754_000_000,
+    };
+    let times: Vec<f64> = (0..20)
+        .map(|i| 2e-6 * scale_time * (1.0 + (i % 5) as f64 * 2e-3))
+        .collect();
+    let rates: Vec<f64> = (0..20)
+        .map(|i| 8e6 * scale_rate * (1.0 + (i % 5) as f64 * 2e-3))
+        .collect();
+    r.benches.push(entry("codec/encode", Better::Lower, times));
+    r.benches
+        .push(entry("queue/lockfree/w8", Better::Higher, rates));
+    r
+}
+
+fn write(dir: &Path, file: &str, r: &BenchReport) -> PathBuf {
+    let path = dir.join(file);
+    r.save(&path).expect("fixture report must save");
+    path
+}
+
+fn run_compare(baseline: &Path, current: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench-compare"))
+        .arg(baseline)
+        .arg(current)
+        .output()
+        .expect("bench-compare must spawn")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("d4py_bench_compare_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn identical_runs_pass_with_exit_zero() {
+    let dir = temp_dir("same");
+    let base = write(&dir, "base.json", &fixture("run", false, 1.0, 1.0));
+    let cur = write(&dir, "cur.json", &fixture("run", false, 1.0, 1.0));
+    let out = run_compare(&base, &cur);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("gate: PASS"), "{stdout}");
+    assert!(stdout.contains("0 regressed"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn noise_level_jitter_does_not_gate() {
+    // Same distribution center, 0.5% shift: well inside the 2% floor.
+    let dir = temp_dir("jitter");
+    let base = write(&dir, "base.json", &fixture("run", false, 1.0, 1.0));
+    let cur = write(&dir, "cur.json", &fixture("run", false, 1.005, 0.995));
+    let out = run_compare(&base, &cur);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn handicapped_run_fails_with_delta_table() {
+    // The equivalent of D4PY_BENCH_HANDICAP=2: times double, rates halve.
+    let dir = temp_dir("handicap");
+    let base = write(&dir, "base.json", &fixture("run", false, 1.0, 1.0));
+    let cur = write(&dir, "cur.json", &fixture("run", false, 2.0, 0.5));
+    let out = run_compare(&base, &cur);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("gate: FAIL"), "{stdout}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    // The delta-% table names both directions' losses.
+    assert!(
+        stdout.contains("100.0%") || stdout.contains("99."),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("-50.0%") || stdout.contains("-49."),
+        "{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn smoke_current_refuses_to_gate() {
+    let dir = temp_dir("smoke_cur");
+    let base = write(&dir, "base.json", &fixture("run", false, 1.0, 1.0));
+    // 3× slower AND smoke: would regress, but must not gate.
+    let cur = write(&dir, "cur.json", &fixture("run", true, 3.0, 0.3));
+    let out = run_compare(&base, &cur);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("gate: SKIPPED"), "{stdout}");
+    assert!(stdout.contains("smoke"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn smoke_baseline_refuses_to_gate() {
+    let dir = temp_dir("smoke_base");
+    let base = write(&dir, "base.json", &fixture("run", true, 1.0, 1.0));
+    let cur = write(&dir, "cur.json", &fixture("run", false, 3.0, 0.3));
+    let out = run_compare(&base, &cur);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_file_is_a_usage_error() {
+    let dir = temp_dir("missing");
+    let base = write(&dir, "base.json", &fixture("run", false, 1.0, 1.0));
+    let out = run_compare(&base, &dir.join("nope.json"));
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn future_format_version_is_a_usage_error() {
+    let dir = temp_dir("future");
+    let base = write(&dir, "base.json", &fixture("run", false, 1.0, 1.0));
+    let text = std::fs::read_to_string(&base)
+        .unwrap()
+        .replace("\"format_version\": 1", "\"format_version\": 42");
+    let future = dir.join("future.json");
+    std::fs::write(&future, text).unwrap();
+    let out = run_compare(&base, &future);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("format_version 42"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wrong_arg_count_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench-compare"))
+        .output()
+        .expect("bench-compare must spawn");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

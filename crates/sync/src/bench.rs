@@ -1,17 +1,32 @@
 //! A plain-`std` timing harness with the `criterion` API shape the
-//! micro-benchmarks use.
+//! micro-benchmarks use — now with a statistics engine behind it.
 //!
 //! Each benchmark warms up, calibrates an iteration batch that runs for at
-//! least ~1 ms, then records `sample_size` batch timings and reports
-//! min/median/mean per iteration. No statistics engine, no HTML reports —
-//! numbers on stdout, buildable on an air-gapped machine. For anything
-//! deeper, perf/flamegraph on the same binaries.
+//! least ~1 ms, then records `sample_size` batch timings. Per-iteration
+//! samples go through [`crate::stats`]: MAD outlier rejection, sample
+//! stddev, and a seeded-bootstrap confidence interval; the console line
+//! shows `median ±stddev [ci_lo..ci_hi]` with the rejected-sample count.
+//! No HTML reports — numbers on stdout plus a machine-readable
+//! `BENCH_<name>.json` ([`crate::report`]) for the `bench-compare`
+//! regression gate. For anything deeper, perf/flamegraph on the same
+//! binaries.
 //!
 //! Quick mode: set `D4PY_BENCH_QUICK=1` to cut warmup and samples for smoke
-//! runs (CI uses this to verify the benches still execute).
+//! runs (CI uses this to verify the benches still execute). Quick runs are
+//! below statistical validity, so their JSON is tagged `smoke: true` and
+//! comparators refuse to gate on it.
+//!
+//! Test-only handicap: `D4PY_BENCH_HANDICAP=<factor>` multiplies every
+//! recorded duration. It exists so the regression gate can be exercised
+//! end-to-end (a handicapped run *must* fail `bench-compare`); never set
+//! it outside tests.
 
 pub use std::hint::black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use crate::report::{BenchEntry, BenchReport, Better};
+use crate::stats::{summarize, StatsConfig, Summary};
 
 /// How `iter_batched` treats setup output (criterion-compatible marker).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +41,100 @@ fn quick_mode() -> bool {
     std::env::var("D4PY_BENCH_QUICK")
         .map(|v| v != "0")
         .unwrap_or(false)
+}
+
+/// Test-only slowdown factor (see module docs); `1.0` when unset/invalid.
+fn handicap() -> f64 {
+    std::env::var("D4PY_BENCH_HANDICAP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|f| f.is_finite() && *f > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Run-wide collector: every `bench_function` pushes its entry here, and
+/// [`finalize`] drains it into the JSON report.
+static COLLECTED: Mutex<Vec<BenchEntry>> = Mutex::new(Vec::new());
+
+fn collect(entry: BenchEntry) {
+    COLLECTED
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .push(entry);
+}
+
+/// Directory current-run reports land in: `$D4PY_BENCH_OUT_DIR`, else
+/// `<target>/bench` next to the running bench binary, else `target/bench`
+/// under the working directory.
+pub fn out_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("D4PY_BENCH_OUT_DIR") {
+        return dir.into();
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        for dir in exe.ancestors() {
+            if dir.file_name().is_some_and(|n| n == "target") {
+                return dir.join("bench");
+            }
+        }
+    }
+    std::path::PathBuf::from("target/bench")
+}
+
+/// The bench-target name: argv[0]'s file stem with cargo's trailing
+/// `-<16 hex>` disambiguator stripped (`ablation_queue-1a2b…` →
+/// `ablation_queue`).
+pub fn target_name() -> String {
+    let argv0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    strip_cargo_hash(stem).to_string()
+}
+
+/// Strips cargo's `-<16 hex>` binary-name disambiguator, if present.
+fn strip_cargo_hash(stem: &str) -> &str {
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            name
+        }
+        _ => stem,
+    }
+}
+
+/// Writes everything collected so far as `BENCH_<target_name>.json` in
+/// [`out_dir`], tagged `smoke` when quick mode is on. Called by
+/// `criterion_main!` after all groups run; a no-op when nothing was
+/// collected. Returns the path written to.
+pub fn finalize() -> Option<std::path::PathBuf> {
+    let entries: Vec<BenchEntry> =
+        std::mem::take(&mut *COLLECTED.lock().unwrap_or_else(|p| p.into_inner()));
+    if entries.is_empty() {
+        return None;
+    }
+    let name = target_name();
+    let mut report = BenchReport::new(name.clone(), quick_mode());
+    report.benches = entries;
+    let path = out_dir().join(format!("BENCH_{name}.json"));
+    match report.save(&path) {
+        Ok(()) => {
+            println!(
+                "\nwrote {} ({} benches{})",
+                path.display(),
+                report.benches.len(),
+                if report.smoke {
+                    ", smoke mode — not gateable"
+                } else {
+                    ""
+                }
+            );
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("note: could not persist bench report to {path:?}: {e}");
+            None
+        }
+    }
 }
 
 /// Top-level harness handle; hands out benchmark groups.
@@ -154,23 +263,45 @@ impl Bencher {
             println!("{group}/{id}: no samples");
             return;
         }
-        let mut per_iter: Vec<f64> = self
+        let slow = handicap();
+        let per_iter: Vec<f64> = self
             .samples
             .iter()
-            .map(|(d, n)| d.as_secs_f64() / *n as f64)
+            .map(|(d, n)| d.as_secs_f64() * slow / *n as f64)
             .collect();
-        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
-        let min = per_iter[0];
-        let median = per_iter[per_iter.len() / 2];
-        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
-        println!(
-            "{group}/{id}: min {}  median {}  mean {}  ({} samples)",
-            fmt_time(min),
-            fmt_time(median),
-            fmt_time(mean),
-            per_iter.len(),
-        );
+        let summary = summarize(&per_iter, &StatsConfig::default());
+        println!("{}", render_line(group, id, &summary));
+        collect(BenchEntry {
+            id: format!("{group}/{id}"),
+            unit: "s/iter".into(),
+            better: Better::Lower,
+            samples: per_iter,
+            summary,
+        });
     }
+}
+
+/// The one-line console rendering of a summary.
+fn render_line(group: &str, id: &str, s: &Summary) -> String {
+    let rejected = s.n_total - s.n_used;
+    let rej = if rejected > 0 {
+        format!(
+            ", {rejected} outlier{} rejected",
+            if rejected == 1 { "" } else { "s" }
+        )
+    } else {
+        String::new()
+    };
+    format!(
+        "{group}/{id}: median {} ±{} mean {} ci[{} .. {}] min {}  ({} samples{rej})",
+        fmt_time(s.median),
+        fmt_time(s.stddev),
+        fmt_time(s.mean),
+        fmt_time(s.ci_lo),
+        fmt_time(s.ci_hi),
+        fmt_time(s.min),
+        s.n_used,
+    )
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -197,12 +328,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Defines `main` running benchmark groups, mirroring `criterion_main!`.
+/// Defines `main` running benchmark groups, then persisting the collected
+/// results as versioned JSON — mirroring `criterion_main!`.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            let _ = $crate::bench::finalize();
         }
     };
 }
@@ -249,10 +382,49 @@ mod tests {
     }
 
     #[test]
+    fn bench_entries_reach_the_collector() {
+        std::env::set_var("D4PY_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("collector_probe");
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let collected = COLLECTED.lock().unwrap_or_else(|p| p.into_inner());
+        let entry = collected
+            .iter()
+            .find(|e| e.id == "collector_probe/noop")
+            .expect("bench_function must collect an entry");
+        assert_eq!(entry.unit, "s/iter");
+        assert_eq!(entry.better, Better::Lower);
+        assert_eq!(entry.summary.n_total, entry.samples.len());
+        assert!(entry.summary.min > 0.0, "timings are positive");
+    }
+
+    #[test]
     fn fmt_time_picks_sensible_units() {
         assert!(fmt_time(5e-9).contains("ns"));
         assert!(fmt_time(5e-6).contains("µs"));
         assert!(fmt_time(5e-3).contains("ms"));
         assert!(fmt_time(5.0).contains(" s"));
+    }
+
+    #[test]
+    fn render_line_shows_distribution_fields() {
+        let s = summarize(&[1.0e-6, 1.1e-6, 1.2e-6, 9.0e-6], &StatsConfig::default());
+        let line = render_line("g", "b", &s);
+        assert!(line.contains("median"));
+        assert!(line.contains("ci["));
+        assert!(
+            line.contains("outlier rejected"),
+            "9 µs is the outlier: {line}"
+        );
+    }
+
+    #[test]
+    fn target_name_strips_cargo_hash() {
+        assert_eq!(
+            strip_cargo_hash("ablation_queue-0123456789abcdef"),
+            "ablation_queue"
+        );
+        assert_eq!(strip_cargo_hash("bench-compare"), "bench-compare");
+        assert_eq!(strip_cargo_hash("codec"), "codec");
     }
 }

@@ -23,7 +23,12 @@
 //! * [`prop`] — a minimal seeded property-testing runner (replaces the
 //!   `proptest` surface the test suite uses);
 //! * [`bench`] — a plain-`std` timing harness (replaces `criterion` for
-//!   the micro-benchmarks).
+//!   the micro-benchmarks);
+//! * [`stats`] — distribution summaries for the harness: MAD outlier
+//!   rejection, sample stddev, seeded-bootstrap confidence intervals;
+//! * [`report`] — the versioned `BENCH_<name>.json` result format
+//!   (hand-rolled writer + parser; the workspace stays serde-free) that
+//!   the `bench-compare` regression gate consumes.
 
 #![warn(missing_docs)]
 
@@ -32,8 +37,10 @@ pub mod buf;
 pub mod channel;
 pub mod crc;
 pub mod prop;
+pub mod report;
 pub mod rng;
 pub mod segqueue;
+pub mod stats;
 mod sync;
 
 pub use buf::ByteBuf;

@@ -1,0 +1,752 @@
+//! Versioned machine-readable benchmark results (`BENCH_<name>.json`).
+//!
+//! The timing harness persists every run as JSON so regressions are
+//! diffable across runs, machines, and commits: per-bench raw samples,
+//! the [`Summary`] the stats engine computed, and an environment stamp.
+//! The workspace is serde-free by design (DESIGN.md §7), so both the
+//! serializer and the parser are hand-rolled here — a strict subset of
+//! JSON is emitted, full JSON is accepted.
+//!
+//! Format contract (`format_version` = [`FORMAT_VERSION`]):
+//!
+//! ```json
+//! {
+//!   "format_version": 1,
+//!   "name": "ablation_queue",
+//!   "smoke": false,
+//!   "env": {"os": "linux", "arch": "x86_64", "cpus": 16, "unix_time_s": 0},
+//!   "benches": [
+//!     {
+//!       "id": "ablation_queue/lockfree/w8",
+//!       "unit": "msg/s",
+//!       "better": "higher",
+//!       "samples": [1.0e7, ...],
+//!       "summary": {"n_total": 5, "n_used": 5, "min": ..., "max": ...,
+//!                   "mean": ..., "median": ..., "stddev": ..., "mad": ...,
+//!                   "ci_lo": ..., "ci_hi": ..., "confidence": 0.95}
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Unknown keys are ignored on read (additive evolution); a
+//! `format_version` above ours is rejected with
+//! [`ReportError::UnsupportedVersion`] so a comparator never silently
+//! misreads a future layout. `smoke: true` marks quick-mode runs whose
+//! sample counts are below statistical validity — gating tools must
+//! refuse to fail on them.
+
+use crate::stats::Summary;
+use std::fmt;
+use std::path::Path;
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Which direction of a metric is an improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Better {
+    /// Smaller is better (e.g. seconds per iteration).
+    Lower,
+    /// Larger is better (e.g. messages per second).
+    Higher,
+}
+
+impl Better {
+    fn as_str(self) -> &'static str {
+        match self {
+            Better::Lower => "lower",
+            Better::Higher => "higher",
+        }
+    }
+}
+
+/// Host fingerprint stamped into every report. Comparing reports from
+/// different stamps is allowed but warned about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvStamp {
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// Available parallelism at run time.
+    pub cpus: usize,
+    /// Seconds since the unix epoch when the run finished.
+    pub unix_time_s: u64,
+}
+
+impl EnvStamp {
+    /// Stamp for the current host, timestamped now.
+    pub fn current() -> Self {
+        EnvStamp {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            unix_time_s: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs()),
+        }
+    }
+
+    /// True when the hardware-relevant fields match (timestamp ignored).
+    pub fn same_machine_shape(&self, other: &EnvStamp) -> bool {
+        self.os == other.os && self.arch == other.arch && self.cpus == other.cpus
+    }
+}
+
+/// One benchmark's samples and summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Stable identifier, `group/bench` shaped.
+    pub id: String,
+    /// Unit of every sample, e.g. `"s/iter"` or `"msg/s"`.
+    pub unit: String,
+    /// Improvement direction of the metric.
+    pub better: Better,
+    /// Raw samples (post-measurement, pre-rejection).
+    pub samples: Vec<f64>,
+    /// Distribution summary the stats engine computed from `samples`.
+    pub summary: Summary,
+}
+
+/// A whole run: every bench the binary executed, plus provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// On-disk format version ([`FORMAT_VERSION`] when written by us).
+    pub format_version: u32,
+    /// Bench-target name (the `<name>` of `BENCH_<name>.json`).
+    pub name: String,
+    /// True for quick-mode runs — statistically invalid, never gate on it.
+    pub smoke: bool,
+    /// Host fingerprint.
+    pub env: EnvStamp,
+    /// Every benchmark in execution order.
+    pub benches: Vec<BenchEntry>,
+}
+
+/// Everything that can go wrong reading a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// The file could not be read.
+    Io(String),
+    /// The bytes are not valid JSON (offset, message).
+    Syntax(usize, String),
+    /// JSON is valid but the shape is not a bench report.
+    Shape(String),
+    /// `format_version` is newer than this build understands.
+    UnsupportedVersion(u32),
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Io(e) => write!(f, "cannot read report: {e}"),
+            ReportError::Syntax(at, e) => write!(f, "bad JSON at byte {at}: {e}"),
+            ReportError::Shape(e) => write!(f, "not a bench report: {e}"),
+            ReportError::UnsupportedVersion(v) => write!(
+                f,
+                "report format_version {v} is newer than this binary's {FORMAT_VERSION}; \
+                 rebuild or regenerate the report"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+// ---------------------------------------------------------------- writing
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `f64` → JSON number. Rust's shortest-roundtrip `Display` keeps full
+/// fidelity; JSON has no NaN/∞ so those become `null` (read back as NaN).
+fn push_json_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let s = format!("{x}");
+        out.push_str(&s);
+        // "5" would read back as an integer-looking float; that's fine —
+        // the parser treats every number as f64.
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl BenchReport {
+    /// Builds a v[`FORMAT_VERSION`] report stamped for the current host.
+    pub fn new(name: impl Into<String>, smoke: bool) -> Self {
+        BenchReport {
+            format_version: FORMAT_VERSION,
+            name: name.into(),
+            smoke,
+            env: EnvStamp::current(),
+            benches: Vec::new(),
+        }
+    }
+
+    /// Serializes to the canonical JSON layout (pretty, stable key order).
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(1024);
+        o.push_str("{\n");
+        o.push_str(&format!("  \"format_version\": {},\n", self.format_version));
+        o.push_str("  \"name\": ");
+        push_json_str(&mut o, &self.name);
+        o.push_str(",\n");
+        o.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        o.push_str("  \"env\": {\"os\": ");
+        push_json_str(&mut o, &self.env.os);
+        o.push_str(", \"arch\": ");
+        push_json_str(&mut o, &self.env.arch);
+        o.push_str(&format!(
+            ", \"cpus\": {}, \"unix_time_s\": {}}},\n",
+            self.env.cpus, self.env.unix_time_s
+        ));
+        o.push_str("  \"benches\": [");
+        for (i, b) in self.benches.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            o.push_str("    {\"id\": ");
+            push_json_str(&mut o, &b.id);
+            o.push_str(", \"unit\": ");
+            push_json_str(&mut o, &b.unit);
+            o.push_str(&format!(", \"better\": \"{}\",\n", b.better.as_str()));
+            o.push_str("     \"samples\": [");
+            for (j, s) in b.samples.iter().enumerate() {
+                if j > 0 {
+                    o.push_str(", ");
+                }
+                push_json_f64(&mut o, *s);
+            }
+            o.push_str("],\n     \"summary\": {");
+            let s = &b.summary;
+            o.push_str(&format!(
+                "\"n_total\": {}, \"n_used\": {}, ",
+                s.n_total, s.n_used
+            ));
+            for (key, v) in [
+                ("min", s.min),
+                ("max", s.max),
+                ("mean", s.mean),
+                ("median", s.median),
+                ("stddev", s.stddev),
+                ("mad", s.mad),
+                ("ci_lo", s.ci_lo),
+                ("ci_hi", s.ci_hi),
+                ("confidence", s.confidence),
+            ] {
+                o.push_str(&format!("\"{key}\": "));
+                push_json_f64(&mut o, v);
+                if key != "confidence" {
+                    o.push_str(", ");
+                }
+            }
+            o.push_str("}}");
+        }
+        o.push_str("\n  ]\n}\n");
+        o
+    }
+
+    /// Writes the canonical JSON to `path`, creating parent directories.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads and parses a report from `path`.
+    pub fn load(path: &Path) -> Result<Self, ReportError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ReportError::Io(format!("{}: {e}", path.display())))?;
+        Self::parse(&text)
+    }
+
+    /// Parses a report from JSON text.
+    pub fn parse(text: &str) -> Result<Self, ReportError> {
+        let v = Json::parse(text)?;
+        let obj = v.as_obj("report")?;
+        let format_version = obj.num("format_version")? as u32;
+        if format_version > FORMAT_VERSION {
+            return Err(ReportError::UnsupportedVersion(format_version));
+        }
+        let env_obj = obj.get("env").ok_or_else(|| miss("env"))?.as_obj("env")?;
+        let env = EnvStamp {
+            os: env_obj.str("os")?,
+            arch: env_obj.str("arch")?,
+            cpus: env_obj.num("cpus")? as usize,
+            unix_time_s: env_obj.num("unix_time_s")? as u64,
+        };
+        let mut benches = Vec::new();
+        for (i, item) in obj
+            .get("benches")
+            .ok_or_else(|| miss("benches"))?
+            .as_arr("benches")?
+            .iter()
+            .enumerate()
+        {
+            let b = item.as_obj(&format!("benches[{i}]"))?;
+            let better = match b.str("better")?.as_str() {
+                "lower" => Better::Lower,
+                "higher" => Better::Higher,
+                other => {
+                    return Err(ReportError::Shape(format!(
+                        "benches[{i}].better must be \"lower\" or \"higher\", got {other:?}"
+                    )))
+                }
+            };
+            let samples = b
+                .get("samples")
+                .ok_or_else(|| miss("samples"))?
+                .as_arr("samples")?
+                .iter()
+                .map(|s| s.as_f64("sample"))
+                .collect::<Result<Vec<f64>, _>>()?;
+            let sm = b
+                .get("summary")
+                .ok_or_else(|| miss("summary"))?
+                .as_obj("summary")?;
+            let summary = Summary {
+                n_total: sm.num("n_total")? as usize,
+                n_used: sm.num("n_used")? as usize,
+                min: sm.num("min")?,
+                max: sm.num("max")?,
+                mean: sm.num("mean")?,
+                median: sm.num("median")?,
+                stddev: sm.num("stddev")?,
+                mad: sm.num("mad")?,
+                ci_lo: sm.num("ci_lo")?,
+                ci_hi: sm.num("ci_hi")?,
+                confidence: sm.num("confidence")?,
+            };
+            benches.push(BenchEntry {
+                id: b.str("id")?,
+                unit: b.str("unit")?,
+                better,
+                samples,
+                summary,
+            });
+        }
+        Ok(BenchReport {
+            format_version,
+            name: obj.str("name")?,
+            smoke: obj.bool("smoke")?,
+            env,
+            benches,
+        })
+    }
+}
+
+fn miss(key: &str) -> ReportError {
+    ReportError::Shape(format!("missing key {key:?}"))
+}
+
+// ------------------------------------------------------------- JSON core
+
+/// A parsed JSON value — the minimal dynamic tree the report reader needs.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+/// Object accessor with typed, named errors.
+struct ObjView<'a>(&'a [(String, Json)]);
+
+impl ObjView<'_> {
+    fn get(&self, key: &str) -> Option<&Json> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn num(&self, key: &str) -> Result<f64, ReportError> {
+        self.get(key).ok_or_else(|| miss(key))?.as_f64(key)
+    }
+
+    fn str(&self, key: &str) -> Result<String, ReportError> {
+        match self.get(key).ok_or_else(|| miss(key))? {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(ReportError::Shape(format!(
+                "{key} must be a string, got {other:?}"
+            ))),
+        }
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, ReportError> {
+        match self.get(key).ok_or_else(|| miss(key))? {
+            Json::Bool(b) => Ok(*b),
+            other => Err(ReportError::Shape(format!(
+                "{key} must be a bool, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Json {
+    fn as_obj(&self, what: &str) -> Result<ObjView<'_>, ReportError> {
+        match self {
+            Json::Obj(kv) => Ok(ObjView(kv)),
+            other => Err(ReportError::Shape(format!(
+                "{what} must be an object, got {other:?}"
+            ))),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Json], ReportError> {
+        match self {
+            Json::Arr(v) => Ok(v),
+            other => Err(ReportError::Shape(format!(
+                "{what} must be an array, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Numbers pass through; `null` reads as NaN (how we encode non-finite).
+    fn as_f64(&self, what: &str) -> Result<f64, ReportError> {
+        match self {
+            Json::Num(x) => Ok(*x),
+            Json::Null => Ok(f64::NAN),
+            other => Err(ReportError::Shape(format!(
+                "{what} must be a number, got {other:?}"
+            ))),
+        }
+    }
+
+    fn parse(text: &str) -> Result<Json, ReportError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(ReportError::Syntax(p.pos, "trailing characters".into()));
+        }
+        Ok(v)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ReportError> {
+        Err(ReportError::Syntax(self.pos, msg.into()))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ReportError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {:?}", b as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, ReportError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            self.err(format!("expected {word}"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ReportError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ReportError> {
+        self.expect(b'{')?;
+        let mut kv = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(kv));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            kv.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(kv));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ReportError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ReportError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex =
+                                self.bytes.get(self.pos + 1..self.pos + 5).ok_or_else(|| {
+                                    ReportError::Syntax(self.pos, "short \\u escape".into())
+                                })?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| {
+                                    ReportError::Syntax(self.pos, "bad \\u escape".into())
+                                })?,
+                                16,
+                            )
+                            .map_err(|_| ReportError::Syntax(self.pos, "bad \\u escape".into()))?;
+                            // Surrogate pairs are not emitted by our writer;
+                            // map lone surrogates to U+FFFD on read.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing
+                    // at char boundaries is safe via chars()).
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| ReportError::Syntax(self.pos, "invalid UTF-8".into()))?;
+                    let c = text.chars().next().expect("peeked non-empty");
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ReportError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ReportError::Syntax(start, "invalid number bytes".into()))?;
+        match text.parse::<f64>() {
+            Ok(x) => Ok(Json::Num(x)),
+            Err(_) => Err(ReportError::Syntax(start, format!("bad number {text:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{summarize, StatsConfig};
+
+    fn entry(id: &str, samples: &[f64], better: Better) -> BenchEntry {
+        BenchEntry {
+            id: id.into(),
+            unit: if better == Better::Lower {
+                "s/iter".into()
+            } else {
+                "msg/s".into()
+            },
+            better,
+            samples: samples.to_vec(),
+            summary: summarize(samples, &StatsConfig::default()),
+        }
+    }
+
+    fn sample_report() -> BenchReport {
+        let mut r = BenchReport::new("unit_test", false);
+        r.env = EnvStamp {
+            os: "linux".into(),
+            arch: "x86_64".into(),
+            cpus: 8,
+            unix_time_s: 1_700_000_000,
+        };
+        r.benches.push(entry(
+            "group/a",
+            &[1.25e-6, 1.5e-6, 1.75e-6, 1.3e-6],
+            Better::Lower,
+        ));
+        r.benches
+            .push(entry("group/b", &[3.0e6, 3.1e6, 2.9e6], Better::Higher));
+        r
+    }
+
+    #[test]
+    fn roundtrips_bit_exact() {
+        let r = sample_report();
+        let parsed = BenchReport::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn smoke_flag_roundtrips() {
+        let mut r = sample_report();
+        r.smoke = true;
+        assert!(BenchReport::parse(&r.to_json()).unwrap().smoke);
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let text = sample_report()
+            .to_json()
+            .replace("\"format_version\": 1", "\"format_version\": 99");
+        assert_eq!(
+            BenchReport::parse(&text),
+            Err(ReportError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored() {
+        let text = sample_report().to_json().replace(
+            "\"smoke\": false",
+            "\"smoke\": false, \"flux_capacitance\": [1, {\"x\": null}]",
+        );
+        assert_eq!(BenchReport::parse(&text).unwrap(), sample_report());
+    }
+
+    #[test]
+    fn missing_key_is_a_shape_error() {
+        let text = sample_report().to_json().replace("\"name\"", "\"nom\"");
+        assert!(matches!(
+            BenchReport::parse(&text),
+            Err(ReportError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_is_a_syntax_error() {
+        assert!(matches!(
+            BenchReport::parse("{\"format_version\": 1,,}"),
+            Err(ReportError::Syntax(..))
+        ));
+        assert!(matches!(
+            BenchReport::parse(""),
+            Err(ReportError::Syntax(..))
+        ));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let mut r = sample_report();
+        r.name = "we\"ird\\na—me\n\twith λ控制".into();
+        let parsed = BenchReport::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed.name, r.name);
+    }
+
+    #[test]
+    fn non_finite_samples_become_null_then_nan() {
+        let mut r = sample_report();
+        r.benches[0].samples.push(f64::INFINITY);
+        let parsed = BenchReport::parse(&r.to_json()).unwrap();
+        assert!(parsed.benches[0].samples.last().unwrap().is_nan());
+    }
+
+    #[test]
+    fn save_and_load_via_tempfile() {
+        let dir = std::env::temp_dir().join("d4py_report_test");
+        let path = dir.join("BENCH_unit_test.json");
+        let r = sample_report();
+        r.save(&path).unwrap();
+        assert_eq!(BenchReport::load(&path).unwrap(), r);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn env_stamp_shape_comparison_ignores_time() {
+        let a = EnvStamp {
+            os: "linux".into(),
+            arch: "x86_64".into(),
+            cpus: 4,
+            unix_time_s: 1,
+        };
+        let mut b = a.clone();
+        b.unix_time_s = 999;
+        assert!(a.same_machine_shape(&b));
+        b.cpus = 8;
+        assert!(!a.same_machine_shape(&b));
+    }
+}

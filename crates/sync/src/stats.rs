@@ -1,0 +1,399 @@
+//! Distribution-aware summary statistics for the timing harness.
+//!
+//! The paper's evaluation is comparative timing, and comparative timing is
+//! only credible when the noise is measured along with the signal (cf.
+//! *Runtime vs Scheduler: Analyzing Dask's Overheads* — scheduler-overhead
+//! claims need distributions, not point estimates). This module turns a raw
+//! sample vector into a [`Summary`]:
+//!
+//! 1. **Robust location/scale** — median and MAD (median absolute
+//!    deviation, scaled by 1.4826 so it estimates σ under normality).
+//! 2. **Outlier rejection** — samples whose distance from the median
+//!    exceeds `mad_k × MAD` are dropped (the modified z-score rule,
+//!    k = 3.5 by default). With MAD = 0 (at least half the samples
+//!    identical) any sample not equal to the median is an outlier. No
+//!    rejection below `min_reject_n` samples: with n = 2 there is no way
+//!    to tell which sample is the outlier.
+//! 3. **Moments on the retained set** — min/max/mean/sample-stddev.
+//! 4. **Bootstrap confidence interval** for the mean — percentile method
+//!    over `resamples` with-replacement resamples, seeded through the
+//!    in-repo [`Pcg32`] so a given sample vector always yields the same
+//!    interval (reruns of `bench-compare` are reproducible).
+//!
+//! Everything is `std`-only and deterministic; the only entry point the
+//! harness needs is [`summarize`].
+
+use crate::rng::{Pcg32, Rng};
+
+/// Consistency constant: MAD × 1.4826 estimates the standard deviation of
+/// a normal distribution.
+pub const MAD_SCALE: f64 = 1.4826;
+
+/// Tuning knobs for [`summarize`]. [`StatsConfig::default`] is what the
+/// bench harness uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsConfig {
+    /// Rejection threshold in scaled-MAD units (modified z-score cutoff).
+    pub mad_k: f64,
+    /// Minimum sample count before any rejection happens.
+    pub min_reject_n: usize,
+    /// Bootstrap resample count for the confidence interval.
+    pub resamples: usize,
+    /// Two-sided confidence level, e.g. `0.95`.
+    pub confidence: f64,
+    /// Seed for the bootstrap PRNG (fixed ⇒ deterministic intervals).
+    pub seed: u64,
+}
+
+impl Default for StatsConfig {
+    fn default() -> Self {
+        StatsConfig {
+            mad_k: 3.5,
+            min_reject_n: 3,
+            resamples: 1000,
+            confidence: 0.95,
+            seed: 0xd4b5_7a75_0000_0001,
+        }
+    }
+}
+
+/// The distribution summary of one benchmark's samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Samples supplied, before outlier rejection.
+    pub n_total: usize,
+    /// Samples retained after MAD rejection (all later fields use these).
+    pub n_used: usize,
+    /// Smallest retained sample.
+    pub min: f64,
+    /// Largest retained sample.
+    pub max: f64,
+    /// Arithmetic mean of the retained samples.
+    pub mean: f64,
+    /// Median of the retained samples.
+    pub median: f64,
+    /// Sample (n−1) standard deviation of the retained samples.
+    pub stddev: f64,
+    /// Scaled MAD (×1.4826) of the *original* samples — the scale the
+    /// rejection rule used.
+    pub mad: f64,
+    /// Lower edge of the bootstrap CI for the mean.
+    pub ci_lo: f64,
+    /// Upper edge of the bootstrap CI for the mean.
+    pub ci_hi: f64,
+    /// Two-sided confidence level of `[ci_lo, ci_hi]`.
+    pub confidence: f64,
+}
+
+impl Summary {
+    /// Half-width of the CI relative to the mean (unitless noise measure);
+    /// `0` when the mean is `0` or anything is non-finite.
+    pub fn rel_ci_half_width(&self) -> f64 {
+        let half = (self.ci_hi - self.ci_lo) / 2.0;
+        if self.mean == 0.0 || !half.is_finite() || !self.mean.is_finite() {
+            0.0
+        } else {
+            (half / self.mean).abs()
+        }
+    }
+}
+
+/// Median of a non-empty slice (averages the middle pair on even length).
+/// The slice must already be sorted.
+fn median_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    debug_assert!(n > 0);
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Median of an unsorted slice.
+pub fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("samples must be finite"));
+    median_sorted(&v)
+}
+
+/// Scaled MAD (×[`MAD_SCALE`]) around the slice's own median.
+pub fn mad(xs: &[f64]) -> f64 {
+    let m = median(xs);
+    let deviations: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&deviations) * MAD_SCALE
+}
+
+/// Mean and sample (n−1) standard deviation. `stddev` is `0` for n < 2.
+pub fn mean_stddev(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+/// Indices of `xs` the MAD rule retains (see module docs for the rule).
+fn retained_indices(xs: &[f64], cfg: &StatsConfig) -> Vec<usize> {
+    if xs.len() < cfg.min_reject_n {
+        return (0..xs.len()).collect();
+    }
+    let m = median(xs);
+    let scale = mad(xs);
+    (0..xs.len())
+        .filter(|&i| {
+            let dev = (xs[i] - m).abs();
+            if scale == 0.0 {
+                // At least half the samples sit exactly on the median;
+                // anything off it is, relatively, infinitely deviant.
+                dev == 0.0
+            } else {
+                dev <= cfg.mad_k * scale
+            }
+        })
+        .collect()
+}
+
+/// Percentile-method bootstrap CI for the mean of `xs`.
+fn bootstrap_ci(xs: &[f64], cfg: &StatsConfig) -> (f64, f64) {
+    debug_assert!(!xs.is_empty());
+    if xs.len() == 1 {
+        return (xs[0], xs[0]);
+    }
+    let mut rng = Pcg32::seed_from_u64(cfg.seed);
+    let mut means = Vec::with_capacity(cfg.resamples);
+    for _ in 0..cfg.resamples {
+        let sum: f64 = (0..xs.len()).map(|_| xs[rng.gen_range(0..xs.len())]).sum();
+        means.push(sum / xs.len() as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("bootstrap means are finite"));
+    let alpha = (1.0 - cfg.confidence) / 2.0;
+    let pick = |q: f64| {
+        let idx = (q * (means.len() - 1) as f64).round() as usize;
+        means[idx.min(means.len() - 1)]
+    };
+    (pick(alpha), pick(1.0 - alpha))
+}
+
+/// Summarizes a sample vector. Panics on an empty or non-finite input —
+/// the harness never records either.
+pub fn summarize(samples: &[f64], cfg: &StatsConfig) -> Summary {
+    assert!(!samples.is_empty(), "summarize of zero samples");
+    assert!(
+        samples.iter().all(|x| x.is_finite()),
+        "summarize of non-finite samples"
+    );
+    let scale = mad(samples);
+    let keep = retained_indices(samples, cfg);
+    let used: Vec<f64> = keep.iter().map(|&i| samples[i]).collect();
+    let (mean, stddev) = mean_stddev(&used);
+    let mut sorted = used.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let (ci_lo, ci_hi) = bootstrap_ci(&used, cfg);
+    Summary {
+        n_total: samples.len(),
+        n_used: used.len(),
+        min: sorted[0],
+        max: *sorted.last().expect("non-empty"),
+        mean,
+        median: median_sorted(&sorted),
+        stddev,
+        mad: scale,
+        ci_lo,
+        ci_hi,
+        confidence: cfg.confidence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::for_all;
+
+    fn cfg() -> StatsConfig {
+        StatsConfig::default()
+    }
+
+    // -- known-distribution fixtures: exact closed-form answers -------------
+
+    #[test]
+    fn textbook_eight_sample_fixture() {
+        // Classic stddev example: mean 5, population σ 2,
+        // sample s = sqrt(32/7). At the default k=3.5 the `9` would be a
+        // MAD outlier (deviation 4.5 > 3.5 × 0.5 × 1.4826), so widen the
+        // cutoff to check the closed-form moments on the full set.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = summarize(
+            &xs,
+            &StatsConfig {
+                mad_k: 10.0,
+                ..StatsConfig::default()
+            },
+        );
+        assert_eq!(s.n_total, 8);
+        assert_eq!(s.n_used, 8, "k=10 keeps every sample");
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!((s.median - 4.5).abs() < 1e-12);
+        assert!((s.mad - 0.5 * MAD_SCALE).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn odd_length_median_is_middle_element() {
+        let xs = [3.0, 1.0, 2.0];
+        let s = summarize(&xs, &cfg());
+        assert_eq!(s.median, 2.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.stddev - 1.0).abs() < 1e-12, "sample stddev of 1,2,3");
+    }
+
+    #[test]
+    fn uniform_grid_has_exact_moments() {
+        // 1..=9: mean 5, sample variance 60/8 = 7.5.
+        let xs: Vec<f64> = (1..=9).map(f64::from).collect();
+        let s = summarize(&xs, &cfg());
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 7.5f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.n_used, 9);
+    }
+
+    // -- MAD rejection edge cases -------------------------------------------
+
+    #[test]
+    fn all_equal_samples_keep_everything() {
+        // 4.25 is exactly representable, so resampled means are bit-equal.
+        let xs = [4.25; 16];
+        let s = summarize(&xs, &cfg());
+        assert_eq!(s.n_used, 16);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.mad, 0.0);
+        assert_eq!((s.ci_lo, s.ci_hi), (4.25, 4.25));
+    }
+
+    #[test]
+    fn single_outlier_among_equals_is_rejected() {
+        // MAD = 0 ⇒ only on-median samples survive.
+        let xs = [5.0, 5.0, 5.0, 5.0, 100.0];
+        let s = summarize(&xs, &cfg());
+        assert_eq!(s.n_total, 5);
+        assert_eq!(s.n_used, 4);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert_eq!(s.max, 5.0, "outlier must not leak into min/max");
+    }
+
+    #[test]
+    fn single_outlier_with_noise_is_rejected() {
+        let xs = [10.0, 10.2, 9.8, 10.1, 9.9, 10.0, 250.0];
+        let s = summarize(&xs, &cfg());
+        assert_eq!(s.n_used, 6);
+        assert!(s.mean < 11.0, "mean must be robust to the spike");
+    }
+
+    #[test]
+    fn n2_never_rejects() {
+        // With two wildly different samples there is no way to pick the
+        // outlier — both stay, and the spread lands in stddev/CI instead.
+        let xs = [1.0, 1000.0];
+        let s = summarize(&xs, &cfg());
+        assert_eq!(s.n_used, 2);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_degenerates_cleanly() {
+        let s = summarize(&[7.0], &cfg());
+        assert_eq!((s.n_total, s.n_used), (1, 1));
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!((s.ci_lo, s.ci_hi), (7.0, 7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_input_panics() {
+        summarize(&[], &cfg());
+    }
+
+    // -- bootstrap CI behaviour ---------------------------------------------
+
+    #[test]
+    fn ci_is_deterministic_for_a_seed() {
+        let xs: Vec<f64> = (0..40).map(|i| 10.0 + (i % 7) as f64 * 0.1).collect();
+        let a = summarize(&xs, &cfg());
+        let b = summarize(&xs, &cfg());
+        assert_eq!((a.ci_lo, a.ci_hi), (b.ci_lo, b.ci_hi));
+        let other = StatsConfig {
+            seed: 99,
+            ..StatsConfig::default()
+        };
+        let c = summarize(&xs, &other);
+        // Different resampling, same data: interval may shift slightly but
+        // must still be a valid interval around the mean.
+        assert!(c.ci_lo <= a.mean && a.mean <= c.ci_hi);
+    }
+
+    #[test]
+    fn ci_brackets_the_mean_and_tightens_with_n() {
+        let small: Vec<f64> = (0..8).map(|i| 100.0 + (i % 5) as f64).collect();
+        let large: Vec<f64> = (0..256).map(|i| 100.0 + (i % 5) as f64).collect();
+        let s = summarize(&small, &cfg());
+        let l = summarize(&large, &cfg());
+        assert!(s.ci_lo <= s.mean && s.mean <= s.ci_hi);
+        assert!(l.ci_lo <= l.mean && l.mean <= l.ci_hi);
+        assert!(
+            (l.ci_hi - l.ci_lo) < (s.ci_hi - s.ci_lo),
+            "32× the samples must shrink the interval"
+        );
+    }
+
+    // -- seeded property hammer ---------------------------------------------
+
+    #[test]
+    fn prop_summary_invariants_hold() {
+        for_all(|g| {
+            let n = g.usize_in(1..64);
+            let base = g.f64_in(0.001..1000.0);
+            let xs: Vec<f64> = (0..n).map(|_| base * (1.0 + g.f64_in(0.0..0.5))).collect();
+            let s = summarize(&xs, &cfg());
+            assert_eq!(s.n_total, n);
+            assert!(s.n_used >= 1 && s.n_used <= n);
+            assert!(s.min <= s.median && s.median <= s.max);
+            assert!(s.min <= s.mean && s.mean <= s.max);
+            assert!(s.stddev >= 0.0 && s.mad >= 0.0);
+            assert!(s.ci_lo <= s.ci_hi);
+            assert!(
+                s.ci_lo >= s.min - 1e-9 && s.ci_hi <= s.max + 1e-9,
+                "bootstrap means cannot leave the sample hull"
+            );
+            if n < 3 {
+                assert_eq!(s.n_used, n, "no rejection below min_reject_n");
+            }
+        });
+    }
+
+    #[test]
+    fn prop_rejection_never_moves_mean_past_an_outlier() {
+        for_all(|g| {
+            // A tight cluster plus one far spike: the spike must never
+            // survive while cluster members are rejected.
+            let n = g.usize_in(4..32);
+            let center = g.f64_in(1.0..100.0);
+            let mut xs: Vec<f64> = (0..n)
+                .map(|_| center + g.f64_in(-0.01..0.01) * center)
+                .collect();
+            let spike = center * g.f64_in(10.0..1000.0);
+            xs.push(spike);
+            let s = summarize(&xs, &cfg());
+            assert!(s.max < spike, "the spike must be rejected");
+            assert!(
+                s.n_used >= n.div_ceil(2),
+                "rejection must never drop the majority cluster"
+            );
+        });
+    }
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Promote a fresh full (non-smoke) ablation_queue run to the committed
+# baseline under bench/baselines/. Run on the machine whose numbers the
+# baseline should represent, then commit the JSON:
+#
+#   scripts/bench-baseline.sh
+#   git add bench/baselines/ && git commit -m "Refresh ablation_queue baseline"
+#
+# Baselines are machine-shaped: bench-compare warns when the env stamp
+# (os/arch/cpus) of baseline and current run differ, because cross-machine
+# deltas are not meaningful.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${D4PY_BENCH_QUICK:-0}" != "0" ]]; then
+    echo "bench-baseline: refusing to promote a quick run (unset D4PY_BENCH_QUICK)" >&2
+    exit 1
+fi
+if [[ -n "${D4PY_BENCH_HANDICAP:-}" ]]; then
+    echo "bench-baseline: refusing to promote a handicapped run (unset D4PY_BENCH_HANDICAP)" >&2
+    exit 1
+fi
+
+cargo bench --offline --bench ablation_queue
+
+current="target/bench/BENCH_ablation_queue.json"
+if [[ ! -f "$current" ]]; then
+    echo "bench-baseline: expected $current after the run" >&2
+    exit 1
+fi
+mkdir -p bench/baselines
+cp "$current" bench/baselines/BENCH_ablation_queue.json
+echo "bench-baseline: promoted $current -> bench/baselines/BENCH_ablation_queue.json"

@@ -3,7 +3,8 @@
 #
 # The workspace has zero registry dependencies (see crates/sync and the
 # "Build" section of DESIGN.md), so --offline is not a degraded mode —
-# it is the only mode. Run from the repository root.
+# it is the only mode. Run from the repository root. CI (.github/workflows/
+# ci.yml) runs exactly this script, plus shellcheck over scripts/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,9 +26,19 @@ cargo clippy --offline --all-targets -- -D warnings
 cargo test -q --offline --test snapshot_format --test state_store_conformance
 
 # Smoke-run the lock-free global-queue ablation so the channel fast path is
-# exercised under the full gate. The bench itself prints baseline-vs-current
-# throughput when a previous run's numbers are present
-# (target/ablation_queue_last.txt).
+# exercised under the full gate. Quick mode writes its JSON report tagged
+# smoke:true (below statistical validity), so the comparison that follows
+# exercises the bench-compare path without ever gating on smoke samples.
+# Full gating runs come from `cargo bench --bench ablation_queue` against
+# a baseline promoted by scripts/bench-baseline.sh.
 D4PY_BENCH_QUICK=1 cargo bench --offline --bench ablation_queue
+
+baseline="bench/baselines/BENCH_ablation_queue.json"
+current="target/bench/BENCH_ablation_queue.json"
+if [[ -f "$baseline" && -f "$current" ]]; then
+    cargo run -q --offline -p d4py-bench --bin bench-compare -- \
+        "$baseline" "$current" \
+        || { echo "verify: FAIL — bench-compare reports a regression" >&2; exit 1; }
+fi
 
 echo "verify: OK"
