@@ -73,12 +73,16 @@ pub fn ratio_table(sweep: &Sweep, a: &'static str, b: &'static str) -> Option<Ra
     if cells.is_empty() {
         return None;
     }
-    let best_runtime = *cells
-        .iter()
-        .min_by(|x, y| x.runtime_ratio.partial_cmp(&y.runtime_ratio).unwrap())?;
-    let best_process = *cells
-        .iter()
-        .min_by(|x, y| x.process_ratio.partial_cmp(&y.process_ratio).unwrap())?;
+    let best_runtime = *cells.iter().min_by(|x, y| {
+        x.runtime_ratio
+            .partial_cmp(&y.runtime_ratio)
+            .expect("ratios are finite")
+    })?;
+    let best_process = *cells.iter().min_by(|x, y| {
+        x.process_ratio
+            .partial_cmp(&y.process_ratio)
+            .expect("ratios are finite")
+    })?;
     let runtime_stats = mean_std(&cells.iter().map(|c| c.runtime_ratio).collect::<Vec<_>>());
     let process_stats = mean_std(&cells.iter().map(|c| c.process_ratio).collect::<Vec<_>>());
     Some(RatioSummary {

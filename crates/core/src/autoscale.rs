@@ -345,6 +345,8 @@ impl AutoScaler {
         let mut prev_metric: Option<f64> = None;
         let mut prev_active = self.active_size();
         while !self.shutdown.load(Ordering::SeqCst) {
+            // sleep: the autoscaler's sampling tick — a coarse periodic
+            // poll by design; shutdown is re-checked right after waking.
             std::thread::sleep(tick);
             if self.shutdown.load(Ordering::SeqCst) {
                 break;

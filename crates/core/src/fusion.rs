@@ -208,7 +208,7 @@ pub fn fuse(exe: &Executable, clustering: &Clustering) -> Result<Executable, Cor
         };
 
         for (mi, &pe) in members.iter().enumerate() {
-            let pe_spec = graph.pe(pe).unwrap();
+            let pe_spec = graph.pe(pe).expect("cluster members come from this graph");
             // Sources inside the cluster take the composite kickoff.
             if graph.incoming(pe).next().is_none() {
                 plan.source_members.push(mi);
@@ -272,8 +272,14 @@ pub fn fuse(exe: &Executable, clustering: &Clustering) -> Result<Executable, Cor
         if from_c == to_c {
             continue;
         }
-        let from_name = &graph.pe(c.from_pe).unwrap().name;
-        let to_name = &graph.pe(c.to_pe).unwrap().name;
+        let from_name = &graph
+            .pe(c.from_pe)
+            .expect("connection endpoints come from this graph")
+            .name;
+        let to_name = &graph
+            .pe(c.to_pe)
+            .expect("connection endpoints come from this graph")
+            .name;
         fused
             .connect(
                 d4py_graph::PeId(from_c),

@@ -153,12 +153,15 @@ pub fn run_dynamic(
         runtime: started.elapsed(),
         process_time: engine.ledger.total(),
         workers: opts.workers,
+        // relaxed: statistics counters, read only after every worker has
+        // been joined — the join is the synchronization point.
         tasks_executed: engine.tasks_executed.load(Ordering::Relaxed),
         scaling_trace: engine
             .scaler
             .as_ref()
             .map(|s| s.trace().snapshot())
             .unwrap_or_default(),
+        // relaxed: same post-join statistics reads as `tasks_executed`.
         dropped_emissions: engine.dropped_emissions.load(Ordering::Relaxed),
         failed_tasks: engine.failed_tasks.load(Ordering::Relaxed),
         per_pe_tasks: engine.pe_counts.snapshot(),
@@ -266,10 +269,14 @@ fn execute_task(
     let mut buf = EmitBuffer::new(worker, engine.workers);
     let started = Instant::now();
     if !crate::pe::process_guarded(pe, &task.port, task.value, &mut buf) {
+        // relaxed: monotonic statistics counter; the final read happens
+        // after the worker joins.
         engine.failed_tasks.fetch_add(1, Ordering::Relaxed);
         return Ok(());
     }
     engine.latency.record(started.elapsed());
+    // relaxed: monotonic statistics counter; the final read happens after
+    // the worker joins.
     engine.tasks_executed.fetch_add(1, Ordering::Relaxed);
     if let Some(spec) = graph.pe(task.pe) {
         engine.pe_counts.add(&spec.name, 1);
@@ -290,6 +297,7 @@ fn execute_task(
                 }
                 Route::All => {
                     // Unreachable after require_stateless; count defensively.
+                    // relaxed: monotonic statistics counter.
                     engine.dropped_emissions.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -397,6 +405,8 @@ mod tests {
         let started = Instant::now();
         run(&exe, 4);
         assert!(results.lock().is_empty());
+        // timing: hang detector with a generous bound (an empty run takes
+        // microseconds), not a performance gate.
         assert!(started.elapsed() < std::time::Duration::from_secs(2));
     }
 

@@ -152,6 +152,7 @@ impl HybridEngine {
                 self.route_connection(router, conn_id, conn, &value)?;
             }
             if !delivered && graph.outgoing(from).next().is_some() {
+                // relaxed: monotonic statistics counter; read after joins.
                 self.dropped_emissions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -304,6 +305,8 @@ pub fn run_hybrid_with_state(
         while engine.outstanding.load(Ordering::SeqCst) != 0
             || engine.flushes_pending.load(Ordering::SeqCst) != 0
         {
+            // sleep: quiescence poll between drain rounds; the outstanding
+            // counters are the real signal, the sleep only paces the poll.
             std::thread::sleep(settle);
         }
     };
@@ -344,6 +347,8 @@ pub fn run_hybrid_with_state(
         runtime: started.elapsed(),
         process_time: engine.ledger.total(),
         workers: opts.workers,
+        // relaxed: statistics counters, read only after every worker has
+        // been joined — the join is the synchronization point.
         tasks_executed: engine.tasks_executed.load(Ordering::Relaxed),
         scaling_trace: vec![],
         dropped_emissions: engine.dropped_emissions.load(Ordering::Relaxed),
@@ -409,9 +414,11 @@ fn stateful_worker(
             Some(QueueItem::Task(task)) => {
                 let mut buf = EmitBuffer::new(slot.instance, n_instances);
                 if crate::pe::process_guarded(&mut pe, &task.port, task.value, &mut buf) {
+                    // relaxed: monotonic statistics counter; read after joins.
                     engine.tasks_executed.fetch_add(1, Ordering::Relaxed);
                     engine.pe_counts.add(&pe_name, 1);
                 } else {
+                    // relaxed: monotonic statistics counter; read after joins.
                     engine.failed_tasks.fetch_add(1, Ordering::Relaxed);
                 }
                 engine.route_emissions(graph, slot.pe, &mut buf, &mut router)?;
@@ -459,11 +466,13 @@ fn stateless_worker(
                 };
                 let mut buf = EmitBuffer::new(worker, engine.stateless_workers);
                 if crate::pe::process_guarded(pe, &task.port, task.value, &mut buf) {
+                    // relaxed: monotonic statistics counter; read after joins.
                     engine.tasks_executed.fetch_add(1, Ordering::Relaxed);
                     if let Some(spec) = graph.pe(task.pe) {
                         engine.pe_counts.add(&spec.name, 1);
                     }
                 } else {
+                    // relaxed: monotonic statistics counter; read after joins.
                     engine.failed_tasks.fetch_add(1, Ordering::Relaxed);
                 }
                 engine.route_emissions(graph, task.pe, &mut buf, &mut router)?;

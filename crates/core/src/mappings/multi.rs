@@ -120,6 +120,8 @@ impl Mapping for Multi {
             runtime: started.elapsed(),
             process_time: ledger.total(),
             workers: opts.workers,
+            // relaxed: statistics counters, read only after every worker
+            // has been joined — the join is the synchronization point.
             tasks_executed: tasks_executed.load(Ordering::Relaxed),
             scaling_trace: vec![],
             dropped_emissions: 0,
@@ -169,9 +171,11 @@ fn instance_worker(
         // Sources receive a synthetic kickoff and emit their stream.
         let mut buf = EmitBuffer::new(inst.index, n_instances);
         if crate::pe::process_guarded(&mut pe_impl, KICKOFF_PORT, Value::Null, &mut buf) {
+            // relaxed: monotonic statistics counter; read after joins.
             tasks.fetch_add(1, Ordering::Relaxed);
             processed_here += 1;
         } else {
+            // relaxed: monotonic statistics counter; read after joins.
             failed.fetch_add(1, Ordering::Relaxed);
         }
         deliver(graph, plan, inst.pe, buf, &mut router, senders);
@@ -182,9 +186,13 @@ fn instance_worker(
                 Ok(Msg::Data(port, value)) => {
                     let mut buf = EmitBuffer::new(inst.index, n_instances);
                     if crate::pe::process_guarded(&mut pe_impl, &port, value, &mut buf) {
+                        // relaxed: monotonic statistics counter; read
+                        // after joins.
                         tasks.fetch_add(1, Ordering::Relaxed);
                         processed_here += 1;
                     } else {
+                        // relaxed: monotonic statistics counter; read
+                        // after joins.
                         failed.fetch_add(1, Ordering::Relaxed);
                     }
                     deliver(graph, plan, inst.pe, buf, &mut router, senders);

@@ -36,16 +36,21 @@ impl ActiveTimeLedger {
 
     /// Adds a closed active span for `worker`.
     pub fn record(&self, worker: usize, span: Duration) {
+        // relaxed: per-worker time ledger — each slot is written by one
+        // worker and totalled only after the run completes.
         self.nanos[worker].fetch_add(span.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Total active time across all workers (the paper's *process time*).
     pub fn total(&self) -> Duration {
+        // relaxed: totalled after the run's joins; mid-run reads are
+        // best-effort progress snapshots by design.
         Duration::from_nanos(self.nanos.iter().map(|n| n.load(Ordering::Relaxed)).sum())
     }
 
     /// Active time of one worker.
     pub fn of(&self, worker: usize) -> Duration {
+        // relaxed: read after the run's joins (see `total`).
         Duration::from_nanos(self.nanos[worker].load(Ordering::Relaxed))
     }
 
@@ -156,11 +161,15 @@ impl LatencyHistogram {
 
     /// Records one sample.
     pub fn record(&self, d: Duration) {
+        // relaxed: monotonic histogram bucket counter; summarised only
+        // after the run completes.
         self.buckets[Self::bucket_of(d)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total recorded samples.
     pub fn count(&self) -> u64 {
+        // relaxed: read after the run's joins; histogram totals do not
+        // order against any other memory.
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
@@ -174,6 +183,7 @@ impl LatencyHistogram {
         let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (k, b) in self.buckets.iter().enumerate() {
+            // relaxed: read after the run's joins (see `count`).
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
                 return Some(Duration::from_micros(1u64 << (k + 1)));

@@ -199,6 +199,7 @@ impl CountingSink {
 
 impl ProcessingElement for CountingSink {
     fn process(&mut self, _port: &str, _value: Value, _ctx: &mut dyn Context) {
+        // relaxed: test-helper invocation counter, read after the run.
         self.count
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }

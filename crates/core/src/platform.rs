@@ -115,6 +115,8 @@ impl CoreLimiter {
     /// Occupies a core for `service_time`: the standard model for a
     /// compute-bound work unit.
     pub fn compute(&self, service_time: Duration) {
+        // sleep: simulated compute occupancy — the platform models a busy
+        // core by blocking for the calibrated service time.
         self.with_core(|| std::thread::sleep(service_time));
     }
 
@@ -193,6 +195,8 @@ mod tests {
             h.join().unwrap();
         }
         // 8 parallel 20ms computes on an unlimited limiter ≈ 20ms, not 160ms.
+        // timing: asserts parallelism (6x headroom over the ideal), not
+        // throughput — serialized execution would take 160ms.
         assert!(started.elapsed() < Duration::from_millis(120));
     }
 

@@ -103,6 +103,8 @@ impl WorkUnit {
     /// core permit.
     pub fn perform(&self, limiter: &CoreLimiter) {
         if !self.latency.is_zero() {
+            // sleep: simulated I/O latency (no core held) per the workload
+            // model; tests run with zeroed durations.
             std::thread::sleep(self.latency);
         }
         if !self.compute.is_zero() {

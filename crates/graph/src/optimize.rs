@@ -128,7 +128,11 @@ fn clusters_from_dsu(graph: &WorkflowGraph, dsu: &mut Dsu) -> Clustering {
     Clustering {
         clusters: roots_in_order
             .into_iter()
-            .map(|r| by_root.remove(&r).unwrap())
+            .map(|r| {
+                by_root
+                    .remove(&r)
+                    .expect("every recorded root owns a cluster")
+            })
             .collect(),
     }
 }

@@ -1,0 +1,43 @@
+//! Fixture: every rule exercised in its sanctioned, waived form.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static N: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() -> usize {
+    // relaxed: uniqueness-only counter for this fixture.
+    N.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn pause() {
+    // sleep: simulated latency, fixture only.
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    // SAFETY: the caller passes a non-empty slice.
+    unsafe { *v.get_unchecked(0) }
+}
+
+/// Reclaims a raw pointer.
+///
+/// # Safety
+/// `p` must come from `Box::into_raw` and not be freed twice.
+pub unsafe fn reclaim(p: *mut u8) -> Box<u8> {
+    // SAFETY: forwarded contract, see above.
+    unsafe { Box::from_raw(p) }
+}
+
+pub fn parse(s: &str) -> i64 {
+    s.parse().expect("fixture input is numeric")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fast() {
+        let t = std::time::Instant::now();
+        // timing: fixture waiver — not a real perf gate.
+        assert!(t.elapsed() < std::time::Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: unannotated Relaxed ordering.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static N: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() -> usize {
+    N.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,5 @@
+//! Fixture: raw sleep in non-test code without a justification.
+
+pub fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

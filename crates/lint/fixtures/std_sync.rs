@@ -1,0 +1,7 @@
+//! Fixture: banned std::sync primitive outside crates/sync.
+
+use std::sync::Mutex;
+
+pub fn shared() -> Mutex<u32> {
+    Mutex::new(0)
+}

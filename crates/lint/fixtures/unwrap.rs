@@ -1,0 +1,5 @@
+//! Fixture: bare unwrap in library code.
+
+pub fn parse(s: &str) -> i64 {
+    s.parse().unwrap()
+}

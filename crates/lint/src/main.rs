@@ -1,0 +1,356 @@
+//! `d4py-lint` — the workspace's hand-rolled source invariant scanner.
+//!
+//! Line/token level, no `syn`, no dependencies — in the house serde-free
+//! style. It enforces the repo rules that `rustc`/`clippy` cannot see:
+//!
+//! * **std-sync** — `std::sync::{Mutex, Condvar, mpsc}` may only appear in
+//!   `crates/sync`; everything else goes through `d4py_sync`'s poison-free
+//!   wrappers (and, for the lock-free core, its model-checkable facade).
+//! * **sleep** — `thread::sleep` outside `crates/sync` and outside test
+//!   code needs a `// sleep:` justification (e.g. simulated PE compute).
+//! * **relaxed** — every `Ordering::Relaxed` in non-test code carries a
+//!   `// relaxed:` comment saying why the weakest ordering is sound; the
+//!   model checker runs sequentially consistent, so these justifications
+//!   are the only audit trail for the weaker orderings.
+//! * **safety** — every `unsafe` in non-test code carries a `// SAFETY:`
+//!   comment (same line or the comment block directly above). An
+//!   `unsafe fn` declaration may instead carry a `/// # Safety` doc
+//!   section; with `deny(unsafe_op_in_unsafe_fn)` the declaration itself
+//!   performs no unchecked operation.
+//! * **unwrap** — non-test library code may not call bare `.unwrap()`;
+//!   `.expect("why this cannot fail")` is the sanctioned, self-justifying
+//!   form. Binaries (`main.rs`, `src/bin/`) and tests are exempt.
+//! * **timing** — test/bench code may not assert a wall-clock **upper**
+//!   bound (`elapsed < ...` flakes under load) without a `// timing:`
+//!   waiver; regressions are gated by the stats harness instead.
+//!
+//! A waiver/justification comment counts when it is on the offending line
+//! or in the contiguous `//` comment block immediately above it.
+//!
+//! Usage: `d4py-lint [ROOT]...` (default `.`). Directories are walked
+//! recursively (skipping `target/`, `.git/`, and `fixtures/`); a path that
+//! is itself a file is always scanned, which is how the fixture tests
+//! drive single files. Exit code 0 = clean, 1 = violations (printed as
+//! `file:line: [rule] message`), 2 = usage/IO error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+// The scanner's own patterns are assembled from split literals so that
+// scanning this file does not self-report.
+const STD_SYNC: &str = concat!("std::", "sync::");
+const BANNED_SYNC: [&str; 3] = [
+    concat!("Mu", "tex"),
+    concat!("Cond", "var"),
+    concat!("mp", "sc"),
+];
+const SLEEP: &str = concat!("thread::", "sle", "ep");
+const RELAXED: &str = concat!("Ordering::", "Rela", "xed");
+const UNSAFE: &str = concat!("uns", "afe");
+const UNWRAP: &str = concat!(".unw", "rap()");
+const ELAPSED: &str = concat!("ela", "psed");
+const ASSERT: &str = concat!("ass", "ert");
+const W_SAFETY: &str = concat!("SAF", "ETY:");
+const W_SAFETY_DOC: &str = concat!("# Saf", "ety");
+const W_RELAXED: &str = concat!("// rel", "axed:");
+const W_SLEEP: &str = concat!("// sl", "eep:");
+const W_TIMING: &str = concat!("// tim", "ing:");
+
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        vec![PathBuf::from(".")]
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    let mut files = Vec::new();
+    for root in &roots {
+        if root.is_file() {
+            files.push(root.clone());
+        } else if root.is_dir() {
+            if let Err(e) = walk(root, &mut files) {
+                eprintln!("d4py-lint: error walking {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        } else {
+            eprintln!("d4py-lint: no such path: {}", root.display());
+            return ExitCode::from(2);
+        }
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("d4py-lint: error reading {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        scan_file(file, &source, &mut violations);
+    }
+
+    for v in &violations {
+        println!(
+            "{}:{}: [{}] {}",
+            v.file.display(),
+            v.line,
+            v.rule,
+            v.message
+        );
+    }
+    if violations.is_empty() {
+        eprintln!("d4py-lint: {} file(s) clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "d4py-lint: {} violation(s) in {} file(s)",
+            violations.len(),
+            files.len()
+        );
+        ExitCode::from(1)
+    }
+}
+
+/// Recursively collects `.rs` files, skipping build output, VCS internals,
+/// and lint fixtures (which contain violations on purpose).
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Path classification for rule scoping.
+struct FileScope {
+    /// Under `crates/sync/` — the one crate allowed to touch `std::sync`
+    /// primitives and raw sleeps (it *implements* the substrate).
+    in_sync_crate: bool,
+    /// Test-only by location: `tests/`, `benches/`, `examples/`.
+    test_path: bool,
+    /// Binary entry point (`main.rs` or under `src/bin/`): exempt from the
+    /// library `.unwrap()` rule, where a panic is an acceptable CLI error.
+    bin_path: bool,
+}
+
+fn classify(file: &Path) -> FileScope {
+    let p = file.to_string_lossy().replace('\\', "/");
+    let has_seg = |seg: &str| p.split('/').any(|s| s == seg);
+    FileScope {
+        in_sync_crate: p.contains("crates/sync/"),
+        test_path: has_seg("tests") || has_seg("benches") || has_seg("examples"),
+        bin_path: p.ends_with("/main.rs") || p.contains("/src/bin/"),
+    }
+}
+
+/// The code portion of a line: everything before a `//` comment opener.
+/// (Token-level on purpose — a `//` inside a string literal is rare enough
+/// in this workspace that the simple rule wins.)
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(idx) => &line[..idx],
+        None => line,
+    }
+}
+
+/// True when `needle` occurs in `hay` bounded by non-identifier characters.
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= hay.len()
+            || !hay[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len().max(1);
+    }
+    false
+}
+
+/// True when the line uses a banned `std::sync` primitive: the banned name
+/// directly qualified (`std::sync::Mutex`) or inside an import group
+/// (`use std::sync::{Arc, Mutex}`). `std::sync::Arc<d4py_sync::Mutex<_>>`
+/// is fine — the `Arc` is std's, the `Mutex` is the workspace wrapper.
+fn uses_banned_std_sync(code: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(STD_SYNC) {
+        let after = &code[start + pos + STD_SYNC.len()..];
+        if let Some(group) = after.strip_prefix('{') {
+            let group = group.split('}').next().unwrap_or(group);
+            if BANNED_SYNC.iter().any(|b| contains_word(group, b)) {
+                return true;
+            }
+        } else if BANNED_SYNC.iter().any(|b| {
+            after.starts_with(b)
+                && !after[b.len()..]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        }) {
+            return true;
+        }
+        start += pos + STD_SYNC.len();
+    }
+    false
+}
+
+/// True when the waiver `marker` appears on line `i` or in a `//` comment
+/// within the preceding lines of the same statement group. The upward scan
+/// tolerates code lines (rustfmt splits method chains, pushing the
+/// justification a few lines above the token) but stops at a blank line or
+/// after 8 lines, so a waiver never leaks across statement groups.
+fn waived(lines: &[&str], i: usize, marker: &str) -> bool {
+    if lines[i].contains(marker) {
+        return true;
+    }
+    let mut j = i;
+    let floor = i.saturating_sub(8);
+    while j > floor {
+        j -= 1;
+        let t = lines[j].trim_start();
+        if t.is_empty() {
+            break;
+        }
+        if t.starts_with("//") && t.contains(marker) {
+            return true;
+        }
+    }
+    false
+}
+
+fn scan_file(file: &Path, source: &str, out: &mut Vec<Violation>) {
+    let scope = classify(file);
+    let lines: Vec<&str> = source.lines().collect();
+    // Everything after the first `#[cfg(test)]` counts as test code — the
+    // workspace idiom puts the test module at the end of the file.
+    let test_from = lines
+        .iter()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .unwrap_or(usize::MAX);
+
+    for (i, raw) in lines.iter().enumerate() {
+        let code = code_part(raw);
+        if code.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let in_test = scope.test_path || i >= test_from;
+
+        // std-sync: only crates/sync implements on top of std primitives.
+        if !scope.in_sync_crate && uses_banned_std_sync(code) {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: "std-sync",
+                message: format!(
+                    "{STD_SYNC}{{Mutex,Condvar,mpsc}} is reserved for crates/sync; \
+                     use the d4py_sync wrappers"
+                ),
+            });
+        }
+
+        // sleep: raw sleeps hide scheduling bugs; justify or move to tests.
+        if !scope.in_sync_crate && !in_test && code.contains(SLEEP) && !waived(&lines, i, W_SLEEP) {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: "sleep",
+                message: format!("{SLEEP} in non-test code needs a '{W_SLEEP}' justification"),
+            });
+        }
+
+        // relaxed: the one ordering the model checker cannot vouch for.
+        if !in_test && contains_word(code, RELAXED) && !waived(&lines, i, W_RELAXED) {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: "relaxed",
+                message: format!("{RELAXED} needs a '{W_RELAXED}' justification"),
+            });
+        }
+
+        // safety: every unsafe carries its proof obligation in a comment.
+        // `unsafe fn(` is the function-pointer *type*, not an unsafe site.
+        // An `unsafe fn` *declaration* performs no unchecked operation by
+        // itself (the crate denies `unsafe_op_in_unsafe_fn`), so the
+        // idiomatic `/// # Safety` doc section waives it.
+        let unsafe_fn_decl = code.contains(concat!("uns", "afe fn "));
+        let safety_waived =
+            waived(&lines, i, W_SAFETY) || (unsafe_fn_decl && waived(&lines, i, W_SAFETY_DOC));
+        if !in_test
+            && contains_word(code, UNSAFE)
+            && !code.contains(concat!("uns", "afe fn("))
+            && !safety_waived
+        {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: "safety",
+                message: format!("{UNSAFE} without a '{W_SAFETY}' comment"),
+            });
+        }
+
+        // unwrap: library code must say why a Result/Option cannot fail.
+        if !in_test && !scope.bin_path && code.contains(UNWRAP) {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: "unwrap",
+                message: format!(
+                    "bare {UNWRAP} in library code; use .expect(\"why this cannot fail\")"
+                ),
+            });
+        }
+
+        // timing: upper-bound wall-clock assertions flake under load; the
+        // stats harness (crates/sync/src/stats.rs + bench-compare) is the
+        // sanctioned way to gate on time.
+        if in_test
+            && code.contains(ASSERT)
+            && code.contains(ELAPSED)
+            && code.contains('<')
+            && !waived(&lines, i, W_TIMING)
+        {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: lineno,
+                rule: "timing",
+                message: format!(
+                    "wall-clock upper bound in a test needs a '{W_TIMING}' waiver \
+                     (prefer the stats harness)"
+                ),
+            });
+        }
+    }
+}

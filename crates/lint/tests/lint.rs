@@ -1,0 +1,118 @@
+//! End-to-end tests for the `d4py-lint` binary: each violation class has a
+//! fixture under `crates/lint/fixtures/`, and the scanner must report the
+//! exact `file:line: [rule]` for it (exit 1), stay quiet on the clean
+//! fixture (exit 0), and error on bogus paths (exit 2).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+/// Runs the lint binary over `paths`; returns (exit code, stdout).
+fn lint(paths: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_d4py-lint"))
+        .args(paths)
+        .output()
+        .expect("spawn d4py-lint");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// Asserts the fixture produces exactly one violation of `rule` at `line`.
+fn assert_single_violation(name: &str, rule: &str, line: u32) {
+    let path = fixture(name);
+    let (code, stdout) = lint(&[&path]);
+    assert_eq!(code, 1, "{name} must fail the lint; output:\n{stdout}");
+    let expected = format!("{path}:{line}: [{rule}]");
+    assert!(
+        stdout.contains(&expected),
+        "{name}: expected \"{expected}\" in:\n{stdout}"
+    );
+    assert_eq!(
+        stdout.lines().count(),
+        1,
+        "{name}: expected exactly one violation, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn std_sync_fixture_reports_file_and_line() {
+    assert_single_violation("std_sync.rs", "std-sync", 3);
+}
+
+#[test]
+fn sleep_fixture_reports_file_and_line() {
+    assert_single_violation("sleep.rs", "sleep", 4);
+}
+
+#[test]
+fn relaxed_fixture_reports_file_and_line() {
+    assert_single_violation("relaxed.rs", "relaxed", 8);
+}
+
+#[test]
+fn safety_fixture_reports_file_and_line() {
+    assert_single_violation("safety.rs", "safety", 4);
+}
+
+#[test]
+fn unwrap_fixture_reports_file_and_line() {
+    assert_single_violation("unwrap.rs", "unwrap", 4);
+}
+
+#[test]
+fn timing_fixture_reports_file_and_line() {
+    assert_single_violation("timing.rs", "timing", 8);
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let (code, stdout) = lint(&[&fixture("clean.rs")]);
+    assert_eq!(code, 0, "clean fixture must pass; output:\n{stdout}");
+    assert!(stdout.is_empty(), "no violations expected:\n{stdout}");
+}
+
+#[test]
+fn all_violation_fixtures_together_report_each_class() {
+    let names = [
+        "std_sync.rs",
+        "sleep.rs",
+        "relaxed.rs",
+        "safety.rs",
+        "unwrap.rs",
+        "timing.rs",
+    ];
+    let paths: Vec<String> = names.iter().map(|n| fixture(n)).collect();
+    let refs: Vec<&str> = paths.iter().map(String::as_str).collect();
+    let (code, stdout) = lint(&refs);
+    assert_eq!(code, 1);
+    for rule in ["std-sync", "sleep", "relaxed", "safety", "unwrap", "timing"] {
+        assert!(
+            stdout.contains(&format!("[{rule}]")),
+            "missing [{rule}] in:\n{stdout}"
+        );
+    }
+    assert_eq!(stdout.lines().count(), names.len());
+}
+
+#[test]
+fn directory_walk_skips_the_fixture_dir() {
+    // Scanning the whole lint crate must not trip over the deliberate
+    // violations in fixtures/ (the walker skips that directory).
+    let (code, stdout) = lint(&[env!("CARGO_MANIFEST_DIR")]);
+    assert_eq!(code, 0, "lint crate must scan clean; output:\n{stdout}");
+}
+
+#[test]
+fn missing_path_is_a_usage_error() {
+    let (code, _) = lint(&[&fixture("does_not_exist.rs")]);
+    assert_eq!(code, 2);
+}

@@ -21,6 +21,8 @@ fn fresh_key(prefix: &str) -> String {
     format!(
         "d4py:{}:{}",
         prefix,
+        // relaxed: uniqueness-only run id — no other memory depends on
+        // its ordering.
         RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
     )
 }
@@ -163,6 +165,7 @@ impl Mapping for HybridRedis {
     fn execute(&self, exe: &Executable, opts: &ExecutionOptions) -> Result<RunReport, CoreError> {
         let factory = RedisQueueFactory {
             backend: self.backend.clone(),
+            // relaxed: uniqueness-only run id (see `unique_prefix`).
             run: RUN_COUNTER.fetch_add(1, Ordering::Relaxed),
         };
         run_hybrid_with_state(exe, opts, &factory, self.name(), self.state.clone())

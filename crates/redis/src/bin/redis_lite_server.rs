@@ -30,6 +30,8 @@ fn main() {
     println!("redis-lite listening on {}", server.addr());
     println!("Ctrl-C to stop.");
     loop {
+        // sleep: parks the CLI main thread forever; the listener threads
+        // do all the work and Ctrl-C is the only exit.
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
 }

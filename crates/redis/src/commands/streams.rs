@@ -221,7 +221,10 @@ pub(crate) fn xgroup(db: &mut Db, args: &[Vec<u8>]) -> Frame {
                 }
                 db.set(key.clone(), RValue::Stream(Stream::new()));
             }
-            let RValue::Stream(stream) = db.get_mut(key, now()).unwrap() else {
+            let RValue::Stream(stream) = db
+                .get_mut(key, now())
+                .expect("stream was created or found above")
+            else {
                 return super::wrong_type();
             };
             let start = if start_raw.as_slice() == b"$" {
@@ -278,8 +281,8 @@ pub(crate) fn xpending(db: &mut Db, args: &[Vec<u8>]) -> Frame {
                         Frame::NullArray,
                     ]);
                 }
-                let min = *g.pending.keys().next().unwrap();
-                let max = *g.pending.keys().next_back().unwrap();
+                let min = *g.pending.keys().next().expect("pending is non-empty");
+                let max = *g.pending.keys().next_back().expect("pending is non-empty");
                 let mut per_consumer: std::collections::BTreeMap<&str, u64> = Default::default();
                 for p in g.pending.values() {
                     *per_consumer.entry(p.consumer.as_str()).or_insert(0) += 1;
@@ -327,7 +330,7 @@ pub(crate) fn xinfo(db: &mut Db, args: &[Vec<u8>]) -> Frame {
                 s.group_names()
                     .into_iter()
                     .map(|name| {
-                        let g = s.group(&name).unwrap();
+                        let g = s.group(&name).expect("name came from group_names()");
                         Frame::Array(vec![
                             Frame::bulk("name"),
                             Frame::bulk(name.clone()),

@@ -115,7 +115,7 @@ impl Shared {
         if args.len() < 2 {
             return Frame::error(format!("wrong number of arguments for '{name}'"));
         }
-        let timeout = match parse_secs(args.last().unwrap()) {
+        let timeout = match parse_secs(args.last().expect("arity checked above")) {
             Some(t) => t,
             None => return Frame::error("timeout is not a float or out of range"),
         };

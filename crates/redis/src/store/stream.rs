@@ -220,7 +220,11 @@ impl Stream {
     pub fn trim_maxlen(&mut self, maxlen: usize) -> usize {
         let mut removed = 0;
         while self.entries.len() > maxlen {
-            let oldest = *self.entries.keys().next().unwrap();
+            let oldest = *self
+                .entries
+                .keys()
+                .next()
+                .expect("entries is non-empty while len > maxlen");
             self.entries.remove(&oldest);
             for group in self.groups.values_mut() {
                 group.pending.remove(&oldest);
@@ -305,7 +309,10 @@ impl Stream {
                         delivery_count: 1,
                     },
                 );
-                g.consumers.get_mut(consumer).unwrap().pending += 1;
+                g.consumers
+                    .get_mut(consumer)
+                    .expect("consumer registered above")
+                    .pending += 1;
             }
         }
         Ok(taken)

@@ -28,11 +28,20 @@
 //! counter — there is exactly one count of queued items, so monitors can
 //! never observe a phantom backlog from duplicated accounting.
 
+use crate::facade::{spin_loop, AtomicBool, AtomicUsize, Condvar, Mutex, Ordering};
 use crate::segqueue::SegQueue;
-use crate::sync::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Fast-path spin count before a receiver falls back to parking.
+#[cfg(not(d4py_model))]
+const SPINS: u32 = 32;
+/// Model-checked builds park immediately: the spin fast path only re-runs
+/// `pop`, which is already covered by the segqueue scenarios, while
+/// skipping it puts the explorer's whole preemption budget on the
+/// interesting part — the park/wakeup-generation protocol.
+#[cfg(d4py_model)]
+const SPINS: u32 = 0;
 
 /// Error returned by [`Sender::send`] when every receiver is gone. The
 /// unsent value is handed back.
@@ -294,9 +303,9 @@ impl<T> Receiver<T> {
                     None => Err(RecvTimeoutError::Disconnected),
                 };
             }
-            if spins < 32 {
+            if spins < SPINS {
                 spins += 1;
-                std::hint::spin_loop();
+                spin_loop();
                 continue;
             }
 
@@ -306,9 +315,18 @@ impl<T> Receiver<T> {
             // enough for the re-poll below to find the item.
             let mut generation = shared.park.lock();
             shared.waiters.fetch_add(1, Ordering::SeqCst);
-            if let Some(item) = shared.queue.pop() {
-                shared.waiters.fetch_sub(1, Ordering::SeqCst);
-                return Ok(item);
+            // Injected bug for the model checker: skipping this re-poll
+            // opens the classic lost-wakeup window (a send landing between
+            // our last pop and the waiter registration is never seen).
+            #[cfg(d4py_model)]
+            let repoll = !crate::model::fault("channel-skip-park-repoll");
+            #[cfg(not(d4py_model))]
+            let repoll = true;
+            if repoll {
+                if let Some(item) = shared.queue.pop() {
+                    shared.waiters.fetch_sub(1, Ordering::SeqCst);
+                    return Ok(item);
+                }
             }
             if shared.is_recv_disconnected() {
                 shared.waiters.fetch_sub(1, Ordering::SeqCst);

@@ -1,0 +1,63 @@
+//! The sync facade the lock-free core is written against.
+//!
+//! `segqueue` and `channel` import their atomics, locks, hints, and block
+//! (de)allocation helpers from here instead of `std`, so the **same
+//! source** runs in two worlds:
+//!
+//! * ordinary builds re-export the real `std::sync::atomic` types,
+//!   [`crate::sync`] locks, and plain `Box` allocation — zero overhead;
+//! * `--cfg d4py_model` builds re-export the instrumented shims from
+//!   [`crate::model::shim`], which gate every operation through the model
+//!   checker's scheduler (and remain passthrough outside an active model
+//!   execution, so the normal test suite still passes under that cfg).
+//!
+//! This is the swap point the ISSUE calls "generic over a Sync facade":
+//! cfg-switched re-exports rather than type parameters, which keeps the
+//! checked code byte-for-byte identical to the shipped code.
+
+#[cfg(d4py_model)]
+pub(crate) use crate::model::shim::{
+    fence, free_tracked, into_raw_tracked, retake_tracked, spin_loop, yield_now, AtomicBool,
+    AtomicPtr, AtomicUsize, Condvar, Mutex, Ordering,
+};
+
+#[cfg(not(d4py_model))]
+pub(crate) use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+
+#[cfg(not(d4py_model))]
+pub(crate) use crate::sync::{Condvar, Mutex};
+
+#[cfg(not(d4py_model))]
+pub(crate) use std::hint::spin_loop;
+
+#[cfg(not(d4py_model))]
+pub(crate) use std::thread::yield_now;
+
+/// `Box::into_raw` (tracked in the model's allocation ledger).
+#[cfg(not(d4py_model))]
+pub(crate) fn into_raw_tracked<T>(b: Box<T>) -> *mut T {
+    Box::into_raw(b)
+}
+
+/// `Box::from_raw` reclaiming ownership without freeing (tracked variant
+/// removes the pointer from the model ledger).
+///
+/// # Safety
+/// `p` must have come from [`into_raw_tracked`] and not have been freed or
+/// reclaimed since.
+#[cfg(not(d4py_model))]
+pub(crate) unsafe fn retake_tracked<T>(p: *mut T) -> Box<T> {
+    // SAFETY: ownership contract forwarded to the caller (see above).
+    unsafe { Box::from_raw(p) }
+}
+
+/// Frees a block produced by [`into_raw_tracked`] (the model variant
+/// quarantines the memory and detects double frees instead).
+///
+/// # Safety
+/// `p` must have come from [`into_raw_tracked`] and not already be freed.
+#[cfg(not(d4py_model))]
+pub(crate) unsafe fn free_tracked<T>(p: *mut T) {
+    // SAFETY: ownership contract forwarded to the caller (see above).
+    unsafe { drop(Box::from_raw(p)) }
+}

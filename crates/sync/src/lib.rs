@@ -28,14 +28,21 @@
 //!   rejection, sample stddev, seeded-bootstrap confidence intervals;
 //! * [`report`] — the versioned `BENCH_<name>.json` result format
 //!   (hand-rolled writer + parser; the workspace stays serde-free) that
-//!   the `bench-compare` regression gate consumes.
+//!   the `bench-compare` regression gate consumes;
+//! * [`model`] — a deterministic loom-style concurrency model checker;
+//!   `--cfg d4py_model` builds swap [`segqueue`]/[`channel`] onto its
+//!   instrumented shims (see `facade`) so the exact shipped source is
+//!   explored across thread interleavings.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bench;
 pub mod buf;
 pub mod channel;
 pub mod crc;
+mod facade;
+pub mod model;
 pub mod prop;
 pub mod report;
 pub mod rng;

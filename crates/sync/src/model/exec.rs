@@ -1,0 +1,848 @@
+//! One model-checked execution: the deterministic scheduler.
+//!
+//! An [`Exec`] owns the state of a single run of the checked closure. Every
+//! simulated thread is a real OS thread, but exactly **one** of them is ever
+//! running: each instrumented operation (atomic access, mutex acquire,
+//! condvar wait, spawn, join, yield) first calls into the scheduler, which
+//! decides — from the prescribed schedule prefix, the DFS default, or the
+//! seeded RNG — which thread proceeds. Threads hand the baton to each other
+//! through one mutex + condvar pair, so an execution is a deterministic
+//! function of its schedule: replaying the same choice sequence replays the
+//! identical run, which is how failing interleavings are re-traced.
+//!
+//! Failure detection built into the scheduler:
+//!
+//! * **deadlock** — every live thread is blocked and no blocked thread
+//!   holds a timeout (time only "advances" when nothing else can run);
+//! * **livelock** — the per-execution step budget is exhausted (a spin
+//!   loop that never observes the write it waits for);
+//! * **double free / leak** — the block-allocation ledger (used by the
+//!   segqueue facade) sees a second free of a live pointer, or live
+//!   pointers remain when the execution ends;
+//! * **panic** — any assertion failure inside the checked closure.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Sentinel panic payload used to unwind simulated threads out of a failed
+/// execution. Caught (and swallowed) at each simulated thread's root.
+pub(crate) struct ModelAbort;
+
+/// Why a blocked thread is blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Blocked {
+    /// Waiting to acquire a model mutex.
+    Mutex(usize),
+    /// Waiting on a model condvar (`timed` waits can be woken by
+    /// time-advance when the execution would otherwise deadlock).
+    Condvar { cv: usize, timed: bool },
+    /// Waiting for another simulated thread to finish.
+    Join(usize),
+}
+
+/// Run-state of one simulated thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Thr {
+    Runnable,
+    Blocked(Blocked),
+    Finished,
+}
+
+/// How an execution failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The checked closure (or an invariant inside the checked code)
+    /// panicked.
+    Panic,
+    /// Every live thread was blocked with no timed waiter to advance time.
+    Deadlock,
+    /// The step budget was exhausted — a spin loop never made progress.
+    Livelock,
+    /// The allocation ledger saw a second free of the same block.
+    DoubleFree,
+    /// Tracked blocks were still live when the execution finished.
+    Leak,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::Livelock => "livelock (step budget exhausted)",
+            FailureKind::DoubleFree => "double free",
+            FailureKind::Leak => "leaked block",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A failed interleaving: what went wrong, plus the full schedule and (on
+/// the traced replay) the per-operation event log.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Human-readable description (panic message, blocked-thread dump, …).
+    pub message: String,
+    /// The decision sequence (chosen thread ids) that reproduces the run.
+    pub schedule: Vec<usize>,
+    /// Per-operation interleaving trace. Empty unless the run was traced;
+    /// the checker re-runs the failing schedule with tracing on.
+    pub trace: String,
+}
+
+/// One recorded scheduling decision: which thread was chosen and which
+/// other runnable threads the explorer may try instead.
+#[derive(Debug, Clone)]
+pub(crate) struct Decision {
+    pub chosen: usize,
+    pub alternatives: Vec<usize>,
+}
+
+/// A quarantined freed block: deallocation is deferred to the end of the
+/// execution so a buggy late reader dereferences still-valid memory while
+/// the ledger reports the double free.
+struct Quarantined {
+    ptr: usize,
+    drop_fn: unsafe fn(usize),
+}
+
+// SAFETY: the raw pointer is only dereferenced by `drop_fn`, exactly once,
+// on the controller thread after every simulated thread has been joined.
+unsafe impl Send for Quarantined {}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum AllocState {
+    Live,
+    Freed,
+}
+
+pub(crate) struct ExecState {
+    threads: Vec<Thr>,
+    current: usize,
+    live: usize,
+    steps: usize,
+    max_steps: usize,
+    preemptions: usize,
+    bound: usize,
+    /// Prescribed choices (DFS prefix or full failing schedule on replay).
+    schedule: Vec<usize>,
+    /// Index of the next decision point.
+    decision_idx: usize,
+    /// Every decision point that had alternatives (the DFS branch points).
+    pub(crate) decisions: Vec<Decision>,
+    /// Full choice sequence (including forced/no-alternative points is not
+    /// needed — decisions alone replay the run).
+    failure: Option<Failure>,
+    tracing: bool,
+    trace: Vec<String>,
+    /// Seeded RNG choices instead of DFS defaults when set.
+    random: Option<crate::rng::Pcg32>,
+    /// Per-thread flag set by time-advance for timed condvar waits.
+    timed_out: Vec<bool>,
+    /// Model mutexes: loc id -> holding tid.
+    mutex_held: HashMap<usize, Option<usize>>,
+    /// Block-allocation ledger for double-free/leak detection.
+    allocs: HashMap<usize, AllocState>,
+    quarantine: Vec<Quarantined>,
+    /// Location id allocator (atomics, mutexes, condvars).
+    next_loc: usize,
+    /// Names of injected faults active for this run.
+    faults: Vec<&'static str>,
+}
+
+/// One execution's scheduler. Shared by every simulated thread via `Arc`.
+pub(crate) struct Exec {
+    state: Mutex<ExecState>,
+    baton: Condvar,
+    /// OS handles of simulated threads spawned inside the closure, joined
+    /// by the controller once the execution completes.
+    pub(crate) os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static HANDLE: Cell<Option<Handle>> = const { Cell::new(None) };
+}
+
+/// The per-OS-thread view of the execution it simulates a thread of.
+#[derive(Clone)]
+pub(crate) struct Handle {
+    pub(crate) exec: Arc<Exec>,
+    pub(crate) tid: usize,
+}
+
+// Set while this OS thread is unwinding out of a failed execution: shim
+// operations become passthrough so destructors can run un-scheduled.
+thread_local! {
+    static ABORTING: Cell<bool> = const { Cell::new(false) };
+}
+
+pub(crate) fn current_handle() -> Option<Handle> {
+    if ABORTING.with(|a| a.get()) {
+        return None;
+    }
+    HANDLE.with(|h| {
+        let v = h.take();
+        h.set(v.clone());
+        v
+    })
+}
+
+pub(crate) fn install_handle(handle: Handle) {
+    ABORTING.with(|a| a.set(false));
+    HANDLE.with(|h| h.set(Some(handle)));
+}
+
+pub(crate) fn clear_handle() {
+    HANDLE.with(|h| h.set(None));
+    ABORTING.with(|a| a.set(false));
+}
+
+fn begin_abort() -> ! {
+    ABORTING.with(|a| a.set(true));
+    std::panic::resume_unwind(Box::new(ModelAbort));
+}
+
+impl Exec {
+    pub(crate) fn new(
+        schedule: Vec<usize>,
+        bound: usize,
+        max_steps: usize,
+        tracing: bool,
+        random_seed: Option<u64>,
+        faults: Vec<&'static str>,
+    ) -> Arc<Exec> {
+        Arc::new(Exec {
+            state: Mutex::new(ExecState {
+                threads: vec![Thr::Runnable],
+                current: 0,
+                live: 1,
+                steps: 0,
+                max_steps,
+                preemptions: 0,
+                bound,
+                schedule,
+                decision_idx: 0,
+                decisions: Vec::new(),
+                failure: None,
+                tracing,
+                trace: Vec::new(),
+                random: random_seed.map(crate::rng::Pcg32::seed_from_u64),
+                timed_out: vec![false],
+                mutex_held: HashMap::new(),
+                allocs: HashMap::new(),
+                quarantine: Vec::new(),
+                next_loc: 0,
+                faults,
+            }),
+            baton: Condvar::new(),
+            os_handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// True when the named fault is injected for this run.
+    pub(crate) fn fault(&self, name: &str) -> bool {
+        self.lock().faults.contains(&name)
+    }
+
+    /// Allocates a fresh location id (first touch of an atomic/mutex/cv).
+    pub(crate) fn alloc_loc(&self) -> usize {
+        let mut st = self.lock();
+        st.next_loc += 1;
+        st.next_loc
+    }
+
+    /// Registers a new simulated thread; returns its tid. The spawner stays
+    /// current — the new thread becomes runnable and waits for the baton.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock();
+        let tid = st.threads.len();
+        st.threads.push(Thr::Runnable);
+        st.timed_out.push(false);
+        st.live += 1;
+        tid
+    }
+
+    /// Parks the calling OS thread until its simulated thread holds the
+    /// baton (or the execution failed).
+    pub(crate) fn wait_turn(&self, tid: usize) {
+        let mut st = self.lock();
+        while st.failure.is_none() && !(st.current == tid && st.threads[tid] == Thr::Runnable) {
+            st = self.baton.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.failure.is_some() {
+            drop(st);
+            begin_abort();
+        }
+    }
+
+    /// The scheduling core: called with the state lock held, from the
+    /// thread that currently holds the baton, at a point where a context
+    /// switch is possible. `free_switch` is true when the current thread
+    /// cannot continue (blocked/finished), so switching costs no
+    /// preemption. Returns after the calling thread holds the baton again
+    /// (immediately, if it was chosen to continue).
+    fn reschedule<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, ExecState>,
+        tid: usize,
+        free_switch: bool,
+    ) -> std::sync::MutexGuard<'a, ExecState> {
+        let runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t] == Thr::Runnable)
+            .collect();
+
+        if runnable.is_empty() {
+            // Nothing can run. Advance time: wake every timed condvar
+            // waiter with `timed_out` set. If there is none, this
+            // interleaving deadlocks.
+            let timed: Vec<usize> = (0..st.threads.len())
+                .filter(|&t| {
+                    matches!(
+                        st.threads[t],
+                        Thr::Blocked(Blocked::Condvar { timed: true, .. })
+                    )
+                })
+                .collect();
+            if timed.is_empty() {
+                if st.live == 0 {
+                    // Execution complete; nothing to schedule.
+                    self.baton.notify_all();
+                    return st;
+                }
+                let dump = self.blocked_dump(&st);
+                self.fail_locked(
+                    st,
+                    FailureKind::Deadlock,
+                    format!("all live threads blocked:\n{dump}"),
+                );
+            }
+            for t in timed {
+                st.threads[t] = Thr::Runnable;
+                st.timed_out[t] = true;
+                if st.tracing {
+                    st.trace
+                        .push(format!("        -- time advances: tid {t} wait times out"));
+                }
+            }
+            return self.reschedule(st, tid, free_switch);
+        }
+
+        // Decide who runs next.
+        let default = if !free_switch && st.threads[st.current] == Thr::Runnable {
+            st.current
+        } else {
+            // Deterministic rotation: first runnable at-or-after current.
+            *runnable
+                .iter()
+                .find(|&&t| t >= st.current)
+                .unwrap_or(&runnable[0])
+        };
+        let can_preempt = free_switch || st.preemptions < st.bound;
+        let alternatives: Vec<usize> = if can_preempt {
+            runnable.iter().copied().filter(|&t| t != default).collect()
+        } else {
+            Vec::new()
+        };
+
+        // A decision point is a switch opportunity with at least one
+        // alternative. Replayed runs reach the identical decision points
+        // (state is a pure function of prior choices), so the prescribed
+        // schedule is consumed exactly where the original run recorded.
+        let chosen = if alternatives.is_empty() {
+            default
+        } else if st.decision_idx < st.schedule.len() {
+            let c = st.schedule[st.decision_idx];
+            debug_assert!(
+                c == default || alternatives.contains(&c),
+                "replay divergence: prescribed tid {c} not enabled"
+            );
+            c
+        } else if let Some(rng) = st.random.as_mut() {
+            use crate::rng::Rng;
+            let pool_len = 1 + alternatives.len();
+            let pick = rng.next_u32() as usize % pool_len;
+            if pick == 0 {
+                default
+            } else {
+                alternatives[pick - 1]
+            }
+        } else {
+            default
+        };
+
+        if !alternatives.is_empty() {
+            let alts = alternatives.into_iter().filter(|&t| t != chosen).collect();
+            st.decisions.push(Decision {
+                chosen,
+                alternatives: alts,
+            });
+            st.decision_idx += 1;
+        }
+
+        if chosen != st.current && !free_switch && st.threads[st.current] == Thr::Runnable {
+            st.preemptions += 1;
+            if st.tracing {
+                let p = st.preemptions;
+                let b = st.bound;
+                st.trace
+                    .push(format!("        -- preempt: tid {chosen} runs ({p}/{b})"));
+            }
+        } else if chosen != st.current && st.tracing {
+            st.trace.push(format!("        -- switch to tid {chosen}"));
+        }
+        st.current = chosen;
+        self.baton.notify_all();
+
+        while st.failure.is_none() && !(st.current == tid && st.threads[tid] == Thr::Runnable) {
+            st = self.baton.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.failure.is_some() {
+            drop(st);
+            begin_abort();
+        }
+        st
+    }
+
+    /// A schedule point before a shared-memory operation. May preempt.
+    pub(crate) fn op(&self, tid: usize, describe: impl FnOnce() -> String) {
+        let mut st = self.lock();
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let steps = st.steps;
+            self.fail_locked(
+                st,
+                FailureKind::Livelock,
+                format!("no progress after {steps} steps — spin without a writer?"),
+            );
+        }
+        if st.tracing {
+            let line = format!("[tid {tid}] {}", describe());
+            st.trace.push(line);
+        }
+        let _st = self.reschedule(st, tid, false);
+    }
+
+    /// Appends the result of the operation the last `op` call preceded.
+    pub(crate) fn trace_result(&self, text: impl FnOnce() -> String) {
+        let mut st = self.lock();
+        if st.tracing {
+            if let Some(last) = st.trace.last_mut() {
+                last.push_str(" -> ");
+                last.push_str(&text());
+            }
+        }
+    }
+
+    /// A cooperative yield (spin-loop hint / `yield_now`): hands the baton
+    /// to the next runnable thread in rotation. Not a branch point — the
+    /// rotation is deterministic — so spin loops don't explode the tree.
+    pub(crate) fn yield_now(&self, tid: usize) {
+        let mut st = self.lock();
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let steps = st.steps;
+            self.fail_locked(
+                st,
+                FailureKind::Livelock,
+                format!("no progress after {steps} steps — spin without a writer?"),
+            );
+        }
+        let next = (0..st.threads.len())
+            .map(|i| (st.current + 1 + i) % st.threads.len())
+            .find(|&t| st.threads[t] == Thr::Runnable);
+        if let Some(next) = next {
+            if st.tracing && next != tid {
+                st.trace.push(format!("        -- yield: tid {next} runs"));
+            }
+            st.current = next;
+            self.baton.notify_all();
+            while st.failure.is_none() && !(st.current == tid && st.threads[tid] == Thr::Runnable) {
+                st = self.baton.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+            if st.failure.is_some() {
+                drop(st);
+                begin_abort();
+            }
+        }
+    }
+
+    /// Blocks the calling thread on `reason` until a peer unblocks it.
+    pub(crate) fn block(&self, tid: usize, reason: Blocked, describe: impl FnOnce() -> String) {
+        let mut st = self.lock();
+        if st.tracing {
+            let line = format!("[tid {tid}] {}", describe());
+            st.trace.push(line);
+        }
+        st.threads[tid] = Thr::Blocked(reason);
+        let _st = self.reschedule(st, tid, true);
+    }
+
+    /// Acquires model mutex `loc` for `tid`, blocking while held.
+    pub(crate) fn mutex_lock(&self, tid: usize, loc: usize) {
+        loop {
+            {
+                let mut st = self.lock();
+                let held = st.mutex_held.entry(loc).or_insert(None);
+                if held.is_none() {
+                    *held = Some(tid);
+                    return;
+                }
+            }
+            self.block(tid, Blocked::Mutex(loc), || {
+                format!("mutex#{loc} lock (contended; blocking)")
+            });
+        }
+    }
+
+    /// Releases model mutex `loc`; every thread blocked on it re-contends.
+    pub(crate) fn mutex_unlock(&self, tid: usize, loc: usize) {
+        let mut st = self.lock();
+        if let Some(held) = st.mutex_held.get_mut(&loc) {
+            debug_assert_eq!(*held, Some(tid), "unlock by non-owner");
+            *held = None;
+        }
+        for t in 0..st.threads.len() {
+            if st.threads[t] == Thr::Blocked(Blocked::Mutex(loc)) {
+                st.threads[t] = Thr::Runnable;
+            }
+        }
+    }
+
+    /// Condvar wait: releases `mutex_loc`, blocks on `cv_loc`, and returns
+    /// whether the wait ended by time-advance (timed waits only). The
+    /// caller reacquires the mutex via [`Exec::mutex_lock`].
+    pub(crate) fn cv_wait(&self, tid: usize, cv_loc: usize, mutex_loc: usize, timed: bool) -> bool {
+        self.mutex_unlock(tid, mutex_loc);
+        {
+            let mut st = self.lock();
+            st.timed_out[tid] = false;
+        }
+        self.block(tid, Blocked::Condvar { cv: cv_loc, timed }, || {
+            let kind = if timed { "timed wait" } else { "wait" };
+            format!("condvar#{cv_loc} {kind} (releases mutex#{mutex_loc})")
+        });
+        self.lock().timed_out[tid]
+    }
+
+    /// Wakes one (FIFO by tid) or all waiters of `cv_loc`.
+    pub(crate) fn cv_notify(&self, tid: usize, cv_loc: usize, all: bool) {
+        let mut st = self.lock();
+        let mut woken = Vec::new();
+        for t in 0..st.threads.len() {
+            if let Thr::Blocked(Blocked::Condvar { cv, .. }) = st.threads[t] {
+                if cv == cv_loc {
+                    st.threads[t] = Thr::Runnable;
+                    woken.push(t);
+                    if !all {
+                        break;
+                    }
+                }
+            }
+        }
+        if st.tracing {
+            let kind = if all { "notify_all" } else { "notify_one" };
+            st.trace.push(format!(
+                "[tid {tid}] condvar#{cv_loc} {kind} wakes {woken:?}"
+            ));
+        }
+    }
+
+    /// Blocks until simulated thread `target` finishes.
+    pub(crate) fn join(&self, tid: usize, target: usize) {
+        loop {
+            {
+                let st = self.lock();
+                if st.threads[target] == Thr::Finished {
+                    return;
+                }
+            }
+            self.block(tid, Blocked::Join(target), || {
+                format!("join tid {target} (blocking)")
+            });
+        }
+    }
+
+    /// Marks `tid` finished, wakes joiners, and passes the baton on.
+    pub(crate) fn thread_finish(&self, tid: usize) {
+        let mut st = self.lock();
+        if st.threads[tid] == Thr::Finished {
+            return;
+        }
+        st.threads[tid] = Thr::Finished;
+        st.live -= 1;
+        if st.tracing {
+            st.trace.push(format!("[tid {tid}] finishes"));
+        }
+        for t in 0..st.threads.len() {
+            if st.threads[t] == Thr::Blocked(Blocked::Join(tid)) {
+                st.threads[t] = Thr::Runnable;
+            }
+        }
+        if st.live == 0 {
+            self.baton.notify_all();
+            return;
+        }
+        // Hand the baton on without requiring this thread to regain it.
+        let runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t] == Thr::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            // Peers may be blocked on timed waits; let reschedule's
+            // time-advance / deadlock logic decide, from a thread that no
+            // longer participates. Reuse the logic by a direct call with
+            // free_switch — but reschedule waits for the baton, which a
+            // finished thread never gets. Inline the relevant part:
+            let timed: Vec<usize> = (0..st.threads.len())
+                .filter(|&t| {
+                    matches!(
+                        st.threads[t],
+                        Thr::Blocked(Blocked::Condvar { timed: true, .. })
+                    )
+                })
+                .collect();
+            if timed.is_empty() {
+                let dump = self.blocked_dump(&st);
+                let _ = self.fail_locked_no_abort(
+                    st,
+                    FailureKind::Deadlock,
+                    format!("all live threads blocked:\n{dump}"),
+                );
+                return;
+            }
+            for t in timed {
+                st.threads[t] = Thr::Runnable;
+                st.timed_out[t] = true;
+                if st.tracing {
+                    st.trace
+                        .push(format!("        -- time advances: tid {t} wait times out"));
+                }
+            }
+            let first = (0..st.threads.len())
+                .find(|&t| st.threads[t] == Thr::Runnable)
+                .expect("just woke a timed waiter");
+            st.current = first;
+            self.baton.notify_all();
+            return;
+        }
+        // Free switch among runnable peers: record it as a decision point
+        // so DFS explores who runs after a thread exits.
+        let default = *runnable
+            .iter()
+            .find(|&&t| t >= st.current)
+            .unwrap_or(&runnable[0]);
+        let alternatives: Vec<usize> = runnable.iter().copied().filter(|&t| t != default).collect();
+        let chosen = if alternatives.is_empty() {
+            default
+        } else if st.decision_idx < st.schedule.len() {
+            st.schedule[st.decision_idx]
+        } else if let Some(rng) = st.random.as_mut() {
+            use crate::rng::Rng;
+            let pool_len = 1 + alternatives.len();
+            let pick = rng.next_u32() as usize % pool_len;
+            if pick == 0 {
+                default
+            } else {
+                alternatives[pick - 1]
+            }
+        } else {
+            default
+        };
+        if !alternatives.is_empty() {
+            let alts = alternatives.into_iter().filter(|&t| t != chosen).collect();
+            st.decisions.push(Decision {
+                chosen,
+                alternatives: alts,
+            });
+            st.decision_idx += 1;
+        }
+        st.current = chosen;
+        self.baton.notify_all();
+    }
+
+    /// Records a tracked block allocation.
+    pub(crate) fn track_alloc(&self, ptr: usize) {
+        let mut st = self.lock();
+        st.allocs.insert(ptr, AllocState::Live);
+        if st.tracing {
+            st.trace
+                .push(format!("        -- alloc block {ptr:#x} (ledger: live)"));
+        }
+    }
+
+    /// Removes a block from the ledger (allocation handed back as a `Box`).
+    pub(crate) fn untrack_alloc(&self, ptr: usize) {
+        let mut st = self.lock();
+        st.allocs.remove(&ptr);
+    }
+
+    /// Records a block free. Returns `true` when the free was accepted and
+    /// quarantined (the caller must NOT actually deallocate); fails the
+    /// execution on a double free.
+    pub(crate) fn track_free(&self, tid: usize, ptr: usize, drop_fn: unsafe fn(usize)) -> bool {
+        let mut st = self.lock();
+        match st.allocs.get(&ptr) {
+            Some(AllocState::Live) => {
+                st.allocs.insert(ptr, AllocState::Freed);
+                st.quarantine.push(Quarantined { ptr, drop_fn });
+                if st.tracing {
+                    st.trace
+                        .push(format!("[tid {tid}] free block {ptr:#x} (quarantined)"));
+                }
+                true
+            }
+            Some(AllocState::Freed) => self.fail_locked(
+                st,
+                FailureKind::DoubleFree,
+                format!("block {ptr:#x} freed twice"),
+            ),
+            // Allocated outside this execution: not ours to manage.
+            None => false,
+        }
+    }
+
+    /// End-of-run leak check (called by the controller). Returns a failure
+    /// if live tracked blocks remain.
+    pub(crate) fn check_leaks(&self) -> Option<(FailureKind, String)> {
+        let st = self.lock();
+        if st.failure.is_some() {
+            return None;
+        }
+        let live: Vec<usize> = st
+            .allocs
+            .iter()
+            .filter(|(_, s)| **s == AllocState::Live)
+            .map(|(p, _)| *p)
+            .collect();
+        if live.is_empty() {
+            None
+        } else {
+            Some((
+                FailureKind::Leak,
+                format!("{} tracked block(s) never freed", live.len()),
+            ))
+        }
+    }
+
+    fn blocked_dump(&self, st: &ExecState) -> String {
+        let mut out = String::new();
+        for (t, thr) in st.threads.iter().enumerate() {
+            let desc = match thr {
+                Thr::Runnable => "runnable".to_string(),
+                Thr::Finished => "finished".to_string(),
+                Thr::Blocked(Blocked::Mutex(m)) => format!("blocked on mutex#{m}"),
+                Thr::Blocked(Blocked::Condvar { cv, timed }) => {
+                    format!(
+                        "blocked on condvar#{cv}{}",
+                        if *timed { " (timed)" } else { "" }
+                    )
+                }
+                Thr::Blocked(Blocked::Join(j)) => format!("blocked joining tid {j}"),
+            };
+            out.push_str(&format!("  tid {t}: {desc}\n"));
+        }
+        out
+    }
+
+    /// Records `kind` as this execution's failure, wakes every thread so
+    /// they unwind, and aborts the calling thread.
+    fn fail_locked(
+        &self,
+        st: std::sync::MutexGuard<'_, ExecState>,
+        kind: FailureKind,
+        message: String,
+    ) -> ! {
+        let _ = self.fail_locked_no_abort(st, kind, message);
+        begin_abort();
+    }
+
+    fn fail_locked_no_abort(
+        &self,
+        mut st: std::sync::MutexGuard<'_, ExecState>,
+        kind: FailureKind,
+        message: String,
+    ) -> bool {
+        if st.failure.is_some() {
+            return false;
+        }
+        let schedule: Vec<usize> = st.decisions.iter().map(|d| d.chosen).collect();
+        let trace = std::mem::take(&mut st.trace).join("\n");
+        st.failure = Some(Failure {
+            kind,
+            message,
+            schedule,
+            trace,
+        });
+        self.baton.notify_all();
+        true
+    }
+
+    /// Records a panic raised inside the checked closure as the failure.
+    pub(crate) fn fail_panic(&self, message: String) {
+        let st = self.lock();
+        let _ = self.fail_locked_no_abort(st, FailureKind::Panic, message);
+    }
+
+    /// Marks an externally detected failure (leak check).
+    pub(crate) fn fail_external(&self, kind: FailureKind, message: String) {
+        let st = self.lock();
+        let _ = self.fail_locked_no_abort(st, kind, message);
+    }
+
+    /// Waits for the execution to finish: either every thread exited or a
+    /// failure aborted the run.
+    pub(crate) fn wait_done(&self) {
+        let mut st = self.lock();
+        while st.live > 0 && st.failure.is_none() {
+            st = self.baton.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Drains the quarantine, actually deallocating deferred frees. Must
+    /// run after every simulated OS thread has been joined.
+    pub(crate) fn drain_quarantine(&self) {
+        let drained = {
+            let mut st = self.lock();
+            std::mem::take(&mut st.quarantine)
+        };
+        for q in drained {
+            // SAFETY: each quarantined pointer was produced by
+            // `Box::into_raw`, recorded exactly once (double frees fail the
+            // run before reaching the quarantine twice), and no simulated
+            // thread can still touch it — they have all been joined.
+            unsafe { (q.drop_fn)(q.ptr) };
+        }
+    }
+
+    /// The run's outcome: recorded decisions plus any failure.
+    pub(crate) fn outcome(&self) -> (Vec<Decision>, Option<Failure>, String) {
+        let mut st = self.lock();
+        let decisions = std::mem::take(&mut st.decisions);
+        let failure = st.failure.clone();
+        let trace = std::mem::take(&mut st.trace).join("\n");
+        (decisions, failure, trace)
+    }
+}
+
+/// Shim-facing helper: the current execution handle, if the calling OS
+/// thread is a simulated thread of an active run.
+pub(crate) fn active() -> Option<Handle> {
+    current_handle()
+}
+
+/// Catches a panic payload into a printable message.
+pub(crate) fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}

@@ -1,0 +1,433 @@
+//! A deterministic concurrency model checker for the lock-free core, in
+//! the spirit of `loom`.
+//!
+//! The checker runs a closure many times, each time under a different
+//! thread interleaving, with every shared-memory operation gated through a
+//! scheduler (see [`shim`]). Exploration is systematic: a depth-first walk
+//! of the schedule tree with a **bounded number of preemptions** per
+//! execution (preemption bounding finds most real concurrency bugs with
+//! 2–3 preemptions while keeping the tree tractable), plus a
+//! **seeded-random fallback** mode for schedules deeper than the DFS
+//! budget. Every execution is a pure function of its decision sequence, so
+//! a failing interleaving is replayed choice-for-choice with tracing
+//! enabled and reported as a full event log.
+//!
+//! What the checker detects: assertion failures in the closure, deadlocks
+//! (every live thread blocked with no timed waiter), livelocks (step
+//! budget exhausted), and double-frees / leaks of queue blocks routed
+//! through the tracked-allocation facade.
+//!
+//! What it does **not** model: weak-memory reorderings. Atomics execute
+//! sequentially consistently regardless of the `Ordering` argument (which
+//! is still recorded in traces); the checker explores interleavings, not
+//! relaxed-memory behaviours. Ordering audits are handled separately by
+//! `d4py-lint`'s `// relaxed:` justification rule. See DESIGN.md §9.
+//!
+//! # Example
+//!
+//! ```
+//! use d4py_sync::model;
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! let report = model::Checker::new("counter")
+//!     .iterations(100)
+//!     .check(|| {
+//!         let n = Arc::new(AtomicUsize::new(0));
+//!         let n2 = n.clone();
+//!         let t = model::thread::spawn(move || {
+//!             n2.fetch_add(1, Ordering::SeqCst);
+//!         });
+//!         n.fetch_add(1, Ordering::SeqCst);
+//!         t.join();
+//!         assert_eq!(n.load(Ordering::SeqCst), 2);
+//!     });
+//! assert!(report.failure.is_none());
+//! ```
+
+mod exec;
+pub mod shim;
+pub mod thread;
+
+pub use exec::{Failure, FailureKind};
+
+use exec::{payload_to_string, Decision, Exec, Handle, ModelAbort};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut h: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn schedule_bytes(decisions: &[Decision]) -> impl Iterator<Item = u8> + '_ {
+    decisions
+        .iter()
+        .flat_map(|d| (d.chosen as u32).to_le_bytes())
+}
+
+/// Exploration strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Systematic DFS over the schedule tree (bounded preemptions).
+    /// Deterministic without a seed; every explored schedule is distinct.
+    Dfs,
+    /// Independent executions with seeded-random choices at every decision
+    /// point — the fallback for scenarios whose trees dwarf any budget.
+    Random,
+}
+
+/// True when the named fault is injected into the currently running model
+/// execution. Always `false` outside one, so fault hooks compiled into the
+/// checked code are inert in ordinary `--cfg d4py_model` test runs.
+pub fn fault(name: &str) -> bool {
+    exec::active().is_some_and(|h| h.exec.fault(name))
+}
+
+/// Outcome of a [`Checker`] run.
+#[derive(Debug)]
+pub struct Report {
+    /// Executions performed.
+    pub executions: usize,
+    /// Distinct interleavings among them (== `executions` under DFS).
+    pub distinct: usize,
+    /// True when DFS exhausted the whole schedule tree within the budget.
+    pub complete: bool,
+    /// Order-sensitive digest of every explored schedule: equal seeds (and
+    /// budgets) produce equal digests — the determinism witness.
+    pub digest: u64,
+    /// The first failing interleaving, if any, with its replayed trace.
+    pub failure: Option<Failure>,
+}
+
+/// Builder/driver for a model-checking run. See the [module docs](self).
+pub struct Checker {
+    name: String,
+    iterations: usize,
+    env_scaled: bool,
+    bound: usize,
+    seed: u64,
+    mode: Mode,
+    max_steps: usize,
+    faults: Vec<&'static str>,
+}
+
+impl Checker {
+    /// Creates a checker. `name` labels trace files and failure output.
+    pub fn new(name: &str) -> Checker {
+        Checker {
+            name: name.to_string(),
+            iterations: 1_000,
+            env_scaled: false,
+            bound: 2,
+            seed: 0xd417_95ec,
+            mode: Mode::Dfs,
+            max_steps: 20_000,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Fixed iteration budget (ignores `D4PY_MODEL_ITERS`).
+    pub fn iterations(mut self, n: usize) -> Checker {
+        self.iterations = n;
+        self.env_scaled = false;
+        self
+    }
+
+    /// Iteration budget defaulting to `n`, overridable by the
+    /// `D4PY_MODEL_ITERS` environment variable — how `scripts/verify.sh`
+    /// keeps the smoke run bounded while CI runs the full budget.
+    pub fn iterations_env(mut self, n: usize) -> Checker {
+        self.iterations = n;
+        self.env_scaled = true;
+        self
+    }
+
+    /// Preemption bound: involuntary context switches allowed per
+    /// execution (switches at blocking points are always free).
+    pub fn preemption_bound(mut self, bound: usize) -> Checker {
+        self.bound = bound;
+        self
+    }
+
+    /// Seed for [`Mode::Random`] exploration.
+    pub fn seed(mut self, seed: u64) -> Checker {
+        self.seed = seed;
+        self
+    }
+
+    /// Exploration strategy (default [`Mode::Dfs`]).
+    pub fn mode(mut self, mode: Mode) -> Checker {
+        self.mode = mode;
+        self
+    }
+
+    /// Per-execution step budget before the run counts as a livelock.
+    pub fn max_steps(mut self, n: usize) -> Checker {
+        self.max_steps = n;
+        self
+    }
+
+    /// Injects a named fault: `model::fault(name)` returns true inside the
+    /// checked code for this run. Used by the test-only protocol
+    /// mutations that prove the checker catches real bug classes.
+    pub fn fault(mut self, name: &'static str) -> Checker {
+        self.faults.push(name);
+        self
+    }
+
+    fn budget(&self) -> usize {
+        if self.env_scaled {
+            if let Ok(v) = std::env::var("D4PY_MODEL_ITERS") {
+                if let Ok(n) = v.trim().parse::<usize>() {
+                    return n.max(1);
+                }
+            }
+        }
+        self.iterations
+    }
+
+    /// Runs the exploration and panics on failure, printing the full
+    /// interleaving trace (also written to `target/model/`, or
+    /// `$D4PY_MODEL_TRACE_DIR`, for CI artifact upload).
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Sync,
+    {
+        let report = self.report(f);
+        if let Some(failure) = &report.failure {
+            let path = write_trace_file(&self.name, failure);
+            eprintln!(
+                "model check '{}' FAILED: {}: {}\nschedule ({} decisions): {:?}\n--- interleaving trace ---\n{}\n--- end trace ---{}",
+                self.name,
+                failure.kind,
+                failure.message,
+                failure.schedule.len(),
+                failure.schedule,
+                failure.trace,
+                path.map(|p| format!("\ntrace written to {p}"))
+                    .unwrap_or_default(),
+            );
+            panic!(
+                "model check '{}' failed: {}: {}",
+                self.name, failure.kind, failure.message
+            );
+        }
+        report
+    }
+
+    /// Runs the exploration and returns the report without panicking —
+    /// the entry point for tests that *expect* a failure (fault
+    /// injection). A found failure is still replayed for its trace.
+    pub fn report<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Sync,
+    {
+        match self.mode {
+            Mode::Dfs => self.explore_dfs(&f),
+            Mode::Random => self.explore_random(&f),
+        }
+    }
+
+    fn explore_dfs<F: Fn() + Sync>(&self, f: &F) -> Report {
+        struct Frame {
+            chosen: usize,
+            remaining: Vec<usize>,
+        }
+        let budget = self.budget();
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut executions = 0usize;
+        let mut digest = FNV_OFFSET;
+        let mut complete = false;
+
+        loop {
+            let schedule: Vec<usize> = stack.iter().map(|fr| fr.chosen).collect();
+            let (decisions, failure) = self.run_once(f, &schedule, false, None);
+            executions += 1;
+            digest = fnv_fold(digest, schedule_bytes(&decisions));
+
+            if let Some(failure) = failure {
+                let failure = self.replay_for_trace(f, failure);
+                return Report {
+                    executions,
+                    distinct: executions,
+                    complete: false,
+                    digest,
+                    failure: Some(failure),
+                };
+            }
+
+            for d in decisions.iter().skip(stack.len()) {
+                stack.push(Frame {
+                    chosen: d.chosen,
+                    remaining: d.alternatives.clone(),
+                });
+            }
+            loop {
+                match stack.last_mut() {
+                    None => {
+                        complete = true;
+                        break;
+                    }
+                    Some(top) => {
+                        if let Some(next) = top.remaining.pop() {
+                            top.chosen = next;
+                            break;
+                        }
+                        stack.pop();
+                    }
+                }
+            }
+            if complete || executions >= budget {
+                break;
+            }
+        }
+
+        Report {
+            executions,
+            distinct: executions,
+            complete,
+            digest,
+            failure: None,
+        }
+    }
+
+    fn explore_random<F: Fn() + Sync>(&self, f: &F) -> Report {
+        let budget = self.budget();
+        let mut executions = 0usize;
+        let mut digest = FNV_OFFSET;
+        let mut seen = HashSet::new();
+
+        for i in 0..budget {
+            let seed = self
+                .seed
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let (decisions, failure) = self.run_once(f, &[], false, Some(seed));
+            executions += 1;
+            let run_digest = fnv_fold(FNV_OFFSET, schedule_bytes(&decisions));
+            seen.insert(run_digest);
+            digest = fnv_fold(digest, run_digest.to_le_bytes());
+
+            if let Some(failure) = failure {
+                let failure = self.replay_for_trace(f, failure);
+                return Report {
+                    executions,
+                    distinct: seen.len(),
+                    complete: false,
+                    digest,
+                    failure: Some(failure),
+                };
+            }
+        }
+
+        Report {
+            executions,
+            distinct: seen.len(),
+            complete: false,
+            digest,
+            failure: None,
+        }
+    }
+
+    /// Replays the failing schedule with tracing enabled; the execution is
+    /// a pure function of its choices, so the identical failure recurs and
+    /// this time carries the event log.
+    fn replay_for_trace<F: Fn() + Sync>(&self, f: &F, found: Failure) -> Failure {
+        let (_, replayed) = self.run_once(f, &found.schedule, true, None);
+        match replayed {
+            Some(replayed) if replayed.kind == found.kind => replayed,
+            _ => Failure {
+                trace: "(replay diverged — trace unavailable; is the closure deterministic?)"
+                    .to_string(),
+                ..found
+            },
+        }
+    }
+
+    fn run_once<F: Fn() + Sync>(
+        &self,
+        f: &F,
+        schedule: &[usize],
+        tracing: bool,
+        random_seed: Option<u64>,
+    ) -> (Vec<Decision>, Option<Failure>) {
+        let exec = Exec::new(
+            schedule.to_vec(),
+            self.bound,
+            self.max_steps,
+            tracing,
+            random_seed,
+            self.faults.clone(),
+        );
+
+        std::thread::scope(|s| {
+            let root_exec: Arc<Exec> = exec.clone();
+            s.spawn(move || {
+                exec::install_handle(Handle {
+                    exec: root_exec.clone(),
+                    tid: 0,
+                });
+                root_exec.wait_turn(0);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                if let Err(payload) = result {
+                    if !payload.is::<ModelAbort>() {
+                        root_exec.fail_panic(payload_to_string(payload.as_ref()));
+                    }
+                }
+                exec::clear_handle();
+                root_exec.thread_finish(0);
+            });
+
+            exec.wait_done();
+            // Join every simulated OS thread before touching the
+            // quarantine; threads may still be unwinding.
+            loop {
+                let drained: Vec<_> = {
+                    let mut h = exec
+                        .os_handles
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    std::mem::take(&mut *h)
+                };
+                if drained.is_empty() {
+                    break;
+                }
+                for h in drained {
+                    let _ = h.join();
+                }
+            }
+        });
+
+        if let Some((kind, message)) = exec.check_leaks() {
+            exec.fail_external(kind, message);
+        }
+        exec.drain_quarantine();
+        let (decisions, failure, trace) = exec.outcome();
+        let failure = failure.map(|mut fl| {
+            if tracing && fl.trace.is_empty() {
+                fl.trace = trace;
+            }
+            fl
+        });
+        (decisions, failure)
+    }
+}
+
+fn write_trace_file(name: &str, failure: &Failure) -> Option<String> {
+    let dir = std::env::var("D4PY_MODEL_TRACE_DIR").unwrap_or_else(|_| "target/model".to_string());
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = format!("{dir}/FAILURE_{name}.trace");
+    let body = format!(
+        "model check: {name}\nfailure: {}: {}\nschedule: {:?}\n\n{}\n",
+        failure.kind, failure.message, failure.schedule, failure.trace
+    );
+    std::fs::write(&path, body).ok()?;
+    Some(path)
+}

@@ -1,0 +1,564 @@
+//! Instrumented drop-in replacements for the sync primitives the lock-free
+//! core uses.
+//!
+//! Compiled into every build, but **inert by default**: outside an active
+//! model execution each type forwards straight to its real `std` (or
+//! [`crate::sync`]) counterpart, so a `--cfg d4py_model` build still passes
+//! the ordinary test suite. Inside an execution (the calling OS thread
+//! carries a scheduler handle), every operation first announces itself to
+//! the scheduler — that is the schedule point where the explorer may
+//! preempt — and then performs the real operation. Because exactly one
+//! simulated thread runs at a time and atomics execute with `SeqCst`
+//! underneath, the model checks **sequentially consistent interleavings**;
+//! the `Ordering` argument is recorded in the trace but does not weaken the
+//! modeled memory (see DESIGN.md §9 for what is and is not covered).
+//!
+//! Identity in traces: each atomic/mutex/condvar gets a location id on
+//! first touch (`atomic#3`, `mutex#7`). First-touch order is deterministic
+//! under deterministic scheduling, so ids are stable across replays.
+
+use super::exec::{self, Handle};
+use std::sync::atomic::Ordering as StdOrdering;
+use std::time::{Duration, Instant};
+
+pub use std::sync::atomic::Ordering;
+
+/// Lazily assigned per-object location id (0 = unassigned), usable from
+/// `const fn new`.
+struct Loc {
+    id: std::sync::atomic::AtomicUsize,
+}
+
+impl Loc {
+    const fn new() -> Self {
+        Loc {
+            id: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    fn get(&self, h: &Handle) -> usize {
+        let id = self.id.load(StdOrdering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fresh = h.exec.alloc_loc();
+        match self
+            .id
+            .compare_exchange(0, fresh, StdOrdering::Relaxed, StdOrdering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(existing) => existing,
+        }
+    }
+}
+
+fn ordering_name(o: Ordering) -> &'static str {
+    match o {
+        // relaxed: trace-name table, not an atomic operation.
+        Ordering::Relaxed => "Relaxed",
+        Ordering::Acquire => "Acquire",
+        Ordering::Release => "Release",
+        Ordering::AcqRel => "AcqRel",
+        Ordering::SeqCst => "SeqCst",
+        _ => "?",
+    }
+}
+
+macro_rules! instrumented_int_atomic {
+    ($name:ident, $std:ty, $val:ty) => {
+        /// Model-instrumented atomic; API mirrors the `std` type of the
+        /// same name. Operations are schedule points inside an execution
+        /// and plain `std` atomics otherwise.
+        pub struct $name {
+            inner: $std,
+            loc: Loc,
+        }
+
+        impl $name {
+            /// Creates the atomic with an initial value.
+            pub const fn new(v: $val) -> Self {
+                Self {
+                    inner: <$std>::new(v),
+                    loc: Loc::new(),
+                }
+            }
+
+            fn point(&self, h: &Handle, op: &'static str, o: Ordering) -> usize {
+                let loc = self.loc.get(h);
+                h.exec.op(h.tid, || {
+                    format!("atomic#{loc} {op} ({})", ordering_name(o))
+                });
+                loc
+            }
+
+            /// Atomic load. Schedule point inside a model execution.
+            pub fn load(&self, o: Ordering) -> $val {
+                if let Some(h) = exec::active() {
+                    self.point(&h, "load", o);
+                    let v = self.inner.load(StdOrdering::SeqCst);
+                    h.exec.trace_result(|| format!("{v:?}"));
+                    v
+                } else {
+                    self.inner.load(o)
+                }
+            }
+
+            /// Atomic store. Schedule point inside a model execution.
+            pub fn store(&self, v: $val, o: Ordering) {
+                if let Some(h) = exec::active() {
+                    self.point(&h, "store", o);
+                    self.inner.store(v, StdOrdering::SeqCst);
+                    h.exec.trace_result(|| format!("{v:?}"));
+                } else {
+                    self.inner.store(v, o);
+                }
+            }
+
+            /// Compare-and-exchange. Never fails spuriously in the model
+            /// (determinism); otherwise forwards to `std`.
+            pub fn compare_exchange(
+                &self,
+                current: $val,
+                new: $val,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$val, $val> {
+                if let Some(h) = exec::active() {
+                    self.point(&h, "compare_exchange", success);
+                    let r = self.inner.compare_exchange(
+                        current,
+                        new,
+                        StdOrdering::SeqCst,
+                        StdOrdering::SeqCst,
+                    );
+                    h.exec.trace_result(|| format!("{r:?}"));
+                    r
+                } else {
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+            }
+
+            /// Weak compare-and-exchange; strong (never spuriously fails)
+            /// in the model so replays are deterministic.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $val,
+                new: $val,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$val, $val> {
+                if exec::active().is_some() {
+                    self.compare_exchange(current, new, success, failure)
+                } else {
+                    self.inner
+                        .compare_exchange_weak(current, new, success, failure)
+                }
+            }
+
+            /// Mutable access without synchronization (exclusive borrow).
+            pub fn get_mut(&mut self) -> &mut $val {
+                self.inner.get_mut()
+            }
+        }
+    };
+}
+
+instrumented_int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+instrumented_int_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+impl AtomicUsize {
+    /// Atomic bitwise OR returning the previous value.
+    pub fn fetch_or(&self, v: usize, o: Ordering) -> usize {
+        if let Some(h) = exec::active() {
+            self.point(&h, "fetch_or", o);
+            let r = self.inner.fetch_or(v, StdOrdering::SeqCst);
+            h.exec.trace_result(|| format!("{r} | {v}"));
+            r
+        } else {
+            self.inner.fetch_or(v, o)
+        }
+    }
+
+    /// Atomic add returning the previous value.
+    pub fn fetch_add(&self, v: usize, o: Ordering) -> usize {
+        if let Some(h) = exec::active() {
+            self.point(&h, "fetch_add", o);
+            let r = self.inner.fetch_add(v, StdOrdering::SeqCst);
+            h.exec.trace_result(|| format!("{r} + {v}"));
+            r
+        } else {
+            self.inner.fetch_add(v, o)
+        }
+    }
+
+    /// Atomic subtract returning the previous value.
+    pub fn fetch_sub(&self, v: usize, o: Ordering) -> usize {
+        if let Some(h) = exec::active() {
+            self.point(&h, "fetch_sub", o);
+            let r = self.inner.fetch_sub(v, StdOrdering::SeqCst);
+            h.exec.trace_result(|| format!("{r} - {v}"));
+            r
+        } else {
+            self.inner.fetch_sub(v, o)
+        }
+    }
+}
+
+/// Model-instrumented `AtomicPtr`; API mirrors `std::sync::atomic::AtomicPtr`.
+pub struct AtomicPtr<T> {
+    inner: std::sync::atomic::AtomicPtr<T>,
+    loc: Loc,
+}
+
+impl<T> AtomicPtr<T> {
+    /// Creates the atomic pointer.
+    pub const fn new(p: *mut T) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicPtr::new(p),
+            loc: Loc::new(),
+        }
+    }
+
+    fn point(&self, h: &Handle, op: &'static str, o: Ordering) -> usize {
+        let loc = self.loc.get(h);
+        h.exec
+            .op(h.tid, || format!("ptr#{loc} {op} ({})", ordering_name(o)));
+        loc
+    }
+
+    /// Atomic pointer load.
+    pub fn load(&self, o: Ordering) -> *mut T {
+        if let Some(h) = exec::active() {
+            self.point(&h, "load", o);
+            let p = self.inner.load(StdOrdering::SeqCst);
+            h.exec.trace_result(|| format!("{p:?}"));
+            p
+        } else {
+            self.inner.load(o)
+        }
+    }
+
+    /// Atomic pointer store.
+    pub fn store(&self, p: *mut T, o: Ordering) {
+        if let Some(h) = exec::active() {
+            self.point(&h, "store", o);
+            self.inner.store(p, StdOrdering::SeqCst);
+            h.exec.trace_result(|| format!("{p:?}"));
+        } else {
+            self.inner.store(p, o);
+        }
+    }
+
+    /// Compare-and-exchange on the pointer.
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        if let Some(h) = exec::active() {
+            self.point(&h, "compare_exchange", success);
+            let r =
+                self.inner
+                    .compare_exchange(current, new, StdOrdering::SeqCst, StdOrdering::SeqCst);
+            h.exec.trace_result(|| format!("{r:?}"));
+            r
+        } else {
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+    }
+
+    /// Mutable access without synchronization (exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.inner.get_mut()
+    }
+}
+
+/// Memory fence; a pure schedule point in the model (memory is already
+/// sequentially consistent there).
+pub fn fence(o: Ordering) {
+    if let Some(h) = exec::active() {
+        h.exec.op(h.tid, || format!("fence ({})", ordering_name(o)));
+    } else {
+        std::sync::atomic::fence(o);
+    }
+}
+
+/// Spin-loop hint: a deterministic cooperative yield in the model (the
+/// spinning thread cannot make progress until a peer runs), a real
+/// `spin_loop` hint otherwise.
+pub fn spin_loop() {
+    if let Some(h) = exec::active() {
+        h.exec.yield_now(h.tid);
+    } else {
+        std::hint::spin_loop();
+    }
+}
+
+/// `yield_now`: same cooperative yield as [`spin_loop`] in the model.
+pub fn yield_now() {
+    if let Some(h) = exec::active() {
+        h.exec.yield_now(h.tid);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Model-instrumented mutex with the [`crate::sync::Mutex`] API shape.
+/// Outside an execution it *is* that mutex.
+pub struct Mutex<T> {
+    loc: Loc,
+    inner: crate::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`]. Unlocking is a schedule point.
+pub struct MutexGuard<'a, T> {
+    mx: &'a Mutex<T>,
+    inner: Option<crate::sync::MutexGuard<'a, T>>,
+    /// Set when the lock was acquired through the scheduler and must be
+    /// released through it.
+    model: bool,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            loc: Loc::new(),
+            inner: crate::sync::Mutex::new(value),
+        }
+    }
+}
+
+impl<T> Mutex<T> {
+    /// Acquires the lock. Inside a model execution this first acquires
+    /// scheduler-side ownership (a schedule point that may block).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some(h) = exec::active() {
+            let loc = self.loc.get(&h);
+            h.exec.op(h.tid, || format!("mutex#{loc} lock"));
+            h.exec.mutex_lock(h.tid, loc);
+            // Scheduler ownership makes the real lock uncontended among
+            // simulated threads; fall back to a blocking lock if an
+            // aborting (unscheduled) thread holds it momentarily.
+            let g = match self.inner.try_lock() {
+                Some(g) => g,
+                None => self.inner.lock(),
+            };
+            MutexGuard {
+                mx: self,
+                inner: Some(g),
+                model: true,
+            }
+        } else {
+            MutexGuard {
+                mx: self,
+                inner: Some(self.inner.lock()),
+                model: false,
+            }
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before scheduler ownership so the next
+        // owner's try_lock succeeds.
+        self.inner = None;
+        if self.model {
+            if let Some(h) = exec::active() {
+                let loc = self.mx.loc.get(&h);
+                h.exec.op(h.tid, || format!("mutex#{loc} unlock"));
+                h.exec.mutex_unlock(h.tid, loc);
+            }
+            // Handle gone (aborting unwind): scheduler bookkeeping is
+            // moot — the execution already failed.
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken during wait")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken during wait")
+    }
+}
+
+/// Result of a timed [`Condvar`] wait; mirrors
+/// [`crate::sync::WaitTimeoutResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the deadline passed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Model-instrumented condition variable. In an execution, waits block in
+/// the scheduler (notifications move waiters back to runnable; a timed
+/// wait can additionally be woken by time-advance when the whole execution
+/// would otherwise deadlock — model time only passes when nothing can run).
+pub struct Condvar {
+    loc: Loc,
+    inner: crate::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Self {
+            loc: Loc::new(),
+            inner: crate::sync::Condvar::new(),
+        }
+    }
+
+    fn model_wait<T>(&self, h: &Handle, guard: &mut MutexGuard<'_, T>, timed: bool) -> bool {
+        let cv = self.loc.get(h);
+        let mx = guard.mx.loc.get(h);
+        // Release the real lock across the wait, exactly like std.
+        guard.inner = None;
+        let timed_out = h.exec.cv_wait(h.tid, cv, mx, timed);
+        h.exec.mutex_lock(h.tid, mx);
+        let g = match guard.mx.inner.try_lock() {
+            Some(g) => g,
+            None => guard.mx.inner.lock(),
+        };
+        guard.inner = Some(g);
+        timed_out
+    }
+
+    /// Blocks until notified, releasing the guard's lock while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        if let Some(h) = exec::active() {
+            debug_assert!(guard.model, "model condvar used with passthrough guard");
+            self.model_wait(&h, guard, false);
+        } else {
+            let mut g = guard.inner.take().expect("guard taken during wait");
+            self.inner.wait(&mut g);
+            guard.inner = Some(g);
+        }
+    }
+
+    /// Blocks until notified or the absolute `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        if let Some(h) = exec::active() {
+            debug_assert!(guard.model, "model condvar used with passthrough guard");
+            let timed_out = self.model_wait(&h, guard, true);
+            WaitTimeoutResult { timed_out }
+        } else {
+            let mut g = guard.inner.take().expect("guard taken during wait");
+            let r = self.inner.wait_until(&mut g, deadline);
+            guard.inner = Some(g);
+            WaitTimeoutResult {
+                timed_out: r.timed_out(),
+            }
+        }
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let deadline = Instant::now()
+            .checked_add(timeout)
+            .unwrap_or_else(|| Instant::now() + Duration::from_secs(86_400 * 365));
+        self.wait_until(guard, deadline)
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        if let Some(h) = exec::active() {
+            let cv = self.loc.get(&h);
+            h.exec.op(h.tid, || format!("condvar#{cv} notify_one"));
+            h.exec.cv_notify(h.tid, cv, false);
+        } else {
+            self.inner.notify_one();
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        if let Some(h) = exec::active() {
+            let cv = self.loc.get(&h);
+            h.exec.op(h.tid, || format!("condvar#{cv} notify_all"));
+            h.exec.cv_notify(h.tid, cv, true);
+        } else {
+            self.inner.notify_all();
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Tracked `Box::into_raw`: records the block in the execution's
+/// allocation ledger (double-free / leak detection).
+pub fn into_raw_tracked<T>(b: Box<T>) -> *mut T {
+    let p = Box::into_raw(b);
+    if let Some(h) = exec::active() {
+        h.exec.track_alloc(p as usize);
+    }
+    p
+}
+
+/// Reclaims a tracked raw pointer back into a `Box` (allocation handed
+/// back un-freed, e.g. a lost install race).
+///
+/// # Safety
+/// `p` must have come from [`into_raw_tracked`] (or `Box::into_raw`) and
+/// not have been freed or reclaimed since.
+pub unsafe fn retake_tracked<T>(p: *mut T) -> Box<T> {
+    if let Some(h) = exec::active() {
+        h.exec.untrack_alloc(p as usize);
+    }
+    // SAFETY: ownership contract forwarded to the caller (see above).
+    unsafe { Box::from_raw(p) }
+}
+
+/// Type-erased deferred free, stored in the quarantine ledger.
+///
+/// # Safety
+/// `p` must be a `Box::into_raw`-produced `*mut T`, freed at most once.
+unsafe fn drop_raw<T>(p: usize) {
+    // SAFETY: called exactly once per quarantined pointer, which was
+    // produced by `Box::into_raw` on a `Box<T>`.
+    unsafe { drop(Box::from_raw(p as *mut T)) }
+}
+
+/// Tracked block free. In an execution the deallocation is quarantined —
+/// deferred until every simulated thread has been joined — so a buggy
+/// late reader touches still-valid memory while the ledger reports the
+/// protocol violation (double free).
+///
+/// # Safety
+/// `p` must have come from `Box::into_raw` and not already be freed
+/// (a double free inside an execution is *detected*, not performed).
+pub unsafe fn free_tracked<T>(p: *mut T) {
+    if let Some(h) = exec::active() {
+        if h.exec.track_free(h.tid, p as usize, drop_raw::<T>) {
+            return;
+        }
+    }
+    // SAFETY: ownership contract forwarded to the caller (see above).
+    unsafe { drop(Box::from_raw(p)) }
+}

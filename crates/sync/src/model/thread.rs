@@ -1,0 +1,112 @@
+//! Simulated threads for model executions.
+//!
+//! [`spawn`] mirrors `std::thread::spawn`. Inside a model execution the
+//! new closure runs on a real OS thread that is gated by the execution's
+//! scheduler: it becomes *runnable* immediately but only executes when the
+//! explorer hands it the baton. Outside an execution it is a plain std
+//! spawn, so code written against this module also runs un-modeled.
+
+use super::exec::{self, payload_to_string, Handle, ModelAbort};
+use std::sync::{Arc, Mutex, PoisonError};
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        handle: Handle,
+        target: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+}
+
+/// Handle to a simulated (or, outside executions, real) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// In a model execution a panicking child fails the whole run (with
+    /// the interleaving trace), so `join` only returns on success — there
+    /// is no `Result` to unwrap.
+    pub fn join(self) -> T {
+        match self.inner {
+            Inner::Std(h) => match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            },
+            Inner::Model {
+                handle,
+                target,
+                slot,
+            } => {
+                handle.exec.join(handle.tid, target);
+                slot.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("joined simulated thread left no result")
+            }
+        }
+    }
+}
+
+/// Spawns a thread. A schedule point inside a model execution (the spawner
+/// may be preempted by the child immediately — that's an interleaving).
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some(handle) = exec::active() else {
+        return JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        };
+    };
+
+    let exec = handle.exec.clone();
+    let tid = exec.register_thread();
+
+    let slot = Arc::new(Mutex::new(None));
+    let child_slot = slot.clone();
+    let child_exec = exec.clone();
+    let os = std::thread::spawn(move || {
+        exec::install_handle(Handle {
+            exec: child_exec.clone(),
+            tid,
+        });
+        child_exec.wait_turn(tid);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        match result {
+            Ok(v) => {
+                *child_slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+            }
+            Err(payload) => {
+                if !payload.is::<ModelAbort>() {
+                    child_exec.fail_panic(payload_to_string(payload.as_ref()));
+                }
+            }
+        }
+        exec::clear_handle();
+        child_exec.thread_finish(tid);
+    });
+    exec.os_handles
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(os);
+    // The schedule point comes after the OS thread exists: the explorer
+    // may hand the baton straight to the child here.
+    exec.op(handle.tid, || format!("spawn tid {tid}"));
+
+    JoinHandle {
+        inner: Inner::Model {
+            handle,
+            target: tid,
+            slot,
+        },
+    }
+}
+
+/// Cooperative yield; see [`super::shim::yield_now`].
+pub fn yield_now() {
+    super::shim::yield_now();
+}

@@ -24,16 +24,30 @@
 //! * Blocks are freed cooperatively: the consumer that advances `head` past
 //!   a block starts destruction, and any consumer still reading a slot in
 //!   it (marked via the `READ`/`DESTROY` bits) finishes the job.
+//!
+//! All synchronization goes through [`crate::facade`], so a
+//! `--cfg d4py_model` build checks this exact source under the
+//! [`crate::model`] checker (which also shrinks [`LAP`] so block-boundary
+//! hand-off and reclamation are reached within a few operations).
 
+use crate::facade::{
+    fence, free_tracked, into_raw_tracked, retake_tracked, spin_loop, yield_now, AtomicPtr,
+    AtomicUsize, Ordering,
+};
 use std::cell::UnsafeCell;
 use std::marker::PhantomData;
 use std::mem::MaybeUninit;
 use std::ptr;
-use std::sync::atomic::{self, AtomicPtr, AtomicUsize, Ordering};
 
 /// Slots per block. One index position per lap is reserved as the
 /// "successor being installed" sentinel, so a block stores `LAP - 1` items.
+#[cfg(not(d4py_model))]
 const LAP: usize = 32;
+/// Model-checked builds use tiny blocks so the explorer reaches block
+/// installation, boundary hand-off, and cooperative destruction within its
+/// preemption budget.
+#[cfg(d4py_model)]
+const LAP: usize = 4;
 /// Usable slots per block.
 const BLOCK_CAP: usize = LAP - 1;
 /// The low bit of a packed index is the `HAS_NEXT` flag; slot numbers start
@@ -66,7 +80,7 @@ impl Backoff {
     /// Busy-spin (bounded); for CAS retry loops that are about to succeed.
     fn spin(&mut self) {
         for _ in 0..1u32 << self.step.min(SPIN_LIMIT) {
-            std::hint::spin_loop();
+            spin_loop();
         }
         if self.step <= SPIN_LIMIT {
             self.step += 1;
@@ -78,11 +92,11 @@ impl Backoff {
     fn snooze(&mut self) {
         if self.step <= SPIN_LIMIT {
             for _ in 0..1u32 << self.step {
-                std::hint::spin_loop();
+                spin_loop();
             }
             self.step += 1;
         } else {
-            std::thread::yield_now();
+            yield_now();
         }
     }
 }
@@ -135,20 +149,39 @@ impl<T> Block<T> {
     /// Marks slots `start..` as ready-to-free and drops the block once no
     /// consumer is still reading any of them. The consumer that finds a
     /// slot mid-read hands the remaining work to that reader via `DESTROY`.
+    ///
+    /// # Safety
+    /// `this` must point to a block that has been fully consumed past
+    /// `start` (head already advanced beyond it) and on which destruction
+    /// for `start..` has not already completed.
     unsafe fn destroy(this: *mut Block<T>, start: usize) {
         // The last slot does not need marking: the thread that moved `head`
         // past the block boundary is the one calling `destroy(.., 0)`.
         for i in start..BLOCK_CAP - 1 {
-            let slot = (*this).slots.get_unchecked(i);
+            // SAFETY: the caller guarantees `this` is still live (no free
+            // happens until the handoff walk below completes), and
+            // `i < BLOCK_CAP` bounds the slot index.
+            let slot = unsafe { (*this).slots.get_unchecked(i) };
             if slot.state.load(Ordering::Acquire) & READ == 0
                 && slot.state.fetch_or(DESTROY, Ordering::AcqRel) & READ == 0
             {
                 // A consumer is still reading this slot; it sees DESTROY
                 // when it finishes and continues from `i + 1`.
+                #[cfg(d4py_model)]
+                if crate::model::fault("segqueue-double-destroy") {
+                    // Injected bug for the model checker: ignore the
+                    // hand-off and keep walking, so this thread *and* the
+                    // in-progress reader both free the block.
+                    continue;
+                }
                 return;
             }
         }
-        drop(Box::from_raw(this));
+        // SAFETY: every slot in `start..BLOCK_CAP - 1` is READ (or had its
+        // destruction handed off to us), the boundary-crossing consumer is
+        // past the block, and `this` came from `into_raw_tracked` in
+        // `push`; this is the single point that frees it.
+        unsafe { free_tracked(this) };
     }
 }
 
@@ -171,7 +204,14 @@ pub struct SegQueue<T> {
     _marker: PhantomData<T>,
 }
 
+// SAFETY: the queue moves owned `T` values between threads (push on one,
+// pop on another), which is exactly the `T: Send` bound; the queue's own
+// cursors and slot states are atomics.
 unsafe impl<T: Send> Send for SegQueue<T> {}
+// SAFETY: shared access is mediated entirely by the atomic slot protocol —
+// a slot's value is written before WRITE is released and read at most once
+// by the consumer that claimed it — so `&SegQueue<T>` hands out no shared
+// `&T`; `T: Send` suffices (same bound crossbeam's SegQueue uses).
 unsafe impl<T: Send> Sync for SegQueue<T> {}
 
 impl<T> Default for SegQueue<T> {
@@ -225,7 +265,10 @@ impl<T> SegQueue<T> {
 
             // Very first push: install the initial block.
             if block.is_null() {
-                let new = Box::into_raw(Block::<T>::new());
+                let new = into_raw_tracked(Block::<T>::new());
+                // relaxed: the failure value is discarded — the retry path
+                // below re-loads tail.index/tail.block with Acquire before
+                // acting on them.
                 if self
                     .tail
                     .block
@@ -235,7 +278,10 @@ impl<T> SegQueue<T> {
                     self.head.block.store(new, Ordering::Release);
                     block = new;
                 } else {
-                    next_block = unsafe { Some(Box::from_raw(new)) };
+                    // SAFETY: `new` came from `into_raw_tracked` two lines
+                    // up and, having lost the install race, was never
+                    // published — this thread still exclusively owns it.
+                    next_block = unsafe { Some(retake_tracked(new)) };
                     tail = self.tail.index.load(Ordering::Acquire);
                     block = self.tail.block.load(Ordering::Acquire);
                     continue;
@@ -250,11 +296,18 @@ impl<T> SegQueue<T> {
                 Ordering::SeqCst,
                 Ordering::Acquire,
             ) {
+                // SAFETY: winning the CAS makes this thread the unique
+                // owner of slot `offset` in `block` (every other producer
+                // observed the bumped index), and of the successor install
+                // when the claimed slot is the last one. `block` is live:
+                // blocks are only destroyed after head crosses them, and
+                // head can't pass an unwritten slot.
                 Ok(_) => unsafe {
                     // Claimed the last slot: install the pre-allocated
                     // successor and advance the index past the sentinel.
                     if offset + 1 == BLOCK_CAP {
-                        let next = Box::into_raw(next_block.take().expect("pre-allocated above"));
+                        let next =
+                            into_raw_tracked(next_block.take().expect("pre-allocated above"));
                         let next_index = new_tail.wrapping_add(1 << SHIFT);
                         self.tail.block.store(next, Ordering::Release);
                         self.tail.index.store(next_index, Ordering::Release);
@@ -297,7 +350,11 @@ impl<T> SegQueue<T> {
             let mut new_head = head + (1 << SHIFT);
 
             if new_head & HAS_NEXT == 0 {
-                atomic::fence(Ordering::SeqCst);
+                fence(Ordering::SeqCst);
+                // relaxed: the SeqCst fence above pairs with the producers'
+                // SeqCst index CAS; the value is only compared against
+                // `head` to detect emptiness and block distance, never
+                // dereferenced through.
                 let tail = self.tail.index.load(Ordering::Relaxed);
 
                 // Head caught up with tail: empty.
@@ -326,11 +383,19 @@ impl<T> SegQueue<T> {
                 Ordering::SeqCst,
                 Ordering::Acquire,
             ) {
+                // SAFETY: winning the CAS makes this thread the unique
+                // consumer of slot `offset` in `block`; the block stays
+                // live until destruction, which cannot complete before this
+                // slot is marked READ (or is the boundary slot, whose
+                // reader runs the destruction itself).
                 Ok(_) => unsafe {
                     // Claimed the last slot: move `head` to the successor.
                     if offset + 1 == BLOCK_CAP {
                         let next = (*block).wait_next(&mut backoff);
                         let mut next_index = (new_head & !HAS_NEXT).wrapping_add(1 << SHIFT);
+                        // relaxed: non-null is sticky once published; a
+                        // stale null only omits the HAS_NEXT hint, which
+                        // the next pop recomputes from the tail index.
                         if !(*next).next.load(Ordering::Relaxed).is_null() {
                             next_index |= HAS_NEXT;
                         }
@@ -412,6 +477,11 @@ impl<T> Drop for SegQueue<T> {
         head &= !((1 << SHIFT) - 1);
         let tail = tail & !((1 << SHIFT) - 1);
 
+        // SAFETY: `&mut self` means no concurrent producer or consumer
+        // exists; every slot in `head..tail` holds an initialized,
+        // never-read value, and every block between the head and tail
+        // cursors is live and owned by the queue (freed exactly once as
+        // the walk crosses it).
         unsafe {
             // Walk head→tail dropping unpopped values, freeing each block
             // as its boundary sentinel position is crossed.
@@ -422,13 +492,13 @@ impl<T> Drop for SegQueue<T> {
                     (*slot.value.get()).assume_init_drop();
                 } else {
                     let next = *(*block).next.get_mut();
-                    drop(Box::from_raw(block));
+                    free_tracked(block);
                     block = next;
                 }
                 head = head.wrapping_add(1 << SHIFT);
             }
             if !block.is_null() {
-                drop(Box::from_raw(block));
+                free_tracked(block);
             }
         }
     }
@@ -472,6 +542,7 @@ mod tests {
 
     #[test]
     fn drop_releases_unpopped_items() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
         struct Counted(Arc<AtomicUsize>);
         impl Drop for Counted {
             fn drop(&mut self) {
@@ -497,6 +568,7 @@ mod tests {
 
     #[test]
     fn mpmc_stress_no_loss_no_duplication() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
         const PRODUCERS: usize = 4;
         const CONSUMERS: usize = 4;
         const PER_PRODUCER: usize = 2_000;

@@ -31,6 +31,8 @@ pub const EXTINCTION_COMPUTE: Duration = Duration::from_millis(1);
 static INSTANCE_SALT: AtomicU64 = AtomicU64::new(0);
 
 fn instance_rng(seed: u64) -> StdRng {
+    // relaxed: uniqueness-only RNG salt — no other memory depends on its
+    // ordering.
     StdRng::seed_from_u64(seed ^ INSTANCE_SALT.fetch_add(0x9E37_79B9, Ordering::Relaxed))
 }
 
@@ -56,6 +58,8 @@ impl HeavyDelay {
         if self.enabled {
             let d = self.sampler.sample_duration(&mut self.rng, self.max);
             if !d.is_zero() {
+                // sleep: simulated heavy-tail straggler delay from the
+                // workload model; zero under the test configuration.
                 std::thread::sleep(d);
             }
         }
@@ -75,6 +79,8 @@ impl ProcessingElement for GetVoTable {
         // Network download: blocks without occupying a simulated core.
         let latency = votable::service_latency(ra, dec, self.cfg.scaled(DOWNLOAD_BASE));
         if !latency.is_zero() {
+            // sleep: simulated VO-service download latency (latency-bound,
+            // no simulated core held); zero under the test configuration.
             std::thread::sleep(latency);
         }
         self.heavy.apply();
@@ -182,11 +188,11 @@ pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<Value>>>) {
     let filter = g.add_pe(PeSpec::transform("filterColumns", "input", "output"));
     let intext = g.add_pe(PeSpec::sink("internalExtinction", "input"));
     g.connect(read, "output", getvo, "input", Grouping::Shuffle)
-        .unwrap();
+        .expect("ports declared on the PeSpecs above");
     g.connect(getvo, "output", filter, "input", Grouping::Shuffle)
-        .unwrap();
+        .expect("ports declared on the PeSpecs above");
     g.connect(filter, "output", intext, "input", Grouping::Shuffle)
-        .unwrap();
+        .expect("ports declared on the PeSpecs above");
 
     let results = Arc::new(Mutex::new(Vec::new()));
     let mut exe = Executable::new(g).expect("astro graph is valid");

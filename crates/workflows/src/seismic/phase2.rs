@@ -131,6 +131,8 @@ impl ProcessingElement for XCorr {
         let sa = samples_of(&a);
         let sb = samples_of(&b);
         let (lag, r) = self.cfg.limiter.with_core(|| {
+            // sleep: simulated xcorr compute cost from the paper's workload
+            // model; scaled to zero in the fast test configuration.
             std::thread::sleep(self.cfg.scaled(XCORR_COMPUTE));
             dsp::cross_correlation_max_lag(&sa, &sb, MAX_LAG)
         });
@@ -174,7 +176,7 @@ impl ProcessingElement for TopPairs {
         self.rows.sort_by(|x, y| {
             y.2.abs()
                 .partial_cmp(&x.2.abs())
-                .unwrap()
+                .expect("correlation coefficients are finite")
                 .then(x.0.cmp(&y.0))
         });
         let mut out = self.results.lock();
@@ -231,11 +233,11 @@ pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<Value>>>, usize
     let xcorr = g.add_pe(PeSpec::transform("xcorr", "input", "output"));
     let top = g.add_pe(PeSpec::sink("topPairs", "input").stateful());
     g.connect(read, "output", pairs, "input", Grouping::Global)
-        .unwrap();
+        .expect("ports declared on the PeSpecs above");
     g.connect(pairs, "output", xcorr, "input", Grouping::Shuffle)
-        .unwrap();
+        .expect("ports declared on the PeSpecs above");
     g.connect(xcorr, "output", top, "input", Grouping::Global)
-        .unwrap();
+        .expect("ports declared on the PeSpecs above");
 
     let results = Arc::new(Mutex::new(Vec::new()));
     let mut exe = Executable::new(g).expect("phase2 graph is valid");
@@ -306,7 +308,7 @@ mod tests {
         let (exe, r2, _) = build(&fast_cfg());
         HybridMulti
             .execute(&exe, &ExecutionOptions::new(4))
-            .unwrap();
+            .expect("ports declared on the PeSpecs above");
         let pairs = |h: &Arc<Mutex<Vec<Value>>>| {
             h.lock()
                 .iter()
@@ -341,7 +343,7 @@ mod tests {
             "hybrid_multi",
             Some(store.clone()),
         )
-        .unwrap();
+        .expect("ports declared on the PeSpecs above");
         assert_eq!(r1.tasks_executed, 1 + 16 + 2 * pairs1 as u64);
         assert!(r1.warnings.is_empty(), "{:?}", r1.warnings);
 
@@ -357,7 +359,7 @@ mod tests {
             "hybrid_multi",
             Some(store),
         )
-        .unwrap();
+        .expect("ports declared on the PeSpecs above");
         let fresh_pairs = (32 * 31) / 2 - pairs1 as u64;
         assert_eq!(r2.tasks_executed, 1 + 16 + 2 * fresh_pairs);
     }
@@ -367,7 +369,7 @@ mod tests {
         let (exe, _, expected) = build(&fast_cfg());
         let report = HybridMulti
             .execute(&exe, &ExecutionOptions::new(4))
-            .unwrap();
+            .expect("ports declared on the PeSpecs above");
         // kickoff + 16 traces into pairBuilder + pairs into xcorr + pairs
         // into topPairs.
         let expected_tasks = 1 + 16 + 2 * expected as u64;

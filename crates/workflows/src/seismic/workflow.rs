@@ -67,6 +67,8 @@ impl ProcessingElement for TraceStage {
         let (station, mut samples) = value_to_trace(&v);
         self.cfg.limiter.with_core(|| {
             (self.kernel)(&mut samples);
+            // sleep: simulated per-stage compute cost from the paper's
+            // workload model; scaled to zero in the fast test config.
             std::thread::sleep(self.cfg.scaled(self.compute));
         });
         ctx.emit("output", trace_to_value(&station, &samples));
@@ -84,6 +86,8 @@ struct WriteOutput {
 impl ProcessingElement for WriteOutput {
     fn process(&mut self, _port: &str, v: Value, _ctx: &mut dyn Context) {
         let (station, samples) = value_to_trace(&v);
+        // sleep: modelled device write latency (no simulated core held);
+        // scaled to zero in the fast test configuration.
         std::thread::sleep(self.cfg.scaled(WRITE_LATENCY));
         let file = self.file.get_or_insert_with(|| {
             std::fs::OpenOptions::new()
@@ -134,13 +138,13 @@ pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<String>>>) {
     for name in stages {
         let pe = g.add_pe(PeSpec::transform(name, "input", "output"));
         g.connect(prev, "output", pe, "input", Grouping::Shuffle)
-            .unwrap();
+            .expect("ports declared on the PeSpecs above");
         stage_ids.push(pe);
         prev = pe;
     }
     let write = g.add_pe(PeSpec::sink("writeData", "input"));
     g.connect(prev, "output", write, "input", Grouping::Shuffle)
-        .unwrap();
+        .expect("ports declared on the PeSpecs above");
 
     let written = Arc::new(Mutex::new(Vec::new()));
     let mut exe = Executable::new(g).expect("seismic graph is valid");
@@ -178,6 +182,8 @@ pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<String>>>) {
     let cfg_w = cfg.clone();
     let handle = written.clone();
     exe.register(write, move || {
+        // relaxed: uniqueness-only filename salt — no other memory depends
+        // on its ordering.
         let salt = FILE_SALT.fetch_add(1, Ordering::Relaxed);
         let path =
             std::env::temp_dir().join(format!("d4py_seismic_{}_{salt}.txt", std::process::id()));

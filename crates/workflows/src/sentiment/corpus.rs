@@ -127,7 +127,11 @@ pub fn generate(n: u32, seed: u64) -> Vec<Article> {
 /// ordering a large corpus converges to.
 pub fn expected_ranking() -> Vec<&'static str> {
     let mut ranked: Vec<&str> = STATES.to_vec();
-    ranked.sort_by(|a, b| mood_bias(b).partial_cmp(&mood_bias(a)).unwrap());
+    ranked.sort_by(|a, b| {
+        mood_bias(b)
+            .partial_cmp(&mood_bias(a))
+            .expect("mood biases are finite")
+    });
     ranked
 }
 

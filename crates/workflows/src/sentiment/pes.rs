@@ -42,6 +42,8 @@ impl ProcessingElement for SentimentAfinn {
     fn process(&mut self, _port: &str, article: Value, ctx: &mut dyn Context) {
         let text = article.get("text").and_then(Value::as_str).unwrap_or("");
         let score = self.cfg.limiter.with_core(|| {
+            // sleep: simulated AFINN scoring cost from the paper's workload
+            // model; scaled to zero in the fast test configuration.
             std::thread::sleep(self.cfg.scaled(AFINN_COMPUTE));
             let tokens = tokenize(text);
             lexicon::afinn_score(tokens.iter().map(String::as_str))
@@ -71,6 +73,8 @@ impl ProcessingElement for TokenizeWd {
     fn process(&mut self, _port: &str, article: Value, ctx: &mut dyn Context) {
         let text = article.get("text").and_then(Value::as_str).unwrap_or("");
         let tokens = self.cfg.limiter.with_core(|| {
+            // sleep: simulated tokenizer compute cost from the paper's
+            // workload model; scaled to zero in the fast test config.
             std::thread::sleep(self.cfg.scaled(TOKENIZE_COMPUTE));
             tokenize(text)
         });
@@ -107,6 +111,8 @@ impl ProcessingElement for SentimentSwn3 {
             .filter_map(Value::as_str)
             .collect();
         let score = self.cfg.limiter.with_core(|| {
+            // sleep: simulated SentiWordNet scoring cost from the paper's
+            // workload model; scaled to zero in the fast test config.
             std::thread::sleep(self.cfg.scaled(SWN3_COMPUTE));
             lexicon::swn3_score(tokens.iter().copied())
         });
@@ -256,7 +262,11 @@ impl ProcessingElement for TopThree {
             .iter()
             .map(|(s, (t, c))| (s, t / (*c as f64).max(1.0), *c))
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(b.0)));
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("mean scores are finite")
+                .then(a.0.cmp(b.0))
+        });
         let mut out = self.results.lock();
         for (rank, (state, mean, count)) in ranked.into_iter().take(3).enumerate() {
             out.push(Value::map([

@@ -47,19 +47,19 @@ pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<Value>>>) {
     );
 
     g.connect(read, "output", afinn, "input", Grouping::Shuffle)
-        .unwrap();
+        .expect("ports declared on the PeSpecs above");
     g.connect(read, "output", tok, "input", Grouping::Shuffle)
-        .unwrap();
+        .expect("ports declared on the PeSpecs above");
     g.connect(tok, "output", swn3, "input", Grouping::Shuffle)
-        .unwrap();
+        .expect("ports declared on the PeSpecs above");
     g.connect(afinn, "output", find, "input", Grouping::Shuffle)
-        .unwrap();
+        .expect("ports declared on the PeSpecs above");
     g.connect(swn3, "output", find, "input", Grouping::Shuffle)
-        .unwrap();
+        .expect("ports declared on the PeSpecs above");
     g.connect(find, "output", happy, "input", Grouping::group_by("state"))
-        .unwrap();
+        .expect("ports declared on the PeSpecs above");
     g.connect(happy, "output", top3, "input", Grouping::Global)
-        .unwrap();
+        .expect("ports declared on the PeSpecs above");
 
     let results = Arc::new(Mutex::new(Vec::new()));
     let mut exe = Executable::new(g).expect("sentiment graph is valid");
@@ -150,7 +150,7 @@ mod tests {
             let (exe, results) = build(&fast_cfg().with_scale(2));
             mapping
                 .execute(&exe, &ExecutionOptions::new(workers))
-                .unwrap();
+                .expect("ports declared on the PeSpecs above");
             let got = results.lock();
             got.iter()
                 .map(|v| v.get("state").unwrap().as_str().unwrap().to_string())

@@ -20,6 +20,21 @@ cargo test -q --offline
 cargo fmt --check
 cargo clippy --offline --all-targets -- -D warnings
 
+# Source invariants (crates/lint): std::sync confinement, SAFETY/relaxed
+# justifications, no bare unwrap in library code, no wall-clock gating.
+cargo run -q --release --offline -p d4py-lint -- . \
+    || { echo "verify: FAIL — d4py-lint reports violations" >&2; exit 1; }
+
+# Model-checker smoke: the instrumented --cfg d4py_model build of the
+# lock-free core, explored under a small iteration budget (CI runs the
+# full budget in a dedicated job). Separate target dir so the cfg flip
+# does not thrash the main build cache.
+D4PY_MODEL_ITERS="${D4PY_MODEL_ITERS:-150}" \
+CARGO_TARGET_DIR=target/model \
+RUSTFLAGS="--cfg d4py_model" \
+    cargo test -q --offline -p d4py-sync --test model \
+    || { echo "verify: FAIL — model-checked invariants" >&2; exit 1; }
+
 # The snapshot-format and cross-backend state-store conformance suites are
 # part of `cargo test` above, but run them by name too so a Cargo.toml
 # regression that silently unregisters either target fails loudly here.

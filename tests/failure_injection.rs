@@ -99,6 +99,7 @@ fn poisoned_source_still_terminates() {
 
     let started = std::time::Instant::now();
     let report = DynMulti.execute(&exe, &ExecutionOptions::new(2)).unwrap();
+    // timing: hang detector with a generous bound, not a performance gate.
     assert!(started.elapsed() < Duration::from_secs(3), "must not hang");
     assert_eq!(report.failed_tasks, 1);
     assert_eq!(

@@ -36,6 +36,7 @@ fn dynamic_run_terminates_on_empty_workflow() {
     let started = Instant::now();
     DynMulti.execute(&exe, &ExecutionOptions::new(8)).unwrap();
     assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), 0);
+    // timing: hang detector with a generous bound, not a performance gate.
     assert!(started.elapsed() < Duration::from_secs(3));
 }
 
@@ -126,6 +127,7 @@ fn termination_works_across_the_redis_wire() {
     let started = Instant::now();
     mapping.execute(&exe, &ExecutionOptions::new(4)).unwrap();
     assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), 30);
+    // timing: hang detector with a generous bound, not a performance gate.
     assert!(started.elapsed() < Duration::from_secs(5));
 }
 
