@@ -1,5 +1,6 @@
 //! Ablation: global-queue core — `Mutex<VecDeque>` + `Condvar` baseline vs
-//! the segmented lock-free channel (DESIGN.md §5.2 `ablation_queue`).
+//! the segmented lock-free channel vs the per-worker steal topology
+//! (DESIGN.md §5.2 `ablation_queue`).
 //!
 //! The paper attributes `dyn_multi`'s degradation at high worker counts to
 //! contention on the shared global queue (§3.1, Figure 2). This bench
@@ -7,7 +8,11 @@
 //! and we report end-to-end throughput for (a) the old mutex-per-operation
 //! channel core, reconstructed here as the baseline, and (b) the lock-free
 //! segmented channel `d4py-sync` now ships. The spread at 8+ workers is the
-//! lock handoff the tentpole removed.
+//! lock handoff the tentpole removed. The third column runs the same load
+//! through the per-worker-deque + work-stealing topology with batched
+//! push/pop — the composed dispatch path `dyn_multi` now uses — so the
+//! table shows both steps of the plateau fix: global mutex → global
+//! lock-free → per-worker + steal.
 //!
 //! Runs as a plain binary (`cargo bench --bench ablation_queue`). Honors
 //! `D4PY_BENCH_QUICK=1` for CI smoke runs (the resulting JSON is tagged
@@ -28,6 +33,7 @@
 use d4py_sync::channel;
 use d4py_sync::report::{BenchEntry, BenchReport, Better, EnvStamp};
 use d4py_sync::stats::{summarize, StatsConfig, Summary};
+use d4py_sync::steal::StealQueue;
 use d4py_sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::path::PathBuf;
@@ -155,6 +161,70 @@ fn samples<C: Chan>(
         .collect()
 }
 
+/// One timed run through the per-worker steal topology. Unlike the
+/// identity-less cores above, this is worker-indexed and batched end to
+/// end: producer `w` lands batches on its own deque, consumer `w` drains
+/// local-first and steals when dry — the exact dispatch path `dyn_multi`
+/// runs, so the column measures the composed tentpole, not the raw queue.
+fn run_once_steal(workers: usize, items: usize) -> f64 {
+    const BATCH: usize = 32;
+    /// Seed for victim selection; fixed so every rep walks the same
+    /// steal order (reproducible spread).
+    const SEED: u64 = 0xd417_57ea;
+    let q = Arc::new(StealQueue::new(workers, SEED));
+    let popped = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+
+    let producers: Vec<_> = (0..workers)
+        .map(|w| {
+            let q = q.clone();
+            let share = items / workers + usize::from(w < items % workers);
+            std::thread::spawn(move || {
+                let mut buf = Vec::with_capacity(BATCH);
+                for i in 0..share {
+                    buf.push(i as u64);
+                    if buf.len() == BATCH {
+                        let full = std::mem::replace(&mut buf, Vec::with_capacity(BATCH));
+                        q.push_batch(Some(w), full)
+                            .expect("bench queue never closes");
+                    }
+                }
+                if !buf.is_empty() {
+                    q.push_batch(Some(w), buf)
+                        .expect("bench queue never closes");
+                }
+            })
+        })
+        .collect();
+    let consumers: Vec<_> = (0..workers)
+        .map(|w| {
+            let q = q.clone();
+            let popped = popped.clone();
+            std::thread::spawn(move || {
+                while popped.load(Ordering::Relaxed) < items {
+                    if let Ok(batch) = q.pop_batch(w, BATCH, Duration::from_millis(1)) {
+                        popped.fetch_add(batch.len(), Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for h in producers {
+        h.join().unwrap();
+    }
+    for h in consumers {
+        h.join().unwrap();
+    }
+    items as f64 / start.elapsed().as_secs_f64()
+}
+
+fn steal_samples(workers: usize, items: usize, reps: usize, handicap: f64) -> Vec<f64> {
+    (0..reps)
+        .map(|_| run_once_steal(workers, items) / handicap)
+        .collect()
+}
+
 fn fmt_rate(r: f64) -> String {
     if r >= 1e6 {
         format!("{:.2} M/s", r / 1e6)
@@ -269,8 +339,8 @@ fn main() {
         println!("   !! D4PY_BENCH_HANDICAP={handicap} — throughput divided for gate testing\n");
     }
     println!(
-        "{:>8}  {:>22}  {:>22}  {:>8}",
-        "workers", "mutex (median ±σ)", "lock-free (median ±σ)", "speedup"
+        "{:>8}  {:>20}  {:>20}  {:>20}  {:>9}",
+        "workers", "mutex (median ±σ)", "lock-free (med ±σ)", "steal (median ±σ)", "steal/lf"
     );
 
     let mut report = BenchReport::new("ablation_queue", quick);
@@ -283,15 +353,21 @@ fn main() {
             format!("ablation_queue/lockfree/w{workers}"),
             samples(SegChan::new, workers, items, reps, handicap),
         );
+        let steal = entry(
+            format!("ablation_queue/steal/w{workers}"),
+            steal_samples(workers, items, reps, handicap),
+        );
         let fmt = |s: &Summary| format!("{} ±{}", fmt_rate(s.median), fmt_rate(s.stddev));
         println!(
-            "{workers:>8}  {:>22}  {:>22}  {:>7.2}x",
+            "{workers:>8}  {:>20}  {:>20}  {:>20}  {:>8.2}x",
             fmt(&mutex.summary),
             fmt(&lockfree.summary),
-            lockfree.summary.median / mutex.summary.median
+            fmt(&steal.summary),
+            steal.summary.median / lockfree.summary.median
         );
         report.benches.push(mutex);
         report.benches.push(lockfree);
+        report.benches.push(steal);
     }
 
     // Informational inline comparison (the hard gate is `bench-compare`).

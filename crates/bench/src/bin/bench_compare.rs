@@ -12,7 +12,9 @@
 //!   because either report is a smoke-mode (quick) run;
 //! * `1` — at least one benchmark regressed beyond its measured noise
 //!   threshold;
-//! * `2` — usage or parse error (unreadable file, future format version).
+//! * `2` — usage or parse error (unreadable file, future format version),
+//!   or malformed statistics in either report (non-finite/zero means,
+//!   empty sample sets) — corrupt input must never read as a pass.
 
 use d4py_bench::compare::{compare, Gate};
 use d4py_bench::render::render_compare;
@@ -42,6 +44,10 @@ fn run(baseline_path: &str, current_path: &str) -> Result<ExitCode, String> {
             println!("gate: FAIL — {n} significant regression(s)");
             Ok(ExitCode::from(1))
         }
+        Gate::Malformed(entries) => Err(format!(
+            "malformed report data — refusing to gate:\n  {}",
+            entries.join("\n  ")
+        )),
     }
 }
 

@@ -76,6 +76,11 @@ pub enum Gate {
     Regressions(usize),
     /// Gating is refused (smoke-mode input); exit 0 with the reason shown.
     NotGateable(String),
+    /// A report contains unusable statistics (non-finite or zero mean,
+    /// empty samples). This is corrupt input, not a clean comparison —
+    /// callers must exit 2, never silently pass. Carries one
+    /// `"<id>: <why>"` line per bad entry.
+    Malformed(Vec<String>),
 }
 
 /// Everything `bench-compare` needs to render and exit.
@@ -111,6 +116,7 @@ pub fn compare(base: &BenchReport, current: &BenchReport) -> Comparison {
 
     let mut rows = Vec::new();
     let mut missing = Vec::new();
+    let mut malformed = Vec::new();
     for b in &base.benches {
         let Some(c) = current.benches.iter().find(|c| c.id == b.id) else {
             missing.push(b.id.clone());
@@ -124,10 +130,33 @@ pub fn compare(base: &BenchReport, current: &BenchReport) -> Comparison {
             continue;
         }
         let (bs, cs) = (&b.summary, &c.summary);
-        if !(bs.mean.is_finite() && cs.mean.is_finite()) || bs.mean == 0.0 {
-            warnings.push(format!(
-                "{}: non-finite or zero baseline mean — row skipped",
-                b.id
+        // A mean of NaN/inf/0 poisons every derived quantity (ratio, delta
+        // %, CI threshold) — the row can't produce a verdict, and skipping
+        // it would let a corrupt baseline wave the gate through. Record it
+        // as malformed so the overall decision becomes a hard failure.
+        if b.samples.is_empty() || !bs.mean.is_finite() || bs.mean == 0.0 {
+            malformed.push(format!(
+                "{}: baseline has {} (mean {})",
+                b.id,
+                if b.samples.is_empty() {
+                    "no samples"
+                } else {
+                    "a non-finite or zero mean"
+                },
+                bs.mean,
+            ));
+            continue;
+        }
+        if c.samples.is_empty() || !cs.mean.is_finite() {
+            malformed.push(format!(
+                "{}: current run has {} (mean {})",
+                b.id,
+                if c.samples.is_empty() {
+                    "no samples"
+                } else {
+                    "a non-finite mean"
+                },
+                cs.mean,
             ));
             continue;
         }
@@ -171,7 +200,9 @@ pub fn compare(base: &BenchReport, current: &BenchReport) -> Comparison {
         .iter()
         .filter(|r| r.verdict == Verdict::Regressed)
         .count();
-    let gate = if base.smoke || current.smoke {
+    let gate = if !malformed.is_empty() {
+        Gate::Malformed(malformed)
+    } else if base.smoke || current.smoke {
         let which = match (base.smoke, current.smoke) {
             (true, true) => "both reports are",
             (true, false) => "the baseline is",
@@ -354,6 +385,57 @@ mod tests {
             .iter()
             .any(|w| w.contains("environment mismatch")));
         assert_eq!(out.rows.len(), 1);
+    }
+
+    #[test]
+    fn zero_baseline_mean_is_malformed_not_a_pass() {
+        // A zeroed baseline used to be "row skipped" + Gate::Pass — the
+        // exact bypass this guard closes.
+        let zeros = vec![0.0; 20];
+        let a = report(&[("g/a", Better::Lower, &zeros)], false);
+        let b = report(&[("g/a", Better::Lower, &jittered(1e-6))], false);
+        let out = compare(&a, &b);
+        match &out.gate {
+            Gate::Malformed(entries) => {
+                assert_eq!(entries.len(), 1);
+                assert!(entries[0].contains("g/a"), "{entries:?}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        assert!(out.rows.is_empty());
+    }
+
+    #[test]
+    fn empty_baseline_samples_are_malformed() {
+        let mut a = report(&[("g/a", Better::Lower, &jittered(1e-6))], false);
+        a.benches[0].samples.clear();
+        let b = report(&[("g/a", Better::Lower, &jittered(1e-6))], false);
+        match compare(&a, &b).gate {
+            Gate::Malformed(entries) => assert!(entries[0].contains("no samples"), "{entries:?}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_current_mean_is_malformed() {
+        let a = report(&[("g/a", Better::Lower, &jittered(1e-6))], false);
+        let mut b = report(&[("g/a", Better::Lower, &jittered(1e-6))], false);
+        b.benches[0].summary.mean = f64::NAN;
+        match compare(&a, &b).gate {
+            Gate::Malformed(entries) => {
+                assert!(entries[0].contains("current run"), "{entries:?}")
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_outranks_smoke_and_regressions() {
+        // Even a smoke-mode pair must not hide corrupt statistics.
+        let mut a = report(&[("g/a", Better::Lower, &jittered(1e-6))], true);
+        a.benches[0].summary.mean = f64::INFINITY;
+        let b = report(&[("g/a", Better::Lower, &jittered(5e-6))], true);
+        assert!(matches!(compare(&a, &b).gate, Gate::Malformed(_)));
     }
 
     #[test]

@@ -148,6 +148,41 @@ fn smoke_baseline_refuses_to_gate() {
 }
 
 #[test]
+fn zeroed_baseline_is_a_hard_error_not_a_pass() {
+    // A baseline whose samples are all zero yields a zero mean; every
+    // derived delta is NaN/inf. The gate must refuse with exit 2, not
+    // silently skip the row and print PASS.
+    let dir = temp_dir("zeroed");
+    let base = write(&dir, "base.json", &fixture("run", false, 0.0, 1.0));
+    let cur = write(&dir, "cur.json", &fixture("run", false, 1.0, 1.0));
+    let out = run_compare(&base, &cur);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stdout: {stdout}");
+    assert!(stderr.contains("malformed"), "{stderr}");
+    assert!(stderr.contains("codec/encode"), "{stderr}");
+    assert!(!stdout.contains("gate: PASS"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_sample_set_in_baseline_is_a_hard_error() {
+    // Hand-corrupt the JSON the way a truncated harness write would:
+    // an entry with no samples at all.
+    let dir = temp_dir("empty_samples");
+    let base_report = fixture("run", false, 1.0, 1.0);
+    let base = write(&dir, "base.json", &base_report);
+    let mut corrupt = base_report.clone();
+    corrupt.benches[0].samples.clear();
+    let bad = write(&dir, "bad.json", &corrupt);
+    let out = run_compare(&bad, &base);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no samples"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn missing_file_is_a_usage_error() {
     let dir = temp_dir("missing");
     let base = write(&dir, "base.json", &fixture("run", false, 1.0, 1.0));

@@ -8,7 +8,7 @@ use crate::mapping::Mapping;
 use crate::mappings::dynamic::{run_dynamic, AutoscaleSetup};
 use crate::metrics::RunReport;
 use crate::options::ExecutionOptions;
-use crate::queue::ChannelQueue;
+use crate::queue::WorkStealQueue;
 use std::sync::Arc;
 
 /// Which monitoring strategy drives the scaler.
@@ -76,7 +76,9 @@ impl Mapping for DynAutoMulti {
     }
 
     fn execute(&self, exe: &Executable, opts: &ExecutionOptions) -> Result<RunReport, CoreError> {
-        let queue = Arc::new(ChannelQueue::new(opts.workers));
+        // Per-worker deques with stealing: breaks the single-queue
+        // contention plateau under high worker counts.
+        let queue = Arc::new(WorkStealQueue::new(opts.workers));
         let threshold = self.config.threshold;
         let strategy = self.strategy;
         let setup = AutoscaleSetup {

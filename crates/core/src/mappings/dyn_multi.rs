@@ -9,7 +9,7 @@ use crate::mapping::Mapping;
 use crate::mappings::dynamic::run_dynamic;
 use crate::metrics::RunReport;
 use crate::options::ExecutionOptions;
-use crate::queue::ChannelQueue;
+use crate::queue::WorkStealQueue;
 use std::sync::Arc;
 
 /// Dynamic-scheduling multiprocessing mapping.
@@ -22,7 +22,9 @@ impl Mapping for DynMulti {
     }
 
     fn execute(&self, exe: &Executable, opts: &ExecutionOptions) -> Result<RunReport, CoreError> {
-        let queue = Arc::new(ChannelQueue::new(opts.workers));
+        // Per-worker deques with stealing: breaks the single-queue
+        // contention plateau under high worker counts.
+        let queue = Arc::new(WorkStealQueue::new(opts.workers));
         run_dynamic(exe, opts, queue, self.name(), None)
     }
 }

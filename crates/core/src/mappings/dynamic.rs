@@ -29,6 +29,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Upper bound on one blocking batch pop in the worker loop. Large enough
+/// to amortize the parking layer on a hot queue, small enough that one
+/// worker cannot hoard a backlog other (possibly idle) workers could run —
+/// and bounded so a Pill drained mid-batch is acted on promptly.
+const POP_BATCH: usize = 32;
+
 /// Constructor for a monitoring strategy over the run's queue.
 pub type StrategyBuilder = Box<dyn FnOnce(Arc<dyn TaskQueue>) -> Box<dyn MonitorStrategy> + Send>;
 
@@ -166,6 +172,7 @@ pub fn run_dynamic(
         failed_tasks: engine.failed_tasks.load(Ordering::Relaxed),
         per_pe_tasks: engine.pe_counts.snapshot(),
         task_latency: engine.latency.summary(),
+        queue_steals: engine.queue.steals().unwrap_or(0),
         warnings: vec![],
     })
 }
@@ -210,42 +217,56 @@ fn dynamic_worker(
                 break;
             }
         }
-        match engine.queue.pop(worker, term.poll_timeout)? {
-            Some(QueueItem::Pill) => {
-                engine.shutdown.store(true, Ordering::SeqCst);
-                if let Some(scaler) = &engine.scaler {
-                    scaler.request_shutdown();
-                }
-                break;
-            }
-            Some(QueueItem::Flush) => { /* hybrid-only control; ignore */ }
-            Some(QueueItem::Task(task)) => {
-                retries = 0;
-                execute_task(worker, engine, graph, &mut pes, &mut router, task)?;
-                // Saturating decrement: an at-least-once queue may re-deliver a
-                // task, and a second decrement must not wrap the counter.
-                let _ = engine
-                    .outstanding
-                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1));
-            }
-            None => {
-                let quiescent = !term.strict || engine.outstanding.load(Ordering::SeqCst) == 0;
-                if quiescent {
-                    retries += 1;
-                    if retries > term.max_retries {
-                        // This worker decides the workflow is done and
-                        // broadcasts poison pills (§3.2.3).
-                        engine.shutdown.store(true, Ordering::SeqCst);
-                        engine.broadcast_pills();
-                        if let Some(scaler) = &engine.scaler {
-                            scaler.request_shutdown();
-                        }
-                        break;
+        let batch = engine
+            .queue
+            .pop_batch(worker, POP_BATCH, term.poll_timeout)?;
+        if batch.is_empty() {
+            let quiescent = !term.strict || engine.outstanding.load(Ordering::SeqCst) == 0;
+            if quiescent {
+                retries += 1;
+                if retries > term.max_retries {
+                    // This worker decides the workflow is done and
+                    // broadcasts poison pills (§3.2.3).
+                    engine.shutdown.store(true, Ordering::SeqCst);
+                    engine.broadcast_pills();
+                    if let Some(scaler) = &engine.scaler {
+                        scaler.request_shutdown();
                     }
-                } else {
+                    break;
+                }
+            } else {
+                retries = 0;
+            }
+            continue;
+        }
+        let mut saw_pill = false;
+        for item in batch {
+            match item {
+                QueueItem::Pill => {
+                    // Obey the pill only after finishing the rest of this
+                    // batch: tasks drained alongside it were pushed with
+                    // outstanding-counter increments and must still run.
+                    saw_pill = true;
+                    engine.shutdown.store(true, Ordering::SeqCst);
+                    if let Some(scaler) = &engine.scaler {
+                        scaler.request_shutdown();
+                    }
+                }
+                QueueItem::Flush => { /* hybrid-only control; ignore */ }
+                QueueItem::Task(task) => {
                     retries = 0;
+                    execute_task(worker, engine, graph, &mut pes, &mut router, task)?;
+                    // Saturating decrement: an at-least-once queue may re-deliver a
+                    // task, and a second decrement must not wrap the counter.
+                    let _ =
+                        engine
+                            .outstanding
+                            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1));
                 }
             }
+        }
+        if saw_pill {
+            break;
         }
     }
     flush_span(&engine.ledger);
@@ -281,6 +302,7 @@ fn execute_task(
     if let Some(spec) = graph.pe(task.pe) {
         engine.pe_counts.add(&spec.name, 1);
     }
+    let mut fan_out: Vec<QueueItem> = Vec::new();
     for (port, value) in buf.drain() {
         for (conn_id, conn) in graph.outgoing_from_port(task.pe, &port) {
             // Stateless validation guarantees Shuffle; Route::One(_) under
@@ -288,12 +310,11 @@ fn execute_task(
             // is discarded — the queue pop decides who runs it.
             match router.route(conn_id, &conn.grouping, &value, 1) {
                 Route::One(_) => {
-                    engine.outstanding.fetch_add(1, Ordering::SeqCst);
-                    engine.queue.push(QueueItem::Task(Task::new(
+                    fan_out.push(QueueItem::Task(Task::new(
                         conn.to_pe,
                         conn.to_port.clone(),
                         value.clone(),
-                    )))?;
+                    )));
                 }
                 Route::All => {
                     // Unreachable after require_stateless; count defensively.
@@ -302,6 +323,16 @@ fn execute_task(
                 }
             }
         }
+    }
+    if !fan_out.is_empty() {
+        // Children are counted before the parent's decrement (quiescence
+        // invariant) and pushed as one batch tagged with this worker's
+        // identity: one wakeup for the whole fan-out, and a work-stealing
+        // queue keeps it on this worker's local.
+        engine
+            .outstanding
+            .fetch_add(fan_out.len(), Ordering::SeqCst);
+        engine.queue.push_batch(Some(worker), fan_out)?;
     }
     Ok(())
 }

@@ -91,12 +91,17 @@ struct HybridEngine {
 
 impl HybridEngine {
     /// Routes one emitted value across one connection, from any worker.
+    ///
+    /// Stateful targets go straight to their private queue; stateless targets
+    /// are buffered into `global_batch` so the caller can flush one batch per
+    /// emission drain instead of paying a queue round-trip per task.
     fn route_connection(
         &self,
         router: &mut Router,
         conn_id: d4py_graph::ConnectionId,
         conn: &d4py_graph::Connection,
         value: &crate::value::Value,
+        global_batch: &mut Vec<QueueItem>,
     ) -> Result<(), CoreError> {
         match self.stateful_instances.get(&conn.to_pe) {
             Some(&n) => match router.route(conn_id, &conn.grouping, value, n) {
@@ -112,12 +117,12 @@ impl HybridEngine {
                 // Stateless target: validation guarantees a shuffle grouping;
                 // delivery order is decided by whoever pops first.
                 let _ = router.route(conn_id, &conn.grouping, value, 1);
-                self.outstanding.fetch_add(1, Ordering::SeqCst);
-                self.global.push(QueueItem::Task(Task::new(
+                global_batch.push(QueueItem::Task(Task::new(
                     conn.to_pe,
                     conn.to_port.clone(),
                     value.clone(),
-                )))
+                )));
+                Ok(())
             }
         }
     }
@@ -138,23 +143,37 @@ impl HybridEngine {
     }
 
     /// Routes everything a PE emitted.
+    ///
+    /// Stateless-bound tasks are accumulated and flushed as one batch: the
+    /// outstanding counter is bumped by the batch size *before* the push so
+    /// the coordinator can never observe children after their parent's
+    /// decrement (quiescence stays conservative). `producer` is the global
+    /// pool consumer index of the emitting worker, when it has one, so a
+    /// work-stealing queue can keep the fan-out local.
     fn route_emissions(
         &self,
         graph: &WorkflowGraph,
         from: PeId,
         buf: &mut EmitBuffer,
         router: &mut Router,
+        producer: Option<usize>,
     ) -> Result<(), CoreError> {
+        let mut global_batch = Vec::new();
         for (port, value) in buf.drain() {
             let mut delivered = false;
             for (conn_id, conn) in graph.outgoing_from_port(from, &port) {
                 delivered = true;
-                self.route_connection(router, conn_id, conn, &value)?;
+                self.route_connection(router, conn_id, conn, &value, &mut global_batch)?;
             }
             if !delivered && graph.outgoing(from).next().is_some() {
                 // relaxed: monotonic statistics counter; read after joins.
                 self.dropped_emissions.fetch_add(1, Ordering::Relaxed);
             }
+        }
+        if !global_batch.is_empty() {
+            self.outstanding
+                .fetch_add(global_batch.len(), Ordering::SeqCst);
+            self.global.push_batch(producer, global_batch)?;
         }
         Ok(())
     }
@@ -355,6 +374,7 @@ pub fn run_hybrid_with_state(
         failed_tasks: engine.failed_tasks.load(Ordering::Relaxed),
         per_pe_tasks: engine.pe_counts.snapshot(),
         task_latency: crate::metrics::LatencySummary::default(),
+        queue_steals: engine.global.steals().unwrap_or(0),
         warnings,
     })
 }
@@ -408,7 +428,7 @@ fn stateful_worker(
                 }
                 let mut buf = EmitBuffer::new(slot.instance, n_instances);
                 pe.on_done(&mut buf);
-                engine.route_emissions(graph, slot.pe, &mut buf, &mut router)?;
+                engine.route_emissions(graph, slot.pe, &mut buf, &mut router, None)?;
                 engine.flushes_pending.fetch_sub(1, Ordering::SeqCst);
             }
             Some(QueueItem::Task(task)) => {
@@ -421,7 +441,7 @@ fn stateful_worker(
                     // relaxed: monotonic statistics counter; read after joins.
                     engine.failed_tasks.fetch_add(1, Ordering::Relaxed);
                 }
-                engine.route_emissions(graph, slot.pe, &mut buf, &mut router)?;
+                engine.route_emissions(graph, slot.pe, &mut buf, &mut router, None)?;
                 // Saturating decrement: an at-least-once queue may re-deliver a
                 // task, and a second decrement must not wrap the counter.
                 let _ = engine
@@ -453,40 +473,60 @@ fn stateless_worker(
     let queue = engine.global.clone();
     let consumer = worker.saturating_sub(engine.private.len());
 
+    /// How many tasks a stateless worker drains per queue visit.
+    const POP_BATCH: usize = 32;
+
     loop {
-        match queue.pop(consumer, opts.termination.poll_timeout)? {
-            Some(QueueItem::Pill) => break,
-            Some(QueueItem::Flush) => { /* not expected on the global queue */ }
-            Some(QueueItem::Task(task)) => {
-                let pe = match pes.entry(task.pe) {
-                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(engine.exe.instantiate(task.pe)?)
-                    }
-                };
-                let mut buf = EmitBuffer::new(worker, engine.stateless_workers);
-                if crate::pe::process_guarded(pe, &task.port, task.value, &mut buf) {
-                    // relaxed: monotonic statistics counter; read after joins.
-                    engine.tasks_executed.fetch_add(1, Ordering::Relaxed);
-                    if let Some(spec) = graph.pe(task.pe) {
-                        engine.pe_counts.add(&spec.name, 1);
-                    }
-                } else {
-                    // relaxed: monotonic statistics counter; read after joins.
-                    engine.failed_tasks.fetch_add(1, Ordering::Relaxed);
-                }
-                engine.route_emissions(graph, task.pe, &mut buf, &mut router)?;
-                // Saturating decrement: an at-least-once queue may re-deliver a
-                // task, and a second decrement must not wrap the counter.
-                let _ = engine
-                    .outstanding
-                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1));
+        let batch = queue.pop_batch(consumer, POP_BATCH, opts.termination.poll_timeout)?;
+        if batch.is_empty() {
+            if engine.shutdown.load(Ordering::SeqCst) {
+                break;
             }
-            None => {
-                if engine.shutdown.load(Ordering::SeqCst) {
-                    break;
+            continue;
+        }
+        // A pill may arrive mid-batch; finish the tasks drained alongside it
+        // (their outstanding decrements must still happen) before exiting.
+        let mut saw_pill = false;
+        for item in batch {
+            match item {
+                QueueItem::Pill => saw_pill = true,
+                QueueItem::Flush => { /* not expected on the global queue */ }
+                QueueItem::Task(task) => {
+                    let pe = match pes.entry(task.pe) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(engine.exe.instantiate(task.pe)?)
+                        }
+                    };
+                    let mut buf = EmitBuffer::new(worker, engine.stateless_workers);
+                    if crate::pe::process_guarded(pe, &task.port, task.value, &mut buf) {
+                        // relaxed: monotonic statistics counter; read after joins.
+                        engine.tasks_executed.fetch_add(1, Ordering::Relaxed);
+                        if let Some(spec) = graph.pe(task.pe) {
+                            engine.pe_counts.add(&spec.name, 1);
+                        }
+                    } else {
+                        // relaxed: monotonic statistics counter; read after joins.
+                        engine.failed_tasks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    engine.route_emissions(
+                        graph,
+                        task.pe,
+                        &mut buf,
+                        &mut router,
+                        Some(consumer),
+                    )?;
+                    // Saturating decrement: an at-least-once queue may re-deliver
+                    // a task, and a second decrement must not wrap the counter.
+                    let _ =
+                        engine
+                            .outstanding
+                            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1));
                 }
             }
+        }
+        if saw_pill {
+            break;
         }
     }
     engine.ledger.record(worker, active_since.elapsed());

@@ -128,6 +128,7 @@ impl Mapping for Multi {
             failed_tasks: failed_tasks.load(Ordering::Relaxed),
             per_pe_tasks: pe_counts.snapshot(),
             task_latency: crate::metrics::LatencySummary::default(),
+            queue_steals: 0,
             warnings: vec![],
         })
     }
@@ -218,7 +219,11 @@ fn instance_worker(
     ledger.record(worker_idx, active_since.elapsed());
 }
 
-/// Routes every buffered emission to the target instances' channels.
+/// Routes every buffered emission to the target instances' channels,
+/// grouped per target instance and flushed as batch sends: one wakeup per
+/// target per `process()` call instead of one per tuple. Grouping keys on
+/// `(PE, instance)` in emission order, so the per-producer FIFO each
+/// receiving instance observes is unchanged.
 fn deliver(
     graph: &WorkflowGraph,
     plan: &PartitionPlan,
@@ -227,21 +232,31 @@ fn deliver(
     router: &mut Router,
     senders: &[Vec<Sender<Msg>>],
 ) {
+    let mut batches: std::collections::HashMap<(usize, usize), Vec<Msg>> =
+        std::collections::HashMap::new();
     for (port, value) in buf.drain() {
         for (conn_id, conn) in graph.outgoing_from_port(from, &port) {
             let n = plan.instances_of(conn.to_pe);
             match router.route(conn_id, &conn.grouping, &value, n) {
                 Route::One(i) => {
-                    let _ = senders[conn.to_pe.0][i]
-                        .send(Msg::Data(conn.to_port.clone(), value.clone()));
+                    batches
+                        .entry((conn.to_pe.0, i))
+                        .or_default()
+                        .push(Msg::Data(conn.to_port.clone(), value.clone()));
                 }
                 Route::All => {
-                    for tx in &senders[conn.to_pe.0] {
-                        let _ = tx.send(Msg::Data(conn.to_port.clone(), value.clone()));
+                    for i in 0..senders[conn.to_pe.0].len() {
+                        batches
+                            .entry((conn.to_pe.0, i))
+                            .or_default()
+                            .push(Msg::Data(conn.to_port.clone(), value.clone()));
                     }
                 }
             }
         }
+    }
+    for ((pe, i), msgs) in batches {
+        let _ = senders[pe][i].send_batch(msgs);
     }
 }
 

@@ -87,6 +87,7 @@ impl Mapping for Simple {
             failed_tasks: 0,
             per_pe_tasks: pe_counts.snapshot(),
             task_latency: crate::metrics::LatencySummary::default(),
+            queue_steals: 0,
             warnings: vec![],
         })
     }

@@ -275,6 +275,12 @@ pub struct RunReport {
     /// Per-task service-time quantiles (time inside `process()`, queue wait
     /// excluded). Only the dynamic-family engines populate this.
     pub task_latency: LatencySummary,
+    /// Tasks delivered by work stealing (a worker popping from a peer's
+    /// local queue). Zero for the single-global-queue topologies and for
+    /// engines without per-worker queues; a high ratio of steals to tasks
+    /// on a steal topology means the fan-out is badly balanced across
+    /// workers.
+    pub queue_steals: u64,
     /// Non-fatal degradations the run worked around, one human-readable
     /// reason each — e.g. a warm start skipped because the stored snapshot
     /// frame was damaged or from an unknown future format version. An
@@ -362,6 +368,7 @@ mod tests {
             failed_tasks: 0,
             per_pe_tasks: vec![],
             task_latency: LatencySummary::default(),
+            queue_steals: 0,
             warnings: vec![],
         };
         assert!((report.mean_active_workers() - 4.0).abs() < 1e-9);
@@ -380,6 +387,7 @@ mod tests {
             failed_tasks: 0,
             per_pe_tasks: vec![],
             task_latency: LatencySummary::default(),
+            queue_steals: 0,
             warnings: vec![],
         };
         assert_eq!(report.mean_active_workers(), 0.0);

@@ -25,6 +25,14 @@ pub enum ClientError {
     Server(String),
     /// Reply shape didn't match the helper's expectation.
     UnexpectedReply(String),
+    /// A transient socket failure persisted across the single
+    /// reconnect-and-retry the client attempts for idempotent commands.
+    RetryExhausted {
+        /// The command verb that was being retried (e.g. `"GET"`).
+        command: String,
+        /// The I/O error that ended the retry.
+        source: std::io::Error,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -34,6 +42,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
             ClientError::Server(msg) => write!(f, "server error: {msg}"),
             ClientError::UnexpectedReply(msg) => write!(f, "unexpected reply: {msg}"),
+            ClientError::RetryExhausted { command, source } => {
+                write!(f, "retry exhausted for {command}: {source}")
+            }
         }
     }
 }
@@ -54,7 +65,14 @@ pub trait Connection: Send {
 }
 
 /// A blocking TCP client.
+///
+/// For **idempotent** commands, a transient connection drop (EOF, reset,
+/// broken pipe) is absorbed by exactly one reconnect-and-retry; commands
+/// with side effects that re-running could duplicate (`XADD`,
+/// `XREADGROUP`) are never retried — their failure is surfaced so the
+/// caller's at-least-once recovery (pending-entry reclaim) handles it.
 pub struct Client {
+    addr: SocketAddr,
     stream: TcpStream,
     inbox: ByteBuf,
 }
@@ -62,12 +80,33 @@ pub struct Client {
 impl Client {
     /// Connects to a redis-lite (or Redis) server.
     pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        let stream = Self::open(addr)?;
         Ok(Client {
+            addr,
             stream,
             inbox: ByteBuf::with_capacity(4096),
         })
+    }
+
+    fn open(addr: SocketAddr) -> Result<TcpStream, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    /// Drops the old socket and dials the server again. Any partial reply
+    /// buffered from the dead connection is stale and must be discarded.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.stream = Self::open(self.addr)?;
+        self.inbox.clear();
+        Ok(())
+    }
+
+    fn request_once(&mut self, args: &[&[u8]]) -> Result<Frame, ClientError> {
+        let mut out = ByteBuf::with_capacity(64);
+        resp::encode_command(args, &mut out);
+        self.stream.write_all(&out)?;
+        self.read_frame()
     }
 
     fn read_frame(&mut self) -> Result<Frame, ClientError> {
@@ -93,12 +132,65 @@ impl Client {
     }
 }
 
+/// Commands that are safe to re-issue blindly after a dropped connection:
+/// either read-only, absolute writes (`SET`, `FLUSHALL`), or naturally
+/// at-most-once-per-id (`XACK`, `XGROUP CREATE`). `XADD` would duplicate
+/// the entry and `XREADGROUP` would double-deliver, so both are excluded.
+fn is_idempotent(cmd: &[u8]) -> bool {
+    const IDEMPOTENT: &[&[u8]] = &[
+        b"PING",
+        b"GET",
+        b"SET",
+        b"XLEN",
+        b"XACK",
+        b"XGROUP",
+        b"XINFO",
+        b"XAUTOCLAIM",
+        b"FLUSHALL",
+    ];
+    IDEMPOTENT.iter().any(|c| cmd.eq_ignore_ascii_case(c))
+}
+
+/// A connection-level failure worth one reconnect; anything else (protocol
+/// garbage, server errors) would only repeat on a fresh socket.
+fn is_transient(e: &ClientError) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        e,
+        ClientError::Io(io) if matches!(
+            io.kind(),
+            ErrorKind::UnexpectedEof
+                | ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+                | ErrorKind::BrokenPipe
+        )
+    )
+}
+
+fn exhausted(command: &[u8], e: ClientError) -> ClientError {
+    match e {
+        ClientError::Io(source) => ClientError::RetryExhausted {
+            command: String::from_utf8_lossy(command).into_owned(),
+            source,
+        },
+        other => other,
+    }
+}
+
 impl Connection for Client {
     fn request(&mut self, args: &[&[u8]]) -> Result<Frame, ClientError> {
-        let mut out = ByteBuf::with_capacity(64);
-        resp::encode_command(args, &mut out);
-        self.stream.write_all(&out)?;
-        self.read_frame()
+        match self.request_once(args) {
+            Err(e) if is_transient(&e) && args.first().copied().is_some_and(is_idempotent) => {
+                // One bounded reconnect-and-retry; a second failure is
+                // surfaced as RetryExhausted so callers can tell "the
+                // server is gone" from a one-off drop.
+                if let Err(re) = self.reconnect() {
+                    return Err(exhausted(args[0], re));
+                }
+                self.request_once(args).map_err(|re| exhausted(args[0], re))
+            }
+            other => other,
+        }
     }
 }
 
@@ -399,5 +491,74 @@ mod tests {
         // XADD against a string key → WRONGTYPE server error.
         let err = c.xadd(b"s", b"f", b"v").unwrap_err();
         assert!(matches!(err, ClientError::Server(_)));
+    }
+
+    mod reconnect {
+        use super::super::*;
+        use std::net::{TcpListener, TcpStream};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::thread::JoinHandle;
+
+        /// A fault-injecting server: one entry per expected connection.
+        /// `false` → accept and slam the socket shut; `true` → read one
+        /// command and answer `+PONG\r\n`.
+        fn fault_server(plan: &'static [bool]) -> (SocketAddr, Arc<AtomicUsize>, JoinHandle<()>) {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().expect("addr");
+            let accepted = Arc::new(AtomicUsize::new(0));
+            let counter = accepted.clone();
+            let handle = std::thread::spawn(move || {
+                for &serve in plan {
+                    let Ok((mut sock, _)) = listener.accept() else {
+                        return;
+                    };
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    if serve {
+                        let mut buf = [0u8; 1024];
+                        let _ = sock.read(&mut buf);
+                        let _ = sock.write_all(b"+PONG\r\n");
+                    }
+                    // `sock` drops here; a `false` slot closes before replying.
+                }
+            });
+            (addr, accepted, handle)
+        }
+
+        #[test]
+        fn idempotent_command_survives_one_dropped_connection() {
+            let (addr, accepted, server) = fault_server(&[false, true]);
+            let mut c = Client::connect(addr).expect("connect");
+            // First request hits the dying socket, the bounded retry
+            // reconnects and succeeds against the healthy second accept.
+            assert_eq!(c.ping().expect("retried ping"), "PONG");
+            assert_eq!(accepted.load(Ordering::SeqCst), 2);
+            server.join().expect("server");
+        }
+
+        #[test]
+        fn second_drop_reports_retry_exhausted() {
+            let (addr, _accepted, server) = fault_server(&[false, false]);
+            let mut c = Client::connect(addr).expect("connect");
+            let err = c.ping().expect_err("both connections dropped");
+            match err {
+                ClientError::RetryExhausted { command, .. } => assert_eq!(command, "PING"),
+                other => panic!("expected RetryExhausted, got {other}"),
+            }
+            server.join().expect("server");
+        }
+
+        #[test]
+        fn non_idempotent_command_is_never_retried() {
+            let (addr, accepted, server) = fault_server(&[false, false]);
+            let mut c = Client::connect(addr).expect("connect");
+            // XADD could duplicate the entry, so the drop must surface as a
+            // plain I/O error without a second connection being dialed.
+            let err = c.xadd(b"q", b"f", b"v").expect_err("dropped connection");
+            assert!(matches!(err, ClientError::Io(_)), "got {err}");
+            assert_eq!(accepted.load(Ordering::SeqCst), 1);
+            // Unblock the server's second planned accept, then join.
+            let _ = TcpStream::connect(addr);
+            server.join().expect("server");
+        }
     }
 }

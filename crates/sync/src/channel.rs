@@ -22,11 +22,22 @@
 //!   and notifies while holding the parking mutex, so the wakeup cannot
 //!   fire between the receiver's re-poll and its wait;
 //! * a woken receiver compares the generation it slept on against the
-//!   current one to tell real wakeups from spurious ones.
+//!   current one to tell real wakeups from spurious ones;
+//! * a timed-out receiver whose final-check `pop` succeeds re-issues one
+//!   wakeup, because the item it took may have carried a notification
+//!   aimed at a different, still-parked receiver (see `recv_core`).
 //!
 //! Depth (`len`) reads delegate straight to the core queue's snapshot
 //! counter — there is exactly one count of queued items, so monitors can
 //! never observe a phantom backlog from duplicated accounting.
+//!
+//! Batched operations ([`Sender::send_batch`], [`Receiver::recv_batch`])
+//! amortize the parking-layer costs across tuples: a batch send takes the
+//! parking lock and notifies once for the whole batch, and a batch receive
+//! blocks only for its first item, then drains greedily with plain
+//! lock-free pops. Draining cannot lose wakeups: a parked peer whose
+//! notification raced with the drain wakes, finds the queue empty, and
+//! re-parks through the registration + re-poll protocol above.
 
 use crate::facade::{spin_loop, AtomicBool, AtomicUsize, Condvar, Mutex, Ordering};
 use crate::segqueue::SegQueue;
@@ -144,6 +155,23 @@ impl<T> Shared<T> {
         }
     }
 
+    /// Wakes parked receivers after a batch of `n` sends with a single
+    /// generation bump: one lock round-trip per batch instead of per item.
+    /// `notify_all` (rather than `n` times `notify_one`) because up to `n`
+    /// receivers can now make progress and extra wakeups are absorbed by
+    /// the generation re-check.
+    fn wake_many(&self, n: usize) {
+        if n > 0 && self.waiters.load(Ordering::SeqCst) > 0 {
+            let mut generation = self.park.lock();
+            *generation += 1;
+            if n == 1 {
+                self.ready.notify_one();
+            } else {
+                self.ready.notify_all();
+            }
+        }
+    }
+
     /// Wakes every parked receiver (close / last sender gone).
     fn wake_all(&self) {
         let mut generation = self.park.lock();
@@ -217,6 +245,30 @@ impl<T> Sender<T> {
         Ok(())
     }
 
+    /// Enqueues a whole batch with one wakeup: every item is pushed on the
+    /// lock-free core first, then the parking layer is notified once. This
+    /// amortizes the waiter check and (when receivers are parked) the lock
+    /// round-trip across the batch — the hot-PE fan-out path.
+    ///
+    /// Fails without enqueuing anything if the channel is closed; the
+    /// whole batch is handed back. As with [`send`](Sender::send), a batch
+    /// racing a concurrent close linearizes before it: queued items stay
+    /// receivable.
+    pub fn send_batch(&self, values: Vec<T>) -> Result<(), SendError<Vec<T>>> {
+        if values.is_empty() {
+            return Ok(());
+        }
+        if self.shared.is_send_closed() {
+            return Err(SendError(values));
+        }
+        let n = values.len();
+        for value in values {
+            self.shared.queue.push(value);
+        }
+        self.shared.wake_many(n);
+        Ok(())
+    }
+
     /// Number of queued items — a lock-free snapshot of the single depth
     /// counter inside the queue core.
     pub fn len(&self) -> usize {
@@ -285,6 +337,30 @@ impl<T> Receiver<T> {
     /// arithmetic.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
         self.recv_core(Instant::now().checked_add(timeout))
+    }
+
+    /// Dequeues up to `max` items, blocking (up to `timeout`) only for the
+    /// first. After the first item the drain is greedy and lock-free — no
+    /// further parking-layer traffic — so a busy consumer pays one wakeup
+    /// per batch instead of one per tuple.
+    ///
+    /// Returns at least one item on `Ok`; errors exactly like
+    /// [`recv_timeout`](Receiver::recv_timeout) when no first item arrives.
+    /// `max == 0` returns an empty batch immediately.
+    pub fn recv_batch(&self, max: usize, timeout: Duration) -> Result<Vec<T>, RecvTimeoutError> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        let first = self.recv_timeout(timeout)?;
+        let mut batch = Vec::with_capacity(max.min(64));
+        batch.push(first);
+        while batch.len() < max {
+            match self.shared.queue.pop() {
+                Some(item) => batch.push(item),
+                None => break,
+            }
+        }
+        Ok(batch)
     }
 
     /// The shared blocking receive loop. `deadline: None` waits forever.
@@ -356,7 +432,25 @@ impl<T> Receiver<T> {
             if timed_out {
                 // Final check: a send may have landed as the wait expired.
                 return match shared.queue.pop() {
-                    Some(item) => Ok(item),
+                    Some(item) => {
+                        // This pop can consume an item whose notification
+                        // was aimed at a different, still-parked receiver
+                        // (we woke by deadline, not by that wakeup). If
+                        // another item is queued for that receiver, nobody
+                        // will re-notify it until the next send — so pass
+                        // the wakeup along. Harmless when no one waits
+                        // (one atomic load) or nothing is queued (the
+                        // woken receiver re-parks via the re-poll
+                        // protocol).
+                        #[cfg(d4py_model)]
+                        let rewake = !crate::model::fault("channel-timeout-steal-no-wake");
+                        #[cfg(not(d4py_model))]
+                        let rewake = true;
+                        if rewake {
+                            shared.wake_one();
+                        }
+                        Ok(item)
+                    }
                     None => Err(RecvTimeoutError::Timeout),
                 };
             }
@@ -557,6 +651,71 @@ mod tests {
             .collect();
         got.sort_unstable();
         assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_batch_preserves_fifo_and_recv_batch_caps_at_max() {
+        let (tx, rx) = unbounded();
+        tx.send_batch((0..10).collect()).unwrap();
+        assert_eq!(tx.len(), 10);
+        let first = rx.recv_batch(4, Duration::from_millis(100)).unwrap();
+        assert_eq!(first, vec![0, 1, 2, 3], "batch pop must stay FIFO");
+        assert_eq!(rx.len(), 6, "undrained items stay queued");
+        let rest = rx
+            .recv_batch(usize::MAX, Duration::from_millis(100))
+            .unwrap();
+        assert_eq!(rest, (4..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_batch_on_closed_channel_returns_whole_batch() {
+        let (tx, rx) = unbounded();
+        rx.close();
+        assert_eq!(tx.send_batch(vec![1, 2, 3]), Err(SendError(vec![1, 2, 3])));
+        assert_eq!(tx.len(), 0, "failed batch must not enqueue anything");
+        assert_eq!(tx.send_batch(Vec::new()), Ok(()), "empty batch is a no-op");
+    }
+
+    #[test]
+    fn recv_batch_times_out_like_recv_timeout() {
+        let (_tx, rx) = unbounded::<i32>();
+        assert_eq!(
+            rx.recv_batch(8, Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert_eq!(rx.recv_batch(0, Duration::from_millis(20)), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn recv_batch_wakes_parked_receiver_on_batch_send() {
+        // The single batched wakeup must reach a parked receiver, and the
+        // receiver must drain the whole batch in one blocking call.
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || rx.recv_batch(8, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        tx.send_batch(vec![1, 2, 3]).unwrap();
+        assert_eq!(t.join().unwrap(), Ok(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn batch_send_wakes_every_parked_receiver() {
+        // One notify_all for the batch: all parked receivers must make
+        // progress (each receives at least its own item).
+        let (tx, rx) = unbounded();
+        let receivers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || rx.recv_timeout(Duration::from_secs(10)))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        tx.send_batch((0..4).collect()).unwrap();
+        let mut got: Vec<i32> = receivers
+            .into_iter()
+            .map(|r| r.join().unwrap().expect("every receiver gets an item"))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..4).collect::<Vec<_>>());
     }
 
     /// Seeded property hammer: random producer/consumer/item counts, random

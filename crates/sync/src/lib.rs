@@ -12,6 +12,10 @@
 //! * [`channel`] — an MPMC channel with `recv_timeout` (replaces
 //!   `crossbeam::channel`), built on [`segqueue`] so uncontended send/recv
 //!   takes no lock, with a live lock-free depth counter;
+//! * [`steal`] — a per-worker work-stealing queue set over [`segqueue`]
+//!   locals plus a shared injector, with seeded-PCG32 victim selection
+//!   and the channel's park protocol — the dispatch topology that breaks
+//!   the single-global-queue scaling plateau;
 //! * [`Mutex`] / [`Condvar`] / [`RwLock`] — poison-free wrappers over
 //!   `std::sync` with the `parking_lot` API shape;
 //! * [`buf::ByteBuf`] — a growable byte buffer with `put_*` helpers
@@ -48,6 +52,7 @@ pub mod report;
 pub mod rng;
 pub mod segqueue;
 pub mod stats;
+pub mod steal;
 mod sync;
 
 pub use buf::ByteBuf;

@@ -1,0 +1,590 @@
+//! Per-worker work-stealing queue — the dispatch topology that breaks the
+//! single-global-queue scaling wall.
+//!
+//! The [`channel`](crate::channel) global queue funnels every producer and
+//! consumer through one MPMC core: at high worker counts its head/tail
+//! cursors become the contention point and throughput plateaus (see
+//! `BENCH_ablation_queue`). [`StealQueue`] splits the storage per worker:
+//!
+//! * one lock-free [`SegQueue`] **local** per worker — a worker pushes its
+//!   own fan-out there and pops it first, so the hot path is effectively
+//!   single-producer/single-consumer and cursor contention disappears;
+//! * one shared **injector** queue for producers without a worker identity
+//!   (workflow seeding, poison pills, external feeds);
+//! * **stealing**: a worker whose local and the injector are both empty
+//!   sweeps its peers' locals, starting from a victim chosen by the seeded
+//!   PCG32 (`seed` ⊕ worker, streamed by a sweep counter) so contending
+//!   thieves scatter instead of convoying on worker 0. A single pop steals
+//!   exactly one item per sweep; a **batched** pop whose first item came
+//!   from a peer keeps draining that same victim (up to the batch cap), so
+//!   one O(workers) sweep amortizes over the whole batch instead of being
+//!   paid per stolen item.
+//!
+//! A worker parks only after a **full** sweep (own local, injector, every
+//! peer) comes up empty. The park protocol is the channel's, verbatim:
+//! register in `waiters`, re-sweep before sleeping, wakeup-generation
+//! re-check on wake, and a timed-out popper that takes an item re-issues
+//! one wakeup (see `channel::recv_core` for the invariant argument). The
+//! model suite (`crates/sync/tests/model.rs`) explores steal-vs-pop
+//! exactly-once and the no-lost-wakeup property across interleavings, with
+//! an injected `steal-skip-park-repoll` fault proving the checker would
+//! catch a regression.
+//!
+//! Batched operations mirror the channel's: [`StealQueue::push_batch`]
+//! notifies once per batch, [`StealQueue::pop_batch`] blocks only for its
+//! first item and then drains greedily with plain lock-free pops.
+
+use crate::channel::{RecvTimeoutError, SendError};
+use crate::facade::{spin_loop, AtomicBool, AtomicUsize, Condvar, Mutex, Ordering};
+use crate::rng::{Pcg32, Rng};
+use crate::segqueue::SegQueue;
+use std::time::{Duration, Instant};
+
+/// Fast-path spin count before a popper falls back to parking.
+#[cfg(not(d4py_model))]
+const SPINS: u32 = 32;
+/// Model-checked builds park immediately: spinning only re-runs the sweep,
+/// already covered by the non-blocking scenarios, while the explorer's
+/// preemption budget belongs on the park/wakeup-generation protocol.
+#[cfg(d4py_model)]
+const SPINS: u32 = 0;
+
+/// Mixing constant (the 64-bit golden ratio) separating per-worker RNG
+/// seeds; workers sharing one seed would pick identical victim sequences
+/// and convoy on the same peer.
+const WORKER_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Where a sweep found its item; lets [`StealQueue::pop_batch`] keep
+/// draining the same victim instead of paying a fresh sweep per item.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Src {
+    Own,
+    Injector,
+    Peer(usize),
+}
+
+/// A per-worker queue set with work stealing and a shared injector.
+///
+/// Shared by `Arc` between all producers and workers; workers are
+/// identified by index (`0..workers`). Out-of-range worker indexes are
+/// mapped into range (`index % workers`) rather than rejected, matching
+/// the channel queue's tolerance of late-joining consumers.
+pub struct StealQueue<T> {
+    /// One SPMC-ish deque per worker: its owner pushes and pops the front;
+    /// thieves pop the same end (the segqueue is FIFO-only), which keeps
+    /// per-producer FIFO observable through steals.
+    locals: Vec<SegQueue<T>>,
+    /// Overflow/external lane for producers with no worker identity.
+    injector: SegQueue<T>,
+    /// Set by [`StealQueue::close`]: no further pushes.
+    closed: AtomicBool,
+    /// Workers parked (or re-sweeping just before parking) on `ready`.
+    waiters: AtomicUsize,
+    /// Wakeup generation, bumped under the lock for every notification.
+    park: Mutex<u64>,
+    ready: Condvar,
+    /// Base seed for victim selection.
+    seed: u64,
+    /// Sweep tick, streamed into the PCG32 so consecutive sweeps by one
+    /// worker start from different victims.
+    sweeps: AtomicUsize,
+    /// Items obtained from a peer's local (not injector, not own local).
+    steals: AtomicUsize,
+}
+
+impl<T> StealQueue<T> {
+    /// Creates a queue set for `workers` workers (at least one local is
+    /// always allocated) with a deterministic victim-selection seed.
+    pub fn new(workers: usize, seed: u64) -> Self {
+        let locals = (0..workers.max(1)).map(|_| SegQueue::new()).collect();
+        StealQueue {
+            locals,
+            injector: SegQueue::new(),
+            closed: AtomicBool::new(false),
+            waiters: AtomicUsize::new(0),
+            park: Mutex::new(0),
+            ready: Condvar::new(),
+            seed,
+            sweeps: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of per-worker locals.
+    pub fn workers(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Items obtained by stealing from a peer's local so far.
+    pub fn steals(&self) -> usize {
+        // relaxed: monotonic stat counter, read for reporting only — no
+        // ordering is derived from it.
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Total queued items across every local and the injector. Each
+    /// summand is a lock-free snapshot, so a concurrent monitor may see a
+    /// momentarily stale mix but never a phantom negative.
+    pub fn len(&self) -> usize {
+        let mut total = self.injector.len();
+        for local in &self.locals {
+            total += local.len();
+        }
+        total
+    }
+
+    /// True when no items are queued anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: subsequent pushes fail, queued items stay
+    /// poppable, parked workers wake and observe the disconnect.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.wake_all();
+    }
+
+    fn wake_one(&self) {
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let mut generation = self.park.lock();
+            *generation += 1;
+            self.ready.notify_one();
+        }
+    }
+
+    /// One generation bump for a batch of `n` pushes; `notify_all` when
+    /// more than one worker could make progress (extra wakeups are
+    /// absorbed by the generation re-check).
+    fn wake_many(&self, n: usize) {
+        if n > 0 && self.waiters.load(Ordering::SeqCst) > 0 {
+            let mut generation = self.park.lock();
+            *generation += 1;
+            if n == 1 {
+                self.ready.notify_one();
+            } else {
+                self.ready.notify_all();
+            }
+        }
+    }
+
+    fn wake_all(&self) {
+        let mut generation = self.park.lock();
+        *generation += 1;
+        self.ready.notify_all();
+    }
+
+    /// Enqueues on the injector (no worker identity), failing if closed.
+    pub fn push(&self, value: T) -> Result<(), SendError<T>> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(SendError(value));
+        }
+        self.injector.push(value);
+        self.wake_one();
+        Ok(())
+    }
+
+    /// Enqueues on `worker`'s own local — the fan-out fast path: the
+    /// owner usually pops it back without touching any shared cursor.
+    pub fn push_local(&self, worker: usize, value: T) -> Result<(), SendError<T>> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(SendError(value));
+        }
+        self.locals[worker % self.locals.len()].push(value);
+        self.wake_one();
+        Ok(())
+    }
+
+    /// Enqueues a whole batch with one wakeup: `producer: Some(w)` lands
+    /// the batch on `w`'s local (preserving its order), `None` on the
+    /// injector. Fails without enqueuing anything if the queue is closed;
+    /// the whole batch is handed back.
+    pub fn push_batch(
+        &self,
+        producer: Option<usize>,
+        values: Vec<T>,
+    ) -> Result<(), SendError<Vec<T>>> {
+        if values.is_empty() {
+            return Ok(());
+        }
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(SendError(values));
+        }
+        let n = values.len();
+        match producer {
+            Some(worker) => {
+                let local = &self.locals[worker % self.locals.len()];
+                for value in values {
+                    local.push(value);
+                }
+            }
+            None => {
+                for value in values {
+                    self.injector.push(value);
+                }
+            }
+        }
+        self.wake_many(n);
+        Ok(())
+    }
+
+    /// One full non-blocking sweep: own local, injector, then every peer
+    /// local starting from a PCG32-chosen victim. Reports where the item
+    /// came from so a batched pop can keep draining the same source.
+    fn sweep_src(&self, worker: usize) -> Option<(T, Src)> {
+        if let Some(item) = self.locals[worker].pop() {
+            return Some((item, Src::Own));
+        }
+        if let Some(item) = self.injector.pop() {
+            return Some((item, Src::Injector));
+        }
+        let n = self.locals.len();
+        if n > 1 {
+            // relaxed: the sweep tick only decorrelates victim choice
+            // between concurrent thieves; correctness never depends on
+            // its ordering — any interleaving of ticks is a valid stream.
+            let tick = self.sweeps.fetch_add(1, Ordering::Relaxed) as u64;
+            let mut rng = Pcg32::new(self.seed ^ (worker as u64).wrapping_mul(WORKER_MIX), tick);
+            let start = rng.gen_range(0..n);
+            for k in 0..n {
+                let victim = (start + k) % n;
+                if victim == worker {
+                    continue;
+                }
+                if let Some(item) = self.locals[victim].pop() {
+                    // relaxed: stat counter (see `steals`).
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some((item, Src::Peer(victim)));
+                }
+            }
+        }
+        None
+    }
+
+    fn sweep(&self, worker: usize) -> Option<T> {
+        self.sweep_src(worker).map(|(item, _)| item)
+    }
+
+    /// Non-blocking pop: one full sweep as `worker`.
+    pub fn try_pop(&self, worker: usize) -> Option<T> {
+        self.sweep(worker % self.locals.len())
+    }
+
+    /// Pops as `worker`, parking until an item arrives or the queue is
+    /// closed and drained.
+    pub fn pop_wait(&self, worker: usize) -> Result<T, RecvTimeoutError> {
+        self.pop_core(worker % self.locals.len(), None)
+            .map(|(item, _)| item)
+    }
+
+    /// Pops as `worker`, parking up to `timeout`. Oversized timeouts
+    /// saturate to an untimed wait (same contract as the channel).
+    pub fn pop_timeout(&self, worker: usize, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.pop_core(
+            worker % self.locals.len(),
+            Instant::now().checked_add(timeout),
+        )
+        .map(|(item, _)| item)
+    }
+
+    /// Pops up to `max` items as `worker`, blocking (up to `timeout`)
+    /// only for the first. The greedy tail drains the worker's own local,
+    /// the injector, and — when the first item was stolen — the same
+    /// victim's local, so a thief pays one O(workers) sweep per batch
+    /// rather than per item. Peers other than that victim are never
+    /// touched by the tail. Returns at least one item on `Ok`; `max == 0`
+    /// returns an empty batch immediately.
+    pub fn pop_batch(
+        &self,
+        worker: usize,
+        max: usize,
+        timeout: Duration,
+    ) -> Result<Vec<T>, RecvTimeoutError> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        let worker = worker % self.locals.len();
+        let (first, src) = self.pop_core(worker, Instant::now().checked_add(timeout))?;
+        let mut batch = Vec::with_capacity(max.min(64));
+        batch.push(first);
+        while batch.len() < max {
+            if let Some(item) = self.locals[worker].pop() {
+                batch.push(item);
+            } else if let Some(item) = self.injector.pop() {
+                batch.push(item);
+            } else if let Src::Peer(victim) = src {
+                match self.locals[victim].pop() {
+                    Some(item) => {
+                        // relaxed: stat counter (see `steals`).
+                        self.steals.fetch_add(1, Ordering::Relaxed);
+                        batch.push(item);
+                    }
+                    None => break,
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(batch)
+    }
+
+    /// The blocking pop loop — structurally `channel::recv_core` with the
+    /// single `pop` replaced by the full steal sweep. `deadline: None`
+    /// waits forever.
+    fn pop_core(
+        &self,
+        worker: usize,
+        deadline: Option<Instant>,
+    ) -> Result<(T, Src), RecvTimeoutError> {
+        let mut spins = 0u32;
+        loop {
+            if let Some(found) = self.sweep_src(worker) {
+                return Ok(found);
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                // Drain race: a final push may have landed between the
+                // sweep and the closed check; after the flag no new pushes
+                // start, so one more sweep is conclusive.
+                return match self.sweep_src(worker) {
+                    Some(found) => Ok(found),
+                    None => Err(RecvTimeoutError::Disconnected),
+                };
+            }
+            if spins < SPINS {
+                spins += 1;
+                spin_loop();
+                continue;
+            }
+
+            // Park only after the full sweep failed. Register as a waiter
+            // *before* the final re-sweep so a producer pushing after our
+            // sweep either sees waiters > 0 (and notifies under the lock)
+            // or pushed early enough for the re-sweep to find the item.
+            let mut generation = self.park.lock();
+            self.waiters.fetch_add(1, Ordering::SeqCst);
+            // Injected bug for the model checker: skipping the re-sweep
+            // opens the lost-wakeup window (a push landing between our
+            // failed sweep and the waiter registration is never seen).
+            #[cfg(d4py_model)]
+            let repoll = !crate::model::fault("steal-skip-park-repoll");
+            #[cfg(not(d4py_model))]
+            let repoll = true;
+            if repoll {
+                if let Some(found) = self.sweep_src(worker) {
+                    self.waiters.fetch_sub(1, Ordering::SeqCst);
+                    return Ok(found);
+                }
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                self.waiters.fetch_sub(1, Ordering::SeqCst);
+                drop(generation);
+                return match self.sweep_src(worker) {
+                    Some(found) => Ok(found),
+                    None => Err(RecvTimeoutError::Disconnected),
+                };
+            }
+            let slept_on = *generation;
+            let mut timed_out = false;
+            while *generation == slept_on && !timed_out {
+                match deadline {
+                    None => self.ready.wait(&mut generation),
+                    Some(deadline) => {
+                        timed_out = self.ready.wait_until(&mut generation, deadline).timed_out();
+                    }
+                }
+            }
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
+            drop(generation);
+            if timed_out {
+                // Final check — and, when it takes an item, pass the
+                // possibly-consumed notification along to a still-parked
+                // peer (same rationale as `channel::recv_core`).
+                return match self.sweep_src(worker) {
+                    Some(found) => {
+                        self.wake_one();
+                        Ok(found)
+                    }
+                    None => Err(RecvTimeoutError::Timeout),
+                };
+            }
+            spins = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn own_local_pops_before_injector_and_peers() {
+        let q = StealQueue::new(2, 7);
+        q.push(10).unwrap(); // injector
+        q.push_local(1, 20).unwrap(); // peer local
+        q.push_local(0, 30).unwrap(); // own local
+        assert_eq!(q.try_pop(0), Some(30), "own local first");
+        assert_eq!(q.try_pop(0), Some(10), "injector before stealing");
+        assert_eq!(q.try_pop(0), Some(20), "steal last");
+        assert_eq!(q.steals(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo_per_producer() {
+        let q = StealQueue::new(1, 0);
+        for i in 0..10 {
+            q.push(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(q.try_pop(0), Some(i));
+        }
+    }
+
+    #[test]
+    fn pop_timeout_times_out_on_empty() {
+        let q = StealQueue::<u8>::new(2, 0);
+        let start = Instant::now();
+        assert_eq!(
+            q.pop_timeout(0, Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn parked_worker_is_woken_by_peer_local_push() {
+        // The no-lost-wakeup property across locals: worker 0 parks after
+        // a failed sweep, a push to worker 1's local must wake it to steal.
+        let q = Arc::new(StealQueue::new(2, 3));
+        let popper = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop_timeout(0, Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.push_local(1, 42u32).unwrap();
+        assert_eq!(popper.join().unwrap(), Ok(42));
+        assert_eq!(q.steals(), 1);
+    }
+
+    #[test]
+    fn close_fails_pushes_and_drains_then_disconnects() {
+        let q = StealQueue::new(2, 0);
+        q.push_local(0, 1).unwrap();
+        q.close();
+        assert_eq!(q.push(2), Err(SendError(2)));
+        assert_eq!(q.push_local(0, 3), Err(SendError(3)));
+        assert_eq!(q.push_batch(None, vec![4]), Err(SendError(vec![4])));
+        assert_eq!(q.pop_timeout(1, Duration::from_millis(50)), Ok(1));
+        assert_eq!(
+            q.pop_timeout(1, Duration::from_millis(50)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn parked_worker_wakes_on_close() {
+        let q = Arc::new(StealQueue::<u8>::new(1, 0));
+        let popper = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop_wait(0))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(popper.join().unwrap(), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn batch_push_batch_pop_round_trip() {
+        let q = StealQueue::new(2, 0);
+        q.push_batch(Some(0), (0..6).collect()).unwrap();
+        q.push_batch(None, (6..8).collect()).unwrap();
+        assert_eq!(q.len(), 8);
+        let batch = q.pop_batch(0, 4, Duration::from_millis(50)).unwrap();
+        assert_eq!(batch, vec![0, 1, 2, 3], "local batch stays FIFO");
+        assert_eq!(q.len(), 4);
+        let rest = q
+            .pop_batch(0, usize::MAX, Duration::from_millis(50))
+            .unwrap();
+        assert_eq!(rest, vec![4, 5, 6, 7], "drain covers local then injector");
+        assert_eq!(
+            q.pop_batch(0, 4, Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert_eq!(q.pop_batch(0, 0, Duration::from_millis(10)), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn batch_pop_drains_peers_only_through_its_own_victim() {
+        // Own items present: the tail stays on own local + injector and
+        // leaves every peer untouched.
+        let q = StealQueue::new(2, 0);
+        q.push_local(0, 1).unwrap();
+        q.push_local(1, 2).unwrap();
+        let batch = q.pop_batch(0, 8, Duration::from_millis(50)).unwrap();
+        assert_eq!(batch, vec![1], "tail must not steal while own items fed it");
+        assert_eq!(q.len(), 1);
+
+        // Nothing local: the first pop steals, and the tail keeps draining
+        // that same victim (one sweep amortized over the batch).
+        let q = StealQueue::new(3, 0);
+        q.push_batch(Some(1), vec![10, 11, 12]).unwrap();
+        let batch = q.pop_batch(0, 2, Duration::from_millis(50)).unwrap();
+        assert_eq!(batch, vec![10, 11], "victim drains FIFO, capped at max");
+        assert_eq!(q.steals(), 2);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn out_of_range_worker_indexes_wrap() {
+        let q = StealQueue::new(2, 0);
+        q.push_local(5, 9).unwrap(); // 5 % 2 == 1
+        assert_eq!(q.try_pop(3), Some(9), "3 % 2 == 1 pops its own local");
+        assert_eq!(q.steals(), 0);
+    }
+
+    #[test]
+    fn mpmc_steal_hammer_loses_nothing() {
+        const WORKERS: usize = 4;
+        const PER_WORKER: usize = 500;
+        let q = Arc::new(StealQueue::new(WORKERS, 0xfeed));
+        let producers: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_WORKER {
+                        q.push_local(w, w * PER_WORKER + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        // Consumers deliberately offset from producers so steals happen.
+        let popped = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let consumers: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let q = q.clone();
+                let popped = popped.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while popped.load(std::sync::atomic::Ordering::SeqCst) < WORKERS * PER_WORKER {
+                        if let Ok(v) = q.pop_timeout((w + 1) % WORKERS, Duration::from_millis(5)) {
+                            popped.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..WORKERS * PER_WORKER).collect::<Vec<_>>());
+        assert_eq!(q.len(), 0);
+    }
+}

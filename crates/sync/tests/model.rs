@@ -16,7 +16,9 @@ use d4py_sync::channel::unbounded;
 use d4py_sync::model::shim::{AtomicUsize, Ordering};
 use d4py_sync::model::{self, Checker, FailureKind, Mode};
 use d4py_sync::segqueue::SegQueue;
+use d4py_sync::steal::StealQueue;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Two producers pushing two items each, two consumers draining them, with
 /// an exactly-once assertion — the workload the acceptance criterion's
@@ -288,6 +290,153 @@ fn channel_park_never_loses_a_wakeup() {
         });
 }
 
+/// Timed waits, organic coverage: two `recv_timeout` receivers and two
+/// queued items — every schedule must deliver both items exactly once. A
+/// receiver parked at (model) quiescence wakes timed-out and must recover
+/// its item in the final-check pop rather than report a spurious timeout.
+#[test]
+fn channel_timed_receivers_deliver_exactly_once() {
+    Checker::new("channel-timed-exactly-once")
+        .iterations_env(3_000)
+        .check(|| {
+            let (tx, rx) = unbounded::<u32>();
+            let tx_child = tx.clone();
+            let sender = model::thread::spawn(move || {
+                tx_child.send(1).unwrap();
+                tx_child.send(2).unwrap();
+            });
+            let got = Arc::new(Mutex::new(Vec::new()));
+            let mut receivers = Vec::new();
+            for _ in 0..2 {
+                let rx = rx.clone();
+                let got = got.clone();
+                receivers.push(model::thread::spawn(move || {
+                    let v = rx
+                        .recv_timeout(Duration::from_millis(10))
+                        .expect("an item is queued for every timed receiver");
+                    got.lock().unwrap().push(v);
+                }));
+            }
+            sender.join();
+            for r in receivers {
+                r.join();
+            }
+            // `tx` stayed alive throughout, so the disconnect path never
+            // rescued a receiver — only the timed park protocol ran.
+            drop(tx);
+            let mut all = got.lock().unwrap().clone();
+            all.sort_unstable();
+            assert_eq!(
+                all,
+                vec![1, 2],
+                "timed receivers lost or duplicated an item"
+            );
+        });
+}
+
+/// Timed waits with one item short: exactly one of two timed receivers
+/// gets the item, the other reports `Timeout` — never a deadlock, never a
+/// duplicate.
+#[test]
+fn channel_timed_receivers_one_item_one_timeout() {
+    Checker::new("channel-timed-one-item")
+        .iterations_env(2_000)
+        .check(|| {
+            let (tx, rx) = unbounded::<u32>();
+            let tx_child = tx.clone();
+            let sender = model::thread::spawn(move || {
+                tx_child.send(7).unwrap();
+            });
+            let oks = Arc::new(AtomicUsize::new(0));
+            let mut receivers = Vec::new();
+            for _ in 0..2 {
+                let rx = rx.clone();
+                let oks = oks.clone();
+                receivers.push(model::thread::spawn(move || {
+                    if rx.recv_timeout(Duration::from_millis(10)) == Ok(7) {
+                        oks.fetch_add(1, Ordering::SeqCst);
+                    }
+                }));
+            }
+            sender.join();
+            for r in receivers {
+                r.join();
+            }
+            drop(tx);
+            assert_eq!(
+                oks.load(Ordering::SeqCst),
+                1,
+                "exactly one timed receiver must get the single item"
+            );
+        });
+}
+
+/// The timeout-steal scenario behind the rewake fix in `recv_core`: an
+/// untimed receiver A and a timed receiver B, two items pushed with no
+/// notification (reachable only via the injected repoll-skip fault). At
+/// quiescence B wakes timed-out and its final-check pop takes an item; the
+/// re-issued wakeup is then the only thing that can reach A, parked over
+/// the second item.
+fn timeout_steal_scenario() {
+    let (tx, rx) = unbounded::<u32>();
+    let rx_untimed = rx.clone();
+    let a = model::thread::spawn(move || {
+        // Two items are queued for two receivers, so an untimed receiver
+        // must always get one.
+        rx_untimed.recv().unwrap();
+    });
+    let b = model::thread::spawn(move || {
+        // Err(Timeout) is legal for the timed receiver; stalling is not.
+        let _ = rx.recv_timeout(Duration::from_millis(10));
+    });
+    tx.send(1).unwrap();
+    tx.send(2).unwrap();
+    a.join();
+    b.join();
+    drop(tx);
+}
+
+/// Acceptance criterion for the rewake fix: suppressing the timeout-path
+/// rewake (fault `channel-timeout-steal-no-wake`) on top of the repoll
+/// skip is caught as a deadlock — B's final-check pop consumes the item
+/// whose wakeup was A's only rescue. The repoll skip is required to reach
+/// the window at all: with the re-poll in place, an item can never sit
+/// queued without a pending notification, which is exactly the invariant
+/// the shipped code maintains.
+#[test]
+fn channel_timeout_steal_without_rewake_is_caught_as_deadlock() {
+    let report = Checker::new("channel-timeout-steal-fault")
+        .iterations(5_000)
+        .fault("channel-skip-park-repoll")
+        .fault("channel-timeout-steal-no-wake")
+        .report(timeout_steal_scenario);
+    let failure = report
+        .failure
+        .expect("suppressed timeout-steal rewake must deadlock some schedule");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(
+        !failure.trace.is_empty(),
+        "failing schedule must be replayed with a full trace"
+    );
+}
+
+/// Control for the test above: the rewake suppression alone (protocol
+/// otherwise intact) never fails — the re-poll keeps the
+/// queued-item-without-notification window closed, so the timeout path
+/// never steals a notified item organically.
+#[test]
+fn channel_timeout_steal_rewake_alone_is_never_needed_organically() {
+    let report = Checker::new("channel-timeout-steal-control")
+        .iterations_env(2_000)
+        .fault("channel-timeout-steal-no-wake")
+        .report(timeout_steal_scenario);
+    assert!(
+        report.failure.is_none(),
+        "unexpected failure: {:?}",
+        report.failure
+    );
+}
+
 /// Acceptance criterion: breaking the protocol (skip the re-poll between
 /// waiter registration and the wait) is caught as a deadlock, with the
 /// lost-wakeup interleaving printed.
@@ -317,4 +466,124 @@ fn channel_lost_wakeup_fault_is_caught_with_trace() {
         "trace should show the condvar wait:\n{}",
         failure.trace
     );
+}
+
+/// Steal-vs-pop exactly-once: worker 0's local holds two items and the
+/// injector one; both workers drain concurrently, so worker 1's steal
+/// races worker 0's own pop on the same segqueue slots. No item may be
+/// lost or observed twice under any interleaving.
+#[test]
+fn steal_pop_vs_steal_exactly_once() {
+    Checker::new("steal-exactly-once")
+        .iterations_env(3_000)
+        .check(|| {
+            let q = Arc::new(StealQueue::new(2, 0xd4));
+            q.push_local(0, 0).unwrap();
+            q.push_local(0, 1).unwrap();
+            q.push(2).unwrap();
+            let popped = Arc::new(AtomicUsize::new(0));
+            let got = Arc::new(Mutex::new(Vec::new()));
+            let mut handles = Vec::new();
+            for w in 0..2 {
+                let q = q.clone();
+                let popped = popped.clone();
+                let got = got.clone();
+                handles.push(model::thread::spawn(move || {
+                    while popped.load(Ordering::SeqCst) < 3 {
+                        if let Some(v) = q.try_pop(w) {
+                            popped.fetch_add(1, Ordering::SeqCst);
+                            got.lock().unwrap().push(v);
+                        } else {
+                            model::thread::yield_now();
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            let mut all = got.lock().unwrap().clone();
+            all.sort_unstable();
+            assert_eq!(
+                all,
+                vec![0, 1, 2],
+                "steal-vs-pop lost or duplicated an item"
+            );
+            assert_eq!(q.len(), 0);
+        });
+}
+
+/// No lost wakeup after a failed sweep: worker 0 blocks with every queue
+/// empty, then an item lands on worker 1's local. The push's wakeup must
+/// reach the parked worker, whose re-sweep then steals the item — a lost
+/// wakeup shows up as a deadlock.
+#[test]
+fn steal_park_never_loses_a_wakeup() {
+    Checker::new("steal-no-lost-wakeup")
+        .iterations_env(3_000)
+        .check(|| {
+            let q = Arc::new(StealQueue::new(2, 0xd4));
+            let q_push = q.clone();
+            let t = model::thread::spawn(move || {
+                q_push.push_local(1, 7u32).unwrap();
+            });
+            assert_eq!(q.pop_wait(0), Ok(7), "parked worker must steal the item");
+            t.join();
+        });
+}
+
+/// Acceptance criterion: breaking the steal park protocol (skip the
+/// re-sweep between waiter registration and the wait) is caught as a
+/// deadlock with the lost-wakeup interleaving printed — the same guarantee
+/// the channel fault test pins, now over the full steal sweep.
+#[test]
+fn steal_lost_wakeup_fault_is_caught_with_trace() {
+    let report = Checker::new("steal-lost-wakeup-fault")
+        .iterations(5_000)
+        .fault("steal-skip-park-repoll")
+        .report(|| {
+            let q = Arc::new(StealQueue::new(2, 0xd4));
+            let q_push = q.clone();
+            let t = model::thread::spawn(move || {
+                q_push.push_local(1, 7u32).unwrap();
+            });
+            assert_eq!(q.pop_wait(0), Ok(7));
+            t.join();
+        });
+    let failure = report.failure.expect("lost wakeup must be detected");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(
+        !failure.trace.is_empty(),
+        "failing schedule must be replayed with a full trace"
+    );
+    assert!(
+        failure.trace.contains("condvar#"),
+        "trace should show the condvar wait:\n{}",
+        failure.trace
+    );
+}
+
+/// A batch push notifies once for the whole batch; that single
+/// notification must still reach *every* parked worker that can make
+/// progress (wake_many uses notify_all). A notify_one regression leaves
+/// one worker parked over its item — a deadlock the checker detects.
+#[test]
+fn steal_batch_wakeup_reaches_every_parked_worker() {
+    Checker::new("steal-batch-wakeup")
+        .iterations_env(2_000)
+        .check(|| {
+            let q = Arc::new(StealQueue::new(2, 0xd4));
+            let mut handles = Vec::new();
+            for w in 0..2 {
+                let q = q.clone();
+                handles.push(model::thread::spawn(move || {
+                    q.pop_wait(w).unwrap();
+                }));
+            }
+            q.push_batch(None, vec![1, 2]).unwrap();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(q.len(), 0, "both items consumed exactly once");
+        });
 }

@@ -26,19 +26,22 @@ cargo run -q --release --offline -p d4py-lint -- . \
     || { echo "verify: FAIL — d4py-lint reports violations" >&2; exit 1; }
 
 # Model-checker smoke: the instrumented --cfg d4py_model build of the
-# lock-free core, explored under a small iteration budget (CI runs the
-# full budget in a dedicated job). Separate target dir so the cfg flip
-# does not thrash the main build cache.
+# lock-free core — channel park/wakeup protocol plus the steal-queue
+# sweep (steal-vs-pop exactly-once, no lost wakeup after a failed sweep,
+# timeout-steal rewake) — explored under a small iteration budget (CI
+# runs the full budget in a dedicated job). Separate target dir so the
+# cfg flip does not thrash the main build cache.
 D4PY_MODEL_ITERS="${D4PY_MODEL_ITERS:-150}" \
 CARGO_TARGET_DIR=target/model \
 RUSTFLAGS="--cfg d4py_model" \
     cargo test -q --offline -p d4py-sync --test model \
     || { echo "verify: FAIL — model-checked invariants" >&2; exit 1; }
 
-# The snapshot-format and cross-backend state-store conformance suites are
+# The snapshot-format, state-store and task-queue conformance suites are
 # part of `cargo test` above, but run them by name too so a Cargo.toml
-# regression that silently unregisters either target fails loudly here.
-cargo test -q --offline --test snapshot_format --test state_store_conformance
+# regression that silently unregisters any target fails loudly here.
+cargo test -q --offline --test snapshot_format --test state_store_conformance \
+    --test queue_conformance
 
 # Smoke-run the lock-free global-queue ablation so the channel fast path is
 # exercised under the full gate. Quick mode writes its JSON report tagged

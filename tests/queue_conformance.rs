@@ -7,7 +7,7 @@
 //! [`ChannelQueue`] and the Redis-stream [`RedisQueue`] (in-proc backend) —
 //! with capability-gated cases where the backends intentionally differ.
 
-use dispel4py::core::queue::{ChannelQueue, TaskQueue};
+use dispel4py::core::queue::{ChannelQueue, TaskQueue, WorkStealQueue};
 use dispel4py::core::task::{QueueItem, Task};
 use dispel4py::core::value::Value;
 use dispel4py::graph::PeId;
@@ -27,6 +27,7 @@ fn backends(consumers: usize) -> Vec<(&'static str, Arc<dyn TaskQueue>)> {
     let key = format!("conformance:q{}", NEXT_KEY.fetch_add(1, Ordering::SeqCst));
     vec![
         ("channel", Arc::new(ChannelQueue::new(consumers))),
+        ("steal", Arc::new(WorkStealQueue::new(consumers))),
         (
             "redis-stream",
             Arc::new(RedisQueue::new(&RedisBackend::in_proc(), key, consumers).unwrap()),
@@ -293,6 +294,127 @@ fn pills_pass_through_like_tasks() {
             q.pop(0, Duration::from_millis(100)).unwrap(),
             Some(QueueItem::Flush),
             "{name}: flush markers must flow in order"
+        );
+    }
+}
+
+#[test]
+fn push_batch_preserves_per_producer_fifo() {
+    // Batched sends may interleave *between* producers, but each
+    // producer's own items must still arrive in the order it sent them —
+    // the same guarantee per-item push gives.
+    const PRODUCERS: usize = 3;
+    const BATCHES: i64 = 8;
+    const BATCH: i64 = 5;
+    for (name, q) in backends(PRODUCERS) {
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for b in 0..BATCHES {
+                        let items = (0..BATCH)
+                            .map(|i| task(p as i64 * 1_000 + b * BATCH + i))
+                            .collect();
+                        q.push_batch(Some(p), items).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut last_seen = [-1i64; PRODUCERS];
+        let mut total = 0;
+        while let Some(item) = q.pop(0, Duration::from_millis(50)).unwrap() {
+            let QueueItem::Task(t) = item else { continue };
+            let v = t.value.as_int().unwrap();
+            let (p, seq) = ((v / 1_000) as usize, v % 1_000);
+            assert!(
+                seq > last_seen[p],
+                "{name}: producer {p} delivered {seq} after {}",
+                last_seen[p]
+            );
+            last_seen[p] = seq;
+            total += 1;
+        }
+        assert_eq!(total, PRODUCERS as i64 * BATCHES * BATCH, "{name}");
+    }
+}
+
+#[test]
+fn depth_is_exact_across_batch_boundaries() {
+    // The contract allows a backend to return fewer than `max` items per
+    // batch pop (the Redis backend returns one), but depth must stay exact
+    // at every batch boundary: pushes add len(batch), pops subtract
+    // exactly what was returned.
+    for (name, q) in backends(1) {
+        q.push_batch(None, (0..7).map(task).collect()).unwrap();
+        assert_eq!(q.depth(), 7, "{name}: depth after one batched push");
+        let got = q.pop_batch(0, 3, Duration::from_millis(100)).unwrap();
+        assert!(
+            !got.is_empty() && got.len() <= 3,
+            "{name}: got {} items for max 3",
+            got.len()
+        );
+        let mut popped = got.len();
+        assert_eq!(
+            q.depth(),
+            7 - popped,
+            "{name}: depth after a partial batch pop"
+        );
+        q.push_batch(None, vec![task(7), task(8)]).unwrap();
+        assert_eq!(
+            q.depth(),
+            9 - popped,
+            "{name}: depth across batch boundaries"
+        );
+        loop {
+            let got = q.pop_batch(0, 4, Duration::from_millis(20)).unwrap();
+            if got.is_empty() {
+                break;
+            }
+            assert!(got.len() <= 4, "{name}: batch overran max");
+            popped += got.len();
+            assert_eq!(q.depth(), 9 - popped, "{name}: depth mid-drain");
+        }
+        assert_eq!(popped, 9, "{name}");
+        assert_eq!(q.depth(), 0, "{name}: drained queue must report depth 0");
+    }
+}
+
+#[test]
+fn batch_pop_counts_as_one_activity_event() {
+    // The autoscaler's idle signal must see a batch drain as a single
+    // activity mark — and a timed-out (empty) batch must not reset idle,
+    // or an idle worker polling on a drained queue would look busy forever
+    // and never be shrunk away. Capability gate: the Redis server counts
+    // idle from the last XREADGROUP *attempt* (even an empty one), so the
+    // empty-pop clause is in-process-only.
+    for (name, q) in backends(2) {
+        std::thread::sleep(Duration::from_millis(30));
+        let got = q.pop_batch(0, 8, Duration::from_millis(5)).unwrap();
+        assert!(got.is_empty(), "{name}");
+        let idles = q.idle_times().expect("both backends track consumers");
+        if name != "redis-stream" {
+            assert!(
+                idles[0] >= Duration::from_millis(25),
+                "{name}: empty batch pop must not reset idle, read {:?}",
+                idles[0]
+            );
+        }
+        q.push_batch(None, (0..4).map(task).collect()).unwrap();
+        let got = q.pop_batch(0, 8, Duration::from_millis(100)).unwrap();
+        assert!(!got.is_empty(), "{name}: items were waiting");
+        let idles = q.idle_times().unwrap();
+        assert!(
+            idles[0] < Duration::from_millis(25),
+            "{name}: batch pop must mark the consumer active, read {:?}",
+            idles[0]
+        );
+        assert!(
+            idles[1] >= Duration::from_millis(25),
+            "{name}: consumer 1 never popped, read {:?}",
+            idles[1]
         );
     }
 }
