@@ -5,11 +5,15 @@
 //! server — or any real Redis) plus an in-process shortcut used by tests and
 //! the transport ablation bench.
 
+use crate::cluster::ClusterConnection;
 use d4py_core::error::CoreError;
 use redis_lite::client::{Client, Connection, InProcClient};
 use redis_lite::engine::Shared;
 use std::net::SocketAddr;
 use std::sync::Arc;
+
+/// A user-supplied connection factory (fault injection, custom transports).
+pub type ConnFactory = dyn Fn() -> Result<Box<dyn Connection>, CoreError> + Send + Sync;
 
 /// A way to mint Redis connections.
 #[derive(Clone)]
@@ -18,12 +22,33 @@ pub enum RedisBackend {
     Tcp(SocketAddr),
     /// Dispatch directly into an in-process engine (no wire).
     InProc(Arc<Shared>),
+    /// Hash-slot sharding across several servers: every connection spans
+    /// all shards and routes commands by key slot (see [`crate::cluster`]).
+    Cluster(Arc<Vec<SocketAddr>>),
+    /// Mint connections through an arbitrary factory. Used by tests to
+    /// inject faults below the queue layer.
+    Custom(Arc<ConnFactory>),
 }
 
 impl RedisBackend {
     /// An in-process backend with a fresh keyspace.
     pub fn in_proc() -> Self {
         RedisBackend::InProc(Arc::new(Shared::new()))
+    }
+
+    /// A sharded backend across `addrs` (one redis-lite server each).
+    /// Shard order defines slot-range ownership and must be identical for
+    /// every client of the cluster.
+    pub fn cluster(addrs: Vec<SocketAddr>) -> Self {
+        assert!(!addrs.is_empty(), "cluster needs at least one shard");
+        RedisBackend::Cluster(Arc::new(addrs))
+    }
+
+    /// A backend minting connections from `factory`.
+    pub fn custom(
+        factory: impl Fn() -> Result<Box<dyn Connection>, CoreError> + Send + Sync + 'static,
+    ) -> Self {
+        RedisBackend::Custom(Arc::new(factory))
     }
 
     /// Opens a new connection.
@@ -33,6 +58,17 @@ impl RedisBackend {
                 .map(|c| Box::new(c) as Box<dyn Connection>)
                 .map_err(|e| CoreError::Queue(format!("redis connect failed: {e}"))),
             RedisBackend::InProc(shared) => Ok(Box::new(InProcClient::new(shared.clone()))),
+            RedisBackend::Cluster(addrs) => {
+                let mut shards: Vec<Box<dyn Connection>> = Vec::with_capacity(addrs.len());
+                for addr in addrs.iter() {
+                    let c = Client::connect(*addr).map_err(|e| {
+                        CoreError::Queue(format!("redis shard {addr} connect failed: {e}"))
+                    })?;
+                    shards.push(Box::new(c));
+                }
+                Ok(Box::new(ClusterConnection::new(shards)))
+            }
+            RedisBackend::Custom(factory) => factory(),
         }
     }
 
@@ -41,6 +77,8 @@ impl RedisBackend {
         match self {
             RedisBackend::Tcp(_) => "tcp",
             RedisBackend::InProc(_) => "inproc",
+            RedisBackend::Cluster(_) => "cluster",
+            RedisBackend::Custom(_) => "custom",
         }
     }
 }
@@ -50,6 +88,10 @@ impl std::fmt::Debug for RedisBackend {
         match self {
             RedisBackend::Tcp(addr) => write!(f, "RedisBackend::Tcp({addr})"),
             RedisBackend::InProc(_) => write!(f, "RedisBackend::InProc"),
+            RedisBackend::Cluster(addrs) => {
+                write!(f, "RedisBackend::Cluster({} shards)", addrs.len())
+            }
+            RedisBackend::Custom(_) => write!(f, "RedisBackend::Custom"),
         }
     }
 }

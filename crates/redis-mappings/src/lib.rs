@@ -14,11 +14,15 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod cluster;
 pub mod mappings;
+pub mod pool;
 pub mod queue;
 pub mod state;
 
 pub use backend::RedisBackend;
+pub use cluster::ClusterConnection;
 pub use mappings::{DynAutoRedis, DynRedis, HybridRedis};
+pub use pool::ConnectionPool;
 pub use queue::RedisQueue;
 pub use state::RedisStateStore;

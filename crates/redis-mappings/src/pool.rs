@@ -1,0 +1,292 @@
+//! A bounded, health-checked connection pool.
+//!
+//! Replaces the grow-without-bound `Mutex<Vec<Connection>>` the queue used
+//! to carry: checkouts above the cap block (with a deadline) instead of
+//! dialing yet another socket, and a connection that sat idle past a
+//! staleness threshold is PINGed before being handed out — a server restart
+//! or dropped socket costs the pool one discarded connection, not the
+//! caller a failed command. Checked-out connections ride a [`PooledConn`]
+//! guard that returns them on drop; callers that hit an I/O error call
+//! [`PooledConn::discard`] so the broken socket never re-enters the pool.
+
+use crate::backend::RedisBackend;
+use d4py_core::error::CoreError;
+use d4py_sync::{Condvar, Mutex};
+use redis_lite::client::Connection;
+use std::time::{Duration, Instant};
+
+/// Tuning for [`ConnectionPool`].
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Hard cap on concurrently-live connections.
+    pub max_connections: usize,
+    /// How long a checkout waits for a free slot before erroring.
+    pub checkout_timeout: Duration,
+    /// Idle age beyond which a connection is PINGed before being handed
+    /// out. Fresh connections skip the check to keep checkouts ~free.
+    pub health_check_after: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            max_connections: 16,
+            checkout_timeout: Duration::from_secs(5),
+            health_check_after: Duration::from_millis(500),
+        }
+    }
+}
+
+struct Inner {
+    /// Idle connections with the instant they were parked.
+    idle: Vec<(Box<dyn Connection>, Instant)>,
+    /// Connections currently alive (idle + checked out).
+    live: usize,
+}
+
+/// A bounded pool of [`Connection`]s minted from one [`RedisBackend`].
+pub struct ConnectionPool {
+    backend: RedisBackend,
+    config: PoolConfig,
+    inner: Mutex<Inner>,
+    freed: Condvar,
+}
+
+impl ConnectionPool {
+    /// An empty pool over `backend` (connections are opened lazily).
+    pub fn new(backend: RedisBackend, config: PoolConfig) -> Self {
+        ConnectionPool {
+            backend,
+            config,
+            inner: Mutex::new(Inner {
+                idle: Vec::new(),
+                live: 0,
+            }),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// The backend this pool mints from.
+    pub fn backend(&self) -> &RedisBackend {
+        &self.backend
+    }
+
+    /// Connections currently alive (idle + checked out). Test visibility.
+    pub fn live(&self) -> usize {
+        self.inner.lock().live
+    }
+
+    /// Idle connections parked in the pool. Test visibility.
+    pub fn idle(&self) -> usize {
+        self.inner.lock().idle.len()
+    }
+
+    /// Checks out a connection, opening one if under the cap, blocking up
+    /// to `checkout_timeout` otherwise.
+    pub fn checkout(&self) -> Result<PooledConn<'_>, CoreError> {
+        let deadline = Instant::now() + self.config.checkout_timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            // Prefer the most recently parked connection (LIFO keeps the
+            // working set warm and lets stale ones age out at the tail).
+            while let Some((mut conn, parked)) = inner.idle.pop() {
+                if parked.elapsed() < self.config.health_check_after {
+                    drop(inner);
+                    return Ok(PooledConn {
+                        pool: self,
+                        conn: Some(conn),
+                    });
+                }
+                // Stale: ping outside the lock, then re-evaluate.
+                inner.live -= 1; // provisionally not available
+                drop(inner);
+                let healthy = matches!(conn.request(&[b"PING"]), Ok(f) if !f.is_error());
+                inner = self.inner.lock();
+                if healthy {
+                    inner.live += 1;
+                    drop(inner);
+                    return Ok(PooledConn {
+                        pool: self,
+                        conn: Some(conn),
+                    });
+                }
+                // Dead connection dropped; a slot freed up for someone.
+                self.freed.notify_one();
+            }
+            if inner.live < self.config.max_connections {
+                inner.live += 1;
+                drop(inner);
+                match self.backend.connect() {
+                    Ok(conn) => {
+                        return Ok(PooledConn {
+                            pool: self,
+                            conn: Some(conn),
+                        })
+                    }
+                    Err(e) => {
+                        let mut inner = self.inner.lock();
+                        inner.live -= 1;
+                        drop(inner);
+                        self.freed.notify_one();
+                        return Err(e);
+                    }
+                }
+            }
+            if self.freed.wait_until(&mut inner, deadline).timed_out() {
+                return Err(CoreError::Queue(format!(
+                    "redis pool exhausted: {} connections busy for {:?}",
+                    self.config.max_connections, self.config.checkout_timeout
+                )));
+            }
+        }
+    }
+
+    fn park(&self, conn: Box<dyn Connection>) {
+        let mut inner = self.inner.lock();
+        inner.idle.push((conn, Instant::now()));
+        drop(inner);
+        self.freed.notify_one();
+    }
+
+    fn forget(&self) {
+        let mut inner = self.inner.lock();
+        inner.live -= 1;
+        drop(inner);
+        self.freed.notify_one();
+    }
+}
+
+/// A checked-out connection; returns to the pool on drop.
+pub struct PooledConn<'a> {
+    pool: &'a ConnectionPool,
+    conn: Option<Box<dyn Connection>>,
+}
+
+impl PooledConn<'_> {
+    /// Drops the underlying connection instead of returning it — call
+    /// after an I/O error so the broken socket never re-enters the pool.
+    pub fn discard(mut self) {
+        self.conn = None;
+        self.pool.forget();
+        std::mem::forget(self); // Drop would double-account the slot
+    }
+}
+
+impl std::ops::Deref for PooledConn<'_> {
+    type Target = dyn Connection;
+    fn deref(&self) -> &Self::Target {
+        self.conn.as_deref().expect("connection present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledConn<'_> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.conn
+            .as_deref_mut()
+            .expect("connection present until drop")
+    }
+}
+
+impl Drop for PooledConn<'_> {
+    fn drop(&mut self) {
+        match self.conn.take() {
+            Some(conn) => self.pool.park(conn),
+            None => self.pool.forget(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redis_lite::client::RedisOps;
+    use redis_lite::server::Server;
+
+    fn small_pool(backend: RedisBackend, max: usize) -> ConnectionPool {
+        ConnectionPool::new(
+            backend,
+            PoolConfig {
+                max_connections: max,
+                checkout_timeout: Duration::from_millis(100),
+                health_check_after: Duration::from_millis(20),
+            },
+        )
+    }
+
+    #[test]
+    fn checkout_reuses_parked_connections() {
+        let pool = small_pool(RedisBackend::in_proc(), 4);
+        {
+            let mut c = pool.checkout().unwrap();
+            assert_eq!(c.ping().unwrap(), "PONG");
+        }
+        assert_eq!(pool.live(), 1);
+        assert_eq!(pool.idle(), 1);
+        let _c = pool.checkout().unwrap();
+        assert_eq!(pool.live(), 1, "fresh idle conn reused, not re-dialed");
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn pool_is_bounded_and_unblocks_on_return() {
+        let pool = std::sync::Arc::new(small_pool(RedisBackend::in_proc(), 2));
+        let a = pool.checkout().unwrap();
+        let _b = pool.checkout().unwrap();
+        // Cap reached: a third checkout times out while both are held.
+        assert!(pool.checkout().is_err());
+        // Returning one unblocks a waiting checkout from another thread.
+        let p = pool.clone();
+        let waiter = std::thread::spawn(move || p.checkout().map(|_| ()).is_ok());
+        std::thread::sleep(Duration::from_millis(20));
+        drop(a);
+        assert!(waiter.join().unwrap(), "freed slot must wake the waiter");
+        assert_eq!(pool.live(), 2);
+    }
+
+    #[test]
+    fn stale_connections_are_health_checked_and_dead_ones_discarded() {
+        let server = Server::start(0).unwrap();
+        let pool = small_pool(RedisBackend::Tcp(server.addr()), 4);
+        {
+            let mut c = pool.checkout().unwrap();
+            assert_eq!(c.ping().unwrap(), "PONG");
+        }
+        assert_eq!(pool.idle(), 1);
+        // Let the parked connection cross the staleness threshold, then
+        // kill the server: the health check must catch the dead socket.
+        std::thread::sleep(Duration::from_millis(30));
+        drop(server);
+        let err = pool.checkout();
+        // The stale conn is discarded; the pool then tries to dial a fresh
+        // one, which fails because the server is gone — either way no dead
+        // connection is handed out.
+        assert!(err.is_err());
+        assert_eq!(pool.idle(), 0, "dead connection must not be re-parked");
+        assert_eq!(pool.live(), 0);
+    }
+
+    #[test]
+    fn discard_frees_the_slot_without_parking() {
+        let pool = small_pool(RedisBackend::in_proc(), 1);
+        let c = pool.checkout().unwrap();
+        c.discard();
+        assert_eq!(pool.live(), 0);
+        assert_eq!(pool.idle(), 0);
+        // The slot is genuinely free: the next checkout dials fresh.
+        let mut c2 = pool.checkout().unwrap();
+        assert_eq!(c2.ping().unwrap(), "PONG");
+    }
+
+    #[test]
+    fn connect_failure_releases_the_slot() {
+        let addr: std::net::SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let pool = small_pool(RedisBackend::Tcp(addr), 1);
+        assert!(pool.checkout().is_err());
+        // The failed dial must not leak the slot it reserved.
+        assert_eq!(pool.live(), 0);
+        assert!(
+            pool.checkout().is_err(),
+            "still connectable-less, not stuck"
+        );
+    }
+}

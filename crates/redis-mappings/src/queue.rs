@@ -18,16 +18,28 @@
 //! Redis mapping makes the same choice for its task queue reads).
 
 use crate::backend::RedisBackend;
+use crate::pool::{ConnectionPool, PoolConfig};
 use d4py_core::codec;
 use d4py_core::error::CoreError;
 use d4py_core::queue::TaskQueue;
 use d4py_core::task::QueueItem;
 use d4py_sync::Mutex;
-use redis_lite::client::{ClientError, Connection, RedisOps};
+use redis_lite::client::{parse_claim_reply, ClientError, Connection, RedisOps};
+use redis_lite::resp::Frame;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 const GROUP: &[u8] = b"d4py";
 const FIELD: &[u8] = b"task";
+
+/// True for errors where the connection itself is suspect (vs. a server
+/// reply the connection carried back fine).
+fn is_transport_error(e: &ClientError) -> bool {
+    matches!(
+        e,
+        ClientError::Io(_) | ClientError::Protocol(_) | ClientError::RetryExhausted { .. }
+    )
+}
 
 /// Extracts and decodes the task payload of one stream entry.
 fn decode_payload(pairs: Vec<(Vec<u8>, Vec<u8>)>) -> Result<QueueItem, CoreError> {
@@ -46,9 +58,11 @@ pub struct RedisQueue {
     readers: Vec<Mutex<Box<dyn Connection>>>,
     /// In reliable mode: the not-yet-acknowledged entry id per consumer.
     unacked: Vec<Mutex<Option<String>>>,
-    /// Small pool for pushes / monitoring queries.
-    pool: Mutex<Vec<Box<dyn Connection>>>,
-    backend: RedisBackend,
+    /// Bounded, health-checked pool for pushes / monitoring queries.
+    pool: ConnectionPool,
+    /// Last successfully observed depth, held across transient backend
+    /// errors so a dead shard doesn't read as an empty queue.
+    last_depth: AtomicUsize,
     created: Instant,
     /// At-least-once mode: PEL-tracked reads, ack-on-next-pop, and
     /// XAUTOCLAIM recovery of entries whose consumer stalled.
@@ -101,8 +115,8 @@ impl RedisQueue {
             key,
             readers,
             unacked,
-            pool: Mutex::new(vec![setup]),
-            backend: backend.clone(),
+            pool: ConnectionPool::new(backend.clone(), PoolConfig::default()),
+            last_depth: AtomicUsize::new(0),
             created: Instant::now(),
             reliable,
         })
@@ -117,13 +131,26 @@ impl RedisQueue {
         &self,
         f: impl FnOnce(&mut dyn Connection) -> Result<T, ClientError>,
     ) -> Result<T, CoreError> {
-        let mut conn = match self.pool.lock().pop() {
-            Some(c) => c,
-            None => self.backend.connect()?,
-        };
-        let result = f(conn.as_mut());
-        self.pool.lock().push(conn);
-        result.map_err(|e| CoreError::Queue(e.to_string()))
+        let mut conn = self.pool.checkout()?;
+        match f(&mut *conn) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                // A broken socket must not re-enter the pool; server-side
+                // errors travelled over a healthy connection, keep it.
+                if is_transport_error(&e) {
+                    conn.discard();
+                }
+                Err(CoreError::Queue(e.to_string()))
+            }
+        }
+    }
+
+    /// Fails if `frame` is a server-side error reply.
+    fn frame_ok(frame: &Frame, what: &str) -> Result<(), CoreError> {
+        if let Frame::Error(msg) = frame {
+            return Err(CoreError::Queue(format!("{what} failed: {msg}")));
+        }
+        Ok(())
     }
 }
 
@@ -136,6 +163,24 @@ impl TaskQueue for RedisQueue {
         })
     }
 
+    fn push_batch(&self, _producer: Option<usize>, items: Vec<QueueItem>) -> Result<(), CoreError> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        // One pipelined XADD burst: N commands, one write, one read.
+        let payloads: Vec<Vec<u8>> = items.iter().map(codec::encode_item).collect();
+        let owned: Vec<[&[u8]; 5]> = payloads
+            .iter()
+            .map(|p| [b"XADD".as_ref(), &self.key, b"*", FIELD, p.as_slice()])
+            .collect();
+        let cmds: Vec<&[&[u8]]> = owned.iter().map(|c| c.as_slice()).collect();
+        let replies = self.with_pool(|c| c.request_many(&cmds))?;
+        for reply in &replies {
+            Self::frame_ok(reply, "pipelined XADD")?;
+        }
+        Ok(())
+    }
+
     fn pop(&self, consumer: usize, timeout: Duration) -> Result<Option<QueueItem>, CoreError> {
         let Some(reader) = self.readers.get(consumer) else {
             return Err(CoreError::Queue(format!(
@@ -146,18 +191,45 @@ impl TaskQueue for RedisQueue {
         let mut conn = reader.lock();
 
         if let Some(reclaim_idle) = self.reliable {
-            // Ack-on-next-pop: the previous entry is done once we ask again.
+            // Ack-on-next-pop, folded into ONE round-trip: [XACK prev,
+            // XDEL prev,] XAUTOCLAIM ride a single pipeline instead of the
+            // three sequential round-trips this path used to pay.
             let mut pending = self.unacked[consumer].lock();
-            if let Some(prev) = pending.take() {
-                conn.xack(&self.key, GROUP, &prev)
-                    .map_err(|e| CoreError::Queue(e.to_string()))?;
-                conn.request(&[b"XDEL", &self.key, prev.as_bytes()])
-                    .map_err(|e| CoreError::Queue(e.to_string()))?;
+            let idle_ms = reclaim_idle.as_millis().to_string();
+            let claim: [&[u8]; 8] = [
+                b"XAUTOCLAIM",
+                &self.key,
+                GROUP,
+                consumer_name.as_bytes(),
+                idle_ms.as_bytes(),
+                b"0",
+                b"COUNT",
+                b"1",
+            ];
+            // `pending` is only cleared AFTER the ack round-trip succeeds;
+            // clearing it eagerly lost the id on error, leaving the entry
+            // in the PEL to double-deliver via a later XAUTOCLAIM.
+            let replies = if let Some(prev) = pending.as_deref() {
+                let ack: [&[u8]; 4] = [b"XACK", &self.key, GROUP, prev.as_bytes()];
+                let del: [&[u8]; 3] = [b"XDEL", &self.key, prev.as_bytes()];
+                let cmds: [&[&[u8]]; 3] = [&ack, &del, &claim];
+                conn.request_many(&cmds)
+                    .map_err(|e| CoreError::Queue(e.to_string()))?
+            } else {
+                conn.request_many(&[&claim])
+                    .map_err(|e| CoreError::Queue(e.to_string()))?
+            };
+            let (ack_replies, claim_reply) = replies.split_at(replies.len() - 1);
+            for reply in ack_replies {
+                Self::frame_ok(reply, "ack of previous entry")?;
             }
+            *pending = None; // ack landed (or there was nothing to ack)
+
             // Rescue entries a stalled consumer left pending.
-            let claimed = conn
-                .xautoclaim_one(&self.key, GROUP, consumer_name.as_bytes(), reclaim_idle)
-                .map_err(|e| CoreError::Queue(e.to_string()))?;
+            let claimed = parse_claim_reply(claim_reply[0].clone())
+                .map_err(|e| CoreError::Queue(e.to_string()))?
+                .into_iter()
+                .next();
             let read = match claimed {
                 Some(entry) => Some(entry),
                 None => conn
@@ -186,8 +258,74 @@ impl TaskQueue for RedisQueue {
         decode_payload(pairs).map(Some)
     }
 
+    fn pop_batch(
+        &self,
+        consumer: usize,
+        max: usize,
+        timeout: Duration,
+    ) -> Result<Vec<QueueItem>, CoreError> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        // Reliable mode tracks exactly one unacked id per consumer, so its
+        // at-least-once contract only admits single-entry reads.
+        if self.reliable.is_some() || max == 1 {
+            return Ok(self.pop(consumer, timeout)?.into_iter().collect());
+        }
+        let Some(reader) = self.readers.get(consumer) else {
+            return Err(CoreError::Queue(format!(
+                "no reader connection for consumer {consumer}"
+            )));
+        };
+        let consumer_name = format!("w{consumer}");
+        let mut conn = reader.lock();
+        // One COUNT-max read plus one multi-id XDEL: two round-trips per
+        // batch instead of two per item.
+        let entries = conn
+            .xreadgroup_many(
+                &self.key,
+                GROUP,
+                consumer_name.as_bytes(),
+                max,
+                timeout,
+                true,
+            )
+            .map_err(|e| CoreError::Queue(e.to_string()))?;
+        if entries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut del: Vec<&[u8]> = Vec::with_capacity(2 + entries.len());
+        del.push(b"XDEL");
+        del.push(&self.key);
+        del.extend(entries.iter().map(|(id, _)| id.as_bytes()));
+        let reply = conn
+            .request(&del)
+            .map_err(|e| CoreError::Queue(e.to_string()))?;
+        Self::frame_ok(&reply, "batched XDEL")?;
+        drop(conn);
+        entries
+            .into_iter()
+            .map(|(_, pairs)| decode_payload(pairs))
+            .collect()
+    }
+
     fn depth(&self) -> usize {
-        self.with_pool(|c| c.xlen(&self.key)).unwrap_or(0).max(0) as usize
+        match self.with_pool(|c| c.xlen(&self.key)) {
+            Ok(n) => {
+                let depth = n.max(0) as usize;
+                // relaxed: monitoring metric, no ordering dependencies.
+                self.last_depth.store(depth, Ordering::Relaxed);
+                depth
+            }
+            Err(e) => {
+                // A dead backend must not read as "empty queue" — that
+                // invites the autoscaler to scale down mid-outage. Hold the
+                // last good observation and say why.
+                eprintln!("[d4py-redis] depth probe failed, holding last value: {e}");
+                // relaxed: monitoring metric, no ordering dependencies.
+                self.last_depth.load(Ordering::Relaxed)
+            }
+        }
     }
 
     fn idle_times(&self) -> Option<Vec<Duration>> {
@@ -363,6 +501,139 @@ mod tests {
         )
         .unwrap();
         assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), 25);
+    }
+
+    /// Connection wrapper that fails requests whose verb matches `verb`
+    /// while `remaining` holds charges. Routed in below the queue via
+    /// [`RedisBackend::custom`].
+    struct Flaky {
+        inner: Box<dyn Connection>,
+        verb: &'static [u8],
+        remaining: Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl Connection for Flaky {
+        fn request(&mut self, args: &[&[u8]]) -> Result<redis_lite::resp::Frame, ClientError> {
+            let matches = args
+                .first()
+                .is_some_and(|v| v.eq_ignore_ascii_case(self.verb));
+            if matches
+                && self
+                    .remaining
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+            {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "injected fault",
+                )));
+            }
+            self.inner.request(args)
+        }
+    }
+
+    /// An in-proc backend whose connections fail `verb` while the returned
+    /// counter holds charges (0 = healthy).
+    fn flaky_backend(verb: &'static [u8]) -> (RedisBackend, Arc<std::sync::atomic::AtomicUsize>) {
+        let shared = Arc::new(redis_lite::engine::Shared::new());
+        let charges = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let c = charges.clone();
+        let backend = RedisBackend::custom(move || {
+            Ok(Box::new(Flaky {
+                inner: Box::new(redis_lite::client::InProcClient::new(shared.clone())),
+                verb,
+                remaining: c.clone(),
+            }))
+        });
+        (backend, charges)
+    }
+
+    #[test]
+    fn failed_ack_keeps_the_id_and_never_double_delivers() {
+        // Regression: the ack path `take()`d the unacked id before XACK —
+        // on error the id vanished from tracking while the entry stayed in
+        // the PEL, so a later XAUTOCLAIM re-delivered an already-processed
+        // task. The id must survive a failed ack and be acked on the next
+        // successful pop.
+        let (backend, charges) = flaky_backend(b"XACK");
+        let reclaim = Duration::from_millis(30);
+        let q = RedisQueue::new_reliable(&backend, "q", 2, reclaim).unwrap();
+        q.push(task(1)).unwrap();
+        q.push(task(2)).unwrap();
+        assert_eq!(q.pop(0, Duration::from_millis(20)).unwrap(), Some(task(1)));
+
+        // The next pop's folded XACK fails at the wire.
+        charges.store(1, Ordering::SeqCst);
+        assert!(q.pop(0, Duration::from_millis(20)).is_err());
+
+        // Retry after the fault clears: task 1's ack lands, task 2 arrives.
+        assert_eq!(q.pop(0, Duration::from_millis(20)).unwrap(), Some(task(2)));
+
+        // Let anything still pending cross the reclaim threshold: task 1
+        // must NOT resurface on the other consumer (only task 2 may, since
+        // it is legitimately unacked).
+        std::thread::sleep(reclaim + Duration::from_millis(20));
+        let rescued = q.pop(1, Duration::from_millis(20)).unwrap();
+        assert_eq!(
+            rescued,
+            Some(task(2)),
+            "task 1 must stay acked; only the genuinely-unacked task 2 may redeliver"
+        );
+        assert_eq!(q.pop(1, Duration::from_millis(20)).unwrap(), None);
+    }
+
+    #[test]
+    fn depth_holds_last_observation_across_backend_errors() {
+        // Regression: depth() mapped every error to 0 — a dead shard read
+        // as an empty queue, inviting the autoscaler to scale down
+        // mid-outage.
+        let (backend, charges) = flaky_backend(b"XLEN");
+        let q = RedisQueue::new(&backend, "q", 1).unwrap();
+        for i in 0..3 {
+            q.push(task(i)).unwrap();
+        }
+        assert_eq!(q.depth(), 3);
+        // Backend goes dark: depth must hold 3, not report empty.
+        charges.store(usize::MAX, Ordering::SeqCst);
+        assert_eq!(q.depth(), 3, "dead backend must not read as empty");
+        charges.store(0, Ordering::SeqCst);
+        assert_eq!(q.depth(), 3, "recovers to live observation");
+    }
+
+    #[test]
+    fn push_batch_is_one_burst_and_pop_batch_drains_it() {
+        let backend = RedisBackend::in_proc();
+        let q = RedisQueue::new(&backend, "q", 1).unwrap();
+        q.push_batch(None, (0..32).map(task).collect()).unwrap();
+        assert_eq!(q.depth(), 32);
+        let first = q.pop_batch(0, 20, Duration::from_millis(50)).unwrap();
+        assert_eq!(first.len(), 20, "COUNT-bounded batch");
+        let rest = q.pop_batch(0, 20, Duration::from_millis(50)).unwrap();
+        assert_eq!(rest.len(), 12);
+        assert_eq!(q.depth(), 0, "batched XDEL keeps XLEN a live depth");
+        let mut all: Vec<i64> = first
+            .into_iter()
+            .chain(rest)
+            .map(|i| match i {
+                QueueItem::Task(t) => t.value.as_int().unwrap(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queue_works_over_a_two_shard_cluster() {
+        let s1 = Server::start(0).unwrap();
+        let s2 = Server::start(0).unwrap();
+        let backend = RedisBackend::cluster(vec![s1.addr(), s2.addr()]);
+        let q = RedisQueue::new(&backend, "clusterq", 2).unwrap();
+        q.push_batch(None, (0..10).map(task).collect()).unwrap();
+        assert_eq!(q.depth(), 10);
+        let got = q.pop_batch(0, 10, Duration::from_millis(100)).unwrap();
+        assert_eq!(got.len(), 10);
+        assert_eq!(q.depth(), 0);
     }
 
     #[test]

@@ -5,6 +5,14 @@
 //! in-process transport ([`InProcClient`], for tests and the
 //! TCP-vs-in-proc ablation bench). Helper methods cover the command subset
 //! the workflow queues use.
+//!
+//! Two throughput levers live here. [`Connection::request_many`] is RESP
+//! **pipelining**: N commands encoded into one socket write, N replies
+//! decoded from the buffered inbox — one round-trip instead of N (the
+//! server drains every complete frame in its read buffer before blocking,
+//! so no server cooperation is needed). [`ClientConfig`] bounds every
+//! socket read/write so a hung-but-open server surfaces as a transient
+//! `TimedOut` instead of blocking the worker forever.
 
 use crate::engine::Shared;
 use crate::resp::{self, Frame};
@@ -62,51 +70,144 @@ pub trait Connection: Send {
     /// Sends one command and returns the raw reply frame. Error frames are
     /// returned as frames, not `Err` — helpers decide what's fatal.
     fn request(&mut self, args: &[&[u8]]) -> Result<Frame, ClientError>;
+
+    /// Sends `cmds` as one RESP pipeline and returns one reply per command,
+    /// in order. The default degrades to sequential [`request`] calls;
+    /// transports with a real wire override it to pay one round-trip for
+    /// the whole batch. Per-command error frames are returned in place, not
+    /// as `Err` — a transport-level `Err` means the batch outcome is
+    /// unknown.
+    ///
+    /// [`request`]: Connection::request
+    fn request_many(&mut self, cmds: &[&[&[u8]]]) -> Result<Vec<Frame>, ClientError> {
+        cmds.iter().map(|c| self.request(c)).collect()
+    }
+}
+
+/// Socket-timeout configuration for [`Client`].
+///
+/// Every read and write is bounded: a server that accepts the connection
+/// and then never replies surfaces as `ErrorKind::TimedOut` (classified
+/// transient, so idempotent commands get the bounded reconnect-retry)
+/// instead of blocking the calling worker forever. Blocking reads
+/// (`XREADGROUP ... BLOCK ms`, `BLPOP`) automatically extend the read
+/// deadline by their server-side block time, so a legitimate long poll is
+/// never misread as a stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Per-read deadline; `None` disables the bound (pre-timeout behavior).
+    pub read_timeout: Option<Duration>,
+    /// Per-write deadline; `None` disables the bound.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
 }
 
 /// A blocking TCP client.
 ///
 /// For **idempotent** commands, a transient connection drop (EOF, reset,
-/// broken pipe) is absorbed by exactly one reconnect-and-retry; commands
-/// with side effects that re-running could duplicate (`XADD`,
-/// `XREADGROUP`) are never retried — their failure is surfaced so the
-/// caller's at-least-once recovery (pending-entry reclaim) handles it.
+/// broken pipe) or a bounded-read timeout is absorbed by exactly one
+/// reconnect-and-retry; commands with side effects that re-running could
+/// duplicate (`XADD`, `XREADGROUP`) are never retried — their failure is
+/// surfaced so the caller's at-least-once recovery (pending-entry reclaim)
+/// handles it.
 pub struct Client {
     addr: SocketAddr,
     stream: TcpStream,
     inbox: ByteBuf,
+    config: ClientConfig,
 }
 
 impl Client {
-    /// Connects to a redis-lite (or Redis) server.
+    /// Connects to a redis-lite (or Redis) server with default timeouts.
     pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
-        let stream = Self::open(addr)?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit socket timeouts.
+    pub fn connect_with(addr: SocketAddr, config: ClientConfig) -> Result<Client, ClientError> {
+        let stream = Self::open(addr, &config)?;
         Ok(Client {
             addr,
             stream,
             inbox: ByteBuf::with_capacity(4096),
+            config,
         })
     }
 
-    fn open(addr: SocketAddr) -> Result<TcpStream, ClientError> {
+    fn open(addr: SocketAddr, config: &ClientConfig) -> Result<TcpStream, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(config.read_timeout)?;
+        stream.set_write_timeout(config.write_timeout)?;
         Ok(stream)
     }
 
     /// Drops the old socket and dials the server again. Any partial reply
     /// buffered from the dead connection is stale and must be discarded.
     fn reconnect(&mut self) -> Result<(), ClientError> {
-        self.stream = Self::open(self.addr)?;
+        self.stream = Self::open(self.addr, &self.config)?;
         self.inbox.clear();
         Ok(())
     }
 
+    /// Temporarily widens the read deadline for a command that legitimately
+    /// blocks server-side; restores the configured deadline afterwards.
+    fn with_block_hint<T>(
+        &mut self,
+        hint: BlockHint,
+        f: impl FnOnce(&mut Self) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let widened = match (hint, self.config.read_timeout) {
+            (BlockHint::None, _) | (_, None) => None,
+            (BlockHint::Forever, Some(_)) => Some(None),
+            (BlockHint::Extra(d), Some(base)) => Some(Some(base.saturating_add(d))),
+        };
+        if let Some(t) = widened {
+            self.stream.set_read_timeout(t)?;
+        }
+        let result = f(self);
+        if widened.is_some() {
+            // Best-effort restore: if it fails the next request errors and
+            // the reconnect path re-applies the configured timeouts.
+            let _ = self.stream.set_read_timeout(self.config.read_timeout);
+        }
+        result
+    }
+
     fn request_once(&mut self, args: &[&[u8]]) -> Result<Frame, ClientError> {
-        let mut out = ByteBuf::with_capacity(64);
-        resp::encode_command(args, &mut out);
-        self.stream.write_all(&out)?;
-        self.read_frame()
+        self.with_block_hint(block_hint(args), |this| {
+            let mut out = ByteBuf::with_capacity(64);
+            resp::encode_command(args, &mut out);
+            this.stream.write_all(&out)?;
+            this.read_frame()
+        })
+    }
+
+    fn request_many_once(&mut self, cmds: &[&[&[u8]]]) -> Result<Vec<Frame>, ClientError> {
+        let hint = cmds
+            .iter()
+            .map(|c| block_hint(c))
+            .fold(BlockHint::None, BlockHint::max);
+        self.with_block_hint(hint, |this| {
+            let mut out = ByteBuf::with_capacity(64 * cmds.len());
+            for cmd in cmds {
+                resp::encode_command(cmd, &mut out);
+            }
+            this.stream.write_all(&out)?;
+            let mut replies = Vec::with_capacity(cmds.len());
+            for _ in 0..cmds.len() {
+                replies.push(this.read_frame()?);
+            }
+            Ok(replies)
+        })
     }
 
     fn read_frame(&mut self) -> Result<Frame, ClientError> {
@@ -132,6 +233,66 @@ impl Client {
     }
 }
 
+/// How long a command may legitimately sit server-side before replying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockHint {
+    /// Replies immediately — the configured read deadline applies as-is.
+    None,
+    /// Blocks up to this long (`BLOCK ms`, `BLPOP secs`).
+    Extra(Duration),
+    /// Blocks indefinitely (`BLOCK 0`, `BLPOP key 0`).
+    Forever,
+}
+
+impl BlockHint {
+    fn max(self, other: BlockHint) -> BlockHint {
+        match (self, other) {
+            (BlockHint::Forever, _) | (_, BlockHint::Forever) => BlockHint::Forever,
+            (BlockHint::Extra(a), BlockHint::Extra(b)) => BlockHint::Extra(a.max(b)),
+            (BlockHint::Extra(d), BlockHint::None) | (BlockHint::None, BlockHint::Extra(d)) => {
+                BlockHint::Extra(d)
+            }
+            (BlockHint::None, BlockHint::None) => BlockHint::None,
+        }
+    }
+}
+
+/// Extracts the server-side blocking budget of a command, so the client's
+/// read deadline can be widened past it.
+fn block_hint(args: &[&[u8]]) -> BlockHint {
+    let Some(verb) = args.first() else {
+        return BlockHint::None;
+    };
+    if verb.eq_ignore_ascii_case(b"XREAD") || verb.eq_ignore_ascii_case(b"XREADGROUP") {
+        for pair in args.windows(2) {
+            if pair[0].eq_ignore_ascii_case(b"BLOCK") {
+                let ms = std::str::from_utf8(pair[1])
+                    .ok()
+                    .and_then(|s| s.parse::<u64>().ok());
+                return match ms {
+                    Some(0) => BlockHint::Forever,
+                    Some(ms) => BlockHint::Extra(Duration::from_millis(ms)),
+                    None => BlockHint::None,
+                };
+            }
+        }
+        BlockHint::None
+    } else if verb.eq_ignore_ascii_case(b"BLPOP") || verb.eq_ignore_ascii_case(b"BRPOP") {
+        let secs = args
+            .last()
+            .and_then(|raw| std::str::from_utf8(raw).ok())
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|s| s.is_finite() && *s >= 0.0);
+        match secs {
+            Some(0.0) => BlockHint::Forever,
+            Some(s) => BlockHint::Extra(Duration::from_secs_f64(s)),
+            None => BlockHint::None,
+        }
+    } else {
+        BlockHint::None
+    }
+}
+
 /// Commands that are safe to re-issue blindly after a dropped connection:
 /// either read-only, absolute writes (`SET`, `FLUSHALL`), or naturally
 /// at-most-once-per-id (`XACK`, `XGROUP CREATE`). `XADD` would duplicate
@@ -152,7 +313,9 @@ fn is_idempotent(cmd: &[u8]) -> bool {
 }
 
 /// A connection-level failure worth one reconnect; anything else (protocol
-/// garbage, server errors) would only repeat on a fresh socket.
+/// garbage, server errors) would only repeat on a fresh socket. `TimedOut`
+/// and `WouldBlock` are the two kinds a bounded socket read/write produces
+/// on a stalled-but-open server (which one depends on the platform).
 fn is_transient(e: &ClientError) -> bool {
     use std::io::ErrorKind;
     matches!(
@@ -163,6 +326,8 @@ fn is_transient(e: &ClientError) -> bool {
                 | ErrorKind::ConnectionReset
                 | ErrorKind::ConnectionAborted
                 | ErrorKind::BrokenPipe
+                | ErrorKind::TimedOut
+                | ErrorKind::WouldBlock
         )
     )
 }
@@ -188,6 +353,31 @@ impl Connection for Client {
                     return Err(exhausted(args[0], re));
                 }
                 self.request_once(args).map_err(|re| exhausted(args[0], re))
+            }
+            other => other,
+        }
+    }
+
+    fn request_many(&mut self, cmds: &[&[&[u8]]]) -> Result<Vec<Frame>, ClientError> {
+        if cmds.is_empty() {
+            return Ok(Vec::new());
+        }
+        match self.request_many_once(cmds) {
+            Err(e)
+                if is_transient(&e)
+                    && cmds
+                        .iter()
+                        .all(|c| c.first().copied().is_some_and(is_idempotent)) =>
+            {
+                // The whole pipeline is retried as a unit: replies decoded
+                // before the failure are discarded (the reconnect clears
+                // the inbox) and every command re-executes — safe only
+                // because every command in the batch is idempotent.
+                if let Err(re) = self.reconnect() {
+                    return Err(exhausted(cmds[0][0], re));
+                }
+                self.request_many_once(cmds)
+                    .map_err(|re| exhausted(cmds[0][0], re))
             }
             other => other,
         }
@@ -266,6 +456,25 @@ pub trait RedisOps: Connection {
         block: Duration,
         noack: bool,
     ) -> Result<Option<(String, Vec<(Vec<u8>, Vec<u8>)>)>, ClientError> {
+        Ok(self
+            .xreadgroup_many(key, group, consumer, 1, block, noack)?
+            .into_iter()
+            .next())
+    }
+
+    /// `XREADGROUP GROUP g c COUNT n BLOCK ms [NOACK] STREAMS key >` — up
+    /// to `count` entries in one round-trip; empty on timeout.
+    #[allow(clippy::type_complexity)]
+    fn xreadgroup_many(
+        &mut self,
+        key: &[u8],
+        group: &[u8],
+        consumer: &[u8],
+        count: usize,
+        block: Duration,
+        noack: bool,
+    ) -> Result<Vec<(String, Vec<(Vec<u8>, Vec<u8>)>)>, ClientError> {
+        let count = count.max(1).to_string();
         let block_ms = block.as_millis().max(1).to_string();
         let mut cmd: Vec<&[u8]> = vec![
             b"XREADGROUP",
@@ -273,7 +482,7 @@ pub trait RedisOps: Connection {
             group,
             consumer,
             b"COUNT",
-            b"1",
+            count.as_bytes(),
             b"BLOCK",
             block_ms.as_bytes(),
         ];
@@ -281,35 +490,7 @@ pub trait RedisOps: Connection {
             cmd.push(b"NOACK");
         }
         cmd.extend_from_slice(&[b"STREAMS", key, b">"]);
-        match self.request(&cmd)? {
-            Frame::Null | Frame::NullArray => Ok(None),
-            Frame::Error(e) => Err(ClientError::Server(e)),
-            Frame::Array(streams) => {
-                // [[key, [[id, [f, v, ...]], ...]], ...] — take the first entry.
-                let first_stream = streams.first().and_then(Frame::as_array);
-                let entries = first_stream
-                    .and_then(|s| s.get(1))
-                    .and_then(Frame::as_array);
-                let Some(entry) = entries.and_then(|e| e.first()).and_then(Frame::as_array) else {
-                    return Ok(None);
-                };
-                let id = entry
-                    .first()
-                    .and_then(Frame::as_text)
-                    .ok_or_else(|| ClientError::UnexpectedReply("missing entry id".into()))?;
-                let body = entry
-                    .get(1)
-                    .and_then(Frame::as_array)
-                    .ok_or_else(|| ClientError::UnexpectedReply("missing entry body".into()))?;
-                let mut pairs = Vec::with_capacity(body.len() / 2);
-                let mut it = body.iter();
-                while let (Some(Frame::Bulk(f)), Some(Frame::Bulk(v))) = (it.next(), it.next()) {
-                    pairs.push((f.clone(), v.clone()));
-                }
-                Ok(Some((id, pairs)))
-            }
-            other => fail(other),
-        }
+        parse_read_reply(self.request(&cmd)?)
     }
 
     /// `XACK key group id`.
@@ -338,31 +519,7 @@ pub trait RedisOps: Connection {
             b"COUNT",
             b"1",
         ])?;
-        match reply {
-            Frame::Error(e) => Err(ClientError::Server(e)),
-            Frame::Array(parts) => {
-                // [next-cursor, [entries]]
-                let entries = parts.get(1).and_then(Frame::as_array).unwrap_or(&[]);
-                let Some(entry) = entries.first().and_then(Frame::as_array) else {
-                    return Ok(None);
-                };
-                let id = entry
-                    .first()
-                    .and_then(Frame::as_text)
-                    .ok_or_else(|| ClientError::UnexpectedReply("missing entry id".into()))?;
-                let body = entry
-                    .get(1)
-                    .and_then(Frame::as_array)
-                    .ok_or_else(|| ClientError::UnexpectedReply("missing body".into()))?;
-                let mut pairs = Vec::with_capacity(body.len() / 2);
-                let mut it = body.iter();
-                while let (Some(Frame::Bulk(f)), Some(Frame::Bulk(v))) = (it.next(), it.next()) {
-                    pairs.push((f.clone(), v.clone()));
-                }
-                Ok(Some((id, pairs)))
-            }
-            other => fail(other),
-        }
+        Ok(parse_claim_reply(reply)?.into_iter().next())
     }
 
     /// `XINFO CONSUMERS key group` → (name, pending, idle) rows.
@@ -399,6 +556,69 @@ pub trait RedisOps: Connection {
 }
 
 impl<T: Connection + ?Sized> RedisOps for T {}
+
+/// One delivered stream entry: `(id, field/value pairs)`.
+pub type StreamEntry = (String, Vec<(Vec<u8>, Vec<u8>)>);
+
+fn parse_entry(entry: &[Frame]) -> Result<StreamEntry, ClientError> {
+    let id = entry
+        .first()
+        .and_then(Frame::as_text)
+        .ok_or_else(|| ClientError::UnexpectedReply("missing entry id".into()))?;
+    let body = entry
+        .get(1)
+        .and_then(Frame::as_array)
+        .ok_or_else(|| ClientError::UnexpectedReply("missing entry body".into()))?;
+    let mut pairs = Vec::with_capacity(body.len() / 2);
+    let mut it = body.iter();
+    while let (Some(Frame::Bulk(f)), Some(Frame::Bulk(v))) = (it.next(), it.next()) {
+        pairs.push((f.clone(), v.clone()));
+    }
+    Ok((id, pairs))
+}
+
+/// Parses an `XREADGROUP`/`XREAD` reply into the first stream's entries
+/// (the workflow queues always read exactly one stream). `Null`/`NullArray`
+/// (timeout) parse to an empty vec; error frames become
+/// [`ClientError::Server`].
+pub fn parse_read_reply(reply: Frame) -> Result<Vec<StreamEntry>, ClientError> {
+    match reply {
+        Frame::Null | Frame::NullArray => Ok(Vec::new()),
+        Frame::Error(e) => Err(ClientError::Server(e)),
+        Frame::Array(streams) => {
+            // [[key, [[id, [f, v, ...]], ...]], ...] — first stream only.
+            let entries = streams
+                .first()
+                .and_then(Frame::as_array)
+                .and_then(|s| s.get(1))
+                .and_then(Frame::as_array)
+                .unwrap_or(&[]);
+            entries
+                .iter()
+                .filter_map(Frame::as_array)
+                .map(parse_entry)
+                .collect()
+        }
+        other => fail(other),
+    }
+}
+
+/// Parses an `XAUTOCLAIM` reply (`[next-cursor, [entries]]`) into the
+/// reclaimed entries; error frames become [`ClientError::Server`].
+pub fn parse_claim_reply(reply: Frame) -> Result<Vec<StreamEntry>, ClientError> {
+    match reply {
+        Frame::Error(e) => Err(ClientError::Server(e)),
+        Frame::Array(parts) => {
+            let entries = parts.get(1).and_then(Frame::as_array).unwrap_or(&[]);
+            entries
+                .iter()
+                .filter_map(Frame::as_array)
+                .map(parse_entry)
+                .collect()
+        }
+        other => fail(other),
+    }
+}
 
 fn fail<T>(frame: Frame) -> Result<T, ClientError> {
     match frame {
@@ -498,35 +718,64 @@ mod tests {
         use std::net::{TcpListener, TcpStream};
         use std::sync::atomic::{AtomicUsize, Ordering};
         use std::thread::JoinHandle;
+        use std::time::Instant;
 
-        /// A fault-injecting server: one entry per expected connection.
-        /// `false` → accept and slam the socket shut; `true` → read one
-        /// command and answer `+PONG\r\n`.
-        fn fault_server(plan: &'static [bool]) -> (SocketAddr, Arc<AtomicUsize>, JoinHandle<()>) {
+        /// What the fault server does with one accepted connection.
+        #[derive(Clone, Copy)]
+        enum Plan {
+            /// Accept and slam the socket shut before replying.
+            Drop,
+            /// Read one command and answer `+PONG\r\n`.
+            Serve,
+            /// Read the command, then hold the socket open without ever
+            /// replying — the hung-but-open server shape. The slot ends
+            /// when the client abandons the connection.
+            Stall,
+        }
+
+        /// A fault-injecting server: one plan entry per expected connection.
+        fn fault_server(plan: &'static [Plan]) -> (SocketAddr, Arc<AtomicUsize>, JoinHandle<()>) {
             let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
             let addr = listener.local_addr().expect("addr");
             let accepted = Arc::new(AtomicUsize::new(0));
             let counter = accepted.clone();
             let handle = std::thread::spawn(move || {
-                for &serve in plan {
+                for &entry in plan {
                     let Ok((mut sock, _)) = listener.accept() else {
                         return;
                     };
                     counter.fetch_add(1, Ordering::SeqCst);
-                    if serve {
-                        let mut buf = [0u8; 1024];
-                        let _ = sock.read(&mut buf);
-                        let _ = sock.write_all(b"+PONG\r\n");
+                    let mut buf = [0u8; 1024];
+                    match entry {
+                        Plan::Drop => {}
+                        Plan::Serve => {
+                            let _ = sock.read(&mut buf);
+                            let _ = sock.write_all(b"+PONG\r\n");
+                        }
+                        Plan::Stall => {
+                            let _ = sock.read(&mut buf);
+                            // Never reply; wait for the peer to hang up so
+                            // the next plan slot starts cleanly.
+                            while sock.read(&mut buf).map(|n| n > 0).unwrap_or(false) {}
+                        }
                     }
-                    // `sock` drops here; a `false` slot closes before replying.
+                    // `sock` drops here; a Drop slot closes before replying.
                 }
             });
             (addr, accepted, handle)
         }
 
+        /// Tight timeouts so stall tests finish in tens of milliseconds.
+        fn fast_timeouts() -> ClientConfig {
+            ClientConfig {
+                read_timeout: Some(Duration::from_millis(50)),
+                write_timeout: Some(Duration::from_millis(50)),
+            }
+        }
+
         #[test]
         fn idempotent_command_survives_one_dropped_connection() {
-            let (addr, accepted, server) = fault_server(&[false, true]);
+            let (addr, accepted, server) = fault_server(&[Plan::Drop, Plan::Serve]);
             let mut c = Client::connect(addr).expect("connect");
             // First request hits the dying socket, the bounded retry
             // reconnects and succeeds against the healthy second accept.
@@ -537,7 +786,7 @@ mod tests {
 
         #[test]
         fn second_drop_reports_retry_exhausted() {
-            let (addr, _accepted, server) = fault_server(&[false, false]);
+            let (addr, _accepted, server) = fault_server(&[Plan::Drop, Plan::Drop]);
             let mut c = Client::connect(addr).expect("connect");
             let err = c.ping().expect_err("both connections dropped");
             match err {
@@ -549,7 +798,7 @@ mod tests {
 
         #[test]
         fn non_idempotent_command_is_never_retried() {
-            let (addr, accepted, server) = fault_server(&[false, false]);
+            let (addr, accepted, server) = fault_server(&[Plan::Drop, Plan::Drop]);
             let mut c = Client::connect(addr).expect("connect");
             // XADD could duplicate the entry, so the drop must surface as a
             // plain I/O error without a second connection being dialed.
@@ -559,6 +808,166 @@ mod tests {
             // Unblock the server's second planned accept, then join.
             let _ = TcpStream::connect(addr);
             server.join().expect("server");
+        }
+
+        #[test]
+        fn stalled_server_times_out_instead_of_hanging() {
+            // Regression: read_frame had no deadline, so a server that
+            // accepted and then went silent blocked the worker forever.
+            // With bounded reads the stall is one transient TimedOut, the
+            // idempotent PING gets its reconnect-retry, and the second
+            // stall surfaces as RetryExhausted.
+            let (addr, accepted, server) = fault_server(&[Plan::Stall, Plan::Stall]);
+            let mut c = Client::connect_with(addr, fast_timeouts()).expect("connect");
+            let start = Instant::now();
+            let err = c.ping().expect_err("server never replies");
+            match err {
+                ClientError::RetryExhausted { command, source } => {
+                    assert_eq!(command, "PING");
+                    assert!(
+                        matches!(
+                            source.kind(),
+                            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                        ),
+                        "expected a timeout kind, got {source:?}"
+                    );
+                }
+                other => panic!("expected RetryExhausted, got {other}"),
+            }
+            assert_eq!(accepted.load(Ordering::SeqCst), 2, "one bounded retry");
+            // timing: generous upper bound pinning "bounded, not forever" —
+            // two 50 ms read timeouts must not take anywhere near 10 s.
+            assert!(start.elapsed() < Duration::from_secs(10));
+            // The second stall slot waits for the peer to hang up.
+            drop(c);
+            server.join().expect("server");
+        }
+
+        #[test]
+        fn stalled_server_non_idempotent_times_out_without_retry() {
+            let (addr, accepted, server) = fault_server(&[Plan::Stall]);
+            let mut c = Client::connect_with(addr, fast_timeouts()).expect("connect");
+            let err = c.xadd(b"q", b"f", b"v").expect_err("server never replies");
+            match err {
+                ClientError::Io(io) => assert!(
+                    matches!(
+                        io.kind(),
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                    ),
+                    "expected a timeout kind, got {io:?}"
+                ),
+                other => panic!("expected Io, got {other}"),
+            }
+            assert_eq!(accepted.load(Ordering::SeqCst), 1, "no second dial");
+            drop(c);
+            server.join().expect("server");
+        }
+
+        #[test]
+        fn blocking_read_deadline_extends_past_block_budget() {
+            // An XREADGROUP with BLOCK longer than the read timeout must
+            // not be misread as a stall: the client widens the deadline by
+            // the server-side block budget for that one request.
+            let server = crate::server::Server::start(0).expect("server");
+            let mut c = Client::connect_with(server.addr(), fast_timeouts()).expect("connect");
+            c.xgroup_create(b"q", b"g").expect("group");
+            let got = c
+                .xreadgroup_one(b"q", b"g", b"w0", Duration::from_millis(150), true)
+                .expect("legitimate long poll must not time out");
+            assert_eq!(got, None, "stream is empty: server-side timeout");
+        }
+    }
+
+    mod hints {
+        use super::super::*;
+
+        #[test]
+        fn block_hint_reads_xreadgroup_and_blpop() {
+            assert_eq!(block_hint(&[b"GET", b"k"]), BlockHint::None);
+            assert_eq!(
+                block_hint(&[b"XREADGROUP", b"GROUP", b"g", b"c", b"BLOCK", b"250"]),
+                BlockHint::Extra(Duration::from_millis(250))
+            );
+            assert_eq!(
+                block_hint(&[b"xread", b"block", b"0", b"STREAMS", b"s", b"$"]),
+                BlockHint::Forever
+            );
+            assert_eq!(
+                block_hint(&[b"BLPOP", b"q", b"1.5"]),
+                BlockHint::Extra(Duration::from_millis(1500))
+            );
+            assert_eq!(block_hint(&[b"BRPOP", b"q", b"0"]), BlockHint::Forever);
+            assert_eq!(
+                block_hint(&[b"XREADGROUP", b"GROUP", b"g", b"c", b"STREAMS", b"s", b">"]),
+                BlockHint::None
+            );
+        }
+
+        #[test]
+        fn block_hint_max_prefers_longest_wait() {
+            let a = BlockHint::Extra(Duration::from_millis(10));
+            let b = BlockHint::Extra(Duration::from_millis(90));
+            assert_eq!(a.max(b), b);
+            assert_eq!(b.max(BlockHint::None), b);
+            assert_eq!(b.max(BlockHint::Forever), BlockHint::Forever);
+            assert_eq!(BlockHint::None.max(BlockHint::None), BlockHint::None);
+        }
+    }
+
+    mod pipeline {
+        use super::super::*;
+        use super::inproc;
+        use crate::server::Server;
+
+        #[test]
+        fn request_many_answers_every_command_in_order() {
+            let server = Server::start(0).expect("server");
+            let mut c = Client::connect(server.addr()).expect("connect");
+            let cmds: Vec<Vec<Vec<u8>>> = (0..10)
+                .map(|i| {
+                    vec![
+                        b"SET".to_vec(),
+                        format!("pk{i}").into_bytes(),
+                        format!("v{i}").into_bytes(),
+                    ]
+                })
+                .chain((0..10).map(|i| vec![b"GET".to_vec(), format!("pk{i}").into_bytes()]))
+                .collect();
+            let borrowed: Vec<Vec<&[u8]>> = cmds
+                .iter()
+                .map(|c| c.iter().map(Vec::as_slice).collect())
+                .collect();
+            let batch: Vec<&[&[u8]]> = borrowed.iter().map(Vec::as_slice).collect();
+            let replies = c.request_many(&batch).expect("pipeline");
+            assert_eq!(replies.len(), 20);
+            for reply in &replies[..10] {
+                assert_eq!(*reply, Frame::ok());
+            }
+            for (i, reply) in replies[10..].iter().enumerate() {
+                assert_eq!(*reply, Frame::bulk(format!("v{i}")), "reply {i}");
+            }
+        }
+
+        #[test]
+        fn request_many_surfaces_per_command_errors_in_place() {
+            let mut c = inproc();
+            c.set(b"s", b"x").expect("set");
+            let batch: Vec<&[&[u8]]> = vec![
+                &[b"PING"],
+                &[b"XADD", b"s", b"*", b"f", b"v"], // WRONGTYPE
+                &[b"GET", b"s"],
+            ];
+            let replies = c.request_many(&batch).expect("transport must not fail");
+            assert_eq!(replies.len(), 3);
+            assert_eq!(replies[0], Frame::Simple("PONG".into()));
+            assert!(replies[1].is_error(), "WRONGTYPE stays an in-place frame");
+            assert_eq!(replies[2], Frame::bulk("x"));
+        }
+
+        #[test]
+        fn empty_pipeline_is_a_no_op() {
+            let mut c = inproc();
+            assert!(c.request_many(&[]).expect("empty").is_empty());
         }
     }
 }

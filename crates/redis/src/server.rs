@@ -6,17 +6,71 @@
 
 use crate::engine::Shared;
 use crate::resp::{self, Frame};
-use d4py_sync::ByteBuf;
+use d4py_sync::{ByteBuf, Mutex};
+use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Live connections, keyed by a monotonic id. Each entry holds a
+/// `try_clone` of the handler's stream so `shutdown()` can close the
+/// socket out from under a blocked read; the handler removes its own
+/// entry on exit.
+#[derive(Default)]
+struct ConnTable {
+    next_id: AtomicU64,
+    live: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnTable {
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        self.live.lock().insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        self.live.lock().remove(&id);
+    }
+
+    /// Closes every tracked socket. Handlers blocked in `read` observe
+    /// EOF/error and exit on their own.
+    fn close_all(&self) {
+        for (_, sock) in self.live.lock().drain() {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live.lock().len()
+    }
+}
+
+/// Whether an `accept(2)` failure is a per-connection hiccup the loop
+/// should ride out, as opposed to a listener-is-gone condition.
+fn accept_error_is_transient(kind: std::io::ErrorKind) -> bool {
+    use std::io::ErrorKind::*;
+    matches!(
+        kind,
+        // The peer reset before we picked the connection up.
+        ConnectionAborted | ConnectionReset
+            // Interrupted syscall / spurious readiness.
+            | Interrupted | WouldBlock | TimedOut
+            // Out of fds (EMFILE/ENFILE surfaces as these): pressure
+            // passes when handlers finish; killing the listener would
+            // turn a spike into an outage.
+            | OutOfMemory | Other
+    )
+}
 
 /// A running redis-lite server.
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    conns: Arc<ConnTable>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -41,9 +95,11 @@ impl Server {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(ConnTable::default());
 
         let accept_shared = shared.clone();
         let accept_stop = stop.clone();
+        let accept_conns = conns.clone();
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
                 if accept_stop.load(Ordering::SeqCst) {
@@ -52,9 +108,24 @@ impl Server {
                 match conn {
                     Ok(stream) => {
                         let shared = accept_shared.clone();
-                        std::thread::spawn(move || handle_connection(stream, &shared));
+                        let conns = accept_conns.clone();
+                        std::thread::spawn(move || {
+                            let id = conns.register(&stream);
+                            handle_connection(stream, &shared);
+                            if let Some(id) = id {
+                                conns.deregister(id);
+                            }
+                        });
                     }
-                    Err(_) => break,
+                    // One refused/reset/fd-starved accept must not take the
+                    // whole listener down; back off briefly and keep serving.
+                    Err(e) if accept_error_is_transient(e.kind()) => {
+                        // sleep: accept backoff under transient error (EMFILE
+                        // et al.) — gives in-flight handlers time to release
+                        // fds before the next accept attempt.
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break, // listener itself is gone
                 }
             }
         });
@@ -63,6 +134,7 @@ impl Server {
             shared,
             addr,
             stop,
+            conns,
             accept_thread: Some(accept_thread),
         })
     }
@@ -77,8 +149,14 @@ impl Server {
         self.shared.clone()
     }
 
-    /// Stops accepting new connections. Existing connections die when their
-    /// peers disconnect.
+    /// Number of currently tracked live connections (tests/ops visibility).
+    pub fn live_connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Stops accepting new connections and closes every tracked live
+    /// connection, so handler threads observe EOF and exit instead of
+    /// lingering until their peers hang up.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Poke the accept loop so it notices the flag.
@@ -86,6 +164,7 @@ impl Server {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        self.conns.close_all();
     }
 }
 
@@ -98,9 +177,14 @@ impl Drop for Server {
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let mut inbox = ByteBuf::with_capacity(4096);
+    let mut out = ByteBuf::with_capacity(4096);
     let mut chunk = [0u8; 4096];
     loop {
-        // Decode every complete frame already buffered.
+        // Decode every complete frame already buffered, accumulating the
+        // replies, then answer the whole pipeline in ONE write — a
+        // pipelined client costs this loop one syscall per burst, not one
+        // per command.
+        out.clear();
         loop {
             match resp::decode(&inbox) {
                 Ok(Some((frame, used))) => {
@@ -109,20 +193,18 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                         Some(args) => shared.dispatch(&args),
                         None => Frame::error("protocol error: expected array of bulk strings"),
                     };
-                    let mut out = ByteBuf::with_capacity(128);
                     resp::encode(&reply, &mut out);
-                    if stream.write_all(&out).is_err() {
-                        return;
-                    }
                 }
                 Ok(None) => break,
                 Err(_) => {
-                    let mut out = ByteBuf::new();
                     resp::encode(&Frame::error("protocol error"), &mut out);
                     let _ = stream.write_all(&out);
                     return;
                 }
             }
+        }
+        if !out.is_empty() && stream.write_all(&out).is_err() {
+            return;
         }
         match stream.read(&mut chunk) {
             Ok(0) | Err(_) => return, // peer closed
@@ -189,17 +271,49 @@ mod tests {
 
     #[test]
     fn pipelined_commands_all_answered() {
+        // Genuinely pipelined: every command hits the socket in ONE write
+        // before a single reply byte is read, then all replies are decoded
+        // in order from whatever chunking the kernel hands back.
         let server = Server::start(0).unwrap();
-        let mut c = Client::connect(server.addr()).unwrap();
-        // Send several commands before reading any reply.
-        for i in 0..10 {
-            c.set(format!("k{i}").as_bytes(), b"v").unwrap();
-        }
-        for i in 0..10 {
-            assert_eq!(
-                c.get(format!("k{i}").as_bytes()).unwrap(),
-                Some(b"v".to_vec())
+        let mut sock = std::net::TcpStream::connect(server.addr()).unwrap();
+        sock.set_nodelay(true).unwrap();
+
+        let n = 20usize;
+        let mut wire = ByteBuf::new();
+        for i in 0..n / 2 {
+            let key = format!("pk{i}");
+            resp::encode_command(
+                &[b"SET", key.as_bytes(), format!("v{i}").as_bytes()],
+                &mut wire,
             );
+        }
+        for i in 0..n / 2 {
+            let key = format!("pk{i}");
+            resp::encode_command(&[b"GET", key.as_bytes()], &mut wire);
+        }
+        sock.write_all(&wire).unwrap();
+
+        let mut inbox = ByteBuf::new();
+        let mut chunk = [0u8; 1024];
+        let mut replies = Vec::new();
+        while replies.len() < n {
+            match resp::decode(&inbox).unwrap() {
+                Some((frame, used)) => {
+                    let _ = inbox.split_to(used);
+                    replies.push(frame);
+                }
+                None => {
+                    let got = sock.read(&mut chunk).unwrap();
+                    assert!(got > 0, "server closed mid-pipeline");
+                    inbox.extend_from_slice(&chunk[..got]);
+                }
+            }
+        }
+        for reply in &replies[..n / 2] {
+            assert_eq!(*reply, Frame::ok());
+        }
+        for (i, reply) in replies[n / 2..].iter().enumerate() {
+            assert_eq!(*reply, Frame::bulk(format!("v{i}")), "reply {i}");
         }
     }
 
@@ -213,5 +327,51 @@ mod tests {
         if let Ok(mut c) = Client::connect(addr) {
             assert!(c.ping().is_err());
         }
+    }
+
+    #[test]
+    fn shutdown_closes_live_connections() {
+        // Regression: shutdown() used to only stop the accept loop — an
+        // already-connected client kept a working session against a
+        // detached handler thread that leaked until the peer hung up.
+        let mut server = Server::start(0).unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert_eq!(c.ping().unwrap(), "PONG");
+        assert_eq!(server.live_connections(), 1);
+        server.shutdown();
+        assert!(
+            c.ping().is_err(),
+            "live connection must be severed by shutdown"
+        );
+        assert_eq!(server.live_connections(), 0);
+    }
+
+    #[test]
+    fn accept_error_classifier() {
+        use std::io::ErrorKind;
+        for kind in [
+            ErrorKind::ConnectionAborted,
+            ErrorKind::ConnectionReset,
+            ErrorKind::Interrupted,
+            ErrorKind::WouldBlock,
+            ErrorKind::TimedOut,
+        ] {
+            assert!(accept_error_is_transient(kind), "{kind:?}");
+        }
+        for kind in [ErrorKind::InvalidInput, ErrorKind::NotFound] {
+            assert!(!accept_error_is_transient(kind), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn server_survives_peer_resets_and_keeps_accepting() {
+        // Connections that vanish immediately (the closest portable stand-in
+        // for ECONNABORTED churn) must not kill the accept loop.
+        let server = Server::start(0).unwrap();
+        for _ in 0..16 {
+            drop(std::net::TcpStream::connect(server.addr()).unwrap());
+        }
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert_eq!(c.ping().unwrap(), "PONG");
     }
 }

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Promote a fresh full (non-smoke) ablation_queue run to the committed
-# baseline under bench/baselines/. Run on the machine whose numbers the
-# baseline should represent, then commit the JSON:
+# Promote fresh full (non-smoke) ablation runs to the committed
+# baselines under bench/baselines/. Run on the machine whose numbers the
+# baselines should represent, then commit the JSON:
 #
 #   scripts/bench-baseline.sh
-#   git add bench/baselines/ && git commit -m "Refresh ablation_queue baseline"
+#   git add bench/baselines/ && git commit -m "Refresh bench baselines"
 #
 # Baselines are machine-shaped: bench-compare warns when the env stamp
 # (os/arch/cpus) of baseline and current run differ, because cross-machine
@@ -21,13 +21,19 @@ if [[ -n "${D4PY_BENCH_HANDICAP:-}" ]]; then
     exit 1
 fi
 
-cargo bench --offline --bench ablation_queue
+# bench target -> report file stem it writes under target/bench/.
+promote() {
+    local bench="$1" stem="$2"
+    cargo bench --offline --bench "$bench"
+    local current="target/bench/BENCH_${stem}.json"
+    if [[ ! -f "$current" ]]; then
+        echo "bench-baseline: expected $current after the run" >&2
+        exit 1
+    fi
+    mkdir -p bench/baselines
+    cp "$current" "bench/baselines/BENCH_${stem}.json"
+    echo "bench-baseline: promoted $current -> bench/baselines/BENCH_${stem}.json"
+}
 
-current="target/bench/BENCH_ablation_queue.json"
-if [[ ! -f "$current" ]]; then
-    echo "bench-baseline: expected $current after the run" >&2
-    exit 1
-fi
-mkdir -p bench/baselines
-cp "$current" bench/baselines/BENCH_ablation_queue.json
-echo "bench-baseline: promoted $current -> bench/baselines/BENCH_ablation_queue.json"
+promote ablation_queue ablation_queue
+promote ablation_redis redis_backend

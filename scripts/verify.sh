@@ -51,12 +51,19 @@ cargo test -q --offline --test snapshot_format --test state_store_conformance \
 # a baseline promoted by scripts/bench-baseline.sh.
 D4PY_BENCH_QUICK=1 cargo bench --offline --bench ablation_queue
 
-baseline="bench/baselines/BENCH_ablation_queue.json"
-current="target/bench/BENCH_ablation_queue.json"
-if [[ -f "$baseline" && -f "$current" ]]; then
-    cargo run -q --offline -p d4py-bench --bin bench-compare -- \
-        "$baseline" "$current" \
-        || { echo "verify: FAIL — bench-compare reports a regression" >&2; exit 1; }
-fi
+# Same for the Redis-backend ablation: pipelined vs unpipelined XADD
+# across 1/2/4 redis-lite shards (client pipelining, pool, cluster
+# routing all on the hot path).
+D4PY_BENCH_QUICK=1 cargo bench --offline --bench ablation_redis
+
+for bench in ablation_queue redis_backend; do
+    baseline="bench/baselines/BENCH_${bench}.json"
+    current="target/bench/BENCH_${bench}.json"
+    if [[ -f "$baseline" && -f "$current" ]]; then
+        cargo run -q --offline -p d4py-bench --bin bench-compare -- \
+            "$baseline" "$current" \
+            || { echo "verify: FAIL — bench-compare reports a regression" >&2; exit 1; }
+    fi
+done
 
 echo "verify: OK"

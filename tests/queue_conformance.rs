@@ -13,12 +13,25 @@ use dispel4py::core::value::Value;
 use dispel4py::graph::PeId;
 use dispel4py::redis::queue::RedisQueue;
 use dispel4py::redis::RedisBackend;
+use dispel4py::redis_lite::server::Server;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 fn task(i: i64) -> QueueItem {
     QueueItem::Task(Task::new(PeId(0), "in", Value::Int(i)))
+}
+
+/// A process-lifetime two-shard redis-lite cluster the conformance cases
+/// share (each case uses its own stream key, so they never interfere).
+fn cluster_addrs() -> Vec<SocketAddr> {
+    static CLUSTER: OnceLock<Vec<Server>> = OnceLock::new();
+    CLUSTER
+        .get_or_init(|| (0..2).map(|_| Server::start(0).unwrap()).collect())
+        .iter()
+        .map(|s| s.addr())
+        .collect()
 }
 
 /// Builds each backend fresh for one conformance case.
@@ -30,7 +43,13 @@ fn backends(consumers: usize) -> Vec<(&'static str, Arc<dyn TaskQueue>)> {
         ("steal", Arc::new(WorkStealQueue::new(consumers))),
         (
             "redis-stream",
-            Arc::new(RedisQueue::new(&RedisBackend::in_proc(), key, consumers).unwrap()),
+            Arc::new(RedisQueue::new(&RedisBackend::in_proc(), key.clone(), consumers).unwrap()),
+        ),
+        (
+            "redis-cluster",
+            Arc::new(
+                RedisQueue::new(&RedisBackend::cluster(cluster_addrs()), key, consumers).unwrap(),
+            ),
         ),
     ]
 }
@@ -344,9 +363,8 @@ fn push_batch_preserves_per_producer_fifo() {
 #[test]
 fn depth_is_exact_across_batch_boundaries() {
     // The contract allows a backend to return fewer than `max` items per
-    // batch pop (the Redis backend returns one), but depth must stay exact
-    // at every batch boundary: pushes add len(batch), pops subtract
-    // exactly what was returned.
+    // batch pop, but depth must stay exact at every batch boundary: pushes
+    // add len(batch), pops subtract exactly what was returned.
     for (name, q) in backends(1) {
         q.push_batch(None, (0..7).map(task).collect()).unwrap();
         assert_eq!(q.depth(), 7, "{name}: depth after one batched push");
@@ -395,7 +413,7 @@ fn batch_pop_counts_as_one_activity_event() {
         let got = q.pop_batch(0, 8, Duration::from_millis(5)).unwrap();
         assert!(got.is_empty(), "{name}");
         let idles = q.idle_times().expect("both backends track consumers");
-        if name != "redis-stream" {
+        if !name.starts_with("redis") {
             assert!(
                 idles[0] >= Duration::from_millis(25),
                 "{name}: empty batch pop must not reset idle, read {:?}",
