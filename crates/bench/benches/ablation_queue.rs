@@ -300,6 +300,7 @@ fn load_legacy_txt() -> Option<BenchReport> {
                     better: Better::Higher,
                     samples: vec![rate],
                     summary: summarize(&[rate], &StatsConfig::default()),
+                    noise_pct: None,
                 });
             }
         }
@@ -315,6 +316,7 @@ fn entry(id: String, s: Vec<f64>) -> BenchEntry {
         better: Better::Higher,
         samples: s,
         summary,
+        noise_pct: None,
     }
 }
 

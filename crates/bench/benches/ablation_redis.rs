@@ -204,6 +204,7 @@ fn entry(id: String, s: Vec<f64>) -> BenchEntry {
         better: Better::Higher,
         samples: s,
         summary,
+        noise_pct: None,
     }
 }
 

@@ -1,34 +1,41 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```sh
-//! cargo run -p d4py-bench --release --bin repro -- <experiment> [--quick] [--inproc]
+//! cargo run -p d4py-bench --release --bin repro -- <experiment> [--quick] [--inproc] [--shards N]
 //! ```
 //!
 //! Experiments: `fig8 fig9 fig10 fig11a fig11b fig11c fig12a fig12b fig13
-//! table1 table2 table3 all`.
+//! table1 table2 table3 chaos all`.
 //!
-//! * `--quick`  — smaller workloads and a 5× smaller time scale; for smoke
-//!   runs and CI.
-//! * `--inproc` — use the in-process Redis backend instead of spawning a
+//! * `--quick`    — smaller workloads and a 5× smaller time scale; for smoke
+//!   runs and CI. For `chaos` it also selects the 3-cell smoke subset.
+//! * `--inproc`   — use the in-process Redis backend instead of spawning a
 //!   redis-lite TCP server (faster, but hides the wire overhead the paper's
 //!   Multiprocessing-vs-Redis comparison measures).
+//! * `--shards N` — spawn N redis-lite servers and hash-slot shard the
+//!   keyspace across them (`RedisBackend::Cluster`). Mutually exclusive
+//!   with `--inproc`.
 //!
 //! Service times are scaled down uniformly (see EXPERIMENTS.md); every
 //! reported *ratio* is invariant to that scaling.
+//!
+//! `chaos` additionally persists `BENCH_chaos_matrix.json` (to
+//! `$D4PY_BENCH_OUT_DIR` or `target/bench/`) for `bench-compare`, and exits
+//! nonzero if any non-smoke cell violates its correctness invariant.
 
 use d4py_bench::ratios::ratio_table;
 use d4py_bench::render::{render_figure, render_ratio, render_trace};
-use d4py_bench::sweep::{run_cell, MappingKind, RunRow, Sweep, WorkflowKind};
+use d4py_bench::scenario;
+use d4py_bench::sweep::{run_cell, MappingKind, RedisTarget, RunRow, Sweep, WorkflowKind};
 use dispel4py::prelude::*;
 use dispel4py::redis_lite::server::Server;
-use std::net::SocketAddr;
 
 /// Harness-wide options.
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 struct Opts {
     time_scale: f64,
     quick: bool,
-    redis: Option<SocketAddr>,
+    redis: RedisTarget,
 }
 
 fn base_cfg(opts: &Opts) -> WorkloadConfig {
@@ -75,12 +82,14 @@ fn run_grid(
         }
         for &mapping in mappings {
             for &w in workers {
-                let redis = mapping.needs_redis().then_some(opts.redis).flatten();
-                if let Some(row) = run_cell(wf, &cfg, platform, mapping, w, label, redis) {
+                if let Some(row) = run_cell(wf, &cfg, platform, mapping, w, label, &opts.redis) {
                     eprintln!(
                         "  [{}] {} {:<16} workers={:<3} runtime={:.3}s proc={:.3}s",
                         platform.name, label, row.mapping, w, row.runtime_s, row.process_s
                     );
+                    for warning in &row.warnings {
+                        eprintln!("      warning: {warning}");
+                    }
                     sweep.rows.push(row);
                 }
             }
@@ -141,7 +150,7 @@ fn fig_sentiment(platform: Platform, opts: &Opts) -> Sweep {
     // would distort that ratio, so clamp it for this experiment.
     let opts = Opts {
         time_scale: opts.time_scale.max(0.5),
-        ..*opts
+        ..opts.clone()
     };
     // Finer increments 8..16 (§5.4); multi only fits at ≥14.
     run_grid(
@@ -211,9 +220,8 @@ fn fig13(opts: &Opts) {
     for (tag, wf, scale, platform, mapping, metric) in cells {
         let cfg = base_cfg(opts).with_scale(if opts.quick { 1 } else { scale });
         let workers = if platform.name == "HPC" { 64 } else { 16 };
-        let redis = mapping.needs_redis().then_some(opts.redis).flatten();
         let label = format!("{tag} {:?} on {}", wf, platform.name);
-        if let Some(row) = run_cell(wf, &cfg, platform, mapping, workers, &label, redis) {
+        if let Some(row) = run_cell(wf, &cfg, platform, mapping, workers, &label, &opts.redis) {
             println!(
                 "{}",
                 render_trace(row.mapping, &row.workload, metric, &row.trace)
@@ -340,10 +348,7 @@ fn ablation(opts: &Opts) {
         ),
         (
             "redis tcp (hybrid_redis)",
-            Box::new(HybridRedis::new(match opts.redis {
-                Some(addr) => RedisBackend::Tcp(addr),
-                None => RedisBackend::in_proc(),
-            })),
+            Box::new(HybridRedis::new(opts.redis.backend())),
         ),
     ];
     for (label, mapping) in transports {
@@ -400,32 +405,78 @@ fn print_row_dump(sweep: &Sweep) {
     }
 }
 
+/// The chaos scenario matrix (see `d4py_bench::scenario`).
+fn chaos(opts: &Opts) {
+    let sopts = scenario::ScenarioOpts::standard(opts.quick, opts.redis.clone());
+    eprintln!(
+        "chaos matrix on {} backend ({} cells, {} iteration(s))\n",
+        opts.redis.label(),
+        scenario::matrix(sopts.quick).len(),
+        sopts.iters
+    );
+    let (outcomes, report) = scenario::run_matrix(&sopts).expect("chaos matrix run");
+    println!("\n{}", scenario::render_matrix(&outcomes));
+    let out = d4py_sync::bench::out_dir().join("BENCH_chaos_matrix.json");
+    report.save(&out).expect("persist chaos report");
+    println!("report: {}", out.display());
+    let violations = scenario::total_violations(&outcomes);
+    if violations > 0 && !report.smoke {
+        eprintln!("chaos matrix: {violations} invariant violation(s)");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let inproc = args.iter().any(|a| a == "--inproc");
+    let shards: usize = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .map(|n| n.parse().expect("--shards takes a count"))
+        .unwrap_or(0);
+    assert!(
+        !(inproc && shards > 0),
+        "--inproc and --shards are mutually exclusive"
+    );
     let experiment = args
         .iter()
-        .find(|a| !a.starts_with("--"))
+        .find(|a| !a.starts_with("--") && a.parse::<usize>().is_err())
         .cloned()
         .unwrap_or_else(|| "all".to_string());
 
-    // One redis-lite server shared by every Redis-backed cell.
-    let server = if inproc {
-        None
+    // The redis-lite server(s) shared by every Redis-backed cell: one by
+    // default, N hash-slot shards under --shards N, none under --inproc.
+    // Kept alive here for the whole run.
+    let servers: Vec<Server> = if inproc {
+        Vec::new()
     } else {
-        Some(Server::start(0).expect("start redis-lite"))
+        (0..shards.max(1))
+            .map(|_| Server::start(0).expect("start redis-lite"))
+            .collect()
+    };
+    let redis = match servers.as_slice() {
+        [] => RedisTarget::InProc,
+        [one] if shards == 0 => RedisTarget::Tcp(one.addr()),
+        many => RedisTarget::Cluster(many.iter().map(|s| s.addr()).collect()),
     };
     let opts = Opts {
         time_scale: if quick { 0.05 } else { 0.25 },
         quick,
-        redis: server.as_ref().map(|s| s.addr()),
+        redis,
     };
-    if let Some(s) = &server {
-        eprintln!(
+    match servers.as_slice() {
+        [] => {}
+        [one] if shards == 0 => eprintln!(
             "redis-lite server on {} (pass --inproc to skip the wire)",
-            s.addr()
-        );
+            one.addr()
+        ),
+        many => eprintln!(
+            "redis-lite cluster: {} shard(s) on {:?}",
+            many.len(),
+            many.iter().map(|s| s.addr()).collect::<Vec<_>>()
+        ),
     }
     eprintln!(
         "time scale {} (all service times scaled; ratios are scale-invariant)\n",
@@ -491,6 +542,7 @@ fn main() {
         }
         "fig13" => fig13(&opts),
         "ablation" => ablation(&opts),
+        "chaos" => chaos(&opts),
         "table1" => {
             let server_sweep = fig_galaxy(Platform::SERVER, &opts);
             let cloud_sweep = fig_galaxy(Platform::CLOUD, &opts);
@@ -556,7 +608,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment '{other}'. Choose one of: fig8 fig9 fig10 fig11a \
-                 fig11b fig11c fig12a fig12b fig13 table1 table2 table3 ablation all"
+                 fig11b fig11c fig12a fig12b fig13 table1 table2 table3 ablation chaos all"
             );
             std::process::exit(2);
         }

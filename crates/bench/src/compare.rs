@@ -161,8 +161,17 @@ pub fn compare(base: &BenchReport, current: &BenchReport) -> Comparison {
             continue;
         }
         let delta_pct = (cs.mean - bs.mean) / bs.mean * 100.0;
+        // An entry may declare a wider noise floor than the global default
+        // (chaos ratio metrics do — their honest cross-process repeatability
+        // is tens of percent). The floor from either side applies: a report
+        // can widen its own tolerance but never narrow the baseline's.
+        let declared_floor = b
+            .noise_pct
+            .unwrap_or(0.0)
+            .max(c.noise_pct.unwrap_or(0.0))
+            .max(MIN_NOISE_PCT);
         let threshold_pct =
-            MIN_NOISE_PCT.max((bs.rel_ci_half_width() + cs.rel_ci_half_width()) * 100.0);
+            declared_floor.max((bs.rel_ci_half_width() + cs.rel_ci_half_width()) * 100.0);
         let disjoint = cs.ci_lo > bs.ci_hi || cs.ci_hi < bs.ci_lo;
         let significant = disjoint && delta_pct.abs() > threshold_pct;
         let verdict = if !significant {
@@ -253,6 +262,7 @@ mod tests {
                 better: *better,
                 samples: samples.to_vec(),
                 summary: summarize(samples, &StatsConfig::default()),
+                noise_pct: None,
             });
         }
         r

@@ -8,6 +8,8 @@
 //! * [`ratios`] — derives the Table 1–3 ratio summaries (best-by-runtime,
 //!   best-by-process-time, mean ± std) from a sweep;
 //! * [`render`] — prints series and tables in the paper's shape;
+//! * [`scenario`] — the chaos matrix: workloads × traffic shapes × faults,
+//!   with recovery time and invariant penalties as gateable metrics;
 //! * [`compare`] — the statistical regression gate over the versioned
 //!   `BENCH_<name>.json` reports the timing harness persists.
 //!
@@ -32,8 +34,12 @@
 pub mod compare;
 pub mod ratios;
 pub mod render;
+pub mod scenario;
 pub mod sweep;
 
 pub use compare::{compare, Comparison, Gate, Verdict};
 pub use ratios::{ratio_table, RatioSummary};
-pub use sweep::{run_cell, MappingKind, RunRow, Sweep, WorkflowKind};
+pub use scenario::{
+    matrix, run_cells, run_matrix, CellOutcome, ChaosCell, ChaosFault, ChaosWorkload, ScenarioOpts,
+};
+pub use sweep::{run_cell, MappingKind, RedisTarget, RunRow, Sweep, WorkflowKind};

@@ -110,6 +110,7 @@ mod tests {
             runtime_s: rt,
             process_s: pt,
             trace: vec![],
+            warnings: vec![],
         }
     }
 

@@ -232,6 +232,7 @@ mod tests {
                     runtime_s: 2.5,
                     process_s: 10.0,
                     trace: vec![],
+                    warnings: vec![],
                 },
                 RunRow {
                     platform: "server",
@@ -241,6 +242,7 @@ mod tests {
                     runtime_s: 2.0,
                     process_s: 8.0,
                     trace: vec![],
+                    warnings: vec![],
                 },
                 RunRow {
                     platform: "server",
@@ -250,6 +252,7 @@ mod tests {
                     runtime_s: 2.1,
                     process_s: 5.0,
                     trace: vec![],
+                    warnings: vec![],
                 },
             ],
         }
@@ -320,6 +323,7 @@ mod tests {
                     .collect::<Vec<_>>(),
                 &StatsConfig::default(),
             ),
+            noise_pct: None,
         };
         let mut base = BenchReport::new("base", false);
         base.benches.push(entry("g/fast", 1e-6));

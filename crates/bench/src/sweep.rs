@@ -34,6 +34,44 @@ impl WorkflowKind {
     }
 }
 
+/// Where the Redis-backed techniques find their server(s).
+///
+/// `InProc` mints a fresh in-process engine per mapping instantiation (no
+/// wire, no state shared between cells); `Tcp` is the paper's deployment
+/// shape; `Cluster` hash-slot shards the keyspace across several
+/// redis-lite servers (the `repro -- … --shards N` path).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum RedisTarget {
+    /// Fresh in-process engine per instantiation.
+    #[default]
+    InProc,
+    /// One redis-lite (or real Redis) server over TCP.
+    Tcp(SocketAddr),
+    /// Hash-slot sharding across these servers; order defines slot-range
+    /// ownership and must match for every client.
+    Cluster(Vec<SocketAddr>),
+}
+
+impl RedisTarget {
+    /// Mints the backend this target describes.
+    pub fn backend(&self) -> RedisBackend {
+        match self {
+            RedisTarget::InProc => RedisBackend::in_proc(),
+            RedisTarget::Tcp(addr) => RedisBackend::Tcp(*addr),
+            RedisTarget::Cluster(addrs) => RedisBackend::cluster(addrs.clone()),
+        }
+    }
+
+    /// Short description for logs ("inproc", "tcp", "cluster×4").
+    pub fn label(&self) -> String {
+        match self {
+            RedisTarget::InProc => "inproc".into(),
+            RedisTarget::Tcp(_) => "tcp".into(),
+            RedisTarget::Cluster(addrs) => format!("cluster×{}", addrs.len()),
+        }
+    }
+}
+
 /// The six evaluated techniques (§5's abbreviation list), constructed fresh
 /// per run so no state leaks between cells.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,13 +133,10 @@ impl MappingKind {
         )
     }
 
-    /// Instantiates the mapping. `redis` is the server address for the
-    /// Redis-backed techniques (`None` → in-process backend).
-    pub fn instantiate(self, redis: Option<SocketAddr>) -> Box<dyn Mapping> {
-        let backend = || match redis {
-            Some(addr) => RedisBackend::Tcp(addr),
-            None => RedisBackend::in_proc(),
-        };
+    /// Instantiates the mapping. `redis` tells the Redis-backed techniques
+    /// where their server(s) live; the multiprocessing family ignores it.
+    pub fn instantiate(self, redis: &RedisTarget) -> Box<dyn Mapping> {
+        let backend = || redis.backend();
         let auto = AutoscaleConfig {
             tick: std::time::Duration::from_millis(2),
             ..AutoscaleConfig::default()
@@ -140,6 +175,10 @@ pub struct RunRow {
     pub process_s: f64,
     /// Auto-scaler trace (empty for non-auto mappings).
     pub trace: Vec<TracePoint>,
+    /// Non-fatal degradations the run worked around
+    /// ([`RunReport::warnings`]) — e.g. a cold start because a stored
+    /// snapshot frame was damaged. Silent in the numbers, loud here.
+    pub warnings: Vec<String>,
 }
 
 /// A collection of measured cells.
@@ -192,7 +231,7 @@ pub fn run_cell(
     mapping: MappingKind,
     workers: usize,
     workload_label: &str,
-    redis: Option<SocketAddr>,
+    redis: &RedisTarget,
 ) -> Option<RunRow> {
     let cfg = cfg.clone().with_limiter(platform.limiter());
     let exe = wf.build(&cfg);
@@ -207,6 +246,7 @@ pub fn run_cell(
             runtime_s: report.runtime.as_secs_f64(),
             process_s: report.process_time.as_secs_f64(),
             trace: report.scaling_trace,
+            warnings: report.warnings,
         }),
         // A mapping that cannot run this cell (e.g. multi below its process
         // minimum) contributes no row, exactly like the paper's plots.
@@ -232,7 +272,7 @@ mod tests {
             MappingKind::DynMulti,
             4,
             "1X std",
-            None,
+            &RedisTarget::InProc,
         )
         .unwrap();
         assert_eq!(row.mapping, "dyn_multi");
@@ -251,7 +291,7 @@ mod tests {
             MappingKind::Multi,
             2,
             "1X std",
-            None,
+            &RedisTarget::InProc,
         );
         assert!(row.is_none());
     }
@@ -272,6 +312,7 @@ mod tests {
                 runtime_s: 1.0,
                 process_s: 2.0,
                 trace: vec![],
+                warnings: vec![],
             });
         }
         let series = sweep.series("multi", "1X");

@@ -23,6 +23,7 @@ fn entry(id: &str, better: Better, samples: Vec<f64>) -> BenchEntry {
         better,
         samples: samples.clone(),
         summary: summarize(&samples, &StatsConfig::default()),
+        noise_pct: None,
     }
 }
 

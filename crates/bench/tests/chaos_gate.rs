@@ -1,0 +1,133 @@
+//! End-to-end gate over the chaos matrix: a handicapped recovery path must
+//! fail `bench-compare`, and a damaged chaos baseline must be a hard usage
+//! error — the acceptance criteria of the recovery-time regression gate.
+//!
+//! The reports are produced by the *real* scenario runner (a crash cell
+//! with the three-phase recovery protocol), not hand-built fixtures, so the
+//! test pins the whole path: run → `BENCH_chaos_matrix.json` → gate.
+
+use d4py_bench::scenario::{self, ChaosCell, ChaosFault, ChaosWorkload, ScenarioOpts};
+use d4py_bench::sweep::RedisTarget;
+use d4py_sync::report::BenchReport;
+use dispel4py::workflows::TrafficShape;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn crash_cell() -> ChaosCell {
+    ChaosCell {
+        workload: ChaosWorkload::GroupBy,
+        shape: TrafficShape::Steady,
+        fault: ChaosFault::Crash,
+    }
+}
+
+/// Runs the crash cell with an explicit handicap and returns its report.
+/// `smoke: false` so the comparator actually gates.
+fn measured_report(handicap: f64) -> BenchReport {
+    let opts = ScenarioOpts {
+        quick: true,
+        iters: 3,
+        time_scale: 0.0,
+        handicap,
+        redis: RedisTarget::InProc,
+    };
+    let outcomes = scenario::run_cells(&[crash_cell()], &opts).expect("crash cell runs");
+    assert_eq!(
+        scenario::total_violations(&outcomes),
+        0,
+        "the gate test needs a correct run; warnings: {:?}",
+        outcomes[0].warnings
+    );
+    scenario::to_report(&outcomes, false)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("d4py_chaos_gate_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write(dir: &Path, file: &str, r: &BenchReport) -> PathBuf {
+    let path = dir.join(file);
+    r.save(&path).expect("report must save");
+    path
+}
+
+fn run_compare(baseline: &Path, current: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench-compare"))
+        .arg(baseline)
+        .arg(current)
+        .output()
+        .expect("bench-compare must spawn")
+}
+
+#[test]
+fn handicapped_recovery_fails_the_gate() {
+    let dir = temp_dir("handicap");
+    let base = write(&dir, "base.json", &measured_report(1.0));
+    // A 40× slower recovery path — far outside noise even for a
+    // three-sample run.
+    let cur = write(&dir, "cur.json", &measured_report(40.0));
+    let out = run_compare(&base, &cur);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("gate: FAIL"), "{stdout}");
+    assert!(
+        stdout.contains("recovery_ratio") && stdout.contains("REGRESSED"),
+        "recovery time must be a first-class gated metric: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unchanged_recovery_passes_the_gate() {
+    let dir = temp_dir("same");
+    let report = measured_report(1.0);
+    let base = write(&dir, "base.json", &report);
+    let cur = write(&dir, "cur.json", &report);
+    let out = run_compare(&base, &cur);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("gate: PASS"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_chaos_baseline_is_a_hard_error() {
+    let dir = temp_dir("malformed");
+    let good = measured_report(1.0);
+    let cur = write(&dir, "cur.json", &good);
+    // Truncated-write corruption: an entry with its samples gone.
+    let mut corrupt = good.clone();
+    corrupt.benches[0].samples.clear();
+    let bad = write(&dir, "bad.json", &corrupt);
+    let out = run_compare(&bad, &cur);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "{stderr}");
+    assert!(stderr.contains("no samples"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn violation_inflates_the_penalty_metric_and_gates() {
+    // Synthesize a current report whose crash cell saw one violation: the
+    // penalty entry moves 1.0 → 2.0, which must gate (Better::Lower).
+    let dir = temp_dir("violation");
+    let base = write(&dir, "base.json", &measured_report(1.0));
+    let good = measured_report(1.0);
+    let mut broken = good.clone();
+    let penalty = broken
+        .benches
+        .iter_mut()
+        .find(|b| b.id.ends_with("invariant_penalty"))
+        .expect("crash cell reports a penalty entry");
+    penalty.samples = vec![2.0; penalty.samples.len()];
+    penalty.summary =
+        d4py_sync::stats::summarize(&penalty.samples, &d4py_sync::stats::StatsConfig::default());
+    let cur = write(&dir, "cur.json", &broken);
+    let out = run_compare(&base, &cur);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("invariant_penalty"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -31,6 +31,10 @@ pub enum CoreError {
         /// Index of the worker that died.
         worker: usize,
     },
+    /// A deliberately injected fault fired (see [`crate::fault`]). Chaos
+    /// scenarios match on this to distinguish the planned crash from a
+    /// genuine engine failure.
+    InjectedFault(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -48,6 +52,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Snapshot(e) => write!(f, "snapshot error: {e}"),
             CoreError::Queue(msg) => write!(f, "queue error: {msg}"),
             CoreError::WorkerPanic { worker } => write!(f, "worker {worker} panicked"),
+            CoreError::InjectedFault(msg) => write!(f, "injected fault: {msg}"),
         }
     }
 }

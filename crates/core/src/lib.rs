@@ -46,6 +46,7 @@ pub mod autoscale;
 pub mod codec;
 pub mod error;
 pub mod executable;
+pub mod fault;
 pub mod fusion;
 pub mod mapping;
 pub mod mappings;
@@ -66,6 +67,7 @@ pub mod prelude {
     pub use crate::autoscale::AutoscaleConfig;
     pub use crate::error::CoreError;
     pub use crate::executable::Executable;
+    pub use crate::fault::FaultPlan;
     pub use crate::fusion::{fuse, fuse_staged};
     pub use crate::mapping::Mapping;
     pub use crate::mappings::dyn_auto_multi::ScalingStrategyKind;

@@ -24,6 +24,7 @@
 
 use crate::error::CoreError;
 use crate::executable::Executable;
+use crate::fault::{FaultPlan, PillStorm};
 use crate::metrics::{ActiveTimeLedger, PeTaskCounts, RunReport};
 use crate::options::ExecutionOptions;
 use crate::pe::EmitBuffer;
@@ -87,9 +88,88 @@ struct HybridEngine {
     /// Non-fatal degradations (e.g. warm starts skipped over damaged
     /// frames), surfaced through [`RunReport::warnings`].
     warnings: d4py_sync::Mutex<Vec<String>>,
+
+    // --- fault injection (see crate::fault) -------------------------------
+    /// Straggler target, resolved to a PE id, with its extra service time.
+    straggler: Option<(PeId, Duration)>,
+    /// Crash target: (slot, dies after this many tasks).
+    crash_slot: Option<(StatefulSlot, u64)>,
+    /// Pill-storm schedule, fired at most once per run.
+    pill_storm: Option<PillStorm>,
+    storm_fired: AtomicBool,
+    /// Set by a crashing worker so the coordinator stops waiting for
+    /// quiescence that will never come.
+    crashed: AtomicBool,
+    /// Pills observed before the engine's shutdown flag was set. Legitimate
+    /// termination always stores `shutdown` *before* broadcasting pills, so
+    /// these are injected/foreign and are ignored (and counted).
+    spurious_pills: AtomicU64,
+    /// Transient transport errors absorbed by the retry budget.
+    transport_retries_used: AtomicU64,
+    /// Per-operation retry budget, from [`ExecutionOptions::transport_retries`].
+    transport_retries: u32,
 }
 
 impl HybridEngine {
+    /// Runs one queue operation, absorbing up to `transport_retries`
+    /// consecutive [`CoreError::Queue`] transport errors before giving up.
+    ///
+    /// The redis-lite client already retries *idempotent* commands
+    /// internally; stream appends and group reads are excluded there because
+    /// the client cannot know whether a half-written command took effect.
+    /// At the engine level the calculus differs: chaos-injected faults are
+    /// fail-fast (the connection dies before the request is written), and a
+    /// re-delivered task is tolerated by the saturating outstanding
+    /// decrement — so a bounded blind retry converts a dropped connection
+    /// from a failed run into a warning. Absorbed retries are counted and
+    /// surfaced through [`RunReport::warnings`].
+    fn retrying<T>(&self, mut op: impl FnMut() -> Result<T, CoreError>) -> Result<T, CoreError> {
+        let mut attempts = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(CoreError::Queue(_)) if attempts < self.transport_retries => {
+                    attempts += 1;
+                    // relaxed: monotonic statistics counter; read after joins.
+                    self.transport_retries_used.fetch_add(1, Ordering::Relaxed);
+                    // sleep: brief fixed backoff before re-minting the
+                    // connection; the retry budget bounds total delay.
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Straggler fault: the extra service time for `pe`'s tasks, if armed.
+    fn straggler_delay(&self, pe: PeId) -> Option<Duration> {
+        match self.straggler {
+            Some((target, extra)) if target == pe => Some(extra),
+            _ => None,
+        }
+    }
+
+    /// Pill-storm fault: once the engine-wide executed-task counter crosses
+    /// the threshold, inject the configured number of spurious pills into
+    /// the global queue (at most once per run).
+    fn maybe_fire_storm(&self) -> Result<(), CoreError> {
+        let Some(storm) = self.pill_storm else {
+            return Ok(());
+        };
+        // relaxed: threshold probe on a statistics counter; the swap below
+        // is the once-only guard.
+        if self.tasks_executed.load(Ordering::Relaxed) < storm.after_tasks {
+            return Ok(());
+        }
+        if self.storm_fired.swap(true, Ordering::SeqCst) {
+            return Ok(());
+        }
+        for _ in 0..storm.pills {
+            self.retrying(|| self.global.push(QueueItem::Pill))?;
+        }
+        Ok(())
+    }
+
     /// Routes one emitted value across one connection, from any worker.
     ///
     /// Stateful targets go straight to their private queue; stateless targets
@@ -139,7 +219,12 @@ impl HybridEngine {
             .get(&StatefulSlot { pe, instance })
             .ok_or_else(|| CoreError::Queue(format!("no private queue for {pe}#{instance}")))?;
         self.outstanding.fetch_add(1, Ordering::SeqCst);
-        q.push(QueueItem::Task(Task::pinned(pe, instance, port, value)))
+        let item = QueueItem::Task(Task::pinned(pe, instance, port, value));
+        if self.transport_retries == 0 {
+            q.push(item)
+        } else {
+            self.retrying(|| q.push(item.clone()))
+        }
     }
 
     /// Routes everything a PE emitted.
@@ -173,7 +258,11 @@ impl HybridEngine {
         if !global_batch.is_empty() {
             self.outstanding
                 .fetch_add(global_batch.len(), Ordering::SeqCst);
-            self.global.push_batch(producer, global_batch)?;
+            if self.transport_retries == 0 {
+                self.global.push_batch(producer, global_batch)?;
+            } else {
+                self.retrying(|| self.global.push_batch(producer, global_batch.clone()))?;
+            }
         }
         Ok(())
     }
@@ -243,12 +332,64 @@ pub fn run_hybrid_with_state(
     mapping_name: &'static str,
     state: Option<Arc<dyn StateStore>>,
 ) -> Result<RunReport, CoreError> {
+    run_hybrid_with_faults(
+        exe,
+        opts,
+        factory,
+        mapping_name,
+        state,
+        &FaultPlan::default(),
+    )
+}
+
+/// [`run_hybrid_with_state`] under a chaos [`FaultPlan`] (see
+/// [`crate::fault`]). The default plan reduces exactly to the healthy run.
+pub fn run_hybrid_with_faults(
+    exe: &Executable,
+    opts: &ExecutionOptions,
+    factory: &dyn QueueFactory,
+    mapping_name: &'static str,
+    state: Option<Arc<dyn StateStore>>,
+    faults: &FaultPlan,
+) -> Result<RunReport, CoreError> {
     if opts.workers == 0 {
         return Err(CoreError::InvalidOptions("workers must be ≥ 1".into()));
     }
     let started = Instant::now();
     let graph = exe.graph();
     let (slots, stateless_workers) = plan_stateful(graph, opts.workers, mapping_name)?;
+
+    // Resolve fault targets (named PEs) against this graph up front, so a
+    // typo in a scenario is an options error, not a silently healthy run.
+    let resolve = |name: &str| -> Result<PeId, CoreError> {
+        graph
+            .pe_ids()
+            .find(|id| graph.pe(*id).map(|s| s.name == name).unwrap_or(false))
+            .ok_or_else(|| {
+                CoreError::InvalidOptions(format!("fault plan targets unknown PE '{name}'"))
+            })
+    };
+    let straggler = match &faults.straggler {
+        Some(s) => Some((resolve(&s.pe)?, s.extra)),
+        None => None,
+    };
+    let crash_slot = match &faults.crash {
+        Some(c) => {
+            let pe = resolve(&c.pe)?;
+            let slot = StatefulSlot {
+                pe,
+                instance: c.instance,
+            };
+            if !slots.contains(&slot) {
+                return Err(CoreError::InvalidOptions(format!(
+                    "crash fault targets '{}'#{} which is not a pinned stateful instance",
+                    c.pe, c.instance
+                )));
+            }
+            Some((slot, c.after_tasks))
+        }
+        None => None,
+    };
 
     let global = factory.make("global", stateless_workers.max(1))?;
     let mut private = HashMap::new();
@@ -275,6 +416,14 @@ pub fn run_hybrid_with_state(
         stateless_workers,
         state,
         warnings: d4py_sync::Mutex::new(Vec::new()),
+        straggler,
+        crash_slot,
+        pill_storm: faults.pill_storm,
+        storm_fired: AtomicBool::new(false),
+        crashed: AtomicBool::new(false),
+        spurious_pills: AtomicU64::new(0),
+        transport_retries_used: AtomicU64::new(0),
+        transport_retries: opts.transport_retries,
     });
 
     // Seed kickoffs: stateless sources to the global queue; stateful sources
@@ -283,20 +432,22 @@ pub fn run_hybrid_with_state(
         if let Some(&n) = engine.stateful_instances.get(&source) {
             for i in 0..n {
                 engine.outstanding.fetch_add(1, Ordering::SeqCst);
-                engine.private[&StatefulSlot {
+                let q = &engine.private[&StatefulSlot {
                     pe: source,
                     instance: i,
-                }]
-                    .push(QueueItem::Task(Task::pinned(
+                }];
+                engine.retrying(|| {
+                    q.push(QueueItem::Task(Task::pinned(
                         source,
                         i,
                         crate::task::KICKOFF_PORT,
                         crate::value::Value::Null,
-                    )))?;
+                    )))
+                })?;
             }
         } else {
             engine.outstanding.fetch_add(1, Ordering::SeqCst);
-            engine.global.push(QueueItem::Task(Task::kickoff(source)))?;
+            engine.retrying(|| engine.global.push(QueueItem::Task(Task::kickoff(source))))?;
         }
     }
 
@@ -321,8 +472,11 @@ pub fn run_hybrid_with_state(
     // then broadcast pills.
     let settle = Duration::from_millis(1);
     let wait_quiescent = |engine: &HybridEngine| {
-        while engine.outstanding.load(Ordering::SeqCst) != 0
-            || engine.flushes_pending.load(Ordering::SeqCst) != 0
+        // A crashed worker leaves its queue undrained, so its outstanding
+        // tasks never complete — stop waiting and move straight to teardown.
+        while (engine.outstanding.load(Ordering::SeqCst) != 0
+            || engine.flushes_pending.load(Ordering::SeqCst) != 0)
+            && !engine.crashed.load(Ordering::SeqCst)
         {
             // sleep: quiescence poll between drain rounds; the outstanding
             // counters are the real signal, the sleep only paces the poll.
@@ -331,33 +485,67 @@ pub fn run_hybrid_with_state(
     };
     wait_quiescent(&engine);
     for pe in graph.topological_order()? {
+        if engine.crashed.load(Ordering::SeqCst) {
+            // Skip the remaining flushes: on_done output would be partial,
+            // and — crucially for recovery — no snapshots are written, so
+            // the state store keeps the last *completed* checkpoint.
+            break;
+        }
         let Some(&n) = engine.stateful_instances.get(&pe) else {
             continue;
         };
         engine.flushes_pending.fetch_add(n, Ordering::SeqCst);
         for i in 0..n {
-            engine.private[&StatefulSlot { pe, instance: i }].push(QueueItem::Flush)?;
+            let q = &engine.private[&StatefulSlot { pe, instance: i }];
+            engine.retrying(|| q.push(QueueItem::Flush))?;
         }
         wait_quiescent(&engine);
     }
     engine.shutdown.store(true, Ordering::SeqCst);
     for _ in 0..stateless_workers {
-        engine.global.push(QueueItem::Pill)?;
+        engine.retrying(|| engine.global.push(QueueItem::Pill))?;
     }
     for slot in &slots {
-        engine.private[slot].push(QueueItem::Pill)?;
+        let q = &engine.private[slot];
+        engine.retrying(|| q.push(QueueItem::Pill))?;
     }
 
-    let mut worker_error = None;
+    let mut worker_error: Option<CoreError> = None;
     for (w, h) in handles.into_iter().enumerate() {
         match h.join() {
             Ok(Ok(())) => {}
-            Ok(Err(e)) => worker_error = Some(e),
-            Err(_) => worker_error = Some(CoreError::WorkerPanic { worker: w }),
+            Ok(Err(e)) => {
+                // An injected fault is the root cause of any collateral
+                // worker errors — make sure it is the one reported.
+                let injected = matches!(e, CoreError::InjectedFault(_));
+                if injected || worker_error.is_none() {
+                    worker_error = Some(e);
+                }
+            }
+            Err(_) => {
+                if worker_error.is_none() {
+                    worker_error = Some(CoreError::WorkerPanic { worker: w });
+                }
+            }
         }
     }
     if let Some(e) = worker_error {
         return Err(e);
+    }
+    // relaxed: statistics counters, read only after every worker has been
+    // joined — the join is the synchronization point.
+    let retries_used = engine.transport_retries_used.load(Ordering::Relaxed);
+    if retries_used > 0 {
+        engine.warnings.lock().push(format!(
+            "absorbed {retries_used} transient transport error(s) via retry"
+        ));
+    }
+    // relaxed: statistics counter, read after joins (see above).
+    let spurious = engine.spurious_pills.load(Ordering::Relaxed);
+    if spurious > 0 {
+        engine.warnings.lock().push(format!(
+            "ignored {spurious} spurious poison pill(s) received before shutdown"
+        ));
     }
     let warnings = std::mem::take(&mut *engine.warnings.lock());
 
@@ -416,9 +604,24 @@ fn stateful_worker(
         }
     }
 
+    // Crash fault armed for this slot: the worker dies after that many tasks.
+    let crash_after = match engine.crash_slot {
+        Some((target, after)) if target == slot => Some(after),
+        _ => None,
+    };
+    let mut processed: u64 = 0;
+
     loop {
-        match queue.pop(0, opts.termination.poll_timeout)? {
-            Some(QueueItem::Pill) => break,
+        match engine.retrying(|| queue.pop(0, opts.termination.poll_timeout))? {
+            Some(QueueItem::Pill) => {
+                if engine.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // A pill before shutdown is never legitimate (termination
+                // stores the flag first): swallow it and keep working.
+                // relaxed: monotonic statistics counter; read after joins.
+                engine.spurious_pills.fetch_add(1, Ordering::Relaxed);
+            }
             Some(QueueItem::Flush) => {
                 // Externalize the final state before on_done may drain it.
                 if let Some(store) = &engine.state {
@@ -432,6 +635,11 @@ fn stateful_worker(
                 engine.flushes_pending.fetch_sub(1, Ordering::SeqCst);
             }
             Some(QueueItem::Task(task)) => {
+                if let Some(extra) = engine.straggler_delay(slot.pe) {
+                    // sleep: injected straggler fault — inflate this PE's
+                    // service time by a fixed delay per task.
+                    std::thread::sleep(extra);
+                }
                 let mut buf = EmitBuffer::new(slot.instance, n_instances);
                 if crate::pe::process_guarded(&mut pe, &task.port, task.value, &mut buf) {
                     // relaxed: monotonic statistics counter; read after joins.
@@ -441,12 +649,24 @@ fn stateful_worker(
                     // relaxed: monotonic statistics counter; read after joins.
                     engine.failed_tasks.fetch_add(1, Ordering::Relaxed);
                 }
+                processed += 1;
+                if crash_after.map(|after| processed >= after).unwrap_or(false) {
+                    // Die like a real crash: in-flight emissions are lost, no
+                    // snapshot is written, the outstanding count never drains.
+                    engine.ledger.record(worker, active_since.elapsed());
+                    engine.crashed.store(true, Ordering::SeqCst);
+                    return Err(CoreError::InjectedFault(format!(
+                        "worker for {pe_name}#{} crashed after {processed} task(s)",
+                        slot.instance
+                    )));
+                }
                 engine.route_emissions(graph, slot.pe, &mut buf, &mut router, None)?;
                 // Saturating decrement: an at-least-once queue may re-deliver a
                 // task, and a second decrement must not wrap the counter.
                 let _ = engine
                     .outstanding
                     .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1));
+                engine.maybe_fire_storm()?;
             }
             None => {
                 if engine.shutdown.load(Ordering::SeqCst) {
@@ -477,7 +697,8 @@ fn stateless_worker(
     const POP_BATCH: usize = 32;
 
     loop {
-        let batch = queue.pop_batch(consumer, POP_BATCH, opts.termination.poll_timeout)?;
+        let batch = engine
+            .retrying(|| queue.pop_batch(consumer, POP_BATCH, opts.termination.poll_timeout))?;
         if batch.is_empty() {
             if engine.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -489,9 +710,24 @@ fn stateless_worker(
         let mut saw_pill = false;
         for item in batch {
             match item {
-                QueueItem::Pill => saw_pill = true,
+                QueueItem::Pill => {
+                    if engine.shutdown.load(Ordering::SeqCst) {
+                        saw_pill = true;
+                    } else {
+                        // Spurious (injected) pill: termination always sets
+                        // the shutdown flag before broadcasting pills.
+                        // relaxed: monotonic statistics counter; read after
+                        // joins.
+                        engine.spurious_pills.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 QueueItem::Flush => { /* not expected on the global queue */ }
                 QueueItem::Task(task) => {
+                    if let Some(extra) = engine.straggler_delay(task.pe) {
+                        // sleep: injected straggler fault — inflate this PE's
+                        // service time by a fixed delay per task.
+                        std::thread::sleep(extra);
+                    }
                     let pe = match pes.entry(task.pe) {
                         std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                         std::collections::hash_map::Entry::Vacant(e) => {
@@ -522,6 +758,7 @@ fn stateless_worker(
                         engine
                             .outstanding
                             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1));
+                    engine.maybe_fire_storm()?;
                 }
             }
         }
@@ -687,6 +924,194 @@ mod tests {
             .execute(&exe, &ExecutionOptions::new(4))
             .unwrap();
         assert_eq!(handle.lock().len(), 25);
+    }
+
+    #[test]
+    fn straggler_inflates_runtime_but_stays_exact() {
+        let (exe, results) = stateful_exe();
+        // TX hashes to one count instance which handles 6 tasks; 3 ms per
+        // task gives a guaranteed ≥ 18 ms floor on that pinned worker.
+        let plan = FaultPlan::default().with_straggler("count", Duration::from_millis(3));
+        let report = run_hybrid_with_faults(
+            &exe,
+            &ExecutionOptions::new(8),
+            &ChannelQueueFactory,
+            "hybrid_multi",
+            None,
+            &plan,
+        )
+        .unwrap();
+        assert!(
+            report.runtime >= Duration::from_millis(15),
+            "straggler delay not applied: {:?}",
+            report.runtime
+        );
+        let got = results.lock();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].get("count").unwrap().as_int(), Some(6));
+    }
+
+    #[test]
+    fn pill_storm_is_survived() {
+        let (exe, results) = stateful_exe();
+        let plan = FaultPlan::default().with_pill_storm(2, 6);
+        let report = run_hybrid_with_faults(
+            &exe,
+            &ExecutionOptions::new(8),
+            &ChannelQueueFactory,
+            "hybrid_multi",
+            None,
+            &plan,
+        )
+        .unwrap();
+        let got = results.lock();
+        assert_eq!(got.len(), 1, "storm corrupted the run: {got:?}");
+        assert_eq!(got[0].get("state").unwrap().as_str(), Some("TX"));
+        assert_eq!(got[0].get("count").unwrap().as_int(), Some(6));
+        assert_eq!(report.failed_tasks, 0);
+    }
+
+    #[test]
+    fn crash_fault_aborts_with_injected_fault() {
+        let (exe, _) = stateful_exe();
+        // "top" is Global-grouped: all count flush output lands on instance 0.
+        let plan = FaultPlan::default().with_crash("top", 0, 1);
+        let err = run_hybrid_with_faults(
+            &exe,
+            &ExecutionOptions::new(8),
+            &ChannelQueueFactory,
+            "hybrid_multi",
+            None,
+            &plan,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CoreError::InjectedFault(_)),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn fault_plan_with_unknown_pe_is_rejected() {
+        let (exe, _) = stateful_exe();
+        let plan = FaultPlan::default().with_straggler("no_such_pe", Duration::from_millis(1));
+        let err = run_hybrid_with_faults(
+            &exe,
+            &ExecutionOptions::new(8),
+            &ChannelQueueFactory,
+            "hybrid_multi",
+            None,
+            &plan,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidOptions(_)));
+        // Crashing a stateless (unpinned) PE is equally a plan error.
+        let plan = FaultPlan::default().with_crash("src", 0, 1);
+        let err = run_hybrid_with_faults(
+            &exe,
+            &ExecutionOptions::new(8),
+            &ChannelQueueFactory,
+            "hybrid_multi",
+            None,
+            &plan,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidOptions(_)));
+    }
+
+    /// Queue wrapper that fails the first N `pop_batch` calls with a
+    /// transport error, then behaves normally — the in-process stand-in for
+    /// a dropped redis-lite connection.
+    struct FlakyQueue {
+        inner: Arc<dyn TaskQueue>,
+        remaining: Arc<AtomicUsize>,
+    }
+    impl TaskQueue for FlakyQueue {
+        fn push(&self, item: QueueItem) -> Result<(), CoreError> {
+            self.inner.push(item)
+        }
+        fn pop(&self, consumer: usize, timeout: Duration) -> Result<Option<QueueItem>, CoreError> {
+            self.inner.pop(consumer, timeout)
+        }
+        fn pop_batch(
+            &self,
+            consumer: usize,
+            max: usize,
+            timeout: Duration,
+        ) -> Result<Vec<QueueItem>, CoreError> {
+            let take = self
+                .remaining
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok();
+            if take {
+                return Err(CoreError::Queue("injected: connection dropped".into()));
+            }
+            self.inner.pop_batch(consumer, max, timeout)
+        }
+        fn depth(&self) -> usize {
+            self.inner.depth()
+        }
+    }
+
+    struct FlakyFactory {
+        charges: Arc<AtomicUsize>,
+    }
+    impl QueueFactory for FlakyFactory {
+        fn make(&self, name: &str, consumers: usize) -> Result<Arc<dyn TaskQueue>, CoreError> {
+            let inner: Arc<dyn TaskQueue> = Arc::new(ChannelQueue::new(consumers));
+            if name == "global" {
+                Ok(Arc::new(FlakyQueue {
+                    inner,
+                    remaining: self.charges.clone(),
+                }))
+            } else {
+                Ok(inner)
+            }
+        }
+    }
+
+    #[test]
+    fn transport_retry_budget_absorbs_transient_errors() {
+        let (exe, results) = stateful_exe();
+        let factory = FlakyFactory {
+            charges: Arc::new(AtomicUsize::new(2)),
+        };
+        let report = run_hybrid_with_faults(
+            &exe,
+            &ExecutionOptions::new(8).with_transport_retries(3),
+            &factory,
+            "hybrid_multi",
+            None,
+            &FaultPlan::default(),
+        )
+        .unwrap();
+        assert_eq!(results.lock().len(), 1);
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("transient transport error")),
+            "retry warning missing: {:?}",
+            report.warnings
+        );
+    }
+
+    #[test]
+    fn transport_errors_still_fatal_without_budget() {
+        let (exe, _) = stateful_exe();
+        let factory = FlakyFactory {
+            charges: Arc::new(AtomicUsize::new(2)),
+        };
+        let err = run_hybrid_with_faults(
+            &exe,
+            &ExecutionOptions::new(8),
+            &factory,
+            "hybrid_multi",
+            None,
+            &FaultPlan::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Queue(_)), "unexpected: {err}");
     }
 
     #[test]

@@ -45,6 +45,13 @@ pub struct ExecutionOptions {
     pub limiter: Arc<CoreLimiter>,
     /// Termination protocol parameters for dynamic mappings.
     pub termination: TerminationConfig,
+    /// How many consecutive transient transport errors one queue operation
+    /// may absorb before the run fails. The default of 0 preserves the
+    /// historical fail-fast behaviour; chaos scenarios that inject dropped
+    /// redis-lite connections raise it so the engine rides through the
+    /// fault. Retries are counted and surfaced in
+    /// [`RunReport::warnings`](crate::mapping::RunReport::warnings).
+    pub transport_retries: u32,
 }
 
 impl ExecutionOptions {
@@ -54,6 +61,7 @@ impl ExecutionOptions {
             workers,
             limiter: CoreLimiter::unlimited(),
             termination: TerminationConfig::default(),
+            transport_retries: 0,
         }
     }
 
@@ -75,6 +83,13 @@ impl ExecutionOptions {
         self.limiter = limiter;
         self
     }
+
+    /// Allows each queue operation to absorb up to `n` consecutive
+    /// transient transport errors (builder style).
+    pub fn with_transport_retries(mut self, n: u32) -> Self {
+        self.transport_retries = n;
+        self
+    }
 }
 
 impl std::fmt::Debug for ExecutionOptions {
@@ -83,6 +98,7 @@ impl std::fmt::Debug for ExecutionOptions {
             .field("workers", &self.workers)
             .field("cores", &self.limiter.cores())
             .field("termination", &self.termination)
+            .field("transport_retries", &self.transport_retries)
             .finish()
     }
 }
@@ -98,6 +114,13 @@ mod tests {
         assert!(opts.limiter.is_unlimited());
         assert!(opts.termination.strict);
         assert_eq!(opts.termination.max_retries, 5);
+        assert_eq!(opts.transport_retries, 0);
+    }
+
+    #[test]
+    fn transport_retry_builder() {
+        let opts = ExecutionOptions::new(4).with_transport_retries(3);
+        assert_eq!(opts.transport_retries, 3);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Connection-level fault injection for chaos scenarios.
+//!
+//! [`flaky_backend`] wraps any [`RedisBackend`] so that its connections
+//! fail a chosen command verb while the returned charge counter holds
+//! charges — the reusable, public form of the fault idiom the queue tests
+//! pioneered. Failures are **fail-fast**: the error is returned *before*
+//! the request reaches the wire, so the command provably did not execute
+//! and a blind engine-level retry (see
+//! [`ExecutionOptions::transport_retries`](d4py_core::options::ExecutionOptions))
+//! cannot double-apply it. That is the same guarantee a refused TCP
+//! connect gives, which is exactly the failure a dropped redis-lite
+//! connection produces on the *next* request.
+//!
+//! Arm faults mid-run by storing charges into the counter from the
+//! scenario thread; the pool discards the poisoned connection on error and
+//! mints a fresh (healthy) one from the same factory.
+
+use crate::backend::RedisBackend;
+use redis_lite::client::{ClientError, Connection};
+use redis_lite::resp::Frame;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A connection that fails requests matching a verb while charges remain.
+struct FlakyConnection {
+    inner: Box<dyn Connection>,
+    verb: Vec<u8>,
+    remaining: Arc<AtomicUsize>,
+}
+
+impl FlakyConnection {
+    fn should_fail(&self, first: Option<&&[u8]>) -> bool {
+        first.is_some_and(|v| v.eq_ignore_ascii_case(&self.verb))
+            && self
+                .remaining
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+    }
+}
+
+impl Connection for FlakyConnection {
+    fn request(&mut self, args: &[&[u8]]) -> Result<Frame, ClientError> {
+        if self.should_fail(args.first()) {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "injected fault: connection dropped",
+            )));
+        }
+        self.inner.request(args)
+    }
+
+    fn request_many(&mut self, cmds: &[&[&[u8]]]) -> Result<Vec<Frame>, ClientError> {
+        if self.should_fail(cmds.first().and_then(|c| c.first())) {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "injected fault: connection dropped",
+            )));
+        }
+        self.inner.request_many(cmds)
+    }
+}
+
+/// Wraps `inner` so every minted connection fails commands whose verb is
+/// `verb` (case-insensitive) while the returned counter holds charges
+/// (0 = healthy). Store into the counter mid-run to arm the fault.
+pub fn flaky_backend(inner: &RedisBackend, verb: &[u8]) -> (RedisBackend, Arc<AtomicUsize>) {
+    let charges = Arc::new(AtomicUsize::new(0));
+    let c = charges.clone();
+    let inner = inner.clone();
+    let verb = verb.to_vec();
+    let backend = RedisBackend::custom(move || {
+        Ok(Box::new(FlakyConnection {
+            inner: inner.connect()?,
+            verb: verb.clone(),
+            remaining: c.clone(),
+        }))
+    });
+    (backend, charges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redis_lite::client::RedisOps;
+
+    #[test]
+    fn charges_fail_then_clear() {
+        let (backend, charges) = flaky_backend(&RedisBackend::in_proc(), b"SET");
+        let mut conn = backend.connect().unwrap();
+        conn.set(b"k", b"v1").unwrap();
+        charges.store(2, Ordering::SeqCst);
+        assert!(conn.set(b"k", b"v2").is_err());
+        assert!(conn.set(b"k", b"v2").is_err());
+        conn.set(b"k", b"v3").unwrap();
+        assert_eq!(conn.get(b"k").unwrap(), Some(b"v3".to_vec()));
+        // Non-matching verbs were never affected.
+        charges.store(1, Ordering::SeqCst);
+        assert_eq!(conn.get(b"k").unwrap(), Some(b"v3".to_vec()));
+        assert!(conn.set(b"k", b"v4").is_err());
+    }
+
+    #[test]
+    fn pipelined_requests_also_fail() {
+        let (backend, charges) = flaky_backend(&RedisBackend::in_proc(), b"SET");
+        let mut conn = backend.connect().unwrap();
+        charges.store(1, Ordering::SeqCst);
+        let cmds: &[&[&[u8]]] = &[&[b"SET", b"a", b"1"], &[b"SET", b"b", b"2"]];
+        assert!(conn.request_many(cmds).is_err());
+        assert!(conn.request_many(cmds).is_ok());
+    }
+}

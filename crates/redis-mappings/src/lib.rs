@@ -15,6 +15,7 @@
 
 pub mod backend;
 pub mod cluster;
+pub mod fault;
 pub mod mappings;
 pub mod pool;
 pub mod queue;

@@ -5,9 +5,10 @@ use crate::queue::RedisQueue;
 use d4py_core::autoscale::{AutoscaleConfig, IdleTimeStrategy};
 use d4py_core::error::CoreError;
 use d4py_core::executable::Executable;
+use d4py_core::fault::FaultPlan;
 use d4py_core::mapping::Mapping;
 use d4py_core::mappings::dynamic::{run_dynamic, AutoscaleSetup};
-use d4py_core::mappings::hybrid::{run_hybrid_with_state, QueueFactory};
+use d4py_core::mappings::hybrid::{run_hybrid_with_faults, QueueFactory};
 use d4py_core::metrics::RunReport;
 use d4py_core::options::ExecutionOptions;
 use d4py_core::queue::TaskQueue;
@@ -112,6 +113,7 @@ impl Mapping for DynAutoRedis {
 pub struct HybridRedis {
     backend: RedisBackend,
     state: Option<Arc<dyn d4py_core::state::StateStore>>,
+    faults: FaultPlan,
 }
 
 impl HybridRedis {
@@ -120,6 +122,7 @@ impl HybridRedis {
         Self {
             backend,
             state: None,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -130,6 +133,13 @@ impl HybridRedis {
         self.state = Some(store);
         self
     }
+
+    /// Arms a chaos fault plan for every run of this mapping (builder
+    /// style). See [`d4py_core::fault`].
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 impl std::fmt::Debug for HybridRedis {
@@ -137,6 +147,7 @@ impl std::fmt::Debug for HybridRedis {
         f.debug_struct("HybridRedis")
             .field("backend", &self.backend)
             .field("state", &self.state.is_some())
+            .field("faults", &self.faults)
             .finish()
     }
 }
@@ -168,7 +179,14 @@ impl Mapping for HybridRedis {
             // relaxed: uniqueness-only run id (see `unique_prefix`).
             run: RUN_COUNTER.fetch_add(1, Ordering::Relaxed),
         };
-        run_hybrid_with_state(exe, opts, &factory, self.name(), self.state.clone())
+        run_hybrid_with_faults(
+            exe,
+            opts,
+            &factory,
+            self.name(),
+            self.state.clone(),
+            &self.faults,
+        )
     }
 }
 

@@ -35,12 +35,15 @@ impl ConnTable {
         self.live.lock().remove(&id);
     }
 
-    /// Closes every tracked socket. Handlers blocked in `read` observe
-    /// EOF/error and exit on their own.
-    fn close_all(&self) {
+    /// Closes every tracked socket, returning how many were severed.
+    /// Handlers blocked in `read` observe EOF/error and exit on their own.
+    fn close_all(&self) -> usize {
+        let mut dropped = 0;
         for (_, sock) in self.live.lock().drain() {
             let _ = sock.shutdown(Shutdown::Both);
+            dropped += 1;
         }
+        dropped
     }
 
     fn len(&self) -> usize {
@@ -152,6 +155,14 @@ impl Server {
     /// Number of currently tracked live connections (tests/ops visibility).
     pub fn live_connections(&self) -> usize {
         self.conns.len()
+    }
+
+    /// Chaos knob: force-closes every live connection while the server
+    /// keeps accepting new ones. Clients observe exactly what a network
+    /// flake looks like — a dropped connection mid-session — and must
+    /// reconnect. Returns how many connections were severed.
+    pub fn drop_connections(&self) -> usize {
+        self.conns.close_all()
     }
 
     /// Stops accepting new connections and closes every tracked live
@@ -344,6 +355,18 @@ mod tests {
             "live connection must be severed by shutdown"
         );
         assert_eq!(server.live_connections(), 0);
+    }
+
+    #[test]
+    fn drop_connections_severs_but_keeps_accepting() {
+        let server = Server::start(0).unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert_eq!(c.ping().unwrap(), "PONG");
+        assert_eq!(server.drop_connections(), 1);
+        // The client's reconnect-retry makes an idempotent PING recover
+        // transparently; a raw socket sees the severed session.
+        let mut fresh = Client::connect(server.addr()).unwrap();
+        assert_eq!(fresh.ping().unwrap(), "PONG", "server must keep accepting");
     }
 
     #[test]

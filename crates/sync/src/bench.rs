@@ -37,14 +37,18 @@ pub enum BatchSize {
     SmallInput,
 }
 
-fn quick_mode() -> bool {
+/// True when `D4PY_BENCH_QUICK` is set (and not "0"): smoke-sized runs
+/// whose reports are tagged `smoke: true` and refused by the gate.
+pub fn quick_mode() -> bool {
     std::env::var("D4PY_BENCH_QUICK")
         .map(|v| v != "0")
         .unwrap_or(false)
 }
 
 /// Test-only slowdown factor (see module docs); `1.0` when unset/invalid.
-fn handicap() -> f64 {
+/// Public so scenario runners outside this harness (the chaos matrix) can
+/// apply the same hook to their hand-rolled timings.
+pub fn handicap() -> f64 {
     std::env::var("D4PY_BENCH_HANDICAP")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
@@ -277,6 +281,7 @@ impl Bencher {
             better: Better::Lower,
             samples: per_iter,
             summary,
+            noise_pct: None,
         });
     }
 }

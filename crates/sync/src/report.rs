@@ -107,6 +107,12 @@ pub struct BenchEntry {
     pub samples: Vec<f64>,
     /// Distribution summary the stats engine computed from `samples`.
     pub summary: Summary,
+    /// Optional per-entry noise floor in percent. When set, the comparator
+    /// treats deltas under this magnitude as within noise even if the CIs
+    /// are disjoint — for metrics whose honest cross-process repeatability
+    /// is wider than the default floor (e.g. fault-overhead ratios of
+    /// millisecond-scale chaos cells). `None` uses the global default.
+    pub noise_pct: Option<f64>,
 }
 
 /// A whole run: every bench the binary executed, plus provenance.
@@ -222,6 +228,11 @@ impl BenchReport {
             o.push_str(", \"unit\": ");
             push_json_str(&mut o, &b.unit);
             o.push_str(&format!(", \"better\": \"{}\",\n", b.better.as_str()));
+            if let Some(noise) = b.noise_pct {
+                o.push_str("     \"noise_pct\": ");
+                push_json_f64(&mut o, noise);
+                o.push_str(",\n");
+            }
             o.push_str("     \"samples\": [");
             for (j, s) in b.samples.iter().enumerate() {
                 if j > 0 {
@@ -330,12 +341,17 @@ impl BenchReport {
                 ci_hi: sm.num("ci_hi")?,
                 confidence: sm.num("confidence")?,
             };
+            let noise_pct = match b.get("noise_pct") {
+                Some(v) => Some(v.as_f64("noise_pct")?),
+                None => None,
+            };
             benches.push(BenchEntry {
                 id: b.str("id")?,
                 unit: b.str("unit")?,
                 better,
                 samples,
                 summary,
+                noise_pct,
             });
         }
         Ok(BenchReport {
@@ -633,6 +649,7 @@ mod tests {
             better,
             samples: samples.to_vec(),
             summary: summarize(samples, &StatsConfig::default()),
+            noise_pct: None,
         }
     }
 
@@ -659,6 +676,15 @@ mod tests {
         let r = sample_report();
         let parsed = BenchReport::parse(&r.to_json()).unwrap();
         assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn noise_floor_roundtrips_and_defaults_to_none() {
+        let mut r = sample_report();
+        r.benches[0].noise_pct = Some(35.0);
+        let parsed = BenchReport::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed.benches[0].noise_pct, Some(35.0));
+        assert_eq!(parsed.benches[1].noise_pct, None);
     }
 
     #[test]

@@ -199,9 +199,17 @@ pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<Value>>>) {
 
     let n = cfg.scale * GALAXIES_PER_X;
     let seed = cfg.seed;
+    let shaped = cfg.clone();
     exe.register(read, move || {
+        let shaped = shaped.clone();
         Box::new(FnSource(move |ctx: &mut dyn Context| {
-            for gal in catalog::generate(n, seed) {
+            for (i, gal) in catalog::generate(n, seed).into_iter().enumerate() {
+                let gap = shaped.arrival_gap(i as u64);
+                if gap > std::time::Duration::ZERO {
+                    // sleep: traffic-shape pacing — the configured
+                    // inter-arrival gap before this galaxy, index-derived.
+                    std::thread::sleep(gap);
+                }
                 ctx.emit(
                     "output",
                     Value::map([

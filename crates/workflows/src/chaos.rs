@@ -1,0 +1,424 @@
+//! Synthetic stateful group-by workload for the chaos matrix.
+//!
+//! `gen → enrich → count (group-by key, 4 instances) → tally (global)`
+//!
+//! Unlike the paper's three workflows, this one is built *for* fault
+//! injection: its ground truth is analytic ([`expected_counts`]), its
+//! source can replay any sub-range of the stream ([`build_range`]) so a
+//! crashed run can resume from the last checkpoint boundary, and its
+//! stateful aggregator externalizes state through the PR-3 snapshot
+//! format. Key choice honours the configured [`TrafficShape`], so the
+//! heavy-tailed skew cells concentrate load on few hot keys.
+//!
+//! Invariant checked by the chaos cells: after any survivable fault (or a
+//! crash + warm-start recovery), the tally output must equal
+//! [`expected_counts`] exactly — any lost or duplicated group-by state
+//! shows up as a count mismatch.
+
+use crate::config::WorkloadConfig;
+use d4py_core::executable::Executable;
+use d4py_core::pe::{Context, FnSource, ProcessingElement};
+use d4py_core::value::Value;
+use d4py_graph::{Grouping, PeSpec, WorkflowGraph};
+use d4py_sync::rng::Pcg32;
+use d4py_sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Records per 1X of workload.
+pub const RECORDS_PER_X: u32 = 240;
+/// Distinct group-by keys.
+pub const N_KEYS: usize = 64;
+/// Instances of the `count` group-by aggregator.
+pub const COUNT_INSTANCES: usize = 4;
+
+/// The full record stream for `cfg`: `(key, val)` pairs, deterministic in
+/// `cfg.seed` and `cfg.shape` (skew changes key choice, pacing does not
+/// change data).
+pub fn records(cfg: &WorkloadConfig) -> Vec<(String, i64)> {
+    let n = cfg.scale * RECORDS_PER_X;
+    let mut rng = Pcg32::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let key = cfg.shape.key_index(&mut rng, N_KEYS);
+        // Small deterministic payload derived from the same stream.
+        let val = (key as i64 % 7) + 1;
+        out.push((format!("k{key:02}"), val));
+    }
+    out
+}
+
+/// Analytic ground truth: per key, `(count, sum-of-enriched-values)`
+/// after the enrich stage (`weight = 2·val + 1`).
+pub fn expected_counts(cfg: &WorkloadConfig) -> BTreeMap<String, (i64, i64)> {
+    let mut expect: BTreeMap<String, (i64, i64)> = BTreeMap::new();
+    for (key, val) in records(cfg) {
+        let e = expect.entry(key).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += 2 * val + 1;
+    }
+    expect
+}
+
+/// Group-by aggregator with externalized state: per-key `(count, sum)`,
+/// snapshotted in the PR-3 frame as a `{key: [count, sum]}` map.
+struct KeyAggregate {
+    counts: BTreeMap<String, (i64, i64)>,
+}
+
+impl ProcessingElement for KeyAggregate {
+    fn process(&mut self, _port: &str, v: Value, _ctx: &mut dyn Context) {
+        let key = v
+            .get("key")
+            .and_then(|k| k.as_str())
+            .unwrap_or_default()
+            .to_string();
+        let w = v.get("weight").and_then(|w| w.as_int()).unwrap_or(0);
+        let e = self.counts.entry(key).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += w;
+    }
+
+    fn on_done(&mut self, ctx: &mut dyn Context) {
+        for (key, (count, sum)) in &self.counts {
+            ctx.emit(
+                "output",
+                Value::map([
+                    ("key", Value::Str(key.clone())),
+                    ("count", Value::Int(*count)),
+                    ("sum", Value::Int(*sum)),
+                ]),
+            );
+        }
+    }
+
+    fn snapshot(&self) -> Option<Value> {
+        let map: BTreeMap<String, Value> = self
+            .counts
+            .iter()
+            .map(|(k, (c, s))| (k.clone(), Value::List(vec![Value::Int(*c), Value::Int(*s)])))
+            .collect();
+        Some(Value::Map(map))
+    }
+
+    fn restore(&mut self, state: Value) {
+        let Value::Map(map) = state else { return };
+        self.counts.clear();
+        for (k, v) in map {
+            if let Some(items) = v.as_list() {
+                if let (Some(c), Some(s)) = (
+                    items.first().and_then(|x| x.as_int()),
+                    items.get(1).and_then(|x| x.as_int()),
+                ) {
+                    self.counts.insert(k, (c, s));
+                }
+            }
+        }
+    }
+}
+
+/// Global tally sink: cold each run (no snapshot) — after a recovery run
+/// it receives the *complete* per-key totals from `count`'s flush, so the
+/// final rows must equal [`expected_counts`] exactly.
+struct Tally {
+    rows: BTreeMap<String, (i64, i64)>,
+    /// Keys that arrived more than once — duplicated group-by state.
+    duplicates: u64,
+    results: Arc<Mutex<Vec<Value>>>,
+}
+
+impl ProcessingElement for Tally {
+    fn process(&mut self, _port: &str, v: Value, _ctx: &mut dyn Context) {
+        let key = v
+            .get("key")
+            .and_then(|k| k.as_str())
+            .unwrap_or_default()
+            .to_string();
+        let count = v.get("count").and_then(|c| c.as_int()).unwrap_or(0);
+        let sum = v.get("sum").and_then(|s| s.as_int()).unwrap_or(0);
+        if self.rows.insert(key, (count, sum)).is_some() {
+            self.duplicates += 1;
+        }
+    }
+
+    fn on_done(&mut self, _ctx: &mut dyn Context) {
+        let mut out = self.results.lock();
+        for (key, (count, sum)) in &self.rows {
+            out.push(Value::map([
+                ("key", Value::Str(key.clone())),
+                ("count", Value::Int(*count)),
+                ("sum", Value::Int(*sum)),
+                ("dup", Value::Int(self.duplicates as i64)),
+            ]));
+        }
+    }
+}
+
+/// Builds the workload over the full record stream.
+pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<Value>>>) {
+    let n = (cfg.scale * RECORDS_PER_X) as usize;
+    build_range(cfg, 0, n)
+}
+
+/// Builds the workload over records `[lo, hi)` of the stream.
+///
+/// This is the replay hook crash recovery needs: a checkpoint run covers
+/// `[0, k)`, a crashed-then-recovered run replays `[k, n)` on top of the
+/// warm-started snapshots, and the final tally must match an
+/// uninterrupted `[0, n)` run.
+pub fn build_range(
+    cfg: &WorkloadConfig,
+    lo: usize,
+    hi: usize,
+) -> (Executable, Arc<Mutex<Vec<Value>>>) {
+    let mut g = WorkflowGraph::new("chaos_group_by");
+    let gen = g.add_pe(PeSpec::source("gen", "output"));
+    let enrich = g.add_pe(PeSpec::transform("enrich", "input", "output").with_instances(2));
+    let count = g.add_pe(
+        PeSpec::transform("count", "input", "output")
+            .stateful()
+            .with_instances(COUNT_INSTANCES),
+    );
+    let tally = g.add_pe(PeSpec::sink("tally", "input").stateful());
+
+    g.connect(gen, "output", enrich, "input", Grouping::Shuffle)
+        .expect("ports declared on the PeSpecs above");
+    g.connect(enrich, "output", count, "input", Grouping::group_by("key"))
+        .expect("ports declared on the PeSpecs above");
+    g.connect(count, "output", tally, "input", Grouping::Global)
+        .expect("ports declared on the PeSpecs above");
+
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let mut exe = Executable::new(g).expect("chaos graph is valid");
+
+    let stream: Arc<Vec<(String, i64)>> = Arc::new(records(cfg));
+    let c = cfg.clone();
+    exe.register(gen, move || {
+        let stream = stream.clone();
+        let c = c.clone();
+        Box::new(FnSource(move |ctx: &mut dyn Context| {
+            let hi = hi.min(stream.len());
+            for i in lo..hi {
+                let gap = c.arrival_gap(i as u64);
+                if gap > Duration::ZERO {
+                    // sleep: traffic-shape pacing — the configured
+                    // inter-arrival gap before this item, index-derived.
+                    std::thread::sleep(gap);
+                }
+                let (key, val) = &stream[i];
+                ctx.emit(
+                    "output",
+                    Value::map([("key", Value::Str(key.clone())), ("val", Value::Int(*val))]),
+                );
+            }
+        }))
+    });
+    exe.register(enrich, || {
+        Box::new(d4py_core::pe::FnTransform(
+            |_port: &str, v: Value, ctx: &mut dyn Context| {
+                let key = v
+                    .get("key")
+                    .and_then(|k| k.as_str())
+                    .unwrap_or_default()
+                    .to_string();
+                let val = v.get("val").and_then(|x| x.as_int()).unwrap_or(0);
+                ctx.emit(
+                    "output",
+                    Value::map([
+                        ("key", Value::Str(key)),
+                        ("weight", Value::Int(2 * val + 1)),
+                    ]),
+                );
+            },
+        ))
+    });
+    exe.register(count, || {
+        Box::new(KeyAggregate {
+            counts: BTreeMap::new(),
+        })
+    });
+    let res = results.clone();
+    exe.register(tally, move || {
+        Box::new(Tally {
+            rows: BTreeMap::new(),
+            duplicates: 0,
+            results: res.clone(),
+        })
+    });
+
+    (exe.seal().expect("all chaos PEs registered"), results)
+}
+
+/// The `count` instance the group-by router assigns `key` to (the same
+/// stable hash the engine routes with).
+pub fn count_instance_for(key: &str) -> usize {
+    let probe = Value::map([("key", Value::Str(key.to_string()))]);
+    let fields = ["key".to_string()];
+    (probe.group_key(&fields).routing_hash() % COUNT_INSTANCES as u64) as usize
+}
+
+/// The `count` instance receiving the most records of `[lo, hi)`, with its
+/// record share. Crash cells target this instance: any `after_tasks`
+/// below the share is guaranteed to fire, deterministically, under every
+/// traffic shape.
+pub fn busiest_count_instance(cfg: &WorkloadConfig, lo: usize, hi: usize) -> (usize, u64) {
+    let mut share = [0u64; COUNT_INSTANCES];
+    let stream = records(cfg);
+    let hi = hi.min(stream.len());
+    for (key, _) in &stream[lo.min(hi)..hi] {
+        share[count_instance_for(key)] += 1;
+    }
+    let busiest = (0..COUNT_INSTANCES)
+        .max_by_key(|&i| share[i])
+        .expect("COUNT_INSTANCES is non-zero");
+    (busiest, share[busiest])
+}
+
+/// Checks tally rows against [`expected_counts`]: returns the number of
+/// violated per-key invariants (missing, extra, wrong count/sum, or
+/// duplicated state), 0 for a perfect run.
+pub fn violations(cfg: &WorkloadConfig, rows: &[Value]) -> u64 {
+    let expect = expected_counts(cfg);
+    let mut bad = 0u64;
+    let mut seen: BTreeMap<String, (i64, i64)> = BTreeMap::new();
+    for row in rows {
+        let key = row
+            .get("key")
+            .and_then(|k| k.as_str())
+            .unwrap_or_default()
+            .to_string();
+        let count = row.get("count").and_then(|c| c.as_int()).unwrap_or(-1);
+        let sum = row.get("sum").and_then(|s| s.as_int()).unwrap_or(-1);
+        bad += row.get("dup").and_then(|d| d.as_int()).unwrap_or(0).max(0) as u64;
+        if seen.insert(key, (count, sum)).is_some() {
+            bad += 1;
+        }
+    }
+    for (key, (count, sum)) in &expect {
+        match seen.get(key) {
+            Some(&(c, s)) if c == *count && s == *sum => {}
+            _ => bad += 1,
+        }
+    }
+    for key in seen.keys() {
+        if !expect.contains_key(key) {
+            bad += 1;
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::TrafficShape;
+    use d4py_core::mapping::Mapping;
+    use d4py_core::mappings::{HybridMulti, Simple};
+    use d4py_core::options::ExecutionOptions;
+
+    fn cfg() -> WorkloadConfig {
+        WorkloadConfig::standard().with_time_scale(0.0)
+    }
+
+    #[test]
+    fn simple_run_matches_analytic_oracle() {
+        let (exe, results) = build(&cfg());
+        Simple.execute(&exe, &ExecutionOptions::new(1)).unwrap();
+        let rows = results.lock();
+        assert!(!rows.is_empty());
+        assert_eq!(violations(&cfg(), &rows), 0);
+    }
+
+    #[test]
+    fn hybrid_run_matches_analytic_oracle() {
+        let (exe, results) = build(&cfg());
+        HybridMulti
+            .execute(&exe, &ExecutionOptions::new(8))
+            .unwrap();
+        assert_eq!(violations(&cfg(), &results.lock()), 0);
+    }
+
+    #[test]
+    fn skewed_shape_concentrates_keys_and_still_balances_counts() {
+        let skew = cfg().with_shape(TrafficShape::Skewed { exponent: 3.0 });
+        let (exe, results) = build(&skew);
+        HybridMulti
+            .execute(&exe, &ExecutionOptions::new(8))
+            .unwrap();
+        let rows = results.lock();
+        assert_eq!(violations(&skew, &rows), 0);
+        // The skewed stream really is skewed: the hottest key dominates.
+        let max = rows
+            .iter()
+            .map(|r| r.get("count").unwrap().as_int().unwrap())
+            .max()
+            .unwrap();
+        let total: i64 = rows
+            .iter()
+            .map(|r| r.get("count").unwrap().as_int().unwrap())
+            .sum();
+        assert_eq!(total, (RECORDS_PER_X) as i64);
+        assert!(
+            max * 8 > total,
+            "hottest key {max} of {total} is not heavy-tailed"
+        );
+    }
+
+    #[test]
+    fn split_ranges_cover_the_full_stream() {
+        // [0,k) and [k,n) together process every record exactly once: run
+        // both against a shared oracle by merging their tallies.
+        let c = cfg();
+        let n = (RECORDS_PER_X) as usize;
+        let k = n / 2;
+        let merged = {
+            let mut m: BTreeMap<String, (i64, i64)> = BTreeMap::new();
+            for (lo, hi) in [(0, k), (k, n)] {
+                let (exe, results) = build_range(&c, lo, hi);
+                Simple.execute(&exe, &ExecutionOptions::new(1)).unwrap();
+                for row in results.lock().iter() {
+                    let key = row.get("key").unwrap().as_str().unwrap().to_string();
+                    let e = m.entry(key).or_insert((0, 0));
+                    e.0 += row.get("count").unwrap().as_int().unwrap();
+                    e.1 += row.get("sum").unwrap().as_int().unwrap();
+                }
+            }
+            m
+        };
+        assert_eq!(merged, expected_counts(&c));
+    }
+
+    #[test]
+    fn busiest_instance_has_the_largest_share() {
+        let c = cfg();
+        let n = RECORDS_PER_X as usize;
+        let (busiest, share) = busiest_count_instance(&c, 0, n);
+        assert!(busiest < COUNT_INSTANCES);
+        assert!(share > 0, "some instance must receive records");
+        // Its share really is the maximum over all instances.
+        for i in 0..COUNT_INSTANCES {
+            let got: u64 = records(&c)[..n]
+                .iter()
+                .filter(|(k, _)| count_instance_for(k) == i)
+                .count() as u64;
+            assert!(got <= share);
+        }
+    }
+
+    #[test]
+    fn violations_detects_corruption() {
+        let (exe, results) = build(&cfg());
+        Simple.execute(&exe, &ExecutionOptions::new(1)).unwrap();
+        let mut rows = results.lock().clone();
+        assert_eq!(violations(&cfg(), &rows), 0);
+        // Tamper with one count: exactly that key's invariant breaks.
+        if let Value::Map(m) = &mut rows[0] {
+            m.insert("count".into(), Value::Int(9999));
+        }
+        assert_eq!(violations(&cfg(), &rows), 1);
+        // Drop a key entirely.
+        rows.remove(1);
+        assert_eq!(violations(&cfg(), &rows), 2);
+    }
+}

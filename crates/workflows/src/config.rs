@@ -1,5 +1,6 @@
 //! Workload configuration shared by the three use-case workflows.
 
+use crate::traffic::TrafficShape;
 use d4py_core::platform::CoreLimiter;
 use std::sync::Arc;
 use std::time::Duration;
@@ -22,6 +23,9 @@ pub struct WorkloadConfig {
     pub seed: u64,
     /// Simulated-core limiter compute-bound work runs under.
     pub limiter: Arc<CoreLimiter>,
+    /// Arrival pattern the source emits under (see [`crate::traffic`]).
+    /// [`TrafficShape::Steady`] reproduces the paper's back-to-back stream.
+    pub shape: TrafficShape,
 }
 
 impl WorkloadConfig {
@@ -34,6 +38,7 @@ impl WorkloadConfig {
             time_scale: 1.0,
             seed: 42,
             limiter: CoreLimiter::unlimited(),
+            shape: TrafficShape::Steady,
         }
     }
 
@@ -67,6 +72,18 @@ impl WorkloadConfig {
         self
     }
 
+    /// Sets the traffic shape (builder style).
+    pub fn with_shape(mut self, shape: TrafficShape) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// The inter-arrival pause before source item `i`, shrunk by
+    /// [`time_scale`](Self::time_scale) like every other service time.
+    pub fn arrival_gap(&self, i: u64) -> Duration {
+        self.scaled(self.shape.gap(i))
+    }
+
     /// Scales a base service time by [`time_scale`](Self::time_scale).
     pub fn scaled(&self, base: Duration) -> Duration {
         base.mul_f64(self.time_scale)
@@ -81,6 +98,7 @@ impl std::fmt::Debug for WorkloadConfig {
             .field("time_scale", &self.time_scale)
             .field("seed", &self.seed)
             .field("cores", &self.limiter.cores())
+            .field("shape", &self.shape)
             .finish()
     }
 }
@@ -114,5 +132,20 @@ mod tests {
             cfg.scaled(Duration::from_millis(10)),
             Duration::from_millis(5)
         );
+    }
+
+    #[test]
+    fn arrival_gap_scales_with_time_scale() {
+        let cfg =
+            WorkloadConfig::standard()
+                .with_time_scale(0.5)
+                .with_shape(TrafficShape::Bursty {
+                    period: 4,
+                    pause: Duration::from_millis(8),
+                });
+        assert_eq!(cfg.arrival_gap(3), Duration::ZERO);
+        assert_eq!(cfg.arrival_gap(4), Duration::from_millis(4));
+        // Default shape is steady: no pacing anywhere.
+        assert_eq!(WorkloadConfig::standard().arrival_gap(4), Duration::ZERO);
     }
 }

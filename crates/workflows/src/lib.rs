@@ -12,6 +12,10 @@
 //!   pathways feeding a group-by-state stateful aggregation and a global
 //!   top-3 reducer.
 //!
+//! Beyond the paper, [`chaos`] adds a synthetic stateful group-by with an
+//! analytic ground truth for fault-injection scenarios, and [`traffic`]
+//! shapes every workload's arrival pattern (bursty, diurnal, key-skewed).
+//!
 //! Each `build` returns an [`Executable`](d4py_core::executable::Executable)
 //! plus a shared results handle, so every mapping can be validated against
 //! the same ground truth.
@@ -19,8 +23,11 @@
 #![warn(missing_docs)]
 
 pub mod astro;
+pub mod chaos;
 pub mod config;
 pub mod seismic;
 pub mod sentiment;
+pub mod traffic;
 
 pub use config::WorkloadConfig;
+pub use traffic::TrafficShape;

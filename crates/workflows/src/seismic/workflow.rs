@@ -151,9 +151,17 @@ pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<String>>>) {
 
     let n = cfg.scale * STATIONS_PER_X;
     let seed = cfg.seed;
+    let shaped = cfg.clone();
     exe.register(read, move || {
+        let shaped = shaped.clone();
         Box::new(FnSource(move |ctx: &mut dyn Context| {
-            for trace in waveform::generate(n, seed) {
+            for (i, trace) in waveform::generate(n, seed).into_iter().enumerate() {
+                let gap = shaped.arrival_gap(i as u64);
+                if gap > std::time::Duration::ZERO {
+                    // sleep: traffic-shape pacing — the configured
+                    // inter-arrival gap before this trace, index-derived.
+                    std::thread::sleep(gap);
+                }
                 ctx.emit("output", trace_to_value(&trace.station, &trace.samples));
             }
         }))

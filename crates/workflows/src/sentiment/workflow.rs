@@ -29,6 +29,19 @@ pub const TOP3_INSTANCES: usize = 2;
 /// Builds the workflow. Returns the executable and the handle the `top 3
 /// happiest` reducer writes `{rank, state, mean, count}` rows into.
 pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<Value>>>) {
+    let n = (cfg.scale * ARTICLES_PER_X) as usize;
+    build_range(cfg, 0, n)
+}
+
+/// [`build`] over articles `[lo, hi)` of the stream — the replay hook for
+/// crash-recovery scenarios: a checkpoint run covers `[0, k)`, the
+/// recovery run replays `[k, n)` over the warm-started `happyState`
+/// snapshots, and the final top-3 must match an uninterrupted run.
+pub fn build_range(
+    cfg: &WorkloadConfig,
+    lo: usize,
+    hi: usize,
+) -> (Executable, Arc<Mutex<Vec<Value>>>) {
     let mut g = WorkflowGraph::new("sentiment_analysis_news_articles");
     let read = g.add_pe(PeSpec::source("readArticles", "output"));
     let afinn = g.add_pe(PeSpec::transform("sentimentAFINN", "input", "output").with_instances(2));
@@ -66,9 +79,23 @@ pub fn build(cfg: &WorkloadConfig) -> (Executable, Arc<Mutex<Vec<Value>>>) {
 
     let n = cfg.scale * ARTICLES_PER_X;
     let seed = cfg.seed;
+    let c = cfg.clone();
     exe.register(read, move || {
+        let c = c.clone();
         Box::new(FnSource(move |ctx: &mut dyn Context| {
-            for a in corpus::generate(n, seed) {
+            let hi = hi.min(n as usize);
+            for (i, a) in corpus::generate(n, seed)
+                .into_iter()
+                .enumerate()
+                .skip(lo)
+                .take(hi.saturating_sub(lo))
+            {
+                let gap = c.arrival_gap(i as u64);
+                if gap > std::time::Duration::ZERO {
+                    // sleep: traffic-shape pacing — the configured
+                    // inter-arrival gap before this article, index-derived.
+                    std::thread::sleep(gap);
+                }
                 ctx.emit(
                     "output",
                     Value::map([

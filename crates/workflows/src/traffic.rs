@@ -1,0 +1,199 @@
+//! Traffic shapes for chaos scenarios.
+//!
+//! Production traffic is not the steady stream the paper's experiments
+//! feed each workflow; it is bursty, diurnal, and key-skewed. A
+//! [`TrafficShape`] turns a workload's source PE from "emit everything
+//! back-to-back" into one of those arrival patterns — fully
+//! deterministically: pacing depends only on the item *index* and the
+//! configured periods, key skew only on the workload's seeded PCG32, never
+//! on wall-clock time.
+//!
+//! [`TrafficShape::Steady`] is the identity shape (zero inter-arrival gap,
+//! uniform keys), so every existing workload build is bit-identical to
+//! before this module existed.
+
+use d4py_sync::rng::{Pcg32, Rng};
+use std::time::Duration;
+
+/// The arrival pattern a workload source emits under.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum TrafficShape {
+    /// Back-to-back emission, uniform keys — the paper's (and the
+    /// default) behaviour.
+    #[default]
+    Steady,
+    /// On/off bursts: emit `period` items back-to-back, then pause for
+    /// `pause` before the next burst.
+    Bursty {
+        /// Items per burst.
+        period: u64,
+        /// Idle gap between bursts.
+        pause: Duration,
+    },
+    /// A slow sinusoidal ramp: the inter-arrival gap swings between 0 and
+    /// 2×`base_gap` over `period` items, modelling a diurnal load curve.
+    Diurnal {
+        /// Items per full sine cycle.
+        period: u64,
+        /// Mean inter-arrival gap.
+        base_gap: Duration,
+    },
+    /// Heavy-tailed key skew for stateful group-bys: arrival pacing stays
+    /// steady but key choice follows a power law, concentrating traffic on
+    /// few hot keys. `exponent` > 1 sharpens the skew.
+    Skewed {
+        /// Power-law exponent (1.0 = uniform; 3.0 = strongly skewed).
+        exponent: f64,
+    },
+}
+
+impl TrafficShape {
+    /// Short identifier used in scenario cell ids and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficShape::Steady => "steady",
+            TrafficShape::Bursty { .. } => "bursty",
+            TrafficShape::Diurnal { .. } => "diurnal",
+            TrafficShape::Skewed { .. } => "skew",
+        }
+    }
+
+    /// The pause a source inserts *before* emitting item `i`.
+    ///
+    /// Depends only on `i` and the shape parameters — never on wall-clock
+    /// time — so a run is reproducible at any machine speed.
+    pub fn gap(&self, i: u64) -> Duration {
+        match *self {
+            TrafficShape::Steady | TrafficShape::Skewed { .. } => Duration::ZERO,
+            TrafficShape::Bursty { period, pause } => {
+                if i > 0 && period > 0 && i.is_multiple_of(period) {
+                    pause
+                } else {
+                    Duration::ZERO
+                }
+            }
+            TrafficShape::Diurnal { period, base_gap } => {
+                if period == 0 {
+                    return Duration::ZERO;
+                }
+                let phase = (i % period) as f64 / period as f64;
+                let factor = 1.0 + (2.0 * std::f64::consts::PI * phase).sin();
+                base_gap.mul_f64(factor.max(0.0))
+            }
+        }
+    }
+
+    /// Picks a group-by key index in `0..n_keys` from `rng`.
+    ///
+    /// Uniform for every shape except [`Skewed`](TrafficShape::Skewed),
+    /// where `floor(n · u^exponent)` yields a power-law concentration on
+    /// low-numbered keys.
+    pub fn key_index(&self, rng: &mut Pcg32, n_keys: usize) -> usize {
+        if n_keys == 0 {
+            return 0;
+        }
+        match *self {
+            TrafficShape::Skewed { exponent } => {
+                let u: f64 = rng.gen();
+                let idx = (n_keys as f64 * u.powf(exponent.max(0.0))) as usize;
+                idx.min(n_keys - 1)
+            }
+            _ => rng.gen_range(0..n_keys),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_is_the_identity_shape() {
+        let s = TrafficShape::Steady;
+        for i in 0..100 {
+            assert_eq!(s.gap(i), Duration::ZERO);
+        }
+        assert_eq!(TrafficShape::default(), TrafficShape::Steady);
+    }
+
+    #[test]
+    fn bursty_pauses_at_period_boundaries() {
+        let s = TrafficShape::Bursty {
+            period: 10,
+            pause: Duration::from_millis(5),
+        };
+        assert_eq!(s.gap(0), Duration::ZERO);
+        assert_eq!(s.gap(9), Duration::ZERO);
+        assert_eq!(s.gap(10), Duration::from_millis(5));
+        assert_eq!(s.gap(11), Duration::ZERO);
+        assert_eq!(s.gap(20), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn diurnal_swings_between_zero_and_twice_base() {
+        let s = TrafficShape::Diurnal {
+            period: 100,
+            base_gap: Duration::from_micros(100),
+        };
+        let gaps: Vec<Duration> = (0..100).map(|i| s.gap(i)).collect();
+        let max = gaps.iter().max().unwrap();
+        let min = gaps.iter().min().unwrap();
+        assert!(*max > Duration::from_micros(180), "peak too low: {max:?}");
+        assert_eq!(*min, Duration::ZERO);
+        // Deterministic: same index, same gap.
+        assert_eq!(s.gap(25), s.gap(125));
+    }
+
+    #[test]
+    fn skew_concentrates_on_hot_keys() {
+        let shape = TrafficShape::Skewed { exponent: 3.0 };
+        let uniform = TrafficShape::Steady;
+        let mut rng = Pcg32::seed_from_u64(7);
+        let n = 64usize;
+        let mut hot_skew = 0u32;
+        for _ in 0..2000 {
+            if shape.key_index(&mut rng, n) < n / 8 {
+                hot_skew += 1;
+            }
+        }
+        let mut rng = Pcg32::seed_from_u64(7);
+        let mut hot_uniform = 0u32;
+        for _ in 0..2000 {
+            if uniform.key_index(&mut rng, n) < n / 8 {
+                hot_uniform += 1;
+            }
+        }
+        // Under exponent 3, P(key < n/8) = (1/8)^(1/3) = 0.5; uniform is 1/8.
+        assert!(
+            hot_skew > hot_uniform * 2,
+            "skew {hot_skew} vs uniform {hot_uniform}"
+        );
+        // Indices stay in range.
+        let mut rng = Pcg32::seed_from_u64(9);
+        for _ in 0..500 {
+            assert!(shape.key_index(&mut rng, n) < n);
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TrafficShape::Steady.label(), "steady");
+        assert_eq!(
+            TrafficShape::Bursty {
+                period: 1,
+                pause: Duration::ZERO
+            }
+            .label(),
+            "bursty"
+        );
+        assert_eq!(
+            TrafficShape::Diurnal {
+                period: 1,
+                base_gap: Duration::ZERO
+            }
+            .label(),
+            "diurnal"
+        );
+        assert_eq!(TrafficShape::Skewed { exponent: 2.0 }.label(), "skew");
+    }
+}

@@ -37,3 +37,15 @@ promote() {
 
 promote ablation_queue ablation_queue
 promote ablation_redis redis_backend
+
+# The chaos matrix is driven by the repro binary, not a cargo bench
+# target: the full 16-cell run must pass every fault-recovery invariant
+# (repro exits nonzero otherwise) before its report is promotable.
+cargo run -q --release --offline -p d4py-bench --bin repro -- chaos
+current="target/bench/BENCH_chaos_matrix.json"
+if [[ ! -f "$current" ]]; then
+    echo "bench-baseline: expected $current after the chaos run" >&2
+    exit 1
+fi
+cp "$current" bench/baselines/BENCH_chaos_matrix.json
+echo "bench-baseline: promoted $current -> bench/baselines/BENCH_chaos_matrix.json"

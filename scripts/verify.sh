@@ -56,7 +56,17 @@ D4PY_BENCH_QUICK=1 cargo bench --offline --bench ablation_queue
 # routing all on the hot path).
 D4PY_BENCH_QUICK=1 cargo bench --offline --bench ablation_redis
 
-for bench in ablation_queue redis_backend; do
+# Chaos-matrix smoke: three cells (crash + recovery, straggler under key
+# skew, flaky transport) through the real scenario runner over a live
+# redis-lite server. The run itself HARD-fails on any invariant violation
+# (exactly-once after crash recovery, no lost/duplicated group-by state);
+# only the timing entries are smoke-tagged. Full gating runs come from
+# `repro -- chaos` via scripts/bench-baseline.sh.
+D4PY_BENCH_QUICK=1 cargo run -q --release --offline -p d4py-bench --bin repro -- \
+    chaos --quick \
+    || { echo "verify: FAIL — chaos matrix smoke violated an invariant" >&2; exit 1; }
+
+for bench in ablation_queue redis_backend chaos_matrix; do
     baseline="bench/baselines/BENCH_${bench}.json"
     current="target/bench/BENCH_${bench}.json"
     if [[ -f "$baseline" && -f "$current" ]]; then

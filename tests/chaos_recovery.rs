@@ -1,0 +1,194 @@
+//! Integration: crash-recovery correctness — the tentpole invariant of the
+//! chaos matrix, pinned end-to-end outside the bench harness.
+//!
+//! Protocol (mirrors `d4py_bench::scenario`):
+//!
+//! 1. run records `[0, k)` healthy with a state store attached (checkpoint);
+//! 2. run `[k, n)` with a crash fault armed on the busiest `count` instance
+//!    — the run must abort with [`CoreError::InjectedFault`] and must NOT
+//!    move the store past the phase-1 checkpoint;
+//! 3. replay `[k, n)` healthy on a warm start — the final tally must match
+//!    the analytic oracle exactly (exactly-once per key, no duplicated
+//!    group-by state) and the store's final snapshot must be
+//!    **byte-identical** to an uninterrupted `[0, n)` run's.
+//!
+//! The protocol is pinned over both store backends: [`MemoryStateStore`]
+//! and [`RedisStateStore`] (framed identically, so the byte comparison is
+//! meaningful across them).
+
+use dispel4py::core::fault::FaultPlan;
+use dispel4py::core::state::{MemoryStateStore, StateStore};
+use dispel4py::prelude::*;
+use dispel4py::redis::fault::flaky_backend;
+use dispel4py::redis::RedisStateStore;
+use dispel4py::workflows::chaos;
+use std::sync::Arc;
+
+const WORKERS: usize = 8;
+
+fn cfg() -> WorkloadConfig {
+    WorkloadConfig::standard().with_time_scale(0.0).with_seed(7)
+}
+
+fn mapping(backend: &RedisBackend, store: &Arc<dyn StateStore>) -> HybridRedis {
+    HybridRedis::new(backend.clone()).with_state_store(store.clone())
+}
+
+/// Canonical snapshot bytes currently in `store`.
+fn frozen(store: &Arc<dyn StateStore>) -> Vec<u8> {
+    store.load_snapshot().expect("snapshot readable").encode()
+}
+
+/// Runs the three-phase protocol over `store`, comparing against an
+/// uninterrupted run on `reference_store` (same backend, disjoint keys).
+fn crash_recovery_roundtrip(
+    backend: RedisBackend,
+    store: Arc<dyn StateStore>,
+    reference_store: Arc<dyn StateStore>,
+) {
+    let cfg = cfg();
+    let n = chaos::records(&cfg).len();
+    let k = n / 2;
+
+    // Uninterrupted control: full stream, same engine, own store.
+    let (exe, reference_rows) = chaos::build(&cfg);
+    mapping(&backend, &reference_store)
+        .execute(&exe, &ExecutionOptions::new(WORKERS))
+        .expect("uninterrupted run");
+    assert_eq!(
+        chaos::violations(&cfg, &reference_rows.lock()),
+        0,
+        "control run must satisfy the oracle"
+    );
+    let reference_bytes = frozen(&reference_store);
+    assert!(
+        !reference_bytes.is_empty(),
+        "count instances must have snapshotted"
+    );
+
+    // Phase 1 — checkpoint [0, k).
+    let (exe, _) = chaos::build_range(&cfg, 0, k);
+    mapping(&backend, &store)
+        .execute(&exe, &ExecutionOptions::new(WORKERS))
+        .expect("checkpoint run");
+    let checkpoint_bytes = frozen(&store);
+
+    // Phase 2 — crash mid-run. The busiest count instance over [k, n) is
+    // guaranteed to receive a task, so a crash armed there always fires.
+    let (busiest, share) = chaos::busiest_count_instance(&cfg, k, n);
+    assert!(share > 0, "second half of the stream routes somewhere");
+    let (exe, _) = chaos::build_range(&cfg, k, n);
+    let crashed = mapping(&backend, &store)
+        .with_faults(FaultPlan::none().with_crash("count", busiest, 1))
+        .execute(&exe, &ExecutionOptions::new(WORKERS));
+    match crashed {
+        Err(CoreError::InjectedFault(_)) => {}
+        other => panic!("crash must abort the run, got {other:?}"),
+    }
+    assert_eq!(
+        frozen(&store),
+        checkpoint_bytes,
+        "a crashed run must not move the store past the last checkpoint"
+    );
+
+    // Phase 3 — warm-start recovery over [k, n).
+    let (exe, rows) = chaos::build_range(&cfg, k, n);
+    let report = mapping(&backend, &store)
+        .execute(&exe, &ExecutionOptions::new(WORKERS))
+        .expect("recovery run");
+    assert!(
+        !report.warnings.iter().any(|w| w.contains("warm start")),
+        "recovery must warm-start, not silently run cold: {:?}",
+        report.warnings
+    );
+    assert_eq!(
+        chaos::violations(&cfg, &rows.lock()),
+        0,
+        "recovered tally must match the full-stream oracle exactly"
+    );
+    assert_eq!(
+        frozen(&store),
+        reference_bytes,
+        "recovered state must be byte-identical to the uninterrupted run's"
+    );
+}
+
+#[test]
+fn crash_recovery_is_exact_with_memory_store() {
+    let store: Arc<dyn StateStore> = MemoryStateStore::new();
+    let reference: Arc<dyn StateStore> = MemoryStateStore::new();
+    crash_recovery_roundtrip(RedisBackend::in_proc(), store, reference);
+}
+
+#[test]
+fn crash_recovery_is_exact_with_redis_store() {
+    let backend = RedisBackend::in_proc();
+    let store: Arc<dyn StateStore> =
+        Arc::new(RedisStateStore::new(&backend, "d4py:chaos:test").expect("state store"));
+    let reference: Arc<dyn StateStore> =
+        Arc::new(RedisStateStore::new(&backend, "d4py:chaos:ref").expect("state store"));
+    crash_recovery_roundtrip(backend, store, reference);
+}
+
+#[test]
+fn crash_before_any_checkpoint_recovers_from_empty() {
+    // No phase-1 run: the crash happens on the very first session. Recovery
+    // then replays the full stream cold — still exactly-once.
+    let cfg = cfg();
+    let n = chaos::records(&cfg).len();
+    let backend = RedisBackend::in_proc();
+    let store: Arc<dyn StateStore> = MemoryStateStore::new();
+
+    let (busiest, _) = chaos::busiest_count_instance(&cfg, 0, n);
+    let (exe, _) = chaos::build(&cfg);
+    let crashed = mapping(&backend, &store)
+        .with_faults(FaultPlan::none().with_crash("count", busiest, 1))
+        .execute(&exe, &ExecutionOptions::new(WORKERS));
+    assert!(matches!(crashed, Err(CoreError::InjectedFault(_))));
+    assert_eq!(
+        frozen(&store),
+        frozen(&(MemoryStateStore::new() as Arc<dyn StateStore>))
+    );
+
+    let (exe, rows) = chaos::build(&cfg);
+    mapping(&backend, &store)
+        .execute(&exe, &ExecutionOptions::new(WORKERS))
+        .expect("cold replay");
+    assert_eq!(chaos::violations(&cfg, &rows.lock()), 0);
+}
+
+#[test]
+fn dropped_connections_during_recovery_are_absorbed() {
+    // Stack the transport fault on top of the recovery phase: phase 3 runs
+    // over a backend whose connections drop XADDs while charges remain.
+    // The retry budget must absorb them without breaking exactly-once.
+    let cfg = cfg();
+    let n = chaos::records(&cfg).len();
+    let k = n / 2;
+    let inner = RedisBackend::in_proc();
+    let store: Arc<dyn StateStore> = MemoryStateStore::new();
+
+    let (exe, _) = chaos::build_range(&cfg, 0, k);
+    mapping(&inner, &store)
+        .execute(&exe, &ExecutionOptions::new(WORKERS))
+        .expect("checkpoint run");
+
+    let (flaky, charges) = flaky_backend(&inner, b"XADD");
+    charges.store(2, std::sync::atomic::Ordering::SeqCst);
+    let (exe, rows) = chaos::build_range(&cfg, k, n);
+    let report = mapping(&flaky, &store)
+        .execute(
+            &exe,
+            &ExecutionOptions::new(WORKERS).with_transport_retries(4),
+        )
+        .expect("recovery absorbs transient transport faults");
+    assert!(
+        report
+            .warnings
+            .iter()
+            .any(|w| w.contains("transient transport")),
+        "absorption must be surfaced as a warning: {:?}",
+        report.warnings
+    );
+    assert_eq!(chaos::violations(&cfg, &rows.lock()), 0);
+}
