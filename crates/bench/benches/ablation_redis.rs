@@ -102,7 +102,7 @@ fn follow_shard(
                     continue;
                 };
                 if let Some(Frame::Bulk(id)) = id_fields.first() {
-                    ids[slot] = id.clone();
+                    ids[slot] = id.to_vec();
                     seen += 1;
                 }
             }

@@ -26,7 +26,7 @@ fn bench_resp(c: &mut Criterion) {
         Frame::bulk("d4py:queue:0"),
         Frame::Array(vec![Frame::Array(vec![
             Frame::bulk("1234567-0"),
-            Frame::Array(vec![Frame::bulk("task"), Frame::Bulk(payload.clone())]),
+            Frame::Array(vec![Frame::bulk("task"), Frame::bulk(payload.clone())]),
         ])]),
     ])]);
     let mut encoded = ByteBuf::new();

@@ -10,6 +10,8 @@
 //! * [`render`] — prints series and tables in the paper's shape;
 //! * [`scenario`] — the chaos matrix: workloads × traffic shapes × faults,
 //!   with recovery time and invariant penalties as gateable metrics;
+//! * [`connscale`] — the connection-scaling ablation: N concurrent clients
+//!   against the reactor vs the thread-per-connection baseline;
 //! * [`compare`] — the statistical regression gate over the versioned
 //!   `BENCH_<name>.json` reports the timing harness persists.
 //!
@@ -32,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod compare;
+pub mod connscale;
 pub mod ratios;
 pub mod render;
 pub mod scenario;

@@ -1,0 +1,88 @@
+//! End-to-end gate over the connection-scaling ablation: a handicapped
+//! server must fail `bench-compare`, exactly as the CI gate would catch a
+//! real reactor regression. The reports come from the *real* harness
+//! (live servers, live TCP clients), not hand-built fixtures, so the test
+//! pins the whole path: run → `BENCH_connections.json` → gate.
+
+use d4py_bench::connscale::{run_matrix, ConnScaleOpts};
+use d4py_sync::report::BenchReport;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// A tiny but *gateable* (non-smoke) matrix: one client count, few ops,
+/// enough reps for the comparator's statistics.
+fn measured_report(handicap: f64) -> BenchReport {
+    run_matrix(&ConnScaleOpts {
+        counts: vec![8],
+        ops_total: 512,
+        reps: 3,
+        smoke: false,
+        handicap,
+    })
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("d4py_conn_gate_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write(dir: &Path, file: &str, r: &BenchReport) -> PathBuf {
+    let path = dir.join(file);
+    r.save(&path).expect("report must save");
+    path
+}
+
+fn run_compare(baseline: &Path, current: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench-compare"))
+        .arg(baseline)
+        .arg(current)
+        .output()
+        .expect("bench-compare must spawn")
+}
+
+#[test]
+fn handicapped_connection_throughput_fails_the_gate() {
+    let dir = temp_dir("handicap");
+    let base = write(&dir, "base.json", &measured_report(1.0));
+    // A 30× throughput collapse — far outside noise even for a tiny run.
+    // This is what `D4PY_BENCH_HANDICAP=30 cargo bench` would commit.
+    let cur = write(&dir, "cur.json", &measured_report(30.0));
+    let out = run_compare(&base, &cur);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("gate: FAIL"), "{stdout}");
+    assert!(
+        stdout.contains("connections/reactor/c8") && stdout.contains("REGRESSED"),
+        "connection throughput must be a first-class gated metric: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unchanged_connection_throughput_passes_the_gate() {
+    let dir = temp_dir("same");
+    let report = measured_report(1.0);
+    let base = write(&dir, "base.json", &report);
+    let cur = write(&dir, "cur.json", &report);
+    let out = run_compare(&base, &cur);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("gate: PASS"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_connections_baseline_is_a_hard_error() {
+    let dir = temp_dir("malformed");
+    let good = measured_report(1.0);
+    let cur = write(&dir, "cur.json", &good);
+    let mut corrupt = good.clone();
+    corrupt.benches[0].samples.clear();
+    let bad = write(&dir, "bad.json", &corrupt);
+    let out = run_compare(&bad, &cur);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "{stderr}");
+    assert!(stderr.contains("no samples"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

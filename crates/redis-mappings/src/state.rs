@@ -61,7 +61,7 @@ impl RedisStateStore {
             .map_err(|e| CoreError::Queue(e.to_string()))?
         {
             Frame::Null => Ok(None),
-            Frame::Bulk(bytes) => Ok(Some(bytes)),
+            Frame::Bulk(bytes) => Ok(Some(bytes.to_vec())),
             Frame::Error(e) => Err(CoreError::Queue(e)),
             other => Err(CoreError::Queue(format!("unexpected HGET reply {other:?}"))),
         }

@@ -51,9 +51,10 @@ impl Aof {
         &self.path
     }
 
-    /// Appends one command (array-of-bulk-strings form).
-    pub fn append(&self, args: &[Vec<u8>]) -> std::io::Result<()> {
-        let borrowed: Vec<&[u8]> = args.iter().map(|a| a.as_slice()).collect();
+    /// Appends one command (array-of-bulk-strings form). Accepts any
+    /// byte-slice-like argument type (`Vec<u8>`, `SharedBuf`, ...).
+    pub fn append<T: AsRef<[u8]>>(&self, args: &[T]) -> std::io::Result<()> {
+        let borrowed: Vec<&[u8]> = args.iter().map(|a| a.as_ref()).collect();
         let mut buf = d4py_sync::ByteBuf::with_capacity(64);
         resp::encode_command(&borrowed, &mut buf);
         let mut writer = self.writer.lock();
@@ -94,7 +95,7 @@ impl Aof {
                         let args: Vec<Vec<u8>> = items
                             .iter()
                             .filter_map(|f| match f {
-                                resp::Frame::Bulk(b) => Some(b.clone()),
+                                resp::Frame::Bulk(b) => Some(b.to_vec()),
                                 _ => None,
                             })
                             .collect();

@@ -400,7 +400,10 @@ impl InProcClient {
 
 impl Connection for InProcClient {
     fn request(&mut self, args: &[&[u8]]) -> Result<Frame, ClientError> {
-        let owned: Vec<Vec<u8>> = args.iter().map(|a| a.to_vec()).collect();
+        let owned: Vec<d4py_sync::SharedBuf> = args
+            .iter()
+            .map(|a| d4py_sync::SharedBuf::from(*a))
+            .collect();
         Ok(self.shared.dispatch(&owned))
     }
 }
@@ -421,7 +424,7 @@ pub trait RedisOps: Connection {
     fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, ClientError> {
         match self.request(&[b"GET", key])? {
             Frame::Null => Ok(None),
-            Frame::Bulk(b) => Ok(Some(b)),
+            Frame::Bulk(b) => Ok(Some(b.to_vec())),
             other => fail(other),
         }
     }
@@ -572,7 +575,7 @@ fn parse_entry(entry: &[Frame]) -> Result<StreamEntry, ClientError> {
     let mut pairs = Vec::with_capacity(body.len() / 2);
     let mut it = body.iter();
     while let (Some(Frame::Bulk(f)), Some(Frame::Bulk(v))) = (it.next(), it.next()) {
-        pairs.push((f.clone(), v.clone()));
+        pairs.push((f.to_vec(), v.to_vec()));
     }
     Ok((id, pairs))
 }
@@ -637,9 +640,8 @@ fn expect_ok(frame: Frame) -> Result<(), ClientError> {
 fn expect_text(frame: Frame) -> Result<String, ClientError> {
     match frame {
         Frame::Simple(s) => Ok(s),
-        Frame::Bulk(b) => {
-            String::from_utf8(b).map_err(|_| ClientError::UnexpectedReply("non-UTF8 text".into()))
-        }
+        Frame::Bulk(b) => String::from_utf8(b.to_vec())
+            .map_err(|_| ClientError::UnexpectedReply("non-UTF8 text".into())),
         other => fail(other),
     }
 }

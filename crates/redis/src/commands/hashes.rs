@@ -3,9 +3,10 @@
 use super::{now, parse_int, wrong_args, wrong_type};
 use crate::resp::Frame;
 use crate::store::{Db, RValue};
+use d4py_sync::SharedBuf;
 use std::collections::HashMap;
 
-pub(crate) fn hset(db: &mut Db, args: &[Vec<u8>], legacy_hmset: bool) -> Frame {
+pub(crate) fn hset(db: &mut Db, args: &[SharedBuf], legacy_hmset: bool) -> Frame {
     if args.len() < 3 || args.len().is_multiple_of(2) {
         return wrong_args(if legacy_hmset { "HMSET" } else { "HSET" });
     }
@@ -13,7 +14,7 @@ pub(crate) fn hset(db: &mut Db, args: &[Vec<u8>], legacy_hmset: bool) -> Frame {
         RValue::Hash(h) => {
             let mut added = 0;
             for pair in args[1..].chunks(2) {
-                if h.insert(pair[0].clone(), pair[1].clone()).is_none() {
+                if h.insert(pair[0].to_vec(), pair[1].to_vec()).is_none() {
                     added += 1;
                 }
             }
@@ -27,28 +28,31 @@ pub(crate) fn hset(db: &mut Db, args: &[Vec<u8>], legacy_hmset: bool) -> Frame {
     }
 }
 
-pub(crate) fn hget(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn hget(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 2 {
         return wrong_args("HGET");
     }
     match db.get(&args[0], now()) {
         None => Frame::Null,
         Some(RValue::Hash(h)) => h
-            .get(&args[1])
-            .map(|v| Frame::Bulk(v.clone()))
+            .get(args[1].as_slice())
+            .map(|v| Frame::bulk(v.clone()))
             .unwrap_or(Frame::Null),
         Some(_) => wrong_type(),
     }
 }
 
-pub(crate) fn hdel(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn hdel(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() < 2 {
         return wrong_args("HDEL");
     }
     let (removed, emptied) = match db.get_mut(&args[0], now()) {
         None => return Frame::Integer(0),
         Some(RValue::Hash(h)) => {
-            let removed = args[1..].iter().filter(|f| h.remove(*f).is_some()).count();
+            let removed = args[1..]
+                .iter()
+                .filter(|f| h.remove(f.as_slice()).is_some())
+                .count();
             (removed, h.is_empty())
         }
         Some(_) => return wrong_type(),
@@ -59,7 +63,7 @@ pub(crate) fn hdel(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     Frame::Integer(removed as i64)
 }
 
-pub(crate) fn hgetall(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn hgetall(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 1 {
         return wrong_args("HGETALL");
     }
@@ -71,7 +75,7 @@ pub(crate) fn hgetall(db: &mut Db, args: &[Vec<u8>]) -> Frame {
             Frame::Array(
                 pairs
                     .into_iter()
-                    .flat_map(|(k, v)| [Frame::Bulk(k.clone()), Frame::Bulk(v.clone())])
+                    .flat_map(|(k, v)| [Frame::bulk(k.clone()), Frame::bulk(v.clone())])
                     .collect(),
             )
         }
@@ -79,7 +83,7 @@ pub(crate) fn hgetall(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn hlen(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn hlen(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 1 {
         return wrong_args("HLEN");
     }
@@ -90,18 +94,18 @@ pub(crate) fn hlen(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn hexists(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn hexists(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 2 {
         return wrong_args("HEXISTS");
     }
     match db.get(&args[0], now()) {
         None => Frame::Integer(0),
-        Some(RValue::Hash(h)) => Frame::Integer(i64::from(h.contains_key(&args[1]))),
+        Some(RValue::Hash(h)) => Frame::Integer(i64::from(h.contains_key(args[1].as_slice()))),
         Some(_) => wrong_type(),
     }
 }
 
-pub(crate) fn hincrby(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn hincrby(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 3 {
         return wrong_args("HINCRBY");
     }
@@ -110,7 +114,7 @@ pub(crate) fn hincrby(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     };
     match db.get_or_create(&args[0], now(), || RValue::Hash(HashMap::new())) {
         RValue::Hash(h) => {
-            let slot = h.entry(args[1].clone()).or_insert_with(|| b"0".to_vec());
+            let slot = h.entry(args[1].to_vec()).or_insert_with(|| b"0".to_vec());
             let Some(cur) = std::str::from_utf8(slot)
                 .ok()
                 .and_then(|s| s.parse::<i64>().ok())
@@ -127,7 +131,7 @@ pub(crate) fn hincrby(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn hkeys(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn hkeys(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 1 {
         return wrong_args("HKEYS");
     }
@@ -142,7 +146,7 @@ pub(crate) fn hkeys(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn hvals(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn hvals(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 1 {
         return wrong_args("HVALS");
     }
@@ -161,8 +165,11 @@ pub(crate) fn hvals(db: &mut Db, args: &[Vec<u8>]) -> Frame {
 mod tests {
     use super::*;
 
-    fn f(parts: &[&str]) -> Vec<Vec<u8>> {
-        parts.iter().map(|p| p.as_bytes().to_vec()).collect()
+    fn f(parts: &[&str]) -> Vec<SharedBuf> {
+        parts
+            .iter()
+            .map(|p| SharedBuf::from(p.as_bytes()))
+            .collect()
     }
 
     #[test]

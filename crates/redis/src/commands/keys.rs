@@ -3,9 +3,10 @@
 use super::{bulk_array, ms, now, parse_int, wrong_args};
 use crate::resp::Frame;
 use crate::store::Db;
+use d4py_sync::SharedBuf;
 use std::time::Duration;
 
-pub(crate) fn del(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn del(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.is_empty() {
         return wrong_args("DEL");
     }
@@ -13,7 +14,7 @@ pub(crate) fn del(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     Frame::Integer(n as i64)
 }
 
-pub(crate) fn exists(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn exists(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.is_empty() {
         return wrong_args("EXISTS");
     }
@@ -21,7 +22,7 @@ pub(crate) fn exists(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     Frame::Integer(n as i64)
 }
 
-pub(crate) fn type_(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn type_(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 1 {
         return wrong_args("TYPE");
     }
@@ -31,14 +32,14 @@ pub(crate) fn type_(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn keys(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn keys(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 1 {
         return wrong_args("KEYS");
     }
     bulk_array(db.keys_matching(&args[0], now()))
 }
 
-pub(crate) fn expire(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn expire(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 2 {
         return wrong_args("EXPIRE");
     }
@@ -52,7 +53,7 @@ pub(crate) fn expire(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     Frame::Integer(i64::from(ok))
 }
 
-pub(crate) fn pexpire(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn pexpire(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 2 {
         return wrong_args("PEXPIRE");
     }
@@ -70,7 +71,7 @@ pub(crate) fn pexpire(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     Frame::Integer(i64::from(ok))
 }
 
-pub(crate) fn ttl(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn ttl(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 1 {
         return wrong_args("TTL");
     }
@@ -81,7 +82,7 @@ pub(crate) fn ttl(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn pttl(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn pttl(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 1 {
         return wrong_args("PTTL");
     }
@@ -92,7 +93,7 @@ pub(crate) fn pttl(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn persist(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn persist(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 1 {
         return wrong_args("PERSIST");
     }
@@ -104,8 +105,11 @@ mod tests {
     use super::*;
     use crate::store::RValue;
 
-    fn f(parts: &[&str]) -> Vec<Vec<u8>> {
-        parts.iter().map(|p| p.as_bytes().to_vec()).collect()
+    fn f(parts: &[&str]) -> Vec<SharedBuf> {
+        parts
+            .iter()
+            .map(|p| SharedBuf::from(p.as_bytes()))
+            .collect()
     }
 
     fn seeded() -> Db {

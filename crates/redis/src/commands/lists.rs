@@ -3,9 +3,10 @@
 use super::{now, parse_int, wrong_args, wrong_type};
 use crate::resp::Frame;
 use crate::store::{Db, RValue};
+use d4py_sync::SharedBuf;
 use std::collections::VecDeque;
 
-pub(crate) fn push(db: &mut Db, args: &[Vec<u8>], left: bool) -> Frame {
+pub(crate) fn push(db: &mut Db, args: &[SharedBuf], left: bool) -> Frame {
     if args.len() < 2 {
         return wrong_args(if left { "LPUSH" } else { "RPUSH" });
     }
@@ -13,9 +14,9 @@ pub(crate) fn push(db: &mut Db, args: &[Vec<u8>], left: bool) -> Frame {
         RValue::List(list) => {
             for v in &args[1..] {
                 if left {
-                    list.push_front(v.clone());
+                    list.push_front(v.to_vec());
                 } else {
-                    list.push_back(v.clone());
+                    list.push_back(v.to_vec());
                 }
             }
             Frame::Integer(list.len() as i64)
@@ -24,7 +25,7 @@ pub(crate) fn push(db: &mut Db, args: &[Vec<u8>], left: bool) -> Frame {
     }
 }
 
-pub(crate) fn pop(db: &mut Db, args: &[Vec<u8>], left: bool) -> Frame {
+pub(crate) fn pop(db: &mut Db, args: &[SharedBuf], left: bool) -> Frame {
     if args.len() != 1 {
         return wrong_args(if left { "LPOP" } else { "RPOP" });
     }
@@ -39,7 +40,7 @@ pub(crate) fn pop(db: &mut Db, args: &[Vec<u8>], left: bool) -> Frame {
             match popped {
                 Some(v) => {
                     let emptied = list.is_empty();
-                    (Frame::Bulk(v), emptied)
+                    (Frame::Bulk(v.into()), emptied)
                 }
                 None => (Frame::Null, true),
             }
@@ -52,7 +53,7 @@ pub(crate) fn pop(db: &mut Db, args: &[Vec<u8>], left: bool) -> Frame {
     reply.0
 }
 
-pub(crate) fn llen(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn llen(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 1 {
         return wrong_args("LLEN");
     }
@@ -63,7 +64,7 @@ pub(crate) fn llen(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn lrange(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn lrange(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 3 {
         return wrong_args("LRANGE");
     }
@@ -83,7 +84,7 @@ pub(crate) fn lrange(db: &mut Db, args: &[Vec<u8>]) -> Frame {
                 list.iter()
                     .skip(a as usize)
                     .take((b - a + 1) as usize)
-                    .map(|v| Frame::Bulk(v.clone()))
+                    .map(|v| Frame::bulk(v.clone()))
                     .collect(),
             )
         }
@@ -93,7 +94,7 @@ pub(crate) fn lrange(db: &mut Db, args: &[Vec<u8>]) -> Frame {
 
 /// The non-blocking core of BLPOP/BRPOP: tries each key in order; on
 /// success replies `[key, value]`.
-pub fn try_pop_any(db: &mut Db, keys: &[Vec<u8>], left: bool) -> Option<Frame> {
+pub fn try_pop_any(db: &mut Db, keys: &[SharedBuf], left: bool) -> Option<Frame> {
     for key in keys {
         let popped = match db.get_mut(key, now()) {
             Some(RValue::List(list)) => {
@@ -112,7 +113,7 @@ pub fn try_pop_any(db: &mut Db, keys: &[Vec<u8>], left: bool) -> Option<Frame> {
             }
             return Some(Frame::Array(vec![
                 Frame::Bulk(key.clone()),
-                Frame::Bulk(value),
+                Frame::Bulk(value.into()),
             ]));
         }
     }
@@ -123,8 +124,11 @@ pub fn try_pop_any(db: &mut Db, keys: &[Vec<u8>], left: bool) -> Option<Frame> {
 mod tests {
     use super::*;
 
-    fn f(parts: &[&str]) -> Vec<Vec<u8>> {
-        parts.iter().map(|p| p.as_bytes().to_vec()).collect()
+    fn f(parts: &[&str]) -> Vec<SharedBuf> {
+        parts
+            .iter()
+            .map(|p| SharedBuf::from(p.as_bytes()))
+            .collect()
     }
 
     #[test]

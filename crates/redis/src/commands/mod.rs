@@ -16,13 +16,14 @@ mod strings;
 use crate::resp::Frame;
 use crate::store::stream::StreamId;
 use crate::store::{Db, RValue};
+use d4py_sync::SharedBuf;
 use std::time::{Duration, Instant};
 
 pub use lists::try_pop_any;
 pub use streams::{execute_stream_read, parse_stream_read, resolve_stream_ids, StreamReadCmd};
 
 /// Executes one non-blocking command. `name` is already upper-cased.
-pub fn execute(db: &mut Db, now_ms: u64, name: &str, args: &[Vec<u8>]) -> Frame {
+pub fn execute(db: &mut Db, now_ms: u64, name: &str, args: &[SharedBuf]) -> Frame {
     match name {
         // connection / server
         "PING" => server::ping(args),
@@ -54,11 +55,11 @@ pub fn execute(db: &mut Db, now_ms: u64, name: &str, args: &[Vec<u8>]) -> Frame 
         "STRLEN" => strings::strlen(db, args),
         "INCR" => strings::incrby(
             db,
-            &[args.first().cloned().unwrap_or_default(), b"1".to_vec()],
+            &[args.first().cloned().unwrap_or_default(), b"1".into()],
         ),
         "DECR" => strings::incrby(
             db,
-            &[args.first().cloned().unwrap_or_default(), b"-1".to_vec()],
+            &[args.first().cloned().unwrap_or_default(), b"-1".into()],
         ),
         "INCRBY" => strings::incrby(db, args),
         "DECRBY" => strings::decrby(db, args),
@@ -171,7 +172,7 @@ pub(crate) fn now() -> Instant {
 }
 
 pub(crate) fn bulk_array(items: Vec<Vec<u8>>) -> Frame {
-    Frame::Array(items.into_iter().map(Frame::Bulk).collect())
+    Frame::Array(items.into_iter().map(Frame::bulk).collect())
 }
 
 /// Parses a stream id argument for XADD: `*` → None (auto), else explicit.

@@ -3,8 +3,9 @@
 use super::{now, wrong_args};
 use crate::resp::Frame;
 use crate::store::Db;
+use d4py_sync::SharedBuf;
 
-pub(crate) fn ping(args: &[Vec<u8>]) -> Frame {
+pub(crate) fn ping(args: &[SharedBuf]) -> Frame {
     match args.len() {
         0 => Frame::Simple("PONG".into()),
         1 => Frame::Bulk(args[0].clone()),
@@ -12,7 +13,7 @@ pub(crate) fn ping(args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn echo(args: &[Vec<u8>]) -> Frame {
+pub(crate) fn echo(args: &[SharedBuf]) -> Frame {
     match args.len() {
         1 => Frame::Bulk(args[0].clone()),
         _ => wrong_args("ECHO"),
@@ -29,13 +30,10 @@ pub(crate) fn dbsize(db: &mut Db) -> Frame {
 }
 
 pub(crate) fn info(db: &mut Db) -> Frame {
-    Frame::Bulk(
-        format!(
-            "# Server\r\nredis_version:redis-lite-0.1\r\n# Keyspace\r\ndb0:keys={}\r\n",
-            db.len(now())
-        )
-        .into_bytes(),
-    )
+    Frame::bulk(format!(
+        "# Server\r\nredis_version:redis-lite-0.1\r\n# Keyspace\r\ndb0:keys={}\r\n",
+        db.len(now())
+    ))
 }
 
 #[cfg(test)]
@@ -46,13 +44,13 @@ mod tests {
     #[test]
     fn ping_variants() {
         assert_eq!(ping(&[]), Frame::Simple("PONG".into()));
-        assert_eq!(ping(&[b"hi".to_vec()]), Frame::bulk("hi"));
-        assert!(ping(&[b"a".to_vec(), b"b".to_vec()]).is_error());
+        assert_eq!(ping(&[b"hi".into()]), Frame::bulk("hi"));
+        assert!(ping(&[b"a".into(), b"b".into()]).is_error());
     }
 
     #[test]
     fn echo_echoes() {
-        assert_eq!(echo(&[b"x".to_vec()]), Frame::bulk("x"));
+        assert_eq!(echo(&[b"x".into()]), Frame::bulk("x"));
         assert!(echo(&[]).is_error());
     }
 

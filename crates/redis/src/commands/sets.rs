@@ -3,29 +3,30 @@
 use super::{bulk_array, now, wrong_args, wrong_type};
 use crate::resp::Frame;
 use crate::store::{Db, RValue};
+use d4py_sync::SharedBuf;
 use std::collections::HashSet;
 
-pub(crate) fn sadd(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn sadd(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() < 2 {
         return wrong_args("SADD");
     }
     match db.get_or_create(&args[0], now(), || RValue::Set(HashSet::new())) {
         RValue::Set(s) => {
-            let added = args[1..].iter().filter(|m| s.insert((*m).clone())).count();
+            let added = args[1..].iter().filter(|m| s.insert(m.to_vec())).count();
             Frame::Integer(added as i64)
         }
         _ => wrong_type(),
     }
 }
 
-pub(crate) fn srem(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn srem(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() < 2 {
         return wrong_args("SREM");
     }
     let (removed, emptied) = match db.get_mut(&args[0], now()) {
         None => return Frame::Integer(0),
         Some(RValue::Set(s)) => {
-            let removed = args[1..].iter().filter(|m| s.remove(*m)).count();
+            let removed = args[1..].iter().filter(|m| s.remove(m.as_slice())).count();
             (removed, s.is_empty())
         }
         Some(_) => return wrong_type(),
@@ -36,18 +37,18 @@ pub(crate) fn srem(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     Frame::Integer(removed as i64)
 }
 
-pub(crate) fn sismember(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn sismember(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 2 {
         return wrong_args("SISMEMBER");
     }
     match db.get(&args[0], now()) {
         None => Frame::Integer(0),
-        Some(RValue::Set(s)) => Frame::Integer(i64::from(s.contains(&args[1]))),
+        Some(RValue::Set(s)) => Frame::Integer(i64::from(s.contains(args[1].as_slice()))),
         Some(_) => wrong_type(),
     }
 }
 
-pub(crate) fn smembers(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn smembers(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 1 {
         return wrong_args("SMEMBERS");
     }
@@ -62,7 +63,7 @@ pub(crate) fn smembers(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn scard(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn scard(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 1 {
         return wrong_args("SCARD");
     }
@@ -77,8 +78,11 @@ pub(crate) fn scard(db: &mut Db, args: &[Vec<u8>]) -> Frame {
 mod tests {
     use super::*;
 
-    fn f(parts: &[&str]) -> Vec<Vec<u8>> {
-        parts.iter().map(|p| p.as_bytes().to_vec()).collect()
+    fn f(parts: &[&str]) -> Vec<SharedBuf> {
+        parts
+            .iter()
+            .map(|p| SharedBuf::from(p.as_bytes()))
+            .collect()
     }
 
     #[test]

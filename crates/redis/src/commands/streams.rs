@@ -6,6 +6,7 @@ use super::{bad_id, ms, now, parse_uint, parse_xadd_id, stream_of, wrong_args};
 use crate::resp::Frame;
 use crate::store::stream::{Stream, StreamError, StreamId};
 use crate::store::{Db, RValue};
+use d4py_sync::SharedBuf;
 use std::time::Duration;
 
 fn no_group(key: &[u8], group: &str) -> Frame {
@@ -15,7 +16,7 @@ fn no_group(key: &[u8], group: &str) -> Frame {
     ))
 }
 
-fn entry_frame(id: StreamId, body: &[(Vec<u8>, Vec<u8>)]) -> Frame {
+fn entry_frame(id: StreamId, body: &[(SharedBuf, SharedBuf)]) -> Frame {
     Frame::Array(vec![
         Frame::bulk(id.to_string()),
         Frame::Array(
@@ -26,7 +27,7 @@ fn entry_frame(id: StreamId, body: &[(Vec<u8>, Vec<u8>)]) -> Frame {
     ])
 }
 
-pub(crate) fn xadd(db: &mut Db, now_ms: u64, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn xadd(db: &mut Db, now_ms: u64, args: &[SharedBuf]) -> Frame {
     if args.len() < 4 {
         return wrong_args("XADD");
     }
@@ -54,7 +55,8 @@ pub(crate) fn xadd(db: &mut Db, now_ms: u64, args: &[Vec<u8>]) -> Frame {
     if rest.is_empty() || !rest.len().is_multiple_of(2) {
         return wrong_args("XADD");
     }
-    let body: Vec<(Vec<u8>, Vec<u8>)> = rest
+    // Zero-copy: each field/value aliases the network read buffer.
+    let body: Vec<(SharedBuf, SharedBuf)> = rest
         .chunks(2)
         .map(|p| (p[0].clone(), p[1].clone()))
         .collect();
@@ -78,7 +80,7 @@ pub(crate) fn xadd(db: &mut Db, now_ms: u64, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn xlen(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn xlen(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 1 {
         return wrong_args("XLEN");
     }
@@ -97,7 +99,7 @@ fn parse_range_bound(raw: &[u8], default_seq: u64) -> Option<StreamId> {
     }
 }
 
-pub(crate) fn xrange(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn xrange(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 3 && args.len() != 5 {
         return wrong_args("XRANGE");
     }
@@ -130,7 +132,7 @@ pub(crate) fn xrange(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn xdel(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn xdel(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() < 2 {
         return wrong_args("XDEL");
     }
@@ -151,7 +153,7 @@ pub(crate) fn xdel(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn xtrim(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn xtrim(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() < 3 || !args[1].eq_ignore_ascii_case(b"MAXLEN") {
         return wrong_args("XTRIM");
     }
@@ -169,7 +171,7 @@ pub(crate) fn xtrim(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn xack(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn xack(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() < 3 {
         return wrong_args("XACK");
     }
@@ -195,7 +197,7 @@ pub(crate) fn xack(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn xgroup(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn xgroup(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() < 3 {
         return wrong_args("XGROUP");
     }
@@ -219,7 +221,7 @@ pub(crate) fn xgroup(db: &mut Db, args: &[Vec<u8>]) -> Frame {
                             .into(),
                     );
                 }
-                db.set(key.clone(), RValue::Stream(Stream::new()));
+                db.set(key.to_vec(), RValue::Stream(Stream::new()));
             }
             let RValue::Stream(stream) = db
                 .get_mut(key, now())
@@ -262,7 +264,7 @@ pub(crate) fn xgroup(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn xpending(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn xpending(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 2 {
         return wrong_args("XPENDING");
     }
@@ -305,7 +307,7 @@ pub(crate) fn xpending(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn xinfo(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn xinfo(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() < 2 {
         return wrong_args("XINFO");
     }
@@ -386,7 +388,7 @@ pub(crate) fn xinfo(db: &mut Db, args: &[Vec<u8>]) -> Frame {
 /// 2-element reply form: `[next-cursor, entries]`). `start` is accepted for
 /// wire compatibility; this implementation always scans from the beginning,
 /// so the returned cursor is `0-0`.
-pub(crate) fn xautoclaim(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn xautoclaim(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() < 5 {
         return wrong_args("XAUTOCLAIM");
     }
@@ -454,14 +456,14 @@ pub struct StreamReadCmd {
     /// NOACK flag (XREADGROUP only).
     pub noack: bool,
     /// Stream keys, parallel to `ids`.
-    pub keys: Vec<Vec<u8>>,
+    pub keys: Vec<SharedBuf>,
     /// Start spec per key.
     pub ids: Vec<IdSpec>,
 }
 
 /// Parses `XREAD [COUNT n] [BLOCK ms] STREAMS key... id...` or
 /// `XREADGROUP GROUP g c [COUNT n] [BLOCK ms] [NOACK] STREAMS key... id...`.
-pub fn parse_stream_read(name: &str, args: &[Vec<u8>]) -> Result<StreamReadCmd, Frame> {
+pub fn parse_stream_read(name: &str, args: &[SharedBuf]) -> Result<StreamReadCmd, Frame> {
     let mut cmd = StreamReadCmd {
         group: None,
         count: None,
@@ -662,8 +664,11 @@ pub fn execute_stream_read(
 mod tests {
     use super::*;
 
-    fn f(parts: &[&str]) -> Vec<Vec<u8>> {
-        parts.iter().map(|p| p.as_bytes().to_vec()).collect()
+    fn f(parts: &[&str]) -> Vec<SharedBuf> {
+        parts
+            .iter()
+            .map(|p| SharedBuf::from(p.as_bytes()))
+            .collect()
     }
 
     fn add(db: &mut Db, key: &str, now_ms: u64, val: &str) -> String {

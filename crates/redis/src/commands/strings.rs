@@ -3,9 +3,10 @@
 use super::{now, parse_int, wrong_args, wrong_type};
 use crate::resp::Frame;
 use crate::store::{Db, RValue};
+use d4py_sync::SharedBuf;
 use std::time::Duration;
 
-pub(crate) fn set(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn set(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() < 2 {
         return wrong_args("SET");
     }
@@ -59,49 +60,49 @@ pub(crate) fn set(db: &mut Db, args: &[Vec<u8>]) -> Frame {
         return Frame::Null;
     }
     match expiry {
-        Some(d) => db.set_with_expiry(key.clone(), RValue::Str(value.clone()), now() + d),
-        None => db.set(key.clone(), RValue::Str(value.clone())),
+        Some(d) => db.set_with_expiry(key.to_vec(), RValue::Str(value.to_vec()), now() + d),
+        None => db.set(key.to_vec(), RValue::Str(value.to_vec())),
     }
     Frame::ok()
 }
 
-pub(crate) fn get(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn get(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 1 {
         return wrong_args("GET");
     }
     match db.get(&args[0], now()) {
         None => Frame::Null,
-        Some(RValue::Str(v)) => Frame::Bulk(v.clone()),
+        Some(RValue::Str(v)) => Frame::bulk(v.clone()),
         Some(_) => wrong_type(),
     }
 }
 
-pub(crate) fn getset(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn getset(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 2 {
         return wrong_args("GETSET");
     }
     let old = match db.get(&args[0], now()) {
         None => Frame::Null,
-        Some(RValue::Str(v)) => Frame::Bulk(v.clone()),
+        Some(RValue::Str(v)) => Frame::bulk(v.clone()),
         Some(_) => return wrong_type(),
     };
-    db.set(args[0].clone(), RValue::Str(args[1].clone()));
+    db.set(args[0].to_vec(), RValue::Str(args[1].to_vec()));
     old
 }
 
-pub(crate) fn setnx(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn setnx(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 2 {
         return wrong_args("SETNX");
     }
     if db.exists(&args[0], now()) {
         Frame::Integer(0)
     } else {
-        db.set(args[0].clone(), RValue::Str(args[1].clone()));
+        db.set(args[0].to_vec(), RValue::Str(args[1].to_vec()));
         Frame::Integer(1)
     }
 }
 
-pub(crate) fn append(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn append(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 2 {
         return wrong_args("APPEND");
     }
@@ -114,7 +115,7 @@ pub(crate) fn append(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn strlen(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn strlen(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 1 {
         return wrong_args("STRLEN");
     }
@@ -125,7 +126,7 @@ pub(crate) fn strlen(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn incrby(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn incrby(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 2 {
         return wrong_args("INCRBY");
     }
@@ -150,34 +151,34 @@ pub(crate) fn incrby(db: &mut Db, args: &[Vec<u8>]) -> Frame {
     }
 }
 
-pub(crate) fn decrby(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn decrby(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.len() != 2 {
         return wrong_args("DECRBY");
     }
     let Some(delta) = parse_int(&args[1]) else {
         return Frame::error("value is not an integer or out of range");
     };
-    incrby(db, &[args[0].clone(), (-delta).to_string().into_bytes()])
+    incrby(db, &[args[0].clone(), (-delta).to_string().into()])
 }
 
-pub(crate) fn mset(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn mset(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.is_empty() || !args.len().is_multiple_of(2) {
         return wrong_args("MSET");
     }
     for pair in args.chunks(2) {
-        db.set(pair[0].clone(), RValue::Str(pair[1].clone()));
+        db.set(pair[0].to_vec(), RValue::Str(pair[1].to_vec()));
     }
     Frame::ok()
 }
 
-pub(crate) fn mget(db: &mut Db, args: &[Vec<u8>]) -> Frame {
+pub(crate) fn mget(db: &mut Db, args: &[SharedBuf]) -> Frame {
     if args.is_empty() {
         return wrong_args("MGET");
     }
     Frame::Array(
         args.iter()
             .map(|k| match db.get(k, now()) {
-                Some(RValue::Str(v)) => Frame::Bulk(v.clone()),
+                Some(RValue::Str(v)) => Frame::bulk(v.clone()),
                 _ => Frame::Null, // wrong-type keys read as nil in MGET
             })
             .collect(),
@@ -188,8 +189,11 @@ pub(crate) fn mget(db: &mut Db, args: &[Vec<u8>]) -> Frame {
 mod tests {
     use super::*;
 
-    fn f(parts: &[&str]) -> Vec<Vec<u8>> {
-        parts.iter().map(|p| p.as_bytes().to_vec()).collect()
+    fn f(parts: &[&str]) -> Vec<SharedBuf> {
+        parts
+            .iter()
+            .map(|p| SharedBuf::from(p.as_bytes()))
+            .collect()
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! * [`store`] — the keyspace: typed values, lazy expiry, streams;
 //! * [`commands`] — the command handlers, pure functions over the store;
 //! * [`engine`] — shared state + blocking semantics (BLPOP, XREAD BLOCK);
-//! * [`server`] — the TCP front end (thread per connection);
+//! * [`server`] — the TCP front end (event-driven reactor by default, with
+//!   a thread-per-connection mode kept as the ablation baseline);
 //! * [`client`] — a blocking client, over TCP or in-process.
 //!
 //! ```
@@ -32,6 +33,7 @@ pub mod aof;
 pub mod client;
 pub mod commands;
 pub mod engine;
+pub(crate) mod reactor;
 pub mod resp;
 pub mod server;
 pub mod store;
@@ -39,4 +41,4 @@ pub mod store;
 pub use aof::{Aof, FsyncPolicy};
 pub use client::{Client, ClientError, Connection, InProcClient, RedisOps};
 pub use engine::Shared;
-pub use server::Server;
+pub use server::{Server, ServerConfig, ServerMode};

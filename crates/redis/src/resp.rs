@@ -2,8 +2,10 @@
 //!
 //! The wire format Redis has spoken since 1.2: five frame types, each
 //! introduced by one marker byte and terminated by CRLF. We implement a
-//! zero-copy-ish incremental decoder (suitable for a streaming TCP read
-//! buffer) and an encoder into [`ByteBuf`].
+//! streaming frame decoder for replies, an encoder into [`ByteBuf`], and
+//! — for the server's hot path — [`CommandParser`], a resumable pipelined
+//! command parser that yields arguments as zero-copy [`SharedBuf`] slices
+//! of the read buffer.
 //!
 //! ```text
 //! +OK\r\n                    simple string
@@ -13,7 +15,7 @@
 //! *2\r\n<frame><frame>       array            (*-1\r\n = null array)
 //! ```
 
-use d4py_sync::ByteBuf;
+use d4py_sync::{ByteBuf, SharedBuf};
 
 /// One RESP2 frame.
 #[derive(Clone, PartialEq, Eq)]
@@ -24,8 +26,8 @@ pub enum Frame {
     Error(String),
     /// `:...` — integer reply.
     Integer(i64),
-    /// `$...` — bulk string (binary safe).
-    Bulk(Vec<u8>),
+    /// `$...` — bulk string (binary safe, zero-copy shareable).
+    Bulk(SharedBuf),
     /// `$-1` — null bulk string (Redis "nil").
     Null,
     /// `*...` — array of frames.
@@ -40,8 +42,8 @@ impl Frame {
         Frame::Simple("OK".to_string())
     }
 
-    /// Convenience: a bulk string from text.
-    pub fn bulk(s: impl Into<Vec<u8>>) -> Frame {
+    /// Convenience: a bulk string from text or bytes.
+    pub fn bulk(s: impl Into<SharedBuf>) -> Frame {
         Frame::Bulk(s.into())
     }
 
@@ -59,7 +61,7 @@ impl Frame {
     pub fn as_text(&self) -> Option<String> {
         match self {
             Frame::Simple(s) | Frame::Error(s) => Some(s.clone()),
-            Frame::Bulk(b) => String::from_utf8(b.clone()).ok(),
+            Frame::Bulk(b) => String::from_utf8(b.to_vec()).ok(),
             _ => None,
         }
     }
@@ -106,7 +108,7 @@ pub enum RespError {
     BadInteger,
     /// Missing CRLF where one was required.
     BadTerminator,
-    /// A declared bulk length is negative but not -1.
+    /// A declared bulk length is negative but not -1, or absurdly large.
     BadLength(i64),
 }
 
@@ -164,14 +166,23 @@ pub fn encode(frame: &Frame, buf: &mut ByteBuf) {
 /// Encodes a client command (array of bulk strings) — the only shape clients
 /// send.
 pub fn encode_command(args: &[&[u8]], buf: &mut ByteBuf) {
-    let frame = Frame::Array(args.iter().map(|a| Frame::Bulk(a.to_vec())).collect());
-    encode(&frame, buf);
+    buf.put_u8(b'*');
+    buf.put_slice(args.len().to_string().as_bytes());
+    buf.put_slice(b"\r\n");
+    for a in args {
+        buf.put_u8(b'$');
+        buf.put_slice(a.len().to_string().as_bytes());
+        buf.put_slice(b"\r\n");
+        buf.put_slice(a);
+        buf.put_slice(b"\r\n");
+    }
 }
 
 /// Attempts to decode one frame from the front of `input`.
 ///
 /// Returns `Ok(Some((frame, consumed)))` on success, `Ok(None)` when more
-/// bytes are needed, `Err` on protocol violation.
+/// bytes are needed, `Err` on protocol violation. This is the reply-side
+/// decoder (clients, AOF); the server's command path uses [`CommandParser`].
 pub fn decode(input: &[u8]) -> Result<Option<(Frame, usize)>, RespError> {
     let Some((&marker, rest)) = input.split_first() else {
         return Ok(None);
@@ -213,7 +224,10 @@ pub fn decode(input: &[u8]) -> Result<Option<(Frame, usize)>, RespError> {
             if &input[body_start + n..body_start + n + 2] != b"\r\n" {
                 return Err(RespError::BadTerminator);
             }
-            Ok(Some((Frame::Bulk(body.to_vec()), body_start + n + 2)))
+            Ok(Some((
+                Frame::Bulk(SharedBuf::copy_from(body)),
+                body_start + n + 2,
+            )))
         }
         b'*' => {
             let Some((line, line_len)) = read_line(rest) else {
@@ -253,6 +267,245 @@ fn read_line(input: &[u8]) -> Option<(&[u8], usize)> {
     Some((&input[..pos], pos + 2))
 }
 
+// ---------------------------------------------------------------------------
+// Resumable pipelined command parsing (server hot path)
+// ---------------------------------------------------------------------------
+
+/// Most arguments a single command may declare. Redis uses 1M; a hostile
+/// `*999999999\r\n` header must not make us reserve memory for it.
+const MAX_COMMAND_ARGS: usize = 1 << 20;
+
+/// Largest single bulk argument we accept (64 MiB, well past any payload
+/// the workflows ship).
+const MAX_BULK_LEN: usize = 64 << 20;
+
+/// Where the incremental scan stands inside the current command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum ParseState {
+    /// Expecting the `*<n>\r\n` header of the next command.
+    #[default]
+    ArrayHeader,
+    /// Expecting the marker of the next argument (`$` bulk or `+` simple).
+    ArgMarker { remaining: usize },
+    /// Expecting `len` body bytes plus CRLF for the current bulk argument.
+    BulkBody { remaining: usize, len: usize },
+}
+
+/// A resumable parser for the command stream a client sends: a pipeline of
+/// `*<n>` arrays of bulk strings, possibly split across reads at any byte
+/// boundary.
+///
+/// Unlike re-running [`decode`] on a growing buffer (which rescans the
+/// whole prefix on every read), the parser keeps an explicit state machine
+/// — current command, argument index, CRLF scan cursor — so each buffered
+/// byte is examined O(1) times no matter how the stream is fragmented.
+///
+/// [`drain`] parses *every* complete command buffered so far and returns
+/// their arguments as [`SharedBuf`] slices sharing one allocation per
+/// burst: the consumed front of the read buffer is moved (not copied) into
+/// an `Arc` and each argument is a window into it. That allocation then
+/// flows into the store and back out into replies without further copies.
+///
+/// [`drain`]: CommandParser::drain
+#[derive(Debug, Default)]
+pub struct CommandParser {
+    /// Unconsumed bytes: completed-but-undrained commands plus any
+    /// partially received command tail.
+    buf: ByteBuf,
+    /// Scan cursor: bytes before `pos` are structurally parsed.
+    pos: usize,
+    /// CRLF search memo: no CRLF starts before `scanned` in the current
+    /// line, so a resumed search never re-examines old bytes.
+    scanned: usize,
+    state: ParseState,
+    /// Argument ranges of the in-progress command.
+    args: Vec<(usize, usize)>,
+}
+
+impl CommandParser {
+    /// A parser with empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly read bytes to the parse buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned by [`drain`](Self::drain) —
+    /// includes any partially received command.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when the parser sits at a command boundary (no partial command
+    /// buffered).
+    pub fn is_at_boundary(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Parses every complete command buffered so far and returns their
+    /// argument lists. Returns an empty vec when no complete command is
+    /// available yet; errors are sticky protocol violations (the caller
+    /// should reply and close).
+    pub fn drain(&mut self) -> Result<Vec<Vec<SharedBuf>>, RespError> {
+        let mut done: Vec<Vec<(usize, usize)>> = Vec::new();
+        // Offset one past the last *complete* command; everything before
+        // it is handed out this call.
+        let mut consumed = 0usize;
+        loop {
+            match self.state {
+                ParseState::ArrayHeader => {
+                    if self.pos >= self.buf.len() {
+                        break;
+                    }
+                    let marker = self.buf[self.pos];
+                    if marker != b'*' {
+                        return Err(RespError::BadMarker(marker));
+                    }
+                    let Some(end) = self.next_line_end(self.pos + 1) else {
+                        break;
+                    };
+                    let n = parse_i64(&self.buf[self.pos + 1..end]).ok_or(RespError::BadInteger)?;
+                    if n < 0 || n as usize > MAX_COMMAND_ARGS {
+                        return Err(RespError::BadLength(n));
+                    }
+                    self.pos = end + 2;
+                    if n == 0 {
+                        // `*0` is a complete, empty command; dispatch will
+                        // answer it with an error frame.
+                        done.push(Vec::new());
+                        consumed = self.pos;
+                    } else {
+                        self.state = ParseState::ArgMarker {
+                            remaining: n as usize,
+                        };
+                    }
+                }
+                ParseState::ArgMarker { remaining } => {
+                    if self.pos >= self.buf.len() {
+                        break;
+                    }
+                    match self.buf[self.pos] {
+                        b'$' => {
+                            let Some(end) = self.next_line_end(self.pos + 1) else {
+                                break;
+                            };
+                            let len = parse_i64(&self.buf[self.pos + 1..end])
+                                .ok_or(RespError::BadInteger)?;
+                            if len < 0 || len as usize > MAX_BULK_LEN {
+                                return Err(RespError::BadLength(len));
+                            }
+                            self.pos = end + 2;
+                            self.state = ParseState::BulkBody {
+                                remaining,
+                                len: len as usize,
+                            };
+                        }
+                        // Simple-string argument: accepted for parity with
+                        // the frame decoder's command shape.
+                        b'+' => {
+                            let Some(end) = self.next_line_end(self.pos + 1) else {
+                                break;
+                            };
+                            self.args.push((self.pos + 1, end));
+                            self.pos = end + 2;
+                            self.arg_done(remaining, &mut done, &mut consumed);
+                        }
+                        other => return Err(RespError::BadMarker(other)),
+                    }
+                }
+                ParseState::BulkBody { remaining, len } => {
+                    if self.buf.len() < self.pos + len + 2 {
+                        break;
+                    }
+                    if &self.buf[self.pos + len..self.pos + len + 2] != b"\r\n" {
+                        return Err(RespError::BadTerminator);
+                    }
+                    self.args.push((self.pos, self.pos + len));
+                    self.pos += len + 2;
+                    self.scanned = self.pos;
+                    self.arg_done(remaining, &mut done, &mut consumed);
+                }
+            }
+        }
+        if done.is_empty() {
+            return Ok(Vec::new());
+        }
+        // One allocation per burst: the consumed front moves into an Arc
+        // (no byte copy — only the small unparsed tail is shifted down)
+        // and every argument becomes a window into it.
+        let burst = SharedBuf::from(self.buf.split_to(consumed).freeze());
+        self.pos -= consumed;
+        self.scanned = self.scanned.saturating_sub(consumed);
+        for r in &mut self.args {
+            r.0 -= consumed;
+            r.1 -= consumed;
+        }
+        Ok(done
+            .iter()
+            .map(|ranges| ranges.iter().map(|&(s, e)| burst.slice(s..e)).collect())
+            .collect())
+    }
+
+    /// Records the end of one argument: either the command is complete or
+    /// the scan moves to the next argument marker.
+    fn arg_done(
+        &mut self,
+        remaining: usize,
+        done: &mut Vec<Vec<(usize, usize)>>,
+        consumed: &mut usize,
+    ) {
+        if remaining == 1 {
+            done.push(std::mem::take(&mut self.args));
+            self.state = ParseState::ArrayHeader;
+            *consumed = self.pos;
+        } else {
+            self.state = ParseState::ArgMarker {
+                remaining: remaining - 1,
+            };
+        }
+    }
+
+    /// Finds the CRLF terminating the line that starts at `line_start`,
+    /// resuming from the memoized scan cursor. Returns the absolute index
+    /// of the `\r`, or `None` (having remembered how far it looked).
+    fn next_line_end(&mut self, line_start: usize) -> Option<usize> {
+        let buf = &self.buf[..];
+        let mut i = self.scanned.max(line_start);
+        while i + 1 < buf.len() {
+            if buf[i] == b'\r' && buf[i + 1] == b'\n' {
+                self.scanned = i + 2;
+                return Some(i);
+            }
+            i += 1;
+        }
+        // Resume here next time; the final byte may be half a CRLF.
+        self.scanned = i;
+        None
+    }
+}
+
+/// Parses a decimal i64 from raw bytes without a UTF-8 detour.
+fn parse_i64(bytes: &[u8]) -> Option<i64> {
+    let (neg, digits) = match bytes.split_first() {
+        Some((b'-', rest)) => (true, rest),
+        _ => (false, bytes),
+    };
+    if digits.is_empty() {
+        return None;
+    }
+    let mut v: i64 = 0;
+    for &b in digits {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add((b - b'0') as i64)?;
+    }
+    Some(if neg { -v } else { v })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,9 +537,9 @@ mod tests {
 
     #[test]
     fn bulk_roundtrips() {
-        roundtrip(Frame::Bulk(b"hello".to_vec()));
-        roundtrip(Frame::Bulk(vec![]));
-        roundtrip(Frame::Bulk(vec![0, 13, 10, 255])); // binary incl. CRLF bytes
+        roundtrip(Frame::bulk(&b"hello"[..]));
+        roundtrip(Frame::bulk(Vec::new()));
+        roundtrip(Frame::bulk(vec![0, 13, 10, 255])); // binary incl. CRLF bytes
     }
 
     #[test]
@@ -298,7 +551,7 @@ mod tests {
     #[test]
     fn nested_array_roundtrip() {
         roundtrip(Frame::Array(vec![
-            Frame::Bulk(b"XADD".to_vec()),
+            Frame::bulk("XADD"),
             Frame::Integer(7),
             Frame::Array(vec![Frame::Simple("inner".into()), Frame::Null]),
         ]));
@@ -312,7 +565,7 @@ mod tests {
     #[test]
     fn incremental_decoding_waits_for_bytes() {
         let mut buf = ByteBuf::new();
-        encode(&Frame::Bulk(b"hello world".to_vec()), &mut buf);
+        encode(&Frame::bulk("hello world"), &mut buf);
         for cut in 0..buf.len() {
             assert_eq!(
                 decode(&buf[..cut]).unwrap(),
@@ -364,11 +617,7 @@ mod tests {
         let (frame, _) = decode(&buf).unwrap().unwrap();
         assert_eq!(
             frame,
-            Frame::Array(vec![
-                Frame::Bulk(b"SET".to_vec()),
-                Frame::Bulk(b"k".to_vec()),
-                Frame::Bulk(b"v".to_vec()),
-            ])
+            Frame::Array(vec![Frame::bulk("SET"), Frame::bulk("k"), Frame::bulk("v"),])
         );
     }
 
@@ -379,5 +628,174 @@ mod tests {
         assert_eq!(Frame::bulk("hi").as_text(), Some("hi".into()));
         assert_eq!(Frame::Array(vec![Frame::Null]).as_array().unwrap().len(), 1);
         assert_eq!(Frame::ok(), Frame::Simple("OK".into()));
+    }
+
+    // ---- CommandParser ----
+
+    fn encode_pipeline(cmds: &[Vec<&[u8]>]) -> Vec<u8> {
+        let mut buf = ByteBuf::new();
+        for cmd in cmds {
+            encode_command(cmd, &mut buf);
+        }
+        buf.freeze()
+    }
+
+    fn args_eq(got: &[Vec<SharedBuf>], want: &[Vec<&[u8]>]) {
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            let g: Vec<&[u8]> = g.iter().map(|a| &a[..]).collect();
+            assert_eq!(&g, w);
+        }
+    }
+
+    #[test]
+    fn parser_handles_single_command() {
+        let mut p = CommandParser::new();
+        p.feed(b"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n");
+        let cmds = p.drain().unwrap();
+        args_eq(&cmds, &[vec![b"SET", b"k", b"hello"]]);
+        assert!(p.is_at_boundary());
+    }
+
+    #[test]
+    fn parser_drains_whole_pipeline_in_one_call() {
+        let want: Vec<Vec<&[u8]>> = vec![
+            vec![b"SET", b"a", b"1"],
+            vec![b"GET", b"a"],
+            vec![b"XADD", b"s", b"*", b"field", b"value with spaces"],
+        ];
+        let mut p = CommandParser::new();
+        p.feed(&encode_pipeline(&want));
+        args_eq(&p.drain().unwrap(), &want);
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn parser_resumes_at_every_split_offset() {
+        // A 20-command pipeline split at every byte boundary: each half
+        // fed separately must parse to exactly the same commands.
+        let want: Vec<Vec<u8>> = (0..20).map(|i| format!("key:{i}").into_bytes()).collect();
+        let cmds: Vec<Vec<&[u8]>> = want
+            .iter()
+            .map(|k| vec![b"GET".as_ref(), k.as_slice()])
+            .collect();
+        let wire = encode_pipeline(&cmds);
+        for cut in 0..=wire.len() {
+            let mut p = CommandParser::new();
+            let mut got = Vec::new();
+            p.feed(&wire[..cut]);
+            got.extend(p.drain().unwrap());
+            p.feed(&wire[cut..]);
+            got.extend(p.drain().unwrap());
+            args_eq(&got, &cmds);
+            assert!(p.is_at_boundary(), "cut={cut} left residue");
+        }
+    }
+
+    #[test]
+    fn parser_resumes_byte_by_byte() {
+        let cmds: Vec<Vec<&[u8]>> = vec![vec![b"SET", b"k", b"v"], vec![b"GET", b"k"]];
+        let wire = encode_pipeline(&cmds);
+        let mut p = CommandParser::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            p.feed(std::slice::from_ref(b));
+            got.extend(p.drain().unwrap());
+        }
+        args_eq(&got, &cmds);
+    }
+
+    #[test]
+    fn parser_args_share_one_burst_allocation() {
+        let mut p = CommandParser::new();
+        p.feed(b"*2\r\n$3\r\nGET\r\n$3\r\nabc\r\n*2\r\n$3\r\nGET\r\n$3\r\nxyz\r\n");
+        let cmds = p.drain().unwrap();
+        // Both commands' args point into one contiguous burst buffer.
+        let base = cmds[0][0].as_slice().as_ptr() as usize;
+        for cmd in &cmds {
+            for arg in cmd {
+                let p = arg.as_slice().as_ptr() as usize;
+                assert!(
+                    p >= base && p < base + 44,
+                    "arg escaped the burst allocation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parser_keeps_partial_tail_across_drains() {
+        let mut p = CommandParser::new();
+        p.feed(b"*1\r\n$4\r\nPING\r\n*2\r\n$3\r\nGET\r\n$300\r\nincompl");
+        let cmds = p.drain().unwrap();
+        args_eq(&cmds, &[vec![b"PING"]]);
+        assert!(!p.is_at_boundary());
+        assert_eq!(p.drain().unwrap(), Vec::<Vec<SharedBuf>>::new());
+    }
+
+    #[test]
+    fn parser_accepts_simple_string_args() {
+        let mut p = CommandParser::new();
+        p.feed(b"*2\r\n+PING\r\n$2\r\nhi\r\n");
+        args_eq(&p.drain().unwrap(), &[vec![b"PING", b"hi"]]);
+    }
+
+    #[test]
+    fn parser_accepts_empty_command_and_empty_args() {
+        let mut p = CommandParser::new();
+        p.feed(b"*0\r\n*1\r\n$0\r\n\r\n");
+        let cmds = p.drain().unwrap();
+        assert_eq!(cmds.len(), 2);
+        assert!(cmds[0].is_empty());
+        assert_eq!(&cmds[1][0][..], b"");
+    }
+
+    #[test]
+    fn parser_rejects_protocol_violations() {
+        let mut p = CommandParser::new();
+        p.feed(b"!oops\r\n");
+        assert_eq!(p.drain(), Err(RespError::BadMarker(b'!')));
+
+        let mut p = CommandParser::new();
+        p.feed(b"*x\r\n");
+        assert_eq!(p.drain(), Err(RespError::BadInteger));
+
+        let mut p = CommandParser::new();
+        p.feed(b"*-1\r\n");
+        assert_eq!(p.drain(), Err(RespError::BadLength(-1)));
+
+        let mut p = CommandParser::new();
+        p.feed(b"*1\r\n$-1\r\n");
+        assert_eq!(p.drain(), Err(RespError::BadLength(-1)));
+
+        let mut p = CommandParser::new();
+        p.feed(b"*1\r\n$3\r\nabcXX");
+        assert_eq!(p.drain(), Err(RespError::BadTerminator));
+
+        let mut p = CommandParser::new();
+        p.feed(b"*1\r\n:5\r\n");
+        assert_eq!(p.drain(), Err(RespError::BadMarker(b':')));
+    }
+
+    #[test]
+    fn parser_rejects_absurd_lengths() {
+        let mut p = CommandParser::new();
+        p.feed(b"*99999999\r\n");
+        assert!(matches!(p.drain(), Err(RespError::BadLength(_))));
+
+        let mut p = CommandParser::new();
+        p.feed(b"*1\r\n$999999999\r\n");
+        assert!(matches!(p.drain(), Err(RespError::BadLength(_))));
+    }
+
+    #[test]
+    fn parse_i64_covers_edges() {
+        assert_eq!(parse_i64(b"0"), Some(0));
+        assert_eq!(parse_i64(b"-1"), Some(-1));
+        assert_eq!(parse_i64(b"123456789"), Some(123456789));
+        assert_eq!(parse_i64(b""), None);
+        assert_eq!(parse_i64(b"-"), None);
+        assert_eq!(parse_i64(b"12a"), None);
+        assert_eq!(parse_i64(b"99999999999999999999"), None);
     }
 }

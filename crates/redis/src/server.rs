@@ -1,21 +1,31 @@
-//! The TCP server: RESP over a real socket, one thread per connection.
+//! The TCP server: RESP over a real socket.
 //!
 //! This is the deployment shape the paper's Redis mappings talk to — going
 //! through a genuine wire protocol is what makes `dyn_redis` measurably
 //! heavier than `dyn_multi` (§5.6's Multiprocessing-vs-Redis finding).
+//!
+//! Two front ends share every other layer (parser, engine, store):
+//!
+//! * [`ServerMode::Reactor`] (default) — a fixed small worker set sweeps all
+//!   connections with nonblocking I/O; blocking commands park as connection
+//!   state, not threads. See [`crate::reactor`].
+//! * [`ServerMode::ThreadPerConn`] — the classic one-thread-per-client shape,
+//!   kept as the ablation baseline for the connection-scaling bench.
 
 use crate::engine::Shared;
-use crate::resp::{self, Frame};
+use crate::reactor::{self, Conn, WorkerShared};
+use crate::resp::{self, CommandParser, Frame};
 use d4py_sync::{ByteBuf, Mutex};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Live connections, keyed by a monotonic id. Each entry holds a
 /// `try_clone` of the handler's stream so `shutdown()` can close the
-/// socket out from under a blocked read; the handler removes its own
+/// socket out from under a blocked read; the owner removes its own
 /// entry on exit.
 #[derive(Default)]
 struct ConnTable {
@@ -36,7 +46,7 @@ impl ConnTable {
     }
 
     /// Closes every tracked socket, returning how many were severed.
-    /// Handlers blocked in `read` observe EOF/error and exit on their own.
+    /// Owners blocked in `read` observe EOF/error and exit on their own.
     fn close_all(&self) -> usize {
         let mut dropped = 0;
         for (_, sock) in self.live.lock().drain() {
@@ -68,6 +78,54 @@ fn accept_error_is_transient(kind: std::io::ErrorKind) -> bool {
     )
 }
 
+/// Which connection-handling architecture the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Event-driven: a fixed worker set sweeps all connections (default).
+    Reactor,
+    /// One OS thread per client — the ablation baseline.
+    ThreadPerConn,
+}
+
+/// Tunables for [`Server::start_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Connection-handling architecture.
+    pub mode: ServerMode,
+    /// Hard cap on simultaneous connections; excess clients get
+    /// `-ERR max number of clients reached` and an immediate close.
+    pub max_connections: usize,
+    /// Reactor-only: close connections with no protocol activity for this
+    /// long (half-open peers, crashed clients). `None` disables reaping.
+    /// Connections parked in a blocking command are never reaped.
+    pub idle_timeout: Option<Duration>,
+    /// Reactor-only: worker thread count; `0` = `min(4, parallelism)`.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            mode: ServerMode::Reactor,
+            max_connections: 4096,
+            idle_timeout: Some(Duration::from_secs(60)),
+            workers: 0,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        cores.clamp(1, 4)
+    }
+}
+
 /// A running redis-lite server.
 pub struct Server {
     shared: Arc<Shared>,
@@ -75,13 +133,20 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     conns: Arc<ConnTable>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    worker_shared: Vec<Arc<WorkerShared>>,
 }
 
 impl Server {
     /// Binds to `127.0.0.1:port` (`port` 0 picks a free port) and starts
-    /// accepting connections on a background thread.
+    /// serving in the default (reactor) mode on background threads.
     pub fn start(port: u16) -> std::io::Result<Server> {
-        Self::start_shared(port, Arc::new(Shared::new()))
+        Self::start_with(port, ServerConfig::default())
+    }
+
+    /// [`start`](Self::start) with explicit architecture and limits.
+    pub fn start_with(port: u16, config: ServerConfig) -> std::io::Result<Server> {
+        Self::start_shared(port, Arc::new(Shared::new()), config)
     }
 
     /// [`start`](Self::start) with append-only-file persistence: the log at
@@ -91,34 +156,80 @@ impl Server {
         aof_path: impl AsRef<std::path::Path>,
     ) -> std::io::Result<Server> {
         let shared = Shared::with_aof(aof_path, crate::aof::FsyncPolicy::No)?;
-        Self::start_shared(port, Arc::new(shared))
+        Self::start_shared(port, Arc::new(shared), ServerConfig::default())
     }
 
-    fn start_shared(port: u16, shared: Arc<Shared>) -> std::io::Result<Server> {
+    fn start_shared(
+        port: u16,
+        shared: Arc<Shared>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let conns = Arc::new(ConnTable::default());
 
+        let mut workers = Vec::new();
+        let mut worker_shared = Vec::new();
+        if config.mode == ServerMode::Reactor {
+            for _ in 0..config.effective_workers() {
+                let ws = Arc::new(WorkerShared::new());
+                let w_shared = shared.clone();
+                let w_ws = ws.clone();
+                let w_stop = stop.clone();
+                let w_conns = conns.clone();
+                workers.push(std::thread::spawn(move || {
+                    reactor::worker_loop(w_shared, w_ws, w_stop, config.idle_timeout, |id| {
+                        w_conns.deregister(id)
+                    });
+                }));
+                worker_shared.push(ws);
+            }
+        }
+
         let accept_shared = shared.clone();
         let accept_stop = stop.clone();
         let accept_conns = conns.clone();
+        let accept_workers = worker_shared.clone();
         let accept_thread = std::thread::spawn(move || {
+            let mut next_worker = 0usize;
             for conn in listener.incoming() {
                 if accept_stop.load(Ordering::SeqCst) {
                     break;
                 }
                 match conn {
                     Ok(stream) => {
-                        let shared = accept_shared.clone();
-                        let conns = accept_conns.clone();
-                        std::thread::spawn(move || {
-                            let id = conns.register(&stream);
-                            handle_connection(stream, &shared);
-                            if let Some(id) = id {
-                                conns.deregister(id);
+                        let _ = stream.set_nodelay(true);
+                        let Some(id) = accept_conns.register(&stream) else {
+                            continue; // try_clone failed: drop the socket
+                        };
+                        if accept_conns.len() > config.max_connections {
+                            // Same wire behaviour as Redis at maxclients.
+                            let mut stream = stream;
+                            let _ = stream.write_all(b"-ERR max number of clients reached\r\n");
+                            let _ = stream.shutdown(Shutdown::Both);
+                            accept_conns.deregister(id);
+                            continue;
+                        }
+                        match config.mode {
+                            ServerMode::Reactor => {
+                                if stream.set_nonblocking(true).is_err() {
+                                    accept_conns.deregister(id);
+                                    continue;
+                                }
+                                let target = &accept_workers[next_worker];
+                                next_worker = (next_worker + 1) % accept_workers.len();
+                                target.register(Conn::new(id, stream));
                             }
-                        });
+                            ServerMode::ThreadPerConn => {
+                                let shared = accept_shared.clone();
+                                let conns = accept_conns.clone();
+                                std::thread::spawn(move || {
+                                    handle_connection(stream, &shared);
+                                    conns.deregister(id);
+                                });
+                            }
+                        }
                     }
                     // One refused/reset/fd-starved accept must not take the
                     // whole listener down; back off briefly and keep serving.
@@ -139,6 +250,8 @@ impl Server {
             stop,
             conns,
             accept_thread: Some(accept_thread),
+            workers,
+            worker_shared,
         })
     }
 
@@ -165,9 +278,9 @@ impl Server {
         self.conns.close_all()
     }
 
-    /// Stops accepting new connections and closes every tracked live
-    /// connection, so handler threads observe EOF and exit instead of
-    /// lingering until their peers hang up.
+    /// Stops accepting new connections, severs every live one (including
+    /// connections parked in a blocking command), and joins all server
+    /// threads.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Poke the accept loop so it notices the flag.
@@ -176,6 +289,12 @@ impl Server {
             let _ = t.join();
         }
         self.conns.close_all();
+        for ws in &self.worker_shared {
+            ws.poke();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
     }
 }
 
@@ -185,33 +304,29 @@ impl Drop for Server {
     }
 }
 
+/// The thread-per-connection handler: blocking reads, one thread's full
+/// attention per client. Shares the resumable parser with the reactor, so
+/// both front ends speak byte-identical RESP.
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    let mut inbox = ByteBuf::with_capacity(4096);
+    let mut parser = CommandParser::new();
     let mut out = ByteBuf::with_capacity(4096);
     let mut chunk = [0u8; 4096];
     loop {
-        // Decode every complete frame already buffered, accumulating the
+        // Execute every complete command already buffered, accumulating the
         // replies, then answer the whole pipeline in ONE write — a
         // pipelined client costs this loop one syscall per burst, not one
         // per command.
         out.clear();
-        loop {
-            match resp::decode(&inbox) {
-                Ok(Some((frame, used))) => {
-                    let _ = inbox.split_to(used);
-                    let reply = match command_args(&frame) {
-                        Some(args) => shared.dispatch(&args),
-                        None => Frame::error("protocol error: expected array of bulk strings"),
-                    };
-                    resp::encode(&reply, &mut out);
+        match parser.drain() {
+            Ok(cmds) => {
+                for args in cmds {
+                    resp::encode(&shared.dispatch(&args), &mut out);
                 }
-                Ok(None) => break,
-                Err(_) => {
-                    resp::encode(&Frame::error("protocol error"), &mut out);
-                    let _ = stream.write_all(&out);
-                    return;
-                }
+            }
+            Err(_) => {
+                resp::encode(&Frame::error("protocol error"), &mut out);
+                let _ = stream.write_all(&out);
+                return;
             }
         }
         if !out.is_empty() && stream.write_all(&out).is_err() {
@@ -219,23 +334,9 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         }
         match stream.read(&mut chunk) {
             Ok(0) | Err(_) => return, // peer closed
-            Ok(n) => inbox.extend_from_slice(&chunk[..n]),
+            Ok(n) => parser.feed(&chunk[..n]),
         }
     }
-}
-
-/// Extracts command arguments from a client frame (array of bulk strings).
-fn command_args(frame: &Frame) -> Option<Vec<Vec<u8>>> {
-    let items = frame.as_array()?;
-    let mut args = Vec::with_capacity(items.len());
-    for item in items {
-        match item {
-            Frame::Bulk(b) => args.push(b.clone()),
-            Frame::Simple(s) => args.push(s.clone().into_bytes()),
-            _ => return None,
-        }
-    }
-    Some(args)
 }
 
 #[cfg(test)]
@@ -244,40 +345,55 @@ mod tests {
     use crate::client::{Client, Connection, RedisOps};
     use std::time::Duration;
 
+    fn both_modes(test: impl Fn(ServerConfig)) {
+        for mode in [ServerMode::Reactor, ServerMode::ThreadPerConn] {
+            test(ServerConfig {
+                mode,
+                ..ServerConfig::default()
+            });
+        }
+    }
+
     #[test]
     fn server_responds_over_tcp() {
-        let server = Server::start(0).unwrap();
-        let mut client = Client::connect(server.addr()).unwrap();
-        assert_eq!(client.ping().unwrap(), "PONG");
-        client.set(b"k", b"v").unwrap();
-        assert_eq!(client.get(b"k").unwrap(), Some(b"v".to_vec()));
+        both_modes(|config| {
+            let server = Server::start_with(0, config).unwrap();
+            let mut client = Client::connect(server.addr()).unwrap();
+            assert_eq!(client.ping().unwrap(), "PONG");
+            client.set(b"k", b"v").unwrap();
+            assert_eq!(client.get(b"k").unwrap(), Some(b"v".to_vec()));
+        });
     }
 
     #[test]
     fn multiple_clients_share_keyspace() {
-        let server = Server::start(0).unwrap();
-        let mut c1 = Client::connect(server.addr()).unwrap();
-        let mut c2 = Client::connect(server.addr()).unwrap();
-        c1.set(b"shared", b"yes").unwrap();
-        assert_eq!(c2.get(b"shared").unwrap(), Some(b"yes".to_vec()));
+        both_modes(|config| {
+            let server = Server::start_with(0, config).unwrap();
+            let mut c1 = Client::connect(server.addr()).unwrap();
+            let mut c2 = Client::connect(server.addr()).unwrap();
+            c1.set(b"shared", b"yes").unwrap();
+            assert_eq!(c2.get(b"shared").unwrap(), Some(b"yes".to_vec()));
+        });
     }
 
     #[test]
     fn blocking_pop_across_connections() {
-        let server = Server::start(0).unwrap();
-        let addr = server.addr();
-        let waiter = std::thread::spawn(move || {
-            let mut c = Client::connect(addr).unwrap();
-            c.request(&[b"BLPOP".as_ref(), b"jobs".as_ref(), b"2".as_ref()])
-                .unwrap()
+        both_modes(|config| {
+            let server = Server::start_with(0, config).unwrap();
+            let addr = server.addr();
+            let waiter = std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.request(&[b"BLPOP".as_ref(), b"jobs".as_ref(), b"2".as_ref()])
+                    .unwrap()
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            let mut pusher = Client::connect(addr).unwrap();
+            pusher
+                .request(&[b"RPUSH".as_ref(), b"jobs".as_ref(), b"task1".as_ref()])
+                .unwrap();
+            let reply = waiter.join().unwrap();
+            assert!(format!("{reply:?}").contains("task1"));
         });
-        std::thread::sleep(Duration::from_millis(30));
-        let mut pusher = Client::connect(addr).unwrap();
-        pusher
-            .request(&[b"RPUSH".as_ref(), b"jobs".as_ref(), b"task1".as_ref()])
-            .unwrap();
-        let reply = waiter.join().unwrap();
-        assert!(format!("{reply:?}").contains("task1"));
     }
 
     #[test]
@@ -285,59 +401,63 @@ mod tests {
         // Genuinely pipelined: every command hits the socket in ONE write
         // before a single reply byte is read, then all replies are decoded
         // in order from whatever chunking the kernel hands back.
-        let server = Server::start(0).unwrap();
-        let mut sock = std::net::TcpStream::connect(server.addr()).unwrap();
-        sock.set_nodelay(true).unwrap();
+        both_modes(|config| {
+            let server = Server::start_with(0, config).unwrap();
+            let mut sock = std::net::TcpStream::connect(server.addr()).unwrap();
+            sock.set_nodelay(true).unwrap();
 
-        let n = 20usize;
-        let mut wire = ByteBuf::new();
-        for i in 0..n / 2 {
-            let key = format!("pk{i}");
-            resp::encode_command(
-                &[b"SET", key.as_bytes(), format!("v{i}").as_bytes()],
-                &mut wire,
-            );
-        }
-        for i in 0..n / 2 {
-            let key = format!("pk{i}");
-            resp::encode_command(&[b"GET", key.as_bytes()], &mut wire);
-        }
-        sock.write_all(&wire).unwrap();
+            let n = 20usize;
+            let mut wire = ByteBuf::new();
+            for i in 0..n / 2 {
+                let key = format!("pk{i}");
+                resp::encode_command(
+                    &[b"SET", key.as_bytes(), format!("v{i}").as_bytes()],
+                    &mut wire,
+                );
+            }
+            for i in 0..n / 2 {
+                let key = format!("pk{i}");
+                resp::encode_command(&[b"GET", key.as_bytes()], &mut wire);
+            }
+            sock.write_all(&wire).unwrap();
 
-        let mut inbox = ByteBuf::new();
-        let mut chunk = [0u8; 1024];
-        let mut replies = Vec::new();
-        while replies.len() < n {
-            match resp::decode(&inbox).unwrap() {
-                Some((frame, used)) => {
-                    let _ = inbox.split_to(used);
-                    replies.push(frame);
-                }
-                None => {
-                    let got = sock.read(&mut chunk).unwrap();
-                    assert!(got > 0, "server closed mid-pipeline");
-                    inbox.extend_from_slice(&chunk[..got]);
+            let mut inbox = ByteBuf::new();
+            let mut chunk = [0u8; 1024];
+            let mut replies = Vec::new();
+            while replies.len() < n {
+                match resp::decode(&inbox).unwrap() {
+                    Some((frame, used)) => {
+                        let _ = inbox.split_to(used);
+                        replies.push(frame);
+                    }
+                    None => {
+                        let got = sock.read(&mut chunk).unwrap();
+                        assert!(got > 0, "server closed mid-pipeline");
+                        inbox.extend_from_slice(&chunk[..got]);
+                    }
                 }
             }
-        }
-        for reply in &replies[..n / 2] {
-            assert_eq!(*reply, Frame::ok());
-        }
-        for (i, reply) in replies[n / 2..].iter().enumerate() {
-            assert_eq!(*reply, Frame::bulk(format!("v{i}")), "reply {i}");
-        }
+            for reply in &replies[..n / 2] {
+                assert_eq!(*reply, Frame::ok());
+            }
+            for (i, reply) in replies[n / 2..].iter().enumerate() {
+                assert_eq!(*reply, Frame::bulk(format!("v{i}")), "reply {i}");
+            }
+        });
     }
 
     #[test]
     fn shutdown_stops_accepting() {
-        let mut server = Server::start(0).unwrap();
-        let addr = server.addr();
-        server.shutdown();
-        std::thread::sleep(Duration::from_millis(10));
-        // Either the connect fails outright or the connection is dead.
-        if let Ok(mut c) = Client::connect(addr) {
-            assert!(c.ping().is_err());
-        }
+        both_modes(|config| {
+            let mut server = Server::start_with(0, config).unwrap();
+            let addr = server.addr();
+            server.shutdown();
+            std::thread::sleep(Duration::from_millis(10));
+            // Either the connect fails outright or the connection is dead.
+            if let Ok(mut c) = Client::connect(addr) {
+                assert!(c.ping().is_err());
+            }
+        });
     }
 
     #[test]
@@ -345,28 +465,32 @@ mod tests {
         // Regression: shutdown() used to only stop the accept loop — an
         // already-connected client kept a working session against a
         // detached handler thread that leaked until the peer hung up.
-        let mut server = Server::start(0).unwrap();
-        let mut c = Client::connect(server.addr()).unwrap();
-        assert_eq!(c.ping().unwrap(), "PONG");
-        assert_eq!(server.live_connections(), 1);
-        server.shutdown();
-        assert!(
-            c.ping().is_err(),
-            "live connection must be severed by shutdown"
-        );
-        assert_eq!(server.live_connections(), 0);
+        both_modes(|config| {
+            let mut server = Server::start_with(0, config).unwrap();
+            let mut c = Client::connect(server.addr()).unwrap();
+            assert_eq!(c.ping().unwrap(), "PONG");
+            assert_eq!(server.live_connections(), 1);
+            server.shutdown();
+            assert!(
+                c.ping().is_err(),
+                "live connection must be severed by shutdown"
+            );
+            assert_eq!(server.live_connections(), 0);
+        });
     }
 
     #[test]
     fn drop_connections_severs_but_keeps_accepting() {
-        let server = Server::start(0).unwrap();
-        let mut c = Client::connect(server.addr()).unwrap();
-        assert_eq!(c.ping().unwrap(), "PONG");
-        assert_eq!(server.drop_connections(), 1);
-        // The client's reconnect-retry makes an idempotent PING recover
-        // transparently; a raw socket sees the severed session.
-        let mut fresh = Client::connect(server.addr()).unwrap();
-        assert_eq!(fresh.ping().unwrap(), "PONG", "server must keep accepting");
+        both_modes(|config| {
+            let server = Server::start_with(0, config).unwrap();
+            let mut c = Client::connect(server.addr()).unwrap();
+            assert_eq!(c.ping().unwrap(), "PONG");
+            assert_eq!(server.drop_connections(), 1);
+            // The client's reconnect-retry makes an idempotent PING recover
+            // transparently; a raw socket sees the severed session.
+            let mut fresh = Client::connect(server.addr()).unwrap();
+            assert_eq!(fresh.ping().unwrap(), "PONG", "server must keep accepting");
+        });
     }
 
     #[test]
@@ -390,11 +514,13 @@ mod tests {
     fn server_survives_peer_resets_and_keeps_accepting() {
         // Connections that vanish immediately (the closest portable stand-in
         // for ECONNABORTED churn) must not kill the accept loop.
-        let server = Server::start(0).unwrap();
-        for _ in 0..16 {
-            drop(std::net::TcpStream::connect(server.addr()).unwrap());
-        }
-        let mut c = Client::connect(server.addr()).unwrap();
-        assert_eq!(c.ping().unwrap(), "PONG");
+        both_modes(|config| {
+            let server = Server::start_with(0, config).unwrap();
+            for _ in 0..16 {
+                drop(std::net::TcpStream::connect(server.addr()).unwrap());
+            }
+            let mut c = Client::connect(server.addr()).unwrap();
+            assert_eq!(c.ping().unwrap(), "PONG");
+        });
     }
 }

@@ -10,6 +10,7 @@
 //!   crucially the **idle time** that `dyn_auto_redis`'s monitoring strategy
 //!   samples via `XINFO CONSUMERS`.
 
+use d4py_sync::SharedBuf;
 use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 
@@ -69,8 +70,10 @@ impl std::fmt::Display for StreamId {
     }
 }
 
-/// Field-value pairs of one entry.
-pub type EntryBody = Vec<(Vec<u8>, Vec<u8>)>;
+/// Field-value pairs of one entry. The [`SharedBuf`] halves alias the
+/// network read buffer the entry arrived in, so storing an entry is a
+/// refcount bump, not a payload copy.
+pub type EntryBody = Vec<(SharedBuf, SharedBuf)>;
 
 /// A pending (delivered but unacknowledged) entry in a consumer group.
 #[derive(Debug, Clone)]
@@ -418,7 +421,7 @@ mod tests {
     use super::*;
 
     fn body(s: &str) -> EntryBody {
-        vec![(b"data".to_vec(), s.as_bytes().to_vec())]
+        vec![(SharedBuf::from(&b"data"[..]), SharedBuf::from(s))]
     }
 
     #[test]

@@ -7,8 +7,11 @@ use redis_lite::server::Server;
 use std::sync::Arc;
 use std::time::Duration;
 
-fn f(parts: &[&str]) -> Vec<Vec<u8>> {
-    parts.iter().map(|p| p.as_bytes().to_vec()).collect()
+fn f(parts: &[&str]) -> Vec<d4py_sync::SharedBuf> {
+    parts
+        .iter()
+        .map(|p| d4py_sync::SharedBuf::from(p.as_bytes()))
+        .collect()
 }
 
 #[test]

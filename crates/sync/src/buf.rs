@@ -1,10 +1,21 @@
-//! [`ByteBuf`]: a growable byte buffer with `put_*` write helpers.
+//! [`ByteBuf`]: a growable byte buffer with `put_*` write helpers, and
+//! [`SharedBuf`]: an immutable, cheaply cloneable slice of shared bytes.
 //!
-//! The write-side surface the RESP codec, the value codec, and the AOF
-//! need from `bytes::BytesMut`, over a plain `Vec<u8>`. Reads go through
-//! `Deref<Target = [u8]>`, so a `&ByteBuf` is a `&[u8]` wherever one is
-//! expected; `split_to` supports the streaming-decode pattern of consuming
-//! a parsed frame off the front of a TCP read buffer.
+//! `ByteBuf` is the write-side surface the RESP codec, the value codec,
+//! and the AOF need from `bytes::BytesMut`, over a plain `Vec<u8>`. Reads
+//! go through `Deref<Target = [u8]>`, so a `&ByteBuf` is a `&[u8]`
+//! wherever one is expected; `split_to` supports the streaming-decode
+//! pattern of consuming a parsed frame off the front of a TCP read buffer.
+//!
+//! `SharedBuf` is the read-side counterpart of `bytes::Bytes`: an
+//! `Arc<Vec<u8>>` plus a window, so many values (command arguments, stored
+//! stream payloads, reply frames) can alias one network read without
+//! copying — cloning bumps a refcount, [`SharedBuf::slice`] narrows the
+//! window. This is what lets the redis-lite server carry a stream payload
+//! from the socket read buffer into the store and back out into a reply
+//! with exactly one copy at each socket boundary.
+
+use std::sync::Arc;
 
 /// A growable, appendable byte buffer.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -94,6 +105,12 @@ impl ByteBuf {
         self.data
     }
 
+    /// Consumes the buffer into an immutable [`SharedBuf`] without copying
+    /// the bytes (the backing `Vec` moves into the shared allocation).
+    pub fn into_shared(self) -> SharedBuf {
+        SharedBuf::from(self.data)
+    }
+
     /// The buffered bytes as a slice.
     pub fn as_slice(&self) -> &[u8] {
         &self.data
@@ -128,6 +145,188 @@ impl From<Vec<u8>> for ByteBuf {
 impl From<ByteBuf> for Vec<u8> {
     fn from(buf: ByteBuf) -> Self {
         buf.data
+    }
+}
+
+/// An immutable, cheaply cloneable byte slice over shared storage.
+///
+/// The read-side dual of [`ByteBuf`]: one `Arc<Vec<u8>>` allocation plus a
+/// `[start, end)` window. `clone` bumps the refcount; [`slice`] narrows
+/// the window; `Deref<Target = [u8]>` makes it usable wherever a `&[u8]`
+/// is expected. Equality/ordering/hashing are over the *visible bytes*,
+/// so two windows with identical content compare equal regardless of
+/// which allocation backs them.
+///
+/// [`slice`]: SharedBuf::slice
+#[derive(Clone, Default)]
+pub struct SharedBuf {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl SharedBuf {
+    /// An empty slice (no allocation is shared until bytes exist).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies `bytes` into a fresh shared allocation.
+    pub fn copy_from(bytes: &[u8]) -> Self {
+        Self::from(bytes.to_vec())
+    }
+
+    /// Number of visible bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-window of this slice (relative to the visible bytes), sharing
+    /// the same backing allocation.
+    ///
+    /// Panics if the range is out of bounds, like `&bytes[range]` would.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> SharedBuf {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds: {}..{} of {}",
+            range.start,
+            range.end,
+            self.len()
+        );
+        SharedBuf {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// The visible bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copies the visible bytes into an owned `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl std::ops::Deref for SharedBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for SharedBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for SharedBuf {
+    /// Moves the vector into shared storage without copying the bytes.
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Self {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for SharedBuf {
+    fn from(bytes: &[u8]) -> Self {
+        Self::copy_from(bytes)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for SharedBuf {
+    fn from(bytes: &[u8; N]) -> Self {
+        Self::copy_from(bytes)
+    }
+}
+
+impl From<&str> for SharedBuf {
+    fn from(s: &str) -> Self {
+        Self::copy_from(s.as_bytes())
+    }
+}
+
+impl From<String> for SharedBuf {
+    fn from(s: String) -> Self {
+        Self::from(s.into_bytes())
+    }
+}
+
+impl From<ByteBuf> for SharedBuf {
+    fn from(buf: ByteBuf) -> Self {
+        buf.into_shared()
+    }
+}
+
+impl PartialEq for SharedBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SharedBuf {}
+
+impl PartialEq<[u8]> for SharedBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for SharedBuf {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for SharedBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for SharedBuf {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SharedBuf {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for SharedBuf {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for SharedBuf {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for SharedBuf {
+    /// Lossy-text rendering, matching the RESP frame convention: payloads
+    /// are overwhelmingly textual and byte-list dumps make failures
+    /// unreadable.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedBuf({:?})", String::from_utf8_lossy(self))
     }
 }
 
@@ -193,5 +392,73 @@ mod tests {
         let mut b = ByteBuf::from(vec![1, 2, 3]);
         b.put_u8(4);
         assert_eq!(b.freeze(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shared_slices_alias_one_allocation() {
+        let buf = SharedBuf::from(b"hello shared world".to_vec());
+        let hello = buf.slice(0..5);
+        let world = buf.slice(13..18);
+        assert_eq!(&hello[..], b"hello");
+        assert_eq!(&world[..], b"world");
+        // Three handles, one backing allocation.
+        assert_eq!(Arc::strong_count(&buf.data), 3);
+        drop(buf);
+        assert_eq!(&world[..], b"world", "slices outlive the parent handle");
+    }
+
+    #[test]
+    fn shared_slice_of_slice_composes() {
+        let buf = SharedBuf::from(b"0123456789".to_vec());
+        let mid = buf.slice(2..8); // "234567"
+        let inner = mid.slice(1..3); // "34"
+        assert_eq!(&inner[..], b"34");
+        assert_eq!(inner.to_vec(), b"34".to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn shared_slice_past_end_panics() {
+        let buf = SharedBuf::from(b"abc".to_vec());
+        let _ = buf.slice(1..5);
+    }
+
+    #[test]
+    fn shared_equality_is_content_based() {
+        let a = SharedBuf::from(b"xxpayloadxx".to_vec()).slice(2..9);
+        let b = SharedBuf::copy_from(b"payload");
+        assert_eq!(a, b);
+        assert_eq!(a, b"payload".to_vec());
+        assert_eq!(a, &b"payload"[..]);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |s: &SharedBuf| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b), "equal content must hash equally");
+    }
+
+    #[test]
+    fn bytebuf_into_shared_is_move_not_copy() {
+        let mut b = ByteBuf::new();
+        b.put_slice(b"frozen");
+        let ptr = b.as_slice().as_ptr();
+        let shared = b.into_shared();
+        assert_eq!(&shared[..], b"frozen");
+        assert_eq!(
+            shared.as_slice().as_ptr(),
+            ptr,
+            "backing bytes must not be reallocated"
+        );
+    }
+
+    #[test]
+    fn shared_default_is_empty() {
+        let s = SharedBuf::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(&s[..], b"");
     }
 }

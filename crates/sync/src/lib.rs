@@ -19,7 +19,9 @@
 //! * [`Mutex`] / [`Condvar`] / [`RwLock`] — poison-free wrappers over
 //!   `std::sync` with the `parking_lot` API shape;
 //! * [`buf::ByteBuf`] — a growable byte buffer with `put_*` helpers
-//!   (replaces `bytes::BytesMut`);
+//!   (replaces `bytes::BytesMut`) — and [`buf::SharedBuf`], its immutable
+//!   refcounted-slice dual (replaces `bytes::Bytes`), the zero-copy
+//!   carrier for RESP payloads end to end;
 //! * [`crc`] — CRC-32 (IEEE) with a compile-time table, the integrity
 //!   primitive for the versioned snapshot frames;
 //! * [`rng`] — a seedable PCG32 generator with `gen`/`gen_range`
@@ -55,5 +57,5 @@ pub mod stats;
 pub mod steal;
 mod sync;
 
-pub use buf::ByteBuf;
+pub use buf::{ByteBuf, SharedBuf};
 pub use sync::{Condvar, Mutex, MutexGuard, RwLock, WaitTimeoutResult};

@@ -37,6 +37,7 @@ promote() {
 
 promote ablation_queue ablation_queue
 promote ablation_redis redis_backend
+promote ablation_connections connections
 
 # The chaos matrix is driven by the repro binary, not a cargo bench
 # target: the full 16-cell run must pass every fault-recovery invariant

@@ -56,6 +56,11 @@ D4PY_BENCH_QUICK=1 cargo bench --offline --bench ablation_queue
 # routing all on the hot path).
 D4PY_BENCH_QUICK=1 cargo bench --offline --bench ablation_redis
 
+# And the connection-scaling ablation: N concurrent clients against the
+# event-driven reactor vs the thread-per-connection baseline. Quick mode
+# uses small client counts; full gating runs sweep 64/256/1024 clients.
+D4PY_BENCH_QUICK=1 cargo bench --offline --bench ablation_connections
+
 # Chaos-matrix smoke: three cells (crash + recovery, straggler under key
 # skew, flaky transport) through the real scenario runner over a live
 # redis-lite server. The run itself HARD-fails on any invariant violation
@@ -66,7 +71,7 @@ D4PY_BENCH_QUICK=1 cargo run -q --release --offline -p d4py-bench --bin repro --
     chaos --quick \
     || { echo "verify: FAIL — chaos matrix smoke violated an invariant" >&2; exit 1; }
 
-for bench in ablation_queue redis_backend chaos_matrix; do
+for bench in ablation_queue redis_backend connections chaos_matrix; do
     baseline="bench/baselines/BENCH_${bench}.json"
     current="target/bench/BENCH_${bench}.json"
     if [[ -f "$baseline" && -f "$current" ]]; then

@@ -177,7 +177,7 @@ fn beta_sampler_stays_in_unit_interval() {
 fn resp_roundtrips_bulk() {
     for_all(|g| {
         let payload = g.bytes(0..256);
-        let frame = Frame::Bulk(payload);
+        let frame = Frame::bulk(payload);
         let mut buf = ByteBuf::new();
         resp::encode(&frame, &mut buf);
         let (back, used) = resp::decode(&buf).unwrap().unwrap();
