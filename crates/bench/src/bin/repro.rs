@@ -446,6 +446,14 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "all".to_string());
 
+    // `check` is pure static analysis: dispatch before any server spawn.
+    // (`--all` is accepted for symmetry with the docs; check always covers
+    // every built-in workflow.)
+    if experiment == "check" {
+        let json = args.iter().any(|a| a == "--json");
+        std::process::exit(d4py_bench::check::run(json));
+    }
+
     // The redis-lite server(s) shared by every Redis-backed cell: one by
     // default, N hash-slot shards under --shards N, none under --inproc.
     // Kept alive here for the whole run.
@@ -608,7 +616,8 @@ fn main() {
         other => {
             eprintln!(
                 "unknown experiment '{other}'. Choose one of: fig8 fig9 fig10 fig11a \
-                 fig11b fig11c fig12a fig12b fig13 table1 table2 table3 ablation chaos all"
+                 fig11b fig11c fig12a fig12b fig13 table1 table2 table3 ablation chaos \
+                 check all"
             );
             std::process::exit(2);
         }

@@ -13,7 +13,9 @@
 //! * [`connscale`] — the connection-scaling ablation: N concurrent clients
 //!   against the reactor vs the thread-per-connection baseline;
 //! * [`compare`] — the statistical regression gate over the versioned
-//!   `BENCH_<name>.json` reports the timing harness persists.
+//!   `BENCH_<name>.json` reports the timing harness persists;
+//! * [`check`] — `repro check`: static `D4PY` diagnostics over every
+//!   built-in workflow, gated at zero Error-severity findings.
 //!
 //! The `repro` binary drives the evaluation:
 //!
@@ -33,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod compare;
 pub mod connscale;
 pub mod ratios;

@@ -7,6 +7,13 @@ use d4py_graph::{GraphError, PeId};
 pub enum CoreError {
     /// The abstract workflow failed validation.
     Graph(GraphError),
+    /// The pre-flight static analysis found Error-severity diagnostics
+    /// (see `d4py_graph::analyze`); the rendered report carries the
+    /// `D4PY` rule codes.
+    Analysis {
+        /// The rendered diagnostics report.
+        report: String,
+    },
     /// A PE id has no registered runtime factory.
     MissingFactory(PeId),
     /// The selected mapping cannot execute this workflow (e.g. plain dynamic
@@ -41,6 +48,9 @@ impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CoreError::Graph(e) => write!(f, "invalid workflow: {e}"),
+            CoreError::Analysis { report } => {
+                write!(f, "workflow rejected by static analysis:\n{report}")
+            }
             CoreError::MissingFactory(pe) => {
                 write!(f, "no runtime factory registered for {pe}")
             }

@@ -54,6 +54,7 @@ pub mod metrics;
 pub mod options;
 pub mod pe;
 pub mod platform;
+pub mod preflight;
 pub mod profile;
 pub mod queue;
 pub mod routing;

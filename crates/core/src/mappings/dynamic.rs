@@ -86,6 +86,7 @@ pub fn run_dynamic(
     if opts.workers == 0 {
         return Err(CoreError::InvalidOptions("workers must be ≥ 1".into()));
     }
+    let preflight_warnings = crate::preflight::preflight(exe, opts, autoscale.is_some())?;
     require_stateless(exe, mapping_name)?;
     let started = Instant::now();
 
@@ -173,7 +174,7 @@ pub fn run_dynamic(
         per_pe_tasks: engine.pe_counts.snapshot(),
         task_latency: engine.latency.summary(),
         queue_steals: engine.queue.steals().unwrap_or(0),
-        warnings: vec![],
+        warnings: preflight_warnings,
     })
 }
 

@@ -355,6 +355,7 @@ pub fn run_hybrid_with_faults(
     if opts.workers == 0 {
         return Err(CoreError::InvalidOptions("workers must be ≥ 1".into()));
     }
+    let preflight_warnings = crate::preflight::preflight(exe, opts, false)?;
     let started = Instant::now();
     let graph = exe.graph();
     let (slots, stateless_workers) = plan_stateful(graph, opts.workers, mapping_name)?;
@@ -415,7 +416,7 @@ pub fn run_hybrid_with_faults(
         ledger: ActiveTimeLedger::new(opts.workers),
         stateless_workers,
         state,
-        warnings: d4py_sync::Mutex::new(Vec::new()),
+        warnings: d4py_sync::Mutex::new(preflight_warnings),
         straggler,
         crash_slot,
         pill_storm: faults.pill_storm,

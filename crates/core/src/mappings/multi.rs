@@ -45,6 +45,7 @@ impl Mapping for Multi {
     }
 
     fn execute(&self, exe: &Executable, opts: &ExecutionOptions) -> Result<RunReport, CoreError> {
+        let preflight_warnings = crate::preflight::preflight(exe, opts, false)?;
         let graph = exe.graph();
         let plan = partition::partition(graph, opts.workers).map_err(|e| {
             CoreError::UnsupportedWorkflow {
@@ -129,7 +130,7 @@ impl Mapping for Multi {
             per_pe_tasks: pe_counts.snapshot(),
             task_latency: crate::metrics::LatencySummary::default(),
             queue_steals: 0,
-            warnings: vec![],
+            warnings: preflight_warnings,
         })
     }
 }

@@ -29,7 +29,8 @@ impl Mapping for Simple {
         "simple"
     }
 
-    fn execute(&self, exe: &Executable, _opts: &ExecutionOptions) -> Result<RunReport, CoreError> {
+    fn execute(&self, exe: &Executable, opts: &ExecutionOptions) -> Result<RunReport, CoreError> {
+        let preflight_warnings = crate::preflight::preflight(exe, opts, false)?;
         let started = Instant::now();
         let graph = exe.graph();
         let ledger = ActiveTimeLedger::new(1);
@@ -88,7 +89,7 @@ impl Mapping for Simple {
             per_pe_tasks: pe_counts.snapshot(),
             task_latency: crate::metrics::LatencySummary::default(),
             queue_steals: 0,
-            warnings: vec![],
+            warnings: preflight_warnings,
         })
     }
 }

@@ -1,0 +1,92 @@
+//! Engine pre-flight static analysis.
+//!
+//! Every enactment engine calls [`preflight`] before spawning workers: the
+//! workflow is run through `d4py_graph::analyze` under a context matching
+//! the engine's deployment (worker count, autoscaling). Error-severity
+//! diagnostics abort the run with [`CoreError::Analysis`] — the rendered
+//! report carries the `D4PY` rule codes — while Warning-severity findings
+//! are returned for the engine to fold into `RunReport::warnings`.
+//! Info-severity findings are advisory and not propagated.
+//!
+//! This is the runtime half of the contract `repro check` audits
+//! statically: a stateful multi-instance PE fed by `Grouping::Shuffle`
+//! never reaches a worker thread.
+
+use crate::error::CoreError;
+use crate::executable::Executable;
+use crate::options::ExecutionOptions;
+use d4py_graph::analyze::{AnalysisContext, Severity};
+
+/// Analyzes the executable's workflow for the given deployment and either
+/// aborts (any Error-severity diagnostic) or returns the warnings to fold
+/// into the run report, formatted as `"<code>: <message>"`.
+pub fn preflight(
+    exe: &Executable,
+    opts: &ExecutionOptions,
+    autoscaling: bool,
+) -> Result<Vec<String>, CoreError> {
+    let ctx = AnalysisContext::preflight(opts.workers, autoscaling);
+    let diags = exe.graph().analyze(&ctx);
+    if diags.has_errors() {
+        return Err(CoreError::Analysis {
+            report: diags.render(),
+        });
+    }
+    Ok(diags
+        .findings
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .map(|d| format!("{}: {}", d.code, d.message))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d4py_graph::{Grouping, PeSpec, WorkflowGraph};
+
+    fn exe_with(graph: WorkflowGraph) -> Executable {
+        // Pre-flight only reads the graph; no factories needed.
+        Executable::new(graph).expect("graph validates")
+    }
+
+    #[test]
+    fn stateful_multi_instance_under_shuffle_is_rejected() {
+        let mut g = WorkflowGraph::new("bad");
+        let a = g.add_pe(PeSpec::source("a", "out"));
+        let b = g.add_pe(PeSpec::sink("b", "in").stateful().with_instances(4));
+        g.connect(a, "out", b, "in", Grouping::Shuffle).unwrap();
+        let exe = exe_with(g);
+        let err = preflight(&exe, &ExecutionOptions::new(4), false).unwrap_err();
+        match err {
+            CoreError::Analysis { report } => {
+                assert!(report.contains("D4PY101"), "{report}");
+            }
+            other => panic!("expected Analysis error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_workflow_passes_with_no_warnings() {
+        let mut g = WorkflowGraph::new("ok");
+        let a = g.add_pe(PeSpec::source("a", "out"));
+        let b = g.add_pe(PeSpec::sink("b", "in"));
+        g.connect(a, "out", b, "in", Grouping::Shuffle).unwrap();
+        let exe = exe_with(g);
+        let warnings = preflight(&exe, &ExecutionOptions::new(4), false).unwrap();
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn warnings_are_surfaced_with_codes() {
+        let mut g = WorkflowGraph::new("warny");
+        let a =
+            g.add_pe(PeSpec::source("a", "out").with_port(d4py_graph::PortDecl::output("debug")));
+        let b = g.add_pe(PeSpec::sink("b", "in"));
+        g.connect(a, "out", b, "in", Grouping::Shuffle).unwrap();
+        let exe = exe_with(g);
+        let warnings = preflight(&exe, &ExecutionOptions::new(4), false).unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].starts_with("D4PY202: "), "{}", warnings[0]);
+    }
+}

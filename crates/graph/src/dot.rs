@@ -4,6 +4,7 @@
 //! these renderings). Stateful PEs render as double octagons; grouping
 //! annotations label the edges.
 
+use crate::analyze::{Diagnostics, Severity};
 use crate::graph::WorkflowGraph;
 use crate::grouping::Grouping;
 use std::fmt::Write as _;
@@ -54,6 +55,68 @@ impl WorkflowGraph {
         out.push_str("}\n");
         out
     }
+
+    /// Renders the workflow as DOT with diagnosed PEs visually flagged:
+    /// error-bearing PEs get a red border, warning-bearing an orange one,
+    /// info-bearing a blue one (worst finding wins). The first diagnostic
+    /// code is appended to the node label so a failing `repro check` graph
+    /// can be debugged at a glance.
+    pub fn to_dot_diagnosed(&self, diags: &Diagnostics) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name());
+        let _ = writeln!(out, "  rankdir=LR;");
+        for (id, pe) in self.pes() {
+            let shape = if self.is_effectively_stateful(id) {
+                "doubleoctagon"
+            } else {
+                "box"
+            };
+            let extra = match pe.instances {
+                Some(n) => format!("\\n×{n}"),
+                None => String::new(),
+            };
+            let worst = diags
+                .findings
+                .iter()
+                .filter(|d| d.pe.as_deref() == Some(pe.name.as_str()))
+                .min_by_key(|d| d.severity);
+            let (color, badge) = match worst {
+                Some(d) => {
+                    let color = match d.severity {
+                        Severity::Error => "red",
+                        Severity::Warning => "orange",
+                        Severity::Info => "blue",
+                    };
+                    (color, format!("\\n[{}]", d.code))
+                }
+                None => ("", String::new()),
+            };
+            let style = if color.is_empty() {
+                String::new()
+            } else {
+                format!(", color={color}, penwidth=2")
+            };
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}{}{}\", shape={}{}];",
+                id.0, pe.name, extra, badge, shape, style
+            );
+        }
+        for c in self.connections() {
+            let label = grouping_label(&c.grouping);
+            if label.is_empty() {
+                let _ = writeln!(out, "  n{} -> n{};", c.from_pe.0, c.to_pe.0);
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  n{} -> n{} [label=\"{}\"];",
+                    c.from_pe.0, c.to_pe.0, label
+                );
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -79,6 +142,23 @@ mod tests {
         assert!(dot.contains("group-by state"));
         assert!(dot.contains("×4"));
         assert!(dot.contains("n0 -> n1"));
+    }
+
+    #[test]
+    fn diagnosed_dot_colors_offending_pes() {
+        use crate::analyze::AnalysisContext;
+        // Stateful 4-instance sink fed by Shuffle: D4PY101 on 'writer'.
+        let mut g = WorkflowGraph::new("wf");
+        let a = g.add_pe(PeSpec::source("reader", "out"));
+        let b = g.add_pe(PeSpec::sink("writer", "in").stateful().with_instances(4));
+        g.connect(a, "out", b, "in", Grouping::Shuffle).unwrap();
+        let diags = g.analyze(&AnalysisContext::full());
+        assert!(diags.has_errors());
+        let dot = g.to_dot_diagnosed(&diags);
+        assert!(dot.contains("color=red, penwidth=2"), "{dot}");
+        assert!(dot.contains("[D4PY101]"), "{dot}");
+        // The clean source keeps its default border.
+        assert!(dot.contains("n0 [label=\"reader\", shape=box];"), "{dot}");
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod builder;
 pub mod dot;
 pub mod graph;
@@ -38,6 +39,7 @@ pub mod port;
 pub mod topo;
 pub mod validate;
 
+pub use analyze::{AnalysisContext, Diagnostic, Diagnostics, Severity};
 pub use builder::PipelineBuilder;
 pub use graph::{Connection, ConnectionId, WorkflowGraph};
 pub use grouping::Grouping;

@@ -55,6 +55,10 @@ pub struct PeSpec {
     /// (e.g. `happy State` uses 4 instances in the sentiment workflow).
     /// `None` lets the partitioner decide.
     pub instances: Option<usize>,
+    /// Diagnostic rule codes waived for this PE (`#[allow]`-style; see
+    /// [`crate::analyze`]). A waived code suppresses PE-attributed findings
+    /// of that rule; graph-level findings cannot be waived.
+    pub waivers: Vec<String>,
 }
 
 impl PeSpec {
@@ -65,6 +69,7 @@ impl PeSpec {
             ports,
             stateful: false,
             instances: None,
+            waivers: Vec::new(),
         }
     }
 
@@ -103,6 +108,36 @@ impl PeSpec {
     pub fn with_port(mut self, port: PortDecl) -> Self {
         self.ports.push(port);
         self
+    }
+
+    /// Declares the data fields carried by the named output port (builder
+    /// style). No-op if the port does not exist — [`crate::analyze`] then
+    /// has no field contract to check against.
+    pub fn with_output_fields<I, S>(mut self, port: &str, fields: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        if let Some(p) = self
+            .ports
+            .iter_mut()
+            .find(|p| p.is_output() && p.name == port)
+        {
+            p.fields = fields.into_iter().map(Into::into).collect();
+        }
+        self
+    }
+
+    /// Waives a diagnostic rule code for this PE (builder style), e.g.
+    /// `.allow("D4PY202")` for a deliberately unconnected debug port.
+    pub fn allow(mut self, code: impl Into<String>) -> Self {
+        self.waivers.push(code.into());
+        self
+    }
+
+    /// True if the given diagnostic rule code is waived on this PE.
+    pub fn waives(&self, code: &str) -> bool {
+        self.waivers.iter().any(|c| c == code)
     }
 
     /// Input ports of the PE, in declaration order.
@@ -177,6 +212,24 @@ mod tests {
         assert!(pe.port("x", PortDirection::Input).is_some());
         assert!(pe.port("x", PortDirection::Output).is_some());
         assert!(pe.port("y", PortDirection::Input).is_none());
+    }
+
+    #[test]
+    fn waivers_and_output_fields() {
+        let pe = PeSpec::transform("t", "in", "out")
+            .with_output_fields("out", ["key"])
+            .allow("D4PY202");
+        assert!(pe.waives("D4PY202"));
+        assert!(!pe.waives("D4PY101"));
+        let out = pe.port("out", PortDirection::Output).unwrap();
+        assert_eq!(out.fields, vec!["key".to_string()]);
+        // Unknown port: silently no contract.
+        let pe = PeSpec::transform("t", "in", "out").with_output_fields("nope", ["k"]);
+        assert!(pe
+            .port("out", PortDirection::Output)
+            .unwrap()
+            .fields
+            .is_empty());
     }
 
     #[test]

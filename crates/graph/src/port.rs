@@ -21,6 +21,13 @@ pub struct PortDecl {
     pub name: String,
     /// Whether this is an input or output port.
     pub direction: PortDirection,
+    /// Data fields the items on this port are declared to carry.
+    ///
+    /// Empty means "unknown" (the default): static analysis then cannot
+    /// check `Grouping::GroupBy` keys against this port. A non-empty list
+    /// is a contract — the analyzer's D4PY104 rule rejects group-by keys
+    /// the producing port does not declare.
+    pub fields: Vec<String>,
 }
 
 impl PortDecl {
@@ -29,6 +36,7 @@ impl PortDecl {
         Self {
             name: name.into(),
             direction: PortDirection::Input,
+            fields: Vec::new(),
         }
     }
 
@@ -37,7 +45,18 @@ impl PortDecl {
         Self {
             name: name.into(),
             direction: PortDirection::Output,
+            fields: Vec::new(),
         }
+    }
+
+    /// Declares the data fields items on this port carry (builder style).
+    pub fn with_fields<I, S>(mut self, fields: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.fields = fields.into_iter().map(Into::into).collect();
+        self
     }
 
     /// Returns true if this is an input port.
@@ -76,5 +95,12 @@ mod tests {
         let a = PortDecl::input("x");
         let b = PortDecl::output("x");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fields_default_to_unknown() {
+        assert!(PortDecl::output("out").fields.is_empty());
+        let p = PortDecl::output("out").with_fields(["key", "weight"]);
+        assert_eq!(p.fields, vec!["key".to_string(), "weight".to_string()]);
     }
 }

@@ -129,7 +129,14 @@ impl WorkflowGraph {
         while let Some(id) = queue.pop() {
             visited += 1;
             for succ in self.successors(id) {
-                // Count parallel edges: decrement once per connection.
+                // Parallel-edge audit: `successors()` DEDUPLICATES, yielding
+                // each successor once no matter how many connections reach
+                // it, while the indegree seeding above counts one per
+                // connection. Decrementing by the parallel-edge count here
+                // is therefore exactly balanced — NOT a double-subtract. If
+                // `successors()` ever switched to per-edge yields this would
+                // underflow; the parallel-edge regression tests below pin
+                // the invariant.
                 let edges = self.outgoing(id).filter(|(_, c)| c.to_pe == succ).count();
                 indegree[succ.0] -= edges;
                 if indegree[succ.0] == 0 {
@@ -292,6 +299,39 @@ mod tests {
         g.connect(l, "out", k, "in", Grouping::Shuffle).unwrap();
         g.connect(r, "out", k, "in", Grouping::Shuffle).unwrap();
         g.validate().unwrap();
+    }
+
+    #[test]
+    fn parallel_edges_between_same_pair_pass() {
+        // Two connections a→b (distinct ports): indegree[b] seeds to 2 and
+        // must be decremented by exactly 2 when a is visited. If the Kahn
+        // loop ever double-subtracted per (successor × edge) this would
+        // underflow-panic or misreport a cycle.
+        let mut g = WorkflowGraph::new("t");
+        let a = g.add_pe(PeSpec::source("a", "out").with_port(PortDecl::output("aux")));
+        let b = g.add_pe(PeSpec::sink("b", "in").with_port(PortDecl::input("side")));
+        g.connect(a, "out", b, "in", Grouping::Shuffle).unwrap();
+        g.connect(a, "aux", b, "side", Grouping::Shuffle).unwrap();
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn parallel_edge_cycle_still_detected() {
+        // Parallel edges a→b plus a back-edge b→a: the parallel pair must
+        // not mask the cycle.
+        let mut g = WorkflowGraph::new("t");
+        let s = g.add_pe(PeSpec::source("s", "out"));
+        let a = g.add_pe(
+            PeSpec::transform("a", "in", "out")
+                .with_port(PortDecl::output("aux"))
+                .with_port(PortDecl::input("loop")),
+        );
+        let b = g.add_pe(PeSpec::transform("b", "in", "out").with_port(PortDecl::input("side")));
+        g.connect(s, "out", a, "in", Grouping::Shuffle).unwrap();
+        g.connect(a, "out", b, "in", Grouping::Shuffle).unwrap();
+        g.connect(a, "aux", b, "side", Grouping::Shuffle).unwrap();
+        g.connect(b, "out", a, "loop", Grouping::Shuffle).unwrap();
+        assert!(matches!(g.validate(), Err(GraphError::Cycle(_))));
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Property tests for the workflow analyzer.
+//!
+//! Over 1000 seeded random graphs (replay any failure with
+//! `D4PY_PROP_SEED=<seed> D4PY_PROP_CASES=1 cargo test`):
+//!
+//! 1. `analyze()` never panics, under either the full-audit or a
+//!    pre-flight context;
+//! 2. `validate()` errors are a subset of analyzer errors — whenever the
+//!    first-error-only pass rejects a graph, the multi-diagnostic pass
+//!    reports the corresponding rule code at Error severity.
+
+use d4py_graph::analyze::AnalysisContext;
+use d4py_graph::{GraphError, Grouping, PeSpec, PortDecl, WorkflowGraph};
+use d4py_sync::prop::{for_all_cases, Gen};
+
+/// The analyzer rule code that corresponds to each `validate()` error.
+/// (`UnknownPe`/`UnknownPort` are composition-time errors `connect()`
+/// raises; `validate()` never returns them.)
+fn expected_code(err: &GraphError) -> &'static str {
+    match err {
+        GraphError::DuplicateName(_) => "D4PY001",
+        GraphError::IsolatedPe(_) => "D4PY002",
+        GraphError::NoSource => "D4PY003",
+        GraphError::Cycle(_) => "D4PY004",
+        GraphError::Unreachable(_) => "D4PY005",
+        GraphError::DanglingInput { .. } => "D4PY006",
+        GraphError::ZeroInstances(_) => "D4PY007",
+        GraphError::UnknownPe(_) | GraphError::UnknownPort { .. } => {
+            unreachable!("validate() does not produce composition-time errors")
+        }
+    }
+}
+
+/// Builds an arbitrary (frequently invalid) workflow graph: duplicate
+/// names, port-less PEs, zero-instance requests, random wiring including
+/// self-loops and back-edges, and occasional post-connect port renames
+/// that stale out stored connections.
+fn arbitrary_graph(g: &mut Gen) -> WorkflowGraph {
+    const NAMES: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
+    let mut wf = WorkflowGraph::new("prop");
+    let n = g.usize_in(1..8);
+    for _ in 0..n {
+        let name = *g.pick(&NAMES);
+        let mut ports = Vec::new();
+        if g.any::<bool>() {
+            ports.push(PortDecl::input("in"));
+        }
+        if g.any::<bool>() {
+            let fields = if g.any::<bool>() {
+                vec!["key".to_string()]
+            } else {
+                Vec::new()
+            };
+            ports.push(PortDecl::output("out").with_fields(fields));
+        }
+        let mut pe = PeSpec::new(name, ports);
+        if g.any::<bool>() {
+            pe = pe.stateful();
+        }
+        match g.usize_in(0..5) {
+            0 => pe = pe.with_instances(0),
+            1 => pe = pe.with_instances(g.usize_in(1..6)),
+            _ => {}
+        }
+        wf.add_pe(pe);
+    }
+    let ids: Vec<_> = wf.pe_ids().collect();
+    let attempts = g.usize_in(0..10);
+    for _ in 0..attempts {
+        let from = *g.pick(&ids);
+        let to = *g.pick(&ids);
+        let grouping = match g.usize_in(0..4) {
+            0 => Grouping::group_by(*g.pick(&["key", "state"])),
+            1 => Grouping::Global,
+            2 => Grouping::OneToAll,
+            _ => Grouping::Shuffle,
+        };
+        // connect() rejects missing ports; invalid attempts just drop.
+        let _ = wf.connect(from, "out", to, "in", grouping);
+    }
+    // Occasionally rename a port after wiring: stored connections go stale
+    // (analyzer D4PY008 territory, which validate() cannot see).
+    if g.any::<bool>() && !ids.is_empty() {
+        let victim = *g.pick(&ids);
+        if let Some(pe) = wf.pe_mut(victim) {
+            if let Some(port) = pe.ports.first_mut() {
+                port.name = "renamed".to_string();
+            }
+        }
+    }
+    wf
+}
+
+#[test]
+fn analyzer_never_panics_and_subsumes_validate() {
+    for_all_cases(1000, |g| {
+        let wf = arbitrary_graph(g);
+        let full = wf.analyze(&AnalysisContext::full());
+        let preflight = wf.analyze(&AnalysisContext::preflight(
+            g.usize_in(0..9),
+            g.any::<bool>(),
+        ));
+        // Rendering paths must not panic either.
+        let _ = full.render();
+        let _ = full.to_json();
+        let _ = wf.to_dot_diagnosed(&full);
+
+        if let Err(err) = wf.validate() {
+            let code = expected_code(&err);
+            assert!(
+                full.errors().any(|d| d.code == code),
+                "validate() rejected with {err:?} but the analyzer has no \
+                 {code} error:\n{}",
+                full.render()
+            );
+            assert!(full.has_errors() && preflight.has_errors());
+        }
+    });
+}

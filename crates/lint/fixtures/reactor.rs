@@ -1,0 +1,14 @@
+//! Fixture: blocking call on the reactor's sweep path without a
+//! justification — plus a correctly waived one.
+
+use std::io::{Read, Write};
+
+pub fn sweep(conn: &mut std::net::TcpStream) {
+    let mut buf = [0u8; 4];
+    let _ = conn.read_exact(&mut buf);
+}
+
+// blocking: handshake runs once before the loop registers the socket.
+pub fn handshake(conn: &mut std::net::TcpStream) {
+    let _ = conn.write_all(b"+OK\r\n");
+}

@@ -23,6 +23,11 @@
 //! * **timing** — test/bench code may not assert a wall-clock **upper**
 //!   bound (`elapsed < ...` flakes under load) without a `// timing:`
 //!   waiver; regressions are gated by the stats harness instead.
+//! * **blocking** — the redis-lite reactor (`reactor.rs`) is an
+//!   event-driven single-thread loop: blocking calls (`read_exact`,
+//!   `write_all`, `thread::spawn`, `set_nonblocking(false)`) in its
+//!   non-test code would stall every connection and need a
+//!   `// blocking:` justification.
 //!
 //! A waiver/justification comment counts when it is on the offending line
 //! or in the contiguous `//` comment block immediately above it.
@@ -50,11 +55,18 @@ const UNSAFE: &str = concat!("uns", "afe");
 const UNWRAP: &str = concat!(".unw", "rap()");
 const ELAPSED: &str = concat!("ela", "psed");
 const ASSERT: &str = concat!("ass", "ert");
+const BLOCKING_CALLS: [&str; 4] = [
+    concat!("read_", "exact"),
+    concat!("write_", "all"),
+    concat!("thread::", "spa", "wn"),
+    concat!("set_nonblocking", "(false)"),
+];
 const W_SAFETY: &str = concat!("SAF", "ETY:");
 const W_SAFETY_DOC: &str = concat!("# Saf", "ety");
 const W_RELAXED: &str = concat!("// rel", "axed:");
 const W_SLEEP: &str = concat!("// sl", "eep:");
 const W_TIMING: &str = concat!("// tim", "ing:");
+const W_BLOCKING: &str = concat!("// block", "ing:");
 
 struct Violation {
     file: PathBuf,
@@ -152,6 +164,8 @@ struct FileScope {
     /// Binary entry point (`main.rs` or under `src/bin/`): exempt from the
     /// library `.unwrap()` rule, where a panic is an acceptable CLI error.
     bin_path: bool,
+    /// The redis-lite reactor: its sweep paths must never block.
+    reactor_file: bool,
 }
 
 fn classify(file: &Path) -> FileScope {
@@ -161,6 +175,7 @@ fn classify(file: &Path) -> FileScope {
         in_sync_crate: p.contains("crates/sync/"),
         test_path: has_seg("tests") || has_seg("benches") || has_seg("examples"),
         bin_path: p.ends_with("/main.rs") || p.contains("/src/bin/"),
+        reactor_file: p.ends_with("/reactor.rs") || p == "reactor.rs",
     }
 }
 
@@ -331,6 +346,22 @@ fn scan_file(file: &Path, source: &str, out: &mut Vec<Violation>) {
                     "bare {UNWRAP} in library code; use .expect(\"why this cannot fail\")"
                 ),
             });
+        }
+
+        // blocking: the reactor's event loop services every connection from
+        // one thread; a single blocking call stalls them all.
+        if scope.reactor_file && !in_test && !waived(&lines, i, W_BLOCKING) {
+            if let Some(call) = BLOCKING_CALLS.iter().find(|c| code.contains(**c)) {
+                out.push(Violation {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    rule: "blocking",
+                    message: format!(
+                        "{call} in the reactor's non-test code needs a \
+                         '{W_BLOCKING}' justification (the event loop must not block)"
+                    ),
+                });
+            }
         }
 
         // timing: upper-bound wall-clock assertions flake under load; the

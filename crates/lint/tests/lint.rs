@@ -74,6 +74,12 @@ fn timing_fixture_reports_file_and_line() {
 }
 
 #[test]
+fn blocking_fixture_reports_file_and_line() {
+    // Line 8 (unwaived read_exact) trips; the waived write_all does not.
+    assert_single_violation("reactor.rs", "blocking", 8);
+}
+
+#[test]
 fn clean_fixture_passes() {
     let (code, stdout) = lint(&[&fixture("clean.rs")]);
     assert_eq!(code, 0, "clean fixture must pass; output:\n{stdout}");
@@ -89,12 +95,15 @@ fn all_violation_fixtures_together_report_each_class() {
         "safety.rs",
         "unwrap.rs",
         "timing.rs",
+        "reactor.rs",
     ];
     let paths: Vec<String> = names.iter().map(|n| fixture(n)).collect();
     let refs: Vec<&str> = paths.iter().map(String::as_str).collect();
     let (code, stdout) = lint(&refs);
     assert_eq!(code, 1);
-    for rule in ["std-sync", "sleep", "relaxed", "safety", "unwrap", "timing"] {
+    for rule in [
+        "std-sync", "sleep", "relaxed", "safety", "unwrap", "timing", "blocking",
+    ] {
         assert!(
             stdout.contains(&format!("[{rule}]")),
             "missing [{rule}] in:\n{stdout}"

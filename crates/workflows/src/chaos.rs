@@ -174,7 +174,13 @@ pub fn build_range(
 ) -> (Executable, Arc<Mutex<Vec<Value>>>) {
     let mut g = WorkflowGraph::new("chaos_group_by");
     let gen = g.add_pe(PeSpec::source("gen", "output"));
-    let enrich = g.add_pe(PeSpec::transform("enrich", "input", "output").with_instances(2));
+    let enrich = g.add_pe(
+        // Field contract checked by the analyzer's D4PY104 rule: the
+        // downstream group-by key must be one of these.
+        PeSpec::transform("enrich", "input", "output")
+            .with_instances(2)
+            .with_output_fields("output", ["key", "weight"]),
+    );
     let count = g.add_pe(
         PeSpec::transform("count", "input", "output")
             .stateful()

@@ -47,7 +47,12 @@ pub fn build_range(
     let afinn = g.add_pe(PeSpec::transform("sentimentAFINN", "input", "output").with_instances(2));
     let tok = g.add_pe(PeSpec::transform("tokenizeWD", "input", "output").with_instances(2));
     let swn3 = g.add_pe(PeSpec::transform("sentimentSWN3", "input", "output").with_instances(2));
-    let find = g.add_pe(PeSpec::transform("findState", "input", "output"));
+    let find = g.add_pe(
+        // Field contract checked by the analyzer's D4PY104 rule: the
+        // downstream group-by key must be one of these.
+        PeSpec::transform("findState", "input", "output")
+            .with_output_fields("output", ["state", "score"]),
+    );
     let happy = g.add_pe(
         PeSpec::transform("happyState", "input", "output")
             .stateful()

@@ -25,6 +25,14 @@ cargo clippy --offline --all-targets -- -D warnings
 cargo run -q --release --offline -p d4py-lint -- . \
     || { echo "verify: FAIL — d4py-lint reports violations" >&2; exit 1; }
 
+# Workflow static analysis: every built-in workflow must carry zero
+# Error-severity D4PY diagnostics under the strictest analysis context
+# (rule catalog in DESIGN.md §11). Writes the machine-readable report to
+# target/bench/DIAGNOSTICS_check.json, which CI archives.
+cargo run -q --release --offline -p d4py-bench --bin repro -- check --all --json \
+    > /dev/null \
+    || { echo "verify: FAIL — repro check reports Error diagnostics" >&2; exit 1; }
+
 # Model-checker smoke: the instrumented --cfg d4py_model build of the
 # lock-free core — channel park/wakeup protocol plus the steal-queue
 # sweep (steal-vs-pop exactly-once, no lost wakeup after a failed sweep,
